@@ -1,0 +1,758 @@
+//! BitAlign: the paper's bitvector-based sequence-to-graph alignment
+//! algorithm (Section 7, Algorithm 1), including the traceback that
+//! regenerates intermediate bitvectors from the stored `R[d]` vectors.
+//!
+//! The semantics are *semi-global*: the query read (pattern) is consumed in
+//! full, while the alignment may start at any character of the linearized
+//! subgraph (free start) or at a fixed anchor, and ends wherever the
+//! pattern runs out (free end). That is exactly what the mapping pipeline
+//! needs: MinSeed supplies a subgraph window guaranteed (up to the error
+//! rate) to contain the read.
+
+use segram_graph::{Base, DnaSeq, GraphPos, LinearizedGraph};
+
+use crate::{AlignError, Bitvector, Cigar, CigarOp, PatternBitmasks};
+
+/// Where an alignment is allowed to start within the subgraph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StartMode {
+    /// The alignment may start at any character (seed-extension mode).
+    #[default]
+    Free,
+    /// The alignment must start exactly at the given character index.
+    Anchored(usize),
+}
+
+/// The order in which traceback prefers edit operations when several can
+/// explain a 0 bit — GenASM/BitAlign's "user-supplied alignment scoring
+/// function" (Section 7). Exact matches are always taken first (cost 0);
+/// the preference orders the three unit-cost edits.
+///
+/// All orders yield the same (optimal) edit distance; they differ only in
+/// which co-optimal CIGAR is reported — e.g. indel-averse scoring prefers
+/// substitutions, while gap-affine-style post-processing may prefer
+/// grouped deletions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EditPreference {
+    /// Substitution, then deletion, then insertion (default; mismatch-
+    /// tolerant, indel-averse — the common mapper convention).
+    #[default]
+    SubDelIns,
+    /// Substitution, then insertion, then deletion.
+    SubInsDel,
+    /// Deletion, then substitution, then insertion.
+    DelSubIns,
+    /// Insertion, then substitution, then deletion.
+    InsSubDel,
+}
+
+impl EditPreference {
+    /// The three unit-cost ops in preference order.
+    pub fn order(self) -> [CigarOp; 3] {
+        match self {
+            EditPreference::SubDelIns => [CigarOp::Subst, CigarOp::Del, CigarOp::Ins],
+            EditPreference::SubInsDel => [CigarOp::Subst, CigarOp::Ins, CigarOp::Del],
+            EditPreference::DelSubIns => [CigarOp::Del, CigarOp::Subst, CigarOp::Ins],
+            EditPreference::InsSubDel => [CigarOp::Ins, CigarOp::Subst, CigarOp::Del],
+        }
+    }
+}
+
+/// A completed alignment between a read and a (sub)graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// Minimum number of edits (substitutions + insertions + deletions).
+    pub edit_distance: u32,
+    /// The traceback output.
+    pub cigar: Cigar,
+    /// Index (within the linearized subgraph) of the first consumed
+    /// reference character. Equal to the anchor in anchored mode. When the
+    /// alignment consumes no reference characters (all-insertion CIGAR),
+    /// this is the candidate start position that was evaluated.
+    pub text_start: usize,
+    /// One past the index of the last consumed reference character.
+    pub text_end: usize,
+    /// The reference characters consumed, in path order (indices into the
+    /// linearized subgraph). Non-contiguous jumps witness hops.
+    pub path: Vec<u32>,
+}
+
+impl Alignment {
+    /// Maps the consumed path back to graph positions via the
+    /// linearization's provenance.
+    pub fn graph_path(&self, lin: &LinearizedGraph) -> Vec<GraphPos> {
+        self.path.iter().map(|&i| lin.origin(i as usize)).collect()
+    }
+
+    /// The reference fragment this alignment consumed.
+    pub fn ref_fragment(&self, lin: &LinearizedGraph) -> Vec<Base> {
+        self.path.iter().map(|&i| lin.base(i as usize)).collect()
+    }
+}
+
+/// Configuration of a [`BitAligner`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitAlignConfig {
+    /// Edit-distance threshold `k` (Algorithm 1 input). Capped at the
+    /// pattern length internally.
+    pub k: u32,
+    /// Start-position mode.
+    pub start: StartMode,
+    /// Traceback preference among co-optimal edit operations.
+    pub preference: EditPreference,
+}
+
+impl Default for BitAlignConfig {
+    fn default() -> Self {
+        Self {
+            k: 0,
+            start: StartMode::Free,
+            preference: EditPreference::default(),
+        }
+    }
+}
+
+impl BitAlignConfig {
+    /// Convenience constructor for free-start alignment with threshold `k`.
+    pub fn with_k(k: u32) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+/// Reference to a successor during traceback: a real character or the
+/// virtual sink (pattern may run past the end of the subgraph only via
+/// insertions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Succ {
+    Char(u32),
+    Virtual,
+}
+
+/// The BitAlign aligner: owns the `allR[n][d]` bitvector store for one
+/// (subgraph, read) pair, exactly as the hardware's bitvector scratchpad
+/// does (Section 8.2).
+///
+/// # Examples
+///
+/// ```
+/// use segram_align::{BitAlignConfig, BitAligner};
+/// use segram_graph::{build_graph, Base, LinearizedGraph, Variant};
+///
+/// let built = build_graph(
+///     &"ACGTACGT".parse()?,
+///     [Variant::snp(3, Base::G)].into_iter().collect(),
+/// )?;
+/// let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars())?;
+/// // A read spelling the ALT path aligns with 0 edits.
+/// let read = "ACGGACGT".parse()?;
+/// let alignment = BitAligner::new(&lin, &read, BitAlignConfig::with_k(2))?
+///     .align()?;
+/// assert_eq!(alignment.edit_distance, 0);
+/// assert_eq!(alignment.cigar.to_string(), "8=");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct BitAligner<'a> {
+    lin: &'a LinearizedGraph,
+    masks: PatternBitmasks,
+    k: usize,
+    start: StartMode,
+    preference: EditPreference,
+    /// `allR[i * (k+1) + d]`, stored for all text iterations (Algorithm 1
+    /// line 5) so traceback can regenerate the intermediate bitvectors.
+    all_r: Vec<Bitvector>,
+    /// Virtual-sink vectors `V[d] = ones << d`.
+    sink: Vec<Bitvector>,
+    computed: bool,
+}
+
+impl<'a> BitAligner<'a> {
+    /// Prepares an aligner for one (subgraph, read) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the pattern or text is empty, or the anchor is
+    /// out of bounds.
+    pub fn new(
+        lin: &'a LinearizedGraph,
+        pattern: &DnaSeq,
+        config: BitAlignConfig,
+    ) -> Result<Self, AlignError> {
+        Self::from_bases(lin, pattern.as_slice(), config)
+    }
+
+    /// Prepares an aligner from a base slice.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn from_bases(
+        lin: &'a LinearizedGraph,
+        pattern: &[Base],
+        config: BitAlignConfig,
+    ) -> Result<Self, AlignError> {
+        if pattern.is_empty() {
+            return Err(AlignError::EmptyPattern);
+        }
+        if lin.is_empty() {
+            return Err(AlignError::EmptyText);
+        }
+        if let StartMode::Anchored(a) = config.start {
+            if a >= lin.len() {
+                return Err(AlignError::AnchorOutOfBounds {
+                    anchor: a,
+                    text_len: lin.len(),
+                });
+            }
+        }
+        let m = pattern.len();
+        let k = (config.k as usize).min(m);
+        let masks = PatternBitmasks::from_bases(pattern);
+        let sink = (0..=k).map(|d| Bitvector::ones_shifted(m, d)).collect();
+        Ok(Self {
+            lin,
+            masks,
+            k,
+            start: config.start,
+            preference: config.preference,
+            all_r: Vec::new(),
+            sink,
+            computed: false,
+        })
+    }
+
+    /// Pattern length.
+    pub fn pattern_len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Effective threshold (capped at the pattern length).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn r(&self, i: usize, d: usize) -> &Bitvector {
+        &self.all_r[i * (self.k + 1) + d]
+    }
+
+    /// The status bitvector of a successor, routing sink references to the
+    /// virtual vectors.
+    #[inline]
+    fn succ_r(&self, s: Succ, d: usize) -> &Bitvector {
+        match s {
+            Succ::Char(j) => self.r(j as usize, d),
+            Succ::Virtual => &self.sink[d],
+        }
+    }
+
+    fn successors(&self, i: usize) -> Vec<Succ> {
+        let list = self.lin.successors(i);
+        if list.is_empty() {
+            vec![Succ::Virtual]
+        } else {
+            list.iter().map(|&j| Succ::Char(j)).collect()
+        }
+    }
+
+    /// Runs the bitvector-generation phase (Algorithm 1 lines 5–24),
+    /// filling the `allR` store. Idempotent.
+    pub fn compute(&mut self) {
+        if self.computed {
+            return;
+        }
+        let n = self.lin.len();
+        let m = self.masks.len();
+        let kk = self.k + 1;
+        self.all_r = vec![Bitvector::all_ones(m); n * kk];
+        let mut tmp = Bitvector::all_ones(m);
+        let mut acc = Bitvector::all_ones(m);
+        for i in (0..n).rev() {
+            let cur_pm = self.masks.mask(self.lin.base(i)).clone();
+            let succs = self.successors(i);
+            // d = 0: exact match (lines 11-14).
+            acc.copy_from(&Bitvector::all_ones(m));
+            for &s in &succs {
+                tmp.shl1_from(self.succ_r(s, 0));
+                tmp.or_assign(&cur_pm);
+                acc.and_assign(&tmp);
+            }
+            self.all_r[i * kk].copy_from(&acc);
+            // d = 1..k (lines 16-24).
+            for d in 1..kk {
+                // Insertion: does not consume a reference character.
+                acc.shl1_from(&self.all_r[i * kk + d - 1]);
+                for &s in &succs {
+                    // Deletion: successor's R[d-1] unshifted.
+                    acc.and_assign(self.succ_r(s, d - 1));
+                    // Substitution: successor's R[d-1] shifted.
+                    tmp.shl1_from(self.succ_r(s, d - 1));
+                    acc.and_assign(&tmp);
+                    // Match: successor's R[d] shifted, OR pattern mask.
+                    tmp.shl1_from(self.succ_r(s, d));
+                    tmp.or_assign(&cur_pm);
+                    acc.and_assign(&tmp);
+                }
+                self.all_r[i * kk + d].copy_from(&acc);
+            }
+        }
+        self.computed = true;
+    }
+
+    /// Returns the minimum edit distance and its start position, without
+    /// traceback, or `None` when the threshold is exceeded.
+    ///
+    /// The scan honours the configured [`StartMode`].
+    pub fn edit_distance(&mut self) -> Option<(u32, usize)> {
+        self.compute();
+        let m = self.masks.len();
+        let candidates: Vec<usize> = match self.start {
+            StartMode::Free => (0..self.lin.len()).collect(),
+            StartMode::Anchored(a) => vec![a],
+        };
+        let mut best: Option<(u32, usize)> = None;
+        for d in 0..=self.k {
+            for &i in &candidates {
+                if !self.r(i, d).bit(m - 1) {
+                    best = Some((d as u32, i));
+                    break;
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Runs the full pipeline: bitvector generation, distance extraction,
+    /// and traceback (Algorithm 1 line 25).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::ExceedsThreshold`] when no alignment with at
+    /// most `k` edits exists under the configured start mode.
+    pub fn align(&mut self) -> Result<Alignment, AlignError> {
+        let (dist, start) = self
+            .edit_distance()
+            .ok_or(AlignError::ExceedsThreshold { k: self.k as u32 })?;
+        Ok(self.traceback(start, dist as usize))
+    }
+
+    /// Traceback from a start character with a known distance budget.
+    ///
+    /// Regenerates the intermediate match/substitution/deletion/insertion
+    /// bitvectors on demand from the stored `R[d]` vectors, as the paper's
+    /// hardware does ("we store only k+1 bitvectors per node ... from which
+    /// the 3(k+1) bitvectors per edge can be regenerated on-demand during
+    /// traceback", Section 7).
+    fn traceback(&mut self, start: usize, dist: usize) -> Alignment {
+        self.compute();
+        let m = self.masks.len();
+        let mut cigar = Cigar::new();
+        let mut path: Vec<u32> = Vec::new();
+        let mut cur = Succ::Char(start as u32);
+        let mut p = m as isize - 1; // suffix bit under consideration
+        let mut d = dist;
+
+        // Helper: active-low bit read with the implicit 0 shifted in at p=-1.
+        let bit_is_zero = |this: &Self, s: Succ, d: usize, p: isize| -> bool {
+            if p < 0 {
+                return true;
+            }
+            !this.succ_r(s, d).bit(p as usize)
+        };
+
+        while p >= 0 {
+            let i = match cur {
+                Succ::Char(i) => i as usize,
+                Succ::Virtual => {
+                    // Only insertions remain past the end of the subgraph.
+                    cigar.push_run(CigarOp::Ins, p as u32 + 1);
+                    d -= p as usize + 1;
+                    p = -1;
+                    continue;
+                }
+            };
+            let pm = self.masks.mask(self.lin.base(i));
+            let succs = self.successors(i);
+            // 1) Exact match: pattern head equals text[i] and some successor
+            //    continues the remaining suffix within the same budget.
+            let matched = !pm.bit(p as usize)
+                && succs.iter().any(|&s| bit_is_zero(self, s, d, p - 1));
+            if matched {
+                let next = *succs
+                    .iter()
+                    .find(|&&s| bit_is_zero(self, s, d, p - 1))
+                    .expect("checked above");
+                cigar.push(CigarOp::Match);
+                path.push(i as u32);
+                cur = next;
+                p -= 1;
+                continue;
+            }
+            debug_assert!(d > 0, "stuck traceback: R bit was 0 but no op applies");
+            // 2) Unit-cost edits, in the configured preference order.
+            let mut applied = false;
+            for op in self.preference.order() {
+                match op {
+                    CigarOp::Subst => {
+                        if let Some(&next) = succs
+                            .iter()
+                            .find(|&&s| bit_is_zero(self, s, d - 1, p - 1))
+                        {
+                            cigar.push(CigarOp::Subst);
+                            path.push(i as u32);
+                            cur = next;
+                            p -= 1;
+                            d -= 1;
+                            applied = true;
+                        }
+                    }
+                    CigarOp::Del => {
+                        // Consumes the reference character only.
+                        if let Some(&next) =
+                            succs.iter().find(|&&s| bit_is_zero(self, s, d - 1, p))
+                        {
+                            cigar.push(CigarOp::Del);
+                            path.push(i as u32);
+                            cur = next;
+                            d -= 1;
+                            applied = true;
+                        }
+                    }
+                    CigarOp::Ins => {
+                        // Consumes the pattern character only.
+                        if bit_is_zero(self, Succ::Char(i as u32), d - 1, p - 1) {
+                            cigar.push(CigarOp::Ins);
+                            p -= 1;
+                            d -= 1;
+                            applied = true;
+                        }
+                    }
+                    CigarOp::Match => unreachable!("matches are handled above"),
+                }
+                if applied {
+                    break;
+                }
+            }
+            debug_assert!(applied, "stuck traceback: no edit operation applies");
+        }
+        let text_end = path.last().map_or(start, |&last| last as usize + 1);
+        Alignment {
+            edit_distance: cigar.edit_count(),
+            cigar,
+            text_start: path.first().map_or(start, |&f| f as usize),
+            text_end,
+            path,
+        }
+    }
+
+    /// Read-only access to a stored status bitvector (for tests and the
+    /// hardware model). `None` until [`Self::compute`] has run or when the
+    /// indices are out of range.
+    pub fn status_bitvector(&self, i: usize, d: usize) -> Option<&Bitvector> {
+        if !self.computed || i >= self.lin.len() || d > self.k {
+            return None;
+        }
+        Some(self.r(i, d))
+    }
+}
+
+/// One-shot convenience: align `pattern` against `lin` with threshold `k`
+/// and a free start.
+///
+/// # Errors
+///
+/// See [`BitAligner::align`].
+///
+/// # Examples
+///
+/// ```
+/// use segram_align::bitalign;
+/// use segram_graph::LinearizedGraph;
+///
+/// let lin = LinearizedGraph::from_linear_seq(&"ACGTACGT".parse()?);
+/// let alignment = bitalign(&lin, &"GTAC".parse()?, 1)?;
+/// assert_eq!(alignment.edit_distance, 0);
+/// assert_eq!(alignment.text_start, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn bitalign(
+    lin: &LinearizedGraph,
+    pattern: &DnaSeq,
+    k: u32,
+) -> Result<Alignment, AlignError> {
+    BitAligner::new(lin, pattern, BitAlignConfig::with_k(k))?.align()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::{build_graph, Variant};
+
+    fn linear(text: &str) -> LinearizedGraph {
+        LinearizedGraph::from_linear_seq(&text.parse().unwrap())
+    }
+
+    fn align_str(text: &str, pattern: &str, k: u32) -> Result<Alignment, AlignError> {
+        bitalign(&linear(text), &pattern.parse().unwrap(), k)
+    }
+
+    #[test]
+    fn exact_match_anywhere() {
+        let a = align_str("ACGTACGT", "GTAC", 0).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        assert_eq!(a.cigar.to_string(), "4=");
+        assert_eq!(a.text_start, 2);
+        assert_eq!(a.text_end, 6);
+        assert_eq!(a.path, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = align_str("AAAAACGTAAAA", "ACTT", 1).unwrap();
+        assert_eq!(a.edit_distance, 1);
+        assert_eq!(a.cigar.edit_count(), 1);
+    }
+
+    #[test]
+    fn single_insertion_in_read() {
+        // read has an extra T relative to the text
+        let a = align_str("AACCGG", "AACTCGG", 1).unwrap();
+        assert_eq!(a.edit_distance, 1);
+        assert_eq!(a.cigar.read_len(), 7);
+        assert_eq!(a.cigar.ref_len(), 6);
+    }
+
+    #[test]
+    fn single_deletion_in_read() {
+        let a = align_str("AACTCGG", "AACCGG", 1).unwrap();
+        assert_eq!(a.edit_distance, 1);
+        assert_eq!(a.cigar.read_len(), 6);
+        assert_eq!(a.cigar.ref_len(), 7);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let err = align_str("AAAA", "TTTT", 2).unwrap_err();
+        assert_eq!(err, AlignError::ExceedsThreshold { k: 2 });
+        let a = align_str("AAAA", "TTTT", 4).unwrap();
+        assert_eq!(a.edit_distance, 4);
+    }
+
+    #[test]
+    fn anchored_start_changes_answer() {
+        let lin = linear("ACGTACGT");
+        let pattern: DnaSeq = "ACGT".parse().unwrap();
+        // Free start: 0 edits at position 0 (or 4).
+        let free = bitalign(&lin, &pattern, 2).unwrap();
+        assert_eq!(free.edit_distance, 0);
+        // Anchored at 1: best alignment of "ACGT" starting exactly at 'C'
+        // needs edits.
+        let mut anchored = BitAligner::new(
+            &lin,
+            &pattern,
+            BitAlignConfig {
+                k: 2,
+                start: StartMode::Anchored(1),
+                ..BitAlignConfig::default()
+            },
+        )
+        .unwrap();
+        let a = anchored.align().unwrap();
+        assert!(a.edit_distance >= 1);
+        assert_eq!(a.text_start, 1);
+    }
+
+    #[test]
+    fn anchor_out_of_bounds_rejected() {
+        let lin = linear("ACGT");
+        let err = BitAligner::new(
+            &lin,
+            &"AC".parse().unwrap(),
+            BitAlignConfig {
+                k: 0,
+                start: StartMode::Anchored(4),
+                ..BitAlignConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, AlignError::AnchorOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn snp_graph_aligns_both_alleles_exactly() {
+        let built = build_graph(
+            &"ACGTACGT".parse().unwrap(),
+            [Variant::snp(3, segram_graph::Base::G)].into_iter().collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        for allele in ["ACGTACGT", "ACGGACGT"] {
+            let a = bitalign(&lin, &allele.parse().unwrap(), 1).unwrap();
+            assert_eq!(a.edit_distance, 0, "allele {allele}");
+            assert_eq!(a.cigar.to_string(), "8=");
+        }
+        // A read matching neither allele needs one substitution.
+        let a = bitalign(&lin, &"ACGCACGT".parse().unwrap(), 1).unwrap();
+        assert_eq!(a.edit_distance, 1);
+    }
+
+    #[test]
+    fn deletion_graph_uses_skip_edge() {
+        let built = build_graph(
+            &"AACCCCTT".parse().unwrap(),
+            [Variant::deletion(2, 4)].into_iter().collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let a = bitalign(&lin, &"AATT".parse().unwrap(), 0).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        // The path must jump over the deleted CCCC characters.
+        assert_eq!(a.path, vec![0, 1, 6, 7]);
+    }
+
+    #[test]
+    fn insertion_graph_offers_both_paths() {
+        let built = build_graph(
+            &"AATT".parse().unwrap(),
+            [Variant::insertion(2, "GGG".parse().unwrap())]
+                .into_iter()
+                .collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        for read in ["AATT", "AAGGGTT"] {
+            let a = bitalign(&lin, &read.parse().unwrap(), 0).unwrap();
+            assert_eq!(a.edit_distance, 0, "read {read}");
+        }
+    }
+
+    #[test]
+    fn traceback_cigar_replays_against_path() {
+        let built = build_graph(
+            &"ACGTACGTACGT".parse().unwrap(),
+            [
+                Variant::snp(3, segram_graph::Base::A),
+                Variant::deletion(7, 2),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let read: DnaSeq = "CGAACGCG".parse().unwrap();
+        let a = bitalign(&lin, &read, 3).unwrap();
+        let fragment = a.ref_fragment(&lin);
+        let replayed = a
+            .cigar
+            .replay(&fragment, read.as_slice())
+            .expect("cigar must be consistent with the chosen path");
+        assert_eq!(replayed, read.as_slice());
+        assert_eq!(a.cigar.edit_count(), a.edit_distance);
+    }
+
+    #[test]
+    fn path_respects_graph_successors() {
+        let built = build_graph(
+            &"ACGTACGT".parse().unwrap(),
+            [Variant::snp(3, segram_graph::Base::G)].into_iter().collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let a = bitalign(&lin, &"ACGGACGT".parse().unwrap(), 2).unwrap();
+        for pair in a.path.windows(2) {
+            assert!(
+                lin.successors(pair[0] as usize).contains(&pair[1]),
+                "path step {} -> {} is not an edge",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn read_longer_than_text_uses_virtual_insertions() {
+        // Text has only 4 chars; read has 6: at least 2 insertions needed.
+        let a = align_str("ACGT", "ACGTAA", 2).unwrap();
+        assert_eq!(a.edit_distance, 2);
+        assert_eq!(a.cigar.read_len(), 6);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let lin = linear("ACGT");
+        assert_eq!(
+            BitAligner::from_bases(&lin, &[], BitAlignConfig::default()).unwrap_err(),
+            AlignError::EmptyPattern
+        );
+    }
+
+    #[test]
+    fn k_zero_finds_only_exact() {
+        assert!(align_str("ACGTACGT", "ACGA", 0).is_err());
+        assert_eq!(align_str("ACGTACGT", "ACGT", 0).unwrap().edit_distance, 0);
+    }
+
+    #[test]
+    fn edit_preferences_share_the_distance_and_replay() {
+        // A read with an ambiguous optimum: 1 edit explainable as either
+        // an indel pair or substitutions depending on preference.
+        let lin = linear("AACCGGTTAACC");
+        let read: DnaSeq = "ACCGTTAAC".parse().unwrap();
+        let mut cigars = std::collections::HashSet::new();
+        let mut distances = std::collections::HashSet::new();
+        for preference in [
+            EditPreference::SubDelIns,
+            EditPreference::SubInsDel,
+            EditPreference::DelSubIns,
+            EditPreference::InsSubDel,
+        ] {
+            let mut aligner = BitAligner::new(
+                &lin,
+                &read,
+                BitAlignConfig {
+                    k: 4,
+                    start: StartMode::Free,
+                    preference,
+                },
+            )
+            .unwrap();
+            let a = aligner.align().unwrap();
+            distances.insert(a.edit_distance);
+            cigars.insert(a.cigar.to_string());
+            // Every preference's traceback must replay.
+            let fragment = a.ref_fragment(&lin);
+            assert!(
+                a.cigar.replay(&fragment, read.as_slice()).is_some(),
+                "{preference:?}: {}",
+                a.cigar
+            );
+            assert_eq!(a.cigar.edit_count(), a.edit_distance);
+        }
+        assert_eq!(distances.len(), 1, "all preferences are co-optimal");
+    }
+
+    #[test]
+    fn status_bitvectors_follow_suffix_semantics() {
+        // Text "ACGT", pattern "GT": after compute, bit 1 of R[2][0] must be
+        // 0 (suffix "GT" matches starting at text index 2).
+        let lin = linear("ACGT");
+        let mut aligner =
+            BitAligner::new(&lin, &"GT".parse().unwrap(), BitAlignConfig::with_k(0)).unwrap();
+        aligner.compute();
+        let r = aligner.status_bitvector(2, 0).unwrap();
+        assert!(!r.bit(1));
+        let r0 = aligner.status_bitvector(0, 0).unwrap();
+        assert!(r0.bit(1));
+    }
+}

@@ -1,0 +1,276 @@
+//! Arbitrary-width bitvectors for the Bitap/GenASM family of algorithms.
+//!
+//! BitAlign's hardware processes 128 bits per processing element
+//! (Section 8.2); in software the status bitvectors (`R[d]`) and pattern
+//! bitmasks have the width of the query pattern, which can be anything from
+//! a few bases to a full window. Only bits `0..width` are meaningful; all
+//! algorithms in this crate use *active-low* semantics (a 0 bit means
+//! "match state reached").
+
+use std::fmt;
+
+/// A fixed-width bitvector backed by `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use segram_align::Bitvector;
+///
+/// let ones = Bitvector::all_ones(130);
+/// assert!(ones.bit(129));
+/// let shifted = ones.shl1();
+/// assert!(!shifted.bit(0));     // shift injects a 0 (active-low "match")
+/// assert!(shifted.bit(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitvector {
+    words: Vec<u64>,
+    width: usize,
+}
+
+impl Bitvector {
+    /// Creates a bitvector of `width` bits, all set to 1.
+    pub fn all_ones(width: usize) -> Self {
+        Self {
+            words: vec![u64::MAX; width.div_ceil(64).max(1)],
+            width,
+        }
+    }
+
+    /// Creates a bitvector of `width` bits, all set to 0.
+    pub fn all_zeros(width: usize) -> Self {
+        Self {
+            words: vec![0; width.div_ceil(64).max(1)],
+            width,
+        }
+    }
+
+    /// Creates the "virtual sink" vector `ones << d`: the lowest `d` bits
+    /// are 0, the rest 1. This encodes "a pattern suffix of length `l` can
+    /// be completed with `l` insertions" (`E[sink][l] = l`, see
+    /// [`BitAligner`](crate::BitAligner)).
+    pub fn ones_shifted(width: usize, d: usize) -> Self {
+        let mut v = Self::all_ones(width);
+        for p in 0..d.min(width) {
+            v.clear_bit(p);
+        }
+        v
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of backing 64-bit words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads bit `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p >= width`.
+    #[inline]
+    pub fn bit(&self, p: usize) -> bool {
+        assert!(p < self.width, "bit index {p} out of width {}", self.width);
+        (self.words[p / 64] >> (p % 64)) & 1 == 1
+    }
+
+    /// Sets bit `p` to 1.
+    #[inline]
+    pub fn set_bit(&mut self, p: usize) {
+        assert!(p < self.width);
+        self.words[p / 64] |= 1 << (p % 64);
+    }
+
+    /// Clears bit `p` to 0.
+    #[inline]
+    pub fn clear_bit(&mut self, p: usize) {
+        assert!(p < self.width);
+        self.words[p / 64] &= !(1 << (p % 64));
+    }
+
+    /// Returns `self << 1` (a 0 bit is injected at position 0).
+    pub fn shl1(&self) -> Self {
+        let mut out = self.clone();
+        out.shl1_from(self);
+        out
+    }
+
+    /// Overwrites `self` with `src << 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths differ.
+    #[inline]
+    pub fn shl1_from(&mut self, src: &Self) {
+        assert_eq!(self.width, src.width);
+        let mut carry = 0u64;
+        for (dst, &s) in self.words.iter_mut().zip(&src.words) {
+            *dst = (s << 1) | carry;
+            carry = s >> 63;
+        }
+    }
+
+    /// `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths differ.
+    #[inline]
+    pub fn and_assign(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width);
+        for (dst, &s) in self.words.iter_mut().zip(&other.words) {
+            *dst &= s;
+        }
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths differ.
+    #[inline]
+    pub fn or_assign(&mut self, other: &Self) {
+        assert_eq!(self.width, other.width);
+        for (dst, &s) in self.words.iter_mut().zip(&other.words) {
+            *dst |= s;
+        }
+    }
+
+    /// Copies `src` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths differ.
+    #[inline]
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.width, src.width);
+        self.words.copy_from_slice(&src.words);
+    }
+
+    /// Index of the lowest 0 bit within the width, if any — i.e. the
+    /// shortest matched pattern suffix in active-low semantics.
+    pub fn lowest_zero(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != u64::MAX {
+                let p = w * 64 + word.trailing_ones() as usize;
+                return (p < self.width).then_some(p);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Bitvector {
+    /// Renders most-significant bit first, like the paper's figures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitvector[{}b ", self.width)?;
+        for p in (0..self.width).rev() {
+            write!(f, "{}", u8::from(self.bit(p)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Bitvector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in (0..self.width).rev() {
+            write!(f, "{}", u8::from(self.bit(p)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_and_zeros() {
+        let ones = Bitvector::all_ones(70);
+        let zeros = Bitvector::all_zeros(70);
+        for p in 0..70 {
+            assert!(ones.bit(p));
+            assert!(!zeros.bit(p));
+        }
+        assert_eq!(ones.word_count(), 2);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut v = Bitvector::all_zeros(65);
+        v.set_bit(64);
+        assert!(v.bit(64));
+        v.clear_bit(64);
+        assert!(!v.bit(64));
+    }
+
+    #[test]
+    fn shift_crosses_word_boundary() {
+        let mut v = Bitvector::all_zeros(70);
+        v.set_bit(63);
+        let s = v.shl1();
+        assert!(s.bit(64));
+        assert!(!s.bit(63));
+    }
+
+    #[test]
+    fn shift_injects_zero_at_bit0() {
+        let ones = Bitvector::all_ones(10);
+        let s = ones.shl1();
+        assert!(!s.bit(0));
+        for p in 1..10 {
+            assert!(s.bit(p));
+        }
+    }
+
+    #[test]
+    fn ones_shifted_matches_repeated_shl1() {
+        for width in [1usize, 7, 64, 65, 130] {
+            let mut v = Bitvector::all_ones(width);
+            for d in 0..=width.min(10) {
+                assert_eq!(Bitvector::ones_shifted(width, d), v, "width {width} d {d}");
+                v = v.shl1();
+            }
+        }
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut a = Bitvector::all_ones(5);
+        let mut b = Bitvector::all_zeros(5);
+        b.set_bit(2);
+        a.and_assign(&b);
+        assert_eq!(a.to_string(), "00100");
+        let mut c = Bitvector::all_zeros(5);
+        c.set_bit(0);
+        a.or_assign(&c);
+        assert_eq!(a.to_string(), "00101");
+    }
+
+    #[test]
+    fn lowest_zero_scans_words() {
+        let mut v = Bitvector::all_ones(130);
+        assert_eq!(v.lowest_zero(), None);
+        v.clear_bit(100);
+        assert_eq!(v.lowest_zero(), Some(100));
+        v.clear_bit(3);
+        assert_eq!(v.lowest_zero(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of width")]
+    fn bit_out_of_range_panics() {
+        Bitvector::all_ones(8).bit(8);
+    }
+
+    #[test]
+    fn debug_renders_msb_first() {
+        let mut v = Bitvector::all_zeros(4);
+        v.set_bit(3);
+        assert_eq!(format!("{v}"), "1000");
+    }
+}

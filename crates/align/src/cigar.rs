@@ -1,0 +1,362 @@
+//! CIGAR strings: the traceback output of the alignment step ("CIGARstr"
+//! in Algorithm 1 of the paper).
+
+use std::fmt;
+
+use segram_graph::Base;
+
+/// A single alignment operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// Exact match (`=`): consumes one read char and one reference char.
+    Match,
+    /// Substitution (`X`): consumes one read char and one reference char.
+    Subst,
+    /// Insertion (`I`): consumes one read char only.
+    Ins,
+    /// Deletion (`D`): consumes one reference char only.
+    Del,
+}
+
+impl CigarOp {
+    /// SAM-style single-character code (`=`, `X`, `I`, `D`).
+    pub fn code(self) -> char {
+        match self {
+            CigarOp::Match => '=',
+            CigarOp::Subst => 'X',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+        }
+    }
+
+    /// Whether the op consumes a read (query) character.
+    pub fn consumes_read(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Subst | CigarOp::Ins)
+    }
+
+    /// Whether the op consumes a reference (text) character.
+    pub fn consumes_ref(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Subst | CigarOp::Del)
+    }
+
+    /// Edit cost of the op (0 for a match, 1 otherwise).
+    pub fn cost(self) -> u32 {
+        u32::from(self != CigarOp::Match)
+    }
+}
+
+impl fmt::Display for CigarOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A run-length encoded CIGAR string.
+///
+/// # Examples
+///
+/// ```
+/// use segram_align::{Cigar, CigarOp};
+///
+/// let cigar: Cigar = [CigarOp::Match, CigarOp::Match, CigarOp::Subst, CigarOp::Ins]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(cigar.to_string(), "2=1X1I");
+/// assert_eq!(cigar.edit_count(), 2);
+/// assert_eq!(cigar.read_len(), 4);
+/// assert_eq!(cigar.ref_len(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Cigar {
+    runs: Vec<(CigarOp, u32)>,
+}
+
+impl Cigar {
+    /// Creates an empty CIGAR.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one op, merging with the previous run when equal.
+    pub fn push(&mut self, op: CigarOp) {
+        self.push_run(op, 1);
+    }
+
+    /// Appends a run of `count` copies of `op`.
+    pub fn push_run(&mut self, op: CigarOp, count: u32) {
+        if count == 0 {
+            return;
+        }
+        match self.runs.last_mut() {
+            Some((last, n)) if *last == op => *n += count,
+            _ => self.runs.push((op, count)),
+        }
+    }
+
+    /// Appends every run of `other`.
+    pub fn append(&mut self, other: &Cigar) {
+        for &(op, n) in &other.runs {
+            self.push_run(op, n);
+        }
+    }
+
+    /// The run-length encoded content.
+    pub fn runs(&self) -> &[(CigarOp, u32)] {
+        &self.runs
+    }
+
+    /// Returns `true` when the CIGAR holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates over individual ops (expanding runs).
+    pub fn ops(&self) -> impl Iterator<Item = CigarOp> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|&(op, n)| std::iter::repeat(op).take(n as usize))
+    }
+
+    /// Total number of ops.
+    pub fn op_count(&self) -> u32 {
+        self.runs.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Total edit cost (number of non-match ops).
+    pub fn edit_count(&self) -> u32 {
+        self.runs.iter().map(|&(op, n)| op.cost() * n).sum()
+    }
+
+    /// Number of read characters consumed.
+    pub fn read_len(&self) -> u32 {
+        self.runs
+            .iter()
+            .filter(|(op, _)| op.consumes_read())
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// Number of reference characters consumed.
+    pub fn ref_len(&self) -> u32 {
+        self.runs
+            .iter()
+            .filter(|(op, _)| op.consumes_ref())
+            .map(|&(_, n)| n)
+            .sum()
+    }
+
+    /// Replays the CIGAR against an aligned reference fragment, producing
+    /// the read it implies. Returns `None` when lengths disagree or a
+    /// `Match`/`Subst` op contradicts the claimed relation — used by tests
+    /// to validate tracebacks end to end.
+    ///
+    /// For `Match` the reference char is copied; for `Subst` and `Ins` the
+    /// corresponding read char is taken from `read` (and for `Subst` it
+    /// must differ from the reference char).
+    pub fn replay(&self, reference: &[Base], read: &[Base]) -> Option<Vec<Base>> {
+        let mut out = Vec::with_capacity(read.len());
+        let mut ri = 0usize; // reference cursor
+        let mut qi = 0usize; // read cursor
+        for op in self.ops() {
+            match op {
+                CigarOp::Match => {
+                    let (r, q) = (*reference.get(ri)?, *read.get(qi)?);
+                    if r != q {
+                        return None;
+                    }
+                    out.push(r);
+                    ri += 1;
+                    qi += 1;
+                }
+                CigarOp::Subst => {
+                    let (r, q) = (*reference.get(ri)?, *read.get(qi)?);
+                    if r == q {
+                        return None;
+                    }
+                    out.push(q);
+                    ri += 1;
+                    qi += 1;
+                }
+                CigarOp::Ins => {
+                    out.push(*read.get(qi)?);
+                    qi += 1;
+                }
+                CigarOp::Del => {
+                    reference.get(ri)?;
+                    ri += 1;
+                }
+            }
+        }
+        (ri == reference.len() && qi == read.len()).then_some(out)
+    }
+}
+
+impl FromIterator<CigarOp> for Cigar {
+    fn from_iter<I: IntoIterator<Item = CigarOp>>(iter: I) -> Self {
+        let mut cigar = Cigar::new();
+        for op in iter {
+            cigar.push(op);
+        }
+        cigar
+    }
+}
+
+impl Extend<CigarOp> for Cigar {
+    fn extend<I: IntoIterator<Item = CigarOp>>(&mut self, iter: I) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+impl std::str::FromStr for Cigar {
+    type Err = ParseCigarError;
+
+    /// Parses run-length CIGAR text (`"2=1X1I"`, or `"*"` for empty).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "*" {
+            return Ok(Cigar::new());
+        }
+        let mut cigar = Cigar::new();
+        let mut count: u64 = 0;
+        let mut saw_digit = false;
+        for (offset, ch) in s.char_indices() {
+            match ch {
+                '0'..='9' => {
+                    count = count * 10 + (ch as u64 - '0' as u64);
+                    if count > u32::MAX as u64 {
+                        return Err(ParseCigarError { offset });
+                    }
+                    saw_digit = true;
+                }
+                '=' | 'X' | 'I' | 'D' => {
+                    if !saw_digit || count == 0 {
+                        return Err(ParseCigarError { offset });
+                    }
+                    let op = match ch {
+                        '=' => CigarOp::Match,
+                        'X' => CigarOp::Subst,
+                        'I' => CigarOp::Ins,
+                        _ => CigarOp::Del,
+                    };
+                    cigar.push_run(op, count as u32);
+                    count = 0;
+                    saw_digit = false;
+                }
+                _ => return Err(ParseCigarError { offset }),
+            }
+        }
+        if saw_digit {
+            return Err(ParseCigarError { offset: s.len() });
+        }
+        Ok(cigar)
+    }
+}
+
+/// Error parsing a CIGAR string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseCigarError {
+    /// Byte offset of the offending character (or `len` for a dangling
+    /// count).
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseCigarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cigar syntax at offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for ParseCigarError {}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "*");
+        }
+        for &(op, n) in &self.runs {
+            write!(f, "{n}{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_length_merging() {
+        let mut c = Cigar::new();
+        c.push(CigarOp::Match);
+        c.push(CigarOp::Match);
+        c.push(CigarOp::Del);
+        c.push_run(CigarOp::Del, 2);
+        assert_eq!(c.to_string(), "2=3D");
+        assert_eq!(c.op_count(), 5);
+        assert_eq!(c.edit_count(), 3);
+    }
+
+    #[test]
+    fn lengths_account_ops_correctly() {
+        let c: Cigar = "==XID"
+            .chars()
+            .map(|ch| match ch {
+                '=' => CigarOp::Match,
+                'X' => CigarOp::Subst,
+                'I' => CigarOp::Ins,
+                _ => CigarOp::Del,
+            })
+            .collect();
+        assert_eq!(c.read_len(), 4);
+        assert_eq!(c.ref_len(), 4);
+        assert_eq!(c.edit_count(), 3);
+    }
+
+    #[test]
+    fn empty_cigar_displays_star() {
+        assert_eq!(Cigar::new().to_string(), "*");
+    }
+
+    #[test]
+    fn append_merges_boundary_runs() {
+        let a: Cigar = [CigarOp::Match, CigarOp::Match].into_iter().collect();
+        let b: Cigar = [CigarOp::Match, CigarOp::Ins].into_iter().collect();
+        let mut joined = a;
+        joined.append(&b);
+        assert_eq!(joined.to_string(), "3=1I");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for text in ["2=3D", "1X", "10=2I5=1D3=", "*"] {
+            let cigar: Cigar = text.parse().unwrap();
+            assert_eq!(cigar.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["=", "2", "2M", "0=", "2=x", "2==", "-1="] {
+            assert!(bad.parse::<Cigar>().is_err(), "{bad} should fail");
+        }
+        let err = "2=Z".parse::<Cigar>().unwrap_err();
+        assert_eq!(err.offset, 2);
+    }
+
+    #[test]
+    fn replay_validates_alignment() {
+        use segram_graph::Base::*;
+        // ref ACG, read ATCG: 1= 1I 1= 1... read A T C G; ref A C G
+        let cigar: Cigar = [CigarOp::Match, CigarOp::Ins, CigarOp::Match, CigarOp::Match]
+            .into_iter()
+            .collect();
+        let replayed = cigar.replay(&[A, C, G], &[A, T, C, G]).unwrap();
+        assert_eq!(replayed, vec![A, T, C, G]);
+        // A claimed match that is actually a mismatch fails.
+        let bad: Cigar = [CigarOp::Match].into_iter().collect();
+        assert!(bad.replay(&[A], &[C]).is_none());
+        // Length mismatch fails.
+        assert!(cigar.replay(&[A, C], &[A, T, C, G]).is_none());
+    }
+}

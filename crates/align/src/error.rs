@@ -1,0 +1,83 @@
+//! Error type for alignment operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `segram-align` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlignError {
+    /// The pattern (query read) was empty.
+    EmptyPattern,
+    /// The reference subgraph/text was empty.
+    EmptyText,
+    /// No alignment exists within the edit-distance threshold `k`.
+    ExceedsThreshold {
+        /// The threshold that was exceeded.
+        k: u32,
+    },
+    /// The requested anchored start position lies outside the text.
+    AnchorOutOfBounds {
+        /// The offending start position.
+        anchor: usize,
+        /// Text length.
+        text_len: usize,
+    },
+    /// Windowed alignment could not complete a window within its per-window
+    /// threshold (the divide-and-conquer heuristic gave up).
+    WindowFailed {
+        /// Index of the pattern character at which the failure occurred.
+        pattern_pos: usize,
+    },
+    /// An invalid configuration value was supplied.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::EmptyPattern => write!(f, "pattern is empty"),
+            AlignError::EmptyText => write!(f, "reference text/subgraph is empty"),
+            AlignError::ExceedsThreshold { k } => {
+                write!(f, "no alignment within edit-distance threshold {k}")
+            }
+            AlignError::AnchorOutOfBounds { anchor, text_len } => {
+                write!(f, "anchor {anchor} out of bounds for text of length {text_len}")
+            }
+            AlignError::WindowFailed { pattern_pos } => write!(
+                f,
+                "windowed alignment failed near pattern position {pattern_pos}"
+            ),
+            AlignError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for err in [
+            AlignError::EmptyPattern,
+            AlignError::ExceedsThreshold { k: 5 },
+            AlignError::WindowFailed { pattern_pos: 10 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<AlignError>();
+    }
+}

@@ -1,0 +1,392 @@
+//! Exact dynamic-programming sequence-to-graph alignment — the reproduction
+//! of the DP-based approach of PaSGAL (Jain et al., IPDPS 2019), which the
+//! paper uses as the software baseline for BitAlign (Figure 17).
+//!
+//! The recurrence matches BitAlign's semantics exactly (pattern-global,
+//! free or anchored text start, free end):
+//!
+//! ```text
+//! E[i][l] = min edits aligning the pattern suffix of length l to a path
+//!           starting at linearized character i
+//! E[sink][l] = l               (running past the subgraph costs insertions)
+//! E[i][0]   = 0
+//! E[i][l]   = min( E[i][l-1] + 1,                              // insertion
+//!                  min_j E[j][l-1] + [pattern[m-l] != text[i]],// match/sub
+//!                  min_j E[j][l]   + 1 )                       // deletion
+//! ```
+//!
+//! where `j` ranges over the successors of `i` (hops included). BitAlign's
+//! invariant — bit `l-1` of `R[i][d]` is 0 iff `E[i][l] <= d` — is validated
+//! by property tests against this module.
+
+use segram_graph::{Base, DnaSeq, LinearizedGraph};
+
+use crate::{AlignError, Alignment, Cigar, CigarOp, StartMode};
+
+/// Computes the exact minimum edit distance (no traceback) in `O(n)` memory
+/// by iterating suffix lengths outermost.
+///
+/// Returns `(distance, start_index)` minimized over the allowed starts.
+///
+/// # Errors
+///
+/// Returns an error for empty inputs or an out-of-bounds anchor.
+pub fn graph_dp_distance(
+    lin: &LinearizedGraph,
+    pattern: &DnaSeq,
+    start: StartMode,
+) -> Result<(u32, usize), AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if lin.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    if let StartMode::Anchored(a) = start {
+        if a >= lin.len() {
+            return Err(AlignError::AnchorOutOfBounds {
+                anchor: a,
+                text_len: lin.len(),
+            });
+        }
+    }
+    let n = lin.len();
+    let m = pattern.len();
+    // prev[l-1], cur[l]; index n is the virtual sink.
+    let mut prev = vec![0u32; n + 1];
+    let mut cur = vec![0u32; n + 1];
+    for l in 1..=m {
+        let head = pattern[m - l];
+        cur[n] = l as u32; // sink: all insertions
+        for i in (0..n).rev() {
+            let mut best = prev[i] + 1; // insertion
+            let succs = lin.successors(i);
+            let text_char = lin.base(i);
+            let sub_cost = u32::from(head != text_char);
+            if succs.is_empty() {
+                best = best.min(prev[n] + sub_cost).min(cur[n] + 1);
+            } else {
+                for &j in succs {
+                    let j = j as usize;
+                    best = best.min(prev[j] + sub_cost).min(cur[j] + 1);
+                }
+            }
+            cur[i] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    // `prev` now holds E[·][m].
+    let best = match start {
+        StartMode::Free => prev[..n]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &d)| (d, i))
+            .map(|(i, &d)| (d, i)),
+        StartMode::Anchored(a) => Some((prev[a], a)),
+    };
+    Ok(best.expect("non-empty text"))
+}
+
+/// Exact DP alignment with full traceback. Memory is `O(n * m)`; intended
+/// for verification and for the PaSGAL-baseline benchmarks at realistic
+/// window sizes.
+///
+/// The traceback prefers `Match`, then `Subst`, then `Del`, then `Ins` —
+/// the same priority BitAlign's traceback uses, so on unique-optimum inputs
+/// the two produce identical CIGARs.
+///
+/// # Errors
+///
+/// Returns an error for empty inputs or an out-of-bounds anchor.
+pub fn graph_dp_align(
+    lin: &LinearizedGraph,
+    pattern: &DnaSeq,
+    start: StartMode,
+) -> Result<Alignment, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if lin.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    if let StartMode::Anchored(a) = start {
+        if a >= lin.len() {
+            return Err(AlignError::AnchorOutOfBounds {
+                anchor: a,
+                text_len: lin.len(),
+            });
+        }
+    }
+    let n = lin.len();
+    let m = pattern.len();
+    let width = n + 1; // index n = virtual sink
+    // e[l * width + i]
+    let mut e = vec![0u32; (m + 1) * width];
+    for l in 1..=m {
+        let head = pattern[m - l];
+        let (prev_rows, cur_row) = e.split_at_mut(l * width);
+        let prev = &prev_rows[(l - 1) * width..];
+        let cur = &mut cur_row[..width];
+        cur[n] = l as u32;
+        for i in (0..n).rev() {
+            let mut best = prev[i] + 1;
+            let text_char = lin.base(i);
+            let sub_cost = u32::from(head != text_char);
+            let succs = lin.successors(i);
+            if succs.is_empty() {
+                best = best.min(prev[n] + sub_cost).min(cur[n] + 1);
+            } else {
+                for &j in succs {
+                    let j = j as usize;
+                    best = best.min(prev[j] + sub_cost).min(cur[j] + 1);
+                }
+            }
+            cur[i] = best;
+        }
+    }
+    let at = |l: usize, i: usize| e[l * width + i];
+    let (dist, start_idx) = match start {
+        StartMode::Free => (0..n)
+            .map(|i| (at(m, i), i))
+            .min()
+            .expect("non-empty text"),
+        StartMode::Anchored(a) => (at(m, a), a),
+    };
+
+    // Traceback.
+    let mut cigar = Cigar::new();
+    let mut path = Vec::new();
+    let mut i = start_idx;
+    let mut l = m;
+    let mut at_sink = false;
+    while l > 0 {
+        if at_sink {
+            cigar.push_run(CigarOp::Ins, l as u32);
+            break;
+        }
+        let head = pattern[m - l];
+        let text_char = lin.base(i);
+        let sub_cost = u32::from(head != text_char);
+        let cur_val = at(l, i);
+        let succs: Vec<usize> = {
+            let s = lin.successors(i);
+            if s.is_empty() {
+                vec![n]
+            } else {
+                s.iter().map(|&j| j as usize).collect()
+            }
+        };
+        // Match first.
+        if sub_cost == 0 {
+            if let Some(&j) = succs.iter().find(|&&j| at(l - 1, j) == cur_val) {
+                cigar.push(CigarOp::Match);
+                path.push(i as u32);
+                at_sink = j == n;
+                i = j;
+                l -= 1;
+                continue;
+            }
+        }
+        // Substitution.
+        if cur_val >= 1 {
+            if let Some(&j) = succs.iter().find(|&&j| at(l - 1, j) + 1 == cur_val) {
+                cigar.push(CigarOp::Subst);
+                path.push(i as u32);
+                at_sink = j == n;
+                i = j;
+                l -= 1;
+                continue;
+            }
+            // Deletion.
+            if let Some(&j) = succs.iter().find(|&&j| at(l, j) + 1 == cur_val) {
+                cigar.push(CigarOp::Del);
+                path.push(i as u32);
+                at_sink = j == n;
+                i = j;
+                continue;
+            }
+            // Insertion.
+            debug_assert_eq!(at(l - 1, i) + 1, cur_val);
+            cigar.push(CigarOp::Ins);
+            l -= 1;
+            continue;
+        }
+        unreachable!("DP traceback stuck at (i={i}, l={l})");
+    }
+    let text_end = path.last().map_or(start_idx, |&p| p as usize + 1);
+    Ok(Alignment {
+        edit_distance: dist,
+        cigar,
+        text_start: path.first().map_or(start_idx, |&p| p as usize),
+        text_end,
+        path,
+    })
+}
+
+/// The cell count of the DP table (`n * m`), the quantity that drives the
+/// PaSGAL baseline's runtime and the paper's Observation 2 (large
+/// intermediate data).
+pub fn dp_cell_count(text_len: usize, pattern_len: usize) -> u64 {
+    text_len as u64 * pattern_len as u64
+}
+
+/// Semi-global sequence-to-sequence DP (both plain strings), used as an
+/// independent cross-check for the graph DP on linear inputs and as the
+/// classical Needleman-Wunsch-style baseline.
+///
+/// Returns the minimum edit distance of aligning the full `pattern` to any
+/// substring-with-free-ends of `text`.
+///
+/// # Errors
+///
+/// Returns an error for empty inputs.
+pub fn semiglobal_distance(text: &[Base], pattern: &[Base]) -> Result<u32, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    let m = pattern.len();
+    // Column-major over text (classical orientation): D[q][t] with free
+    // start along the text axis.
+    let mut prev: Vec<u32> = (0..=m as u32).collect(); // column for empty text
+    let mut cur = vec![0u32; m + 1];
+    let mut best = prev[m];
+    for &tc in text {
+        cur[0] = 0; // free start
+        for (q, &pc) in pattern.iter().enumerate() {
+            let sub = prev[q] + u32::from(pc != tc);
+            let del = prev[q + 1] + 1;
+            let ins = cur[q] + 1;
+            cur[q + 1] = sub.min(del).min(ins);
+        }
+        best = best.min(cur[m]);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitalign;
+    use segram_graph::{build_graph, Variant};
+
+    fn linear(text: &str) -> LinearizedGraph {
+        LinearizedGraph::from_linear_seq(&text.parse().unwrap())
+    }
+
+    #[test]
+    fn exact_match_is_zero() {
+        let lin = linear("ACGTACGT");
+        let (d, i) = graph_dp_distance(&lin, &"GTAC".parse().unwrap(), StartMode::Free).unwrap();
+        assert_eq!((d, i), (0, 2));
+    }
+
+    #[test]
+    fn distance_matches_semiglobal_on_linear_text() {
+        let cases = [
+            ("ACGTACGT", "ACGT"),
+            ("ACGTACGT", "AGGT"),
+            ("AAAA", "TTTT"),
+            ("ACACACAC", "ACGACAC"),
+            ("TTTTTTTT", "TT"),
+            ("AC", "ACGTACGT"),
+        ];
+        for (text, pattern) in cases {
+            let lin = linear(text);
+            let p: DnaSeq = pattern.parse().unwrap();
+            let (d, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
+            let t: DnaSeq = text.parse().unwrap();
+            let s = semiglobal_distance(t.as_slice(), p.as_slice()).unwrap();
+            assert_eq!(d, s, "text {text} pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn align_and_distance_agree() {
+        let built = build_graph(
+            &"ACGTACGTACGT".parse().unwrap(),
+            [
+                Variant::snp(2, segram_graph::Base::T),
+                Variant::deletion(6, 3),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        for read in ["ACTTACGT", "ACGTACGCG", "TTTTTT"] {
+            let p: DnaSeq = read.parse().unwrap();
+            let (d, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
+            let a = graph_dp_align(&lin, &p, StartMode::Free).unwrap();
+            assert_eq!(a.edit_distance, d, "read {read}");
+            assert_eq!(a.cigar.edit_count(), d, "read {read}");
+        }
+    }
+
+    #[test]
+    fn traceback_cigar_is_replayable() {
+        let built = build_graph(
+            &"ACGTACGTACGT".parse().unwrap(),
+            [Variant::snp(5, segram_graph::Base::A)].into_iter().collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let read: DnaSeq = "GTAAGTA".parse().unwrap();
+        let a = graph_dp_align(&lin, &read, StartMode::Free).unwrap();
+        let fragment = a.ref_fragment(&lin);
+        assert!(a.cigar.replay(&fragment, read.as_slice()).is_some());
+    }
+
+    #[test]
+    fn dp_matches_bitalign_on_graphs() {
+        let built = build_graph(
+            &"ACGTACGTACGTACGT".parse().unwrap(),
+            [
+                Variant::snp(3, segram_graph::Base::C),
+                Variant::insertion(8, "GG".parse().unwrap()),
+                Variant::deletion(11, 2),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        for read in ["ACGCACGT", "ACGTACGTGGACG", "ACGTACGTACCT", "GGGGGG"] {
+            let p: DnaSeq = read.parse().unwrap();
+            let (dp, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
+            let ba = bitalign(&lin, &p, p.len() as u32).unwrap();
+            assert_eq!(ba.edit_distance, dp, "read {read}");
+        }
+    }
+
+    #[test]
+    fn anchored_mode_pins_the_start() {
+        let lin = linear("ACGTACGT");
+        let p: DnaSeq = "ACGT".parse().unwrap();
+        let (d_free, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
+        assert_eq!(d_free, 0);
+        let (d_anchored, i) =
+            graph_dp_distance(&lin, &p, StartMode::Anchored(1)).unwrap();
+        assert_eq!(i, 1);
+        assert!(d_anchored >= 1);
+    }
+
+    #[test]
+    fn pattern_longer_than_text_costs_insertions() {
+        let lin = linear("AC");
+        let (d, _) =
+            graph_dp_distance(&lin, &"ACGT".parse().unwrap(), StartMode::Free).unwrap();
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn cell_count_formula() {
+        assert_eq!(dp_cell_count(100, 50), 5000);
+    }
+}

@@ -1,0 +1,66 @@
+//! # segram-align
+//!
+//! Alignment algorithms for the SeGraM reproduction (ISCA 2022):
+//!
+//! * **BitAlign** ([`BitAligner`], [`bitalign`]) — the paper's novel
+//!   bitvector-based sequence-to-graph alignment algorithm (Section 7,
+//!   Algorithm 1), including the memory-saving traceback that regenerates
+//!   intermediate bitvectors from the stored `R[d]` vectors;
+//! * **windowed BitAlign** ([`windowed_bitalign`]) — the divide-and-conquer
+//!   mode that processes long reads in `W = 128`-bit windows, exactly like
+//!   the 64-PE systolic accelerator;
+//! * **GenASM** ([`genasm_align`]) — the sequence-to-sequence ancestor
+//!   (`W = 64`), used by the paper's §11.3 comparison;
+//! * **exact graph DP** ([`graph_dp_align`], [`graph_dp_distance`]) — the
+//!   PaSGAL-style baseline and the ground truth for property tests;
+//! * **Myers' bitvector algorithm** ([`myers_distance`]) and a classical
+//!   semi-global DP ([`semiglobal_distance`]) for sequence-to-sequence
+//!   cross-checks.
+//!
+//! All aligners share *semi-global* semantics: the query read is consumed
+//! in full, the text (graph path) start is free or anchored, and the end is
+//! free.
+//!
+//! ## Example
+//!
+//! ```
+//! use segram_align::{bitalign, graph_dp_distance, StartMode};
+//! use segram_graph::{build_graph, Base, LinearizedGraph, Variant};
+//!
+//! let built = build_graph(
+//!     &"ACGTACGT".parse()?,
+//!     [Variant::snp(3, Base::G)].into_iter().collect(),
+//! )?;
+//! let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars())?;
+//! let read = "ACGGACGT".parse()?; // the ALT allele
+//! let a = bitalign(&lin, &read, 2)?;
+//! let (dp, _) = graph_dp_distance(&lin, &read, StartMode::Free)?;
+//! assert_eq!(a.edit_distance, dp);
+//! assert_eq!(a.edit_distance, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitalign;
+mod bitvector;
+mod cigar;
+mod error;
+mod genasm;
+mod graph_dp;
+mod myers;
+mod pattern;
+mod windowed;
+
+pub use bitalign::{bitalign, Alignment, BitAlignConfig, BitAligner, EditPreference, StartMode};
+pub use bitvector::Bitvector;
+pub use cigar::{Cigar, CigarOp, ParseCigarError};
+pub use error::AlignError;
+pub use genasm::{genasm_align, genasm_distance};
+pub use graph_dp::{
+    dp_cell_count, graph_dp_align, graph_dp_distance, semiglobal_distance,
+};
+pub use myers::myers_distance;
+pub use pattern::PatternBitmasks;
+pub use windowed::{windowed_bitalign, WindowConfig};

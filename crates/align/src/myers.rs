@@ -1,0 +1,158 @@
+//! Myers' bit-parallel edit-distance algorithm (Myers, JACM 1999) with
+//! Hyyrö-style block extension for patterns longer than 64 bases.
+//!
+//! One of the two classical bitvector ASM algorithms the paper cites as the
+//! low-complexity alternative to DP ("bitvector-based algorithms, such as
+//! Bitap and the Myers' algorithm", Section 2.1). Used here as an
+//! independent sequence-to-sequence cross-check for BitAlign and as a
+//! software baseline in the benchmarks.
+//!
+//! Semantics match the rest of the crate: pattern-global, text free at both
+//! ends (semi-global).
+
+use segram_graph::{Base, ALPHABET_SIZE};
+
+use crate::AlignError;
+
+/// Computes the semi-global edit distance between `pattern` and `text`.
+///
+/// # Errors
+///
+/// Returns an error when either input is empty.
+///
+/// # Examples
+///
+/// ```
+/// use segram_align::myers_distance;
+/// use segram_graph::DnaSeq;
+///
+/// let text: DnaSeq = "ACGTACGTACGT".parse()?;
+/// let read: DnaSeq = "GTACG".parse()?;
+/// assert_eq!(myers_distance(text.as_slice(), read.as_slice())?, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn myers_distance(text: &[Base], pattern: &[Base]) -> Result<u32, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    let m = pattern.len();
+    let blocks = m.div_ceil(64);
+    // Active-high equality masks: bit j of eq[c][b] <=> pattern[b*64+j] == c.
+    let mut eq = vec![[0u64; ALPHABET_SIZE]; blocks];
+    for (idx, &p) in pattern.iter().enumerate() {
+        eq[idx / 64][p.code() as usize] |= 1 << (idx % 64);
+    }
+    let last_bit = (m - 1) % 64;
+
+    let mut pv = vec![u64::MAX; blocks];
+    let mut mv = vec![0u64; blocks];
+    let mut score = m as u32;
+    let mut best = score;
+
+    for &tc in text {
+        // Horizontal delta entering the bottom block: 0 for semi-global
+        // (the first DP row is all zeros, so no cost flows in).
+        let mut ph_in = 0u64; // 1 when the incoming horizontal delta is +1
+        let mut mh_in = 0u64; // 1 when the incoming horizontal delta is -1
+        for b in 0..blocks {
+            let mut eq_b = eq[b][tc.code() as usize];
+            let pv_b = pv[b];
+            let mv_b = mv[b];
+            let xv = eq_b | mv_b;
+            eq_b |= mh_in;
+            let xh = (((eq_b & pv_b).wrapping_add(pv_b)) ^ pv_b) | eq_b;
+            let ph = mv_b | !(xh | pv_b);
+            let mh = pv_b & xh;
+            if b == blocks - 1 {
+                score += ((ph >> last_bit) & 1) as u32;
+                score -= ((mh >> last_bit) & 1) as u32;
+            }
+            let ph_out = (ph >> 63) & 1;
+            let mh_out = (mh >> 63) & 1;
+            let ph_shift = (ph << 1) | ph_in;
+            let mh_shift = (mh << 1) | mh_in;
+            pv[b] = mh_shift | !(xv | ph_shift);
+            mv[b] = ph_shift & xv;
+            ph_in = ph_out;
+            mh_in = mh_out;
+        }
+        best = best.min(score);
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_dp::semiglobal_distance;
+    use segram_graph::DnaSeq;
+
+    fn bases(s: &str) -> Vec<Base> {
+        s.parse::<DnaSeq>().unwrap().into_bases()
+    }
+
+    #[test]
+    fn exact_and_simple_edits() {
+        assert_eq!(myers_distance(&bases("ACGTACGT"), &bases("GTAC")).unwrap(), 0);
+        assert_eq!(myers_distance(&bases("ACGTACGT"), &bases("GGAC")).unwrap(), 1);
+        assert_eq!(myers_distance(&bases("AAAA"), &bases("TTTT")).unwrap(), 4);
+    }
+
+    #[test]
+    fn matches_dp_on_short_patterns() {
+        let texts = ["ACGTACGTACGTACGT", "TTTTGGGGCCCCAAAA", "ACACACACACAC"];
+        let patterns = ["ACG", "GTACG", "TTTT", "CAGT", "ACACACG"];
+        for t in texts {
+            for p in patterns {
+                let expect = semiglobal_distance(&bases(t), &bases(p)).unwrap();
+                let got = myers_distance(&bases(t), &bases(p)).unwrap();
+                assert_eq!(got, expect, "text {t} pattern {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_patterns_cross_word_boundaries() {
+        // Pattern of 100 bases spans two blocks; plant it in a longer text
+        // with one substitution.
+        let unit = "ACGTTGCAGT";
+        let pattern: String = unit.repeat(10); // 100 bases
+        let mut mutated = pattern.clone();
+        mutated.replace_range(50..51, "A"); // the original char at 50 is 'A'? ensure an edit below
+        let text = format!("TTTTT{}TTTTT", &mutated);
+        let expect = semiglobal_distance(&bases(&text), &bases(&pattern)).unwrap();
+        let got = myers_distance(&bases(&text), &bases(&pattern)).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn block_boundary_pattern_lengths() {
+        // Exercise m = 63, 64, 65, 128, 129 against the DP oracle.
+        let text: String = "ACGT".repeat(64);
+        for m in [63usize, 64, 65, 128, 129] {
+            let pattern: String = text.chars().skip(17).take(m).collect();
+            let expect = semiglobal_distance(&bases(&text), &bases(&pattern)).unwrap();
+            let got = myers_distance(&bases(&text), &bases(&pattern)).unwrap();
+            assert_eq!(got, expect, "m = {m}");
+            assert_eq!(got, 0, "substring must match exactly (m = {m})");
+        }
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        // 70 pattern chars vs 4 text chars: at least 66 insertions.
+        let pattern = "A".repeat(70);
+        let expect = semiglobal_distance(&bases("ACGT"), &bases(&pattern)).unwrap();
+        let got = myers_distance(&bases("ACGT"), &bases(&pattern)).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(myers_distance(&[], &bases("A")).is_err());
+        assert!(myers_distance(&bases("A"), &[]).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Pattern bitmasks: the per-character query-read pre-processing of
+//! GenASM/Bitap ("we generate four pattern bitmasks for the query read,
+//! one for each character in the alphabet", Section 7 / Algorithm 1 line 3).
+
+use segram_graph::{Base, DnaSeq, ALPHABET_SIZE};
+
+use crate::Bitvector;
+
+/// The four pattern bitmasks of a query read, in *active-low* encoding:
+/// bit `p` of `mask(c)` is 0 exactly when `pattern[m-1-p] == c`.
+///
+/// Bit `p` corresponds to the pattern *suffix of length `p + 1`*; a status
+/// bitvector `R[d]` whose bit `m-1` is 0 therefore signals a full-pattern
+/// alignment with at most `d` edits.
+///
+/// # Examples
+///
+/// ```
+/// use segram_align::PatternBitmasks;
+/// use segram_graph::Base;
+///
+/// let masks = PatternBitmasks::new(&"ACG".parse()?);
+/// // bit 2 (suffix "ACG", head 'A') is 0 in mask(A)
+/// assert!(!masks.mask(Base::A).bit(2));
+/// assert!(masks.mask(Base::C).bit(2));
+/// // bit 0 (suffix "G") is 0 in mask(G)
+/// assert!(!masks.mask(Base::G).bit(0));
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternBitmasks {
+    masks: [Bitvector; ALPHABET_SIZE],
+    pattern: Vec<Base>,
+}
+
+impl PatternBitmasks {
+    /// Pre-processes `pattern` into its four bitmasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pattern` is empty.
+    pub fn new(pattern: &DnaSeq) -> Self {
+        Self::from_bases(pattern.as_slice())
+    }
+
+    /// Pre-processes a base slice into its four bitmasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pattern` is empty.
+    pub fn from_bases(pattern: &[Base]) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        let m = pattern.len();
+        let mut masks = [
+            Bitvector::all_ones(m),
+            Bitvector::all_ones(m),
+            Bitvector::all_ones(m),
+            Bitvector::all_ones(m),
+        ];
+        for (p, &base) in pattern.iter().rev().enumerate() {
+            // pattern[m-1-p] == base  =>  bit p of mask(base) is 0
+            masks[base.code() as usize].clear_bit(p);
+        }
+        Self {
+            masks,
+            pattern: pattern.to_vec(),
+        }
+    }
+
+    /// The bitmask for text character `c`.
+    pub fn mask(&self, c: Base) -> &Bitvector {
+        &self.masks[c.code() as usize]
+    }
+
+    /// Pattern length `m` (= bitvector width).
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Always `false`: empty patterns are rejected at construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The pattern the masks were built from.
+    pub fn pattern(&self) -> &[Base] {
+        &self.pattern
+    }
+
+    /// The pattern character at suffix bit `p` (i.e. `pattern[m-1-p]`).
+    pub fn char_at_bit(&self, p: usize) -> Base {
+        self.pattern[self.pattern.len() - 1 - p]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_bit_is_zero_in_exactly_one_mask() {
+        let pattern: DnaSeq = "ACGTTGCA".parse().unwrap();
+        let masks = PatternBitmasks::new(&pattern);
+        for p in 0..pattern.len() {
+            let zero_count = segram_graph::BASES
+                .iter()
+                .filter(|&&b| !masks.mask(b).bit(p))
+                .count();
+            assert_eq!(zero_count, 1);
+            assert!(!masks.mask(masks.char_at_bit(p)).bit(p));
+        }
+    }
+
+    #[test]
+    fn bit_orientation_is_suffix_based() {
+        let masks = PatternBitmasks::new(&"AAAT".parse().unwrap());
+        // suffix "T" (bit 0) -> mask(T) bit0 == 0
+        assert!(!masks.mask(Base::T).bit(0));
+        // suffix "AAAT" (bit 3) head 'A' -> mask(A) bit3 == 0
+        assert!(!masks.mask(Base::A).bit(3));
+        assert!(masks.mask(Base::T).bit(3));
+    }
+
+    #[test]
+    fn homopolymer_mask_is_all_zero() {
+        let masks = PatternBitmasks::new(&"GGGG".parse().unwrap());
+        for p in 0..4 {
+            assert!(!masks.mask(Base::G).bit(p));
+            assert!(masks.mask(Base::A).bit(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        PatternBitmasks::from_bases(&[]);
+    }
+}

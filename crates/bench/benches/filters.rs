@@ -1,0 +1,75 @@
+//! Criterion bench: pre-alignment filter cost vs the BitAlign work they
+//! save. A filter only pays off when checking a candidate costs much less
+//! than aligning it — this bench quantifies that ratio for each filter on
+//! true-positive and decoy candidates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use segram_align::{bitalign, windowed_bitalign, StartMode, WindowConfig};
+use segram_filter::{EditLowerBound, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter, BaseCountFilter};
+use segram_graph::{Base, DnaSeq, LinearizedGraph, BASES};
+
+fn random_seq(rng: &mut ChaCha8Rng, len: usize) -> Vec<Base> {
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// A read copied from `text` with `errors` substitutions sprinkled in.
+fn planted_read(rng: &mut ChaCha8Rng, text: &[Base], len: usize, errors: usize) -> Vec<Base> {
+    let start = rng.gen_range(0..text.len() - len);
+    let mut read = text[start..start + len].to_vec();
+    for _ in 0..errors {
+        let i = rng.gen_range(0..read.len());
+        read[i] = BASES[rng.gen_range(0..4)];
+    }
+    read
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    for (read_len, k) in [(150usize, 12u32), (1_000, 80)] {
+        let text = random_seq(&mut rng, read_len + read_len / 5);
+        let positive = planted_read(&mut rng, &text, read_len, (read_len / 100).max(1));
+        let decoy = random_seq(&mut rng, read_len);
+
+        let mut group = c.benchmark_group(format!("filters/{read_len}bp"));
+        for (name, filter) in [
+            ("base-count", &BaseCountFilter as &dyn EditLowerBound),
+            ("q-gram5", &QGramFilter::new(5)),
+            ("shifted-hamming", &ShiftedHammingFilter),
+            ("sneaky-snake", &SneakySnakeFilter),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, "positive"),
+                &positive,
+                |b, read| b.iter(|| filter.lower_bound(std::hint::black_box(read), &text, k)),
+            );
+            group.bench_with_input(BenchmarkId::new(name, "decoy"), &decoy, |b, read| {
+                b.iter(|| filter.lower_bound(std::hint::black_box(read), &text, k))
+            });
+        }
+
+        // The alignment work a rejection saves.
+        let lin = LinearizedGraph::from_linear_seq(&text.iter().copied().collect::<DnaSeq>());
+        let read_dna: DnaSeq = positive.iter().copied().collect();
+        group.bench_function("bitalign-baseline", |b| {
+            b.iter(|| {
+                if read_len <= 128 {
+                    let _ = bitalign(&lin, std::hint::black_box(&read_dna), k);
+                } else {
+                    let _ = windowed_bitalign(
+                        &lin,
+                        std::hint::black_box(&read_dna),
+                        WindowConfig::bitalign(),
+                        StartMode::Free,
+                    );
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

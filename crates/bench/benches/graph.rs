@@ -1,0 +1,36 @@
+//! Criterion benchmarks of the graph substrate: construction (the paper's
+//! pre-processing step 0.1), topological sorting, linearization, and the
+//! hardware table layout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segram_graph::{build_graph, GraphTables, LinearizedGraph};
+use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
+
+fn bench_graph_substrate(c: &mut Criterion) {
+    let reference = generate_reference(&GenomeConfig::human_like(100_000, 21));
+    let variants = simulate_variants(&reference, &VariantConfig::human_like(22));
+
+    let mut group = c.benchmark_group("graph_substrate");
+    group.sample_size(10);
+    group.bench_function("build_graph_100kbp", |b| {
+        b.iter(|| build_graph(&reference, variants.clone()))
+    });
+
+    let built = build_graph(&reference, variants.clone()).expect("synthetic inputs");
+    group.bench_function("topological_sort", |b| {
+        b.iter(|| built.graph.topological_sort())
+    });
+    group.bench_function("linearize_full_graph", |b| {
+        b.iter(|| LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()))
+    });
+    group.bench_function("graph_tables_layout", |b| {
+        b.iter(|| GraphTables::from_graph(&built.graph))
+    });
+    group.bench_function("extract_1kbp_region", |b| {
+        b.iter(|| LinearizedGraph::extract(&built.graph, 50_000, 51_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_substrate);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion bench: file-format parser throughput. Parsing is the first
+//! stage of every real run (`segram construct` / `segram map`), so the
+//! parsers must not become the pipeline's accidental bottleneck; this
+//! bench tracks bytes-per-second for each format at realistic record
+//! shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use segram_io::{read_fasta, read_fastq, read_gaf, read_vcf, Ambiguity, VcfOptions};
+
+fn random_bases(rng: &mut ChaCha8Rng, len: usize) -> String {
+    (0..len).map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)]).collect()
+}
+
+fn fasta_doc(rng: &mut ChaCha8Rng) -> String {
+    let mut doc = String::new();
+    for i in 0..8 {
+        doc.push_str(&format!(">contig{i} synthetic\n"));
+        let seq = random_bases(rng, 20_000);
+        for chunk in seq.as_bytes().chunks(70) {
+            doc.push_str(std::str::from_utf8(chunk).unwrap());
+            doc.push('\n');
+        }
+    }
+    doc
+}
+
+fn fastq_doc(rng: &mut ChaCha8Rng) -> String {
+    let mut doc = String::new();
+    for i in 0..800 {
+        let seq = random_bases(rng, 150);
+        doc.push_str(&format!("@read{i}\n{seq}\n+\n{}\n", "I".repeat(150)));
+    }
+    doc
+}
+
+fn vcf_doc(rng: &mut ChaCha8Rng) -> String {
+    let mut doc =
+        String::from("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n");
+    let mut pos = 1u64;
+    for _ in 0..2_000 {
+        pos += rng.gen_range(10..200);
+        let r = ['A', 'C', 'G', 'T'][rng.gen_range(0..4)];
+        let a = ['A', 'C', 'G', 'T'][rng.gen_range(0..4)];
+        doc.push_str(&format!("chr1\t{pos}\t.\t{r}\t{a}\t50\tPASS\tAC=2\n"));
+    }
+    doc
+}
+
+fn gaf_doc(rng: &mut ChaCha8Rng) -> String {
+    let mut doc = String::new();
+    for i in 0..1_000 {
+        let nodes: String = (0..rng.gen_range(1..6))
+            .map(|_| format!(">{}", rng.gen_range(0..100_000)))
+            .collect();
+        doc.push_str(&format!(
+            "read{i}\t150\t0\t150\t+\t{nodes}\t400\t10\t160\t148\t150\t60\tNM:i:2\tcg:Z:148=2X\n"
+        ));
+    }
+    doc
+}
+
+fn bench_io(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let fasta = fasta_doc(&mut rng);
+    let fastq = fastq_doc(&mut rng);
+    let vcf = vcf_doc(&mut rng);
+    let gaf = gaf_doc(&mut rng);
+
+    let mut group = c.benchmark_group("io_formats");
+    group.throughput(Throughput::Bytes(fasta.len() as u64));
+    group.bench_function("fasta_parse", |b| {
+        b.iter(|| read_fasta(std::hint::black_box(&fasta), Ambiguity::Reject).unwrap())
+    });
+    group.throughput(Throughput::Bytes(fastq.len() as u64));
+    group.bench_function("fastq_parse", |b| {
+        b.iter(|| read_fastq(std::hint::black_box(&fastq), Ambiguity::Reject).unwrap())
+    });
+    group.throughput(Throughput::Bytes(vcf.len() as u64));
+    group.bench_function("vcf_parse", |b| {
+        b.iter(|| read_vcf(std::hint::black_box(&vcf), VcfOptions::default()).unwrap())
+    });
+    group.throughput(Throughput::Bytes(gaf.len() as u64));
+    group.bench_function("gaf_parse", |b| {
+        b.iter(|| read_gaf(std::hint::black_box(&gaf)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of the seeding path: minimizer extraction
+//! (the O(m) single-loop algorithm), index construction, and full MinSeed
+//! seeding per read.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segram_index::{
+    extract_minimizers, frequency_threshold, GraphIndex, MinSeed, MinSeedConfig,
+    MinimizerScheme,
+};
+use segram_sim::{
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
+    ReadConfig, VariantConfig,
+};
+
+fn bench_minimizer_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minimizer_extraction");
+    group.sample_size(30);
+    let reference = generate_reference(&GenomeConfig::human_like(50_000, 3));
+    let read_10k = reference.slice(0, 10_000);
+    let read_150 = reference.slice(0, 150);
+    let scheme = MinimizerScheme::new(10, 15);
+    group.bench_function("10kbp_read", |b| {
+        b.iter(|| extract_minimizers(&read_10k, &scheme))
+    });
+    group.bench_function("150bp_read", |b| {
+        b.iter(|| extract_minimizers(&read_150, &scheme))
+    });
+    group.finish();
+}
+
+fn bench_index_and_seeding(c: &mut Criterion) {
+    let reference = generate_reference(&GenomeConfig::human_like(100_000, 11));
+    let variants = simulate_variants(&reference, &VariantConfig::human_like(12));
+    let built = segram_graph::build_graph(&reference, variants).expect("synthetic inputs");
+    let scheme = MinimizerScheme::new(10, 15);
+
+    let mut group = c.benchmark_group("index");
+    group.sample_size(10);
+    group.bench_function("build_100kbp", |b| {
+        b.iter(|| GraphIndex::build(&built.graph, scheme, 16))
+    });
+    group.finish();
+
+    let index = GraphIndex::build(&built.graph, scheme, 16);
+    let minseed = MinSeed::new(
+        &built.graph,
+        &index,
+        MinSeedConfig {
+            error_rate: 0.05,
+            frequency_threshold: frequency_threshold(&index, 0.0002),
+        },
+    );
+    let reads: Vec<_> = simulate_reads(
+        &built.graph,
+        &ReadConfig {
+            count: 8,
+            len: 150,
+            errors: ErrorProfile::illumina(),
+            seed: 13,
+        },
+    )
+    .into_iter()
+    .map(|r| r.seq)
+    .collect();
+
+    let mut group = c.benchmark_group("seeding");
+    group.sample_size(30);
+    group.bench_function("minseed_150bp_read", |b| {
+        b.iter(|| {
+            for read in &reads {
+                let _ = minseed.seed(read);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimizer_extraction, bench_index_and_seeding);
+criterion_main!(benches);

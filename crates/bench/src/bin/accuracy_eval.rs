@@ -1,0 +1,146 @@
+//! **Reference-bias accuracy study** — the paper's core motivation
+//! (Sections 1-2): reads drawn from a *population* (paths through a
+//! variant graph) map to a genome graph with higher accuracy and fewer
+//! residual edits than to the bare linear reference, and the gap widens
+//! with variant density ("the African genome ... contains 10% more DNA
+//! bases than the current linear human reference genome").
+//!
+//! For each variant density we simulate a graph and graph-sampled reads,
+//! then map the same reads with (a) SeGraM against the graph (S2G) and
+//! (b) SeGraM against the linear reference only (S2S). The S2G side is
+//! scored against coordinate truth (sensitivity); both sides are scored
+//! by *edit inflation* — reported edits relative to the simulator's
+//! injected sequencing errors, where 1.0 means every variant was absorbed
+//! by the reference representation and anything above it is reference
+//! bias showing up as spurious edits.
+
+use segram_bench::{header, write_results, Scale};
+use segram_core::{evaluate, SegramConfig, SegramMapper};
+use segram_sim::{
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
+    ReadConfig, VariantConfig,
+};
+use segram_graph::build_graph;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DensityRow {
+    variants_per_kbp: f64,
+    embedded_variants: usize,
+    s2g_mapped: f64,
+    s2g_sensitivity: f64,
+    /// Reads the S2G mapper placed at the true locus — the paired subset
+    /// the bias measurement below is computed on.
+    paired_reads: usize,
+    /// Mean edits the S2G mapper reports on the paired subset (should
+    /// track the injected sequencing errors).
+    s2g_edits_per_read: f64,
+    /// Mean edits the linear (S2S) mapper reports on the same reads —
+    /// every extra edit is a population variant charged as an error.
+    s2s_edits_per_read: f64,
+    /// The reference-bias gap: S2S minus S2G mean edits.
+    bias_edits_per_read: f64,
+    /// Injected sequencing errors per read (the floor both mappers chase).
+    injected_errors_per_read: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Reference bias: S2G vs S2S mapping accuracy across variant densities");
+
+    let read_len = 150usize;
+    let mut rows = Vec::new();
+    println!(
+        "  {:>9} {:>9} {:>10} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "var/kbp", "variants", "S2G map%", "S2G sens%", "paired", "injected", "S2G edits", "S2S edits", "bias"
+    );
+
+    for &density in &[0.5e-3, 1.0e-3, 1.0 / 450.0, 4.0e-3, 8.0e-3] {
+        let reference =
+            generate_reference(&GenomeConfig::human_like(scale.reference_len, 971));
+        let mut var_config = VariantConfig::human_like(972);
+        var_config.density = density;
+        let variants = simulate_variants(&reference, &var_config);
+        let built = build_graph(&reference, variants).expect("synthetic inputs");
+        let reads = simulate_reads(
+            &built.graph,
+            &ReadConfig {
+                count: scale.read_count,
+                len: read_len,
+                errors: ErrorProfile::illumina(),
+                seed: 973,
+            },
+        );
+
+        let mut config = SegramConfig::short_reads();
+        config.max_regions = 32;
+        let s2g = SegramMapper::new(built.graph.clone(), config);
+        let s2s = SegramMapper::new_linear(&reference, config).expect("non-empty reference");
+
+        let g_eval = evaluate(&s2g, &reads, 200);
+
+        // Paired bias measurement: on the subset of reads the S2G mapper
+        // places at the true locus, compare the edit counts both mappers
+        // report for the *same read*. Mis-mappings (repeats, truncation)
+        // affect both sides equally and are excluded, isolating the
+        // reference-bias signal.
+        let mut paired = 0usize;
+        let mut g_edits = 0u64;
+        let mut l_edits = 0u64;
+        let mut injected = 0u64;
+        for read in &reads {
+            let (g, _) = s2g.map_read(&read.seq);
+            let Some(g) = g else { continue };
+            if g.linear_start.abs_diff(read.true_start_linear) > 200 {
+                continue;
+            }
+            let (l, _) = s2s.map_read(&read.seq);
+            let Some(l) = l else { continue };
+            paired += 1;
+            g_edits += u64::from(g.alignment.edit_distance);
+            l_edits += u64::from(l.alignment.edit_distance);
+            injected += u64::from(read.injected_errors);
+        }
+        let per = |sum: u64| {
+            if paired == 0 {
+                0.0
+            } else {
+                sum as f64 / paired as f64
+            }
+        };
+        let row = DensityRow {
+            variants_per_kbp: density * 1000.0,
+            embedded_variants: built.embedded_variants,
+            s2g_mapped: g_eval.mapped_fraction(),
+            s2g_sensitivity: g_eval.sensitivity(),
+            paired_reads: paired,
+            s2g_edits_per_read: per(g_edits),
+            s2s_edits_per_read: per(l_edits),
+            bias_edits_per_read: per(l_edits) - per(g_edits),
+            injected_errors_per_read: per(injected),
+        };
+        println!(
+            "  {:>9.2} {:>9} {:>9.1}% {:>11.1}% {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            row.variants_per_kbp,
+            row.embedded_variants,
+            row.s2g_mapped * 100.0,
+            row.s2g_sensitivity * 100.0,
+            row.paired_reads,
+            row.injected_errors_per_read,
+            row.s2g_edits_per_read,
+            row.s2s_edits_per_read,
+            row.bias_edits_per_read,
+        );
+        rows.push(row);
+    }
+
+    println!(
+        "\n  Expected shape (paper Sections 1-2): on the paired subset the S2G\n  \
+         edit count matches the injected sequencing errors (the graph absorbs\n  \
+         population variants), while the linear mapper charges every spanned\n  \
+         variant as a spurious edit — a bias column that grows with density.\n  \
+         That growing gap is the reference bias that motivates graph-based\n  \
+         mapping."
+    );
+    write_results("accuracy_eval", &rows);
+}

@@ -1,0 +1,67 @@
+//! **Figure 16**: end-to-end throughput of GraphAligner, vg, and SeGraM
+//! for short reads (Illumina, 100/150/250 bp at 1 % error).
+//!
+//! Paper result: SeGraM outperforms GraphAligner by 106× and vg by 742× on
+//! average; the improvement *shrinks as reads get longer* (more seeds per
+//! read), but stays above 52×. Power: 3.0×/3.2× lower than the baselines.
+
+use segram_bench::experiments::{figure_row, print_rows, PowerComparison};
+use segram_bench::{header, row, write_results, Scale};
+use segram_core::SegramConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig16 {
+    rows: Vec<segram_bench::experiments::FigureRow>,
+    power: PowerComparison,
+    paper_speedup_vs_graphaligner: f64,
+    paper_speedup_vs_vg: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header(&format!(
+        "Figure 16: short-read end-to-end throughput ({} reads per dataset)",
+        scale.read_count
+    ));
+
+    let mut rows = Vec::new();
+    for (seed, len) in [(161u64, 100usize), (162, 150), (163, 250)] {
+        let dataset = scale.dataset_config(seed).illumina(len);
+        rows.push(figure_row(&dataset, SegramConfig::short_reads()));
+    }
+    let power = PowerComparison::short_reads();
+    print_rows(&rows, &power);
+
+    header("Shape checks against the paper");
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.segram_system_reads_per_s / r.software[0].reads_per_s)
+        .collect();
+    row(
+        "speedup vs GA-like by read length",
+        format!(
+            "{:.0}x (100bp) -> {:.0}x (150bp) -> {:.0}x (250bp)",
+            speedups[0], speedups[1], speedups[2]
+        ),
+    );
+    row(
+        "paper shape",
+        "improvement decreases as read length grows (more seeds/read)",
+    );
+    let monotone = speedups[0] >= speedups[2];
+    row(
+        "shape holds?",
+        if monotone { "yes" } else { "no (see EXPERIMENTS.md)" },
+    );
+
+    write_results(
+        "fig16",
+        &Fig16 {
+            rows,
+            power,
+            paper_speedup_vs_graphaligner: 106.0,
+            paper_speedup_vs_vg: 742.0,
+        },
+    );
+}

@@ -1,0 +1,107 @@
+//! **Figure 7**: effect of the first-level bucket count on the memory
+//! footprint of the hash-table-based index (left axis) and the maximum
+//! number of minimizers per bucket (right axis).
+//!
+//! The paper sweeps 2^21..2^28 buckets over the human-genome index and
+//! picks 2^24. We sweep a proportionally scaled range over a synthetic
+//! genome and additionally extrapolate the footprint formulas to the
+//! paper's human-scale minimizer counts.
+
+use segram_bench::{header, write_results, Scale};
+use segram_graph::build_graph;
+use segram_index::{GraphIndex, MinimizerScheme, BUCKET_ENTRY_BYTES, LOCATION_ENTRY_BYTES, MINIMIZER_ENTRY_BYTES};
+use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    bucket_bits: u32,
+    total_bytes: u64,
+    max_minimizers_per_bucket: usize,
+}
+
+#[derive(Serialize)]
+struct Fig7 {
+    reference_len: usize,
+    distinct_minimizers: usize,
+    total_locations: usize,
+    sweep: Vec<SweepPoint>,
+    chosen_bucket_bits: u32,
+    human_scale_extrapolation_gb: Vec<(u32, f64)>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let reference = generate_reference(&GenomeConfig::human_like(scale.reference_len, 7));
+    let variants = simulate_variants(&reference, &VariantConfig::human_like(8));
+    let graph = build_graph(&reference, variants).expect("synthetic inputs").graph;
+    let index = GraphIndex::build(&graph, MinimizerScheme::new(10, 15), 20);
+
+    header(&format!(
+        "Figure 7: index footprint vs bucket count ({} bp reference, {} distinct minimizers)",
+        scale.reference_len,
+        index.distinct_minimizers()
+    ));
+    println!(
+        "  {:>11} {:>14} {:>12} {:>26}",
+        "buckets", "footprint", "KiB", "max minimizers/bucket"
+    );
+    let mut sweep = Vec::new();
+    // Scaled analog of the paper's 2^21..2^28 sweep.
+    for bucket_bits in 8..=20 {
+        let fp = index.footprint_with_buckets(bucket_bits);
+        println!(
+            "  {:>10} {:>13}B {:>12.1} {:>26}",
+            format!("2^{bucket_bits}"),
+            fp.total_bytes(),
+            fp.total_bytes() as f64 / 1024.0,
+            fp.max_minimizers_per_bucket
+        );
+        sweep.push(SweepPoint {
+            bucket_bits,
+            total_bytes: fp.total_bytes(),
+            max_minimizers_per_bucket: fp.max_minimizers_per_bucket,
+        });
+    }
+
+    // The paper's trade-off: pick the knee where bucket load flattens.
+    let chosen = sweep
+        .iter()
+        .find(|p| p.max_minimizers_per_bucket <= 4)
+        .map(|p| p.bucket_bits)
+        .unwrap_or(20);
+    println!("\n  chosen bucket count: 2^{chosen} (paper chooses 2^24 at human scale)");
+
+    // Extrapolation to human scale using the paper's formulas and the
+    // measured minimizer density (distinct minimizers / reference char).
+    header("Human-scale extrapolation (3.1 Gbp, paper formulas)");
+    let density = index.distinct_minimizers() as f64 / graph.total_chars() as f64;
+    let loc_density = index.total_locations() as f64 / graph.total_chars() as f64;
+    let human_chars = 3.1e9;
+    let human_minimizers = human_chars * density;
+    let human_locations = human_chars * loc_density;
+    let mut extrapolation = Vec::new();
+    println!("  {:>11} {:>14}", "buckets", "footprint GB");
+    for bucket_bits in 21..=28u32 {
+        let bytes = (1u64 << bucket_bits) as f64 * BUCKET_ENTRY_BYTES as f64
+            + human_minimizers * MINIMIZER_ENTRY_BYTES as f64
+            + human_locations * LOCATION_ENTRY_BYTES as f64;
+        let gb = bytes / 1e9;
+        println!("  {:>10} {:>14.2}", format!("2^{bucket_bits}"), gb);
+        extrapolation.push((bucket_bits, gb));
+    }
+    println!("\n  paper: 9.8 GB at 2^24 — the curve above is flat until the");
+    println!("  bucket table itself dominates (2^27+), matching Figure 7's shape.");
+
+    write_results(
+        "fig7",
+        &Fig7 {
+            reference_len: scale.reference_len,
+            distinct_minimizers: index.distinct_minimizers(),
+            total_locations: index.total_locations(),
+            sweep,
+            chosen_bucket_bits: chosen,
+            human_scale_extrapolation_gb: extrapolation,
+        },
+    );
+}

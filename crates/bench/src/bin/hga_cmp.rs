@@ -1,0 +1,116 @@
+//! **§11.2 GPU comparison**: SeGraM vs HGA on the BRCA1 graph with the
+//! R1 (128 bp), R2 (1 kbp), R3 (8 kbp) read sets.
+//!
+//! Paper result: SeGraM provides 523× / 85× / 17× higher throughput than
+//! HGA — the speedup *shrinks as reads get longer*, because HGA's
+//! whole-graph processing amortizes better over long reads.
+//!
+//! Reproduction: HGA-like is whole-graph DP (no seeding, score only — HGA
+//! "does not support traceback and reports only the alignment score"),
+//! measured as software; SeGraM is the hardware model driven by measured
+//! seeding workloads.
+
+use segram_bench::experiments::run_software;
+use segram_bench::{header, ratio, write_results};
+use segram_core::{measure_workload, HgaLike, SegramConfig, SegramMapper};
+use segram_hw::SegramSystem;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct HgaRow {
+    read_set: String,
+    read_len: usize,
+    reads_measured: usize,
+    hga_reads_per_s: f64,
+    segram_reads_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct HgaCmp {
+    rows: Vec<HgaRow>,
+    paper_speedups: [f64; 3],
+}
+
+fn main() {
+    header("SeGraM vs HGA (BRCA1-like graph, Section 11.2)");
+    // Scale 2048 gives 136 / 17 / 2 reads: enough to time whole-graph DP.
+    let dataset = segram_sim::brca1_like(2048, 191);
+    let graph = dataset.built.graph.clone();
+    println!(
+        "  graph: {} nodes, {} edges, {} chars",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.total_chars()
+    );
+    let hga = HgaLike::new(graph.clone());
+    let system = SegramSystem::default();
+
+    println!(
+        "\n  {:<6} {:>8} {:>8} {:>14} {:>16} {:>10}",
+        "set", "readlen", "reads", "HGA-like r/s", "SeGraM r/s(32)", "speedup"
+    );
+    let mut rows = Vec::new();
+    let sets: [(&str, &[segram_sim::SimulatedRead]); 3] = [
+        ("R1", &dataset.r1),
+        ("R2", &dataset.r2),
+        ("R3", &dataset.r3),
+    ];
+    for (name, reads) in sets {
+        let cap = reads.len().min(20);
+        let reads = &reads[..cap];
+        let hga_result = run_software(&hga, reads);
+        let config = if reads[0].seq.len() > 500 {
+            SegramConfig::long_reads(0.02)
+        } else {
+            SegramConfig::short_reads()
+        };
+        let mut measure_config = config;
+        measure_config.max_regions = 4;
+        let mapper = SegramMapper::new(graph.clone(), measure_config);
+        let measurement = measure_workload(&mapper, reads, 300);
+        let segram = system.throughput_reads_per_s(&measurement.workload);
+        let row = HgaRow {
+            read_set: name.to_owned(),
+            read_len: reads[0].seq.len(),
+            reads_measured: reads.len(),
+            hga_reads_per_s: hga_result.reads_per_s,
+            segram_reads_per_s: segram,
+            speedup: segram / hga_result.reads_per_s,
+        };
+        println!(
+            "  {:<6} {:>8} {:>8} {:>14.2} {:>16.1} {:>9.0}x",
+            row.read_set,
+            row.read_len,
+            row.reads_measured,
+            row.hga_reads_per_s,
+            row.segram_reads_per_s,
+            row.speedup
+        );
+        rows.push(row);
+    }
+
+    header("Shape checks against the paper");
+    println!(
+        "  paper speedups: 523x (R1) / 85x (R2) / 17x (R3) — decreasing with read length"
+    );
+    let decreasing = rows.windows(2).all(|w| w[0].speedup >= w[1].speedup);
+    println!(
+        "  measured speedups decrease with read length: {}",
+        if decreasing { "yes" } else { "no (see EXPERIMENTS.md)" }
+    );
+    println!(
+        "  measured: {} / {} / {}",
+        ratio(rows[0].speedup, 1.0),
+        ratio(rows[1].speedup, 1.0),
+        ratio(rows[2].speedup, 1.0)
+    );
+
+    write_results(
+        "hga_cmp",
+        &HgaCmp {
+            rows,
+            paper_speedups: [523.0, 85.0, 17.0],
+        },
+    );
+}

@@ -1,0 +1,293 @@
+//! **Observations 2 & 3 (memory system)** — replays the memory access
+//! patterns of the alignment and seeding steps against modeled Xeon-like
+//! caches, reproducing the *mechanism* behind the paper's Section 3
+//! profiling: alignment's dynamic-programming working set thrashes the
+//! cache hierarchy (Observation 2: GraphAligner shows a 41 % cache miss
+//! rate) while BitAlign's systolic bitvector traffic stays cache-resident;
+//! and seeding's hash-table lookups are scattered random accesses that
+//! miss every cache level and pay DRAM latency (Observation 3).
+//!
+//! Traces are generated from the actual data-structure layouts (Figures 5
+//! and 6 byte formulas) at the experiment scale.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use segram_bench::{header, write_results, Scale};
+use segram_core::{SegramConfig, SegramMapper};
+use segram_hw::{CacheConfig, CacheSim, CacheStats};
+use segram_index::extract_minimizers;
+use serde::Serialize;
+
+/// A three-level inclusive cache hierarchy: L1 misses go to L2, L2 misses
+/// to L3, L3 misses to DRAM.
+struct Hierarchy {
+    l1: CacheSim,
+    l2: CacheSim,
+    l3: CacheSim,
+    dram_accesses: u64,
+}
+
+impl Hierarchy {
+    fn xeon_like() -> Self {
+        Self {
+            l1: CacheSim::new(CacheConfig::l1d()),
+            l2: CacheSim::new(CacheConfig::l2()),
+            l3: CacheSim::new(CacheConfig::l3_slice()),
+            dram_accesses: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64) {
+        if self.l1.access(addr) {
+            return;
+        }
+        if self.l2.access(addr) {
+            return;
+        }
+        if !self.l3.access(addr) {
+            self.dram_accesses += 1;
+        }
+    }
+
+    fn run(&mut self, trace: impl IntoIterator<Item = u64>) {
+        for addr in trace {
+            self.access(addr);
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct TraceRow {
+    trace: String,
+    accesses: u64,
+    l1_miss_pct: f64,
+    l2_miss_pct: f64,
+    l3_miss_pct: f64,
+    overall_miss_pct: f64,
+    dram_accesses_per_unit: f64,
+}
+
+fn summarize(name: &str, h: &Hierarchy, units: f64) -> TraceRow {
+    let (l1, l2, l3): (CacheStats, CacheStats, CacheStats) =
+        (h.l1.stats(), h.l2.stats(), h.l3.stats());
+    TraceRow {
+        trace: name.to_owned(),
+        accesses: l1.accesses,
+        l1_miss_pct: l1.miss_rate() * 100.0,
+        l2_miss_pct: l2.miss_rate() * 100.0,
+        l3_miss_pct: l3.miss_rate() * 100.0,
+        // The metric Linux perf's `cache-misses` approximates: accesses
+        // that leave the cache hierarchy entirely.
+        overall_miss_pct: if l1.accesses == 0 {
+            0.0
+        } else {
+            h.dram_accesses as f64 / l1.accesses as f64 * 100.0
+        },
+        dram_accesses_per_unit: h.dram_accesses as f64 / units.max(1.0),
+    }
+}
+
+/// Full DP-table alignment (GraphAligner/PaSGAL-class): every cell of an
+/// `m x n` table is written after reading its three neighbors; hops add
+/// reads of non-adjacent columns. 4-byte cells, row-major.
+fn dp_full_trace(m: usize, n: usize, hops: &[(usize, usize)]) -> impl Iterator<Item = u64> + '_ {
+    let row = n as u64 * 4;
+    (1..m as u64).flat_map(move |i| {
+        (1..n as u64).flat_map(move |j| {
+            let cell = |r: u64, c: u64| r * row + c * 4;
+            let mut reads = vec![
+                cell(i - 1, j - 1),
+                cell(i - 1, j),
+                cell(i, j - 1),
+                cell(i, j),
+            ];
+            // A hop (from, to) makes column `to` also depend on `from`.
+            for &(from, to) in hops {
+                if to as u64 == j {
+                    reads.push(cell(i - 1, from as u64));
+                }
+            }
+            reads
+        })
+    })
+}
+
+/// vg-like chunked DP: the read is processed in overlapping chunks so the
+/// live table is only `chunk x n`, reused (re-based) per chunk.
+fn dp_chunked_trace(m: usize, n: usize, chunk: usize) -> Vec<u64> {
+    let mut trace = Vec::new();
+    let row = n as u64 * 4;
+    let mut processed = 0usize;
+    while processed < m {
+        let rows = chunk.min(m - processed);
+        for i in 1..rows as u64 {
+            for j in 1..n as u64 {
+                let cell = |r: u64, c: u64| r * row + c * 4;
+                trace.extend_from_slice(&[
+                    cell(i - 1, j - 1),
+                    cell(i - 1, j),
+                    cell(i, j - 1),
+                    cell(i, j),
+                ]);
+            }
+        }
+        processed += rows;
+    }
+    trace
+}
+
+/// BitAlign's traffic, windowed exactly like the algorithm runs (Section
+/// 7's divide-and-conquer): per `window`-character window, `k_win + 1`
+/// R\[d\] bitvector writes per text position (16 B each), hop-queue reads
+/// limited to the last `hop_limit` positions, then the window's traceback
+/// re-reads its own stored vectors. The live storage is one window's
+/// bitvectors (the 128 kB bitvector-scratchpad working set of Section
+/// 8.2), re-based (reused) for every window.
+fn bitalign_trace(n: usize, window: usize, k_win: usize, hop_limit: usize) -> Vec<u64> {
+    let vec_bytes = 16u64;
+    let stride = (k_win as u64 + 1) * vec_bytes;
+    let addr = |i: u64, d: u64| i * stride + d * vec_bytes;
+    let mut trace = Vec::new();
+    let mut done = 0usize;
+    while done < n {
+        let w = window.min(n - done);
+        for i in 0..w as u64 {
+            for d in 0..=k_win as u64 {
+                if i > 0 {
+                    // Hop-queue reads: previous positions within the limit.
+                    let from = i.saturating_sub(hop_limit as u64);
+                    trace.push(addr(from, d));
+                    if d > 0 {
+                        trace.push(addr(i - 1, d - 1));
+                    }
+                }
+                trace.push(addr(i, d));
+            }
+        }
+        // The window's traceback: reverse read of its stored vectors.
+        for i in (0..w as u64).rev() {
+            for d in 0..=k_win as u64 {
+                trace.push(addr(i, d));
+            }
+        }
+        done += w;
+    }
+    trace
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Observations 2 & 3: memory-system behavior of alignment and seeding");
+
+    // ---- Observation 2: alignment traces --------------------------------
+    let read_len = scale.long_read_len.min(2_000);
+    let region_len = read_len + read_len / 10;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let hops: Vec<(usize, usize)> = (0..region_len / 500)
+        .map(|_| {
+            let to = rng.gen_range(13..region_len);
+            (to - rng.gen_range(2..12), to)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+
+    let mut h = Hierarchy::xeon_like();
+    h.run(dp_full_trace(read_len, region_len, &hops));
+    rows.push(summarize("full DP table (GraphAligner-like)", &h, 1.0));
+
+    let mut h = Hierarchy::xeon_like();
+    h.run(dp_chunked_trace(read_len, region_len, 256));
+    rows.push(summarize("chunked DP (vg-like)", &h, 1.0));
+
+    let mut h = Hierarchy::xeon_like();
+    // W = 128 bits per PE, window-local threshold, hop limit 12 (§8.2).
+    h.run(bitalign_trace(region_len, 128, 16, 12));
+    rows.push(summarize("BitAlign bitvectors (windowed)", &h, 1.0));
+
+    println!("\n  Observation 2 — alignment working sets vs the cache hierarchy");
+    println!(
+        "  {:<36} {:>11} {:>9} {:>9} {:>10} {:>9}",
+        "trace", "accesses", "L1 miss", "L2 miss", "LLC miss", "to DRAM"
+    );
+    for row in &rows {
+        println!(
+            "  {:<36} {:>11} {:>8.1}% {:>8.1}% {:>9.1}% {:>8.1}%",
+            row.trace, row.accesses, row.l1_miss_pct, row.l2_miss_pct, row.l3_miss_pct,
+            row.overall_miss_pct
+        );
+    }
+    println!(
+        "  paper (perf `cache-misses`, an LLC-level ratio): GraphAligner 41% at\n  \
+         t=40, mitigated by vg's read chunking. Here the {} x {} x 4 B = {:.1} MB\n  \
+         full DP table blows through the LLC while the chunked DP mostly fits,\n  \
+         and BitAlign's window-local bitvectors (the 128 kB scratchpad working\n  \
+         set of Section 8.2) barely leave L1/L2.",
+        read_len,
+        region_len,
+        (read_len * region_len * 4) as f64 / 1e6
+    );
+
+    // ---- Observation 3: seeding traces ----------------------------------
+    let dataset = scale.dataset_config(441).illumina(150);
+    let config = SegramConfig::short_reads();
+    let mapper = SegramMapper::new(dataset.graph().clone(), config);
+    let footprint = mapper.index().footprint();
+
+    // Address map mirroring Figure 6: [buckets][minimizers][locations].
+    let bucket_base = 0u64;
+    let minimizer_base = footprint.bucket_bytes as u64;
+    let location_base = minimizer_base + footprint.minimizer_bytes as u64;
+    let bucket_count = 1u64 << config.bucket_bits;
+
+    let mut h = Hierarchy::xeon_like();
+    let mut queries = 0u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    for read in &dataset.reads {
+        for m in extract_minimizers(&read.seq, &config.scheme) {
+            queries += 1;
+            // First level: one 4 B bucket entry, random by hash.
+            h.access(bucket_base + (m.rank % bucket_count) * 4);
+            // Second level: a short scan of 12 B minimizer entries at a
+            // hash-dependent offset.
+            let mini_idx = m.rank % (footprint.minimizer_bytes as u64 / 12).max(1);
+            for step in 0..2u64 {
+                h.access(minimizer_base + mini_idx * 12 + step * 12);
+            }
+            // Third level: the seed locations (8 B each) at a random group.
+            let loc_count = rng.gen_range(1..6u64);
+            let loc_idx = m.rank % (footprint.location_bytes as u64 / 8).max(1);
+            for l in 0..loc_count {
+                h.access(location_base + (loc_idx + l) * 8);
+            }
+        }
+    }
+    let seeding = summarize("hash-table index lookups", &h, queries as f64);
+
+    // Contrast: the same byte volume read sequentially (graph fetch).
+    let mut h = Hierarchy::xeon_like();
+    let bytes = seeding.accesses * 8;
+    h.run((0..bytes / 8).map(|i| location_base + i * 8));
+    let sequential = summarize("sequential graph-node fetch", &h, queries as f64);
+
+    println!("\n  Observation 3 — seeding's index lookups vs sequential streaming");
+    println!(
+        "  {:<36} {:>11} {:>9} {:>13}",
+        "trace", "accesses", "to DRAM", "DRAM/query"
+    );
+    for row in [&seeding, &sequential] {
+        println!(
+            "  {:<36} {:>11} {:>8.1}% {:>13.2}",
+            row.trace, row.accesses, row.overall_miss_pct, row.dram_accesses_per_unit
+        );
+    }
+    println!(
+        "  paper: seeding \"requires a significant number of random main memory\n  \
+         accesses ... and suffers from the DRAM latency bottleneck\"; SeGraM\n  \
+         answers with one HBM channel per accelerator."
+    );
+
+    rows.push(seeding);
+    rows.push(sequential);
+    write_results("obs_memory", &rows);
+}

@@ -1,0 +1,118 @@
+//! **Table 1**: area and power breakdown of SeGraM (28 nm, 1 GHz).
+//!
+//! Regenerates the per-component breakdown for one accelerator, the
+//! 32-accelerator totals, and the grand total with HBM power, from the
+//! calibrated analytical cost model (`segram-hw::cost`).
+
+use segram_bench::{header, row, write_results};
+use segram_hw::{system_cost, AcceleratorCost, HbmConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ComponentRow {
+    component: &'static str,
+    area_mm2: f64,
+    power_mw: f64,
+}
+
+#[derive(Serialize)]
+struct Table1 {
+    components: Vec<ComponentRow>,
+    single_accelerator_area_mm2: f64,
+    single_accelerator_power_mw: f64,
+    all32_area_mm2: f64,
+    all32_power_w: f64,
+    total_power_with_hbm_w: f64,
+    hop_queue_share_of_edit_logic_area: f64,
+    hop_queue_share_of_edit_logic_power: f64,
+    paper_single_area_mm2: f64,
+    paper_single_power_mw: f64,
+    paper_all32_area_mm2: f64,
+    paper_total_power_w: f64,
+}
+
+fn main() {
+    let cost = AcceleratorCost::paper_configuration();
+    let components = vec![
+        ("MinSeed logic", cost.minseed_logic),
+        ("MinSeed scratchpads (6+40+4 kB)", cost.minseed_scratchpads),
+        ("BitAlign PE datapaths (64 x 128b)", cost.bitalign_pe_logic),
+        ("BitAlign hop queue registers (12 kB)", cost.bitalign_hop_queues),
+        ("BitAlign traceback logic", cost.bitalign_traceback),
+        ("BitAlign scratchpads (24+128 kB)", cost.bitalign_scratchpads),
+    ];
+
+    header("Table 1: SeGraM area & power breakdown (28 nm, 1 GHz)");
+    println!("  {:<38} {:>10} {:>10}", "component", "area mm2", "power mW");
+    for (name, c) in &components {
+        println!("  {:<38} {:>10.3} {:>10.1}", name, c.area_mm2, c.power_mw);
+    }
+    let total = cost.total();
+    let sys = system_cost(32, HbmConfig::default().total_dynamic_power_w());
+    println!("  {:-<60}", "");
+    println!(
+        "  {:<38} {:>10.3} {:>10.1}",
+        "1 SeGraM accelerator", total.area_mm2, total.power_mw
+    );
+    println!(
+        "  {:<38} {:>10.2} {:>9.2}W",
+        "32 SeGraM accelerators",
+        sys.all_accelerators.area_mm2,
+        sys.all_accelerators.power_mw / 1000.0
+    );
+    println!(
+        "  {:<38} {:>10} {:>9.2}W",
+        "+ 4x HBM2E", "-", sys.total_power_w
+    );
+
+    header("Paper comparison");
+    row("paper: 1 accelerator", "0.867 mm2 / 758 mW");
+    row(
+        "model: 1 accelerator",
+        format!("{:.3} mm2 / {:.0} mW", total.area_mm2, total.power_mw),
+    );
+    row("paper: 32 accelerators", "27.7 mm2 / 24.3 W");
+    row(
+        "model: 32 accelerators",
+        format!(
+            "{:.1} mm2 / {:.1} W",
+            sys.all_accelerators.area_mm2,
+            sys.all_accelerators.power_mw / 1000.0
+        ),
+    );
+    row("paper: total with HBM", "28.1 W");
+    row("model: total with HBM", format!("{:.1} W", sys.total_power_w));
+    row(
+        "hop queues / edit-distance logic area",
+        format!("{:.0}% (paper: >60%)", cost.hop_queue_area_fraction() * 100.0),
+    );
+    row(
+        "hop queues / edit-distance logic power",
+        format!("{:.0}% (paper: >60%)", cost.hop_queue_power_fraction() * 100.0),
+    );
+
+    write_results(
+        "table1",
+        &Table1 {
+            components: components
+                .iter()
+                .map(|(name, c)| ComponentRow {
+                    component: name,
+                    area_mm2: c.area_mm2,
+                    power_mw: c.power_mw,
+                })
+                .collect(),
+            single_accelerator_area_mm2: total.area_mm2,
+            single_accelerator_power_mw: total.power_mw,
+            all32_area_mm2: sys.all_accelerators.area_mm2,
+            all32_power_w: sys.all_accelerators.power_mw / 1000.0,
+            total_power_with_hbm_w: sys.total_power_w,
+            hop_queue_share_of_edit_logic_area: cost.hop_queue_area_fraction(),
+            hop_queue_share_of_edit_logic_power: cost.hop_queue_power_fraction(),
+            paper_single_area_mm2: 0.867,
+            paper_single_power_mw: 758.0,
+            paper_all32_area_mm2: 27.7,
+            paper_total_power_w: 28.1,
+        },
+    );
+}

@@ -1,0 +1,185 @@
+//! Shared measurement harness for the end-to-end throughput experiments
+//! (Figures 15 and 16, and the HGA comparison).
+
+use segram_core::{
+    measure_workload, BaselineMapper, SegramConfig, SegramMapper, StepTimes,
+    WorkloadMeasurement,
+};
+use segram_hw::SegramSystem;
+use segram_sim::{Dataset, SimulatedRead};
+use serde::Serialize;
+
+/// Measured throughput of one mapper over one dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct MapperResult {
+    /// Mapper name.
+    pub name: String,
+    /// Reads mapped per second (single thread for software; whole system
+    /// for the SeGraM model).
+    pub reads_per_s: f64,
+    /// Fraction of time spent in the alignment step (software only).
+    pub alignment_fraction: f64,
+    /// Fraction of reads that produced a mapping.
+    pub mapped_fraction: f64,
+}
+
+/// Runs a software baseline over the reads, single-threaded wall clock.
+pub fn run_software(mapper: &dyn BaselineMapper, reads: &[SimulatedRead]) -> MapperResult {
+    let start = std::time::Instant::now();
+    let mut times = StepTimes::default();
+    let mut mapped = 0usize;
+    for read in reads {
+        let (m, t) = mapper.map_read(&read.seq);
+        times.merge(&t);
+        if m.is_some() {
+            mapped += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    MapperResult {
+        name: mapper.name().to_owned(),
+        reads_per_s: reads.len() as f64 / secs,
+        alignment_fraction: times.alignment_fraction(),
+        mapped_fraction: mapped as f64 / reads.len() as f64,
+    }
+}
+
+/// SeGraM: measures the workload with the software pipeline, then projects
+/// system throughput with the hardware model.
+pub struct SegramProjection {
+    /// The measured workload + accuracy.
+    pub measurement: WorkloadMeasurement,
+    /// Modeled throughput of the full 32-accelerator system.
+    pub system_reads_per_s: f64,
+    /// Modeled throughput of a single accelerator.
+    pub per_accelerator_reads_per_s: f64,
+    /// Modeled per-seed ("single SeGraM execution") latency in µs.
+    pub per_seed_latency_us: f64,
+}
+
+/// Projects SeGraM's hardware throughput for a dataset.
+///
+/// The measurement mapper aligns only a handful of regions per read (the
+/// seeding statistics that parameterize the model — minimizer and seed
+/// counts — are recorded *before* truncation), keeping measurement time
+/// bounded on repeat-heavy inputs.
+pub fn run_segram_model(dataset: &Dataset, config: SegramConfig) -> SegramProjection {
+    let mut measure_config = config;
+    measure_config.max_regions = 4;
+    let mapper = SegramMapper::new(dataset.graph().clone(), measure_config);
+    let measurement = measure_workload(&mapper, &dataset.reads, 200);
+    let system = SegramSystem::default();
+    let throughput = system.throughput_reads_per_s(&measurement.workload);
+    SegramProjection {
+        per_accelerator_reads_per_s: throughput / system.hbm.total_channels() as f64,
+        system_reads_per_s: throughput,
+        per_seed_latency_us: system.per_seed_latency_us(&measurement.workload),
+        measurement,
+    }
+}
+
+/// One figure row: dataset name + all mappers' throughput.
+#[derive(Clone, Debug, Serialize)]
+pub struct FigureRow {
+    /// Dataset name (paper nomenclature).
+    pub dataset: String,
+    /// Software baselines.
+    pub software: Vec<MapperResult>,
+    /// SeGraM modeled system throughput.
+    pub segram_system_reads_per_s: f64,
+    /// SeGraM modeled per-accelerator throughput.
+    pub segram_per_accelerator_reads_per_s: f64,
+    /// Per-seed latency (µs).
+    pub segram_per_seed_latency_us: f64,
+    /// SeGraM mapping accuracy against simulation truth.
+    pub segram_accuracy: f64,
+}
+
+/// Runs one throughput figure row: both software baselines + the model.
+pub fn figure_row(dataset: &Dataset, config: SegramConfig) -> FigureRow {
+    use segram_core::{GraphAlignerLike, VgLike};
+    let ga = GraphAlignerLike::new(dataset.graph().clone(), config);
+    let vg = VgLike::new(dataset.graph().clone(), config);
+    let software = vec![
+        run_software(&ga, &dataset.reads),
+        run_software(&vg, &dataset.reads),
+    ];
+    let projection = run_segram_model(dataset, config);
+    FigureRow {
+        dataset: dataset.name.clone(),
+        software,
+        segram_system_reads_per_s: projection.system_reads_per_s,
+        segram_per_accelerator_reads_per_s: projection.per_accelerator_reads_per_s,
+        segram_per_seed_latency_us: projection.per_seed_latency_us,
+        segram_accuracy: projection.measurement.accuracy,
+    }
+}
+
+/// Pretty-prints a set of figure rows with speedup columns, mirroring the
+/// paper's figure annotations.
+pub fn print_rows(rows: &[FigureRow], power: &PowerComparison) {
+    println!(
+        "  {:<20} {:>14} {:>14} {:>16} {:>12} {:>12}",
+        "dataset", "GA-like r/s", "vg-like r/s", "SeGraM r/s(32)", "vs GA", "vs vg"
+    );
+    for row in rows {
+        let ga = row.software[0].reads_per_s;
+        let vg = row.software[1].reads_per_s;
+        println!(
+            "  {:<20} {:>14.1} {:>14.1} {:>16.1} {:>12} {:>12}",
+            row.dataset,
+            ga,
+            vg,
+            row.segram_system_reads_per_s,
+            crate::ratio(row.segram_system_reads_per_s, ga),
+            crate::ratio(row.segram_system_reads_per_s, vg),
+        );
+    }
+    println!(
+        "\n  power: SeGraM (model) {:.1} W vs GraphAligner {:.0} W ({}) and vg {:.0} W ({})",
+        power.segram_w,
+        power.graphaligner_w,
+        crate::ratio(power.graphaligner_w, power.segram_w),
+        power.vg_w,
+        crate::ratio(power.vg_w, power.segram_w),
+    );
+}
+
+/// Power comparison constants: SeGraM from the Table 1 model; the CPU
+/// baselines from the paper's own wall-power measurements (we cannot meter
+/// a Xeon here — documented substitution).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PowerComparison {
+    /// SeGraM system power (model).
+    pub segram_w: f64,
+    /// GraphAligner wall power (paper measurement).
+    pub graphaligner_w: f64,
+    /// vg wall power (paper measurement).
+    pub vg_w: f64,
+}
+
+impl PowerComparison {
+    /// Long-read figures (paper: 115 W / 124 W).
+    pub fn long_reads() -> Self {
+        Self {
+            segram_w: segram_model_power_w(),
+            graphaligner_w: 115.0,
+            vg_w: 124.0,
+        }
+    }
+
+    /// Short-read figures (paper: 85 W / 91 W).
+    pub fn short_reads() -> Self {
+        Self {
+            segram_w: segram_model_power_w(),
+            graphaligner_w: 85.0,
+            vg_w: 91.0,
+        }
+    }
+}
+
+/// The modeled SeGraM system power (Table 1 totals).
+pub fn segram_model_power_w() -> f64 {
+    segram_hw::system_cost(32, segram_hw::HbmConfig::default().total_dynamic_power_w())
+        .total_power_w
+}

@@ -1,0 +1,136 @@
+//! # segram-bench
+//!
+//! Shared infrastructure for the experiment binaries that regenerate every
+//! table and figure of the SeGraM paper's evaluation (see `DESIGN.md` for
+//! the experiment ↔ binary index and `EXPERIMENTS.md` for recorded
+//! results).
+//!
+//! Every binary prints a human-readable table and writes machine-readable
+//! JSON under `results/`.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Scale knobs shared by the experiment binaries. The paper's inputs
+/// (3.1 Gbp reference, 10 000 reads of 10 kbp) are scaled down so each
+/// binary completes in seconds on a laptop; set `SEGRAM_SCALE=full` for a
+/// larger run (still far below human scale).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Reference length in bases.
+    pub reference_len: usize,
+    /// Reads per dataset.
+    pub read_count: usize,
+    /// Long-read length.
+    pub long_read_len: usize,
+}
+
+impl Scale {
+    /// Resolves the scale from the `SEGRAM_SCALE` environment variable
+    /// (`quick` default, or `full`).
+    pub fn from_env() -> Self {
+        match std::env::var("SEGRAM_SCALE").as_deref() {
+            Ok("full") => Scale {
+                reference_len: 2_000_000,
+                read_count: 200,
+                long_read_len: 10_000,
+            },
+            _ => Scale {
+                reference_len: 300_000,
+                read_count: 60,
+                long_read_len: 3_000,
+            },
+        }
+    }
+
+    /// The matching dataset configuration.
+    pub fn dataset_config(&self, seed: u64) -> segram_sim::DatasetConfig {
+        segram_sim::DatasetConfig {
+            reference_len: self.reference_len,
+            read_count: self.read_count,
+            long_read_len: self.long_read_len,
+            seed,
+        }
+    }
+}
+
+/// Writes an experiment's JSON payload under `results/<name>.json`.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment binaries want loud failures).
+pub fn write_results<T: Serialize>(name: &str, payload: &T) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let mut file = std::fs::File::create(&path).expect("create results file");
+    let json = serde_json::to_string_pretty(payload).expect("serialize results");
+    file.write_all(json.as_bytes()).expect("write results");
+    println!("\n[results written to {}]", path.display());
+}
+
+fn results_dir() -> PathBuf {
+    // Walk up from the crate dir to the workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Prints a section header in a consistent style.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints one row of a two-column (label, value) table.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<46} {value}");
+}
+
+/// Formats a throughput ratio as the paper does (e.g. `5.9x`).
+pub fn ratio(numerator: f64, denominator: f64) -> String {
+    if denominator == 0.0 {
+        return "inf".into();
+    }
+    format!("{:.1}x", numerator / denominator)
+}
+
+/// Wall-clock helper: runs `f` and returns (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_are_quick() {
+        let s = Scale::from_env();
+        assert!(s.reference_len >= 100_000);
+        assert!(s.read_count >= 10);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(59.0, 10.0), "5.9x");
+        assert_eq!(ratio(1.0, 0.0), "inf");
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}
+
+pub mod experiments;

@@ -1,0 +1,486 @@
+//! The four subcommands: `construct`, `index`, `map`, `simulate`.
+//!
+//! Each command is a pure function from parsed [`Options`] to a
+//! human-readable report string; file I/O happens at the edges so the
+//! integration tests can drive commands exactly as the binary does.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use segram_core::{mapq_estimate, sam_document, SamRecord, SegramConfig, SegramMapper};
+use segram_filter::FilterSpec;
+use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
+use segram_index::{GraphIndex, MinimizerScheme};
+use segram_io::{
+    phred_from_error_rate, read_fasta, read_fastq, read_vcf, write_fasta, write_fastq,
+    write_gaf, write_vcf, Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions,
+};
+use segram_sim::{
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
+    ReadConfig, VariantConfig,
+};
+
+use crate::args::Options;
+use crate::error::CliError;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+segram — universal sequence-to-graph and sequence-to-sequence mapper
+(Rust reproduction of SeGraM, ISCA 2022)
+
+USAGE:
+    segram <COMMAND> [OPTIONS]
+
+COMMANDS:
+    construct   Build a genome graph from a FASTA reference and a VCF
+    index       Build the minimizer index for a graph and report footprints
+    map         Map FASTQ reads to a graph, emitting SAM or GAF
+    simulate    Generate a synthetic reference/VCF/graph/reads bundle
+
+Run `segram <COMMAND> --help` for per-command options.
+";
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::io(path, e))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
+        }
+    }
+    fs::write(path, contents).map_err(|e| CliError::io(path, e))
+}
+
+fn ambiguity(options: &Options) -> Ambiguity {
+    if options.switch("lenient") {
+        Ambiguity::Substitute(segram_graph::Base::A)
+    } else {
+        Ambiguity::Reject
+    }
+}
+
+fn load_graph(path: &str) -> Result<GenomeGraph, CliError> {
+    let text = read_file(path)?;
+    Ok(gfa::from_gfa(&text)?)
+}
+
+// ---------------------------------------------------------------------------
+// construct
+// ---------------------------------------------------------------------------
+
+const CONSTRUCT_HELP: &str = "\
+segram construct — build a genome graph from a reference and variants
+(the paper's `vg construct` + `vg ids -s` pre-processing, Section 5)
+
+OPTIONS:
+    --reference <ref.fa>   FASTA reference (required)
+    --vcf <vars.vcf>       VCF with variants (optional: none = linear graph)
+    --output <graph.gfa>   output GFA path (required)
+    --chrom <name>         FASTA record / VCF CHROM to use (default: first)
+    --lenient              substitute ambiguous bases and skip unsupported
+                           VCF records instead of failing
+";
+
+/// `segram construct`.
+pub fn construct(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(CONSTRUCT_HELP.to_owned());
+    }
+    options.reject_unknown(&["reference", "vcf", "output", "chrom", "lenient"])?;
+    let ref_path = options.require("reference")?;
+    let out_path = options.require("output")?;
+
+    let records = read_fasta(&read_file(ref_path)?, ambiguity(options))
+        .map_err(|e| CliError::format(ref_path, e))?;
+    let record = match options.get("chrom") {
+        Some(name) => records
+            .iter()
+            .find(|r| r.id == name)
+            .ok_or_else(|| CliError::usage(format!("{ref_path}: no record named {name:?}")))?,
+        None => records
+            .first()
+            .ok_or_else(|| CliError::usage(format!("{ref_path}: empty FASTA")))?,
+    };
+
+    let (variants, skipped) = match options.get("vcf") {
+        None => (VariantSet::new(), 0),
+        Some(vcf_path) => {
+            let vcf_options = if options.switch("lenient") {
+                VcfOptions::lenient()
+            } else {
+                VcfOptions::default()
+            };
+            let doc = read_vcf(&read_file(vcf_path)?, vcf_options)
+                .map_err(|e| CliError::format(vcf_path, e))?;
+            let skipped = doc.skipped;
+            let set = doc
+                .chrom(&record.id)
+                .cloned()
+                .or_else(|| doc.per_chrom.values().next().cloned())
+                .unwrap_or_default();
+            (set, skipped)
+        }
+    };
+
+    let variant_count = variants.len();
+    let built = build_graph(&record.seq, variants.into_sorted())?;
+    write_file(out_path, &gfa::to_gfa(&built.graph))?;
+
+    let stats = built.graph.stats();
+    let mut report = String::new();
+    let _ = writeln!(report, "constructed {out_path} from {}:", record.id);
+    let _ = writeln!(
+        report,
+        "  {} nodes, {} edges, {} characters",
+        stats.node_count, stats.edge_count, stats.total_chars
+    );
+    let _ = writeln!(
+        report,
+        "  {} variants embedded ({} dropped as overlapping, {} skipped in VCF)",
+        variant_count - built.dropped_variants,
+        built.dropped_variants,
+        skipped
+    );
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// index
+// ---------------------------------------------------------------------------
+
+const INDEX_HELP: &str = "\
+segram index — build the minimizer hash-table index and report the
+Figure 5/6 memory footprints
+
+OPTIONS:
+    --graph <graph.gfa>   input graph (required)
+    --w <int>             minimizer window (default 10)
+    --k <int>             k-mer length (default 15)
+    --buckets <int>       log2 of the first-level bucket count (default 16)
+";
+
+/// `segram index`.
+pub fn index(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(INDEX_HELP.to_owned());
+    }
+    options.reject_unknown(&["graph", "w", "k", "buckets"])?;
+    let graph = load_graph(options.require("graph")?)?;
+    let w: usize = options.number("w", 10)?;
+    let k: usize = options.number("k", 15)?;
+    let bucket_bits: u32 = options.number("buckets", 16)?;
+    if !(1..=32).contains(&bucket_bits) {
+        return Err(CliError::usage("--buckets must be within 1..=32"));
+    }
+    if !(1..=31).contains(&k) || w == 0 {
+        return Err(CliError::usage("--k must be 1..=31 and --w >= 1"));
+    }
+
+    let index = GraphIndex::build(&graph, MinimizerScheme::new(w, k), bucket_bits);
+    let stats = graph.stats();
+    let graph_bytes =
+        stats.node_count as u64 * 32 + stats.total_chars.div_ceil(4) + stats.edge_count as u64 * 4;
+    let footprint = index.footprint();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "graph: {} nodes, {} edges, {} chars -> {} bytes (32 B/node + 2 bit/char + 4 B/edge)",
+        stats.node_count, stats.edge_count, stats.total_chars, graph_bytes
+    );
+    let _ = writeln!(report, "index (<w,k> = <{w},{k}>, 2^{bucket_bits} buckets):");
+    let _ = writeln!(
+        report,
+        "  level 1 (buckets):    {:>12} bytes",
+        footprint.bucket_bytes
+    );
+    let _ = writeln!(
+        report,
+        "  level 2 (minimizers): {:>12} bytes",
+        footprint.minimizer_bytes
+    );
+    let _ = writeln!(
+        report,
+        "  level 3 (locations):  {:>12} bytes",
+        footprint.location_bytes
+    );
+    let _ = writeln!(
+        report,
+        "  total:                {:>12} bytes (max {} minimizers in one bucket)",
+        footprint.total_bytes(),
+        footprint.max_minimizers_per_bucket
+    );
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// map
+// ---------------------------------------------------------------------------
+
+const MAP_HELP: &str = "\
+segram map — map FASTQ reads to a genome graph (MinSeed + BitAlign)
+
+OPTIONS:
+    --graph <graph.gfa>    input graph (required)
+    --reads <reads.fq>     input FASTQ (required)
+    --output <path>        output file (default: stdout section of report)
+    --format <sam|gaf>     output format (default sam)
+    --preset <short|long5|long10>
+                           mapper preset (default short)
+    --filter <none|base-count|qgram|shd|snake|cascade>
+                           pre-alignment filter (default none, as in the paper)
+    --both-strands         also try each read's reverse complement
+    --lenient              substitute ambiguous read bases instead of failing
+";
+
+fn preset(name: &str) -> Result<SegramConfig, CliError> {
+    match name {
+        "short" => Ok(SegramConfig::short_reads()),
+        "long5" => Ok(SegramConfig::long_reads(0.05)),
+        "long10" => Ok(SegramConfig::long_reads(0.10)),
+        other => Err(CliError::usage(format!(
+            "unknown preset {other:?} (expected short|long5|long10)"
+        ))),
+    }
+}
+
+fn filter_spec(name: &str) -> Result<Option<FilterSpec>, CliError> {
+    match name {
+        "none" => Ok(None),
+        "base-count" => Ok(Some(FilterSpec::BaseCount)),
+        "qgram" => Ok(Some(FilterSpec::QGram { q: 5 })),
+        "shd" => Ok(Some(FilterSpec::ShiftedHamming)),
+        "snake" => Ok(Some(FilterSpec::SneakySnake)),
+        "cascade" => Ok(Some(FilterSpec::cascade())),
+        other => Err(CliError::usage(format!(
+            "unknown filter {other:?} (expected none|base-count|qgram|shd|snake|cascade)"
+        ))),
+    }
+}
+
+/// `segram map`.
+pub fn map(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(MAP_HELP.to_owned());
+    }
+    options.reject_unknown(&[
+        "graph",
+        "reads",
+        "output",
+        "format",
+        "preset",
+        "filter",
+        "both-strands",
+        "lenient",
+    ])?;
+    let graph_path = options.require("graph")?;
+    let reads_path = options.require("reads")?;
+    let graph = load_graph(graph_path)?;
+    let reads = read_fastq(&read_file(reads_path)?, ambiguity(options))
+        .map_err(|e| CliError::format(reads_path, e))?;
+    let format = options.get("format").unwrap_or("sam");
+    if format != "sam" && format != "gaf" {
+        return Err(CliError::usage(format!(
+            "unknown format {format:?} (expected sam|gaf)"
+        )));
+    }
+
+    let mut config = preset(options.get("preset").unwrap_or("short"))?;
+    config.prefilter = filter_spec(options.get("filter").unwrap_or("none"))?;
+    let mapper = SegramMapper::new(graph, config);
+    let both = options.switch("both-strands");
+
+    let mut sam_records = Vec::new();
+    let mut gaf_records = Vec::new();
+    let mut mapped = 0usize;
+    let mut filtered_regions = 0usize;
+    let mut aligned_regions = 0usize;
+    for read in &reads {
+        let (mapping, stats) = if both {
+            let (best, stats) = mapper.map_read_both(&read.seq);
+            (best.map(|(m, _)| m), stats)
+        } else {
+            mapper.map_read(&read.seq)
+        };
+        filtered_regions += stats.regions_filtered;
+        aligned_regions += stats.regions_aligned;
+        match mapping {
+            Some(mapping) => {
+                mapped += 1;
+                let mapq = mapq_estimate(
+                    stats.regions_aligned,
+                    mapping.alignment.edit_distance,
+                    read.seq.len(),
+                );
+                if format == "sam" {
+                    sam_records.push(SamRecord::from_mapping(
+                        &read.id, "graph", &read.seq, &mapping, mapq,
+                    ));
+                } else {
+                    let record = GafRecord::from_char_path(
+                        &read.id,
+                        read.seq.len(),
+                        mapper.graph(),
+                        &mapping.path,
+                        &mapping.alignment.cigar,
+                        mapping.alignment.edit_distance,
+                        mapq,
+                    )
+                    .map_err(|e| CliError::format(reads_path, e))?;
+                    gaf_records.push(record);
+                }
+            }
+            None if format == "sam" => {
+                sam_records.push(SamRecord::unmapped(&read.id, &read.seq));
+            }
+            None => {}
+        }
+    }
+
+    let output = if format == "sam" {
+        sam_document("graph", mapper.graph().total_chars(), &sam_records)
+    } else {
+        write_gaf(&gaf_records)
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "mapped {mapped}/{} reads ({aligned_regions} regions aligned, {filtered_regions} filtered)",
+        reads.len()
+    );
+    match options.get("output") {
+        Some(path) => {
+            write_file(path, &output)?;
+            let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
+        }
+        None => {
+            report.push_str(&output);
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// simulate
+// ---------------------------------------------------------------------------
+
+const SIMULATE_HELP: &str = "\
+segram simulate — generate a synthetic reference/VCF/graph/reads bundle
+(the scaled-down stand-in for GRCh38 + GIAB + PBSIM2/Mason, Section 10)
+
+OPTIONS:
+    --out-prefix <path>   file prefix for the bundle (required); writes
+                          <prefix>.fa, <prefix>.vcf, <prefix>.gfa, <prefix>.fq
+    --length <int>        reference length (default 100000)
+    --reads <int>         number of reads (default 100)
+    --read-len <int>      read length (default 150)
+    --error <float>       read error rate: 0.01|0.05|0.10 pick the Illumina/
+                          PacBio/ONT profile (default 0.01)
+    --seed <int>          RNG seed (default 42)
+";
+
+/// `segram simulate`.
+pub fn simulate(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(SIMULATE_HELP.to_owned());
+    }
+    options.reject_unknown(&["out-prefix", "length", "reads", "read-len", "error", "seed"])?;
+    let prefix = options.require("out-prefix")?;
+    let length: usize = options.number("length", 100_000)?;
+    let read_count: usize = options.number("reads", 100)?;
+    let read_len: usize = options.number("read-len", 150)?;
+    let error: f64 = options.number("error", 0.01)?;
+    let seed: u64 = options.number("seed", 42)?;
+    if length < read_len || read_len == 0 {
+        return Err(CliError::usage(
+            "--length must be at least --read-len, both positive",
+        ));
+    }
+
+    let reference = generate_reference(&GenomeConfig::human_like(length, seed));
+    let variants = simulate_variants(&reference, &VariantConfig::human_like(seed ^ 0xabcd));
+    let vcf_text = write_vcf("chr1", &reference, &variants)
+        .map_err(|e| CliError::format(format!("{prefix}.vcf"), e))?;
+    let built = build_graph(&reference, variants)?;
+
+    let errors = if error >= 0.075 {
+        ErrorProfile::ont_10()
+    } else if error >= 0.03 {
+        ErrorProfile::pacbio_5()
+    } else {
+        ErrorProfile::illumina()
+    };
+    let reads = simulate_reads(
+        &built.graph,
+        &ReadConfig {
+            count: read_count,
+            len: read_len,
+            errors,
+            seed: seed ^ 0x1234,
+        },
+    );
+    let phred = phred_from_error_rate(error.max(1e-4));
+    let fastq: Vec<FastqRecord> = reads
+        .iter()
+        .map(|r| {
+            let mut record = FastqRecord::with_uniform_quality(
+                format!("read{}", r.id),
+                r.seq.clone(),
+                phred,
+            );
+            record.description = format!(
+                "truth:linear={} strand={:?} errors={}",
+                r.true_start_linear, r.strand, r.injected_errors
+            );
+            record
+        })
+        .collect();
+
+    write_file(
+        &format!("{prefix}.fa"),
+        &write_fasta(&[FastaRecord::new("chr1", reference.clone())], 70),
+    )?;
+    write_file(&format!("{prefix}.vcf"), &vcf_text)?;
+    write_file(&format!("{prefix}.gfa"), &gfa::to_gfa(&built.graph))?;
+    write_file(&format!("{prefix}.fq"), &write_fastq(&fastq))?;
+
+    let stats = built.graph.stats();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "wrote {prefix}.fa ({length} bp), {prefix}.vcf, {prefix}.gfa ({} nodes), {prefix}.fq ({read_count} reads x {read_len} bp)",
+        stats.node_count
+    );
+    Ok(report)
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad options, and any I/O or
+/// parse failure; `main` prints it and exits with
+/// [`CliError::exit_code`].
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let options = Options::parse(rest)?;
+    match command.as_str() {
+        "construct" => construct(&options),
+        "index" => index(&options),
+        "map" => map(&options),
+        "simulate" => simulate(&options),
+        "--help" | "help" => Ok(USAGE.to_owned()),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}; run `segram help`"
+        ))),
+    }
+}
+
+/// The DNA alphabet type, re-exported for test helpers.
+pub type Seq = DnaSeq;

@@ -1,0 +1,89 @@
+//! The CLI's error type: every failure mode carries a user-facing message.
+
+use std::error::Error;
+use std::fmt;
+
+use segram_graph::GraphError;
+use segram_io::FormatError;
+
+/// Errors surfaced to the terminal by the `segram` binary.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was wrong; the message includes usage help.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An input file was malformed.
+    Format {
+        /// The path involved.
+        path: String,
+        /// The underlying parse error (with line number).
+        source: FormatError,
+    },
+    /// A graph operation failed (construction, topological sort, ...).
+    Graph(GraphError),
+}
+
+impl CliError {
+    /// Convenience constructor for usage errors.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::Usage(message.into())
+    }
+
+    /// Wraps an I/O error with its path.
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        Self::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Wraps a parse error with its path.
+    pub fn format(path: impl Into<String>, source: FormatError) -> Self {
+        Self::Format {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The conventional process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Self::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(message) => write!(f, "usage error: {message}"),
+            Self::Io { path, source } => write!(f, "{path}: {source}"),
+            Self::Format { path, source } => write!(f, "{path}: {source}"),
+            Self::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Usage(_) => None,
+            Self::Io { source, .. } => Some(source),
+            Self::Format { source, .. } => Some(source),
+            Self::Graph(err) => Some(err),
+        }
+    }
+}
+
+impl From<GraphError> for CliError {
+    fn from(err: GraphError) -> Self {
+        Self::Graph(err)
+    }
+}

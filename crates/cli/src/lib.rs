@@ -1,0 +1,27 @@
+//! # segram-cli
+//!
+//! The `segram` command-line tool: an end-to-end driver for the SeGraM
+//! reproduction that a downstream user can run on real files. It strings
+//! the workspace crates together along the paper's pipeline (Figure 2):
+//!
+//! ```text
+//! segram construct  reference.fa + variants.vcf          -> graph.gfa   (step 0.1)
+//! segram index      graph.gfa                            -> footprint   (step 0.2)
+//! segram map        graph.gfa + reads.fq                 -> SAM / GAF   (steps 1-3)
+//! segram simulate   synthetic ref/VCF/graph/reads bundle (Section 10 stand-in)
+//! ```
+//!
+//! The command implementations live in [`commands`] as plain functions so
+//! integration tests can call them without spawning processes; `main` is a
+//! thin dispatcher.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod args;
+pub mod commands;
+mod error;
+
+pub use args::Options;
+pub use commands::{dispatch, USAGE};
+pub use error::CliError;

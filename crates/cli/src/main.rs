@@ -1,0 +1,17 @@
+//! The `segram` binary: parse, dispatch, report.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match segram_cli::dispatch(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("segram: {err}");
+            ExitCode::from(err.exit_code().clamp(0, 255) as u8)
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end CLI tests: drive the full `simulate -> construct -> index ->
+//! map` pipeline through the same `dispatch` entry point the binary uses,
+//! on real files in a temporary directory.
+
+use std::fs;
+use std::path::PathBuf;
+
+use segram_cli::{dispatch, CliError};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "segram-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(args: &[&str]) -> Result<String, CliError> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    dispatch(&owned)
+}
+
+#[test]
+fn full_pipeline_simulate_construct_index_map() {
+    let dir = TempDir::new("pipeline");
+    let prefix = dir.path("bundle");
+
+    // 1. simulate a small bundle.
+    let report = run(&[
+        "simulate",
+        "--out-prefix", &prefix,
+        "--length", "30000",
+        "--reads", "12",
+        "--read-len", "120",
+        "--seed", "7",
+    ])
+    .expect("simulate");
+    assert!(report.contains("wrote"), "{report}");
+    for ext in ["fa", "vcf", "gfa", "fq"] {
+        assert!(
+            fs::metadata(format!("{prefix}.{ext}")).is_ok(),
+            "missing {prefix}.{ext}"
+        );
+    }
+
+    // 2. re-construct the graph from the FASTA + VCF the simulator wrote;
+    //    it must match the simulator's own GFA node-for-node.
+    let graph2 = dir.path("rebuilt.gfa");
+    let report = run(&[
+        "construct",
+        "--reference", &format!("{prefix}.fa"),
+        "--vcf", &format!("{prefix}.vcf"),
+        "--output", &graph2,
+    ])
+    .expect("construct");
+    assert!(report.contains("variants embedded"), "{report}");
+    let original = fs::read_to_string(format!("{prefix}.gfa")).unwrap();
+    let rebuilt = fs::read_to_string(&graph2).unwrap();
+    assert_eq!(original, rebuilt, "construct must reproduce the simulated graph");
+
+    // 3. index the graph.
+    let report = run(&["index", "--graph", &graph2, "--buckets", "14"]).expect("index");
+    assert!(report.contains("level 1 (buckets)"), "{report}");
+    assert!(report.contains("total:"), "{report}");
+
+    // 4a. map to SAM.
+    let sam_path = dir.path("out.sam");
+    let report = run(&[
+        "map",
+        "--graph", &graph2,
+        "--reads", &format!("{prefix}.fq"),
+        "--format", "sam",
+        "--output", &sam_path,
+        "--both-strands",
+    ])
+    .expect("map sam");
+    assert!(report.contains("mapped"), "{report}");
+    let sam = fs::read_to_string(&sam_path).unwrap();
+    assert!(sam.starts_with("@HD"), "SAM header missing: {}", &sam[..40.min(sam.len())]);
+    let mapped_lines = sam.lines().filter(|l| !l.starts_with('@')).count();
+    assert_eq!(mapped_lines, 12, "one record per read");
+
+    // 4b. map to GAF with a prefilter.
+    let gaf_path = dir.path("out.gaf");
+    let report = run(&[
+        "map",
+        "--graph", &graph2,
+        "--reads", &format!("{prefix}.fq"),
+        "--format", "gaf",
+        "--filter", "cascade",
+        "--output", &gaf_path,
+        "--both-strands",
+    ])
+    .expect("map gaf");
+    assert!(report.contains("mapped"), "{report}");
+    let gaf = fs::read_to_string(&gaf_path).unwrap();
+    let records = segram_io::read_gaf(&gaf).expect("own GAF must re-parse");
+    assert!(!records.is_empty());
+    for rec in &records {
+        assert_eq!(rec.qstart, 0);
+        assert_eq!(rec.qend, rec.qlen);
+        assert!(rec.pend <= rec.plen);
+        assert!(!rec.cigar.is_empty());
+    }
+}
+
+#[test]
+fn help_is_available_everywhere() {
+    assert!(run(&[]).unwrap().contains("USAGE"));
+    assert!(run(&["help"]).unwrap().contains("COMMANDS"));
+    for cmd in ["construct", "index", "map", "simulate"] {
+        let text = run(&[cmd, "--help"]).unwrap();
+        assert!(text.contains("OPTIONS"), "{cmd} help: {text}");
+    }
+}
+
+#[test]
+fn usage_errors_are_reported_with_exit_code_2() {
+    let err = run(&["frobnicate"]).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    let err = run(&["map", "--graph", "x.gfa"]).unwrap_err(); // missing --reads
+    assert_eq!(err.exit_code(), 2);
+    let err = run(&["map", "--grap", "x.gfa", "--reads", "y.fq"]).unwrap_err(); // typo
+    assert_eq!(err.exit_code(), 2);
+}
+
+#[test]
+fn io_and_format_errors_are_reported_with_paths() {
+    let dir = TempDir::new("errors");
+    let err = run(&["index", "--graph", &dir.path("missing.gfa")]).unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+    assert!(err.to_string().contains("missing.gfa"));
+
+    let bad = dir.path("bad.fa");
+    fs::write(&bad, ">x\nACGTN\n").unwrap();
+    let err = run(&[
+        "construct",
+        "--reference", &bad,
+        "--output", &dir.path("g.gfa"),
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("bad.fa"), "{err}");
+    assert!(err.to_string().contains("invalid base"), "{err}");
+
+    // --lenient rescues the same input.
+    run(&[
+        "construct",
+        "--reference", &bad,
+        "--output", &dir.path("g.gfa"),
+        "--lenient",
+    ])
+    .expect("lenient construct");
+}
+
+#[test]
+fn map_results_land_near_simulated_truth() {
+    let dir = TempDir::new("truth");
+    let prefix = dir.path("t");
+    run(&[
+        "simulate",
+        "--out-prefix", &prefix,
+        "--length", "40000",
+        "--reads", "15",
+        "--read-len", "150",
+        "--seed", "21",
+    ])
+    .expect("simulate");
+
+    let gaf_path = dir.path("t.gaf");
+    run(&[
+        "map",
+        "--graph", &format!("{prefix}.gfa"),
+        "--reads", &format!("{prefix}.fq"),
+        "--format", "gaf",
+        "--output", &gaf_path,
+        "--both-strands",
+    ])
+    .expect("map");
+
+    // Cross-check GAF mappings against the truth the simulator put in the
+    // FASTQ descriptions.
+    let fastq = segram_io::read_fastq(
+        &fs::read_to_string(format!("{prefix}.fq")).unwrap(),
+        segram_io::Ambiguity::Reject,
+    )
+    .unwrap();
+    let gaf = segram_io::read_gaf(&fs::read_to_string(&gaf_path).unwrap()).unwrap();
+    assert!(
+        gaf.len() * 10 >= fastq.len() * 8,
+        "expected >=80% of reads mapped, got {}/{}",
+        gaf.len(),
+        fastq.len()
+    );
+    let mut checked = 0;
+    for rec in &gaf {
+        let read = fastq.iter().find(|r| r.id == rec.qname).expect("known read");
+        // identity should be high for 1%-error reads.
+        assert!(rec.identity() > 0.9, "{}: identity {}", rec.qname, rec.identity());
+        let _ = read;
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn linear_reference_without_vcf_maps_as_s2s() {
+    // `construct` without --vcf produces a linear (single-path) graph;
+    // mapping against it is the paper's sequence-to-sequence special case.
+    let dir = TempDir::new("s2s");
+    let prefix = dir.path("lin");
+    run(&[
+        "simulate",
+        "--out-prefix", &prefix,
+        "--length", "20000",
+        "--reads", "8",
+        "--read-len", "100",
+        "--seed", "3",
+    ])
+    .expect("simulate");
+
+    let linear_gfa = dir.path("linear.gfa");
+    run(&[
+        "construct",
+        "--reference", &format!("{prefix}.fa"),
+        "--output", &linear_gfa,
+    ])
+    .expect("construct without VCF");
+
+    let out = dir.path("s2s.sam");
+    let report = run(&[
+        "map",
+        "--graph", &linear_gfa,
+        "--reads", &format!("{prefix}.fq"),
+        "--output", &out,
+        "--both-strands",
+    ])
+    .expect("map against linear graph");
+    assert!(report.contains("mapped"), "{report}");
+    let sam = fs::read_to_string(&out).unwrap();
+    // Most 1%-error reads map even against the variant-free reference
+    // (variants the simulator embedded just cost an edit or two).
+    let mapped = sam
+        .lines()
+        .filter(|l| !l.starts_with('@'))
+        .filter(|l| l.split('\t').nth(1) != Some("4"))
+        .count();
+    assert!(mapped >= 6, "only {mapped}/8 reads mapped in S2S mode:\n{sam}");
+}

@@ -1,0 +1,416 @@
+//! Software baseline mappers, reproducing the *algorithmic cores* of the
+//! tools the paper compares against (see DESIGN.md's substitution table):
+//!
+//! * [`GraphAlignerLike`] — seed-and-extend with minimizer seeding,
+//!   aggressive seed filtering, and bit-parallel alignment (GraphAligner is
+//!   itself bitvector-based; Rautiainen & Marschall 2020);
+//! * [`VgLike`] — seed-and-extend with chunked DP alignment (vg divides
+//!   the read into overlapping chunks to shrink the DP table — the paper's
+//!   Observation 2 discussion);
+//! * [`HgaLike`] — whole-graph DP with no seeding, mirroring how the paper
+//!   treats HGA ("HGA takes all of the nodes of a given graph into
+//!   consideration instead of a small region", Section 10 fn. 5).
+//!
+//! All three are instrumented per pipeline step so the Section 3
+//! observations (alignment dominates; sublinear thread scaling) can be
+//! re-measured on this reproduction.
+
+use std::time::{Duration, Instant};
+
+use segram_align::{graph_dp_distance, windowed_bitalign, StartMode};
+use segram_graph::{DnaSeq, GenomeGraph, LinearizedGraph};
+use segram_index::{frequency_threshold, GraphIndex, MinSeed, MinSeedConfig};
+
+use crate::config::SegramConfig;
+
+/// A mapping produced by a baseline mapper (location + distance only; the
+/// baselines are throughput comparators, not CIGAR producers here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineMapping {
+    /// Best edit distance found.
+    pub edit_distance: u32,
+    /// Linear coordinate of the mapping's start.
+    pub linear_start: u64,
+}
+
+/// Per-step timing of a baseline mapper run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTimes {
+    /// Seeding (minimizer extraction + index lookup + region calc).
+    pub seeding: Duration,
+    /// Seed filtering / chaining surrogate.
+    pub filtering: Duration,
+    /// Alignment.
+    pub alignment: Duration,
+}
+
+impl StepTimes {
+    /// Merge another read's times.
+    pub fn merge(&mut self, other: &StepTimes) {
+        self.seeding += other.seeding;
+        self.filtering += other.filtering;
+        self.alignment += other.alignment;
+    }
+
+    /// Total time.
+    pub fn total(&self) -> Duration {
+        self.seeding + self.filtering + self.alignment
+    }
+
+    /// Fraction spent aligning (the paper's Observation 1: 50–95 %).
+    pub fn alignment_fraction(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.alignment.as_secs_f64() / total
+    }
+}
+
+/// Common interface of the software baselines.
+pub trait BaselineMapper: Send + Sync {
+    /// Tool name (paper nomenclature).
+    fn name(&self) -> &'static str;
+
+    /// Maps one read, reporting the result and per-step times.
+    fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes);
+}
+
+/// Shared seeding state of the seed-and-extend baselines.
+#[derive(Debug)]
+struct SeededBase {
+    graph: GenomeGraph,
+    index: GraphIndex,
+    config: SegramConfig,
+    freq_threshold: u32,
+}
+
+impl SeededBase {
+    fn new(graph: GenomeGraph, config: SegramConfig) -> Self {
+        let index = GraphIndex::build(&graph, config.scheme, config.bucket_bits);
+        let freq_threshold = frequency_threshold(&index, config.discard_frac);
+        Self {
+            graph,
+            index,
+            config,
+            freq_threshold,
+        }
+    }
+
+    fn minseed(&self) -> MinSeed<'_> {
+        MinSeed::new(
+            &self.graph,
+            &self.index,
+            MinSeedConfig {
+                error_rate: self.config.error_rate,
+                frequency_threshold: self.freq_threshold,
+            },
+        )
+    }
+}
+
+/// GraphAligner-like: seeding + Minimap2-style anchor chaining (keep the
+/// best few chains) + bit-parallel windowed alignment. The chaining step
+/// is what collapses GraphAligner's seed counts so drastically in §11.4
+/// (77 M seeds → 48 k extensions).
+#[derive(Debug)]
+pub struct GraphAlignerLike {
+    base: SeededBase,
+    /// Chaining parameters; `chain.max_chains` bounds the extensions per
+    /// read.
+    pub chain: segram_index::ChainConfig,
+}
+
+impl GraphAlignerLike {
+    /// Builds the baseline over a graph.
+    pub fn new(graph: GenomeGraph, config: SegramConfig) -> Self {
+        Self {
+            base: SeededBase::new(graph, config),
+            chain: segram_index::ChainConfig::default(),
+        }
+    }
+}
+
+impl BaselineMapper for GraphAlignerLike {
+    fn name(&self) -> &'static str {
+        "GraphAligner-like"
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes) {
+        let mut times = StepTimes::default();
+        let t0 = Instant::now();
+        let seeding = self.base.minseed().seed(read);
+        times.seeding = t0.elapsed();
+
+        // Chaining: co-linear anchors merge into few candidate loci.
+        let t1 = Instant::now();
+        let k = self.base.config.scheme.k as u32;
+        let anchors: Vec<segram_index::Anchor> = seeding
+            .regions
+            .iter()
+            .filter_map(|r| segram_index::Anchor::from_region(&self.base.graph, r, k))
+            .collect();
+        let chains = segram_index::chain_anchors(&anchors, &self.chain);
+        let pad = (read.len() as u64 * 5 / 4) + 32;
+        let clusters: Vec<(u64, u64)> = chains
+            .iter()
+            .map(|c| {
+                (
+                    c.ref_start.saturating_sub(pad),
+                    (c.ref_end + pad).min(self.base.graph.total_chars()),
+                )
+            })
+            .collect();
+        times.filtering = t1.elapsed();
+
+        let t2 = Instant::now();
+        let mut best: Option<BaselineMapping> = None;
+        for (start, end) in clusters {
+            let Ok(lin) = LinearizedGraph::extract(&self.base.graph, start, end) else {
+                continue;
+            };
+            let mut window = self.base.config.window;
+            window.window_k = window.window_k.max(window.overlap as u32);
+            let Ok(a) = windowed_bitalign(&lin, read, window, StartMode::Free) else {
+                continue;
+            };
+            let candidate = BaselineMapping {
+                edit_distance: a.edit_distance,
+                linear_start: start + a.text_start as u64,
+            };
+            if best.map_or(true, |b| {
+                (candidate.edit_distance, candidate.linear_start)
+                    < (b.edit_distance, b.linear_start)
+            }) {
+                best = Some(candidate);
+            }
+        }
+        times.alignment = t2.elapsed();
+        (best, times)
+    }
+}
+
+/// vg-like: seeding + chunked exact DP ("vg tackles this issue by dividing
+/// the read into overlapping chunks, which reduces the size of the dynamic
+/// programming table", Observation 2).
+#[derive(Debug)]
+pub struct VgLike {
+    base: SeededBase,
+    /// Chunk size in read bases.
+    pub chunk: usize,
+    /// Maximum regions aligned per read.
+    pub max_regions: usize,
+}
+
+impl VgLike {
+    /// Builds the baseline over a graph.
+    pub fn new(graph: GenomeGraph, config: SegramConfig) -> Self {
+        Self {
+            base: SeededBase::new(graph, config),
+            chunk: 256,
+            max_regions: 4,
+        }
+    }
+}
+
+impl BaselineMapper for VgLike {
+    fn name(&self) -> &'static str {
+        "vg-like"
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes) {
+        let mut times = StepTimes::default();
+        let t0 = Instant::now();
+        let seeding = self.base.minseed().seed(read);
+        times.seeding = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut regions = seeding.regions;
+        regions.truncate(self.max_regions);
+        times.filtering = t1.elapsed();
+
+        let t2 = Instant::now();
+        let mut best: Option<BaselineMapping> = None;
+        for region in regions {
+            let Ok(lin) = LinearizedGraph::extract(&self.base.graph, region.start, region.end)
+            else {
+                continue;
+            };
+            // Chunked DP: exact distance per chunk, summed; chunk windows
+            // slide along the region proportionally.
+            let mut total = 0u32;
+            let mut q = 0usize;
+            let mut text_cursor = 0usize;
+            let mut feasible = true;
+            while q < read.len() {
+                let chunk_end = (q + self.chunk).min(read.len());
+                let chunk_seq = read.slice(q, chunk_end);
+                let slack = self.chunk / 4 + 16;
+                let from = text_cursor.min(lin.len().saturating_sub(1));
+                let to = (from + (chunk_end - q) + slack).min(lin.len());
+                if to <= from {
+                    feasible = false;
+                    break;
+                }
+                let window = lin.window(from, to);
+                let start = if q == 0 {
+                    StartMode::Free
+                } else {
+                    StartMode::Anchored(0)
+                };
+                match graph_dp_distance(&window, &chunk_seq, start) {
+                    Ok((d, s)) => {
+                        total += d;
+                        text_cursor = from + s + (chunk_end - q); // approximate advance
+                    }
+                    Err(_) => {
+                        feasible = false;
+                        break;
+                    }
+                }
+                q = chunk_end;
+            }
+            if !feasible {
+                continue;
+            }
+            let candidate = BaselineMapping {
+                edit_distance: total,
+                linear_start: region.start,
+            };
+            if best.map_or(true, |b| {
+                (candidate.edit_distance, candidate.linear_start)
+                    < (b.edit_distance, b.linear_start)
+            }) {
+                best = Some(candidate);
+            }
+        }
+        times.alignment = t2.elapsed();
+        (best, times)
+    }
+}
+
+/// HGA-like: whole-graph DP with no seeding step at all.
+#[derive(Debug)]
+pub struct HgaLike {
+    graph: GenomeGraph,
+    lin: LinearizedGraph,
+}
+
+impl HgaLike {
+    /// Builds the baseline: linearizes the whole graph once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the graph is empty.
+    pub fn new(graph: GenomeGraph) -> Self {
+        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars())
+            .expect("non-empty graph");
+        Self { graph, lin }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &GenomeGraph {
+        &self.graph
+    }
+}
+
+impl BaselineMapper for HgaLike {
+    fn name(&self) -> &'static str {
+        "HGA-like"
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes) {
+        let mut times = StepTimes::default();
+        let t0 = Instant::now();
+        let result = graph_dp_distance(&self.lin, read, StartMode::Free).ok();
+        times.alignment = t0.elapsed();
+        (
+            result.map(|(d, start)| BaselineMapping {
+                edit_distance: d,
+                linear_start: start as u64,
+            }),
+            times,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_sim::DatasetConfig;
+
+    fn accuracy(mapper: &dyn BaselineMapper, dataset: &segram_sim::Dataset) -> (f64, StepTimes) {
+        let mut near = 0usize;
+        let mut times = StepTimes::default();
+        for read in &dataset.reads {
+            let (m, t) = mapper.map_read(&read.seq);
+            times.merge(&t);
+            if let Some(m) = m {
+                if m.linear_start.abs_diff(read.true_start_linear) < 150 {
+                    near += 1;
+                }
+            }
+        }
+        (near as f64 / dataset.reads.len() as f64, times)
+    }
+
+    #[test]
+    fn graphaligner_like_maps_short_reads() {
+        let dataset = DatasetConfig::tiny(61).illumina(100);
+        let mapper =
+            GraphAlignerLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let (acc, times) = accuracy(&mapper, &dataset);
+        assert!(acc > 0.8, "accuracy {acc}");
+        assert!(times.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn vg_like_maps_short_reads() {
+        let dataset = DatasetConfig::tiny(63).illumina(100);
+        let mapper = VgLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let (acc, _) = accuracy(&mapper, &dataset);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn hga_like_finds_the_global_optimum() {
+        let mut config = DatasetConfig::tiny(65);
+        config.reference_len = 5_000;
+        config.read_count = 5;
+        let dataset = config.illumina(100);
+        let mapper = HgaLike::new(dataset.graph().clone());
+        for read in &dataset.reads {
+            let (m, times) = mapper.map_read(&read.seq);
+            let m = m.expect("whole-graph DP always yields a distance");
+            // Whole-graph DP must do at least as well as any seeded method.
+            assert!(m.edit_distance <= read.injected_errors + 5);
+            assert_eq!(times.seeding, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn alignment_dominates_baseline_time() {
+        // Observation 1: the alignment step is 50-95% of end-to-end time.
+        let dataset = DatasetConfig::tiny(67).illumina(150);
+        let mapper = VgLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let (_, times) = accuracy(&mapper, &dataset);
+        assert!(
+            times.alignment_fraction() > 0.5,
+            "alignment fraction {}",
+            times.alignment_fraction()
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let dataset = DatasetConfig::tiny(69).illumina(100);
+        let a = GraphAlignerLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let b = VgLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let c = HgaLike::new(dataset.graph().clone());
+        let names = [a.name(), b.name(), c.name()];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

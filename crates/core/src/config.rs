@@ -1,0 +1,119 @@
+//! End-to-end mapper configuration.
+
+use segram_align::WindowConfig;
+use segram_filter::FilterSpec;
+use segram_index::MinimizerScheme;
+
+/// Configuration of a [`SegramMapper`](crate::SegramMapper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegramConfig {
+    /// Minimizer scheme used for indexing and seeding. The paper follows
+    /// Minimap2's defaults (`w = 10, k = 15` for short reads;
+    /// `w = 10, k = 15`/`19` for long).
+    pub scheme: MinimizerScheme,
+    /// `log2` of the first-level bucket count (paper: 24; scaled-down
+    /// defaults use fewer for small synthetic genomes).
+    pub bucket_bits: u32,
+    /// Fraction of most-frequent minimizers to discard (paper: 0.02 %).
+    pub discard_frac: f64,
+    /// Expected read error rate `E` (enters seed-region extension,
+    /// Figure 9, and the alignment threshold).
+    pub error_rate: f64,
+    /// Multiplier on `read_len * error_rate` when deriving the edit
+    /// threshold `k` for alignment.
+    pub threshold_margin: f64,
+    /// Window configuration for long-read alignment.
+    pub window: WindowConfig,
+    /// Align at most this many candidate regions per read (0 = unlimited).
+    /// MinSeed itself performs no such filtering (Section 11.4); this knob
+    /// exists for the baseline mappers that do.
+    pub max_regions: usize,
+    /// Stop early once an alignment with at most this many edits is found
+    /// (0 disables early exit).
+    pub early_exit_edits: u32,
+    /// Optional pre-alignment filter applied to candidate regions before
+    /// BitAlign (the future-work study of the paper's footnote 6; see
+    /// [`segram_filter::filter_region`] for the graph-soundness rules).
+    /// `None` reproduces the paper's filter-free MinSeed.
+    pub prefilter: Option<FilterSpec>,
+}
+
+impl SegramConfig {
+    /// A configuration for short accurate reads (Illumina-like).
+    pub fn short_reads() -> Self {
+        Self {
+            scheme: MinimizerScheme::new(10, 15),
+            bucket_bits: 16,
+            discard_frac: 0.0002,
+            error_rate: 0.05,
+            threshold_margin: 2.0,
+            window: WindowConfig::bitalign(),
+            max_regions: 0,
+            early_exit_edits: 0,
+            prefilter: None,
+        }
+    }
+
+    /// A configuration for long noisy reads (PacBio/ONT-like).
+    pub fn long_reads(error_rate: f64) -> Self {
+        Self {
+            scheme: MinimizerScheme::new(10, 15),
+            bucket_bits: 16,
+            discard_frac: 0.0002,
+            error_rate,
+            threshold_margin: 1.6,
+            window: WindowConfig::bitalign(),
+            max_regions: 0,
+            early_exit_edits: 0,
+            prefilter: None,
+        }
+    }
+
+    /// Returns a copy with the given pre-alignment filter enabled.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use segram_core::SegramConfig;
+    /// use segram_filter::FilterSpec;
+    ///
+    /// let config = SegramConfig::short_reads().with_prefilter(FilterSpec::cascade());
+    /// assert_eq!(config.prefilter, Some(FilterSpec::cascade()));
+    /// ```
+    pub fn with_prefilter(mut self, filter: FilterSpec) -> Self {
+        self.prefilter = Some(filter);
+        self
+    }
+
+    /// Edit-distance threshold for a read of `len` bases.
+    pub fn threshold_for(&self, len: usize) -> u32 {
+        ((len as f64) * self.error_rate * self.threshold_margin).ceil() as u32 + 2
+    }
+}
+
+impl Default for SegramConfig {
+    fn default() -> Self {
+        Self::short_reads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_scale_with_error_rate() {
+        let short = SegramConfig::short_reads();
+        let long = SegramConfig::long_reads(0.10);
+        assert!(long.threshold_for(10_000) > short.threshold_for(10_000));
+        assert!(short.threshold_for(100) >= 2);
+    }
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let short = SegramConfig::short_reads();
+        let long = SegramConfig::long_reads(0.10);
+        assert_eq!(short.scheme, long.scheme);
+        assert!(long.error_rate > short.error_rate);
+    }
+}

@@ -1,0 +1,187 @@
+//! Mapping-quality evaluation against simulation ground truth: the
+//! sensitivity metric of §11.4 ("the metric that measures the accuracy of
+//! a seeding or filtering mechanism in keeping the seeds that would lead
+//! to the optimal alignment") plus standard mapper accuracy accounting.
+
+use segram_sim::SimulatedRead;
+
+use crate::mapper::SegramMapper;
+
+/// Aggregate evaluation of a mapper over a truth-labelled read set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Evaluation {
+    /// Total reads evaluated.
+    pub reads: usize,
+    /// Reads that produced a mapping.
+    pub mapped: usize,
+    /// Mapped reads whose location matches the simulated truth within the
+    /// tolerance.
+    pub correct: usize,
+    /// Mapped reads at a wrong location.
+    pub mismapped: usize,
+    /// Reads with no mapping at all.
+    pub unmapped: usize,
+    /// Sum of reported edit distances over mapped reads.
+    pub total_edits: u64,
+    /// Sum of simulator-injected errors over all reads (the lower bound on
+    /// achievable edits when every variant is represented in the graph).
+    pub total_injected_errors: u64,
+}
+
+impl Evaluation {
+    /// Fraction of reads mapped.
+    pub fn mapped_fraction(&self) -> f64 {
+        fraction(self.mapped, self.reads)
+    }
+
+    /// Fraction of mapped reads at the true location (precision-like).
+    pub fn precision(&self) -> f64 {
+        fraction(self.correct, self.mapped)
+    }
+
+    /// Fraction of all reads correctly mapped (recall/sensitivity-like).
+    pub fn sensitivity(&self) -> f64 {
+        fraction(self.correct, self.reads)
+    }
+
+    /// Mean reported edits per mapped read.
+    pub fn mean_edits(&self) -> f64 {
+        if self.mapped == 0 {
+            0.0
+        } else {
+            self.total_edits as f64 / self.mapped as f64
+        }
+    }
+
+    /// How close reported edits come to the injected-error lower bound
+    /// (1.0 = every alignment is as clean as the simulation allows; values
+    /// above 1.0 indicate residual reference bias or mis-mappings).
+    pub fn edit_inflation(&self) -> f64 {
+        if self.total_injected_errors == 0 {
+            return if self.total_edits == 0 { 1.0 } else { f64::INFINITY };
+        }
+        self.total_edits as f64 / self.total_injected_errors as f64
+    }
+}
+
+fn fraction(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Evaluates `mapper` over truth-labelled reads; a mapping is *correct*
+/// when its linear start is within `tolerance` of the simulated start.
+pub fn evaluate(mapper: &SegramMapper, reads: &[SimulatedRead], tolerance: u64) -> Evaluation {
+    let mut eval = Evaluation {
+        reads: reads.len(),
+        ..Evaluation::default()
+    };
+    for read in reads {
+        eval.total_injected_errors += u64::from(read.injected_errors);
+        let (mapping, _) = mapper.map_read(&read.seq);
+        match mapping {
+            Some(m) => {
+                eval.mapped += 1;
+                eval.total_edits += u64::from(m.alignment.edit_distance);
+                if m.linear_start.abs_diff(read.true_start_linear) <= tolerance {
+                    eval.correct += 1;
+                } else {
+                    eval.mismapped += 1;
+                }
+            }
+            None => eval.unmapped += 1,
+        }
+    }
+    eval
+}
+
+/// Seeding sensitivity (§11.4): fraction of reads for which MinSeed keeps
+/// at least one seed region covering the true location — independent of
+/// the alignment step.
+pub fn seeding_sensitivity(
+    mapper: &SegramMapper,
+    reads: &[SimulatedRead],
+    tolerance: u64,
+) -> f64 {
+    if reads.is_empty() {
+        return 0.0;
+    }
+    let mut covered = 0usize;
+    for read in reads {
+        let result = mapper.seed(&read.seq);
+        let truth = read.true_start_linear;
+        if result.regions.iter().any(|r| {
+            r.start.saturating_sub(tolerance) <= truth && truth <= r.end + tolerance
+        }) {
+            covered += 1;
+        }
+    }
+    covered as f64 / reads.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegramConfig;
+    use segram_sim::DatasetConfig;
+
+    fn setup() -> (SegramMapper, Vec<SimulatedRead>) {
+        let dataset = DatasetConfig::tiny(141).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        (mapper, dataset.reads)
+    }
+
+    #[test]
+    fn evaluation_counts_are_consistent() {
+        let (mapper, reads) = setup();
+        let eval = evaluate(&mapper, &reads, 100);
+        assert_eq!(eval.reads, reads.len());
+        assert_eq!(eval.mapped + eval.unmapped, eval.reads);
+        assert_eq!(eval.correct + eval.mismapped, eval.mapped);
+        assert!(eval.sensitivity() <= eval.mapped_fraction());
+        assert!(eval.precision() <= 1.0);
+    }
+
+    #[test]
+    fn mapper_is_accurate_on_clean_data() {
+        let (mapper, reads) = setup();
+        let eval = evaluate(&mapper, &reads, 100);
+        assert!(eval.sensitivity() > 0.7, "{eval:?}");
+        // Alignments should not need many more edits than were injected.
+        assert!(eval.edit_inflation() < 2.0, "{eval:?}");
+    }
+
+    #[test]
+    fn seeding_sensitivity_bounds_mapping_sensitivity() {
+        let (mapper, reads) = setup();
+        let seeding = seeding_sensitivity(&mapper, &reads, 100);
+        let eval = evaluate(&mapper, &reads, 100);
+        // You cannot map correctly where you never seeded.
+        assert!(seeding + 1e-9 >= eval.sensitivity(), "{seeding} vs {}", eval.sensitivity());
+        assert!(seeding > 0.9, "seeding sensitivity {seeding}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (mapper, _) = setup();
+        let eval = evaluate(&mapper, &[], 10);
+        assert_eq!(eval.reads, 0);
+        assert_eq!(eval.mapped_fraction(), 0.0);
+        assert_eq!(seeding_sensitivity(&mapper, &[], 10), 0.0);
+    }
+
+    #[test]
+    fn edit_inflation_handles_zero_errors() {
+        let eval = Evaluation {
+            reads: 1,
+            mapped: 1,
+            total_edits: 0,
+            total_injected_errors: 0,
+            ..Evaluation::default()
+        };
+        assert_eq!(eval.edit_inflation(), 1.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # segram-core
+//!
+//! The paper's primary contribution as a library: the **SeGraM** universal
+//! genomic mapping pipeline (ISCA 2022) — MinSeed seeding + BitAlign
+//! alignment — supporting all three use cases of Section 9:
+//!
+//! 1. **End-to-end mapping** ([`SegramMapper::map_read`]), for
+//!    sequence-to-graph and (via [`SegramMapper::new_linear`])
+//!    sequence-to-sequence mapping, short and long reads;
+//! 2. **Standalone alignment** ([`SegramMapper::align_region`]);
+//! 3. **Standalone seeding** ([`SegramMapper::seed`]).
+//!
+//! It also hosts the software baseline mappers used by the evaluation
+//! ([`GraphAlignerLike`], [`VgLike`], [`HgaLike`]) and the workload
+//! measurement that parameterizes the `segram-hw` performance model
+//! ([`measure_workload`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use segram_core::{SegramConfig, SegramMapper};
+//! use segram_sim::DatasetConfig;
+//!
+//! let dataset = DatasetConfig::tiny(3).illumina(100);
+//! let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+//! let (mapping, stats) = mapper.map_read(&dataset.reads[0].seq);
+//! assert!(mapping.is_some());
+//! assert!(stats.minimizers > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod config;
+mod eval;
+mod mapper;
+mod pangenome;
+mod sam;
+mod workload;
+
+pub use baseline::{
+    BaselineMapper, BaselineMapping, GraphAlignerLike, HgaLike, StepTimes, VgLike,
+};
+pub use config::SegramConfig;
+pub use eval::{evaluate, seeding_sensitivity, Evaluation};
+pub use pangenome::{Chromosome, Pangenome, PangenomeMapping};
+pub use sam::{mapq_estimate, sam_document, SamRecord};
+pub use mapper::{MapStats, Mapping, SegramMapper};
+pub use workload::{
+    map_with_threads, measure_sequences, measure_workload, WorkloadMeasurement,
+};

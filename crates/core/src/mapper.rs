@@ -1,0 +1,512 @@
+//! The end-to-end SeGraM mapper: MinSeed seeding + BitAlign alignment
+//! (the "End-to-End Mapping" use case of Section 9), for both
+//! sequence-to-graph and sequence-to-sequence mapping, short and long
+//! reads.
+
+use std::time::Duration;
+use std::time::Instant;
+
+use segram_align::{
+    windowed_bitalign, Alignment, AlignError, BitAlignConfig, BitAligner, StartMode,
+};
+use segram_graph::{
+    linear_graph, DnaSeq, GenomeGraph, GraphError, GraphPos, LinearizedGraph,
+};
+use segram_index::{frequency_threshold, GraphIndex, MinSeed, MinSeedConfig, SeedRegion};
+
+use crate::config::SegramConfig;
+
+/// A completed read mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// The winning alignment.
+    pub alignment: Alignment,
+    /// The candidate region it came from.
+    pub region: SeedRegion,
+    /// Graph position of the alignment's first consumed character.
+    pub start: GraphPos,
+    /// Linear coordinate of the alignment's first consumed character.
+    pub linear_start: u64,
+    /// Graph provenance of every consumed reference character, in path
+    /// order (the input for GAF output, where the node path is explicit).
+    pub path: Vec<GraphPos>,
+}
+
+/// Per-read pipeline statistics (times + counts), the instrumentation the
+/// Section 3 observations and Section 11.4 analysis are based on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MapStats {
+    /// Time spent in the seeding step.
+    pub seeding: Duration,
+    /// Time spent in the alignment step.
+    pub alignment: Duration,
+    /// Minimizers extracted.
+    pub minimizers: usize,
+    /// Minimizers discarded by the frequency filter.
+    pub filtered_minimizers: usize,
+    /// Seed locations fetched.
+    pub seed_locations: usize,
+    /// Candidate regions aligned.
+    pub regions_aligned: usize,
+    /// Candidate regions rejected by the optional pre-alignment filter
+    /// before reaching BitAlign (always 0 when
+    /// [`SegramConfig::prefilter`](crate::SegramConfig) is `None`).
+    pub regions_filtered: usize,
+    /// Sum of aligned region lengths (for workload measurement).
+    pub total_region_len: u64,
+}
+
+impl MapStats {
+    /// Merges another read's stats into an aggregate.
+    pub fn merge(&mut self, other: &MapStats) {
+        self.seeding += other.seeding;
+        self.alignment += other.alignment;
+        self.minimizers += other.minimizers;
+        self.filtered_minimizers += other.filtered_minimizers;
+        self.seed_locations += other.seed_locations;
+        self.regions_aligned += other.regions_aligned;
+        self.regions_filtered += other.regions_filtered;
+        self.total_region_len += other.total_region_len;
+    }
+
+    /// Fraction of pipeline time spent in alignment (Observation 1 metric).
+    pub fn alignment_fraction(&self) -> f64 {
+        let total = self.seeding.as_secs_f64() + self.alignment.as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.alignment.as_secs_f64() / total
+    }
+}
+
+/// The SeGraM mapper bound to one reference graph.
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{SegramConfig, SegramMapper};
+/// use segram_sim::DatasetConfig;
+///
+/// let dataset = DatasetConfig::tiny(3).illumina(100);
+/// let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+/// let read = &dataset.reads[0];
+/// let (mapping, _stats) = mapper.map_read(&read.seq);
+/// let mapping = mapping.expect("simulated read must map");
+/// // The mapping lands near the read's true origin.
+/// let err = mapping.linear_start.abs_diff(read.true_start_linear);
+/// assert!(err < 50, "mapped {} vs true {}", mapping.linear_start, read.true_start_linear);
+/// ```
+#[derive(Debug)]
+pub struct SegramMapper {
+    graph: GenomeGraph,
+    index: GraphIndex,
+    config: SegramConfig,
+    freq_threshold: u32,
+}
+
+impl SegramMapper {
+    /// Builds the mapper: indexes the graph and derives the frequency
+    /// threshold (the two pre-processing steps of Section 5).
+    pub fn new(graph: GenomeGraph, config: SegramConfig) -> Self {
+        let index = GraphIndex::build(&graph, config.scheme, config.bucket_bits);
+        let freq_threshold = frequency_threshold(&index, config.discard_frac);
+        Self {
+            graph,
+            index,
+            config,
+            freq_threshold,
+        }
+    }
+
+    /// Builds a sequence-to-sequence mapper from a linear reference
+    /// (Section 9: S2S mapping is the single-successor special case).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the reference is empty.
+    pub fn new_linear(reference: &DnaSeq, config: SegramConfig) -> Result<Self, GraphError> {
+        let graph = linear_graph(reference, 4096)?;
+        Ok(Self::new(graph, config))
+    }
+
+    /// The reference graph.
+    pub fn graph(&self) -> &GenomeGraph {
+        &self.graph
+    }
+
+    /// The hash-table index.
+    pub fn index(&self) -> &GraphIndex {
+        &self.index
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SegramConfig {
+        &self.config
+    }
+
+    /// The derived frequency-filter threshold.
+    pub fn freq_threshold(&self) -> u32 {
+        self.freq_threshold
+    }
+
+    fn minseed(&self) -> MinSeed<'_> {
+        MinSeed::new(
+            &self.graph,
+            &self.index,
+            MinSeedConfig {
+                error_rate: self.config.error_rate,
+                frequency_threshold: self.freq_threshold,
+            },
+        )
+    }
+
+    /// Runs the seeding step only (the "Seeding" use case of Section 9).
+    pub fn seed(&self, read: &DnaSeq) -> segram_index::SeedingResult {
+        self.minseed().seed(read)
+    }
+
+    /// Aligns a read against one already-extracted subgraph (the
+    /// "Alignment" use case of Section 9) with this mapper's thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment errors (e.g. threshold exceeded).
+    pub fn align_region(
+        &self,
+        lin: &LinearizedGraph,
+        read: &DnaSeq,
+    ) -> Result<Alignment, AlignError> {
+        let k = self.config.threshold_for(read.len());
+        if read.len() <= self.config.window.window {
+            BitAligner::new(lin, read, BitAlignConfig { k, ..BitAlignConfig::default() })?.align()
+        } else {
+            let mut window = self.config.window;
+            window.window_k = window.window_k.max(window.overlap as u32);
+            windowed_bitalign(lin, read, window, StartMode::Free)
+        }
+    }
+
+    /// Maps one read end to end; returns the best mapping (fewest edits,
+    /// then leftmost) and the pipeline statistics.
+    pub fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+        let mut stats = MapStats::default();
+        let t0 = Instant::now();
+        let seeding = self.minseed().seed(read);
+        stats.seeding = t0.elapsed();
+        stats.minimizers = seeding.stats.minimizers;
+        stats.filtered_minimizers = seeding.stats.filtered_minimizers;
+        stats.seed_locations = seeding.stats.seed_locations;
+
+        let t1 = Instant::now();
+        let mut best: Option<Mapping> = None;
+        let mut regions = seeding.regions;
+        if self.config.max_regions > 0 && regions.len() > self.config.max_regions {
+            // The pipeline's optional clustering step (Figure 2, step 2):
+            // seeds from one locus produce near-identical regions, so
+            // cluster them before truncating — otherwise the cap keeps
+            // only the read's first (often repeat-heavy) minimizers and
+            // drops the true locus entirely. MinSeed itself stays
+            // cluster-free (Section 11.4); this only runs when the caller
+            // opted into a region cap.
+            regions.sort_by_key(|r| r.start);
+            let merge_within = (read.len() as u64).max(64);
+            let mut clusters: Vec<(SeedRegion, usize)> = Vec::new();
+            for region in regions.drain(..) {
+                match clusters.last_mut() {
+                    Some((head, count))
+                        if region.start.saturating_sub(head.start) < merge_within =>
+                    {
+                        *count += 1;
+                    }
+                    _ => clusters.push((region, 1)),
+                }
+            }
+            // Rank loci by seed support: the true locus collects hits from
+            // many of the read's minimizers, repeats collect few each.
+            clusters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.start.cmp(&b.0.start)));
+            regions = clusters
+                .into_iter()
+                .take(self.config.max_regions)
+                .map(|(region, _)| region)
+                .collect();
+        }
+        // An alignment whose edit count stays below this is plausibly
+        // error-only; anything above it hints that the read's path left the
+        // linear-coordinate window (e.g. a hop across a structural-variant
+        // deletion, whose deleted characters sit inline in the
+        // linearization), so the region is retried wider.
+        let plausible =
+            ((read.len() as f64) * self.config.error_rate * 1.5).ceil() as u32 + 4;
+        let filter_k = self.config.threshold_for(read.len()).max(plausible);
+        for region in regions {
+            let mut window_start = region.start;
+            let mut window_end = region.end;
+            let mut outcome: Option<(segram_align::Alignment, LinearizedGraph)> = None;
+            for attempt in 0..3u32 {
+                let Ok(lin) = LinearizedGraph::extract(&self.graph, window_start, window_end)
+                else {
+                    break;
+                };
+                if let Some(spec) = self.config.prefilter {
+                    let verdict =
+                        segram_filter::filter_region(spec, read.as_slice(), &lin, filter_k);
+                    if !verdict.accepted {
+                        // Treat a rejection like an implausible alignment:
+                        // widen and re-filter, so structural-variant hops
+                        // that the narrow window clips still get rescued.
+                        stats.regions_filtered += 1;
+                        let ext = (read.len() as u64).max(256) << attempt;
+                        window_start = window_start.saturating_sub(ext);
+                        window_end = (window_end + ext).min(self.graph.total_chars());
+                        continue;
+                    }
+                }
+                stats.regions_aligned += 1;
+                stats.total_region_len += window_end - window_start;
+                match self.align_region(&lin, read) {
+                    Ok(a) if a.edit_distance <= plausible => {
+                        outcome = Some((a, lin));
+                        break;
+                    }
+                    Ok(a) => outcome = Some((a, lin)),
+                    Err(_) => {}
+                }
+                // Widen and retry (bounded): covers SV-sized hops.
+                let ext = (read.len() as u64).max(256) << attempt;
+                window_start = window_start.saturating_sub(ext);
+                window_end = (window_end + ext).min(self.graph.total_chars());
+            }
+            let Some((alignment, lin)) = outcome else {
+                continue;
+            };
+            let linear_start = window_start + alignment.text_start as u64;
+            let candidate = Mapping {
+                start: lin.origin(alignment.text_start.min(lin.len() - 1)),
+                linear_start,
+                path: alignment.graph_path(&lin),
+                alignment,
+                region,
+            };
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    (candidate.alignment.edit_distance, candidate.linear_start)
+                        < (current.alignment.edit_distance, current.linear_start)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+            if let Some(current) = &best {
+                if self.config.early_exit_edits > 0
+                    && current.alignment.edit_distance <= self.config.early_exit_edits
+                {
+                    break;
+                }
+            }
+        }
+        stats.alignment = t1.elapsed();
+        (best, stats)
+    }
+
+    /// Maps a read trying **both strands** (the read as given and its
+    /// reverse complement), returning the better mapping and the strand it
+    /// mapped on. Sequencers emit reads from either strand with equal
+    /// probability, so end-to-end mappers always do this double query; the
+    /// hardware does too (each orientation is just another read stream).
+    pub fn map_read_both(
+        &self,
+        read: &DnaSeq,
+    ) -> (Option<(Mapping, segram_sim::Strand)>, MapStats) {
+        let (forward, mut stats) = self.map_read(read);
+        let rc = read.reverse_complement();
+        let (reverse, reverse_stats) = self.map_read(&rc);
+        stats.merge(&reverse_stats);
+        let best = match (forward, reverse) {
+            (Some(f), Some(r)) => {
+                if f.alignment.edit_distance <= r.alignment.edit_distance {
+                    Some((f, segram_sim::Strand::Forward))
+                } else {
+                    Some((r, segram_sim::Strand::Reverse))
+                }
+            }
+            (Some(f), None) => Some((f, segram_sim::Strand::Forward)),
+            (None, Some(r)) => Some((r, segram_sim::Strand::Reverse)),
+            (None, None) => None,
+        };
+        (best, stats)
+    }
+
+    /// Maps a batch of reads, returning per-read mappings and the
+    /// aggregated statistics.
+    pub fn map_all<'r>(
+        &self,
+        reads: impl IntoIterator<Item = &'r DnaSeq>,
+    ) -> (Vec<Option<Mapping>>, MapStats) {
+        let mut aggregate = MapStats::default();
+        let mut out = Vec::new();
+        for read in reads {
+            let (mapping, stats) = self.map_read(read);
+            aggregate.merge(&stats);
+            out.push(mapping);
+        }
+        (out, aggregate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_sim::{DatasetConfig, ErrorProfile, ReadConfig};
+
+    #[test]
+    fn short_reads_map_accurately() {
+        let dataset = DatasetConfig::tiny(31).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let mut mapped = 0usize;
+        let mut near_truth = 0usize;
+        for read in &dataset.reads {
+            let (mapping, _) = mapper.map_read(&read.seq);
+            if let Some(m) = mapping {
+                mapped += 1;
+                if m.linear_start.abs_diff(read.true_start_linear) < 100 {
+                    near_truth += 1;
+                }
+            }
+        }
+        assert!(mapped >= dataset.reads.len() * 9 / 10, "mapped {mapped}");
+        assert!(near_truth * 10 >= mapped * 9, "near {near_truth} of {mapped}");
+    }
+
+    #[test]
+    fn long_noisy_reads_map() {
+        let dataset = {
+            let mut c = DatasetConfig::tiny(33);
+            c.read_count = 5;
+            c.long_read_len = 1500;
+            c
+        }
+        .pacbio_5();
+        let mapper =
+            SegramMapper::new(dataset.graph().clone(), SegramConfig::long_reads(0.05));
+        let mut hits = 0;
+        for read in &dataset.reads {
+            let (mapping, stats) = mapper.map_read(&read.seq);
+            assert!(stats.minimizers > 0);
+            if let Some(m) = mapping {
+                if m.linear_start.abs_diff(read.true_start_linear) < 200 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 4, "only {hits}/5 long reads mapped near truth");
+    }
+
+    #[test]
+    fn s2s_mode_maps_against_linear_reference() {
+        let reference = segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(
+            20_000, 55,
+        ));
+        let mapper =
+            SegramMapper::new_linear(&reference, SegramConfig::short_reads()).unwrap();
+        // Every node of the linear graph has at most one successor.
+        for node in mapper.graph().node_ids() {
+            assert!(mapper.graph().successors(node).len() <= 1);
+        }
+        let read = reference.slice(5000, 5100);
+        let (mapping, _) = mapper.map_read(&read);
+        let m = mapping.expect("exact read must map");
+        assert_eq!(m.alignment.edit_distance, 0);
+        assert_eq!(m.linear_start, 5000);
+    }
+
+    #[test]
+    fn early_exit_reduces_alignments() {
+        let dataset = DatasetConfig::tiny(37).illumina(150);
+        let mut eager = SegramConfig::short_reads();
+        eager.early_exit_edits = 3;
+        let lazy_mapper =
+            SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let eager_mapper = SegramMapper::new(dataset.graph().clone(), eager);
+        let read = &dataset.reads[0].seq;
+        let (_, lazy_stats) = lazy_mapper.map_read(read);
+        let (_, eager_stats) = eager_mapper.map_read(read);
+        assert!(eager_stats.regions_aligned <= lazy_stats.regions_aligned);
+    }
+
+    #[test]
+    fn unmappable_read_returns_none() {
+        let dataset = DatasetConfig::tiny(39).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        // A read from a *different* genome seed: overwhelmingly unlikely to
+        // share full-length matches.
+        let alien = segram_sim::simulate_reads(
+            &segram_graph::linear_graph(
+                &segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(
+                    5_000, 999,
+                )),
+                4096,
+            )
+            .unwrap(),
+            &ReadConfig {
+                count: 1,
+                len: 100,
+                errors: ErrorProfile::perfect(),
+                seed: 1000,
+            },
+        );
+        let (mapping, _) = mapper.map_read(&alien[0].seq);
+        if let Some(m) = mapping {
+            // If anything maps it must be a poor alignment, not a fake exact hit.
+            assert!(m.alignment.edit_distance > 5);
+        }
+    }
+
+    #[test]
+    fn both_strand_mapping_recovers_reverse_reads() {
+        let dataset = DatasetConfig::tiny(43).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let stranded = segram_sim::simulate_stranded_reads(
+            dataset.graph(),
+            &ReadConfig::short_reads(20, 100, 44),
+            1.0, // all reverse
+        );
+        let mut forward_only_hits = 0usize;
+        let mut both_hits = 0usize;
+        for read in &stranded {
+            if let (Some(m), _) = mapper.map_read(&read.seq) {
+                if m.linear_start.abs_diff(read.true_start_linear) < 100
+                    && m.alignment.edit_distance < 10
+                {
+                    forward_only_hits += 1;
+                }
+            }
+            if let (Some((m, strand)), _) = mapper.map_read_both(&read.seq) {
+                if m.linear_start.abs_diff(read.true_start_linear) < 100
+                    && m.alignment.edit_distance < 10
+                {
+                    both_hits += 1;
+                    assert_eq!(strand, segram_sim::Strand::Reverse);
+                }
+            }
+        }
+        // Forward-only mapping misses reverse-strand reads almost always;
+        // both-strand mapping recovers them.
+        assert!(both_hits >= 16, "both-strand hits {both_hits}");
+        assert!(
+            forward_only_hits < both_hits / 2,
+            "forward-only {forward_only_hits} vs both {both_hits}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let dataset = DatasetConfig::tiny(41).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let reads: Vec<&DnaSeq> = dataset.reads.iter().map(|r| &r.seq).take(5).collect();
+        let (mappings, stats) = mapper.map_all(reads);
+        assert_eq!(mappings.len(), 5);
+        assert!(stats.minimizers > 0);
+        assert!(stats.alignment_fraction() > 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Multi-chromosome pangenome support.
+//!
+//! The paper builds *one graph and one index per chromosome* (24 total)
+//! and, within each HBM stack, "distribute[s] the graph and index
+//! structures of all chromosomes (1–22, X, Y) based on their sizes across
+//! the eight independent channels" (Section 8.3). This module provides the
+//! multi-chromosome mapper and that size-balanced channel placement.
+
+use segram_graph::{DnaSeq, GenomeGraph, GraphTables};
+use segram_index::IndexFootprint;
+
+use crate::config::SegramConfig;
+use crate::mapper::{MapStats, Mapping, SegramMapper};
+
+/// One chromosome: a named graph plus its mapper (graph + index).
+#[derive(Debug)]
+pub struct Chromosome {
+    /// Chromosome name (e.g. `chr1`).
+    pub name: String,
+    mapper: SegramMapper,
+}
+
+impl Chromosome {
+    /// The chromosome's mapper.
+    pub fn mapper(&self) -> &SegramMapper {
+        &self.mapper
+    }
+
+    /// Total bytes of this chromosome's reference data in the paper's
+    /// memory layout (graph tables + index).
+    pub fn memory_bytes(&self) -> u64 {
+        let graph_fp = GraphTables::from_graph(self.mapper.graph()).footprint();
+        let index_fp: IndexFootprint = self.mapper.index().footprint();
+        graph_fp.total_bytes() + index_fp.total_bytes()
+    }
+}
+
+/// A pangenome: every chromosome indexed independently, mapped jointly.
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{Pangenome, SegramConfig};
+/// use segram_sim::{generate_reference, GenomeConfig};
+///
+/// let chr1 = generate_reference(&GenomeConfig::human_like(20_000, 1));
+/// let chr2 = generate_reference(&GenomeConfig::human_like(15_000, 2));
+/// let pangenome = Pangenome::from_linear_references(
+///     [("chr1".into(), chr1.clone()), ("chr2".into(), chr2)],
+///     SegramConfig::short_reads(),
+/// )?;
+/// let read = chr1.slice(4000, 4100);
+/// let hit = pangenome.map_read(&read).0.expect("read maps");
+/// assert_eq!(hit.chromosome, "chr1");
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Debug)]
+pub struct Pangenome {
+    chromosomes: Vec<Chromosome>,
+}
+
+/// A mapping annotated with its chromosome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PangenomeMapping {
+    /// Which chromosome won.
+    pub chromosome: String,
+    /// The mapping itself.
+    pub mapping: Mapping,
+}
+
+impl Pangenome {
+    /// Builds a pangenome from per-chromosome graphs.
+    pub fn new(
+        chromosomes: impl IntoIterator<Item = (String, GenomeGraph)>,
+        config: SegramConfig,
+    ) -> Self {
+        Self {
+            chromosomes: chromosomes
+                .into_iter()
+                .map(|(name, graph)| Chromosome {
+                    name,
+                    mapper: SegramMapper::new(graph, config),
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a pangenome of linear references (S2S mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any reference is empty.
+    pub fn from_linear_references(
+        references: impl IntoIterator<Item = (String, DnaSeq)>,
+        config: SegramConfig,
+    ) -> Result<Self, segram_graph::GraphError> {
+        let mut chromosomes = Vec::new();
+        for (name, reference) in references {
+            chromosomes.push(Chromosome {
+                name,
+                mapper: SegramMapper::new_linear(&reference, config)?,
+            });
+        }
+        Ok(Self { chromosomes })
+    }
+
+    /// The chromosomes.
+    pub fn chromosomes(&self) -> &[Chromosome] {
+        &self.chromosomes
+    }
+
+    /// Maps a read against every chromosome and returns the best mapping
+    /// (fewest edits; ties to the earlier chromosome), plus merged stats.
+    pub fn map_read(&self, read: &DnaSeq) -> (Option<PangenomeMapping>, MapStats) {
+        let mut best: Option<PangenomeMapping> = None;
+        let mut stats = MapStats::default();
+        for chromosome in &self.chromosomes {
+            let (mapping, s) = chromosome.mapper.map_read(read);
+            stats.merge(&s);
+            if let Some(m) = mapping {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| m.alignment.edit_distance < b.mapping.alignment.edit_distance);
+                if better {
+                    best = Some(PangenomeMapping {
+                        chromosome: chromosome.name.clone(),
+                        mapping: m,
+                    });
+                }
+            }
+        }
+        (best, stats)
+    }
+
+    /// Total reference memory (graph + index) across chromosomes.
+    pub fn total_memory_bytes(&self) -> u64 {
+        self.chromosomes.iter().map(|c| c.memory_bytes()).sum()
+    }
+
+    /// The paper's channel placement: assign chromosomes to `channels`
+    /// memory channels, balancing per-channel bytes (greedy
+    /// largest-first bin packing). Returns, per channel, the chromosome
+    /// indices assigned to it.
+    pub fn channel_placement(&self, channels: usize) -> Vec<Vec<usize>> {
+        assert!(channels > 0, "at least one channel");
+        let mut order: Vec<(usize, u64)> = self
+            .chromosomes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.memory_bytes()))
+            .collect();
+        order.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
+        let mut loads = vec![0u64; channels];
+        let mut placement = vec![Vec::new(); channels];
+        for (idx, bytes) in order {
+            let target = (0..channels)
+                .min_by_key(|&c| loads[c])
+                .expect("channels > 0");
+            loads[target] += bytes;
+            placement[target].push(idx);
+        }
+        placement
+    }
+
+    /// Imbalance of a placement: max channel load / mean channel load
+    /// (1.0 = perfectly balanced).
+    pub fn placement_imbalance(&self, placement: &[Vec<usize>]) -> f64 {
+        let loads: Vec<u64> = placement
+            .iter()
+            .map(|chrs| chrs.iter().map(|&i| self.chromosomes[i].memory_bytes()).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap_or(&0) as f64;
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::build_graph;
+    use segram_sim::{
+        generate_reference, simulate_variants, GenomeConfig, VariantConfig,
+    };
+
+    fn pangenome(sizes: &[usize]) -> Pangenome {
+        let chroms: Vec<(String, GenomeGraph)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let reference =
+                    generate_reference(&GenomeConfig::human_like(len, 300 + i as u64));
+                let variants =
+                    simulate_variants(&reference, &VariantConfig::human_like(400 + i as u64));
+                (
+                    format!("chr{}", i + 1),
+                    build_graph(&reference, variants).unwrap().graph,
+                )
+            })
+            .collect();
+        Pangenome::new(chroms, SegramConfig::short_reads())
+    }
+
+    #[test]
+    fn reads_map_to_their_chromosome() {
+        let p = pangenome(&[20_000, 20_000, 20_000]);
+        for (i, chromosome) in p.chromosomes().iter().enumerate() {
+            let graph = chromosome.mapper().graph();
+            let lin =
+                segram_graph::LinearizedGraph::extract(graph, 5_000, 5_120).unwrap();
+            let read: DnaSeq = lin.bases().iter().copied().collect();
+            let (hit, _) = p.map_read(&read);
+            let hit = hit.expect("read maps");
+            assert_eq!(hit.chromosome, format!("chr{}", i + 1));
+            assert_eq!(hit.mapping.alignment.edit_distance, 0);
+        }
+    }
+
+    #[test]
+    fn placement_balances_sizes() {
+        let p = pangenome(&[40_000, 30_000, 20_000, 15_000, 10_000, 8_000]);
+        let placement = p.channel_placement(3);
+        assert_eq!(placement.len(), 3);
+        let total_assigned: usize = placement.iter().map(|v| v.len()).sum();
+        assert_eq!(total_assigned, 6);
+        // Greedy largest-first keeps imbalance low.
+        assert!(p.placement_imbalance(&placement) < 1.35);
+        // Degenerate single-channel placement is trivially "balanced".
+        let single = p.channel_placement(1);
+        assert!((p.placement_imbalance(&single) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_accounting_sums_components() {
+        let p = pangenome(&[15_000, 15_000]);
+        let total = p.total_memory_bytes();
+        let by_parts: u64 = p.chromosomes().iter().map(|c| c.memory_bytes()).sum();
+        assert_eq!(total, by_parts);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn more_channels_never_increase_imbalance_error() {
+        let p = pangenome(&[40_000, 30_000, 20_000, 10_000]);
+        let two = p.channel_placement(2);
+        assert_eq!(two.iter().map(|v| v.len()).sum::<usize>(), 4);
+        // Channels beyond the chromosome count stay empty but valid.
+        let many = p.channel_placement(8);
+        assert_eq!(many.iter().map(|v| v.len()).sum::<usize>(), 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! SAM-style output for mappings — the interchange format downstream
+//! variant callers consume, making the mapper usable as a pipeline stage
+//! rather than a demo. Coordinates are *surjected* onto the linear
+//! coordinate space of the (topologically sorted) graph, the convention vg
+//! uses when exporting graph alignments.
+
+use std::fmt::Write as _;
+
+use segram_graph::DnaSeq;
+
+use crate::mapper::Mapping;
+
+/// One SAM record's worth of mapping information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SamRecord {
+    /// Query (read) name.
+    pub qname: String,
+    /// Bitwise flags (only `0x4` = unmapped is used here).
+    pub flag: u16,
+    /// Reference name.
+    pub rname: String,
+    /// 1-based mapping position in linear coordinates.
+    pub pos: u64,
+    /// Mapping quality (255 = unavailable; we report a simple seed-support
+    /// derived score capped at 60).
+    pub mapq: u8,
+    /// CIGAR string (`=`/`X`/`I`/`D` ops).
+    pub cigar: String,
+    /// The read sequence.
+    pub seq: String,
+    /// Edit distance (`NM:i` tag).
+    pub edit_distance: u32,
+}
+
+impl SamRecord {
+    /// Builds a record from a mapping.
+    pub fn from_mapping(
+        qname: impl Into<String>,
+        rname: impl Into<String>,
+        read: &DnaSeq,
+        mapping: &Mapping,
+        mapq: u8,
+    ) -> Self {
+        Self {
+            qname: qname.into(),
+            flag: 0,
+            rname: rname.into(),
+            pos: mapping.linear_start + 1, // SAM is 1-based
+            mapq,
+            cigar: mapping.alignment.cigar.to_string(),
+            seq: read.to_string(),
+            edit_distance: mapping.alignment.edit_distance,
+        }
+    }
+
+    /// Builds an unmapped record.
+    pub fn unmapped(qname: impl Into<String>, read: &DnaSeq) -> Self {
+        Self {
+            qname: qname.into(),
+            flag: 0x4,
+            rname: "*".into(),
+            pos: 0,
+            mapq: 0,
+            cigar: "*".into(),
+            seq: read.to_string(),
+            edit_distance: 0,
+        }
+    }
+
+    /// Whether the record represents a mapped read.
+    pub fn is_mapped(&self) -> bool {
+        self.flag & 0x4 == 0
+    }
+
+    /// Renders the record as one SAM line (no trailing newline).
+    pub fn to_sam_line(&self) -> String {
+        let mut line = String::new();
+        // QNAME FLAG RNAME POS MAPQ CIGAR RNEXT PNEXT TLEN SEQ QUAL [tags]
+        write!(
+            line,
+            "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t*",
+            self.qname, self.flag, self.rname, self.pos, self.mapq, self.cigar, self.seq
+        )
+        .expect("string write");
+        if self.is_mapped() {
+            write!(line, "\tNM:i:{}", self.edit_distance).expect("string write");
+        }
+        line
+    }
+}
+
+/// Renders a complete SAM document: header (`@HD`, `@SQ`, `@PG`) plus one
+/// line per record.
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{sam_document, SamRecord};
+///
+/// let rec = SamRecord::unmapped("read0", &"ACGT".parse()?);
+/// let doc = sam_document("graph", 1000, &[rec]);
+/// assert!(doc.starts_with("@HD\tVN:1.6"));
+/// assert!(doc.contains("@SQ\tSN:graph\tLN:1000"));
+/// assert!(doc.lines().count() >= 4);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+pub fn sam_document(reference_name: &str, reference_len: u64, records: &[SamRecord]) -> String {
+    let mut doc = String::new();
+    doc.push_str("@HD\tVN:1.6\tSO:unknown\n");
+    writeln!(doc, "@SQ\tSN:{reference_name}\tLN:{reference_len}").expect("string write");
+    doc.push_str("@PG\tID:segram-rs\tPN:segram-rs\tVN:0.1.0\n");
+    for rec in records {
+        doc.push_str(&rec.to_sam_line());
+        doc.push('\n');
+    }
+    doc
+}
+
+/// A crude mapping quality from seed support and edit distance: more
+/// supporting regions and fewer edits give higher confidence, capped at 60
+/// like most mappers.
+pub fn mapq_estimate(regions_aligned: usize, edit_distance: u32, read_len: usize) -> u8 {
+    if regions_aligned == 0 {
+        return 0;
+    }
+    let edit_frac = edit_distance as f64 / read_len.max(1) as f64;
+    let base = 60.0 * (1.0 - edit_frac * 4.0).clamp(0.0, 1.0);
+    // Many candidate regions -> possible multi-mapping -> lower confidence.
+    let ambiguity = (regions_aligned as f64).log2().max(1.0);
+    (base / ambiguity).clamp(0.0, 60.0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SegramConfig, SegramMapper};
+    use segram_sim::DatasetConfig;
+
+    #[test]
+    fn mapped_record_round_trips_fields() {
+        let dataset = DatasetConfig::tiny(131).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let read = &dataset.reads[0];
+        let (mapping, stats) = mapper.map_read(&read.seq);
+        let mapping = mapping.expect("read maps");
+        let mapq = mapq_estimate(
+            stats.regions_aligned,
+            mapping.alignment.edit_distance,
+            read.seq.len(),
+        );
+        let rec = SamRecord::from_mapping("read0", "graph", &read.seq, &mapping, mapq);
+        assert!(rec.is_mapped());
+        assert_eq!(rec.pos, mapping.linear_start + 1);
+        let line = rec.to_sam_line();
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 12);
+        assert_eq!(fields[0], "read0");
+        assert_eq!(fields[2], "graph");
+        assert!(fields[11].starts_with("NM:i:"));
+        // CIGAR read length must equal SEQ length (SAM invariant).
+        assert_eq!(
+            mapping.alignment.cigar.read_len() as usize,
+            rec.seq.len()
+        );
+    }
+
+    #[test]
+    fn unmapped_record_has_star_fields() {
+        let rec = SamRecord::unmapped("r", &"ACGT".parse().unwrap());
+        assert!(!rec.is_mapped());
+        let line = rec.to_sam_line();
+        assert!(line.contains("\t*\t0\t0\t"));
+        assert!(!line.contains("NM:i:"));
+    }
+
+    #[test]
+    fn document_has_header_and_records() {
+        let recs = vec![
+            SamRecord::unmapped("a", &"AC".parse().unwrap()),
+            SamRecord::unmapped("b", &"GT".parse().unwrap()),
+        ];
+        let doc = sam_document("chr1", 5000, &recs);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("LN:5000"));
+        assert!(lines[3].starts_with('a'));
+    }
+
+    #[test]
+    fn mapq_behaviour() {
+        // Unique, perfect mapping: max quality.
+        assert_eq!(mapq_estimate(1, 0, 100), 60);
+        // No mapping evidence: zero.
+        assert_eq!(mapq_estimate(0, 0, 100), 0);
+        // Heavy multi-mapping lowers quality.
+        assert!(mapq_estimate(64, 0, 100) < mapq_estimate(2, 0, 100));
+        // High edit fraction lowers quality.
+        assert!(mapq_estimate(1, 30, 100) < mapq_estimate(1, 2, 100));
+    }
+}

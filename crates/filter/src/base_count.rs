@@ -1,0 +1,104 @@
+//! The character-composition bound, the cheapest of the four filters.
+
+use segram_graph::{Base, ALPHABET_SIZE};
+
+use crate::EditLowerBound;
+
+/// Bounds edit distance by comparing character compositions.
+///
+/// Every read character of base `b` that is matched (cost 0) consumes one
+/// `b` from the aligned reference substring, and the substring's
+/// composition is dominated by the whole text's composition. So any excess
+/// `max(0, count_read(b) - count_text(b))` must be paid for with one edit
+/// (substitution or insertion) per character:
+///
+/// ```text
+/// edit_distance >= Σ_b max(0, count_read(b) - count_text(b))
+/// ```
+///
+/// This is the weakest bound here — it ignores order entirely — but it
+/// runs in `O(|read| + |text|)` with four counters and catches candidates
+/// whose composition is grossly wrong (e.g. seeds landing in GC-shifted
+/// repeats).
+///
+/// # Examples
+///
+/// ```
+/// use segram_filter::{BaseCountFilter, EditLowerBound};
+/// use segram_graph::DnaSeq;
+///
+/// let read: DnaSeq = "AAAA".parse()?;
+/// let text: DnaSeq = "TTTTTTT".parse()?;
+/// // No A available: all four read chars need edits.
+/// assert_eq!(BaseCountFilter.lower_bound(read.as_slice(), text.as_slice(), 10), 4);
+/// assert!(!BaseCountFilter.accepts(read.as_slice(), text.as_slice(), 3));
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaseCountFilter;
+
+impl EditLowerBound for BaseCountFilter {
+    fn name(&self) -> &'static str {
+        "base-count"
+    }
+
+    fn lower_bound(&self, read: &[Base], text: &[Base], _k: u32) -> u32 {
+        let mut read_counts = [0u32; ALPHABET_SIZE];
+        let mut text_counts = [0u32; ALPHABET_SIZE];
+        for &b in read {
+            read_counts[b.code() as usize] += 1;
+        }
+        for &b in text {
+            text_counts[b.code() as usize] += 1;
+        }
+        read_counts
+            .iter()
+            .zip(&text_counts)
+            .map(|(&r, &t)| r.saturating_sub(t))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::DnaSeq;
+
+    fn bases(s: &str) -> Vec<Base> {
+        s.parse::<DnaSeq>().unwrap().into_bases()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_bound() {
+        let s = bases("ACGTACGT");
+        assert_eq!(BaseCountFilter.lower_bound(&s, &s, 5), 0);
+    }
+
+    #[test]
+    fn substring_has_zero_bound() {
+        let read = bases("GTAC");
+        let text = bases("ACGTACGT");
+        assert_eq!(BaseCountFilter.lower_bound(&read, &text, 5), 0);
+    }
+
+    #[test]
+    fn bound_counts_missing_characters() {
+        let read = bases("AACC");
+        let text = bases("AGGG");
+        // read needs 2 A (text has 1) and 2 C (text has 0): bound 1 + 2.
+        assert_eq!(BaseCountFilter.lower_bound(&read, &text, 9), 3);
+    }
+
+    #[test]
+    fn empty_read_is_always_accepted() {
+        let text = bases("ACGT");
+        assert_eq!(BaseCountFilter.lower_bound(&[], &text, 0), 0);
+        assert!(BaseCountFilter.accepts(&[], &text, 0));
+    }
+
+    #[test]
+    fn empty_text_costs_whole_read() {
+        let read = bases("ACGT");
+        assert_eq!(BaseCountFilter.lower_bound(&read, &[], 10), 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! The filter contract: sound lower bounds on semi-global edit distance.
+
+use segram_graph::Base;
+
+use crate::{BaseCountFilter, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter};
+
+/// A pre-alignment filter, expressed as a *sound lower bound* on the
+/// semi-global edit distance between a read and (any substring of) a
+/// candidate reference text.
+///
+/// Soundness is the defining property: for every read/text pair whose true
+/// semi-global edit distance is `d`, `lower_bound(read, text, k) <= d`.
+/// A filter may therefore *accept* pairs that alignment will later refute
+/// (false accepts cost only wasted alignment work), but it must never
+/// *reject* a pair that would have aligned within the threshold (a false
+/// reject silently loses a mapping). The property tests in this crate
+/// enforce soundness against the exact DP distance.
+pub trait EditLowerBound {
+    /// A short stable name for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Returns a lower bound on the semi-global edit distance between
+    /// `read` and any substring of `text`.
+    ///
+    /// `k` is the acceptance threshold the caller will compare against;
+    /// implementations may use it to stop refining the bound once it
+    /// exceeds `k`, so returned values above `k` only mean "more than `k`".
+    fn lower_bound(&self, read: &[Base], text: &[Base], k: u32) -> u32;
+
+    /// Whether the pair survives the filter at threshold `k`.
+    fn accepts(&self, read: &[Base], text: &[Base], k: u32) -> bool {
+        self.lower_bound(read, text, k) <= k
+    }
+}
+
+/// A copyable description of a filter configuration, suitable for
+/// embedding in mapper configs (it avoids trait objects in `Copy` config
+/// structs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterSpec {
+    /// [`BaseCountFilter`]: character-composition bound. Cheapest, weakest.
+    BaseCount,
+    /// [`QGramFilter`] with the given q-gram length (2..=31).
+    QGram {
+        /// q-gram length.
+        q: usize,
+    },
+    /// [`ShiftedHammingFilter`]: per-character shift-envelope membership.
+    ShiftedHamming,
+    /// [`SneakySnakeFilter`]: greedy diagonal-run maze solver, the
+    /// tightest of the four bounds.
+    SneakySnake,
+    /// All four bounds combined (their maximum). Orders them cheapest
+    /// first so an early bound above `k` short-circuits the rest.
+    Cascade {
+        /// q-gram length used by the embedded [`QGramFilter`].
+        q: usize,
+    },
+}
+
+impl FilterSpec {
+    /// A reasonable default cascade (`q = 5`, the GRIM-Filter ballpark).
+    pub fn cascade() -> Self {
+        Self::Cascade { q: 5 }
+    }
+
+    /// The filter's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::BaseCount => "base-count",
+            Self::QGram { .. } => "q-gram",
+            Self::ShiftedHamming => "shifted-hamming",
+            Self::SneakySnake => "sneaky-snake",
+            Self::Cascade { .. } => "cascade",
+        }
+    }
+
+    /// Evaluates the described filter's lower bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a q-gram length outside `2..=31` was configured (see
+    /// [`QGramFilter::new`]).
+    pub fn lower_bound(&self, read: &[Base], text: &[Base], k: u32) -> u32 {
+        match *self {
+            Self::BaseCount => BaseCountFilter.lower_bound(read, text, k),
+            Self::QGram { q } => QGramFilter::new(q).lower_bound(read, text, k),
+            Self::ShiftedHamming => ShiftedHammingFilter.lower_bound(read, text, k),
+            Self::SneakySnake => SneakySnakeFilter.lower_bound(read, text, k),
+            Self::Cascade { q } => {
+                let mut bound = BaseCountFilter.lower_bound(read, text, k);
+                if bound > k {
+                    return bound;
+                }
+                bound = bound.max(QGramFilter::new(q).lower_bound(read, text, k));
+                if bound > k {
+                    return bound;
+                }
+                bound = bound.max(ShiftedHammingFilter.lower_bound(read, text, k));
+                if bound > k {
+                    return bound;
+                }
+                bound.max(SneakySnakeFilter.lower_bound(read, text, k))
+            }
+        }
+    }
+
+    /// Whether the pair survives the described filter at threshold `k`.
+    pub fn accepts(&self, read: &[Base], text: &[Base], k: u32) -> bool {
+        self.lower_bound(read, text, k) <= k
+    }
+}

@@ -1,0 +1,60 @@
+//! # segram-filter
+//!
+//! Pre-alignment filtering for the SeGraM reproduction.
+//!
+//! The paper's MinSeed deliberately performs no filtering beyond the
+//! minimizer frequency threshold (Section 11.4), and footnote 6 points
+//! out that "employing a filtering approach as part of our design would
+//! increase SeGraM's performance and efficiency, a study we leave to
+//! future work", citing the SHD / GateKeeper / Shouji / SneakySnake /
+//! GRIM-Filter line of work. This crate carries out that study: it
+//! implements the algorithmic cores of that filter family and adapts them
+//! to graph candidate regions.
+//!
+//! Every filter is a **sound lower bound** on semi-global edit distance
+//! (the [`EditLowerBound`] trait): it may let hopeless candidates through
+//! (costing only wasted alignment), but it never rejects a candidate the
+//! aligner would have accepted. The property tests check each bound
+//! against the exact DP distance on randomized inputs.
+//!
+//! | Filter | Idea | Cost | Tightness |
+//! |---|---|---|---|
+//! | [`BaseCountFilter`] | character composition | `O(m + n)` | weakest |
+//! | [`QGramFilter`] | q-gram lemma (GRIM-Filter) | `O(m + n)` | moderate |
+//! | [`ShiftedHammingFilter`] | shift-envelope membership (SHD) | `O(m + n)` | moderate |
+//! | [`SneakySnakeFilter`] | greedy diagonal runs (SneakySnake) | `O(m·k)` worst | tightest |
+//!
+//! Use [`FilterSpec`] to pick a filter in configuration structs and
+//! [`filter_region`] to apply one soundly to a graph region (branching
+//! regions bypass the position-based filters; see its docs).
+//!
+//! ## Example
+//!
+//! ```
+//! use segram_filter::{EditLowerBound, SneakySnakeFilter};
+//! use segram_graph::DnaSeq;
+//!
+//! let text: DnaSeq = "ACGTACGTACGTACGT".parse()?;
+//! let junk: DnaSeq = "GGGGGGGGCCCCCCCC".parse()?;
+//! let read = text.slice(2, 14);
+//! assert!(SneakySnakeFilter.accepts(read.as_slice(), text.as_slice(), 1));
+//! assert!(!SneakySnakeFilter.accepts(read.as_slice(), junk.as_slice(), 1));
+//! # Ok::<(), segram_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod base_count;
+mod bound;
+mod qgram;
+mod region;
+mod shd;
+mod snake;
+
+pub use base_count::BaseCountFilter;
+pub use bound::{EditLowerBound, FilterSpec};
+pub use qgram::QGramFilter;
+pub use region::{filter_region, FilterStats, RegionVerdict};
+pub use shd::ShiftedHammingFilter;
+pub use snake::SneakySnakeFilter;

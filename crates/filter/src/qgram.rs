@@ -1,0 +1,175 @@
+//! The q-gram lemma bound (the counting idea behind GRIM-Filter).
+
+use std::collections::HashMap;
+
+use segram_graph::Base;
+
+use crate::EditLowerBound;
+
+/// Bounds edit distance via the *q-gram lemma*: a read of length `m`
+/// contains `m - q + 1` overlapping q-grams, and each edit destroys at
+/// most `q` of them. If the read and the (unknown) aligned substring share
+/// `s` q-grams, then
+///
+/// ```text
+/// s >= (m - q + 1) - q * edit_distance
+/// =>  edit_distance >= ceil(((m - q + 1) - s) / q)
+/// ```
+///
+/// The aligned substring's q-gram multiset is dominated by the whole
+/// text's, so counting shared q-grams against the whole candidate text
+/// (with multiplicities) keeps the bound sound. This is the in-memory
+/// counterpart of GRIM-Filter's per-bin q-gram presence vectors
+/// \[Kim+ 2018\], one of the filters the paper's footnote 6 cites as
+/// future work to integrate with SeGraM.
+///
+/// # Examples
+///
+/// ```
+/// use segram_filter::{EditLowerBound, QGramFilter};
+/// use segram_graph::DnaSeq;
+///
+/// let read: DnaSeq = "ACGTACGTACGT".parse()?;
+/// let filter = QGramFilter::new(4);
+/// // A perfect copy shares every q-gram.
+/// assert_eq!(filter.lower_bound(read.as_slice(), read.as_slice(), 3), 0);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QGramFilter {
+    q: usize,
+}
+
+impl QGramFilter {
+    /// Creates a filter with q-gram length `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= q <= 31` (q-grams are packed 2 bits per base
+    /// into a `u64`).
+    pub fn new(q: usize) -> Self {
+        assert!((2..=31).contains(&q), "q-gram length {q} outside 2..=31");
+        Self { q }
+    }
+
+    /// The configured q-gram length.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Counts q-grams shared between `read` and `text` with
+    /// multiplicities: `Σ_g min(count_read(g), count_text(g))`.
+    pub fn shared_qgrams(&self, read: &[Base], text: &[Base]) -> usize {
+        let mut text_counts: HashMap<u64, u32> = HashMap::new();
+        for gram in qgrams(text, self.q) {
+            *text_counts.entry(gram).or_insert(0) += 1;
+        }
+        let mut shared = 0usize;
+        for gram in qgrams(read, self.q) {
+            if let Some(count) = text_counts.get_mut(&gram) {
+                if *count > 0 {
+                    *count -= 1;
+                    shared += 1;
+                }
+            }
+        }
+        shared
+    }
+
+    /// The bound computed from a shared-q-gram count, exposed separately
+    /// so graph-aware callers can add a hop-slack to `shared` first (see
+    /// [`filter_region`](crate::filter_region)).
+    pub fn bound_from_shared(&self, read_len: usize, shared: usize) -> u32 {
+        let total = read_len.saturating_sub(self.q - 1);
+        let destroyed = total.saturating_sub(shared);
+        (destroyed.div_ceil(self.q)) as u32
+    }
+}
+
+/// Iterates over the packed q-grams of `seq`.
+fn qgrams(seq: &[Base], q: usize) -> impl Iterator<Item = u64> + '_ {
+    let mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };
+    let mut acc = 0u64;
+    seq.iter().enumerate().filter_map(move |(i, &b)| {
+        acc = ((acc << 2) | u64::from(b.code())) & mask;
+        (i + 1 >= q).then_some(acc)
+    })
+}
+
+impl EditLowerBound for QGramFilter {
+    fn name(&self) -> &'static str {
+        "q-gram"
+    }
+
+    fn lower_bound(&self, read: &[Base], text: &[Base], _k: u32) -> u32 {
+        if read.len() < self.q {
+            return 0; // no q-grams, no evidence
+        }
+        let shared = self.shared_qgrams(read, text);
+        self.bound_from_shared(read.len(), shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::DnaSeq;
+
+    fn bases(s: &str) -> Vec<Base> {
+        s.parse::<DnaSeq>().unwrap().into_bases()
+    }
+
+    #[test]
+    fn identical_sequences_share_everything() {
+        let s = bases("ACGTACGTTGCA");
+        let f = QGramFilter::new(4);
+        assert_eq!(f.shared_qgrams(&s, &s), s.len() - 3);
+        assert_eq!(f.lower_bound(&s, &s, 3), 0);
+    }
+
+    #[test]
+    fn disjoint_sequences_get_a_positive_bound() {
+        let read = bases("AAAAAAAAAAAA");
+        let text = bases("CGCGCGCGCGCG");
+        let f = QGramFilter::new(4);
+        assert_eq!(f.shared_qgrams(&read, &text), 0);
+        // 9 q-grams destroyed, each edit kills at most 4: bound = ceil(9/4).
+        assert_eq!(f.lower_bound(&read, &text, 9), 3);
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        // read has two copies of AAAA-gram region; text only one.
+        let read = bases("AAAAAAAA");
+        let text = bases("AAAACGTC");
+        let f = QGramFilter::new(4);
+        // text has exactly one AAAA q-gram; read has five.
+        assert_eq!(f.shared_qgrams(&read, &text), 1);
+    }
+
+    #[test]
+    fn short_reads_are_never_rejected() {
+        let read = bases("ACG");
+        let text = bases("TTTTTTT");
+        let f = QGramFilter::new(4);
+        assert_eq!(f.lower_bound(&read, &text, 0), 0);
+    }
+
+    #[test]
+    fn single_edit_destroys_at_most_q_grams() {
+        let original = bases("ACGTACGTACGTACGT");
+        let mut mutated = original.clone();
+        mutated[8] = match mutated[8] {
+            Base::A => Base::C,
+            _ => Base::A,
+        };
+        let f = QGramFilter::new(5);
+        assert!(f.lower_bound(&mutated, &original, 5) <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=31")]
+    fn q_of_one_is_rejected() {
+        let _ = QGramFilter::new(1);
+    }
+}

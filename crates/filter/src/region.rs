@@ -1,0 +1,246 @@
+//! Applying linear-sequence filters to graph candidate regions soundly.
+
+use segram_graph::{Base, LinearizedGraph};
+
+use crate::{BaseCountFilter, EditLowerBound, FilterSpec, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter};
+
+/// The outcome of filtering one candidate region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionVerdict {
+    /// Whether the region should proceed to alignment.
+    pub accepted: bool,
+    /// The lower bound the decision was based on (0 when bypassed).
+    pub lower_bound: u32,
+    /// `true` when the region's graph structure forced a bypass (the
+    /// position-based filters cannot run soundly on branching regions).
+    pub bypassed: bool,
+}
+
+/// Aggregate filtering statistics across a mapping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Candidate regions examined.
+    pub candidates: usize,
+    /// Regions rejected before alignment.
+    pub rejected: usize,
+    /// Regions auto-accepted because the filter could not run soundly on
+    /// their graph structure.
+    pub bypassed: usize,
+}
+
+impl FilterStats {
+    /// Records one verdict.
+    pub fn record(&mut self, verdict: RegionVerdict) {
+        self.candidates += 1;
+        if !verdict.accepted {
+            self.rejected += 1;
+        }
+        if verdict.bypassed {
+            self.bypassed += 1;
+        }
+    }
+
+    /// Merges another run's stats into this one.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.candidates += other.candidates;
+        self.rejected += other.rejected;
+        self.bypassed += other.bypassed;
+    }
+
+    /// Fraction of candidates rejected (0 when nothing was examined).
+    pub fn reject_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / self.candidates as f64
+    }
+}
+
+/// Filters one candidate region (a linearized subgraph) against a read.
+///
+/// Graph regions need care: a read may align along an alternate-allele
+/// path whose spelling differs from any single linear projection of the
+/// region, so naively running a linear filter on the linearization could
+/// reject a mapping the aligner would have found. The dispatch is
+/// therefore per filter family:
+///
+/// * **Composition bounds** ([`BaseCountFilter`]) run on the full
+///   linearized character sequence. Any path's character multiset is a
+///   sub-multiset of the linearization's (paths visit a subset of nodes),
+///   so the bound stays sound unchanged.
+/// * **q-gram bounds** ([`QGramFilter`]) run on the linearization with a
+///   *hop slack*: a path crossing a hop can spell up to `q - 1` q-grams
+///   that the concatenated linearization does not contain, so
+///   `(q - 1) · #hops` is added to the shared count before bounding.
+/// * **Position bounds** ([`ShiftedHammingFilter`],
+///   [`SneakySnakeFilter`]) assume one coordinate system and are only run
+///   when the region has no hops (a purely linear region — always the
+///   case in sequence-to-sequence mode). Branching regions are bypassed
+///   (auto-accepted), never unsoundly rejected.
+///
+/// [`FilterSpec::Cascade`] combines the families; its position-bound
+/// stages are skipped on branching regions while the composition and
+/// q-gram stages still run.
+///
+/// # Examples
+///
+/// ```
+/// use segram_filter::{filter_region, FilterSpec};
+/// use segram_graph::{DnaSeq, LinearizedGraph};
+///
+/// let region_seq: DnaSeq = "ACGTACGTACGTACGT".parse()?;
+/// let lin = LinearizedGraph::from_linear_seq(&region_seq);
+/// let read: DnaSeq = "ACGTACGT".parse()?;
+/// let verdict = filter_region(FilterSpec::cascade(), read.as_slice(), &lin, 2);
+/// assert!(verdict.accepted);
+/// assert!(!verdict.bypassed);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+pub fn filter_region(
+    spec: FilterSpec,
+    read: &[Base],
+    region: &LinearizedGraph,
+    k: u32,
+) -> RegionVerdict {
+    let hop_count = region.hops().count();
+    let text = region.bases();
+    let linear = hop_count == 0;
+
+    let (bound, bypassed) = match spec {
+        FilterSpec::BaseCount => (BaseCountFilter.lower_bound(read, text, k), false),
+        FilterSpec::QGram { q } => (qgram_region_bound(q, read, text, hop_count), false),
+        FilterSpec::ShiftedHamming => {
+            if linear {
+                (ShiftedHammingFilter.lower_bound(read, text, k), false)
+            } else {
+                (0, true)
+            }
+        }
+        FilterSpec::SneakySnake => {
+            if linear {
+                (SneakySnakeFilter.lower_bound(read, text, k), false)
+            } else {
+                (0, true)
+            }
+        }
+        FilterSpec::Cascade { q } => {
+            let mut bound = BaseCountFilter.lower_bound(read, text, k);
+            if bound <= k {
+                bound = bound.max(qgram_region_bound(q, read, text, hop_count));
+            }
+            if bound <= k && linear {
+                bound = bound.max(ShiftedHammingFilter.lower_bound(read, text, k));
+                if bound <= k {
+                    bound = bound.max(SneakySnakeFilter.lower_bound(read, text, k));
+                }
+            }
+            // The cascade as a whole ran (partially, on branching
+            // regions), so it is never reported as bypassed.
+            (bound, false)
+        }
+    };
+
+    RegionVerdict {
+        accepted: bypassed || bound <= k,
+        lower_bound: bound,
+        bypassed,
+    }
+}
+
+/// q-gram bound with the hop slack described in [`filter_region`].
+fn qgram_region_bound(q: usize, read: &[Base], text: &[Base], hop_count: usize) -> u32 {
+    if read.len() < q {
+        return 0;
+    }
+    let filter = QGramFilter::new(q);
+    let shared = filter.shared_qgrams(read, text) + (q - 1) * hop_count;
+    filter.bound_from_shared(read.len(), shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::{build_graph, DnaSeq, Variant};
+
+    fn linear_region(seq: &str) -> LinearizedGraph {
+        LinearizedGraph::from_linear_seq(&seq.parse::<DnaSeq>().unwrap())
+    }
+
+    fn read(seq: &str) -> Vec<Base> {
+        seq.parse::<DnaSeq>().unwrap().into_bases()
+    }
+
+    #[test]
+    fn linear_regions_use_all_filters() {
+        let region = linear_region("ACGTACGTACGTACGTACGT");
+        for spec in [
+            FilterSpec::BaseCount,
+            FilterSpec::QGram { q: 4 },
+            FilterSpec::ShiftedHamming,
+            FilterSpec::SneakySnake,
+            FilterSpec::cascade(),
+        ] {
+            let verdict = filter_region(spec, &read("ACGTACGT"), &region, 1);
+            assert!(verdict.accepted, "{spec:?} rejected an exact substring");
+            assert!(!verdict.bypassed);
+        }
+    }
+
+    #[test]
+    fn hopeless_candidates_are_rejected() {
+        let region = linear_region("CGCGCGCGCGCGCGCGCGCG");
+        for spec in [
+            FilterSpec::BaseCount,
+            FilterSpec::QGram { q: 4 },
+            FilterSpec::ShiftedHamming,
+            FilterSpec::SneakySnake,
+            FilterSpec::cascade(),
+        ] {
+            let verdict = filter_region(spec, &read("AAAATTTTAAAATTTT"), &region, 2);
+            assert!(!verdict.accepted, "{spec:?} accepted a hopeless pair");
+        }
+    }
+
+    /// Branching regions bypass the position filters and never reject a
+    /// read that matches an alternate allele exactly.
+    #[test]
+    fn branching_regions_bypass_position_filters() {
+        // Reference ACGT ACGT with an SNP bubble at position 3.
+        let built = build_graph(
+            &"ACGTACGTACGTACGT".parse::<DnaSeq>().unwrap(),
+            [Variant::snp(3, segram_graph::Base::G)].into_iter().collect(),
+        )
+        .unwrap();
+        let lin =
+            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        assert!(lin.hops().count() > 0, "bubble must create hops");
+        let alt_read = read("ACGGACGT"); // spells the ALT path
+        for spec in [FilterSpec::ShiftedHamming, FilterSpec::SneakySnake] {
+            let verdict = filter_region(spec, &alt_read, &lin, 0);
+            assert!(verdict.accepted);
+            assert!(verdict.bypassed);
+        }
+        // The multiset-sound filters still run and still accept.
+        for spec in [FilterSpec::BaseCount, FilterSpec::QGram { q: 4 }, FilterSpec::cascade()] {
+            let verdict = filter_region(spec, &alt_read, &lin, 1);
+            assert!(verdict.accepted, "{spec:?} falsely rejected an ALT read");
+            assert!(!verdict.bypassed);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut stats = FilterStats::default();
+        stats.record(RegionVerdict { accepted: true, lower_bound: 0, bypassed: false });
+        stats.record(RegionVerdict { accepted: false, lower_bound: 9, bypassed: false });
+        stats.record(RegionVerdict { accepted: true, lower_bound: 0, bypassed: true });
+        assert_eq!(stats.candidates, 3);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.bypassed, 1);
+        assert!((stats.reject_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let mut total = FilterStats::default();
+        total.merge(&stats);
+        total.merge(&stats);
+        assert_eq!(total.candidates, 6);
+    }
+}

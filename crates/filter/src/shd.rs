@@ -1,0 +1,137 @@
+//! The shift-envelope membership bound (a sound core of Shifted Hamming
+//! Distance).
+
+use segram_graph::{Base, ALPHABET_SIZE};
+
+use crate::EditLowerBound;
+
+/// Bounds edit distance by counting read characters that match *nowhere*
+/// inside their shift envelope.
+///
+/// Shifted Hamming Distance \[Xin+ 2015\] ANDs Hamming masks of the read
+/// against the text under every shift in `[-k, +k]`; a set bit in the
+/// combined mask is a read character that no shift can match, and each
+/// such character must be paid for with a substitution or insertion in
+/// any alignment. This implementation keeps exactly that sound core and
+/// drops SHD's "speculative removal of short streaks" amendment, which
+/// trades soundness for aggressiveness — a trade a mapper that promises
+/// no lost mappings cannot make.
+///
+/// Because SeGraM's candidate regions have a *free* text start (the read
+/// may begin anywhere in the region), the envelope is widened from
+/// `[-k, +k]` to `[-k, (|text| - |read|) + k]`: a read character `i` can
+/// only ever align to text positions in that window around `i`. Membership
+/// is answered with per-base prefix sums in `O(|text| + |read|)` instead
+/// of materializing one mask per shift.
+///
+/// # Examples
+///
+/// ```
+/// use segram_filter::{EditLowerBound, ShiftedHammingFilter};
+/// use segram_graph::DnaSeq;
+///
+/// let read: DnaSeq = "ACGT".parse()?;
+/// let text: DnaSeq = "TTACGTTT".parse()?;
+/// assert_eq!(ShiftedHammingFilter.lower_bound(read.as_slice(), text.as_slice(), 1), 0);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShiftedHammingFilter;
+
+impl EditLowerBound for ShiftedHammingFilter {
+    fn name(&self) -> &'static str {
+        "shifted-hamming"
+    }
+
+    fn lower_bound(&self, read: &[Base], text: &[Base], k: u32) -> u32 {
+        if read.is_empty() {
+            return 0;
+        }
+        let (m, n) = (read.len() as i64, text.len() as i64);
+        let k = i64::from(k);
+        // Read char i can align to text positions [i + lo, i + hi].
+        let lo = -k;
+        let hi = (n - m) + k;
+
+        // prefix[b][j] = occurrences of base b in text[..j].
+        let mut prefix = vec![[0u32; ALPHABET_SIZE]; text.len() + 1];
+        for (j, &b) in text.iter().enumerate() {
+            prefix[j + 1] = prefix[j];
+            prefix[j + 1][b.code() as usize] += 1;
+        }
+        let count_in = |b: Base, from: i64, to: i64| -> u32 {
+            let from = from.clamp(0, n) as usize;
+            let to = to.clamp(0, n) as usize;
+            if from >= to {
+                return 0;
+            }
+            prefix[to][b.code() as usize] - prefix[from][b.code() as usize]
+        };
+
+        let mut unmatched = 0u32;
+        for (i, &b) in read.iter().enumerate() {
+            let i = i as i64;
+            if count_in(b, i + lo, i + hi + 1) == 0 {
+                unmatched += 1;
+            }
+        }
+        unmatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::DnaSeq;
+
+    fn bases(s: &str) -> Vec<Base> {
+        s.parse::<DnaSeq>().unwrap().into_bases()
+    }
+
+    #[test]
+    fn exact_match_anywhere_in_text_is_accepted_at_k0() {
+        let read = bases("ACGT");
+        for text in ["ACGTTTTT", "TTTTACGT", "TTACGTTT"] {
+            let text = bases(text);
+            // Free text start: the envelope covers the whole placement range.
+            assert_eq!(ShiftedHammingFilter.lower_bound(&read, &text, 0), 0);
+        }
+    }
+
+    #[test]
+    fn characters_outside_every_shift_are_counted() {
+        let read = bases("AAAA");
+        let text = bases("TTTT");
+        assert_eq!(ShiftedHammingFilter.lower_bound(&read, &text, 1), 4);
+    }
+
+    #[test]
+    fn widening_k_never_increases_the_bound() {
+        let read = bases("ACGTGTCA");
+        let text = bases("ACGTACGTACGT");
+        let mut last = u32::MAX;
+        for k in 0..6 {
+            let bound = ShiftedHammingFilter.lower_bound(&read, &text, k);
+            assert!(bound <= last);
+            last = bound;
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        assert_eq!(ShiftedHammingFilter.lower_bound(&[], &bases("ACGT"), 0), 0);
+        assert_eq!(ShiftedHammingFilter.lower_bound(&bases("ACGT"), &[], 0), 4);
+    }
+
+    #[test]
+    fn single_substitution_bounds_at_most_one() {
+        let text = bases("ACGTACGTACGTACGT");
+        let mut read = text.clone();
+        read[7] = match read[7] {
+            Base::A => Base::C,
+            _ => Base::A,
+        };
+        let bound = ShiftedHammingFilter.lower_bound(&read, &text, 2);
+        assert!(bound <= 1, "bound {bound} exceeds the single edit");
+    }
+}

@@ -1,0 +1,174 @@
+//! The greedy diagonal-run bound (SneakySnake's maze solver).
+
+use segram_graph::Base;
+
+use crate::EditLowerBound;
+
+/// Bounds edit distance by greedily covering the read with maximal
+/// diagonal match runs, paying one edit between consecutive runs.
+///
+/// This is the Single Net Routing idea of SneakySnake \[Alser+ 2020\]
+/// (cited by the paper's footnote 6): view the read×text comparison as a
+/// maze whose rows are diagonals (shifts) and whose obstacles are
+/// mismatches; the minimum number of obstacles any left-to-right path
+/// crosses lower-bounds the edit distance.
+///
+/// The greedy solver is sound: an optimal alignment with `d` edits splits
+/// the read into at most `d + 1` match segments, each lying on one
+/// diagonal of the envelope. Whenever the solver stands at read position
+/// `p` inside true segment `[s_j, e_j)`, its maximal-run extension reaches
+/// at least `e_j`, so it pays at most one edit per true edit and its count
+/// never exceeds `d`.
+///
+/// Like [`ShiftedHammingFilter`](crate::ShiftedHammingFilter), the
+/// diagonal envelope is widened to `[-k, (|text| - |read|) + k]` to cover
+/// the free text start of SeGraM's candidate regions. Worst-case cost is
+/// `O(|read| · |envelope|)`, the tightest-but-dearest of the four filters.
+///
+/// # Examples
+///
+/// ```
+/// use segram_filter::{EditLowerBound, SneakySnakeFilter};
+/// use segram_graph::DnaSeq;
+///
+/// let text: DnaSeq = "ACGTACGTACGTACGT".parse()?;
+/// let read: DnaSeq = "ACGTAGGTACGT".parse()?; // one substitution
+/// let bound = SneakySnakeFilter.lower_bound(read.as_slice(), text.as_slice(), 3);
+/// assert!(bound <= 1);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SneakySnakeFilter;
+
+impl EditLowerBound for SneakySnakeFilter {
+    fn name(&self) -> &'static str {
+        "sneaky-snake"
+    }
+
+    fn lower_bound(&self, read: &[Base], text: &[Base], k: u32) -> u32 {
+        if read.is_empty() {
+            return 0;
+        }
+        let (m, n) = (read.len() as i64, text.len() as i64);
+        let lo = -i64::from(k);
+        let hi = (n - m) + i64::from(k);
+        if hi < lo {
+            // Text shorter than the read by more than k: every placement
+            // needs at least the length difference in edits; fall back to
+            // the trivial bound.
+            return (m - n) as u32;
+        }
+
+        // Length of the match run on diagonal `s` starting at read
+        // position `p`.
+        let run_len = |s: i64, mut p: i64| -> i64 {
+            let start = p;
+            while p < m {
+                let t = p + s;
+                if t < 0 || t >= n || read[p as usize] != text[t as usize] {
+                    break;
+                }
+                p += 1;
+            }
+            p - start
+        };
+
+        let mut edits = 0u32;
+        let mut pos = 0i64;
+        while pos < m {
+            let mut best = 0i64;
+            for s in lo..=hi {
+                best = best.max(run_len(s, pos));
+                if pos + best >= m {
+                    break;
+                }
+            }
+            pos += best;
+            if pos < m {
+                // Cross one obstacle: consume the unmatched character.
+                edits += 1;
+                pos += 1;
+                if edits > k {
+                    // The caller only distinguishes `<= k` from `> k`.
+                    return edits;
+                }
+            }
+        }
+        edits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::DnaSeq;
+
+    fn bases(s: &str) -> Vec<Base> {
+        s.parse::<DnaSeq>().unwrap().into_bases()
+    }
+
+    #[test]
+    fn exact_substring_costs_zero() {
+        let text = bases("TTTTACGTACGTTTTT");
+        let read = bases("ACGTACGT");
+        assert_eq!(SneakySnakeFilter.lower_bound(&read, &text, 0), 0);
+    }
+
+    #[test]
+    fn each_isolated_substitution_costs_at_most_one() {
+        let text = bases("ACGTACGTACGTACGTACGTACGT");
+        let mut read = text.clone();
+        for &i in &[3usize, 11, 19] {
+            read[i] = match read[i] {
+                Base::A => Base::C,
+                _ => Base::A,
+            };
+        }
+        let bound = SneakySnakeFilter.lower_bound(&read, &text, 5);
+        assert!(bound <= 3, "bound {bound} for 3 substitutions");
+        assert!(bound >= 1, "three mismatches cannot be matched away here");
+    }
+
+    #[test]
+    fn deletion_in_read_is_within_one_edit() {
+        let text = bases("ACGTACGTACGTACGT");
+        let mut read = text.clone();
+        read.remove(6);
+        assert!(SneakySnakeFilter.lower_bound(&read, &text, 3) <= 1);
+    }
+
+    #[test]
+    fn hopeless_pairs_exceed_the_threshold() {
+        let read = bases("AAAAAAAAAAAAAAAA");
+        let text = bases("CGCGCGCGCGCGCGCG");
+        let bound = SneakySnakeFilter.lower_bound(&read, &text, 3);
+        assert!(bound > 3);
+    }
+
+    #[test]
+    fn text_much_shorter_than_read_uses_length_bound() {
+        let read = bases("ACGTACGT");
+        let text = bases("AC");
+        assert!(SneakySnakeFilter.lower_bound(&read, &text, 1) >= 6);
+    }
+
+    #[test]
+    fn tighter_than_or_equal_to_shd_on_clustered_errors() {
+        use crate::ShiftedHammingFilter;
+        let text = bases("ACGTACGTACGTACGTACGTACGTACGTACGT");
+        let mut read = text.clone();
+        // Three adjacent substitutions: SHD sees each char still matching
+        // somewhere in the envelope (bound 0-ish); the snake must cross
+        // them in sequence.
+        for &i in &[12usize, 13, 14] {
+            read[i] = match read[i] {
+                Base::G => Base::T,
+                _ => Base::G,
+            };
+        }
+        let k = 4;
+        let snake = SneakySnakeFilter.lower_bound(&read, &text, k);
+        let shd = ShiftedHammingFilter.lower_bound(&read, &text, k);
+        assert!(snake >= shd);
+    }
+}

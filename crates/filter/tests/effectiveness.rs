@@ -1,0 +1,95 @@
+//! Statistical effectiveness tests: soundness (never reject a true pair)
+//! is enforced by `soundness_props`; a filter is only *useful* if it also
+//! rejects most hopeless candidates. These tests pin the rejection power
+//! on random decoys so a regression that silently weakens a bound (e.g.
+//! an over-lenient envelope) fails loudly.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use segram_filter::{
+    BaseCountFilter, EditLowerBound, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter,
+};
+use segram_graph::{Base, BASES};
+
+fn random_seq(rng: &mut ChaCha8Rng, len: usize) -> Vec<Base> {
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// Rejection rate of `filter` over `trials` random (read, text) pairs.
+fn decoy_reject_rate(filter: &dyn EditLowerBound, k: u32, len: usize, trials: usize) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF11E);
+    let mut rejected = 0usize;
+    for _ in 0..trials {
+        let read = random_seq(&mut rng, len);
+        let text = random_seq(&mut rng, len + len / 10);
+        if !filter.accepts(&read, &text, k) {
+            rejected += 1;
+        }
+    }
+    rejected as f64 / trials as f64
+}
+
+#[test]
+fn sneaky_snake_rejects_most_decoys() {
+    // Random 100 bp pairs are ~75 edits apart; at k = 10 the snake's
+    // bound must see through nearly all of them.
+    let rate = decoy_reject_rate(&SneakySnakeFilter, 10, 100, 200);
+    assert!(rate > 0.95, "SneakySnake decoy rejection only {rate:.2}");
+}
+
+#[test]
+fn qgram_rejects_most_decoys() {
+    let rate = decoy_reject_rate(&QGramFilter::new(5), 10, 100, 200);
+    assert!(rate > 0.8, "q-gram decoy rejection only {rate:.2}");
+}
+
+#[test]
+fn weak_filters_are_weak_but_not_useless_at_tiny_k() {
+    // The composition bound catches some decoys at k = 2 (a realistic
+    // short-read threshold for low error rates).
+    let base_count = decoy_reject_rate(&BaseCountFilter, 2, 100, 200);
+    assert!(base_count > 0.3, "base-count rejection only {base_count:.2}");
+    // The sound SHD core without the (unsound) streak amendment is very
+    // lenient by design; document its measured weakness here so a future
+    // "improvement" that changes this is noticed and justified.
+    let shd = decoy_reject_rate(&ShiftedHammingFilter, 2, 100, 200);
+    assert!(shd < 0.5, "sound-core SHD unexpectedly aggressive: {shd:.2}");
+}
+
+#[test]
+fn rejection_power_grows_as_k_shrinks() {
+    let strict = decoy_reject_rate(&SneakySnakeFilter, 5, 100, 100);
+    let loose = decoy_reject_rate(&SneakySnakeFilter, 40, 100, 100);
+    assert!(
+        strict >= loose,
+        "rejection must be monotone in k: k=5 {strict:.2} vs k=40 {loose:.2}"
+    );
+}
+
+#[test]
+fn planted_pairs_always_pass_at_generous_k() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+    for _ in 0..100 {
+        let text = random_seq(&mut rng, 160);
+        let start = rng.gen_range(0..40);
+        let mut read = text[start..start + 100].to_vec();
+        for _ in 0..3 {
+            let i = rng.gen_range(0..read.len());
+            read[i] = BASES[rng.gen_range(0..4)];
+        }
+        // k = 10 >> 3 planted substitutions.
+        for filter in [
+            &BaseCountFilter as &dyn EditLowerBound,
+            &QGramFilter::new(5),
+            &ShiftedHammingFilter,
+            &SneakySnakeFilter,
+        ] {
+            assert!(
+                filter.accepts(&read, &text, 10),
+                "{} rejected a 3-edit planted pair",
+                filter.name()
+            );
+        }
+    }
+}

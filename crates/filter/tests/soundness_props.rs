@@ -1,0 +1,190 @@
+//! The filter contract, enforced by property testing: every filter's
+//! lower bound never exceeds the exact semi-global edit distance, on
+//! linear candidates and on graph regions alike. A violated bound would
+//! mean a pre-alignment filter can silently drop a correct mapping.
+
+use proptest::prelude::*;
+
+use segram_align::{graph_dp_distance, semiglobal_distance, StartMode};
+use segram_filter::{
+    filter_region, BaseCountFilter, EditLowerBound, FilterSpec, QGramFilter,
+    ShiftedHammingFilter, SneakySnakeFilter,
+};
+use segram_graph::{build_graph, Base, DnaSeq, LinearizedGraph, Variant, VariantSet, BASES};
+
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop::sample::select(BASES.to_vec())
+}
+
+fn seq_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    prop::collection::vec(base_strategy(), min_len..=max_len)
+}
+
+/// An edit script: (position selector, kind, replacement base).
+fn edits_strategy(max_edits: usize) -> impl Strategy<Value = Vec<(prop::sample::Index, u8, Base)>> {
+    prop::collection::vec((any::<prop::sample::Index>(), 0u8..3, base_strategy()), 0..=max_edits)
+}
+
+/// Applies an edit script to a sequence (clamping positions).
+fn apply_edits(mut seq: Vec<Base>, edits: &[(prop::sample::Index, u8, Base)]) -> Vec<Base> {
+    for (idx, kind, base) in edits {
+        if seq.is_empty() {
+            seq.push(*base);
+            continue;
+        }
+        let pos = idx.index(seq.len());
+        match kind {
+            0 => seq[pos] = *base,        // substitution
+            1 => seq.insert(pos, *base),  // insertion
+            _ => {
+                seq.remove(pos);          // deletion
+            }
+        }
+    }
+    seq
+}
+
+fn all_specs() -> [FilterSpec; 5] {
+    [
+        FilterSpec::BaseCount,
+        FilterSpec::QGram { q: 4 },
+        FilterSpec::ShiftedHamming,
+        FilterSpec::SneakySnake,
+        FilterSpec::Cascade { q: 4 },
+    ]
+}
+
+proptest! {
+    /// Core soundness on planted candidates: read = edited substring.
+    #[test]
+    fn bounds_never_exceed_true_distance_on_planted_pairs(
+        text in seq_strategy(40, 160),
+        start_sel in any::<prop::sample::Index>(),
+        len_sel in any::<prop::sample::Index>(),
+        edits in edits_strategy(6),
+        k in 0u32..12,
+    ) {
+        let start = start_sel.index(text.len() / 2);
+        let len = 10 + len_sel.index(text.len() - start - 10).min(text.len() - start - 1);
+        let read = apply_edits(text[start..start + len].to_vec(), &edits);
+        prop_assume!(!read.is_empty());
+        let truth = semiglobal_distance(&text, &read).unwrap();
+
+        for filter in [
+            &BaseCountFilter as &dyn EditLowerBound,
+            &QGramFilter::new(4),
+            &QGramFilter::new(8),
+            &ShiftedHammingFilter,
+            &SneakySnakeFilter,
+        ] {
+            let bound = filter.lower_bound(&read, &text, k);
+            // Bounds above k only assert "> k", so only check them when
+            // they claim to be within the threshold range or truth <= k.
+            if truth <= k {
+                prop_assert!(
+                    bound <= truth,
+                    "{}: bound {bound} exceeds true distance {truth} (k={k})",
+                    filter.name()
+                );
+            }
+        }
+    }
+
+    /// Soundness on arbitrary (unrelated) pairs, where bounds are large.
+    #[test]
+    fn bounds_never_exceed_true_distance_on_random_pairs(
+        text in seq_strategy(20, 80),
+        read in seq_strategy(5, 60),
+    ) {
+        let truth = semiglobal_distance(&text, &read).unwrap();
+        let k = truth; // the boundary case: filters must accept at k = truth
+        for filter in [
+            &BaseCountFilter as &dyn EditLowerBound,
+            &QGramFilter::new(3),
+            &ShiftedHammingFilter,
+            &SneakySnakeFilter,
+        ] {
+            let bound = filter.lower_bound(&read, &text, k);
+            prop_assert!(
+                bound <= truth,
+                "{}: bound {bound} exceeds true distance {truth}",
+                filter.name()
+            );
+            prop_assert!(filter.accepts(&read, &text, k));
+        }
+        for spec in all_specs() {
+            prop_assert!(spec.accepts(&read, &text, k), "{} rejected at k = truth", spec.name());
+        }
+    }
+
+    /// Graph soundness: a read spelled along any path of a variant graph
+    /// (plus noise) is never rejected by `filter_region` at `k >= truth`.
+    #[test]
+    fn region_filtering_never_rejects_reachable_reads(
+        ref_seq in seq_strategy(60, 120),
+        snp_positions in prop::collection::btree_set(5usize..55, 0..4),
+        take_alt in prop::collection::vec(any::<bool>(), 4),
+        edits in edits_strategy(3),
+    ) {
+        // Build a graph with SNP bubbles.
+        let reference: DnaSeq = ref_seq.iter().copied().collect();
+        let mut variants = VariantSet::new();
+        let mut alt_bases = Vec::new();
+        for (i, &pos) in snp_positions.iter().enumerate() {
+            let ref_base = ref_seq[pos];
+            let alt = BASES.into_iter().find(|&b| b != ref_base).unwrap();
+            variants.push(Variant::snp(pos as u64, alt));
+            alt_bases.push((pos, alt, take_alt[i % take_alt.len()]));
+        }
+        let built = build_graph(&reference, variants.into_sorted()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+
+        // Spell a read along the chosen allele path.
+        let mut path_seq = ref_seq.clone();
+        for &(pos, alt, take) in &alt_bases {
+            if take {
+                path_seq[pos] = alt;
+            }
+        }
+        let read = apply_edits(path_seq[10..50.min(path_seq.len())].to_vec(), &edits);
+        prop_assume!(read.len() >= 5);
+
+        let read_dna: DnaSeq = read.iter().copied().collect();
+        let (truth, _) = graph_dp_distance(&lin, &read_dna, StartMode::Free).unwrap();
+
+        for spec in all_specs() {
+            let verdict = filter_region(spec, &read, &lin, truth);
+            prop_assert!(
+                verdict.accepted,
+                "{} rejected a read with true graph distance {truth} (bound {})",
+                spec.name(),
+                verdict.lower_bound
+            );
+        }
+    }
+
+    /// The cascade is at least as tight as each member on linear regions.
+    #[test]
+    fn cascade_dominates_members(
+        text in seq_strategy(30, 90),
+        read in seq_strategy(8, 40),
+        k in 0u32..10,
+    ) {
+        let cascade = FilterSpec::Cascade { q: 4 }.lower_bound(&read, &text, k);
+        if cascade <= k {
+            for member in [
+                FilterSpec::BaseCount,
+                FilterSpec::QGram { q: 4 },
+                FilterSpec::ShiftedHamming,
+                FilterSpec::SneakySnake,
+            ] {
+                let b = member.lower_bound(&read, &text, k);
+                prop_assert!(
+                    cascade >= b,
+                    "cascade {cascade} below member {} = {b}",
+                    member.name()
+                );
+            }
+        }
+    }
+}

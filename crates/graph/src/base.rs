@@ -1,0 +1,204 @@
+//! The 2-bit DNA alphabet used throughout the SeGraM pipeline.
+//!
+//! SeGraM stores reference characters with a 2-bit representation
+//! (`A:00, C:01, G:10, T:11`, Section 5 of the paper); every data structure
+//! in this workspace shares this encoding so that memory-footprint
+//! accounting matches the paper's formulas.
+
+use std::fmt;
+
+/// A single DNA nucleobase with the paper's 2-bit encoding.
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::Base;
+///
+/// assert_eq!(Base::A.code(), 0);
+/// assert_eq!(Base::T.code(), 3);
+/// assert_eq!(Base::from_ascii(b'g'), Some(Base::G));
+/// assert_eq!(Base::C.complement(), Base::G);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine (`00`).
+    A = 0,
+    /// Cytosine (`01`).
+    C = 1,
+    /// Guanine (`10`).
+    G = 2,
+    /// Thymine (`11`).
+    T = 3,
+}
+
+/// All four bases in encoding order, convenient for iteration.
+pub const BASES: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+/// Number of symbols in the DNA alphabet.
+pub const ALPHABET_SIZE: usize = 4;
+
+impl Base {
+    /// Returns the 2-bit code of this base (`A:0, C:1, G:2, T:3`).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 2-bit code into a base.
+    ///
+    /// Returns `None` when `code >= 4`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use segram_graph::Base;
+    /// assert_eq!(Base::from_code(2), Some(Base::G));
+    /// assert_eq!(Base::from_code(7), None);
+    /// ```
+    #[inline]
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Base::A),
+            1 => Some(Base::C),
+            2 => Some(Base::G),
+            3 => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Decodes a 2-bit code, taking only the low two bits into account.
+    ///
+    /// Useful when the caller has already masked the value (e.g. when
+    /// unpacking a [`PackedSeq`](crate::PackedSeq)).
+    #[inline]
+    pub const fn from_code_masked(code: u8) -> Self {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Parses an ASCII nucleotide character (case-insensitive).
+    ///
+    /// Returns `None` for any character outside `ACGTacgt` (including the
+    /// ambiguity code `N`, which the 2-bit alphabet cannot represent).
+    #[inline]
+    pub const fn from_ascii(ch: u8) -> Option<Self> {
+        match ch {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Returns the upper-case ASCII representation of this base.
+    #[inline]
+    pub const fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Returns the Watson–Crick complement (`A↔T`, `C↔G`).
+    #[inline]
+    pub const fn complement(self) -> Self {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl From<Base> for u8 {
+    fn from(base: Base) -> u8 {
+        base.code()
+    }
+}
+
+impl From<Base> for char {
+    fn from(base: Base) -> char {
+        base.to_ascii() as char
+    }
+}
+
+impl TryFrom<u8> for Base {
+    type Error = crate::GraphError;
+
+    fn try_from(code: u8) -> Result<Self, Self::Error> {
+        Base::from_code(code).ok_or(crate::GraphError::InvalidBaseCode(code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for base in BASES {
+            assert_eq!(Base::from_code(base.code()), Some(base));
+            assert_eq!(Base::from_code_masked(base.code()), base);
+        }
+        assert_eq!(Base::from_code(4), None);
+        assert_eq!(Base::from_code(255), None);
+    }
+
+    #[test]
+    fn ascii_round_trip_upper_and_lower() {
+        for base in BASES {
+            assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
+            assert_eq!(
+                Base::from_ascii(base.to_ascii().to_ascii_lowercase()),
+                Some(base)
+            );
+        }
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(Base::from_ascii(b'-'), None);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for base in BASES {
+            assert_eq!(base.complement().complement(), base);
+            assert_ne!(base.complement(), base);
+        }
+    }
+
+    #[test]
+    fn encoding_matches_paper() {
+        // Section 5: "A:00, C:01, G:10, T:11".
+        assert_eq!(Base::A.code(), 0b00);
+        assert_eq!(Base::C.code(), 0b01);
+        assert_eq!(Base::G.code(), 0b10);
+        assert_eq!(Base::T.code(), 0b11);
+    }
+
+    #[test]
+    fn display_is_single_ascii_char() {
+        assert_eq!(Base::A.to_string(), "A");
+        assert_eq!(Base::T.to_string(), "T");
+        assert_eq!(char::from(Base::G), 'G');
+    }
+
+    #[test]
+    fn try_from_reports_bad_code() {
+        let err = Base::try_from(9).unwrap_err();
+        assert!(err.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,161 @@
+//! Error type for genome-graph operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the `segram-graph` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A 2-bit code outside `0..4` was decoded into a [`Base`](crate::Base).
+    InvalidBaseCode(u8),
+    /// A non-`ACGT` character was parsed into a sequence.
+    InvalidCharacter {
+        /// The offending byte.
+        ch: u8,
+        /// Byte offset within the parsed input.
+        offset: usize,
+    },
+    /// A node identifier referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An offset pointed past the end of a node's sequence.
+    OffsetOutOfBounds {
+        /// The node being addressed.
+        node: u32,
+        /// The offending offset.
+        offset: u32,
+        /// Length of the node's sequence.
+        node_len: usize,
+    },
+    /// A node with an empty sequence was added; the paper's node table
+    /// assumes every node carries at least one character.
+    EmptyNode,
+    /// An edge would create a duplicate entry in the adjacency list.
+    DuplicateEdge {
+        /// Source node.
+        from: u32,
+        /// Destination node.
+        to: u32,
+    },
+    /// An edge would point from a node to itself.
+    SelfLoop {
+        /// The node in question.
+        node: u32,
+    },
+    /// The graph contains a cycle, so it cannot be topologically sorted.
+    CyclicGraph,
+    /// A linear position lies beyond the total character count of the graph.
+    LinearPosOutOfBounds {
+        /// The offending position.
+        pos: u64,
+        /// Total character count.
+        total: u64,
+    },
+    /// Two variants claim overlapping reference intervals.
+    OverlappingVariants {
+        /// Start of the second (conflicting) variant.
+        pos: u64,
+    },
+    /// A variant references coordinates outside the linear reference.
+    VariantOutOfBounds {
+        /// The variant's reference start.
+        pos: u64,
+        /// The reference length.
+        ref_len: u64,
+    },
+    /// A variant's stated reference allele disagrees with the reference.
+    RefAlleleMismatch {
+        /// The variant's reference start.
+        pos: u64,
+    },
+    /// GFA input could not be parsed.
+    MalformedGfa {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidBaseCode(code) => {
+                write!(f, "invalid 2-bit base code {code}")
+            }
+            GraphError::InvalidCharacter { ch, offset } => write!(
+                f,
+                "invalid nucleotide byte 0x{ch:02x} ({:?}) at offset {offset}",
+                *ch as char
+            ),
+            GraphError::NodeOutOfBounds { node, node_count } => {
+                write!(f, "node id {node} out of bounds for {node_count} nodes")
+            }
+            GraphError::OffsetOutOfBounds {
+                node,
+                offset,
+                node_len,
+            } => write!(
+                f,
+                "offset {offset} out of bounds for node {node} of length {node_len}"
+            ),
+            GraphError::EmptyNode => write!(f, "nodes must carry at least one character"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop on node {node}"),
+            GraphError::CyclicGraph => write!(f, "graph contains a cycle"),
+            GraphError::LinearPosOutOfBounds { pos, total } => write!(
+                f,
+                "linear position {pos} out of bounds for {total} total characters"
+            ),
+            GraphError::OverlappingVariants { pos } => {
+                write!(f, "variant at reference position {pos} overlaps a previous variant")
+            }
+            GraphError::VariantOutOfBounds { pos, ref_len } => write!(
+                f,
+                "variant at reference position {pos} out of bounds for reference of length {ref_len}"
+            ),
+            GraphError::RefAlleleMismatch { pos } => write!(
+                f,
+                "variant reference allele at position {pos} disagrees with the reference sequence"
+            ),
+            GraphError::MalformedGfa { line, reason } => {
+                write!(f, "malformed GFA at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GraphError::InvalidBaseCode(9),
+            GraphError::EmptyNode,
+            GraphError::CyclicGraph,
+            GraphError::SelfLoop { node: 3 },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,663 @@
+//! The genome graph: a directed acyclic sequence graph in which every node
+//! carries one or more base pairs and multiple outgoing edges capture genetic
+//! variation (Figure 1 of the paper).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::{Base, DnaSeq, GraphError};
+
+/// Identifier of a node in a [`GenomeGraph`].
+///
+/// Node ids are dense (`0..node_count`) and, after
+/// [`GenomeGraph::topological_sort`], respect topological order: every edge
+/// points from a smaller id to a larger id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(id: u32) -> Self {
+        NodeId(id)
+    }
+}
+
+/// A position inside a genome graph: a node plus a character offset within
+/// that node's sequence.
+///
+/// This is exactly the third-level entry of the paper's hash-table index
+/// (Figure 6: "node ID, offset").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphPos {
+    /// Node containing the character.
+    pub node: NodeId,
+    /// 0-based offset of the character within the node's sequence.
+    pub offset: u32,
+}
+
+impl GraphPos {
+    /// Creates a graph position.
+    pub fn new(node: NodeId, offset: u32) -> Self {
+        Self { node, offset }
+    }
+}
+
+impl fmt::Display for GraphPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.offset)
+    }
+}
+
+/// Summary statistics of a genome graph, mirroring the numbers the paper
+/// reports for its 24 chromosome graphs (Section 10: "20.4 M nodes, 27.9 M
+/// edges, 3.1 B sequence characters").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Number of directed edges.
+    pub edge_count: usize,
+    /// Total number of sequence characters across all nodes.
+    pub total_chars: u64,
+}
+
+/// A directed acyclic genome graph.
+///
+/// Built through [`GraphBuilder`] or
+/// [`build_graph`](crate::construct::build_graph); most pipeline stages
+/// require the graph to be topologically sorted (the paper sorts with
+/// `vg ids -s` during pre-processing, Section 5).
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::{DnaSeq, GraphBuilder};
+///
+/// // The Figure 1 graph: ACG -> {T, G, TT, ε} -> ACGT
+/// let mut b = GraphBuilder::new();
+/// let acg = b.add_node("ACG".parse()?)?;
+/// let t = b.add_node("T".parse()?)?;
+/// let g = b.add_node("G".parse()?)?;
+/// let tt = b.add_node("TT".parse()?)?;
+/// let acgt = b.add_node("ACGT".parse()?)?;
+/// for alt in [t, g, tt] {
+///     b.add_edge(acg, alt)?;
+///     b.add_edge(alt, acgt)?;
+/// }
+/// b.add_edge(acg, acgt)?; // deletion path
+/// let graph = b.finish()?;
+/// assert_eq!(graph.stats().node_count, 5);
+/// assert!(graph.is_topologically_sorted());
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GenomeGraph {
+    seqs: Vec<DnaSeq>,
+    out_edges: Vec<Vec<NodeId>>,
+    in_edges: Vec<Vec<NodeId>>,
+    /// Prefix sums of node sequence lengths; `char_starts[i]` is the linear
+    /// coordinate of node `i`'s first character (valid in topological order).
+    char_starts: Vec<u64>,
+    total_chars: u64,
+    edge_count: usize,
+}
+
+impl GenomeGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total number of characters stored across all node sequences.
+    pub fn total_chars(&self) -> u64 {
+        self.total_chars
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            node_count: self.node_count(),
+            edge_count: self.edge_count(),
+            total_chars: self.total_chars(),
+        }
+    }
+
+    /// Sequence of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of bounds.
+    pub fn seq(&self, node: NodeId) -> &DnaSeq {
+        &self.seqs[node.index()]
+    }
+
+    /// Length (in characters) of a node's sequence.
+    pub fn node_len(&self, node: NodeId) -> usize {
+        self.seqs[node.index()].len()
+    }
+
+    /// Outgoing edges of a node, sorted by destination id.
+    pub fn successors(&self, node: NodeId) -> &[NodeId] {
+        &self.out_edges[node.index()]
+    }
+
+    /// Incoming edges of a node, sorted by source id.
+    pub fn predecessors(&self, node: NodeId) -> &[NodeId] {
+        &self.in_edges[node.index()]
+    }
+
+    /// Iterates over all node ids in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.seqs.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.node_ids().flat_map(move |from| {
+            self.successors(from).iter().map(move |&to| (from, to))
+        })
+    }
+
+    /// Returns `true` when every edge points from a smaller id to a larger
+    /// id, i.e. node ids form a topological order.
+    pub fn is_topologically_sorted(&self) -> bool {
+        self.edges().all(|(a, b)| a < b)
+    }
+
+    /// Returns a relabelled copy of the graph whose node ids are in
+    /// topological order, together with the mapping `old id -> new id`.
+    ///
+    /// This mirrors the paper's `vg ids -s` pre-processing step (Section 5).
+    /// The sort is Kahn's algorithm with a smallest-id-first tie-break so the
+    /// result is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CyclicGraph`] when the graph has a cycle.
+    pub fn topological_sort(&self) -> Result<(GenomeGraph, Vec<NodeId>), GraphError> {
+        let n = self.node_count();
+        let mut in_deg: Vec<usize> = self.in_edges.iter().map(|v| v.len()).collect();
+        // Min-heap behaviour via sorted queue: use BinaryHeap of Reverse.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+            .filter(|&i| in_deg[i as usize] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(v)) = ready.pop() {
+            order.push(NodeId(v));
+            for &u in &self.out_edges[v as usize] {
+                in_deg[u.index()] -= 1;
+                if in_deg[u.index()] == 0 {
+                    ready.push(std::cmp::Reverse(u.0));
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::CyclicGraph);
+        }
+        // old -> new mapping
+        let mut mapping = vec![NodeId(0); n];
+        for (new, &old) in order.iter().enumerate() {
+            mapping[old.index()] = NodeId(new as u32);
+        }
+        let mut builder = GraphBuilder::new();
+        for &old in &order {
+            builder.add_node(self.seqs[old.index()].clone())?;
+        }
+        for (from, to) in self.edges() {
+            builder.add_edge(mapping[from.index()], mapping[to.index()])?;
+        }
+        Ok((builder.finish()?, mapping))
+    }
+
+    /// Linear coordinate of a node's first character.
+    ///
+    /// Linear coordinates index the concatenation of all node sequences in
+    /// id order; they are the coordinate system in which MinSeed computes
+    /// candidate regions (Figure 9).
+    pub fn char_start(&self, node: NodeId) -> u64 {
+        self.char_starts[node.index()]
+    }
+
+    /// Converts a graph position to its linear coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the node or the offset is out of bounds.
+    pub fn linear_pos(&self, pos: GraphPos) -> Result<u64, GraphError> {
+        let idx = pos.node.index();
+        if idx >= self.node_count() {
+            return Err(GraphError::NodeOutOfBounds {
+                node: pos.node.0,
+                node_count: self.node_count(),
+            });
+        }
+        let node_len = self.seqs[idx].len();
+        if pos.offset as usize >= node_len {
+            return Err(GraphError::OffsetOutOfBounds {
+                node: pos.node.0,
+                offset: pos.offset,
+                node_len,
+            });
+        }
+        Ok(self.char_starts[idx] + pos.offset as u64)
+    }
+
+    /// Converts a linear coordinate back to a graph position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::LinearPosOutOfBounds`] when `pos` is at or past
+    /// [`total_chars`](Self::total_chars).
+    pub fn graph_pos(&self, pos: u64) -> Result<GraphPos, GraphError> {
+        if pos >= self.total_chars {
+            return Err(GraphError::LinearPosOutOfBounds {
+                pos,
+                total: self.total_chars,
+            });
+        }
+        // char_starts is sorted; find the last node whose start is <= pos.
+        let idx = match self.char_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Ok(GraphPos::new(
+            NodeId(idx as u32),
+            (pos - self.char_starts[idx]) as u32,
+        ))
+    }
+
+    /// Returns the base at a graph position.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the position is out of bounds.
+    pub fn base_at(&self, pos: GraphPos) -> Result<Base, GraphError> {
+        let idx = pos.node.index();
+        if idx >= self.node_count() {
+            return Err(GraphError::NodeOutOfBounds {
+                node: pos.node.0,
+                node_count: self.node_count(),
+            });
+        }
+        self.seqs[idx]
+            .get(pos.offset as usize)
+            .ok_or(GraphError::OffsetOutOfBounds {
+                node: pos.node.0,
+                offset: pos.offset,
+                node_len: self.seqs[idx].len(),
+            })
+    }
+
+    /// Walks a path of node ids and concatenates their sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when consecutive nodes are not connected by an edge
+    /// or a node id is out of bounds.
+    pub fn path_seq(&self, path: &[NodeId]) -> Result<DnaSeq, GraphError> {
+        let mut seq = DnaSeq::new();
+        for (i, &node) in path.iter().enumerate() {
+            if node.index() >= self.node_count() {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: node.0,
+                    node_count: self.node_count(),
+                });
+            }
+            if i > 0 {
+                let prev = path[i - 1];
+                if !self.successors(prev).contains(&node) {
+                    return Err(GraphError::DuplicateEdge {
+                        from: prev.0,
+                        to: node.0,
+                    });
+                }
+            }
+            seq.extend_from_seq(&self.seqs[node.index()]);
+        }
+        Ok(seq)
+    }
+
+    /// Performs a breadth-first search from `start` and returns all nodes
+    /// reachable within `max_nodes` expansions (including `start`).
+    pub fn reachable_from(&self, start: NodeId, max_nodes: usize) -> Vec<NodeId> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = VecDeque::from([start]);
+        let mut out = Vec::new();
+        seen[start.index()] = true;
+        while let Some(v) = queue.pop_front() {
+            out.push(v);
+            if out.len() >= max_nodes {
+                break;
+            }
+            for &u in self.successors(v) {
+                if !seen[u.index()] {
+                    seen[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`GenomeGraph`] (see [`GenomeGraph`] docs for an
+/// example).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    seqs: Vec<DnaSeq>,
+    out_edges: Vec<Vec<NodeId>>,
+    in_edges: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Adds a node carrying `seq` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyNode`] when `seq` is empty: the paper's
+    /// node table stores at least one character per node.
+    pub fn add_node(&mut self, seq: DnaSeq) -> Result<NodeId, GraphError> {
+        if seq.is_empty() {
+            return Err(GraphError::EmptyNode);
+        }
+        let id = NodeId(self.seqs.len() as u32);
+        self.seqs.push(seq);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds a directed edge `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either endpoint is unknown, when the edge is a
+    /// self loop, or when the edge already exists.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        let n = self.seqs.len();
+        for node in [from, to] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfBounds {
+                    node: node.0,
+                    node_count: n,
+                });
+            }
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop { node: from.0 });
+        }
+        if self.out_edges[from.index()].contains(&to) {
+            return Err(GraphError::DuplicateEdge {
+                from: from.0,
+                to: to.0,
+            });
+        }
+        self.out_edges[from.index()].push(to);
+        self.in_edges[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if the edge already exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out_edges
+            .get(from.index())
+            .is_some_and(|v| v.contains(&to))
+    }
+
+    /// Finalizes the graph, sorting adjacency lists and computing linear
+    /// coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::CyclicGraph`] when the edges form a cycle.
+    pub fn finish(mut self) -> Result<GenomeGraph, GraphError> {
+        for edges in self.out_edges.iter_mut().chain(self.in_edges.iter_mut()) {
+            edges.sort_unstable();
+        }
+        let mut char_starts = Vec::with_capacity(self.seqs.len());
+        let mut total = 0u64;
+        for seq in &self.seqs {
+            char_starts.push(total);
+            total += seq.len() as u64;
+        }
+        let graph = GenomeGraph {
+            seqs: self.seqs,
+            out_edges: self.out_edges,
+            in_edges: self.in_edges,
+            char_starts,
+            total_chars: total,
+            edge_count: self.edge_count,
+        };
+        // Cycle check: Kahn over the finished graph.
+        let mut in_deg: Vec<usize> = graph.in_edges.iter().map(|v| v.len()).collect();
+        let mut queue: VecDeque<usize> = (0..graph.node_count())
+            .filter(|&i| in_deg[i] == 0)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(v) = queue.pop_front() {
+            visited += 1;
+            for &u in &graph.out_edges[v] {
+                in_deg[u.index()] -= 1;
+                if in_deg[u.index()] == 0 {
+                    queue.push_back(u.index());
+                }
+            }
+        }
+        if visited != graph.node_count() {
+            return Err(GraphError::CyclicGraph);
+        }
+        Ok(graph)
+    }
+}
+
+/// Builds a graph with a single linear chain of nodes from a sequence —
+/// the degenerate "linear reference" case that makes SeGraM a
+/// sequence-to-sequence mapper (Section 9: "a graph where each node has an
+/// outgoing edge to exactly one other node").
+///
+/// The sequence is split into nodes of at most `node_len` characters.
+///
+/// # Errors
+///
+/// Returns [`GraphError::EmptyNode`] when `seq` is empty or `node_len` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::linear_graph;
+///
+/// let graph = linear_graph(&"ACGTACGT".parse()?, 3)?;
+/// assert_eq!(graph.node_count(), 3); // ACG, TAC, GT
+/// assert!(graph.is_topologically_sorted());
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+pub fn linear_graph(seq: &DnaSeq, node_len: usize) -> Result<GenomeGraph, GraphError> {
+    if seq.is_empty() || node_len == 0 {
+        return Err(GraphError::EmptyNode);
+    }
+    let mut builder = GraphBuilder::new();
+    let mut prev: Option<NodeId> = None;
+    let mut start = 0;
+    while start < seq.len() {
+        let end = (start + node_len).min(seq.len());
+        let id = builder.add_node(seq.slice(start, end))?;
+        if let Some(p) = prev {
+            builder.add_edge(p, id)?;
+        }
+        prev = Some(id);
+        start = end;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_graph() -> GenomeGraph {
+        // Figure 1: linear sequence ACGTACGT with variations producing
+        // sequences ACGTACGT / ACGGACGT / ACGTTACGT / ACGACGT.
+        let mut b = GraphBuilder::new();
+        let acg = b.add_node("ACG".parse().unwrap()).unwrap();
+        let t = b.add_node("T".parse().unwrap()).unwrap();
+        let g = b.add_node("G".parse().unwrap()).unwrap();
+        let tt = b.add_node("TT".parse().unwrap()).unwrap();
+        let acgt = b.add_node("ACGT".parse().unwrap()).unwrap();
+        for alt in [t, g, tt] {
+            b.add_edge(acg, alt).unwrap();
+            b.add_edge(alt, acgt).unwrap();
+        }
+        b.add_edge(acg, acgt).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn figure1_stats() {
+        let g = figure1_graph();
+        assert_eq!(g.stats().node_count, 5);
+        assert_eq!(g.stats().edge_count, 7);
+        assert_eq!(g.stats().total_chars, 3 + 1 + 1 + 2 + 4);
+        assert!(g.is_topologically_sorted());
+    }
+
+    #[test]
+    fn figure1_represents_all_four_sequences() {
+        let g = figure1_graph();
+        let paths: [(&str, Vec<NodeId>); 4] = [
+            ("ACGTACGT", vec![NodeId(0), NodeId(1), NodeId(4)]),
+            ("ACGGACGT", vec![NodeId(0), NodeId(2), NodeId(4)]),
+            ("ACGTTACGT", vec![NodeId(0), NodeId(3), NodeId(4)]),
+            ("ACGACGT", vec![NodeId(0), NodeId(4)]),
+        ];
+        for (expect, path) in paths {
+            assert_eq!(g.path_seq(&path).unwrap().to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn path_seq_rejects_disconnected_hops() {
+        let g = figure1_graph();
+        assert!(g.path_seq(&[NodeId(1), NodeId(2)]).is_err());
+    }
+
+    #[test]
+    fn linear_coordinates_round_trip() {
+        let g = figure1_graph();
+        for node in g.node_ids() {
+            for offset in 0..g.node_len(node) as u32 {
+                let pos = GraphPos::new(node, offset);
+                let linear = g.linear_pos(pos).unwrap();
+                assert_eq!(g.graph_pos(linear).unwrap(), pos);
+            }
+        }
+        assert!(g.graph_pos(g.total_chars()).is_err());
+        assert!(g
+            .linear_pos(GraphPos::new(NodeId(0), 3))
+            .is_err_and(|e| matches!(e, GraphError::OffsetOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn base_at_reads_node_sequences() {
+        let g = figure1_graph();
+        assert_eq!(g.base_at(GraphPos::new(NodeId(0), 2)).unwrap(), Base::G);
+        assert_eq!(g.base_at(GraphPos::new(NodeId(4), 0)).unwrap(), Base::A);
+        assert!(g.base_at(GraphPos::new(NodeId(9), 0)).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A".parse().unwrap()).unwrap();
+        let c = b.add_node("C".parse().unwrap()).unwrap();
+        assert!(b.add_edge(a, a).is_err());
+        b.add_edge(a, c).unwrap();
+        assert!(matches!(
+            b.add_edge(a, c),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(b.add_edge(a, NodeId(7)).is_err());
+        assert!(b.add_node(DnaSeq::new()).is_err());
+    }
+
+    #[test]
+    fn cycle_is_detected_at_finish() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A".parse().unwrap()).unwrap();
+        let c = b.add_node("C".parse().unwrap()).unwrap();
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        assert_eq!(b.finish().unwrap_err(), GraphError::CyclicGraph);
+    }
+
+    #[test]
+    fn topological_sort_relabels_reverse_graph() {
+        // Build a graph with ids deliberately in reverse topological order.
+        let mut b = GraphBuilder::new();
+        let last = b.add_node("T".parse().unwrap()).unwrap();
+        let mid = b.add_node("G".parse().unwrap()).unwrap();
+        let first = b.add_node("A".parse().unwrap()).unwrap();
+        b.add_edge(first, mid).unwrap();
+        b.add_edge(mid, last).unwrap();
+        let g = b.finish().unwrap();
+        assert!(!g.is_topologically_sorted());
+        let (sorted, mapping) = g.topological_sort().unwrap();
+        assert!(sorted.is_topologically_sorted());
+        assert_eq!(mapping[first.index()], NodeId(0));
+        assert_eq!(mapping[mid.index()], NodeId(1));
+        assert_eq!(mapping[last.index()], NodeId(2));
+        assert_eq!(sorted.seq(NodeId(0)).to_string(), "A");
+        assert_eq!(sorted.seq(NodeId(2)).to_string(), "T");
+    }
+
+    #[test]
+    fn linear_graph_chains_nodes() {
+        let g = linear_graph(&"ACGTACGTAC".parse().unwrap(), 4).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.seq(NodeId(2)).to_string(), "AC");
+        // Every node except the last has exactly one successor.
+        for node in g.node_ids() {
+            let expected = usize::from(node.index() + 1 < g.node_count());
+            assert_eq!(g.successors(node).len(), expected);
+        }
+    }
+
+    #[test]
+    fn reachable_from_respects_cap() {
+        let g = figure1_graph();
+        let all = g.reachable_from(NodeId(0), 100);
+        assert_eq!(all.len(), 5);
+        let capped = g.reachable_from(NodeId(0), 2);
+        assert_eq!(capped.len(), 2);
+    }
+}

@@ -1,0 +1,395 @@
+//! DNA sequences: an ergonomic unpacked form ([`DnaSeq`]) and the paper's
+//! 2-bit packed storage form ([`PackedSeq`], used for the character table of
+//! Figure 5 and for memory-footprint accounting).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Base, GraphError};
+
+/// An owned DNA sequence over the 2-bit alphabet.
+///
+/// This is the working representation used by the algorithms; the memory
+/// layout the hardware sees is modelled by [`PackedSeq`].
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::{Base, DnaSeq};
+///
+/// let seq: DnaSeq = "ACGT".parse()?;
+/// assert_eq!(seq.len(), 4);
+/// assert_eq!(seq.get(1), Some(Base::C));
+/// assert_eq!(seq.to_string(), "ACGT");
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DnaSeq {
+    bases: Vec<Base>,
+}
+
+impl DnaSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sequence with room for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            bases: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Parses an ASCII byte string (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCharacter`] for any byte outside
+    /// `ACGTacgt`, reporting its offset.
+    pub fn from_ascii(ascii: &[u8]) -> Result<Self, GraphError> {
+        let mut bases = Vec::with_capacity(ascii.len());
+        for (offset, &ch) in ascii.iter().enumerate() {
+            let base = Base::from_ascii(ch)
+                .ok_or(GraphError::InvalidCharacter { ch, offset })?;
+            bases.push(base);
+        }
+        Ok(Self { bases })
+    }
+
+    /// Number of bases in the sequence.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Returns `true` when the sequence holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Returns the base at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        self.bases.get(index).copied()
+    }
+
+    /// Borrows the bases as a slice.
+    pub fn as_slice(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, base: Base) {
+        self.bases.push(base);
+    }
+
+    /// Appends every base of `other`.
+    pub fn extend_from_seq(&mut self, other: &DnaSeq) {
+        self.bases.extend_from_slice(&other.bases);
+    }
+
+    /// Returns the sub-sequence `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> DnaSeq {
+        DnaSeq {
+            bases: self.bases[start..end].to_vec(),
+        }
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, Base>> {
+        self.bases.iter().copied()
+    }
+
+    /// Returns the reverse complement of this sequence.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use segram_graph::DnaSeq;
+    /// let seq: DnaSeq = "AACG".parse()?;
+    /// assert_eq!(seq.reverse_complement().to_string(), "CGTT");
+    /// # Ok::<(), segram_graph::GraphError>(())
+    /// ```
+    pub fn reverse_complement(&self) -> DnaSeq {
+        DnaSeq {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// Consumes the sequence and returns the underlying base vector.
+    pub fn into_bases(self) -> Vec<Base> {
+        self.bases
+    }
+}
+
+impl From<Vec<Base>> for DnaSeq {
+    fn from(bases: Vec<Base>) -> Self {
+        Self { bases }
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Self {
+        Self {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Base> for DnaSeq {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        self.bases.extend(iter);
+    }
+}
+
+impl IntoIterator for DnaSeq {
+    type Item = Base;
+    type IntoIter = std::vec::IntoIter<Base>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DnaSeq {
+    type Item = Base;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Base>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<usize> for DnaSeq {
+    type Output = Base;
+
+    fn index(&self, index: usize) -> &Base {
+        &self.bases[index]
+    }
+}
+
+impl AsRef<[Base]> for DnaSeq {
+    fn as_ref(&self) -> &[Base] {
+        &self.bases
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for base in &self.bases {
+            write!(f, "{base}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DnaSeq {
+    type Err = GraphError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::from_ascii(s.as_bytes())
+    }
+}
+
+/// A 2-bit packed DNA sequence, the storage layout of the paper's character
+/// table (Figure 5: "we can store characters in the character table using a
+/// 2-bit representation").
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::{DnaSeq, PackedSeq};
+///
+/// let seq: DnaSeq = "ACGTACGT".parse()?;
+/// let packed = PackedSeq::from_seq(&seq);
+/// assert_eq!(packed.len(), 8);
+/// assert_eq!(packed.byte_len(), 2); // 8 bases * 2 bits = 2 bytes
+/// assert_eq!(packed.unpack(), seq);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    words: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Creates an empty packed sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packs an unpacked sequence.
+    pub fn from_seq(seq: &DnaSeq) -> Self {
+        let mut packed = Self {
+            words: vec![0u8; seq.len().div_ceil(4)],
+            len: seq.len(),
+        };
+        for (i, base) in seq.iter().enumerate() {
+            packed.set(i, base);
+        }
+        packed
+    }
+
+    /// Number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes occupied by the packed payload.
+    pub fn byte_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, base: Base) {
+        if self.len % 4 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        self.set(self.len - 1, base);
+    }
+
+    /// Returns the base at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        if index >= self.len {
+            return None;
+        }
+        let byte = self.words[index / 4];
+        let shift = (index % 4) * 2;
+        Some(Base::from_code_masked(byte >> shift))
+    }
+
+    fn set(&mut self, index: usize, base: Base) {
+        let shift = (index % 4) * 2;
+        let slot = &mut self.words[index / 4];
+        *slot = (*slot & !(0b11 << shift)) | (base.code() << shift);
+    }
+
+    /// Unpacks into a [`DnaSeq`].
+    pub fn unpack(&self) -> DnaSeq {
+        (0..self.len)
+            .map(|i| self.get(i).expect("index < len"))
+            .collect()
+    }
+
+    /// Iterates over the stored bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len).map(|i| self.get(i).expect("index < len"))
+    }
+}
+
+impl From<&DnaSeq> for PackedSeq {
+    fn from(seq: &DnaSeq) -> Self {
+        PackedSeq::from_seq(seq)
+    }
+}
+
+impl FromIterator<Base> for PackedSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Self {
+        let mut packed = PackedSeq::new();
+        for base in iter {
+            packed.push(base);
+        }
+        packed
+    }
+}
+
+impl fmt::Display for PackedSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for base in self.iter() {
+            write!(f, "{base}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let seq: DnaSeq = "ACGTTGCA".parse().unwrap();
+        assert_eq!(seq.to_string(), "ACGTTGCA");
+        assert_eq!(seq.len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_ambiguity_codes() {
+        let err = DnaSeq::from_ascii(b"ACGNT").unwrap_err();
+        match err {
+            GraphError::InvalidCharacter { ch, offset } => {
+                assert_eq!(ch, b'N');
+                assert_eq!(offset, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowercase_input_accepted() {
+        let seq: DnaSeq = "acgt".parse().unwrap();
+        assert_eq!(seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn slicing_and_indexing() {
+        let seq: DnaSeq = "ACGTAC".parse().unwrap();
+        assert_eq!(seq.slice(1, 4).to_string(), "CGT");
+        assert_eq!(seq[5], Base::C);
+        assert_eq!(seq.get(6), None);
+    }
+
+    #[test]
+    fn reverse_complement_matches_manual() {
+        let seq: DnaSeq = "AACGTT".parse().unwrap();
+        assert_eq!(seq.reverse_complement().to_string(), "AACGTT");
+        let seq: DnaSeq = "AAAC".parse().unwrap();
+        assert_eq!(seq.reverse_complement().to_string(), "GTTT");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let seq: DnaSeq = [Base::A, Base::G].into_iter().collect();
+        assert_eq!(seq.to_string(), "AG");
+        let mut seq = seq;
+        seq.extend([Base::T]);
+        assert_eq!(seq.to_string(), "AGT");
+    }
+
+    #[test]
+    fn packed_round_trips_all_lengths() {
+        for len in 0..20 {
+            let seq: DnaSeq = (0..len).map(|i| Base::from_code_masked(i as u8)).collect();
+            let packed = PackedSeq::from_seq(&seq);
+            assert_eq!(packed.unpack(), seq, "len {len}");
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.byte_len(), len.div_ceil(4));
+        }
+    }
+
+    #[test]
+    fn packed_push_matches_from_seq() {
+        let seq: DnaSeq = "TGCATGCATG".parse().unwrap();
+        let pushed: PackedSeq = seq.iter().collect();
+        assert_eq!(pushed, PackedSeq::from_seq(&seq));
+        assert_eq!(pushed.to_string(), "TGCATGCATG");
+    }
+
+    #[test]
+    fn packed_uses_two_bits_per_char() {
+        // The paper's character-table accounting: total sequence length * 2 bits.
+        let seq: DnaSeq = "A".repeat(1000).parse().unwrap();
+        let packed = PackedSeq::from_seq(&seq);
+        assert_eq!(packed.byte_len(), 250);
+    }
+}

@@ -1,0 +1,217 @@
+//! The flat, hardware-facing memory layout of the graph-based reference
+//! (Figure 5): the node table, the character table, and the edge table,
+//! with the paper's exact byte accounting (32 B per node entry, 2 bits per
+//! character, 4 B per edge entry).
+
+use crate::{Base, GenomeGraph, GraphError, NodeId, PackedSeq};
+
+/// Bytes per node-table entry (Figure 5: "each entry in the node table
+/// requires 32 B").
+pub const NODE_ENTRY_BYTES: u64 = 32;
+
+/// Bytes per edge-table entry (Figure 5: "each entry in the edge table
+/// requires 4 B").
+pub const EDGE_ENTRY_BYTES: u64 = 4;
+
+/// One entry of the node table: four fields, exactly as in Figure 5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// (i) Length of the node sequence in characters.
+    pub seq_len: u32,
+    /// (ii) Starting index of the node sequence in the character table.
+    pub char_start: u64,
+    /// (iii) Outgoing edge count.
+    pub out_count: u32,
+    /// (iv) Starting index of the node's outgoing edges in the edge table.
+    pub edge_start: u64,
+}
+
+/// The graph-based reference in its main-memory layout (Figure 5).
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::{build_graph, Base, GraphTables, Variant};
+///
+/// let built = build_graph(
+///     &"ACGTACGT".parse()?,
+///     [Variant::snp(3, Base::G)].into_iter().collect(),
+/// )?;
+/// let tables = GraphTables::from_graph(&built.graph);
+/// assert_eq!(tables.node_count(), 4);
+/// // 4 nodes * 32 B + ceil(9 chars / 4) B + 4 edges * 4 B
+/// assert_eq!(tables.footprint().total_bytes(), 4 * 32 + 3 + 4 * 4);
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphTables {
+    nodes: Vec<NodeEntry>,
+    chars: PackedSeq,
+    edges: Vec<u32>,
+}
+
+/// Byte footprint of a [`GraphTables`], per the paper's formulas
+/// (`#nodes * 32 B`, `total sequence length * 2 bits`, `#edges * 4 B`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphFootprint {
+    /// Bytes of the node table.
+    pub node_table_bytes: u64,
+    /// Bytes of the character table.
+    pub char_table_bytes: u64,
+    /// Bytes of the edge table.
+    pub edge_table_bytes: u64,
+}
+
+impl GraphFootprint {
+    /// Total bytes across the three tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.node_table_bytes + self.char_table_bytes + self.edge_table_bytes
+    }
+}
+
+impl GraphTables {
+    /// Lays out a graph into the three tables.
+    pub fn from_graph(graph: &GenomeGraph) -> Self {
+        let mut nodes = Vec::with_capacity(graph.node_count());
+        let mut chars = PackedSeq::new();
+        let mut edges: Vec<u32> = Vec::with_capacity(graph.edge_count());
+        for node in graph.node_ids() {
+            let seq = graph.seq(node);
+            let entry = NodeEntry {
+                seq_len: seq.len() as u32,
+                char_start: chars.len() as u64,
+                out_count: graph.successors(node).len() as u32,
+                edge_start: edges.len() as u64,
+            };
+            for base in seq.iter() {
+                chars.push(base);
+            }
+            edges.extend(graph.successors(node).iter().map(|n| n.0));
+            nodes.push(entry);
+        }
+        Self { nodes, chars, edges }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total characters in the character table.
+    pub fn char_count(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// The node-table entry for `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for unknown nodes.
+    pub fn node(&self, node: NodeId) -> Result<NodeEntry, GraphError> {
+        self.nodes
+            .get(node.index())
+            .copied()
+            .ok_or(GraphError::NodeOutOfBounds {
+                node: node.0,
+                node_count: self.nodes.len(),
+            })
+    }
+
+    /// Reads a node's sequence back out of the character table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for unknown nodes.
+    pub fn node_seq(&self, node: NodeId) -> Result<Vec<Base>, GraphError> {
+        let entry = self.node(node)?;
+        Ok((entry.char_start..entry.char_start + entry.seq_len as u64)
+            .map(|i| self.chars.get(i as usize).expect("char table in bounds"))
+            .collect())
+    }
+
+    /// Reads a node's successor list back out of the edge table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] for unknown nodes.
+    pub fn node_edges(&self, node: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        let entry = self.node(node)?;
+        Ok(self.edges[entry.edge_start as usize..][..entry.out_count as usize]
+            .iter()
+            .map(|&id| NodeId(id))
+            .collect())
+    }
+
+    /// Byte footprint per the paper's formulas.
+    pub fn footprint(&self) -> GraphFootprint {
+        GraphFootprint {
+            node_table_bytes: self.nodes.len() as u64 * NODE_ENTRY_BYTES,
+            char_table_bytes: self.chars.byte_len() as u64,
+            edge_table_bytes: self.edges.len() as u64 * EDGE_ENTRY_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_graph, Variant};
+
+    fn tables() -> (GenomeGraph, GraphTables) {
+        let graph = build_graph(
+            &"ACGTACGT".parse().unwrap(),
+            [Variant::snp(3, crate::Base::G)].into_iter().collect(),
+        )
+        .unwrap()
+        .graph;
+        let tables = GraphTables::from_graph(&graph);
+        (graph, tables)
+    }
+
+    #[test]
+    fn tables_round_trip_graph_content() {
+        let (graph, tables) = tables();
+        assert_eq!(tables.node_count(), graph.node_count());
+        assert_eq!(tables.edge_count(), graph.edge_count());
+        assert_eq!(tables.char_count() as u64, graph.total_chars());
+        for node in graph.node_ids() {
+            let seq: Vec<Base> = graph.seq(node).iter().collect();
+            assert_eq!(tables.node_seq(node).unwrap(), seq);
+            assert_eq!(tables.node_edges(node).unwrap(), graph.successors(node));
+        }
+    }
+
+    #[test]
+    fn footprint_formulas_match_paper() {
+        let (graph, tables) = tables();
+        let fp = tables.footprint();
+        assert_eq!(fp.node_table_bytes, graph.node_count() as u64 * 32);
+        assert_eq!(
+            fp.char_table_bytes,
+            (graph.total_chars() as usize).div_ceil(4) as u64
+        );
+        assert_eq!(fp.edge_table_bytes, graph.edge_count() as u64 * 4);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let (_, tables) = tables();
+        assert!(tables.node(NodeId(99)).is_err());
+        assert!(tables.node_seq(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn human_scale_footprint_extrapolation() {
+        // The paper: 20.4 M nodes, 27.9 M edges, 3.1 B chars -> 1.4 GB.
+        let bytes = 20_400_000u64 * NODE_ENTRY_BYTES
+            + 3_100_000_000u64 / 4
+            + 27_900_000u64 * EDGE_ENTRY_BYTES;
+        let gib = bytes as f64 / (1 << 30) as f64;
+        assert!((1.2..1.6).contains(&gib), "got {gib} GiB");
+    }
+}

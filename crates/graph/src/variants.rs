@@ -1,0 +1,301 @@
+//! Genetic variants (the content of the paper's VCF inputs): SNPs, small
+//! insertions/deletions, and larger structural variants, all expressed
+//! against a linear reference.
+
+use std::fmt;
+
+use crate::{Base, DnaSeq};
+
+/// The kind and payload of a single genetic variant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VariantKind {
+    /// Single-nucleotide polymorphism: one reference base replaced by `alt`.
+    Snp {
+        /// The alternative base.
+        alt: Base,
+    },
+    /// Insertion of `seq` *before* the reference position.
+    Insertion {
+        /// Inserted sequence (non-empty).
+        seq: DnaSeq,
+    },
+    /// Deletion of `len` reference bases starting at the reference position.
+    Deletion {
+        /// Number of deleted bases (non-zero).
+        len: u64,
+    },
+    /// Balanced replacement of `ref_len` reference bases by `alt`
+    /// (covers multi-base substitutions and structural variants).
+    Replacement {
+        /// Number of replaced reference bases.
+        ref_len: u64,
+        /// Replacement sequence (non-empty).
+        alt: DnaSeq,
+    },
+}
+
+/// A variant anchored at a 0-based reference position.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Variant {
+    /// 0-based position on the linear reference.
+    pub pos: u64,
+    /// Kind and payload.
+    pub kind: VariantKind,
+}
+
+impl Variant {
+    /// Creates a SNP.
+    pub fn snp(pos: u64, alt: Base) -> Self {
+        Self {
+            pos,
+            kind: VariantKind::Snp { alt },
+        }
+    }
+
+    /// Creates an insertion of `seq` before `pos`.
+    pub fn insertion(pos: u64, seq: DnaSeq) -> Self {
+        Self {
+            pos,
+            kind: VariantKind::Insertion { seq },
+        }
+    }
+
+    /// Creates a deletion of `len` bases starting at `pos`.
+    pub fn deletion(pos: u64, len: u64) -> Self {
+        Self {
+            pos,
+            kind: VariantKind::Deletion { len },
+        }
+    }
+
+    /// Creates a replacement of `ref_len` bases at `pos` by `alt`.
+    pub fn replacement(pos: u64, ref_len: u64, alt: DnaSeq) -> Self {
+        Self {
+            pos,
+            kind: VariantKind::Replacement { ref_len, alt },
+        }
+    }
+
+    /// The half-open reference interval `[start, end)` consumed by this
+    /// variant. Insertions consume an empty interval.
+    pub fn ref_interval(&self) -> (u64, u64) {
+        match &self.kind {
+            VariantKind::Snp { .. } => (self.pos, self.pos + 1),
+            VariantKind::Insertion { .. } => (self.pos, self.pos),
+            VariantKind::Deletion { len } => (self.pos, self.pos + len),
+            VariantKind::Replacement { ref_len, .. } => (self.pos, self.pos + ref_len),
+        }
+    }
+
+    /// The alternative allele sequence (empty for deletions).
+    pub fn alt_seq(&self) -> DnaSeq {
+        match &self.kind {
+            VariantKind::Snp { alt } => [*alt].into_iter().collect(),
+            VariantKind::Insertion { seq } => seq.clone(),
+            VariantKind::Deletion { .. } => DnaSeq::new(),
+            VariantKind::Replacement { alt, .. } => alt.clone(),
+        }
+    }
+
+    /// `true` when the variant consumes no reference characters.
+    pub fn is_insertion(&self) -> bool {
+        matches!(self.kind, VariantKind::Insertion { .. })
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            VariantKind::Snp { alt } => write!(f, "snp@{}={}", self.pos, alt),
+            VariantKind::Insertion { seq } => write!(f, "ins@{}={}", self.pos, seq),
+            VariantKind::Deletion { len } => write!(f, "del@{}+{}", self.pos, len),
+            VariantKind::Replacement { ref_len, alt } => {
+                write!(f, "rep@{}+{}={}", self.pos, ref_len, alt)
+            }
+        }
+    }
+}
+
+/// A collection of variants against one linear reference, playing the role
+/// of the paper's VCF files (Section 5).
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::{Base, Variant, VariantSet};
+///
+/// let mut set = VariantSet::new();
+/// set.push(Variant::snp(10, Base::T));
+/// set.push(Variant::deletion(4, 2));
+/// let sorted = set.into_sorted();
+/// assert_eq!(sorted.as_slice()[0].pos, 4);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VariantSet {
+    variants: Vec<Variant>,
+}
+
+impl VariantSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variant.
+    pub fn push(&mut self, variant: Variant) {
+        self.variants.push(variant);
+    }
+
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Returns `true` when the set has no variants.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Borrows the variants.
+    pub fn as_slice(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// Iterates over the variants.
+    pub fn iter(&self) -> std::slice::Iter<'_, Variant> {
+        self.variants.iter()
+    }
+
+    /// Sorts the set by `(ref start, insertion-first)` and returns it.
+    ///
+    /// Graph construction requires this order; insertion-first matches the
+    /// node ordering rule described in
+    /// [`build_graph`](crate::construct::build_graph).
+    pub fn into_sorted(mut self) -> Self {
+        self.variants.sort_by_key(|v| {
+            let (start, end) = v.ref_interval();
+            (start, end, v.alt_seq().len())
+        });
+        self
+    }
+
+    /// Removes variants whose reference intervals overlap an earlier
+    /// variant's interval, returning the number removed.
+    ///
+    /// The set must already be sorted (see [`Self::into_sorted`]). Two
+    /// zero-length intervals at the same position do **not** overlap;
+    /// multiple alternates over the same interval (multi-allelic sites) are
+    /// kept.
+    pub fn drop_overlapping(&mut self) -> usize {
+        let mut kept: Vec<Variant> = Vec::with_capacity(self.variants.len());
+        let mut dropped = 0usize;
+        let mut frontier = 0u64; // first ref position not yet consumed
+        let mut last_interval: Option<(u64, u64)> = None;
+        for v in self.variants.drain(..) {
+            let (start, end) = v.ref_interval();
+            let multi_allelic = last_interval == Some((start, end)) && start != end;
+            if start >= frontier || multi_allelic {
+                frontier = frontier.max(end);
+                last_interval = Some((start, end));
+                kept.push(v);
+            } else {
+                dropped += 1;
+            }
+        }
+        self.variants = kept;
+        dropped
+    }
+}
+
+impl FromIterator<Variant> for VariantSet {
+    fn from_iter<I: IntoIterator<Item = Variant>>(iter: I) -> Self {
+        Self {
+            variants: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Variant> for VariantSet {
+    fn extend<I: IntoIterator<Item = Variant>>(&mut self, iter: I) {
+        self.variants.extend(iter);
+    }
+}
+
+impl IntoIterator for VariantSet {
+    type Item = Variant;
+    type IntoIter = std::vec::IntoIter<Variant>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.variants.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_intervals() {
+        assert_eq!(Variant::snp(5, Base::A).ref_interval(), (5, 6));
+        assert_eq!(
+            Variant::insertion(5, "AC".parse().unwrap()).ref_interval(),
+            (5, 5)
+        );
+        assert_eq!(Variant::deletion(5, 3).ref_interval(), (5, 8));
+        assert_eq!(
+            Variant::replacement(5, 2, "GGG".parse().unwrap()).ref_interval(),
+            (5, 7)
+        );
+    }
+
+    #[test]
+    fn alt_seqs() {
+        assert_eq!(Variant::snp(0, Base::G).alt_seq().to_string(), "G");
+        assert_eq!(Variant::deletion(0, 2).alt_seq().len(), 0);
+        assert_eq!(
+            Variant::replacement(0, 1, "TT".parse().unwrap())
+                .alt_seq()
+                .to_string(),
+            "TT"
+        );
+    }
+
+    #[test]
+    fn sorting_orders_by_position() {
+        let set: VariantSet = [
+            Variant::snp(9, Base::A),
+            Variant::deletion(2, 2),
+            Variant::insertion(5, "T".parse().unwrap()),
+        ]
+        .into_iter()
+        .collect();
+        let sorted = set.into_sorted();
+        let positions: Vec<u64> = sorted.iter().map(|v| v.pos).collect();
+        assert_eq!(positions, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn overlap_dropping_keeps_disjoint_and_multiallelic() {
+        let set: VariantSet = [
+            Variant::deletion(0, 3),
+            Variant::snp(1, Base::A),  // overlaps the deletion
+            Variant::snp(4, Base::C),  // disjoint
+            Variant::snp(4, Base::G),  // multi-allelic with previous: kept
+            Variant::insertion(4, "T".parse().unwrap()), // zero-length at 4... after [4,5) -> overlaps
+            Variant::insertion(5, "T".parse().unwrap()), // at frontier: kept
+        ]
+        .into_iter()
+        .collect();
+        let mut set = set.into_sorted();
+        // sorted order: ins@4 has interval (4,4) and sorts before snp@4 (4,5)
+        let dropped = set.drop_overlapping();
+        assert_eq!(dropped, 1, "only the snp under the deletion is dropped");
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Variant::snp(3, Base::T).to_string(), "snp@3=T");
+        assert_eq!(Variant::deletion(3, 4).to_string(), "del@3+4");
+    }
+}

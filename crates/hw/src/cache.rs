@@ -1,0 +1,311 @@
+//! A set-associative LRU cache simulator.
+//!
+//! Section 3's bottleneck analysis rests on two memory-system
+//! observations: alignment's working set thrashes CPU caches
+//! (Observation 2: GraphAligner shows a 41 % cache miss rate) and
+//! seeding's index lookups are DRAM-latency-bound random accesses
+//! (Observation 3). The paper measured both with VTune/Perf on a Xeon;
+//! this module rebuilds the measurement instrument so the `obs_memory`
+//! experiment can replay the same access patterns against modeled caches.
+
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A 32 kB, 8-way, 64 B-line L1D (the Xeon E5-2630 v4's L1).
+    pub fn l1d() -> Self {
+        Self {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// A 256 kB, 8-way L2 (per-core, same part).
+    pub fn l2() -> Self {
+        Self {
+            size_bytes: 256 * 1024,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// A 2.5 MB/core slice of the shared L3 (25 MB across 10 cores).
+    pub fn l3_slice() -> Self {
+        Self {
+            size_bytes: 2_560 * 1024,
+            line_bytes: 64,
+            ways: 20,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (including cold misses).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]` (0 when nothing was accessed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / self.accesses as f64
+    }
+
+    /// Hits.
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.1}%)",
+            self.accesses,
+            self.misses,
+            self.miss_rate() * 100.0
+        )
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are byte addresses; each access touches the line containing
+/// the address (accesses are assumed not to straddle lines, which holds
+/// for the word-granular traces the experiments generate).
+///
+/// # Examples
+///
+/// ```
+/// use segram_hw::{CacheConfig, CacheSim};
+///
+/// let mut cache = CacheSim::new(CacheConfig { size_bytes: 128, line_bytes: 32, ways: 2 });
+/// assert!(!cache.access(0));   // cold miss
+/// assert!(cache.access(4));    // same line: hit
+/// assert!(!cache.access(64));  // different line: miss
+/// assert_eq!(cache.stats().misses, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    config: CacheConfig,
+    /// Per-set list of (tag, last-use stamp).
+    sets: Vec<Vec<(u64, u64)>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// line size, or a capacity not divisible into sets).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.ways > 0, "cache needs at least one way");
+        assert!(
+            config.line_bytes.is_power_of_two() && config.line_bytes > 0,
+            "line size must be a power of two"
+        );
+        assert!(
+            config.size_bytes % (config.line_bytes * config.ways) == 0
+                && config.sets() > 0,
+            "capacity must divide into whole sets"
+        );
+        let sets = vec![Vec::with_capacity(config.ways); config.sets()];
+        Self {
+            config,
+            sets,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses the byte at `addr`; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let set_count = self.sets.len() as u64;
+        let set_idx = (line % set_count) as usize;
+        let tag = line / set_count;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.clock;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == self.config.ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            set.swap_remove(victim);
+        }
+        set.push((tag, self.clock));
+        false
+    }
+
+    /// Replays a whole trace, returning the stats delta it produced.
+    pub fn run_trace(&mut self, addrs: impl IntoIterator<Item = u64>) -> CacheStats {
+        let before = self.stats;
+        for addr in addrs {
+            self.access(addr);
+        }
+        CacheStats {
+            accesses: self.stats.accesses - before.accesses,
+            misses: self.stats.misses - before.misses,
+        }
+    }
+
+    /// Cumulative statistics since construction or the last reset.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the statistics but keeps cache contents (so a warm-up phase
+    /// can be excluded from measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and clears statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets x 2 ways x 16-byte lines = 128 bytes.
+        CacheSim::new(CacheConfig {
+            size_bytes: 128,
+            line_bytes: 16,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn same_line_hits_after_cold_miss() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(15));
+        assert!(!c.access(16));
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line numbers 0, 4, 8 with 4 sets).
+        c.access(0); // line 0 -> set 0
+        c.access(64); // line 4 -> set 0
+        assert!(c.access(0)); // refresh line 0
+        c.access(128); // line 8 -> set 0: evicts line 4 (LRU)
+        assert!(c.access(0), "recently used line must survive");
+        assert!(!c.access(64), "LRU line must have been evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 4,
+        });
+        let lines: Vec<u64> = (0..16).map(|i| i * 64).collect();
+        c.run_trace(lines.iter().copied());
+        c.reset_stats();
+        for _ in 0..10 {
+            c.run_trace(lines.iter().copied());
+        }
+        assert_eq!(c.stats().misses, 0, "resident working set must hit");
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = CacheSim::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            ways: 4,
+        });
+        // 32 lines cycled in order through a 16-line LRU cache: every
+        // access misses (the classic LRU sequential-thrash worst case).
+        let lines: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        c.run_trace(lines.iter().copied());
+        c.reset_stats();
+        let stats = c.run_trace(lines.iter().copied());
+        assert_eq!(stats.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn stats_and_flush_behave() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.stats().hits(), 1);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0), "contents survive reset_stats");
+        c.flush();
+        assert!(!c.access(0), "flush empties the cache");
+    }
+
+    #[test]
+    fn xeon_presets_have_sane_geometry() {
+        for config in [CacheConfig::l1d(), CacheConfig::l2(), CacheConfig::l3_slice()] {
+            let c = CacheSim::new(config);
+            assert!(c.config().sets() > 0);
+        }
+        assert_eq!(CacheConfig::l1d().sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_is_rejected() {
+        let _ = CacheSim::new(CacheConfig {
+            size_bytes: 64,
+            line_bytes: 64,
+            ways: 0,
+        });
+    }
+}

@@ -1,0 +1,239 @@
+//! Analytical area/power model (Table 1 of the paper).
+//!
+//! The paper synthesizes the datapaths with Synopsys DC at 28 nm / 1 GHz
+//! and reports, for one SeGraM accelerator, **0.867 mm²** and **758 mW**;
+//! for all 32 accelerators **27.7 mm²** and **24.3 W**; adding HBM,
+//! **28.1 W** total. It further notes that "the main contributors for the
+//! area overhead and power consumption are (1) the hop queue registers,
+//! which constitute more than 60 % of the area and power of BitAlign's
+//! edit distance calculation logic; and (2) the bitvector scratchpads."
+//!
+//! Lacking the original synthesis library, this module uses per-kB SRAM,
+//! per-kB register-file, and per-block logic constants *calibrated so the
+//! model reproduces those published totals and the stated breakdown
+//! structure* (see `DESIGN.md`, substitution table). The constants are in
+//! the plausible range for a 28 nm low-power process.
+
+use crate::scratchpad::{BitAlignStorage, MinSeedScratchpads};
+
+/// Area (mm²) per kB of single-ported SRAM at 28 nm.
+pub const SRAM_AREA_MM2_PER_KB: f64 = 0.0023;
+/// Dynamic power (mW) per kB of SRAM at 1 GHz.
+pub const SRAM_POWER_MW_PER_KB: f64 = 1.2;
+/// Area (mm²) per kB of register file (hop queues are flop-based, ~10×
+/// SRAM density cost).
+pub const REGFILE_AREA_MM2_PER_KB: f64 = 0.022;
+/// Dynamic power (mW) per kB of register file at 1 GHz (written every
+/// cycle).
+pub const REGFILE_POWER_MW_PER_KB: f64 = 25.0;
+/// Area (mm²) of one BitAlign PE's bitvector datapath (128-bit ALUs).
+pub const PE_LOGIC_AREA_MM2: f64 = 0.10 / 64.0;
+/// Power (mW) of one BitAlign PE's datapath.
+pub const PE_LOGIC_POWER_MW: f64 = 130.0 / 64.0;
+/// Area (mm²) of BitAlign's traceback logic.
+pub const TRACEBACK_AREA_MM2: f64 = 0.020;
+/// Power (mW) of BitAlign's traceback logic.
+pub const TRACEBACK_POWER_MW: f64 = 40.0;
+/// Area (mm²) of MinSeed's computation blocks (minimizer finder, filter,
+/// region calculator — "simple logic").
+pub const MINSEED_LOGIC_AREA_MM2: f64 = 0.018;
+/// Power (mW) of MinSeed's computation blocks.
+pub const MINSEED_LOGIC_POWER_MW: f64 = 46.0;
+
+/// Area/power of one component.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Cost {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+impl Cost {
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+}
+
+/// The Table 1 breakdown for one SeGraM accelerator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AcceleratorCost {
+    /// MinSeed computation blocks.
+    pub minseed_logic: Cost,
+    /// MinSeed scratchpads (read + minimizer + seed, 50 kB).
+    pub minseed_scratchpads: Cost,
+    /// BitAlign edit-distance PE datapaths.
+    pub bitalign_pe_logic: Cost,
+    /// BitAlign hop queue registers (12 kB of flops).
+    pub bitalign_hop_queues: Cost,
+    /// BitAlign traceback logic.
+    pub bitalign_traceback: Cost,
+    /// BitAlign input + bitvector scratchpads (152 kB).
+    pub bitalign_scratchpads: Cost,
+}
+
+impl AcceleratorCost {
+    /// Evaluates the model for the paper's configuration.
+    pub fn paper_configuration() -> Self {
+        Self::for_storage(&MinSeedScratchpads::default(), &BitAlignStorage::default())
+    }
+
+    /// Evaluates the model for arbitrary storage sizing (ablations).
+    pub fn for_storage(minseed: &MinSeedScratchpads, bitalign: &BitAlignStorage) -> Self {
+        let kb = |bytes: u64| bytes as f64 / 1024.0;
+        let sram = |bytes: u64| Cost {
+            area_mm2: kb(bytes) * SRAM_AREA_MM2_PER_KB,
+            power_mw: kb(bytes) * SRAM_POWER_MW_PER_KB,
+        };
+        AcceleratorCost {
+            minseed_logic: Cost {
+                area_mm2: MINSEED_LOGIC_AREA_MM2,
+                power_mw: MINSEED_LOGIC_POWER_MW,
+            },
+            minseed_scratchpads: sram(minseed.total_bytes()),
+            bitalign_pe_logic: Cost {
+                area_mm2: PE_LOGIC_AREA_MM2 * bitalign.pe_count as f64,
+                power_mw: PE_LOGIC_POWER_MW * bitalign.pe_count as f64,
+            },
+            bitalign_hop_queues: Cost {
+                area_mm2: kb(bitalign.hop_queue_total_bytes()) * REGFILE_AREA_MM2_PER_KB,
+                power_mw: kb(bitalign.hop_queue_total_bytes()) * REGFILE_POWER_MW_PER_KB,
+            },
+            bitalign_traceback: Cost {
+                area_mm2: TRACEBACK_AREA_MM2,
+                power_mw: TRACEBACK_POWER_MW,
+            },
+            bitalign_scratchpads: sram(
+                bitalign.input.bytes + bitalign.bitvector_total_bytes(),
+            ),
+        }
+    }
+
+    /// Total for one accelerator.
+    pub fn total(&self) -> Cost {
+        self.minseed_logic
+            .add(self.minseed_scratchpads)
+            .add(self.bitalign_pe_logic)
+            .add(self.bitalign_hop_queues)
+            .add(self.bitalign_traceback)
+            .add(self.bitalign_scratchpads)
+    }
+
+    /// BitAlign's edit-distance-calculation logic (PE datapaths + hop
+    /// queues), the unit the paper's ">60 %" claim refers to.
+    pub fn edit_distance_logic(&self) -> Cost {
+        self.bitalign_pe_logic.add(self.bitalign_hop_queues)
+    }
+
+    /// Fraction of edit-distance-logic area contributed by hop queues.
+    pub fn hop_queue_area_fraction(&self) -> f64 {
+        self.bitalign_hop_queues.area_mm2 / self.edit_distance_logic().area_mm2
+    }
+
+    /// Fraction of edit-distance-logic power contributed by hop queues.
+    pub fn hop_queue_power_fraction(&self) -> f64 {
+        self.bitalign_hop_queues.power_mw / self.edit_distance_logic().power_mw
+    }
+}
+
+/// System-level totals (the bottom rows of Table 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SystemCost {
+    /// One accelerator.
+    pub per_accelerator: Cost,
+    /// Number of accelerators (paper: 32).
+    pub accelerators: usize,
+    /// All accelerators.
+    pub all_accelerators: Cost,
+    /// HBM dynamic power in watts.
+    pub hbm_power_w: f64,
+    /// Grand-total power in watts (accelerators + HBM).
+    pub total_power_w: f64,
+}
+
+/// Evaluates the full Table 1 at `accelerators` instances plus HBM power.
+pub fn system_cost(accelerators: usize, hbm_power_w: f64) -> SystemCost {
+    let per = AcceleratorCost::paper_configuration().total();
+    let all = Cost {
+        area_mm2: per.area_mm2 * accelerators as f64,
+        power_mw: per.power_mw * accelerators as f64,
+    };
+    SystemCost {
+        per_accelerator: per,
+        accelerators,
+        all_accelerators: all,
+        hbm_power_w,
+        total_power_w: all.power_mw / 1000.0 + hbm_power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_accelerator_matches_table1() {
+        // Paper: 0.867 mm², 758 mW per accelerator.
+        let total = AcceleratorCost::paper_configuration().total();
+        assert!(
+            (total.area_mm2 - 0.867).abs() < 0.02,
+            "area {}",
+            total.area_mm2
+        );
+        assert!((total.power_mw - 758.0).abs() < 15.0, "power {}", total.power_mw);
+    }
+
+    #[test]
+    fn system_totals_match_table1() {
+        // Paper: 27.7 mm², 24.3 W for 32 accelerators; 28.1 W with HBM.
+        let sys = system_cost(32, crate::hbm::HbmConfig::default().total_dynamic_power_w());
+        assert!((sys.all_accelerators.area_mm2 - 27.7).abs() < 0.6);
+        assert!((sys.all_accelerators.power_mw / 1000.0 - 24.3).abs() < 0.5);
+        assert!((sys.total_power_w - 28.1).abs() < 0.6, "{}", sys.total_power_w);
+    }
+
+    #[test]
+    fn hop_queues_dominate_edit_logic() {
+        // Paper: hop queue registers are >60 % of the area and power of
+        // BitAlign's edit-distance-calculation logic.
+        let cost = AcceleratorCost::paper_configuration();
+        assert!(cost.hop_queue_area_fraction() > 0.60);
+        assert!(cost.hop_queue_power_fraction() > 0.60);
+    }
+
+    #[test]
+    fn accelerator_is_tiny_next_to_a_cpu() {
+        // Paper: "a single SeGraM accelerator requires 0.02% of area and
+        // 0.5% of power consumption of an entire high-end Intel processor"
+        // (~700 mm², ~150 W class).
+        let total = AcceleratorCost::paper_configuration().total();
+        assert!(total.area_mm2 / 700.0 < 0.002);
+        assert!(total.power_mw / 150_000.0 < 0.006);
+    }
+
+    #[test]
+    fn scratchpads_and_hop_queues_are_main_contributors() {
+        let cost = AcceleratorCost::paper_configuration();
+        let total = cost.total();
+        let memories = cost
+            .bitalign_scratchpads
+            .add(cost.minseed_scratchpads)
+            .add(cost.bitalign_hop_queues);
+        assert!(memories.area_mm2 / total.area_mm2 > 0.5);
+        assert!(memories.power_mw / total.power_mw > 0.5);
+    }
+
+    #[test]
+    fn cost_model_scales_with_storage() {
+        let mut big = BitAlignStorage::default();
+        big.bitvector_per_pe.bytes *= 2;
+        let base = AcceleratorCost::paper_configuration().total();
+        let grown =
+            AcceleratorCost::for_storage(&MinSeedScratchpads::default(), &big).total();
+        assert!(grown.area_mm2 > base.area_mm2);
+        assert!(grown.power_mw > base.power_mw);
+    }
+}

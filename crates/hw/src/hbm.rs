@@ -1,0 +1,131 @@
+//! High-Bandwidth Memory model.
+//!
+//! SeGraM couples each accelerator to one HBM2E channel ("each SeGraM
+//! accelerator has exclusive access to one HBM2E channel to ensure
+//! low-latency and high-bandwidth memory access", Section 8.3). The paper's
+//! full design has four HBM2E stacks × eight channels = 32 channels.
+//!
+//! This is an analytical latency/bandwidth model — the same level of
+//! abstraction the paper's own evaluation uses (Section 10: "a
+//! spreadsheet-based analytical model parameterized with the synthesis and
+//! memory estimates").
+
+/// Configuration of the HBM subsystem.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HbmConfig {
+    /// Number of HBM stacks (paper: 4).
+    pub stacks: usize,
+    /// Channels per stack (paper: 8, per HBM2E).
+    pub channels_per_stack: usize,
+    /// Per-channel peak bandwidth in bytes per nanosecond (= GB/s).
+    /// HBM2E: ~460 GB/s per stack / 8 channels ≈ 57 GB/s per channel.
+    pub channel_bw_bytes_per_ns: f64,
+    /// Random-access latency in nanoseconds (row activation + CAS ≈ 120 ns).
+    pub access_latency_ns: f64,
+    /// Capacity per stack in bytes (paper: "16 GB in current technology").
+    pub stack_capacity_bytes: u64,
+    /// Dynamic power per active stack in watts (calibrated so that the
+    /// system total matches the paper's 28.1 W − 24.3 W ≈ 3.8 W over four
+    /// stacks).
+    pub dynamic_power_w_per_stack: f64,
+}
+
+impl Default for HbmConfig {
+    /// The paper's configuration: 4 × HBM2E.
+    fn default() -> Self {
+        Self {
+            stacks: 4,
+            channels_per_stack: 8,
+            channel_bw_bytes_per_ns: 57.0,
+            access_latency_ns: 120.0,
+            stack_capacity_bytes: 16 << 30,
+            dynamic_power_w_per_stack: 0.96,
+        }
+    }
+}
+
+impl HbmConfig {
+    /// Total independent channels (= accelerators the system can host).
+    pub fn total_channels(&self) -> usize {
+        self.stacks * self.channels_per_stack
+    }
+
+    /// Time for one random access transferring `bytes` on one channel.
+    pub fn access_ns(&self, bytes: u64) -> f64 {
+        self.access_latency_ns + bytes as f64 / self.channel_bw_bytes_per_ns
+    }
+
+    /// Time for a batch of `count` independent random accesses of `bytes`
+    /// each, assuming `overlap` of them can be in flight concurrently
+    /// (bank-level parallelism within the channel).
+    pub fn batched_access_ns(&self, count: u64, bytes: u64, overlap: u64) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let overlap = overlap.max(1);
+        let serial_rounds = count.div_ceil(overlap);
+        serial_rounds as f64 * self.access_latency_ns
+            + (count * bytes) as f64 / self.channel_bw_bytes_per_ns
+    }
+
+    /// Time for a streaming (sequential) transfer of `bytes` on one channel.
+    pub fn stream_ns(&self, bytes: u64) -> f64 {
+        self.access_latency_ns + bytes as f64 / self.channel_bw_bytes_per_ns
+    }
+
+    /// Whether the reference data (graph + index, replicated per stack,
+    /// Section 8.3) fits in one stack.
+    pub fn fits_per_stack(&self, graph_bytes: u64, index_bytes: u64) -> bool {
+        graph_bytes + index_bytes <= self.stack_capacity_bytes
+    }
+
+    /// Total dynamic HBM power.
+    pub fn total_dynamic_power_w(&self) -> f64 {
+        self.stacks as f64 * self.dynamic_power_w_per_stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_has_32_channels() {
+        let hbm = HbmConfig::default();
+        assert_eq!(hbm.total_channels(), 32);
+    }
+
+    #[test]
+    fn paper_dataset_fits_in_one_stack() {
+        // Section 8.3: graph + index = 11.2 GB per stack, within 16 GB.
+        let hbm = HbmConfig::default();
+        let graph = 1_400_000_000u64; // 1.4 GB
+        let index = 9_800_000_000u64; // 9.8 GB
+        assert!(hbm.fits_per_stack(graph, index));
+        assert!(!hbm.fits_per_stack(graph, 20 << 30));
+    }
+
+    #[test]
+    fn access_time_includes_latency_and_transfer() {
+        let hbm = HbmConfig::default();
+        let t = hbm.access_ns(5700);
+        assert!((t - 220.0).abs() < 1.0, "t = {t}"); // 120 + 100
+    }
+
+    #[test]
+    fn batched_accesses_amortize_latency() {
+        let hbm = HbmConfig::default();
+        let serial = hbm.batched_access_ns(16, 64, 1);
+        let parallel = hbm.batched_access_ns(16, 64, 16);
+        assert!(parallel < serial / 4.0);
+        assert_eq!(hbm.batched_access_ns(0, 64, 4), 0.0);
+    }
+
+    #[test]
+    fn hbm_power_matches_paper_delta() {
+        // 28.1 W total − 24.3 W accelerators ≈ 3.8 W of HBM power.
+        let hbm = HbmConfig::default();
+        let p = hbm.total_dynamic_power_w();
+        assert!((3.5..4.2).contains(&p), "p = {p}");
+    }
+}

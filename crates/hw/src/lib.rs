@@ -1,0 +1,60 @@
+//! # segram-hw
+//!
+//! Hardware substrate model for the SeGraM reproduction. The paper drives
+//! its performance numbers with "an in-house cycle-accurate simulator and a
+//! spreadsheet-based analytical model parameterized with the synthesis and
+//! memory estimates" (Section 10); this crate rebuilds that layer:
+//!
+//! * [`HbmConfig`] — the 4 × HBM2E memory subsystem (one channel per
+//!   accelerator, Section 8.3);
+//! * [`MinSeedScratchpads`] / [`BitAlignStorage`] — the paper's exact
+//!   scratchpad sizing (6/40/4 kB and 24/128/12 kB, Sections 8.1–8.2);
+//! * [`BitAlignHwConfig`] — the systolic-array cycle model calibrated to
+//!   the published 272/169 cycles-per-window figures (Section 11.3);
+//! * [`MinSeedHwConfig`] — the seeding accelerator's compute/memory time;
+//! * [`SegramAccelerator`] / [`SegramSystem`] — the pipelined accelerator
+//!   and the 32-accelerator system throughput model;
+//! * [`AcceleratorCost`] / [`system_cost`] — the Table 1 area/power model.
+//!
+//! ## Example
+//!
+//! ```
+//! use segram_hw::{SeedWorkload, SegramSystem};
+//!
+//! let system = SegramSystem::default();
+//! let workload = SeedWorkload {
+//!     read_len: 10_000,
+//!     minimizers_per_read: 1200.0,
+//!     surviving_minimizers: 1100.0,
+//!     seeds_per_read: 3500.0,
+//!     avg_region_len: 11_000.0,
+//! };
+//! let us = system.per_seed_latency_us(&workload);
+//! assert!((30.0..45.0).contains(&us)); // paper: 35.9 µs per execution
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitalign_model;
+mod cache;
+mod cost;
+mod hbm;
+mod minseed_model;
+mod pipeline_sim;
+mod scratchpad;
+mod system;
+
+pub use bitalign_model::BitAlignHwConfig;
+pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use cost::{
+    system_cost, AcceleratorCost, Cost, SystemCost, MINSEED_LOGIC_AREA_MM2,
+    MINSEED_LOGIC_POWER_MW, PE_LOGIC_AREA_MM2, PE_LOGIC_POWER_MW, REGFILE_AREA_MM2_PER_KB,
+    REGFILE_POWER_MW_PER_KB, SRAM_AREA_MM2_PER_KB, SRAM_POWER_MW_PER_KB, TRACEBACK_AREA_MM2,
+    TRACEBACK_POWER_MW,
+};
+pub use hbm::HbmConfig;
+pub use minseed_model::{MinSeedHwConfig, SeedWorkload};
+pub use pipeline_sim::{simulate_pipeline, uniform_jobs, PipelineTrace, SeedJob};
+pub use scratchpad::{BitAlignStorage, MinSeedScratchpads, Scratchpad};
+pub use system::{SegramAccelerator, SegramSystem};

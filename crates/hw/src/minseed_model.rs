@@ -1,0 +1,207 @@
+//! Cycle/time model of the MinSeed accelerator (Section 8.1).
+//!
+//! MinSeed's compute is trivial ("only basic operations ... implemented
+//! with simple logic"); its cost is dominated by the three memory-access
+//! phases against the HBM channel: minimizer-frequency lookups, seed-
+//! location fetches, and subgraph fetches (steps 3, 5 and 7 of Figure 4).
+
+use crate::hbm::HbmConfig;
+
+/// A per-read seeding workload measured from the software pipeline: the
+/// quantities that determine MinSeed's memory traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SeedWorkload {
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Minimizers extracted per read.
+    pub minimizers_per_read: f64,
+    /// Minimizers surviving the frequency filter.
+    pub surviving_minimizers: f64,
+    /// Seed locations fetched per read (sum over surviving minimizers).
+    pub seeds_per_read: f64,
+    /// Average candidate-region length in characters.
+    pub avg_region_len: f64,
+}
+
+/// The MinSeed accelerator model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinSeedHwConfig {
+    /// Clock frequency in GHz (paper: 1 GHz).
+    pub clock_ghz: f64,
+    /// Concurrent outstanding requests per phase (bank-level parallelism
+    /// inside the channel; frequency lookups are independent).
+    pub memory_overlap: u64,
+}
+
+impl Default for MinSeedHwConfig {
+    fn default() -> Self {
+        Self {
+            clock_ghz: 1.0,
+            memory_overlap: 8,
+        }
+    }
+}
+
+impl MinSeedHwConfig {
+    /// Compute cycles to find the minimizers of one read: the single-loop
+    /// `O(m)` algorithm of Section 6 plus the filter/region logic (a few
+    /// cycles per minimizer).
+    pub fn compute_cycles(&self, workload: &SeedWorkload) -> u64 {
+        workload.read_len as u64 + (workload.minimizers_per_read * 4.0) as u64
+    }
+
+    /// Memory time (ns) for the frequency lookups: one random access per
+    /// minimizer (second-level entry, 12 B).
+    pub fn frequency_lookup_ns(&self, workload: &SeedWorkload, hbm: &HbmConfig) -> f64 {
+        hbm.batched_access_ns(
+            workload.minimizers_per_read.round() as u64,
+            12,
+            self.memory_overlap,
+        )
+    }
+
+    /// Memory time (ns) to fetch seed locations: one random access per
+    /// surviving minimizer, transferring its 8 B locations.
+    pub fn seed_fetch_ns(&self, workload: &SeedWorkload, hbm: &HbmConfig) -> f64 {
+        let surviving = workload.surviving_minimizers.max(0.0).round() as u64;
+        if surviving == 0 {
+            return 0.0;
+        }
+        let avg_locs_bytes =
+            (workload.seeds_per_read / workload.surviving_minimizers.max(1.0) * 8.0) as u64;
+        hbm.batched_access_ns(surviving, avg_locs_bytes.max(8), self.memory_overlap)
+    }
+
+    /// Memory time (ns) to fetch the candidate subgraphs: one streaming
+    /// transfer per seed. A region of `L` characters costs roughly
+    /// `L / 4` B of packed characters plus node/edge-table metadata
+    /// (~32 B per ~32-char node).
+    pub fn subgraph_fetch_ns(&self, workload: &SeedWorkload, hbm: &HbmConfig) -> f64 {
+        let region_bytes = (workload.avg_region_len / 4.0
+            + (workload.avg_region_len / 32.0) * 36.0) as u64;
+        let seeds = workload.seeds_per_read.round() as u64;
+        hbm.batched_access_ns(seeds, region_bytes.max(64), self.memory_overlap)
+    }
+
+    /// Total MinSeed time per read in nanoseconds (compute + all three
+    /// memory phases; phases are serial in the paper's step ordering).
+    pub fn per_read_ns(&self, workload: &SeedWorkload, hbm: &HbmConfig) -> f64 {
+        self.compute_cycles(workload) as f64 / self.clock_ghz
+            + self.frequency_lookup_ns(workload, hbm)
+            + self.seed_fetch_ns(workload, hbm)
+            + self.subgraph_fetch_ns(workload, hbm)
+    }
+
+    /// MinSeed time attributable to a single seed (used for the pipelined
+    /// steady-state comparison against one BitAlign alignment).
+    pub fn per_seed_ns(&self, workload: &SeedWorkload, hbm: &HbmConfig) -> f64 {
+        let seeds = workload.seeds_per_read.max(1.0);
+        self.per_read_ns(workload, hbm) / seeds
+    }
+
+    /// Per-read time under the batching approach of Section 8.3, used when
+    /// the read's minimizers exceed the minimizer scratchpad: each batch
+    /// re-generates minimizers from the read ("the next batch will be
+    /// generated out of the read"), so the compute pass repeats per batch
+    /// while memory traffic is unchanged.
+    pub fn batched_per_read_ns(
+        &self,
+        workload: &SeedWorkload,
+        hbm: &HbmConfig,
+        scratchpad: &crate::scratchpad::MinSeedScratchpads,
+    ) -> f64 {
+        let capacity = (scratchpad.minimizer.usable_bytes() / 10).max(1); // 10 B/minimizer
+        let batches = (workload.minimizers_per_read.ceil() as u64)
+            .div_ceil(capacity)
+            .max(1);
+        let extra_passes = (batches - 1) as f64;
+        self.per_read_ns(workload, hbm)
+            + extra_passes * self.compute_cycles(workload) as f64 / self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn long_read_workload() -> SeedWorkload {
+        SeedWorkload {
+            read_len: 10_000,
+            minimizers_per_read: 1200.0,
+            surviving_minimizers: 1100.0,
+            seeds_per_read: 3500.0,
+            avg_region_len: 11_000.0,
+        }
+    }
+
+    #[test]
+    fn compute_is_linear_in_read_length() {
+        let hw = MinSeedHwConfig::default();
+        let w = long_read_workload();
+        assert!(hw.compute_cycles(&w) >= 10_000);
+        let short = SeedWorkload {
+            read_len: 100,
+            minimizers_per_read: 12.0,
+            ..w
+        };
+        assert!(hw.compute_cycles(&short) < 200);
+    }
+
+    #[test]
+    fn memory_phases_dominate_for_long_reads() {
+        // Observation 3: seeding is DRAM-latency bound.
+        let hw = MinSeedHwConfig::default();
+        let hbm = HbmConfig::default();
+        let w = long_read_workload();
+        let compute_ns = hw.compute_cycles(&w) as f64 / hw.clock_ghz;
+        let memory_ns = hw.per_read_ns(&w, &hbm) - compute_ns;
+        assert!(memory_ns > compute_ns, "memory {memory_ns} compute {compute_ns}");
+    }
+
+    #[test]
+    fn zero_surviving_minimizers_cost_nothing_to_fetch() {
+        let hw = MinSeedHwConfig::default();
+        let hbm = HbmConfig::default();
+        let w = SeedWorkload {
+            read_len: 100,
+            minimizers_per_read: 10.0,
+            surviving_minimizers: 0.0,
+            seeds_per_read: 0.0,
+            avg_region_len: 0.0,
+        };
+        assert_eq!(hw.seed_fetch_ns(&w, &hbm), 0.0);
+        assert!(hw.per_read_ns(&w, &hbm) > 0.0); // lookups still happen
+    }
+
+    #[test]
+    fn batching_only_kicks_in_beyond_capacity() {
+        let hw = MinSeedHwConfig::default();
+        let hbm = HbmConfig::default();
+        let pads = crate::scratchpad::MinSeedScratchpads::default();
+        // 2 048 minimizers fit a buffer: no extra passes.
+        let small = long_read_workload(); // 1 200 minimizers
+        assert_eq!(
+            hw.batched_per_read_ns(&small, &hbm, &pads),
+            hw.per_read_ns(&small, &hbm)
+        );
+        // 5 000 minimizers -> 3 batches -> 2 extra compute passes.
+        let big = SeedWorkload {
+            minimizers_per_read: 5_000.0,
+            ..long_read_workload()
+        };
+        let extra = hw.batched_per_read_ns(&big, &hbm, &pads) - hw.per_read_ns(&big, &hbm);
+        let one_pass = hw.compute_cycles(&big) as f64 / hw.clock_ghz;
+        assert!((extra - 2.0 * one_pass).abs() < 1e-6, "extra {extra}");
+    }
+
+    #[test]
+    fn per_seed_cost_is_small_next_to_bitalign() {
+        // The pipeline hides MinSeed behind BitAlign (Section 8.3); with
+        // the paper-shaped workload, per-seed MinSeed time must be below
+        // one 10 kbp BitAlign alignment (34 µs).
+        let hw = MinSeedHwConfig::default();
+        let hbm = HbmConfig::default();
+        let per_seed = hw.per_seed_ns(&long_read_workload(), &hbm);
+        assert!(per_seed < 34_000.0, "per seed {per_seed} ns");
+    }
+}

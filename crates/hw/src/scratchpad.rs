@@ -1,0 +1,202 @@
+//! On-chip scratchpad (SRAM) modelling with the paper's exact sizes
+//! (Sections 8.1–8.2) and the double-buffering capacity rule.
+
+/// One scratchpad instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scratchpad {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Capacity in bytes.
+    pub bytes: u64,
+    /// Whether the paper double-buffers it (capacity is split in two so the
+    /// next item can stream in while the current one is processed).
+    pub double_buffered: bool,
+}
+
+impl Scratchpad {
+    /// Usable bytes per buffer (half the capacity when double-buffered).
+    pub fn usable_bytes(&self) -> u64 {
+        if self.double_buffered {
+            self.bytes / 2
+        } else {
+            self.bytes
+        }
+    }
+
+    /// Whether one item of `item_bytes` fits in a single buffer.
+    pub fn fits(&self, item_bytes: u64) -> bool {
+        item_bytes <= self.usable_bytes()
+    }
+}
+
+/// The MinSeed accelerator's three scratchpads (Section 8.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinSeedScratchpads {
+    /// Query-read scratchpad: 6 kB, "2 query reads of 10 kbp length,
+    /// where each character ... 2 bits".
+    pub read: Scratchpad,
+    /// Minimizer scratchpad: 40 kB, "minimizers of 2 different query
+    /// reads", max 2 050 minimizers × 10 B.
+    pub minimizer: Scratchpad,
+    /// Seed scratchpad: 4 kB, "seed locations of 2 different minimizers",
+    /// max 242 locations × 8 B.
+    pub seed: Scratchpad,
+}
+
+impl Default for MinSeedScratchpads {
+    fn default() -> Self {
+        Self {
+            read: Scratchpad {
+                name: "read",
+                bytes: 6 * 1024,
+                double_buffered: true,
+            },
+            minimizer: Scratchpad {
+                name: "minimizer",
+                bytes: 40 * 1024,
+                double_buffered: true,
+            },
+            seed: Scratchpad {
+                name: "seed",
+                bytes: 4 * 1024,
+                double_buffered: true,
+            },
+        }
+    }
+}
+
+impl MinSeedScratchpads {
+    /// Total SRAM bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read.bytes + self.minimizer.bytes + self.seed.bytes
+    }
+
+    /// Checks the paper's sizing claims against a workload: a read of
+    /// `read_len` bases (2 bits each), up to `max_minimizers` minimizers
+    /// (10 B each), up to `max_locations` locations (8 B each).
+    pub fn supports(&self, read_len: usize, max_minimizers: usize, max_locations: usize) -> bool {
+        self.read.fits(read_len.div_ceil(4) as u64)
+            && self.minimizer.fits(max_minimizers as u64 * 10)
+            && self.seed.fits(max_locations as u64 * 8)
+    }
+}
+
+/// The BitAlign accelerator's storage (Section 8.2, for the 64-PE /
+/// 128-bit configuration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitAlignStorage {
+    /// Input scratchpad: 24 kB (linearized subgraph + HopBits + pattern
+    /// bitmasks).
+    pub input: Scratchpad,
+    /// Bitvector scratchpad per PE: 2 kB (128 kB total over 64 PEs).
+    pub bitvector_per_pe: Scratchpad,
+    /// Hop queue register bytes per PE: 192 B (12 kB total).
+    pub hop_queue_bytes_per_pe: u64,
+    /// Number of processing elements.
+    pub pe_count: usize,
+}
+
+impl Default for BitAlignStorage {
+    fn default() -> Self {
+        Self {
+            input: Scratchpad {
+                name: "input",
+                bytes: 24 * 1024,
+                double_buffered: true,
+            },
+            bitvector_per_pe: Scratchpad {
+                name: "bitvector",
+                bytes: 2 * 1024,
+                double_buffered: false,
+            },
+            hop_queue_bytes_per_pe: 192,
+            pe_count: 64,
+        }
+    }
+}
+
+impl BitAlignStorage {
+    /// Total bitvector SRAM (paper: 128 kB).
+    pub fn bitvector_total_bytes(&self) -> u64 {
+        self.bitvector_per_pe.bytes * self.pe_count as u64
+    }
+
+    /// Total hop-queue register bytes (paper: 12 kB).
+    pub fn hop_queue_total_bytes(&self) -> u64 {
+        self.hop_queue_bytes_per_pe * self.pe_count as u64
+    }
+
+    /// Total SRAM + register bytes of the BitAlign side.
+    pub fn total_bytes(&self) -> u64 {
+        self.input.bytes + self.bitvector_total_bytes() + self.hop_queue_total_bytes()
+    }
+
+    /// Hop-queue depth in entries of `window_bits` each. The paper stores
+    /// window-width (`W`) bitvectors — "each element of the hop queue
+    /// register has a length equal to the window size (W)" — and sizes the
+    /// queue for the hop limit (12 by default, Figure 13).
+    pub fn hop_queue_depth(&self, window_bits: usize) -> usize {
+        (self.hop_queue_bytes_per_pe as usize * 8) / window_bits
+    }
+
+    /// Bytes written per cycle to bitvector scratchpads and hop queues
+    /// ("in each cycle, 128 bits of data (16 B) is written to each
+    /// bitvector scratchpad and to each hop queue register by each PE").
+    pub fn write_bytes_per_cycle(&self, window_bits: usize) -> u64 {
+        (window_bits as u64 / 8) * 2 * self.pe_count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_minseed_sizes() {
+        let pads = MinSeedScratchpads::default();
+        assert_eq!(pads.total_bytes(), 50 * 1024);
+        // Section 8.1's workload maxima: 10 kbp reads, ~2 050 minimizers,
+        // 242 locations. (The paper quotes 2 × 2 050 × 10 B = 41 000 B as
+        // "40 kB"; the exact capacity holds 2 048 per buffer.)
+        assert!(pads.supports(10_000, 2_048, 242));
+        // Oversize workloads are rejected (the paper's batching case).
+        assert!(!pads.supports(30_000, 2_050, 242));
+        assert!(!pads.supports(10_000, 4_000, 242));
+        assert!(!pads.supports(10_000, 2_050, 600));
+    }
+
+    #[test]
+    fn paper_bitalign_sizes() {
+        let storage = BitAlignStorage::default();
+        assert_eq!(storage.bitvector_total_bytes(), 128 * 1024);
+        assert_eq!(storage.hop_queue_total_bytes(), 12 * 1024);
+        assert_eq!(storage.total_bytes(), (24 + 128 + 12) * 1024);
+    }
+
+    #[test]
+    fn hop_queue_holds_the_hop_limit() {
+        let storage = BitAlignStorage::default();
+        // 192 B per PE at 128-bit entries = 12 entries: exactly the
+        // hop limit of 12 chosen in Figure 13.
+        assert_eq!(storage.hop_queue_depth(128), 12);
+    }
+
+    #[test]
+    fn per_cycle_write_traffic_matches_paper() {
+        let storage = BitAlignStorage::default();
+        // 16 B per PE per cycle to each of the two destinations.
+        assert_eq!(storage.write_bytes_per_cycle(128), 16 * 2 * 64);
+    }
+
+    #[test]
+    fn double_buffering_halves_usable_capacity() {
+        let pad = Scratchpad {
+            name: "x",
+            bytes: 8192,
+            double_buffered: true,
+        };
+        assert_eq!(pad.usable_bytes(), 4096);
+        assert!(pad.fits(4096));
+        assert!(!pad.fits(4097));
+    }
+}

@@ -1,0 +1,364 @@
+//! The hash-table-based index of the genome graph (Figure 6): a
+//! three-level structure of buckets → minimizers → seed locations, with the
+//! paper's byte accounting (4 B per bucket, 12 B per minimizer, 8 B per
+//! location).
+
+use std::collections::HashMap;
+
+use segram_graph::{GenomeGraph, GraphPos};
+
+use crate::minimizer::{extract_minimizers_from, Minimizer, MinimizerScheme};
+
+/// Bytes per first-level bucket entry (Figure 6).
+pub const BUCKET_ENTRY_BYTES: u64 = 4;
+/// Bytes per second-level minimizer entry (Figure 6).
+pub const MINIMIZER_ENTRY_BYTES: u64 = 12;
+/// Bytes per third-level seed-location entry (Figure 6).
+pub const LOCATION_ENTRY_BYTES: u64 = 8;
+
+/// The paper's empirically chosen bucket count, `2^24` (Figure 7 ff.).
+pub const DEFAULT_BUCKET_BITS: u32 = 24;
+
+/// One second-level entry: a distinct minimizer and its seed locations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct MinimizerEntry {
+    /// Hash value of the minimizer.
+    hash: u64,
+    /// Start of this minimizer's locations in the third level.
+    loc_start: u32,
+    /// Number of locations.
+    loc_count: u32,
+}
+
+/// The three-level hash-table index over a genome graph's nodes.
+///
+/// # Examples
+///
+/// ```
+/// use segram_index::{GraphIndex, MinimizerScheme};
+/// use segram_graph::linear_graph;
+///
+/// let graph = linear_graph(&"ACGTTGCAGTCATGCA".repeat(20).parse()?, 64)?;
+/// let index = GraphIndex::build(&graph, MinimizerScheme::new(5, 8), 10);
+/// assert!(index.distinct_minimizers() > 0);
+/// // Every indexed minimizer can be queried back.
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphIndex {
+    scheme: MinimizerScheme,
+    bucket_bits: u32,
+    /// First level: per bucket, the range of second-level entries.
+    bucket_starts: Vec<u32>,
+    /// Second level, sorted by (bucket, hash).
+    minimizers: Vec<MinimizerEntry>,
+    /// Third level, grouped per minimizer, sorted by (node, offset).
+    locations: Vec<GraphPos>,
+}
+
+impl GraphIndex {
+    /// Indexes the nodes of `graph` (Section 5: "the nodes of the graph
+    /// structure are indexed and stored in the hash-table-based index").
+    ///
+    /// K-mers are taken *within* nodes; `bucket_bits` selects the
+    /// first-level bucket count `2^bucket_bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bucket_bits` is 0 or exceeds 32.
+    pub fn build(graph: &GenomeGraph, scheme: MinimizerScheme, bucket_bits: u32) -> Self {
+        assert!((1..=32).contains(&bucket_bits), "bucket_bits must be 1..=32");
+        // Collect (hash, node, offset) for every node's minimizers.
+        let mut raw: Vec<(u64, GraphPos)> = Vec::new();
+        for node in graph.node_ids() {
+            let seq = graph.seq(node);
+            for m in extract_minimizers_from(seq.as_slice(), &scheme) {
+                raw.push((m.rank, GraphPos::new(node, m.pos)));
+            }
+        }
+        Self::from_raw(scheme, bucket_bits, raw)
+    }
+
+    fn from_raw(
+        scheme: MinimizerScheme,
+        bucket_bits: u32,
+        mut raw: Vec<(u64, GraphPos)>,
+    ) -> Self {
+        let bucket_count = 1usize << bucket_bits;
+        let bucket_of = |hash: u64| -> usize { (hash % bucket_count as u64) as usize };
+        raw.sort_by_key(|&(hash, pos)| (bucket_of(hash), hash, pos));
+        let mut bucket_starts = vec![0u32; bucket_count + 1];
+        let mut minimizers: Vec<MinimizerEntry> = Vec::new();
+        let mut locations: Vec<GraphPos> = Vec::with_capacity(raw.len());
+        for (hash, pos) in raw {
+            let same = minimizers
+                .last()
+                .is_some_and(|last| last.hash == hash);
+            if same {
+                minimizers.last_mut().expect("non-empty").loc_count += 1;
+            } else {
+                minimizers.push(MinimizerEntry {
+                    hash,
+                    loc_start: locations.len() as u32,
+                    loc_count: 1,
+                });
+                bucket_starts[bucket_of(hash) + 1] += 1;
+            }
+            locations.push(pos);
+        }
+        // Prefix sums: bucket_starts[b] = first second-level entry of bucket b.
+        for b in 1..=bucket_count {
+            bucket_starts[b] += bucket_starts[b - 1];
+        }
+        Self {
+            scheme,
+            bucket_bits,
+            bucket_starts,
+            minimizers,
+            locations,
+        }
+    }
+
+    /// The minimizer scheme the index was built with.
+    pub fn scheme(&self) -> &MinimizerScheme {
+        &self.scheme
+    }
+
+    /// `log2` of the bucket count.
+    pub fn bucket_bits(&self) -> u32 {
+        self.bucket_bits
+    }
+
+    /// Number of distinct minimizers (second-level entries).
+    pub fn distinct_minimizers(&self) -> usize {
+        self.minimizers.len()
+    }
+
+    /// Total number of seed locations (third-level entries).
+    pub fn total_locations(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Occurrence frequency of a minimizer hash (the value MinSeed fetches
+    /// first, step 3 in Figure 4). Zero when absent.
+    pub fn frequency(&self, hash: u64) -> u32 {
+        self.entry(hash).map_or(0, |e| e.loc_count)
+    }
+
+    /// All seed locations of a minimizer hash (step 5 in Figure 4).
+    pub fn locations(&self, hash: u64) -> &[GraphPos] {
+        match self.entry(hash) {
+            Some(e) => &self.locations[e.loc_start as usize..][..e.loc_count as usize],
+            None => &[],
+        }
+    }
+
+    fn entry(&self, hash: u64) -> Option<MinimizerEntry> {
+        let bucket = (hash % (1u64 << self.bucket_bits)) as usize;
+        let start = self.bucket_starts[bucket] as usize;
+        let end = self.bucket_starts[bucket + 1] as usize;
+        let slice = &self.minimizers[start..end];
+        slice
+            .binary_search_by_key(&hash, |e| e.hash)
+            .ok()
+            .map(|i| slice[i])
+    }
+
+    /// Queries a [`Minimizer`] extracted from a read.
+    pub fn lookup(&self, minimizer: &Minimizer) -> &[GraphPos] {
+        self.locations(minimizer.rank)
+    }
+
+    /// The per-minimizer occurrence counts (used to derive the frequency
+    /// filter threshold).
+    pub fn frequencies(&self) -> impl Iterator<Item = u32> + '_ {
+        self.minimizers.iter().map(|e| e.loc_count)
+    }
+
+    /// Byte footprint at this index's own bucket count.
+    pub fn footprint(&self) -> IndexFootprint {
+        self.footprint_with_buckets(self.bucket_bits)
+    }
+
+    /// Byte footprint of the same minimizer content under a different
+    /// bucket count — the Figure 7 sweep.
+    pub fn footprint_with_buckets(&self, bucket_bits: u32) -> IndexFootprint {
+        IndexFootprint {
+            bucket_bits,
+            bucket_bytes: (1u64 << bucket_bits) * BUCKET_ENTRY_BYTES,
+            minimizer_bytes: self.minimizers.len() as u64 * MINIMIZER_ENTRY_BYTES,
+            location_bytes: self.locations.len() as u64 * LOCATION_ENTRY_BYTES,
+            max_minimizers_per_bucket: self.max_bucket_load(bucket_bits),
+        }
+    }
+
+    /// Maximum number of distinct minimizers hashing to one bucket under a
+    /// hypothetical bucket count (right axis of Figure 7).
+    fn max_bucket_load(&self, bucket_bits: u32) -> usize {
+        let mut loads: HashMap<u64, usize> = HashMap::new();
+        let buckets = 1u64 << bucket_bits;
+        for e in &self.minimizers {
+            *loads.entry(e.hash % buckets).or_insert(0) += 1;
+        }
+        loads.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Byte footprint of the index (Figure 7's left axis) plus the bucket-load
+/// metric (right axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexFootprint {
+    /// `log2` bucket count this footprint was computed for.
+    pub bucket_bits: u32,
+    /// First-level bytes: `2^bits * 4 B`.
+    pub bucket_bytes: u64,
+    /// Second-level bytes: `#distinct minimizers * 12 B`.
+    pub minimizer_bytes: u64,
+    /// Third-level bytes: `#locations * 8 B`.
+    pub location_bytes: u64,
+    /// Maximum number of minimizers in any one bucket.
+    pub max_minimizers_per_bucket: usize,
+}
+
+impl IndexFootprint {
+    /// Total bytes across all three levels.
+    pub fn total_bytes(&self) -> u64 {
+        self.bucket_bytes + self.minimizer_bytes + self.location_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimizer::extract_minimizers;
+    use segram_graph::{build_graph, linear_graph, Variant};
+    use segram_graph::{DnaSeq, GenomeGraph};
+
+    fn lcg_seq(len: usize, seed: u64) -> DnaSeq {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                segram_graph::Base::from_code_masked((state >> 33) as u8)
+            })
+            .collect()
+    }
+
+    fn test_graph() -> GenomeGraph {
+        let reference = lcg_seq(5000, 3);
+        build_graph(
+            &reference,
+            (0..20)
+                .map(|i| Variant::snp(i * 230 + 7, reference[(i * 230 + 7) as usize].complement()))
+                .collect(),
+        )
+        .unwrap()
+        .graph
+    }
+
+    #[test]
+    fn every_extracted_minimizer_is_queryable() {
+        let graph = test_graph();
+        let scheme = MinimizerScheme::new(5, 11);
+        let index = GraphIndex::build(&graph, scheme, 12);
+        for node in graph.node_ids() {
+            for m in extract_minimizers(graph.seq(node), &scheme) {
+                let locs = index.lookup(&m);
+                assert!(
+                    locs.contains(&GraphPos::new(node, m.pos)),
+                    "minimizer at {node}:{} missing",
+                    m.pos
+                );
+                assert_eq!(index.frequency(m.rank) as usize, locs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_return_exactly_linear_scan_results() {
+        let graph = test_graph();
+        let scheme = MinimizerScheme::new(5, 11);
+        let index = GraphIndex::build(&graph, scheme, 8);
+        // Brute-force collection of all (hash -> positions).
+        let mut expected: HashMap<u64, Vec<GraphPos>> = HashMap::new();
+        for node in graph.node_ids() {
+            for m in extract_minimizers(graph.seq(node), &scheme) {
+                expected
+                    .entry(m.rank)
+                    .or_default()
+                    .push(GraphPos::new(node, m.pos));
+            }
+        }
+        for (hash, mut positions) in expected {
+            positions.sort();
+            positions.dedup();
+            let mut got = index.locations(hash).to_vec();
+            got.sort();
+            got.dedup();
+            assert_eq!(got, positions, "hash {hash}");
+        }
+    }
+
+    #[test]
+    fn absent_minimizer_yields_empty() {
+        let graph = linear_graph(&lcg_seq(300, 9), 64).unwrap();
+        let index = GraphIndex::build(&graph, MinimizerScheme::new(4, 13), 10);
+        assert_eq!(index.frequency(u64::MAX / 3), 0);
+        assert!(index.locations(u64::MAX / 3).is_empty());
+    }
+
+    #[test]
+    fn footprint_formulas_match_paper() {
+        let graph = test_graph();
+        let index = GraphIndex::build(&graph, MinimizerScheme::new(5, 11), 12);
+        let fp = index.footprint();
+        assert_eq!(fp.bucket_bytes, (1 << 12) * 4);
+        assert_eq!(
+            fp.minimizer_bytes,
+            index.distinct_minimizers() as u64 * 12
+        );
+        assert_eq!(fp.location_bytes, index.total_locations() as u64 * 8);
+        assert_eq!(
+            fp.total_bytes(),
+            fp.bucket_bytes + fp.minimizer_bytes + fp.location_bytes
+        );
+    }
+
+    #[test]
+    fn figure7_tradeoff_direction() {
+        // Fewer buckets -> smaller footprint but higher max bucket load.
+        let graph = test_graph();
+        let index = GraphIndex::build(&graph, MinimizerScheme::new(5, 11), 16);
+        let small = index.footprint_with_buckets(6);
+        let large = index.footprint_with_buckets(16);
+        assert!(small.total_bytes() < large.total_bytes());
+        assert!(small.max_minimizers_per_bucket >= large.max_minimizers_per_bucket);
+    }
+
+    #[test]
+    fn human_scale_footprint_extrapolation() {
+        // Paper: 2^24 buckets + human-genome minimizer counts -> 9.8 GB.
+        // With ~540 M distinct minimizers and ~740 M locations:
+        let total = (1u64 << 24) * BUCKET_ENTRY_BYTES
+            + 540_000_000 * MINIMIZER_ENTRY_BYTES
+            + 400_000_000 * LOCATION_ENTRY_BYTES;
+        let gb = total as f64 / 1e9;
+        assert!((8.0..11.0).contains(&gb), "got {gb} GB");
+    }
+
+    #[test]
+    fn multiple_occurrences_grouped_and_sorted() {
+        // A repeated segment guarantees repeated minimizers.
+        let unit = lcg_seq(60, 4).to_string();
+        let text: DnaSeq = format!("{unit}{}{unit}", lcg_seq(40, 5)).parse().unwrap();
+        let graph = linear_graph(&text, text.len()).unwrap(); // single node
+        let scheme = MinimizerScheme::new(4, 9);
+        let index = GraphIndex::build(&graph, scheme, 8);
+        let repeated: Vec<u32> = index.frequencies().filter(|&f| f >= 2).collect();
+        assert!(!repeated.is_empty(), "repeat should duplicate minimizers");
+        for e in &index.minimizers {
+            let locs = &index.locations[e.loc_start as usize..][..e.loc_count as usize];
+            assert!(locs.windows(2).all(|w| w[0] <= w[1]), "locations sorted");
+        }
+    }
+}

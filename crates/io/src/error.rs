@@ -1,0 +1,93 @@
+//! Error type shared by all parsers in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing or rendering one of the supported formats.
+///
+/// Every variant carries a 1-based line number so malformed files can be
+/// located without a debugger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// The input ended in the middle of a record (e.g. a FASTQ record with
+    /// fewer than four lines).
+    UnexpectedEof {
+        /// 1-based line where the truncation was detected.
+        line: usize,
+        /// What the parser was expecting.
+        expected: &'static str,
+    },
+    /// A structural rule of the format was violated.
+    Malformed {
+        /// 1-based line of the offending text.
+        line: usize,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A sequence contained a character outside the `A`/`C`/`G`/`T`
+    /// alphabet and the configured [`Ambiguity`](crate::Ambiguity) policy
+    /// was [`Reject`](crate::Ambiguity::Reject).
+    InvalidBase {
+        /// 1-based line of the offending sequence.
+        line: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A record referenced a reference position outside the sequence, or a
+    /// variant could not be expressed in the graph model.
+    InvalidRecord {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl FormatError {
+    /// Convenience constructor for [`FormatError::Malformed`].
+    pub fn malformed(line: usize, message: impl Into<String>) -> Self {
+        Self::Malformed {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`FormatError::InvalidRecord`].
+    pub fn invalid_record(line: usize, message: impl Into<String>) -> Self {
+        Self::InvalidRecord {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number the error refers to.
+    pub fn line(&self) -> usize {
+        match self {
+            Self::UnexpectedEof { line, .. }
+            | Self::Malformed { line, .. }
+            | Self::InvalidBase { line, .. }
+            | Self::InvalidRecord { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEof { line, expected } => {
+                write!(f, "line {line}: unexpected end of input, expected {expected}")
+            }
+            Self::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            Self::InvalidBase { line, byte } => {
+                if byte.is_ascii_graphic() {
+                    write!(f, "line {line}: invalid base {:?}", *byte as char)
+                } else {
+                    write!(f, "line {line}: invalid base 0x{byte:02x}")
+                }
+            }
+            Self::InvalidRecord { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for FormatError {}

@@ -1,0 +1,295 @@
+//! FASTQ reading and writing (the sequencer output format query reads
+//! arrive in before they are streamed to the accelerator, Section 4).
+//!
+//! The strict four-line layout is enforced: `@header`, sequence, `+`
+//! separator, quality string of the same length. Qualities are decoded from
+//! Phred+33 into numeric scores so error-model code can consume them
+//! directly.
+
+use std::fmt::Write as _;
+
+use segram_graph::DnaSeq;
+
+use crate::error::FormatError;
+use crate::fasta::{append_bases, Ambiguity};
+
+/// Offset between an ASCII quality character and its Phred score.
+pub const PHRED_OFFSET: u8 = 33;
+
+/// Highest Phred score representable in the printable ASCII range.
+pub const MAX_PHRED: u8 = b'~' - PHRED_OFFSET;
+
+/// One FASTQ record: header, sequence, and per-base Phred qualities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read identifier: the first whitespace-delimited token after `@`.
+    pub id: String,
+    /// The rest of the header line (may be empty).
+    pub description: String,
+    /// The read sequence.
+    pub seq: DnaSeq,
+    /// Phred quality scores, one per base (already offset-corrected).
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Creates a record with a uniform quality score and empty description.
+    ///
+    /// Useful when synthesizing FASTQ from simulators that model errors but
+    /// not per-base confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phred > MAX_PHRED` (the score would not be printable).
+    pub fn with_uniform_quality(id: impl Into<String>, seq: DnaSeq, phred: u8) -> Self {
+        assert!(phred <= MAX_PHRED, "phred score {phred} exceeds {MAX_PHRED}");
+        let qual = vec![phred; seq.len()];
+        Self {
+            id: id.into(),
+            description: String::new(),
+            seq,
+            qual,
+        }
+    }
+
+    /// The probability of error implied by the record's mean Phred score.
+    ///
+    /// Returns 1.0 for an empty quality vector (no evidence of correctness).
+    pub fn mean_error_probability(&self) -> f64 {
+        if self.qual.is_empty() {
+            return 1.0;
+        }
+        let mean =
+            self.qual.iter().map(|&q| f64::from(q)).sum::<f64>() / self.qual.len() as f64;
+        10f64.powf(-mean / 10.0)
+    }
+}
+
+/// Converts a per-base error probability into the closest Phred score.
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::phred_from_error_rate;
+///
+/// assert_eq!(phred_from_error_rate(0.01), 20); // Illumina-like
+/// assert_eq!(phred_from_error_rate(0.10), 10); // noisy long reads
+/// ```
+pub fn phred_from_error_rate(error_rate: f64) -> u8 {
+    if error_rate <= 0.0 {
+        return MAX_PHRED;
+    }
+    let q = (-10.0 * error_rate.log10()).round();
+    q.clamp(0.0, f64::from(MAX_PHRED)) as u8
+}
+
+/// Parses a FASTQ document with the given ambiguity policy.
+///
+/// # Errors
+///
+/// Returns [`FormatError`] on truncated records, missing `@`/`+` markers,
+/// length mismatches between sequence and quality, quality characters
+/// outside the printable Phred+33 range, or (under [`Ambiguity::Reject`])
+/// non-`ACGT` sequence characters.
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::{read_fastq, Ambiguity};
+///
+/// let records = read_fastq("@r1\nACGT\n+\nIIII\n", Ambiguity::Reject)?;
+/// assert_eq!(records[0].id, "r1");
+/// assert_eq!(records[0].qual, vec![40; 4]);
+/// # Ok::<(), segram_io::FormatError>(())
+/// ```
+pub fn read_fastq(text: &str, ambiguity: Ambiguity) -> Result<Vec<FastqRecord>, FormatError> {
+    let mut records = Vec::new();
+    let mut lines = text.lines().map(|l| l.trim_end_matches('\r')).enumerate();
+
+    while let Some((idx, header)) = lines.next() {
+        let line_no = idx + 1;
+        if header.is_empty() {
+            continue;
+        }
+        let Some(header) = header.strip_prefix('@') else {
+            return Err(FormatError::malformed(
+                line_no,
+                "expected '@' at the start of a FASTQ record",
+            ));
+        };
+        let header = header.trim();
+        let (id, description) = match header.split_once(char::is_whitespace) {
+            Some((id, desc)) => (id.to_owned(), desc.trim().to_owned()),
+            None => (header.to_owned(), String::new()),
+        };
+        if id.is_empty() {
+            return Err(FormatError::malformed(line_no, "empty FASTQ header"));
+        }
+
+        let (seq_idx, seq_line) = lines.next().ok_or(FormatError::UnexpectedEof {
+            line: line_no + 1,
+            expected: "a sequence line",
+        })?;
+        let mut seq = DnaSeq::with_capacity(seq_line.len());
+        append_bases(&mut seq, seq_line.as_bytes(), seq_idx + 1, ambiguity)?;
+        if seq.is_empty() {
+            return Err(FormatError::invalid_record(
+                seq_idx + 1,
+                format!("read {id:?} has an empty sequence"),
+            ));
+        }
+
+        let (sep_idx, sep) = lines.next().ok_or(FormatError::UnexpectedEof {
+            line: seq_idx + 2,
+            expected: "the '+' separator line",
+        })?;
+        if !sep.starts_with('+') {
+            return Err(FormatError::malformed(
+                sep_idx + 1,
+                "expected '+' separator line",
+            ));
+        }
+
+        let (qual_idx, qual_line) = lines.next().ok_or(FormatError::UnexpectedEof {
+            line: sep_idx + 2,
+            expected: "a quality line",
+        })?;
+        if qual_line.len() != seq.len() {
+            return Err(FormatError::invalid_record(
+                qual_idx + 1,
+                format!(
+                    "quality length {} does not match sequence length {}",
+                    qual_line.len(),
+                    seq.len()
+                ),
+            ));
+        }
+        let mut qual = Vec::with_capacity(qual_line.len());
+        for &byte in qual_line.as_bytes() {
+            if !(PHRED_OFFSET..=b'~').contains(&byte) {
+                return Err(FormatError::malformed(
+                    qual_idx + 1,
+                    format!("quality character 0x{byte:02x} outside Phred+33 range"),
+                ));
+            }
+            qual.push(byte - PHRED_OFFSET);
+        }
+
+        records.push(FastqRecord {
+            id,
+            description,
+            seq,
+            qual,
+        });
+    }
+    Ok(records)
+}
+
+/// Renders records as a FASTQ document.
+///
+/// # Panics
+///
+/// Panics if any record's quality vector length differs from its sequence
+/// length or contains scores above [`MAX_PHRED`]; such records cannot be
+/// expressed in the format.
+pub fn write_fastq(records: &[FastqRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        assert_eq!(
+            rec.qual.len(),
+            rec.seq.len(),
+            "record {:?}: quality/sequence length mismatch",
+            rec.id
+        );
+        if rec.description.is_empty() {
+            let _ = writeln!(out, "@{}", rec.id);
+        } else {
+            let _ = writeln!(out, "@{} {}", rec.id, rec.description);
+        }
+        let _ = writeln!(out, "{}", rec.seq);
+        out.push_str("+\n");
+        for &q in &rec.qual {
+            assert!(q <= MAX_PHRED, "record {:?}: phred {q} unprintable", rec.id);
+            out.push((q + PHRED_OFFSET) as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        "@r1 first\nACGT\n+\nII5I\n@r2\nTTAA\n+anything\n!!!!\n".to_owned()
+    }
+
+    #[test]
+    fn parses_two_records() {
+        let records = read_fastq(&sample(), Ambiguity::Reject).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "r1");
+        assert_eq!(records[0].description, "first");
+        assert_eq!(records[0].qual, vec![40, 40, 20, 40]);
+        assert_eq!(records[1].qual, vec![0; 4]);
+    }
+
+    #[test]
+    fn round_trips() {
+        let records = read_fastq(&sample(), Ambiguity::Reject).unwrap();
+        let text = write_fastq(&records);
+        let reparsed = read_fastq(&text, Ambiguity::Reject).unwrap();
+        // The writer normalizes the separator line to bare '+'.
+        assert_eq!(reparsed, records);
+    }
+
+    #[test]
+    fn truncation_is_reported_per_missing_line() {
+        for (text, expected_line) in [
+            ("@r1\n", 2),
+            ("@r1\nACGT\n", 3),
+            ("@r1\nACGT\n+\n", 4),
+        ] {
+            let err = read_fastq(text, Ambiguity::Reject).unwrap_err();
+            assert!(
+                matches!(err, FormatError::UnexpectedEof { line, .. } if line == expected_line),
+                "text {text:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_length_mismatch_is_rejected() {
+        let err = read_fastq("@r1\nACGT\n+\nIII\n", Ambiguity::Reject).unwrap_err();
+        assert!(matches!(err, FormatError::InvalidRecord { line: 4, .. }));
+    }
+
+    #[test]
+    fn missing_markers_are_rejected() {
+        assert!(read_fastq("r1\nACGT\n+\nIIII\n", Ambiguity::Reject).is_err());
+        assert!(read_fastq("@r1\nACGT\n-\nIIII\n", Ambiguity::Reject).is_err());
+    }
+
+    #[test]
+    fn uniform_quality_constructor_and_error_probability() {
+        let rec = FastqRecord::with_uniform_quality("r", "ACGT".parse().unwrap(), 20);
+        assert_eq!(rec.qual, vec![20; 4]);
+        let p = rec.mean_error_probability();
+        assert!((p - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phred_conversion_clamps() {
+        assert_eq!(phred_from_error_rate(0.0), MAX_PHRED);
+        assert_eq!(phred_from_error_rate(1.0), 0);
+        assert_eq!(phred_from_error_rate(0.05), 13);
+    }
+
+    #[test]
+    fn blank_lines_between_records_are_tolerated() {
+        let records =
+            read_fastq("@r1\nACGT\n+\nIIII\n\n@r2\nTT\n+\nII\n", Ambiguity::Reject).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+}

@@ -1,0 +1,449 @@
+//! GAF (Graph Alignment Format) writing and reading.
+//!
+//! GAF is the PAF-derived text format that graph mappers (minigraph, vg,
+//! GraphAligner — the paper's software baselines) emit for
+//! sequence-to-graph mappings. Where SAM forces graph alignments through a
+//! lossy linear *surjection* (see `segram-core`'s SAM writer), GAF keeps
+//! the graph path explicit: column 6 lists the oriented node ids the
+//! alignment walks through.
+//!
+//! Only forward-strand segments (`>id`) are produced here because the
+//! mapper handles reverse-complement reads by aligning the
+//! reverse-complemented sequence, never by walking edges backwards.
+
+use std::fmt::Write as _;
+
+use segram_align::{Cigar, CigarOp};
+use segram_graph::{GenomeGraph, GraphPos, NodeId};
+
+use crate::error::FormatError;
+
+/// One GAF alignment record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GafRecord {
+    /// Query (read) name.
+    pub qname: String,
+    /// Query length.
+    pub qlen: usize,
+    /// 0-based start of the aligned query interval.
+    pub qstart: usize,
+    /// 0-based exclusive end of the aligned query interval.
+    pub qend: usize,
+    /// `+` (the only strand this writer produces) or `-`.
+    pub strand: char,
+    /// The node ids the alignment path visits, in order.
+    pub path: Vec<NodeId>,
+    /// Total length of the path's node sequences.
+    pub plen: u64,
+    /// 0-based start of the alignment on the path.
+    pub pstart: u64,
+    /// 0-based exclusive end of the alignment on the path.
+    pub pend: u64,
+    /// Number of exactly matching characters.
+    pub matches: u64,
+    /// Total alignment block length (all CIGAR ops).
+    pub block_len: u64,
+    /// Mapping quality (255 = missing).
+    pub mapq: u8,
+    /// Edit distance (`NM:i` tag).
+    pub edit_distance: u32,
+    /// CIGAR string (`cg:Z` tag; `=`/`X`/`I`/`D` ops).
+    pub cigar: String,
+}
+
+impl GafRecord {
+    /// Builds a record from an alignment's consumed character path.
+    ///
+    /// `char_path` is the per-character graph path of the alignment (the
+    /// output of [`segram_align::Alignment::graph_path`]); `cigar` is the
+    /// matching traceback. The whole query is considered aligned
+    /// (`qstart = 0`, `qend = read_len`), matching the pattern-global
+    /// semantics of BitAlign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] when the path is empty, visits a node
+    /// outside `graph`, takes a step that is neither the next character of
+    /// the same node nor an existing edge to the start of another node, or
+    /// disagrees with the CIGAR's reference-consumption count.
+    pub fn from_char_path(
+        qname: impl Into<String>,
+        read_len: usize,
+        graph: &GenomeGraph,
+        char_path: &[GraphPos],
+        cigar: &Cigar,
+        edit_distance: u32,
+        mapq: u8,
+    ) -> Result<Self, FormatError> {
+        let qname = qname.into();
+        let first = *char_path.first().ok_or_else(|| {
+            FormatError::invalid_record(0, format!("read {qname:?}: empty alignment path"))
+        })?;
+
+        let mut nodes = vec![first.node];
+        for pair in char_path.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let same_node_step = a.node == b.node && b.offset == a.offset + 1;
+            let edge_step = b.offset == 0
+                && a.node != b.node
+                && graph
+                    .successors(a.node)
+                    .iter()
+                    .any(|&succ| succ == b.node);
+            if !(same_node_step || edge_step) {
+                return Err(FormatError::invalid_record(
+                    0,
+                    format!(
+                        "read {qname:?}: path step {a:?} -> {b:?} is not a valid graph step"
+                    ),
+                ));
+            }
+            if a.node != b.node {
+                nodes.push(b.node);
+            }
+        }
+        for &node in &nodes {
+            if node.index() >= graph.node_count() {
+                return Err(FormatError::invalid_record(
+                    0,
+                    format!("read {qname:?}: path references unknown node {node:?}"),
+                ));
+            }
+        }
+
+        let ref_consumed = cigar.ref_len() as usize;
+        if ref_consumed != char_path.len() {
+            return Err(FormatError::invalid_record(
+                0,
+                format!(
+                    "read {qname:?}: CIGAR consumes {ref_consumed} reference chars \
+                     but the path has {}",
+                    char_path.len()
+                ),
+            ));
+        }
+
+        let plen: u64 = nodes.iter().map(|&n| graph.node_len(n) as u64).sum();
+        let pstart = u64::from(first.offset);
+        let pend = pstart + char_path.len() as u64;
+        debug_assert!(pend <= plen);
+
+        let matches = cigar
+            .runs()
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Match)
+            .map(|&(_, n)| u64::from(n))
+            .sum();
+        let block_len = u64::from(cigar.op_count());
+
+        Ok(Self {
+            qname,
+            qlen: read_len,
+            qstart: 0,
+            qend: read_len,
+            strand: '+',
+            path: nodes,
+            plen,
+            pstart,
+            pend,
+            matches,
+            block_len,
+            mapq,
+            edit_distance,
+            cigar: cigar.to_string(),
+        })
+    }
+
+    /// The GAF identity: matches over block length.
+    pub fn identity(&self) -> f64 {
+        if self.block_len == 0 {
+            return 0.0;
+        }
+        self.matches as f64 / self.block_len as f64
+    }
+
+    /// Renders the record as one GAF line (no trailing newline).
+    pub fn to_gaf_line(&self) -> String {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{}\t{}\t{}\t{}\t{}\t",
+            self.qname, self.qlen, self.qstart, self.qend, self.strand
+        );
+        for node in &self.path {
+            let _ = write!(line, ">{}", node.0);
+        }
+        let _ = write!(
+            line,
+            "\t{}\t{}\t{}\t{}\t{}\t{}\tNM:i:{}\tcg:Z:{}",
+            self.plen,
+            self.pstart,
+            self.pend,
+            self.matches,
+            self.block_len,
+            self.mapq,
+            self.edit_distance,
+            self.cigar
+        );
+        line
+    }
+}
+
+/// Renders records as a GAF document (one line per record).
+pub fn write_gaf(records: &[GafRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&rec.to_gaf_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a GAF document produced by [`write_gaf`] (or by other graph
+/// mappers, as long as they stick to forward-strand `>`-oriented paths and
+/// the `NM`/`cg` tags).
+///
+/// # Errors
+///
+/// Returns [`FormatError`] on missing columns, unparsable integers, or
+/// path segments that are not `>`-oriented numeric node ids.
+pub fn read_gaf(text: &str) -> Result<Vec<GafRecord>, FormatError> {
+    let mut records = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        records.push(parse_gaf_line(line, line_no)?);
+    }
+    Ok(records)
+}
+
+fn parse_gaf_line(line: &str, line_no: usize) -> Result<GafRecord, FormatError> {
+    let mut cols = line.split('\t');
+    let mut next = |name: &'static str| {
+        cols.next().ok_or(FormatError::UnexpectedEof {
+            line: line_no,
+            expected: name,
+        })
+    };
+    let parse_u64 = |text: &str, what: &str| -> Result<u64, FormatError> {
+        text.parse()
+            .map_err(|_| FormatError::malformed(line_no, format!("unparsable {what} {text:?}")))
+    };
+
+    let qname = next("the query name column")?.to_owned();
+    let qlen = parse_u64(next("the query length column")?, "query length")? as usize;
+    let qstart = parse_u64(next("the query start column")?, "query start")? as usize;
+    let qend = parse_u64(next("the query end column")?, "query end")? as usize;
+    let strand_text = next("the strand column")?;
+    let strand = match strand_text {
+        "+" => '+',
+        "-" => '-',
+        other => {
+            return Err(FormatError::malformed(
+                line_no,
+                format!("invalid strand {other:?}"),
+            ))
+        }
+    };
+
+    let path_text = next("the path column")?;
+    let mut path = Vec::new();
+    for segment in path_text.split('>').skip(1) {
+        if segment.is_empty() || path_text.contains('<') {
+            return Err(FormatError::malformed(
+                line_no,
+                "only forward-oriented '>' path segments are supported",
+            ));
+        }
+        path.push(NodeId(parse_u64(segment, "path node id")? as u32));
+    }
+    if path.is_empty() {
+        return Err(FormatError::malformed(line_no, "empty path column"));
+    }
+
+    let plen = parse_u64(next("the path length column")?, "path length")?;
+    let pstart = parse_u64(next("the path start column")?, "path start")?;
+    let pend = parse_u64(next("the path end column")?, "path end")?;
+    let matches = parse_u64(next("the matches column")?, "match count")?;
+    let block_len = parse_u64(next("the block length column")?, "block length")?;
+    let mapq = parse_u64(next("the mapq column")?, "mapq")?.min(255) as u8;
+
+    let mut edit_distance = 0;
+    let mut cigar = String::new();
+    for tag in cols {
+        if let Some(value) = tag.strip_prefix("NM:i:") {
+            edit_distance = parse_u64(value, "NM tag")? as u32;
+        } else if let Some(value) = tag.strip_prefix("cg:Z:") {
+            cigar = value.to_owned();
+        }
+    }
+
+    Ok(GafRecord {
+        qname,
+        qlen,
+        qstart,
+        qend,
+        strand,
+        path,
+        plen,
+        pstart,
+        pend,
+        matches,
+        block_len,
+        mapq,
+        edit_distance,
+        cigar,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_graph::{build_graph, Base, DnaSeq, Variant};
+
+    /// ACGTACGT with a SNP bubble at position 3 (T/G).
+    fn bubble_graph() -> GenomeGraph {
+        build_graph(
+            &"ACGTACGT".parse::<DnaSeq>().unwrap(),
+            [Variant::snp(3, Base::G)].into_iter().collect(),
+        )
+        .unwrap()
+        .graph
+    }
+
+    fn char_path_for(graph: &GenomeGraph, nodes: &[u32]) -> Vec<GraphPos> {
+        let mut path = Vec::new();
+        for &n in nodes {
+            let node = NodeId(n);
+            for offset in 0..graph.node_len(node) as u32 {
+                path.push(GraphPos::new(node, offset));
+            }
+        }
+        path
+    }
+
+    fn all_match_cigar(len: u32) -> Cigar {
+        let mut cigar = Cigar::new();
+        cigar.push_run(CigarOp::Match, len);
+        cigar
+    }
+
+    #[test]
+    fn builds_record_from_full_path() {
+        let graph = bubble_graph();
+        // Walk every node of one allele: node ids are topologically sorted,
+        // find them by structure (first node, one branch, tail).
+        let first = NodeId(0);
+        let branch = graph.successors(first)[0];
+        let tail = graph.successors(branch)[0];
+        let char_path = char_path_for(&graph, &[first.0, branch.0, tail.0]);
+        let total = char_path.len() as u32;
+        let rec = GafRecord::from_char_path(
+            "r1",
+            total as usize,
+            &graph,
+            &char_path,
+            &all_match_cigar(total),
+            0,
+            60,
+        )
+        .unwrap();
+        assert_eq!(rec.path, vec![first, branch, tail]);
+        assert_eq!(rec.pstart, 0);
+        assert_eq!(rec.pend, u64::from(total));
+        assert_eq!(rec.plen, u64::from(total));
+        assert_eq!(rec.matches, u64::from(total));
+        assert!((rec.identity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_edge_steps() {
+        let graph = bubble_graph();
+        // Jump from node 0 directly to a node that is not a successor at a
+        // non-zero offset.
+        let bogus = vec![
+            GraphPos::new(NodeId(0), 0),
+            GraphPos::new(NodeId(0), 2),
+        ];
+        let err = GafRecord::from_char_path(
+            "r",
+            2,
+            &graph,
+            &bogus,
+            &all_match_cigar(2),
+            0,
+            60,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::InvalidRecord { .. }));
+    }
+
+    #[test]
+    fn rejects_cigar_path_disagreement() {
+        let graph = bubble_graph();
+        let char_path = vec![GraphPos::new(NodeId(0), 0), GraphPos::new(NodeId(0), 1)];
+        let err = GafRecord::from_char_path(
+            "r",
+            3,
+            &graph,
+            &char_path,
+            &all_match_cigar(3),
+            0,
+            60,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::InvalidRecord { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_path() {
+        let graph = bubble_graph();
+        assert!(GafRecord::from_char_path(
+            "r",
+            0,
+            &graph,
+            &[],
+            &Cigar::new(),
+            0,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gaf_line_round_trips() {
+        let graph = bubble_graph();
+        let first = NodeId(0);
+        let char_path = char_path_for(&graph, &[first.0]);
+        let len = char_path.len() as u32;
+        let mut cigar = Cigar::new();
+        cigar.push_run(CigarOp::Match, len - 1);
+        cigar.push_run(CigarOp::Subst, 1);
+        let rec = GafRecord::from_char_path(
+            "read/1", len as usize, &graph, &char_path, &cigar, 1, 42,
+        )
+        .unwrap();
+        let text = write_gaf(std::slice::from_ref(&rec));
+        let parsed = read_gaf(&text).unwrap();
+        assert_eq!(parsed, vec![rec]);
+    }
+
+    #[test]
+    fn reader_rejects_reverse_segments_and_garbage() {
+        assert!(read_gaf("r\t4\t0\t4\t+\t<3\t4\t0\t4\t4\t4\t60\n").is_err());
+        assert!(read_gaf("r\t4\t0\t4\t?\t>3\t4\t0\t4\t4\t4\t60\n").is_err());
+        assert!(read_gaf("r\t4\t0\t4\t+\t>x\t4\t0\t4\t4\t4\t60\n").is_err());
+        assert!(read_gaf("r\t4\t0\t4\n").is_err());
+    }
+
+    #[test]
+    fn reader_accepts_records_without_tags() {
+        let recs = read_gaf("r\t4\t0\t4\t+\t>0>1\t8\t0\t4\t4\t4\t60\n").unwrap();
+        assert_eq!(recs[0].path, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(recs[0].cigar, "");
+        assert_eq!(recs[0].edit_distance, 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # segram-io
+//!
+//! Bioinformatics file-format substrate for the SeGraM reproduction
+//! (ISCA 2022). The paper's pre-processing consumes a FASTA reference and
+//! VCF variation files (Section 5), query reads arrive as FASTQ, the graph
+//! itself travels as GFA (implemented in [`segram_graph::gfa`]), and graph
+//! mappings are interchanged as GAF. This crate supplies the missing four:
+//!
+//! * **FASTA** ([`read_fasta`] / [`write_fasta`]) — reference genomes;
+//! * **FASTQ** ([`read_fastq`] / [`write_fastq`]) — query reads with
+//!   Phred qualities;
+//! * **VCF subset** ([`read_vcf`] / [`write_vcf`]) — variants, mapped to
+//!   [`segram_graph::Variant`] for graph construction;
+//! * **GAF** ([`read_gaf`] / [`write_gaf`]) — graph alignments with
+//!   explicit node paths.
+//!
+//! All parsers take `&str` input and report 1-based line numbers in
+//! [`FormatError`]; callers own file handling (`std::fs::read_to_string`),
+//! per C-RW-VALUE's spirit of keeping I/O at the edge.
+//!
+//! ## Example: from files to a genome graph
+//!
+//! ```
+//! use segram_io::{read_fasta, read_vcf, Ambiguity, VcfOptions};
+//! use segram_graph::build_graph;
+//!
+//! let fasta = ">chr1\nACGTACGTACGTACGT\n";
+//! let vcf = "##fileformat=VCFv4.2\n\
+//!            #CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n\
+//!            chr1\t4\t.\tT\tG\t.\tPASS\t.\n";
+//!
+//! let reference = &read_fasta(fasta, Ambiguity::Reject)?[0];
+//! let variants = read_vcf(vcf, VcfOptions::default())?
+//!     .chrom("chr1")
+//!     .cloned()
+//!     .unwrap_or_default();
+//! let built = build_graph(&reference.seq, variants.into_sorted())?;
+//! assert!(built.graph.node_count() > 1); // the SNP created a bubble
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod fasta;
+mod fastq;
+mod gaf;
+mod vcf;
+
+pub use error::FormatError;
+pub use fasta::{read_fasta, write_fasta, Ambiguity, FastaRecord};
+pub use fastq::{
+    phred_from_error_rate, read_fastq, write_fastq, FastqRecord, MAX_PHRED, PHRED_OFFSET,
+};
+pub use gaf::{read_gaf, write_gaf, GafRecord};
+pub use vcf::{read_vcf, write_vcf, VcfDocument, VcfOptions};

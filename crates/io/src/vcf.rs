@@ -1,0 +1,503 @@
+//! A VCF subset reader/writer (the paper's variation input, Section 5).
+//!
+//! The paper builds its genome graphs from GRCh38 plus seven GIAB VCF
+//! files. This module implements the subset of VCF 4.2 needed for that
+//! role: site records with `CHROM POS ID REF ALT QUAL FILTER INFO` columns,
+//! multi-allelic `ALT` lists, and the left-anchored indel convention.
+//! Genotype columns are tolerated and ignored (graph construction cares
+//! about which alleles exist, not who carries them). Symbolic alleles
+//! (`<DEL>`, breakends) are either skipped or rejected according to
+//! [`VcfOptions`].
+//!
+//! Parsed records become [`segram_graph::Variant`] values so they can be
+//! fed straight into [`segram_graph::build_graph`].
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use segram_graph::{Base, DnaSeq, Variant, VariantKind, VariantSet};
+
+use crate::error::FormatError;
+
+/// Parsing options for [`read_vcf`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VcfOptions {
+    /// When `true`, records this subset cannot express (symbolic alleles,
+    /// breakends, `N`-containing alleles, missing `.` alleles) are counted
+    /// in [`VcfDocument::skipped`] instead of failing the parse.
+    pub skip_unsupported: bool,
+}
+
+impl VcfOptions {
+    /// Options that skip unsupported records instead of erroring.
+    pub fn lenient() -> Self {
+        Self {
+            skip_unsupported: true,
+        }
+    }
+}
+
+/// The result of parsing a VCF document: variants grouped per chromosome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VcfDocument {
+    /// Variants per `CHROM` value, in file order.
+    pub per_chrom: BTreeMap<String, VariantSet>,
+    /// Records skipped under [`VcfOptions::skip_unsupported`].
+    pub skipped: usize,
+}
+
+impl VcfDocument {
+    /// Total number of variants across all chromosomes.
+    pub fn len(&self) -> usize {
+        self.per_chrom.values().map(VariantSet::len).sum()
+    }
+
+    /// `true` when no variants were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The variants for one chromosome, if any record mentioned it.
+    pub fn chrom(&self, name: &str) -> Option<&VariantSet> {
+        self.per_chrom.get(name)
+    }
+
+    /// Consumes the document and returns the single chromosome's variants.
+    ///
+    /// Convenient for single-reference workflows (one graph per chromosome,
+    /// as in the paper's per-chromosome pre-processing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the document unchanged when it does not contain exactly one
+    /// chromosome.
+    pub fn into_single_chrom(mut self) -> Result<(String, VariantSet), Self> {
+        if self.per_chrom.len() == 1 {
+            let (name, set) = self.per_chrom.pop_first().expect("len checked");
+            Ok((name, set))
+        } else {
+            Err(self)
+        }
+    }
+}
+
+/// Parses a VCF document.
+///
+/// Positions are converted from VCF's 1-based coordinates to the 0-based
+/// coordinates used by [`Variant`]. Indels following the VCF anchor-base
+/// convention are recognized and converted to anchor-free
+/// [`VariantKind::Insertion`]/[`VariantKind::Deletion`] values; everything
+/// else becomes a [`VariantKind::Replacement`].
+///
+/// # Errors
+///
+/// Returns [`FormatError`] for missing columns, unparsable positions,
+/// invalid allele strings, and (unless [`VcfOptions::skip_unsupported`])
+/// symbolic or missing alleles.
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::{read_vcf, VcfOptions};
+/// use segram_graph::{Base, VariantKind};
+///
+/// let text = concat!(
+///     "##fileformat=VCFv4.2\n",
+///     "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n",
+///     "chr1\t5\trs1\tA\tG\t.\tPASS\t.\n",
+///     "chr1\t7\t.\tC\tCTT\t.\tPASS\t.\n",
+/// );
+/// let doc = read_vcf(text, VcfOptions::default())?;
+/// let set = doc.chrom("chr1").unwrap();
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.as_slice()[0].pos, 4); // 0-based
+/// assert!(matches!(set.as_slice()[0].kind, VariantKind::Snp { alt: Base::G }));
+/// assert!(matches!(set.as_slice()[1].kind, VariantKind::Insertion { .. }));
+/// # Ok::<(), segram_io::FormatError>(())
+/// ```
+pub fn read_vcf(text: &str, options: VcfOptions) -> Result<VcfDocument, FormatError> {
+    let mut doc = VcfDocument::default();
+    let mut saw_column_header = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with("##") {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('#') {
+            validate_column_header(header, line_no)?;
+            saw_column_header = true;
+            continue;
+        }
+        if !saw_column_header {
+            return Err(FormatError::malformed(
+                line_no,
+                "data record before the #CHROM column header",
+            ));
+        }
+        parse_record(line, line_no, options, &mut doc)?;
+    }
+    Ok(doc)
+}
+
+fn validate_column_header(header: &str, line_no: usize) -> Result<(), FormatError> {
+    let mut cols = header.split('\t');
+    const MANDATORY: [&str; 8] =
+        ["CHROM", "POS", "ID", "REF", "ALT", "QUAL", "FILTER", "INFO"];
+    for want in MANDATORY {
+        match cols.next() {
+            Some(got) if got == want => {}
+            got => {
+                return Err(FormatError::malformed(
+                    line_no,
+                    format!("column header: expected {want:?}, found {got:?}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_record(
+    line: &str,
+    line_no: usize,
+    options: VcfOptions,
+    doc: &mut VcfDocument,
+) -> Result<(), FormatError> {
+    let mut cols = line.split('\t');
+    let mut next = |name: &'static str| {
+        cols.next().ok_or(FormatError::UnexpectedEof {
+            line: line_no,
+            expected: name,
+        })
+    };
+    let chrom = next("the CHROM column")?;
+    let pos_text = next("the POS column")?;
+    let _id = next("the ID column")?;
+    let ref_text = next("the REF column")?;
+    let alt_text = next("the ALT column")?;
+    // QUAL/FILTER/INFO and any genotype columns are ignored.
+
+    let pos_1based: u64 = pos_text.parse().map_err(|_| {
+        FormatError::malformed(line_no, format!("unparsable POS {pos_text:?}"))
+    })?;
+    if pos_1based == 0 {
+        return Err(FormatError::malformed(line_no, "POS must be >= 1"));
+    }
+    let pos = pos_1based - 1;
+
+    let Some(ref_allele) = parse_allele(ref_text) else {
+        return skip_or_fail(options, doc, line_no, "unsupported REF allele");
+    };
+    if ref_allele.is_empty() {
+        return Err(FormatError::malformed(line_no, "empty REF allele"));
+    }
+
+    for alt_text in alt_text.split(',') {
+        let Some(alt_allele) = parse_allele(alt_text) else {
+            skip_or_fail(options, doc, line_no, "unsupported ALT allele")?;
+            continue;
+        };
+        if alt_allele.is_empty() {
+            return Err(FormatError::malformed(line_no, "empty ALT allele"));
+        }
+        if alt_allele == ref_allele {
+            // A non-variant record (e.g. gVCF reference block): nothing to add.
+            continue;
+        }
+        let variant = classify_alleles(pos, &ref_allele, &alt_allele);
+        doc.per_chrom.entry(chrom.to_owned()).or_default().push(variant);
+    }
+    Ok(())
+}
+
+fn skip_or_fail(
+    options: VcfOptions,
+    doc: &mut VcfDocument,
+    line_no: usize,
+    message: &str,
+) -> Result<(), FormatError> {
+    if options.skip_unsupported {
+        doc.skipped += 1;
+        Ok(())
+    } else {
+        Err(FormatError::invalid_record(line_no, message))
+    }
+}
+
+/// Parses an allele string into bases; `None` marks alleles this subset
+/// cannot express (symbolic, breakend, missing, or ambiguity codes).
+fn parse_allele(text: &str) -> Option<DnaSeq> {
+    if text.is_empty() || text == "." || text == "*" || text.starts_with('<') {
+        return None;
+    }
+    let mut seq = DnaSeq::with_capacity(text.len());
+    for &byte in text.as_bytes() {
+        seq.push(Base::from_ascii(byte)?);
+    }
+    Some(seq)
+}
+
+/// Converts a (REF, ALT) allele pair at 0-based `pos` into the graph
+/// model's anchor-free representation.
+fn classify_alleles(pos: u64, ref_allele: &DnaSeq, alt_allele: &DnaSeq) -> Variant {
+    let r = ref_allele.as_slice();
+    let a = alt_allele.as_slice();
+    if r.len() == 1 && a.len() == 1 {
+        return Variant::snp(pos, a[0]);
+    }
+    if r.len() == 1 && a.len() > 1 && a[0] == r[0] {
+        // Left-anchored insertion: bases a[1..] inserted after `pos`, i.e.
+        // before reference position `pos + 1`.
+        return Variant::insertion(pos + 1, alt_allele.slice(1, a.len()));
+    }
+    if a.len() == 1 && r.len() > 1 && r[0] == a[0] {
+        // Left-anchored deletion of r[1..].
+        return Variant::deletion(pos + 1, (r.len() - 1) as u64);
+    }
+    Variant::replacement(pos, r.len() as u64, alt_allele.clone())
+}
+
+/// Renders one chromosome's variants as a VCF document.
+///
+/// `reference` supplies the anchor bases VCF requires for indels; it must
+/// be the same linear reference the variants are expressed against.
+/// Variants are emitted in sorted order (the order
+/// [`segram_graph::build_graph`] consumes).
+///
+/// # Errors
+///
+/// Returns [`FormatError`] when a variant lies outside the reference or an
+/// insertion at position 0 cannot be left-anchored (VCF then requires
+/// right-anchoring, which is emitted instead).
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::{read_vcf, write_vcf, VcfOptions};
+/// use segram_graph::{Base, Variant, VariantSet};
+///
+/// let reference: segram_graph::DnaSeq = "ACGTACGTAC".parse()?;
+/// let mut set = VariantSet::new();
+/// set.push(Variant::snp(3, Base::A));
+/// set.push(Variant::deletion(6, 2));
+/// let text = write_vcf("chr1", &reference, &set)?;
+/// let doc = read_vcf(&text, VcfOptions::default())?;
+/// assert_eq!(doc.chrom("chr1").unwrap(), &set.into_sorted());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_vcf(
+    chrom: &str,
+    reference: &DnaSeq,
+    variants: &VariantSet,
+) -> Result<String, FormatError> {
+    let mut out = String::from("##fileformat=VCFv4.2\n");
+    let _ = writeln!(out, "##contig=<ID={chrom},length={}>", reference.len());
+    out.push_str("#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n");
+
+    let sorted = variants.clone().into_sorted();
+    for variant in sorted.iter() {
+        let (pos_1based, ref_allele, alt_allele) = encode_variant(reference, variant)?;
+        let _ = writeln!(
+            out,
+            "{chrom}\t{pos_1based}\t.\t{ref_allele}\t{alt_allele}\t.\tPASS\t."
+        );
+    }
+    Ok(out)
+}
+
+fn ref_slice(reference: &DnaSeq, start: u64, end: u64) -> Result<DnaSeq, FormatError> {
+    if end > reference.len() as u64 || start > end {
+        return Err(FormatError::invalid_record(
+            0,
+            format!(
+                "variant interval [{start}, {end}) outside reference of length {}",
+                reference.len()
+            ),
+        ));
+    }
+    Ok(reference.slice(start as usize, end as usize))
+}
+
+fn encode_variant(
+    reference: &DnaSeq,
+    variant: &Variant,
+) -> Result<(u64, String, String), FormatError> {
+    match &variant.kind {
+        VariantKind::Snp { alt } => {
+            let ref_base = ref_slice(reference, variant.pos, variant.pos + 1)?;
+            Ok((variant.pos + 1, ref_base.to_string(), alt.to_string()))
+        }
+        VariantKind::Insertion { seq } => {
+            if variant.pos == 0 {
+                // No base to the left: right-anchor on the first reference base.
+                let anchor = ref_slice(reference, 0, 1)?;
+                Ok((1, anchor.to_string(), format!("{seq}{anchor}")))
+            } else {
+                let anchor = ref_slice(reference, variant.pos - 1, variant.pos)?;
+                Ok((variant.pos, anchor.to_string(), format!("{anchor}{seq}")))
+            }
+        }
+        VariantKind::Deletion { len } => {
+            if variant.pos == 0 {
+                // Right-anchor: REF = deleted bases + following base.
+                let ref_allele = ref_slice(reference, 0, len + 1)?;
+                let anchor = ref_slice(reference, *len, len + 1)?;
+                Ok((1, ref_allele.to_string(), anchor.to_string()))
+            } else {
+                let ref_allele =
+                    ref_slice(reference, variant.pos - 1, variant.pos + len)?;
+                let anchor = ref_slice(reference, variant.pos - 1, variant.pos)?;
+                Ok((variant.pos, ref_allele.to_string(), anchor.to_string()))
+            }
+        }
+        VariantKind::Replacement { ref_len, alt } => {
+            let ref_allele =
+                ref_slice(reference, variant.pos, variant.pos + ref_len)?;
+            Ok((variant.pos + 1, ref_allele.to_string(), alt.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str =
+        "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n";
+
+    fn parse(body: &str) -> VcfDocument {
+        read_vcf(&format!("{HEADER}{body}"), VcfOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn snp_record_parses_to_zero_based_snp() {
+        let doc = parse("chr1\t10\trs1\tA\tT\t50\tPASS\tAC=2\n");
+        let set = doc.chrom("chr1").unwrap();
+        assert_eq!(set.as_slice(), &[Variant::snp(9, Base::T)]);
+    }
+
+    #[test]
+    fn anchored_insertion_and_deletion_lose_their_anchor() {
+        let doc = parse("chr1\t5\t.\tG\tGAT\t.\t.\t.\nchr1\t9\t.\tCAA\tC\t.\t.\t.\n");
+        let set = doc.chrom("chr1").unwrap();
+        assert_eq!(
+            set.as_slice(),
+            &[
+                Variant::insertion(5, "AT".parse().unwrap()),
+                Variant::deletion(9, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn non_anchored_pair_becomes_replacement() {
+        let doc = parse("chr1\t3\t.\tAC\tTG\t.\t.\t.\n");
+        assert_eq!(
+            doc.chrom("chr1").unwrap().as_slice(),
+            &[Variant::replacement(2, 2, "TG".parse().unwrap())]
+        );
+    }
+
+    #[test]
+    fn multi_allelic_alt_splits_into_variants() {
+        let doc = parse("chr1\t4\t.\tA\tC,G\t.\t.\t.\n");
+        assert_eq!(
+            doc.chrom("chr1").unwrap().as_slice(),
+            &[Variant::snp(3, Base::C), Variant::snp(3, Base::G)]
+        );
+    }
+
+    #[test]
+    fn genotype_columns_are_ignored() {
+        let doc = parse("chr1\t4\t.\tA\tC\t.\tPASS\t.\tGT\t0|1\t1|1\n");
+        assert_eq!(doc.len(), 1);
+    }
+
+    #[test]
+    fn identical_alleles_produce_no_variant() {
+        let doc = parse("chr1\t4\t.\tA\tA\t.\t.\t.\n");
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn symbolic_alt_fails_strict_and_skips_lenient() {
+        let body = "chr1\t4\t.\tA\t<DEL>\t.\t.\t.\n";
+        let err = read_vcf(&format!("{HEADER}{body}"), VcfOptions::default()).unwrap_err();
+        assert!(matches!(err, FormatError::InvalidRecord { line: 3, .. }));
+        let doc = read_vcf(&format!("{HEADER}{body}"), VcfOptions::lenient()).unwrap();
+        assert!(doc.is_empty());
+        assert_eq!(doc.skipped, 1);
+    }
+
+    #[test]
+    fn data_before_header_is_rejected() {
+        let err = read_vcf("chr1\t4\t.\tA\tC\t.\t.\t.\n", VcfOptions::default()).unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn bad_position_is_rejected() {
+        for bad in ["chr1\t0\t.\tA\tC\t.\t.\t.\n", "chr1\tx\t.\tA\tC\t.\t.\t.\n"] {
+            assert!(read_vcf(&format!("{HEADER}{bad}"), VcfOptions::default()).is_err());
+        }
+    }
+
+    #[test]
+    fn wrong_column_header_is_rejected() {
+        let err = read_vcf(
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\n",
+            VcfOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::Malformed { .. }));
+    }
+
+    #[test]
+    fn multiple_chromosomes_are_grouped() {
+        let doc = parse("chr1\t4\t.\tA\tC\t.\t.\t.\nchr2\t8\t.\tG\tT\t.\t.\t.\n");
+        assert_eq!(doc.per_chrom.len(), 2);
+        assert!(doc.into_single_chrom().is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips_all_kinds() {
+        let reference: DnaSeq = "ACGTACGTACGTACGT".parse().unwrap();
+        let mut set = VariantSet::new();
+        set.push(Variant::snp(2, Base::T));
+        set.push(Variant::insertion(5, "GG".parse().unwrap()));
+        set.push(Variant::deletion(8, 3));
+        set.push(Variant::replacement(12, 2, "AAA".parse().unwrap()));
+        let set = set.into_sorted();
+        let text = write_vcf("chrX", &reference, &set).unwrap();
+        let doc = read_vcf(&text, VcfOptions::default()).unwrap();
+        assert_eq!(doc.chrom("chrX").unwrap(), &set);
+    }
+
+    #[test]
+    fn position_zero_indels_round_trip_via_right_anchor() {
+        let reference: DnaSeq = "ACGTACGT".parse().unwrap();
+        // Insertion before the first base.
+        let mut set = VariantSet::new();
+        set.push(Variant::insertion(0, "TT".parse().unwrap()));
+        let text = write_vcf("c", &reference, &set).unwrap();
+        let doc = read_vcf(&text, VcfOptions::default()).unwrap();
+        // Right-anchoring encodes "TT inserted before position 0" as
+        // REF=A ALT=TTA; the parser classifies that as a replacement with
+        // identical edit semantics.
+        let parsed = doc.chrom("c").unwrap().as_slice();
+        assert_eq!(parsed.len(), 1);
+        let (start, end) = parsed[0].ref_interval();
+        assert_eq!((start, end), (0, 1));
+        assert_eq!(parsed[0].alt_seq().to_string(), "TTA");
+    }
+
+    #[test]
+    fn out_of_bounds_variant_fails_to_encode() {
+        let reference: DnaSeq = "ACGT".parse().unwrap();
+        let mut set = VariantSet::new();
+        set.push(Variant::deletion(3, 5));
+        assert!(write_vcf("c", &reference, &set).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests: every writer/reader pair in `segram-io` round-trips
+//! arbitrary well-formed data, and the readers never panic on arbitrary
+//! byte soup.
+
+use proptest::prelude::*;
+
+use segram_graph::{Base, DnaSeq, NodeId, Variant, VariantSet, BASES};
+use segram_io::{
+    read_fasta, read_fastq, read_gaf, read_vcf, write_fasta, write_fastq, write_gaf,
+    write_vcf, Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions, MAX_PHRED,
+};
+
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop::sample::select(BASES.to_vec())
+}
+
+fn seq_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(base_strategy(), min_len..=max_len)
+        .prop_map(|bases| bases.into_iter().collect())
+}
+
+fn id_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_.:/-]{1,20}"
+}
+
+prop_compose! {
+    fn fasta_record()(id in id_strategy(),
+                      desc in "[ -~]{0,30}",
+                      seq in seq_strategy(1, 200)) -> FastaRecord {
+        FastaRecord { id, description: desc.trim().to_owned(), seq }
+    }
+}
+
+proptest! {
+    #[test]
+    fn fasta_round_trips(records in prop::collection::vec(fasta_record(), 1..6),
+                         width in 0usize..80) {
+        let text = write_fasta(&records, width);
+        let parsed = read_fasta(&text, Ambiguity::Reject).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn fasta_reader_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = read_fasta(&text, Ambiguity::Reject);
+        let _ = read_fasta(&text, Ambiguity::Substitute(Base::A));
+    }
+
+    #[test]
+    fn fastq_round_trips(
+        entries in prop::collection::vec(
+            (id_strategy(), seq_strategy(1, 150), 0u8..=MAX_PHRED), 1..6)
+    ) {
+        let records: Vec<FastqRecord> = entries
+            .into_iter()
+            .map(|(id, seq, q)| FastqRecord::with_uniform_quality(id, seq, q))
+            .collect();
+        let text = write_fastq(&records);
+        let parsed = read_fastq(&text, Ambiguity::Reject).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn fastq_reader_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = read_fastq(&text, Ambiguity::Reject);
+    }
+
+    #[test]
+    fn vcf_reader_never_panics(text in "[ -~\t\n]{0,400}") {
+        let _ = read_vcf(&text, VcfOptions::default());
+        let _ = read_vcf(&text, VcfOptions::lenient());
+    }
+
+    #[test]
+    fn gaf_reader_never_panics(text in "[ -~\t\n]{0,400}") {
+        let _ = read_gaf(&text);
+    }
+
+    /// VCF round-trips arbitrary sorted non-overlapping variant sets.
+    ///
+    /// Variants are placed at spaced positions >= 1 so that the VCF indel
+    /// anchor convention applies cleanly (position-0 indels legitimately
+    /// re-encode as replacements; covered by a unit test instead).
+    #[test]
+    fn vcf_round_trips(reference in seq_strategy(64, 200),
+                       picks in prop::collection::vec(
+                           (1u64..8, 0usize..4, seq_strategy(1, 4), 1u64..3), 0..8)) {
+        let mut set = VariantSet::new();
+        let mut pos = 0u64;
+        let ref_len = reference.len() as u64;
+        for (gap, kind, alt, del_len) in picks {
+            pos += gap + 3; // keep intervals disjoint and away from pos 0
+            if pos + del_len + 1 >= ref_len {
+                break;
+            }
+            let variant = match kind {
+                0 => {
+                    // A SNP whose alt differs from the reference base.
+                    let ref_base = reference.get(pos as usize).unwrap();
+                    let alt_base = BASES
+                        .into_iter()
+                        .find(|&b| b != ref_base)
+                        .unwrap();
+                    Variant::snp(pos, alt_base)
+                }
+                1 => Variant::insertion(pos, alt.clone()),
+                2 => Variant::deletion(pos, del_len),
+                _ => {
+                    // Canonical replacement: >=2 ref bases, >=2 alt bases,
+                    // first alt base differing from the reference, so the
+                    // parser cannot legally reinterpret it as a SNP or an
+                    // anchored indel.
+                    let ref_base = reference.get(pos as usize).unwrap();
+                    let first = BASES.into_iter().find(|&b| b != ref_base).unwrap();
+                    let mut canonical: DnaSeq = [first].into_iter().collect();
+                    canonical.extend_from_seq(&alt);
+                    Variant::replacement(pos, del_len + 1, canonical)
+                }
+            };
+            pos = variant.ref_interval().1;
+            set.push(variant);
+        }
+        let set = set.into_sorted();
+        let text = write_vcf("chr1", &reference, &set).unwrap();
+        let doc = read_vcf(&text, VcfOptions::default()).unwrap();
+        let parsed = doc.chrom("chr1").cloned().unwrap_or_default();
+        prop_assert_eq!(parsed, set);
+    }
+
+    /// GAF lines round-trip arbitrary records (writer -> reader identity).
+    #[test]
+    fn gaf_round_trips(qname in id_strategy(),
+                       qlen in 1usize..10_000,
+                       nodes in prop::collection::vec(0u32..1_000_000, 1..12),
+                       pstart in 0u64..64,
+                       span in 1u64..512,
+                       matches in 0u64..512,
+                       mapq in 0u8..=254,
+                       nm in 0u32..64) {
+        let rec = GafRecord {
+            qname,
+            qlen,
+            qstart: 0,
+            qend: qlen,
+            strand: '+',
+            path: nodes.into_iter().map(NodeId).collect(),
+            plen: pstart + span + 7,
+            pstart,
+            pend: pstart + span,
+            matches,
+            block_len: matches + u64::from(nm),
+            mapq,
+            edit_distance: nm,
+            cigar: format!("{}={}", matches.max(1), if nm > 0 { format!("{nm}X") } else { String::new() }),
+        };
+        let text = write_gaf(std::slice::from_ref(&rec));
+        let parsed = read_gaf(&text).unwrap();
+        prop_assert_eq!(parsed, vec![rec]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Dataset presets mirroring Section 10 of the paper, scaled to laptop
+//! size (the scale factor is explicit so experiments can be re-run larger).
+//!
+//! Paper datasets:
+//! * reference: GRCh38 + 7 GIAB VCFs → 24 chromosome graphs;
+//! * long reads: PacBio/ONT, 10 kbp, 5 %/10 % error, 10 000 reads each;
+//! * short reads: Illumina, 100/150/250 bp, 1 % error, 10 000 reads each;
+//! * HGA comparison: the BRCA1 gene graph with R1 (128 bp), R2 (1 kbp),
+//!   R3 (8 kbp) read sets;
+//! * PaSGAL comparison: LRC (~1 Mbp) and MHC (~5 Mbp) region graphs.
+
+use segram_graph::{build_graph, ConstructedGraph, DnaSeq, GenomeGraph};
+
+use crate::genome::{generate_reference, GenomeConfig};
+use crate::reads::{simulate_reads, ErrorProfile, ReadConfig, SimulatedRead};
+use crate::variants::{simulate_variants, VariantConfig};
+
+/// A fully materialized dataset: reference, graph, and reads.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name (paper nomenclature).
+    pub name: String,
+    /// The linear reference the graph was built from.
+    pub reference: DnaSeq,
+    /// The constructed genome graph (with variant bookkeeping).
+    pub built: ConstructedGraph,
+    /// The simulated reads.
+    pub reads: Vec<SimulatedRead>,
+    /// The error profile reads were drawn with.
+    pub errors: ErrorProfile,
+}
+
+impl Dataset {
+    /// The genome graph.
+    pub fn graph(&self) -> &GenomeGraph {
+        &self.built.graph
+    }
+
+    /// Read length (all presets use fixed-length reads).
+    pub fn read_len(&self) -> usize {
+        self.reads.first().map_or(0, |r| r.seq.len())
+    }
+}
+
+/// Builder for the §10-style datasets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetConfig {
+    /// Reference length in bases (the paper's is 3.1 G; default here 200 k).
+    pub reference_len: usize,
+    /// Number of reads (the paper's is 10 000; default here 200).
+    pub read_count: usize,
+    /// Long-read length (the paper's is 10 000).
+    pub long_read_len: usize,
+    /// Base RNG seed; each preset derives distinct sub-seeds.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self {
+            reference_len: 200_000,
+            read_count: 200,
+            long_read_len: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// A quick configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            reference_len: 30_000,
+            read_count: 20,
+            long_read_len: 2_000,
+            seed,
+        }
+    }
+
+    fn base(&self, name: &str, read_len: usize, errors: ErrorProfile, salt: u64) -> Dataset {
+        let reference = generate_reference(&GenomeConfig::human_like(
+            self.reference_len,
+            self.seed ^ 0x9e37_79b9,
+        ));
+        let variants = simulate_variants(
+            &reference,
+            &VariantConfig::human_like(self.seed ^ 0x85eb_ca6b),
+        );
+        let built = build_graph(&reference, variants).expect("valid synthetic inputs");
+        let reads = simulate_reads(
+            &built.graph,
+            &ReadConfig {
+                count: self.read_count,
+                len: read_len,
+                errors,
+                seed: self.seed ^ salt,
+            },
+        );
+        Dataset {
+            name: name.to_owned(),
+            reference,
+            built,
+            reads,
+            errors,
+        }
+    }
+
+    /// PacBio-like long reads at 5 % error (paper: "PacBio ... 5 %").
+    pub fn pacbio_5(&self) -> Dataset {
+        self.base(
+            "PacBio-10kbp-5%",
+            self.long_read_len,
+            ErrorProfile::pacbio_5(),
+            0x1111,
+        )
+    }
+
+    /// ONT-like long reads at 10 % error (paper: "ONT ... 10 %").
+    pub fn ont_10(&self) -> Dataset {
+        self.base(
+            "ONT-10kbp-10%",
+            self.long_read_len,
+            ErrorProfile::ont_10(),
+            0x2222,
+        )
+    }
+
+    /// Illumina-like short reads of the given length (100/150/250 in §10).
+    pub fn illumina(&self, read_len: usize) -> Dataset {
+        self.base(
+            &format!("Illumina-{read_len}bp-1%"),
+            read_len,
+            ErrorProfile::illumina(),
+            0x3333 + read_len as u64,
+        )
+    }
+
+    /// All seven §10 datasets (four long, three short), at this scale.
+    pub fn section10_suite(&self) -> Vec<Dataset> {
+        vec![
+            self.pacbio_5(),
+            self.ont_10(),
+            // The paper has two PacBio and two ONT sets (5 % and 10 % each
+            // of PacBio/ONT); we mirror the error-rate grid.
+            {
+                let mut d = self.base(
+                    "PacBio-10kbp-10%",
+                    self.long_read_len,
+                    ErrorProfile {
+                        sub: 0.020,
+                        ins: 0.050,
+                        del: 0.030,
+                    },
+                    0x4444,
+                );
+                d.name = "PacBio-10kbp-10%".into();
+                d
+            },
+            {
+                let mut d = self.base(
+                    "ONT-10kbp-5%",
+                    self.long_read_len,
+                    ErrorProfile {
+                        sub: 0.018,
+                        ins: 0.015,
+                        del: 0.017,
+                    },
+                    0x5555,
+                );
+                d.name = "ONT-10kbp-5%".into();
+                d
+            },
+            self.illumina(100),
+            self.illumina(150),
+            self.illumina(250),
+        ]
+    }
+}
+
+/// The BRCA1-like dataset of the HGA comparison (§10): a single-gene graph
+/// (~81 kbp) with three read sets — R1 (128 bp), R2 (1 024 bp), R3
+/// (8 192 bp) — whose counts keep total bases constant, like the original
+/// (278 528 / 34 816 / 4 352 reads; scaled by `scale`).
+#[derive(Clone, Debug)]
+pub struct Brca1Dataset {
+    /// The gene graph.
+    pub built: ConstructedGraph,
+    /// R1: short reads.
+    pub r1: Vec<SimulatedRead>,
+    /// R2: medium reads.
+    pub r2: Vec<SimulatedRead>,
+    /// R3: long reads.
+    pub r3: Vec<SimulatedRead>,
+}
+
+/// Builds the BRCA1-like dataset. `scale` divides the paper's read counts
+/// (use `scale = 256` for quick runs).
+pub fn brca1_like(scale: usize, seed: u64) -> Brca1Dataset {
+    let scale = scale.max(1);
+    let reference = generate_reference(&GenomeConfig::human_like(81_000, seed));
+    let variants = simulate_variants(&reference, &VariantConfig::human_like(seed ^ 0xb5))
+        .into_sorted();
+    let built = build_graph(&reference, variants).expect("valid synthetic inputs");
+    let mk = |len: usize, count: usize, salt: u64| {
+        simulate_reads(
+            &built.graph,
+            &ReadConfig {
+                count: count.max(1),
+                len,
+                errors: ErrorProfile::illumina(),
+                seed: seed ^ salt,
+            },
+        )
+    };
+    Brca1Dataset {
+        r1: mk(128, 278_528 / scale, 0xaa),
+        r2: mk(1_024, 34_816 / scale, 0xbb),
+        r3: mk(8_192 - 1, 4_352 / scale, 0xcc),
+        built,
+    }
+}
+
+/// A PaSGAL-style region dataset (LRC/MHC-like): one dense region graph
+/// plus one read set (Figure 17's four dataset shapes).
+#[derive(Clone, Debug)]
+pub struct RegionDataset {
+    /// Dataset name (paper nomenclature, e.g. `LRC-L1`).
+    pub name: String,
+    /// The region graph.
+    pub built: ConstructedGraph,
+    /// The reads.
+    pub reads: Vec<SimulatedRead>,
+}
+
+/// Builds the four Figure 17 datasets (`LRC-L1`, `MHC1-M1` short-read;
+/// `LRC-L2`, `MHC1-M2` long-read), scaled by `scale` (region sizes and read
+/// counts divided by `scale`).
+pub fn pasgal_suite(scale: usize, seed: u64) -> Vec<RegionDataset> {
+    let scale = scale.max(1);
+    let lrc_len = 1_000_000 / scale;
+    let mhc_len = 4_970_000 / scale;
+    let mk_region = |name: &str, region_len: usize, read_len: usize, count: usize, salt: u64| {
+        let reference =
+            generate_reference(&GenomeConfig::human_like(region_len.max(10_000), seed ^ salt));
+        // Region graphs (LRC/MHC) are unusually variant-dense.
+        let mut vconf = VariantConfig::human_like(seed ^ salt ^ 0xd1);
+        vconf.density = 1.0 / 150.0;
+        let variants = simulate_variants(&reference, &vconf);
+        let built = build_graph(&reference, variants).expect("valid synthetic inputs");
+        let reads = simulate_reads(
+            &built.graph,
+            &ReadConfig {
+                count: count.max(1),
+                len: read_len,
+                errors: if read_len > 1000 {
+                    ErrorProfile::pacbio_5()
+                } else {
+                    ErrorProfile::illumina()
+                },
+                seed: seed ^ salt ^ 0xe2,
+            },
+        );
+        RegionDataset {
+            name: name.to_owned(),
+            built,
+            reads,
+        }
+    };
+    vec![
+        mk_region("LRC-L1", lrc_len, 100, 317_600 / scale, 0x01),
+        mk_region("MHC1-M1", mhc_len, 100, 497_000 / scale, 0x02),
+        mk_region("LRC-L2", lrc_len, 10_000.min(lrc_len / 4), 3_200 / scale, 0x03),
+        mk_region("MHC1-M2", mhc_len, 10_000.min(mhc_len / 4), 4_900 / scale, 0x04),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_materializes() {
+        let config = DatasetConfig::tiny(1);
+        let d = config.illumina(100);
+        assert_eq!(d.reads.len(), 20);
+        assert_eq!(d.read_len(), 100);
+        assert!(d.graph().is_topologically_sorted());
+        assert!(d.name.contains("Illumina"));
+    }
+
+    #[test]
+    fn long_read_presets_have_expected_error_rates() {
+        let config = DatasetConfig::tiny(2);
+        let pb = config.pacbio_5();
+        let ont = config.ont_10();
+        let pb_rate = crate::reads::measured_error_rate(&pb.reads);
+        let ont_rate = crate::reads::measured_error_rate(&ont.reads);
+        assert!((0.03..0.07).contains(&pb_rate), "{pb_rate}");
+        assert!((0.07..0.13).contains(&ont_rate), "{ont_rate}");
+        assert!(ont_rate > pb_rate);
+    }
+
+    #[test]
+    fn brca1_counts_scale() {
+        let d = brca1_like(4096, 3);
+        assert_eq!(d.r1.len(), 278_528 / 4096);
+        assert_eq!(d.r2.len(), 34_816 / 4096);
+        assert_eq!(d.r3.len(), 4_352 / 4096);
+        assert_eq!(d.r1[0].seq.len(), 128);
+        assert_eq!(d.r2[0].seq.len(), 1024);
+    }
+
+    #[test]
+    fn pasgal_suite_has_four_regions() {
+        let suite = pasgal_suite(100, 4);
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite[0].name, "LRC-L1");
+        assert!(suite[3].built.graph.is_topologically_sorted());
+        // Short-read datasets use 100 bp reads; long-read are longer.
+        assert_eq!(suite[0].reads[0].seq.len(), 100);
+        assert!(suite[2].reads[0].seq.len() > 1000);
+    }
+
+    #[test]
+    fn section10_suite_is_complete() {
+        let config = DatasetConfig::tiny(5);
+        let suite = config.section10_suite();
+        assert_eq!(suite.len(), 7);
+        let names: Vec<&str> = suite.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.iter().filter(|n| n.contains("Illumina")).count() == 3);
+        assert!(names.iter().filter(|n| n.contains("10kbp")).count() == 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic reference genomes.
+//!
+//! The paper evaluates on GRCh38; this reproduction substitutes
+//! deterministic synthetic references (see DESIGN.md). Two properties of
+//! real genomes matter for the pipeline's behaviour and are modelled here:
+//!
+//! 1. **GC content** (affects k-mer composition only mildly);
+//! 2. **repeats** — real genomes are repeat-rich, which produces the
+//!    heavy-tailed minimizer-frequency distribution that MinSeed's
+//!    frequency filter (discard the top 0.02 % most frequent minimizers,
+//!    Section 6) exists to handle.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use segram_graph::{Base, DnaSeq};
+
+/// Configuration for [`generate_reference`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenomeConfig {
+    /// Reference length in base pairs.
+    pub len: usize,
+    /// GC content in `[0, 1]` (human ≈ 0.41).
+    pub gc_content: f64,
+    /// Number of repeat insertions to perform after the random draw.
+    pub repeat_count: usize,
+    /// Length of each repeated segment.
+    pub repeat_len: usize,
+    /// RNG seed (all simulation in this workspace is deterministic).
+    pub seed: u64,
+}
+
+impl GenomeConfig {
+    /// A human-like configuration at the given scale.
+    pub fn human_like(len: usize, seed: u64) -> Self {
+        Self {
+            len,
+            gc_content: 0.41,
+            // ~20% of the genome covered by a few repeat families of
+            // ~300 bp elements — a scaled-down stand-in for the ~50%
+            // repetitive fraction (SINE/LINE) of the human genome that
+            // gives minimizer frequencies their heavy tail.
+            repeat_count: len / 1500,
+            repeat_len: 300,
+            seed,
+        }
+    }
+}
+
+impl Default for GenomeConfig {
+    fn default() -> Self {
+        Self::human_like(100_000, 42)
+    }
+}
+
+/// Generates a deterministic synthetic reference genome.
+///
+/// # Panics
+///
+/// Panics when `len == 0` or `gc_content` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use segram_sim::{generate_reference, GenomeConfig};
+///
+/// let a = generate_reference(&GenomeConfig::human_like(10_000, 1));
+/// let b = generate_reference(&GenomeConfig::human_like(10_000, 1));
+/// assert_eq!(a, b); // fully deterministic
+/// assert_eq!(a.len(), 10_000);
+/// ```
+pub fn generate_reference(config: &GenomeConfig) -> DnaSeq {
+    assert!(config.len > 0, "reference length must be positive");
+    assert!(
+        (0.0..=1.0).contains(&config.gc_content),
+        "gc_content must be within [0, 1]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut bases: Vec<Base> = (0..config.len)
+        .map(|_| {
+            let gc: bool = rng.gen_bool(config.gc_content);
+            if gc {
+                if rng.gen_bool(0.5) {
+                    Base::C
+                } else {
+                    Base::G
+                }
+            } else if rng.gen_bool(0.5) {
+                Base::A
+            } else {
+                Base::T
+            }
+        })
+        .collect();
+    // Repeat injection: real genomes carry repeat *families* (SINE/LINE
+    // elements pasted many times), which is what gives the minimizer
+    // frequency distribution its heavy tail — the reason MinSeed's
+    // frequency filter exists. Draw a few templates and paste each many
+    // times.
+    let repeat_len = config.repeat_len.min(config.len / 2).max(1);
+    if config.repeat_count > 0 && config.len > repeat_len + 1 {
+        let family_count = (config.repeat_count / 8).clamp(1, 4);
+        let templates: Vec<Vec<Base>> = (0..family_count)
+            .map(|_| {
+                let src = rng.gen_range(0..config.len - repeat_len);
+                bases[src..src + repeat_len].to_vec()
+            })
+            .collect();
+        for i in 0..config.repeat_count {
+            let dst = rng.gen_range(0..config.len - repeat_len);
+            bases[dst..dst + repeat_len].copy_from_slice(&templates[i % family_count]);
+        }
+    }
+    DnaSeq::from(bases)
+}
+
+/// Measured GC fraction of a sequence (for tests and dataset reports).
+pub fn gc_fraction(seq: &DnaSeq) -> f64 {
+    if seq.is_empty() {
+        return 0.0;
+    }
+    let gc = seq
+        .iter()
+        .filter(|&b| matches!(b, Base::C | Base::G))
+        .count();
+    gc as f64 / seq.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = GenomeConfig::human_like(5000, 9);
+        assert_eq!(generate_reference(&c), generate_reference(&c));
+        let other = GenomeConfig::human_like(5000, 10);
+        assert_ne!(generate_reference(&c), generate_reference(&other));
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        for target in [0.2, 0.41, 0.7] {
+            let config = GenomeConfig {
+                len: 200_000,
+                gc_content: target,
+                repeat_count: 0,
+                repeat_len: 0,
+                seed: 3,
+            };
+            let genome = generate_reference(&config);
+            let measured = gc_fraction(&genome);
+            assert!(
+                (measured - target).abs() < 0.01,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeats_create_duplicate_segments() {
+        let config = GenomeConfig {
+            len: 50_000,
+            gc_content: 0.5,
+            repeat_count: 30,
+            repeat_len: 500,
+            seed: 11,
+        };
+        let genome = generate_reference(&config);
+        // Count distinct 32-mers: with repeats there must be fewer distinct
+        // k-mers than positions.
+        let mut kmers = std::collections::HashSet::new();
+        let text = genome.to_string();
+        for w in text.as_bytes().windows(32) {
+            kmers.insert(w.to_vec());
+        }
+        assert!(kmers.len() < text.len() - 31);
+    }
+
+    #[test]
+    fn extremes_of_gc() {
+        let at_only = generate_reference(&GenomeConfig {
+            len: 100,
+            gc_content: 0.0,
+            repeat_count: 0,
+            repeat_len: 0,
+            seed: 1,
+        });
+        assert_eq!(gc_fraction(&at_only), 0.0);
+        let gc_only = generate_reference(&GenomeConfig {
+            len: 100,
+            gc_content: 1.0,
+            repeat_count: 0,
+            repeat_len: 0,
+            seed: 1,
+        });
+        assert_eq!(gc_fraction(&gc_only), 1.0);
+    }
+}

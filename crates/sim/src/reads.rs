@@ -1,0 +1,442 @@
+//! Graph-aware read simulation, standing in for PBSIM2 (long reads) and
+//! Mason (short reads) from Section 10 of the paper.
+//!
+//! Reads are sampled by walking a random path through the genome graph
+//! (so reads may spell *any* combination of alleles, which is exactly what
+//! makes sequence-to-graph mapping necessary), then corrupted with a
+//! technology-specific error profile.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use segram_graph::{DnaSeq, GenomeGraph, GraphPos, NodeId, BASES};
+
+/// Sequencing-error profile: independent per-base substitution, insertion,
+/// and deletion probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorProfile {
+    /// Substitution probability per base.
+    pub sub: f64,
+    /// Insertion probability per base.
+    pub ins: f64,
+    /// Deletion probability per base.
+    pub del: f64,
+}
+
+impl ErrorProfile {
+    /// Total error rate.
+    pub fn total(&self) -> f64 {
+        self.sub + self.ins + self.del
+    }
+
+    /// Error-free reads.
+    pub fn perfect() -> Self {
+        Self {
+            sub: 0.0,
+            ins: 0.0,
+            del: 0.0,
+        }
+    }
+
+    /// Illumina-like short-read profile (≈1 % error, substitution-heavy) —
+    /// the paper's short-read datasets use a 1 % error rate.
+    pub fn illumina() -> Self {
+        Self {
+            sub: 0.009,
+            ins: 0.0005,
+            del: 0.0005,
+        }
+    }
+
+    /// PacBio-like long-read profile at 5 % total error (insertion-heavy).
+    pub fn pacbio_5() -> Self {
+        Self {
+            sub: 0.010,
+            ins: 0.025,
+            del: 0.015,
+        }
+    }
+
+    /// ONT-like long-read profile at 10 % total error.
+    pub fn ont_10() -> Self {
+        Self {
+            sub: 0.035,
+            ins: 0.030,
+            del: 0.035,
+        }
+    }
+}
+
+/// Which reference strand a read was sequenced from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Strand {
+    /// The read spells the reference path directly.
+    #[default]
+    Forward,
+    /// The read is the reverse complement of the sampled path.
+    Reverse,
+}
+
+/// A simulated read with its ground truth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimulatedRead {
+    /// Sequential read id within its dataset.
+    pub id: u32,
+    /// The (error-corrupted) read sequence, as the sequencer would emit it
+    /// (already reverse-complemented for [`Strand::Reverse`] reads).
+    pub seq: DnaSeq,
+    /// Ground truth: graph position of the first sampled character.
+    pub true_start: GraphPos,
+    /// Ground truth: linear coordinate of the first sampled character.
+    pub true_start_linear: u64,
+    /// Number of sequencing errors injected.
+    pub injected_errors: u32,
+    /// Strand the read was sequenced from.
+    pub strand: Strand,
+}
+
+/// Configuration for [`simulate_reads`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadConfig {
+    /// Number of reads.
+    pub count: usize,
+    /// Read length in bases (before error injection; insertions/deletions
+    /// are applied while walking, keeping the final length exact).
+    pub len: usize,
+    /// Error profile.
+    pub errors: ErrorProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ReadConfig {
+    /// The paper's long-read shape: 10 kbp reads (PacBio/ONT, Section 10).
+    /// Scale `len` down for laptop-sized experiments via the field.
+    pub fn long_reads(count: usize, len: usize, errors: ErrorProfile, seed: u64) -> Self {
+        Self {
+            count,
+            len,
+            errors,
+            seed,
+        }
+    }
+
+    /// The paper's short-read shape: 100/150/250 bp Illumina reads.
+    pub fn short_reads(count: usize, len: usize, seed: u64) -> Self {
+        Self {
+            count,
+            len,
+            errors: ErrorProfile::illumina(),
+            seed,
+        }
+    }
+}
+
+/// Samples `config.count` reads by walking random paths through `graph`.
+///
+/// Start positions are drawn uniformly over characters whose forward paths
+/// are long enough; branch choices at each node are uniform. Reads are
+/// deterministic in `config.seed`.
+///
+/// # Panics
+///
+/// Panics when the graph is shorter than one read length or `len == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use segram_sim::{simulate_reads, ErrorProfile, ReadConfig};
+/// use segram_graph::linear_graph;
+///
+/// let graph = linear_graph(&"ACGTTGCA".repeat(100).parse()?, 32)?;
+/// let reads = simulate_reads(&graph, &ReadConfig::short_reads(10, 50, 3));
+/// assert_eq!(reads.len(), 10);
+/// assert!(reads.iter().all(|r| r.seq.len() == 50));
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+pub fn simulate_reads(graph: &GenomeGraph, config: &ReadConfig) -> Vec<SimulatedRead> {
+    assert!(config.len > 0, "read length must be positive");
+    assert!(
+        graph.total_chars() >= config.len as u64,
+        "graph shorter than one read"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut reads = Vec::with_capacity(config.count);
+    let mut id = 0u32;
+    while reads.len() < config.count {
+        // Leave room for a full-length walk on most draws.
+        let max_start = graph.total_chars().saturating_sub(config.len as u64).max(1);
+        let start_linear = rng.gen_range(0..max_start);
+        let start = graph.graph_pos(start_linear).expect("start in bounds");
+        if let Some(read) = walk_and_corrupt(graph, start, config, &mut rng, id) {
+            let mut read = read;
+            read.true_start_linear = start_linear;
+            reads.push(read);
+            id += 1;
+        }
+    }
+    reads
+}
+
+/// Walks a random path from `start`, injecting errors on the fly.
+/// Returns `None` when the walk runs out of graph before reaching the
+/// requested length.
+fn walk_and_corrupt(
+    graph: &GenomeGraph,
+    start: GraphPos,
+    config: &ReadConfig,
+    rng: &mut ChaCha8Rng,
+    id: u32,
+) -> Option<SimulatedRead> {
+    let mut seq = DnaSeq::with_capacity(config.len);
+    let mut node = start.node;
+    let mut offset = start.offset as usize;
+    let mut errors = 0u32;
+    let e = &config.errors;
+    while seq.len() < config.len {
+        // Advance to the next reference character (following a random edge
+        // at node boundaries).
+        if offset >= graph.node_len(node) {
+            let succs = graph.successors(node);
+            if succs.is_empty() {
+                return None; // ran off the end of the graph
+            }
+            node = succs[rng.gen_range(0..succs.len())];
+            offset = 0;
+            continue;
+        }
+        let ref_base = graph
+            .base_at(GraphPos::new(node, offset as u32))
+            .expect("walk stays in bounds");
+        let roll: f64 = rng.gen();
+        if roll < e.ins {
+            // Insertion: emit a random base, do not consume the reference.
+            seq.push(BASES[rng.gen_range(0..4)]);
+            errors += 1;
+        } else if roll < e.ins + e.del {
+            // Deletion: consume the reference base without emitting.
+            offset += 1;
+            errors += 1;
+        } else if roll < e.ins + e.del + e.sub {
+            // Substitution.
+            let alt = loop {
+                let c = BASES[rng.gen_range(0..4)];
+                if c != ref_base {
+                    break c;
+                }
+            };
+            seq.push(alt);
+            offset += 1;
+            errors += 1;
+        } else {
+            seq.push(ref_base);
+            offset += 1;
+        }
+    }
+    Some(SimulatedRead {
+        id,
+        seq,
+        true_start: start,
+        true_start_linear: 0, // filled by the caller
+        injected_errors: errors,
+        strand: Strand::Forward,
+    })
+}
+
+/// Like [`simulate_reads`], but flips each read to the reverse strand with
+/// probability `reverse_frac` (sequencers read either strand with equal
+/// probability; mappers must therefore try both orientations).
+///
+/// Ground-truth coordinates stay in forward-strand space: a correct mapper
+/// reports the same `true_start_linear` after reverse-complementing the
+/// read back.
+///
+/// # Panics
+///
+/// Panics when `reverse_frac` is outside `[0, 1]` (and under the same
+/// conditions as [`simulate_reads`]).
+pub fn simulate_stranded_reads(
+    graph: &GenomeGraph,
+    config: &ReadConfig,
+    reverse_frac: f64,
+) -> Vec<SimulatedRead> {
+    assert!(
+        (0.0..=1.0).contains(&reverse_frac),
+        "reverse_frac must be within [0, 1]"
+    );
+    let mut reads = simulate_reads(graph, config);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed_5eed);
+    for read in &mut reads {
+        if rng.gen_bool(reverse_frac) {
+            read.seq = read.seq.reverse_complement();
+            read.strand = Strand::Reverse;
+        }
+    }
+    reads
+}
+
+/// Samples one error-free path sequence of `len` characters starting at
+/// `start` (used by tests that need ground-truth fragments).
+pub fn path_fragment(graph: &GenomeGraph, start: GraphPos, len: usize, seed: u64) -> Option<DnaSeq> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let config = ReadConfig {
+        count: 1,
+        len,
+        errors: ErrorProfile::perfect(),
+        seed,
+    };
+    walk_and_corrupt(graph, start, &config, &mut rng, 0).map(|r| r.seq)
+}
+
+/// Returns the smallest `k` guaranteed (with margin) to admit an alignment
+/// of a read produced with `profile`: `ceil(len * total_error * margin)`.
+pub fn suggested_threshold(len: usize, profile: &ErrorProfile, margin: f64) -> u32 {
+    ((len as f64) * profile.total() * margin).ceil() as u32 + 2
+}
+
+/// Node id of a read's true start (convenience for mapping-accuracy checks).
+pub fn true_node(read: &SimulatedRead) -> NodeId {
+    read.true_start.node
+}
+
+/// Measured error fraction across a dataset (injected errors / total bases).
+pub fn measured_error_rate(reads: &[SimulatedRead]) -> f64 {
+    let bases: usize = reads.iter().map(|r| r.seq.len()).sum();
+    if bases == 0 {
+        return 0.0;
+    }
+    let errors: u32 = reads.iter().map(|r| r.injected_errors).sum();
+    errors as f64 / bases as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{generate_reference, GenomeConfig};
+    use crate::variants::{simulate_variants, VariantConfig};
+    use segram_graph::{build_graph, linear_graph};
+
+    fn test_graph() -> GenomeGraph {
+        let reference = generate_reference(&GenomeConfig::human_like(30_000, 21));
+        let variants = simulate_variants(&reference, &VariantConfig::human_like(22));
+        build_graph(&reference, variants).unwrap().graph
+    }
+
+    #[test]
+    fn reads_have_exact_length_and_count() {
+        let graph = test_graph();
+        let reads = simulate_reads(
+            &graph,
+            &ReadConfig::long_reads(25, 1000, ErrorProfile::pacbio_5(), 1),
+        );
+        assert_eq!(reads.len(), 25);
+        assert!(reads.iter().all(|r| r.seq.len() == 1000));
+        // ids are sequential
+        assert!(reads.iter().enumerate().all(|(i, r)| r.id == i as u32));
+    }
+
+    #[test]
+    fn perfect_reads_spell_graph_paths() {
+        let graph = linear_graph(&"ACGTTGCAGTCA".repeat(50).parse().unwrap(), 64).unwrap();
+        let reads = simulate_reads(
+            &graph,
+            &ReadConfig {
+                count: 5,
+                len: 80,
+                errors: ErrorProfile::perfect(),
+                seed: 2,
+            },
+        );
+        for read in &reads {
+            assert_eq!(read.injected_errors, 0);
+            // On a linear graph the read must be an exact substring at its
+            // true linear offset.
+            let frag =
+                path_fragment(&graph, read.true_start, read.seq.len(), 0).unwrap();
+            assert_eq!(read.seq, frag);
+        }
+    }
+
+    #[test]
+    fn error_rates_are_close_to_profile() {
+        let graph = test_graph();
+        for (profile, expect) in [
+            (ErrorProfile::illumina(), 0.01),
+            (ErrorProfile::pacbio_5(), 0.05),
+            (ErrorProfile::ont_10(), 0.10),
+        ] {
+            let reads = simulate_reads(
+                &graph,
+                &ReadConfig {
+                    count: 30,
+                    len: 2000,
+                    errors: profile,
+                    seed: 5,
+                },
+            );
+            let measured = measured_error_rate(&reads);
+            assert!(
+                (measured - expect).abs() < expect * 0.25 + 0.002,
+                "profile {expect}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let graph = test_graph();
+        let c = ReadConfig::short_reads(10, 100, 77);
+        assert_eq!(simulate_reads(&graph, &c), simulate_reads(&graph, &c));
+    }
+
+    #[test]
+    fn suggested_threshold_scales() {
+        let k = suggested_threshold(10_000, &ErrorProfile::ont_10(), 1.5);
+        assert!(k > 1000 && k < 2500, "k = {k}");
+        assert!(suggested_threshold(100, &ErrorProfile::perfect(), 1.0) >= 2);
+    }
+
+    #[test]
+    fn stranded_reads_flip_roughly_half() {
+        let graph = test_graph();
+        let config = ReadConfig::short_reads(100, 80, 91);
+        let reads = simulate_stranded_reads(&graph, &config, 0.5);
+        let reverse = reads.iter().filter(|r| r.strand == Strand::Reverse).count();
+        assert!((25..=75).contains(&reverse), "reverse count {reverse}");
+        // A reversed read's reverse complement equals its forward twin.
+        let forward_reads = simulate_reads(&graph, &config);
+        for (stranded, forward) in reads.iter().zip(&forward_reads) {
+            match stranded.strand {
+                Strand::Forward => assert_eq!(stranded.seq, forward.seq),
+                Strand::Reverse => {
+                    assert_eq!(stranded.seq.reverse_complement(), forward.seq)
+                }
+            }
+            assert_eq!(stranded.true_start_linear, forward.true_start_linear);
+        }
+    }
+
+    #[test]
+    fn reverse_frac_extremes() {
+        let graph = test_graph();
+        let config = ReadConfig::short_reads(10, 80, 92);
+        assert!(simulate_stranded_reads(&graph, &config, 0.0)
+            .iter()
+            .all(|r| r.strand == Strand::Forward));
+        assert!(simulate_stranded_reads(&graph, &config, 1.0)
+            .iter()
+            .all(|r| r.strand == Strand::Reverse));
+    }
+
+    #[test]
+    fn reads_cover_the_graph_broadly() {
+        let graph = test_graph();
+        let reads = simulate_reads(&graph, &ReadConfig::short_reads(200, 64, 6));
+        let first_quarter = reads
+            .iter()
+            .filter(|r| r.true_start_linear < graph.total_chars() / 4)
+            .count();
+        // Uniform starts: roughly a quarter land in the first quarter.
+        assert!((20..=80).contains(&first_quarter), "{first_quarter}");
+    }
+}

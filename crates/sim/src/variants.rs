@@ -1,0 +1,296 @@
+//! Synthetic variant sets, standing in for the paper's seven GIAB VCFs
+//! (Section 10: "7.1 M variations" across the human genome, i.e. roughly
+//! one variant per 450 reference bases).
+//!
+//! The kind mix follows the 1000 Genomes-style distribution the paper's
+//! hop-limit argument relies on (Section 8.2): the overwhelming majority of
+//! variants are SNPs and small indels (short hops); large structural
+//! variants are rare (long hops).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use segram_graph::{DnaSeq, Variant, VariantSet, BASES};
+
+/// Configuration for [`simulate_variants`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VariantConfig {
+    /// Expected number of variants per reference base (human-like ≈ 1/450).
+    pub density: f64,
+    /// Fraction of variants that are SNPs.
+    pub snp_fraction: f64,
+    /// Fraction that are small insertions (1..=6 bp).
+    pub ins_fraction: f64,
+    /// Fraction that are small deletions (1..=6 bp).
+    pub del_fraction: f64,
+    /// Remainder are structural variants (replacements/deletions of
+    /// `sv_min_len..=sv_max_len` bases).
+    pub sv_min_len: u64,
+    /// Maximum SV length.
+    pub sv_max_len: u64,
+    /// Fraction of sites that carry a *second* alternate allele
+    /// (multi-allelic sites, as in real GIAB VCFs). Multi-allelic SNPs add
+    /// a second single-base branch; multi-allelic replacements add a
+    /// second branch of different length — the only graph shape in which
+    /// linearization order affects hop distances.
+    ///
+    /// Defaults to 0.0 (strictly biallelic), and a zero value draws no
+    /// randomness, so enabling the feature is the only thing that changes
+    /// a seed's variant stream — every calibrated dataset stays
+    /// bit-identical unless a caller opts in.
+    pub multi_allelic_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl VariantConfig {
+    /// Human-like mix: ~90 % SNPs, ~9 % small indels, ~0.7 % SVs.
+    /// (The paper's GIAB v3.3.2 VCFs are small-variant call sets, so large
+    /// SVs are rare; this mix reproduces Figure 13's ">99 % of hops within
+    /// limit 12" shape.)
+    pub fn human_like(seed: u64) -> Self {
+        Self {
+            density: 1.0 / 450.0,
+            snp_fraction: 0.90,
+            ins_fraction: 0.0465,
+            del_fraction: 0.0465,
+            sv_min_len: 50,
+            sv_max_len: 300,
+            multi_allelic_fraction: 0.0,
+            seed,
+        }
+    }
+}
+
+impl Default for VariantConfig {
+    fn default() -> Self {
+        Self::human_like(42)
+    }
+}
+
+/// Draws a variant set against `reference`.
+///
+/// Positions are drawn uniformly; overlapping draws are resolved later by
+/// graph construction (`drop_overlapping`), mirroring how conflicting VCF
+/// records are handled.
+///
+/// # Examples
+///
+/// ```
+/// use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
+///
+/// let reference = generate_reference(&GenomeConfig::human_like(50_000, 1));
+/// let variants = simulate_variants(&reference, &VariantConfig::human_like(2));
+/// assert!(!variants.is_empty());
+/// ```
+pub fn simulate_variants(reference: &DnaSeq, config: &VariantConfig) -> VariantSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let n = reference.len() as u64;
+    let count = ((n as f64) * config.density).round() as usize;
+    let mut set = VariantSet::new();
+    for _ in 0..count {
+        let roll: f64 = rng.gen();
+        let pos = rng.gen_range(0..n);
+        if roll < config.snp_fraction {
+            let current = reference[pos as usize];
+            let alt = loop {
+                let candidate = BASES[rng.gen_range(0..4)];
+                if candidate != current {
+                    break candidate;
+                }
+            };
+            set.push(Variant::snp(pos, alt));
+            if config.multi_allelic_fraction > 0.0 && rng.gen_bool(config.multi_allelic_fraction) {
+                // A second alternate at the same site (kept by
+                // `drop_overlapping`'s multi-allelic rule).
+                if let Some(second) =
+                    BASES.into_iter().find(|&b| b != current && b != alt)
+                {
+                    set.push(Variant::snp(pos, second));
+                }
+            }
+        } else if roll < config.snp_fraction + config.ins_fraction {
+            let len = rng.gen_range(1..=6);
+            set.push(Variant::insertion(pos, random_seq(&mut rng, len)));
+        } else if roll < config.snp_fraction + config.ins_fraction + config.del_fraction {
+            let len = rng.gen_range(1..=6).min(n - pos);
+            if len > 0 && pos + len < n {
+                set.push(Variant::deletion(pos, len));
+            }
+        } else {
+            // Structural variant: deletion or balanced replacement.
+            let len = rng
+                .gen_range(config.sv_min_len..=config.sv_max_len)
+                .min(n.saturating_sub(pos + 1));
+            if len >= config.sv_min_len.min(n / 10).max(1) {
+                if rng.gen_bool(0.5) {
+                    set.push(Variant::deletion(pos, len));
+                } else {
+                    let alt_len = rng.gen_range(1..=len.max(2)) as usize;
+                    set.push(Variant::replacement(pos, len, random_seq(&mut rng, alt_len)));
+                    if config.multi_allelic_fraction > 0.0
+                        && rng.gen_bool(config.multi_allelic_fraction)
+                    {
+                        // A second replacement branch of a different
+                        // length over the same interval.
+                        let second_len = (alt_len / 2).max(1) + 1;
+                        if second_len != alt_len {
+                            set.push(Variant::replacement(
+                                pos,
+                                len,
+                                random_seq(&mut rng, second_len),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+fn random_seq(rng: &mut ChaCha8Rng, len: usize) -> DnaSeq {
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+/// Counts variants by kind, for dataset reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VariantMix {
+    /// SNP count.
+    pub snps: usize,
+    /// Small-insertion count.
+    pub insertions: usize,
+    /// Small-deletion count (< 50 bp).
+    pub deletions: usize,
+    /// Structural-variant count (>= 50 bp span or replacement).
+    pub svs: usize,
+}
+
+/// Classifies a variant set into a [`VariantMix`].
+pub fn classify(variants: &VariantSet) -> VariantMix {
+    let mut mix = VariantMix::default();
+    for v in variants.iter() {
+        match &v.kind {
+            segram_graph::VariantKind::Snp { .. } => mix.snps += 1,
+            segram_graph::VariantKind::Insertion { .. } => mix.insertions += 1,
+            segram_graph::VariantKind::Deletion { len } if *len < 50 => mix.deletions += 1,
+            _ => mix.svs += 1,
+        }
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{generate_reference, GenomeConfig};
+
+    #[test]
+    fn density_is_approximately_respected() {
+        let reference = generate_reference(&GenomeConfig::human_like(90_000, 5));
+        let variants = simulate_variants(&reference, &VariantConfig::human_like(6));
+        let expected = 90_000.0 / 450.0;
+        let got = variants.len() as f64;
+        assert!((got - expected).abs() < expected * 0.2, "got {got}");
+    }
+
+    #[test]
+    fn kind_mix_is_human_like() {
+        let reference = generate_reference(&GenomeConfig::human_like(400_000, 7));
+        let variants = simulate_variants(&reference, &VariantConfig::human_like(8));
+        let mix = classify(&variants);
+        let total = variants.len() as f64;
+        assert!(mix.snps as f64 / total > 0.8, "{mix:?}");
+        assert!(mix.svs as f64 / total < 0.05, "{mix:?}");
+        assert!(mix.insertions > 0 && mix.deletions > 0, "{mix:?}");
+    }
+
+    #[test]
+    fn snps_never_equal_reference_base() {
+        let reference = generate_reference(&GenomeConfig::human_like(30_000, 9));
+        let variants = simulate_variants(&reference, &VariantConfig::human_like(10));
+        for v in variants.iter() {
+            if let segram_graph::VariantKind::Snp { alt } = v.kind {
+                assert_ne!(alt, reference[v.pos as usize], "SNP at {} is a no-op", v.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn variants_build_a_valid_graph() {
+        let reference = generate_reference(&GenomeConfig::human_like(20_000, 13));
+        let variants = simulate_variants(&reference, &VariantConfig::human_like(14));
+        let built = segram_graph::build_graph(&reference, variants).unwrap();
+        assert!(built.graph.is_topologically_sorted());
+        assert!(built.graph.node_count() > 10);
+        assert!(built.graph.total_chars() >= reference.len() as u64 / 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let reference = generate_reference(&GenomeConfig::human_like(10_000, 1));
+        let a = simulate_variants(&reference, &VariantConfig::human_like(2));
+        let b = simulate_variants(&reference, &VariantConfig::human_like(2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn base_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VariantConfig>();
+    }
+
+    #[test]
+    fn multi_allelic_sites_appear_and_survive_graph_construction() {
+        let reference = generate_reference(&GenomeConfig::human_like(40_000, 31));
+        let mut config = VariantConfig::human_like(32);
+        config.multi_allelic_fraction = 0.5; // force plenty of second alleles
+        let variants = simulate_variants(&reference, &config);
+
+        // Count sites with more than one alternate.
+        let sorted = variants.clone().into_sorted();
+        let mut multi_sites = 0usize;
+        let mut last: Option<(u64, u64)> = None;
+        for v in sorted.iter() {
+            let interval = v.ref_interval();
+            if last == Some(interval) && interval.0 != interval.1 {
+                multi_sites += 1;
+            }
+            last = Some(interval);
+        }
+        assert!(multi_sites > 10, "only {multi_sites} multi-allelic sites");
+
+        // Graph construction keeps them: more non-backbone branches than a
+        // biallelic set of the same density would produce.
+        let built = segram_graph::build_graph(&reference, sorted).unwrap();
+        assert!(built.graph.is_topologically_sorted());
+        assert!(built.embedded_variants > 0);
+        let max_out = built
+            .graph
+            .node_ids()
+            .map(|n| built.graph.successors(n).len())
+            .max()
+            .unwrap();
+        assert!(
+            max_out >= 3,
+            "expected a node with >= 3 outgoing branches (ref + 2 alts), max {max_out}"
+        );
+    }
+
+    #[test]
+    fn zero_multi_allelic_fraction_reproduces_biallelic_sets() {
+        let reference = generate_reference(&GenomeConfig::human_like(10_000, 5));
+        let mut config = VariantConfig::human_like(6);
+        config.multi_allelic_fraction = 0.0;
+        let variants = simulate_variants(&reference, &config).into_sorted();
+        let mut last: Option<(u64, u64)> = None;
+        for v in variants.iter() {
+            let interval = v.ref_interval();
+            assert!(
+                !(last == Some(interval) && interval.0 != interval.1),
+                "unexpected multi-allelic site at {interval:?}"
+            );
+            last = Some(interval);
+        }
+    }
+}

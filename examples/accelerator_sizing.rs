@@ -1,0 +1,94 @@
+//! Accelerator sizing study: drive the hardware cost + performance models
+//! together to explore design points around the paper's configuration —
+//! what an architect would do with the released model.
+//!
+//! Also cross-validates the analytical pipeline model against the
+//! discrete-event simulator on a measured workload.
+//!
+//! Run with: `cargo run --release --example accelerator_sizing`
+
+use segram_core::{measure_workload, SegramConfig, SegramMapper};
+use segram_hw::{
+    simulate_pipeline, system_cost, uniform_jobs, AcceleratorCost, BitAlignHwConfig,
+    BitAlignStorage, HbmConfig, MinSeedScratchpads, SegramAccelerator, SegramSystem,
+};
+use segram_sim::DatasetConfig;
+
+fn main() {
+    // 1. Measure a workload with the software pipeline.
+    let dataset = DatasetConfig {
+        reference_len: 100_000,
+        read_count: 40,
+        long_read_len: 2_000,
+        seed: 4242,
+    }
+    .illumina(150);
+    let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+    let measurement = measure_workload(&mapper, &dataset.reads, 150);
+    let workload = measurement.workload;
+    println!(
+        "measured workload: {:.1} minimizers, {:.1} seeds per {} bp read",
+        workload.minimizers_per_read, workload.seeds_per_read, workload.read_len
+    );
+
+    // 2. Sweep the BitAlign window width (the dominant sizing knob: it
+    //    sets bitvector scratchpad capacity AND cycle count).
+    println!("\n window | cycles/10kbp | scratchpad kB | accel mm2 | accel mW");
+    for window_bits in [64usize, 128, 256] {
+        let hw = BitAlignHwConfig {
+            window_bits,
+            pe_count: 64,
+            stride: window_bits * 5 / 8,
+            clock_ghz: 1.0,
+        };
+        let mut storage = BitAlignStorage::default();
+        // Bitvector scratchpad scales with the window width.
+        storage.bitvector_per_pe.bytes = (window_bits as u64 / 128).max(1) * 2 * 1024;
+        storage.hop_queue_bytes_per_pe = (window_bits as u64 / 8) * 12;
+        let cost = AcceleratorCost::for_storage(&MinSeedScratchpads::default(), &storage);
+        let total = cost.total();
+        let marker = if window_bits == 128 { "  <- paper" } else { "" };
+        println!(
+            " {:>6} | {:>12} | {:>13} | {:>9.3} | {:>8.0}{}",
+            window_bits,
+            hw.cycles_per_alignment(10_000),
+            storage.total_bytes() / 1024,
+            total.area_mm2,
+            total.power_mw,
+            marker
+        );
+    }
+
+    // 3. Validate the analytic pipeline formula against the event-driven
+    //    simulator for this workload.
+    let acc = SegramAccelerator::default();
+    let hbm = HbmConfig::default();
+    let seeds = workload.seeds_per_read.round() as usize;
+    let minseed_ns = acc.minseed.per_seed_ns(&workload, &hbm);
+    let bitalign_ns = acc.bitalign.alignment_ns(workload.read_len);
+    let trace = simulate_pipeline(&uniform_jobs(seeds, minseed_ns, bitalign_ns));
+    let analytic_ns = acc.per_read_ns(&workload, &hbm);
+    let drift = (trace.makespan_ns() - analytic_ns).abs() / analytic_ns;
+    println!(
+        "\npipeline model check: event sim {:.0} ns vs analytic {:.0} ns ({:.2}% drift)",
+        trace.makespan_ns(),
+        analytic_ns,
+        drift * 100.0
+    );
+    println!(
+        "BitAlign utilization {:.0}%, MinSeed utilization {:.0}% (BitAlign-bound, as in the paper)",
+        trace.bitalign_utilization() * 100.0,
+        trace.minseed_utilization() * 100.0
+    );
+    assert!(drift < 0.05, "models must agree");
+
+    // 4. Where does the whole system land?
+    let system = SegramSystem::default();
+    let cost = system_cost(32, HbmConfig::default().total_dynamic_power_w());
+    println!(
+        "\nsystem: {:.0} reads/s on 32 accelerators, {:.1} mm2, {:.1} W total",
+        system.throughput_reads_per_s(&workload),
+        cost.all_accelerators.area_mm2,
+        cost.total_power_w
+    );
+}

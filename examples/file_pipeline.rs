@@ -1,0 +1,123 @@
+//! File-based pipeline: the workflow a downstream user runs on real data —
+//! parse a FASTA reference and a VCF, build the graph, write it as GFA,
+//! map FASTQ reads with a pre-alignment filter enabled, and emit both SAM
+//! (linear surjection) and GAF (explicit graph paths).
+//!
+//! Everything stays in memory as strings here so the example is
+//! self-contained; the `segram` binary (`crates/cli`) performs the same
+//! steps on actual files.
+//!
+//! Run with: `cargo run --release --example file_pipeline`
+
+use segram_core::{mapq_estimate, sam_document, SamRecord, SegramConfig, SegramMapper};
+use segram_filter::FilterSpec;
+use segram_graph::{build_graph, gfa};
+use segram_io::{
+    read_fasta, read_fastq, read_vcf, write_gaf, Ambiguity, GafRecord, VcfOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The input files (inline for the example). The reference carries a
+    //    SNP and an insertion in the population VCF.
+    let fasta = format!(">chr20 demo contig\n{}\n", "ACGTTGCAGCATGGCATTAC".repeat(40));
+    let vcf = concat!(
+        "##fileformat=VCFv4.2\n",
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n",
+        "chr20\t41\trs1\tA\tC\t.\tPASS\t.\n",
+        "chr20\t200\t.\tT\tTGGA\t.\tPASS\t.\n",
+    );
+
+    // 2. Parse and construct (the paper's pre-processing, Section 5).
+    let reference = &read_fasta(&fasta, Ambiguity::Reject)?[0];
+    let variants = read_vcf(vcf, VcfOptions::default())?
+        .chrom(&reference.id)
+        .cloned()
+        .unwrap_or_default();
+    println!("parsed {} ({} bp), {} variants", reference.id, reference.seq.len(), variants.len());
+    let built = build_graph(&reference.seq, variants.into_sorted())?;
+    let gfa_text = gfa::to_gfa(&built.graph);
+    println!(
+        "graph: {} nodes / {} edges -> {} GFA lines",
+        built.graph.node_count(),
+        built.graph.edge_count(),
+        gfa_text.lines().count()
+    );
+
+    // 3. Reads arrive as FASTQ. read1 spells the ALT path of the SNP;
+    //    read2 contains the insertion allele; read3 is junk that should be
+    //    rejected by the pre-alignment filter before BitAlign runs.
+    let mut alt_window = String::new();
+    for (i, base) in reference.seq.iter().enumerate().skip(20).take(60) {
+        alt_window.push(if i == 40 { 'C' } else { char::from(base) });
+    }
+    let mut ins_window = String::new();
+    for (i, base) in reference.seq.iter().enumerate().skip(170).take(60) {
+        ins_window.push(char::from(base));
+        if i == 199 {
+            ins_window.push_str("GGA");
+        }
+    }
+    let junk = "AC".repeat(30);
+    let fastq = format!(
+        "@read1 alt-snp\n{alt_window}\n+\n{}\n@read2 insertion\n{ins_window}\n+\n{}\n@read3 junk\n{junk}\n+\n{}\n",
+        "I".repeat(alt_window.len()),
+        "I".repeat(ins_window.len()),
+        "I".repeat(junk.len()),
+    );
+    let reads = read_fastq(&fastq, Ambiguity::Reject)?;
+
+    // 4. Map with the SneakySnake prefilter enabled (the footnote-6
+    //    future-work study).
+    let mut config = SegramConfig::short_reads();
+    config.scheme = segram_index::MinimizerScheme::new(5, 11); // small demo genome
+    config.prefilter = Some(FilterSpec::SneakySnake);
+    let mapper = SegramMapper::new(built.graph.clone(), config);
+
+    let mut sam_records = Vec::new();
+    let mut gaf_records = Vec::new();
+    for read in &reads {
+        let (mapping, stats) = mapper.map_read(&read.seq);
+        match mapping {
+            Some(mapping) => {
+                let mapq =
+                    mapq_estimate(stats.regions_aligned, mapping.alignment.edit_distance, read.seq.len());
+                println!(
+                    "{}: mapped at linear {} with {} edits (CIGAR {}, {} regions filtered)",
+                    read.id,
+                    mapping.linear_start,
+                    mapping.alignment.edit_distance,
+                    mapping.alignment.cigar,
+                    stats.regions_filtered,
+                );
+                sam_records.push(SamRecord::from_mapping(&read.id, &reference.id, &read.seq, &mapping, mapq));
+                gaf_records.push(GafRecord::from_char_path(
+                    &read.id,
+                    read.seq.len(),
+                    mapper.graph(),
+                    &mapping.path,
+                    &mapping.alignment.cigar,
+                    mapping.alignment.edit_distance,
+                    mapq,
+                )?);
+            }
+            None => {
+                println!(
+                    "{}: unmapped ({} regions filtered before alignment)",
+                    read.id, stats.regions_filtered
+                );
+                sam_records.push(SamRecord::unmapped(&read.id, &read.seq));
+            }
+        }
+    }
+
+    // 5. Emit both output formats.
+    let sam = sam_document(&reference.id, built.graph.total_chars(), &sam_records);
+    let gaf = write_gaf(&gaf_records);
+    println!("\n--- SAM ---\n{sam}");
+    println!("--- GAF ---\n{gaf}");
+
+    // The variant-carrying reads align cleanly (the graph absorbs the
+    // variants) and the GAF paths walk through the ALT nodes.
+    assert!(gaf_records.iter().any(|r| r.path.len() > 1));
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! Property tests for the core algorithmic claim of the reproduction:
+//! BitAlign (Algorithm 1) computes exactly the semi-global sequence-to-
+//! graph edit distance that the DP formulation defines, on arbitrary
+//! variation graphs — and reduces to classical sequence-to-sequence
+//! algorithms (Myers, semi-global NW) on linear references.
+
+use proptest::prelude::*;
+use segram_align::{
+    bitalign, graph_dp_distance, myers_distance, semiglobal_distance, windowed_bitalign,
+    BitAlignConfig, BitAligner, StartMode, WindowConfig,
+};
+use segram_graph::{
+    build_graph, Base, DnaSeq, GenomeGraph, LinearizedGraph, Variant, VariantSet,
+};
+
+fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, min..=max)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code_masked).collect())
+}
+
+/// A random variation graph built from a random reference + random variants.
+fn arb_graph() -> impl Strategy<Value = GenomeGraph> {
+    (arb_seq(20, 80), prop::collection::vec((0u64..70, 0u8..4), 0..6)).prop_map(
+        |(reference, raw_variants)| {
+            let len = reference.len() as u64;
+            let variants: VariantSet = raw_variants
+                .into_iter()
+                .filter(|&(pos, _)| pos + 4 < len)
+                .map(|(pos, kind)| match kind {
+                    0 => Variant::snp(pos, reference[pos as usize].complement()),
+                    1 => Variant::insertion(pos, "GT".parse().unwrap()),
+                    2 => Variant::deletion(pos, 2),
+                    _ => Variant::replacement(pos, 3, "A".parse().unwrap()),
+                })
+                .collect();
+            build_graph(&reference, variants).expect("valid variants").graph
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On any DAG, BitAlign's distance equals the exact DP distance.
+    #[test]
+    fn bitalign_matches_graph_dp(graph in arb_graph(), pattern in arb_seq(3, 30)) {
+        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).unwrap();
+        let (dp, _) = graph_dp_distance(&lin, &pattern, StartMode::Free).unwrap();
+        let ba = bitalign(&lin, &pattern, pattern.len() as u32).unwrap();
+        prop_assert_eq!(ba.edit_distance, dp);
+    }
+
+    /// The bit-level invariant: bit l-1 of R[i][d] is 0 iff E[i][l] <= d.
+    #[test]
+    fn status_bitvectors_encode_dp_cells(
+        graph in arb_graph(),
+        pattern in arb_seq(3, 12),
+        d in 0u32..4,
+    ) {
+        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).unwrap();
+        let mut aligner = BitAligner::new(
+            &lin,
+            &pattern,
+            BitAlignConfig { k: d, ..BitAlignConfig::default() },
+        ).unwrap();
+        aligner.compute();
+        let m = pattern.len();
+        // Exact DP for every anchored start.
+        for i in 0..lin.len().min(20) {
+            let (anchored, _) =
+                graph_dp_distance(&lin, &pattern, StartMode::Anchored(i)).unwrap();
+            let bit = aligner
+                .status_bitvector(i, d.min(m as u32) as usize)
+                .unwrap()
+                .bit(m - 1);
+            // bit == 0 (match state) iff anchored distance <= d
+            prop_assert_eq!(!bit, anchored <= d.min(m as u32), "i={}, d={}", i, d);
+        }
+    }
+
+    /// On a linear reference, BitAlign == Myers == semi-global DP.
+    #[test]
+    fn linear_case_matches_classical_aligners(
+        text in arb_seq(10, 120),
+        pattern in arb_seq(2, 40),
+    ) {
+        let lin = LinearizedGraph::from_linear_seq(&text);
+        let ba = bitalign(&lin, &pattern, pattern.len() as u32).unwrap();
+        let myers = myers_distance(text.as_slice(), pattern.as_slice()).unwrap();
+        let nw = semiglobal_distance(text.as_slice(), pattern.as_slice()).unwrap();
+        prop_assert_eq!(ba.edit_distance, myers);
+        prop_assert_eq!(ba.edit_distance, nw);
+    }
+
+    /// The traceback CIGAR replays the read against the chosen path, costs
+    /// exactly the reported distance, and walks only real edges.
+    #[test]
+    fn traceback_is_sound(graph in arb_graph(), pattern in arb_seq(3, 30)) {
+        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).unwrap();
+        let a = bitalign(&lin, &pattern, pattern.len() as u32).unwrap();
+        prop_assert_eq!(a.cigar.edit_count(), a.edit_distance);
+        prop_assert_eq!(a.cigar.read_len() as usize, pattern.len());
+        let fragment = a.ref_fragment(&lin);
+        prop_assert!(a.cigar.replay(&fragment, pattern.as_slice()).is_some());
+        for pair in a.path.windows(2) {
+            prop_assert!(lin.successors(pair[0] as usize).contains(&pair[1]));
+        }
+    }
+
+    /// Windowed BitAlign never reports less than the exact distance, and is
+    /// exact for reads with sparse errors.
+    #[test]
+    fn windowed_upper_bounds_exact(text in arb_seq(300, 500), start in 0usize..100) {
+        let lin = LinearizedGraph::from_linear_seq(&text);
+        let end = (start + 250).min(text.len());
+        let pattern = text.slice(start, end);
+        let (exact, _) = graph_dp_distance(&lin, &pattern, StartMode::Free).unwrap();
+        prop_assert_eq!(exact, 0); // substring: exact distance is 0
+        let a = windowed_bitalign(&lin, &pattern, WindowConfig::bitalign(), StartMode::Free)
+            .unwrap();
+        prop_assert_eq!(a.edit_distance, 0);
+    }
+
+    /// Anchored-mode distances are never smaller than free-start distances.
+    #[test]
+    fn anchoring_cannot_improve(graph in arb_graph(), pattern in arb_seq(3, 20)) {
+        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).unwrap();
+        let (free, _) = graph_dp_distance(&lin, &pattern, StartMode::Free).unwrap();
+        for anchor in [0usize, lin.len() / 2, lin.len() - 1] {
+            let (anchored, _) =
+                graph_dp_distance(&lin, &pattern, StartMode::Anchored(anchor)).unwrap();
+            prop_assert!(anchored >= free);
+        }
+    }
+
+    /// Hop-limiting a linearization can only increase the distance (it
+    /// removes paths), and with a generous limit it changes nothing.
+    #[test]
+    fn hop_limit_monotonicity(graph in arb_graph(), pattern in arb_seq(3, 20)) {
+        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).unwrap();
+        let (full, _) = graph_dp_distance(&lin, &pattern, StartMode::Free).unwrap();
+        let (generous, dropped) = lin.with_hop_limit(lin.len() as u32);
+        prop_assert_eq!(dropped, 0);
+        let (g, _) = graph_dp_distance(&generous, &pattern, StartMode::Free).unwrap();
+        prop_assert_eq!(g, full);
+        let (tight, _) = lin.with_hop_limit(2);
+        let (t, _) = graph_dp_distance(&tight, &pattern, StartMode::Free).unwrap();
+        prop_assert!(t >= full);
+    }
+}
+
+/// Deterministic regression: the paper's Figure 1 graph aligns all four of
+/// its represented sequences with zero edits.
+#[test]
+fn figure1_sequences_align_exactly() {
+    let built = build_graph(
+        &"ACGTACGT".parse().unwrap(),
+        [
+            Variant::snp(3, Base::G),
+            Variant::insertion(3, "T".parse().unwrap()),
+            Variant::deletion(3, 1),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .unwrap();
+    let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+    for seq in ["ACGTACGT", "ACGGACGT", "ACGTTACGT", "ACGACGT"] {
+        let a = bitalign(&lin, &seq.parse().unwrap(), 2).unwrap();
+        assert_eq!(a.edit_distance, 0, "sequence {seq}");
+    }
+}

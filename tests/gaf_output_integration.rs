@@ -1,0 +1,88 @@
+//! Integration: every mapping the end-to-end mapper produces must convert
+//! to a valid GAF record. `GafRecord::from_char_path` re-validates the
+//! mapping's graph path step by step (same-node adjacency or a real edge)
+//! and cross-checks it against the CIGAR's reference consumption, so this
+//! test doubles as an invariant check on `Mapping::path` — including the
+//! windowed long-read path, where the per-window tracebacks are merged.
+
+use segram_core::{mapq_estimate, SegramConfig, SegramMapper};
+use segram_io::{read_gaf, write_gaf, GafRecord};
+use segram_sim::DatasetConfig;
+
+fn gaf_records_for(dataset: &segram_sim::Dataset, config: SegramConfig) -> Vec<GafRecord> {
+    let mapper = SegramMapper::new(dataset.graph().clone(), config);
+    let mut records = Vec::new();
+    for read in &dataset.reads {
+        let (mapping, stats) = mapper.map_read(&read.seq);
+        let Some(mapping) = mapping else { continue };
+        let record = GafRecord::from_char_path(
+            format!("read{}", read.id),
+            read.seq.len(),
+            mapper.graph(),
+            &mapping.path,
+            &mapping.alignment.cigar,
+            mapping.alignment.edit_distance,
+            mapq_estimate(stats.regions_aligned, mapping.alignment.edit_distance, read.seq.len()),
+        )
+        .unwrap_or_else(|e| {
+            panic!("read{}: mapping does not convert to GAF: {e}", read.id)
+        });
+        records.push(record);
+    }
+    records
+}
+
+#[test]
+fn short_read_mappings_are_valid_gaf() {
+    let dataset = DatasetConfig::tiny(61).illumina(100);
+    let records = gaf_records_for(&dataset, SegramConfig::short_reads());
+    assert!(
+        records.len() * 10 >= dataset.reads.len() * 8,
+        "too few mappings: {}/{}",
+        records.len(),
+        dataset.reads.len()
+    );
+    for rec in &records {
+        // Illumina-like 1% error: identity must stay high.
+        assert!(rec.identity() > 0.9, "{}: identity {}", rec.qname, rec.identity());
+        assert!(rec.pend <= rec.plen, "{}: path overrun", rec.qname);
+        assert!(!rec.path.is_empty());
+    }
+    // Serialized GAF re-parses to the same records.
+    let reparsed = read_gaf(&write_gaf(&records)).expect("own GAF re-parses");
+    assert_eq!(reparsed, records);
+}
+
+#[test]
+fn long_read_mappings_are_valid_gaf() {
+    let mut config = DatasetConfig::tiny(67);
+    config.read_count = 8;
+    let dataset = config.pacbio_5();
+    let mut mapper_config = SegramConfig::long_reads(0.05);
+    mapper_config.max_regions = 12;
+    let records = gaf_records_for(&dataset, mapper_config);
+    assert!(!records.is_empty(), "no long reads mapped");
+    for rec in &records {
+        // 5% error reads: identity well above random but below short-read.
+        assert!(rec.identity() > 0.75, "{}: identity {}", rec.qname, rec.identity());
+        // The path must walk several nodes on a variant graph at 2 kbp.
+        assert!(rec.path.len() >= 2, "{}: suspiciously short path", rec.qname);
+    }
+}
+
+#[test]
+fn variant_spanning_reads_walk_alt_nodes() {
+    // Reads that the simulator drew through ALT alleles should produce GAF
+    // paths that visit non-backbone nodes.
+    let dataset = DatasetConfig::tiny(71).illumina(150);
+    let is_backbone = &dataset.built.is_backbone;
+    let records = gaf_records_for(&dataset, SegramConfig::short_reads());
+    let touches_alt = records.iter().any(|rec| {
+        rec.path.iter().any(|node| !is_backbone[node.index()])
+    });
+    assert!(
+        touches_alt,
+        "no mapping ever walked an ALT node across {} records",
+        records.len()
+    );
+}

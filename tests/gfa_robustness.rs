@@ -1,0 +1,85 @@
+//! Failure-injection tests for the GFA reader: arbitrary byte soup must
+//! never panic, and structured corruption must produce precise errors.
+
+use proptest::prelude::*;
+use segram_graph::{gfa, GraphError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser — it either parses or errors.
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,400}") {
+        let _ = gfa::from_gfa(&text);
+    }
+
+    /// Arbitrary *line soup* built from GFA-ish fragments never panics.
+    #[test]
+    fn gfa_like_soup_never_panics(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("S\ta\tACGT".to_string()),
+                Just("S\tb\tGG".to_string()),
+                Just("L\ta\t+\tb\t+\t0M".to_string()),
+                Just("L\tb\t+\ta\t+\t0M".to_string()),
+                Just("H\tVN:Z:1.0".to_string()),
+                Just("S\tmissing".to_string()),
+                Just("L\ta\t+".to_string()),
+                Just("garbage line".to_string()),
+                "[ SLH]\\PC{0,20}",
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = gfa::from_gfa(&text);
+    }
+
+    /// Round trip through GFA is lossless for random variation graphs.
+    #[test]
+    fn round_trip_random_graphs(
+        reference in prop::collection::vec(0u8..4, 20..100),
+        snps in prop::collection::vec(0u64..90, 0..5),
+    ) {
+        let reference: segram_graph::DnaSeq = reference
+            .into_iter()
+            .map(segram_graph::Base::from_code_masked)
+            .collect();
+        let len = reference.len() as u64;
+        let variants: segram_graph::VariantSet = snps
+            .into_iter()
+            .filter(|&p| p < len)
+            .map(|p| segram_graph::Variant::snp(p, reference[p as usize].complement()))
+            .collect();
+        let graph = segram_graph::build_graph(&reference, variants).unwrap().graph;
+        let round = gfa::from_gfa(&gfa::to_gfa(&graph)).unwrap();
+        prop_assert_eq!(round.stats(), graph.stats());
+        for node in graph.node_ids() {
+            prop_assert_eq!(round.seq(node), graph.seq(node));
+            prop_assert_eq!(round.successors(node), graph.successors(node));
+        }
+    }
+}
+
+#[test]
+fn cyclic_gfa_is_rejected_not_looped() {
+    let text = "S\ta\tAC\nS\tb\tGG\nL\ta\t+\tb\t+\t0M\nL\tb\t+\ta\t+\t0M\n";
+    match gfa::from_gfa(text) {
+        Err(GraphError::CyclicGraph) => {}
+        other => panic!("expected CyclicGraph, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_input_gives_empty_graph() {
+    let graph = gfa::from_gfa("").unwrap();
+    assert_eq!(graph.node_count(), 0);
+}
+
+#[test]
+fn windows_line_endings_accepted() {
+    let text = "S\ta\tACGT\r\nS\tb\tGG\r\nL\ta\t+\tb\t+\t0M\r\n";
+    let graph = gfa::from_gfa(text).unwrap();
+    assert_eq!(graph.node_count(), 2);
+    assert_eq!(graph.edge_count(), 1);
+}

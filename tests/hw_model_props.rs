@@ -1,0 +1,196 @@
+//! Property tests for the hardware model: the performance model must be
+//! monotone and dimensionally sane for any workload, not just the paper's
+//! calibration points.
+
+use proptest::prelude::*;
+use segram_hw::{
+    system_cost, BitAlignHwConfig, HbmConfig, MinSeedHwConfig, MinSeedScratchpads,
+    SeedWorkload, SegramAccelerator, SegramSystem,
+};
+
+fn arb_workload() -> impl Strategy<Value = SeedWorkload> {
+    (
+        100usize..20_000,
+        1.0f64..3000.0,
+        0.0f64..1.0,
+        1.0f64..5000.0,
+        50.0f64..20_000.0,
+    )
+        .prop_map(|(read_len, minimizers, surviving_frac, seeds, region)| SeedWorkload {
+            read_len,
+            minimizers_per_read: minimizers,
+            surviving_minimizers: minimizers * surviving_frac,
+            seeds_per_read: seeds,
+            avg_region_len: region,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// More seeds can never make a read faster.
+    #[test]
+    fn read_time_is_monotone_in_seeds(w in arb_workload(), extra in 1.0f64..1000.0) {
+        let acc = SegramAccelerator::default();
+        let hbm = HbmConfig::default();
+        let base = acc.per_read_ns(&w, &hbm);
+        let more = SeedWorkload {
+            seeds_per_read: w.seeds_per_read + extra,
+            ..w
+        };
+        prop_assert!(acc.per_read_ns(&more, &hbm) >= base);
+    }
+
+    /// Longer reads can never take fewer BitAlign cycles.
+    #[test]
+    fn bitalign_cycles_monotone_in_length(len in 1usize..50_000, extra in 1usize..10_000) {
+        let hw = BitAlignHwConfig::bitalign();
+        prop_assert!(hw.cycles_per_alignment(len + extra) >= hw.cycles_per_alignment(len));
+    }
+
+    /// System throughput scales exactly linearly in stack count (the
+    /// paper's replicated-reference design).
+    #[test]
+    fn throughput_linear_in_stacks(w in arb_workload(), stacks in 1usize..16) {
+        let mut one = SegramSystem::default();
+        one.hbm.stacks = 1;
+        let mut many = SegramSystem::default();
+        many.hbm.stacks = stacks;
+        let ratio = many.throughput_reads_per_s(&w) / one.throughput_reads_per_s(&w);
+        prop_assert!((ratio - stacks as f64).abs() < 1e-6 * stacks as f64);
+    }
+
+    /// The pipelined per-seed time equals the slower stage, never less.
+    #[test]
+    fn pipeline_is_bottleneck_bound(w in arb_workload()) {
+        let acc = SegramAccelerator::default();
+        let hbm = HbmConfig::default();
+        let per_seed = acc.per_seed_ns(&w, &hbm);
+        let minseed = acc.minseed.per_seed_ns(&w, &hbm);
+        let bitalign = acc.bitalign.alignment_ns(w.read_len);
+        prop_assert!((per_seed - minseed.max(bitalign)).abs() < 1e-9);
+    }
+
+    /// Batching never makes a read faster, and equals the plain model when
+    /// minimizers fit the scratchpad.
+    #[test]
+    fn batching_monotone(w in arb_workload()) {
+        let hw = MinSeedHwConfig::default();
+        let hbm = HbmConfig::default();
+        let pads = MinSeedScratchpads::default();
+        let plain = hw.per_read_ns(&w, &hbm);
+        let batched = hw.batched_per_read_ns(&w, &hbm, &pads);
+        prop_assert!(batched >= plain - 1e-9);
+        if w.minimizers_per_read <= 2_000.0 {
+            prop_assert!((batched - plain).abs() < 1e-9);
+        }
+    }
+
+    /// Cost totals scale linearly in the accelerator count.
+    #[test]
+    fn cost_linear_in_accelerators(n in 1usize..256) {
+        let one = system_cost(1, 0.0);
+        let many = system_cost(n, 0.0);
+        let expect = one.per_accelerator.area_mm2 * n as f64;
+        prop_assert!((many.all_accelerators.area_mm2 - expect).abs() < 1e-9);
+    }
+
+    /// Memory access time decomposes into latency + transfer and is
+    /// monotone in both count and size.
+    #[test]
+    fn hbm_access_monotone(count in 0u64..10_000, bytes in 1u64..100_000, overlap in 1u64..64) {
+        let hbm = HbmConfig::default();
+        let t = hbm.batched_access_ns(count, bytes, overlap);
+        prop_assert!(t >= 0.0);
+        prop_assert!(hbm.batched_access_ns(count + 1, bytes, overlap) >= t);
+        prop_assert!(hbm.batched_access_ns(count, bytes + 1, overlap) >= t);
+        // More overlap never hurts.
+        prop_assert!(hbm.batched_access_ns(count, bytes, overlap + 1) <= t + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache simulator properties (the §3 Observations 2-3 instrument)
+// ---------------------------------------------------------------------------
+
+use segram_hw::{CacheConfig, CacheSim};
+
+fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..4096, 1..400)
+}
+
+proptest! {
+    /// Basic sanity: misses never exceed accesses; rates stay in [0, 1].
+    #[test]
+    fn cache_counters_are_consistent(trace in arb_trace()) {
+        let mut cache = CacheSim::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 32,
+            ways: 2,
+        });
+        let stats = cache.run_trace(trace.iter().copied());
+        prop_assert!(stats.misses <= stats.accesses);
+        prop_assert_eq!(stats.accesses, trace.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&stats.miss_rate()));
+        prop_assert_eq!(stats.hits() + stats.misses, stats.accesses);
+    }
+
+    /// The classic LRU *stack property*: for fully-associative LRU caches,
+    /// a larger cache never misses more on the same trace.
+    #[test]
+    fn lru_stack_property(trace in arb_trace(), small_ways in 1usize..6) {
+        let large_ways = small_ways * 2;
+        let line = 64usize;
+        let mut small = CacheSim::new(CacheConfig {
+            size_bytes: line * small_ways,
+            line_bytes: line,
+            ways: small_ways,
+        });
+        let mut large = CacheSim::new(CacheConfig {
+            size_bytes: line * large_ways,
+            line_bytes: line,
+            ways: large_ways,
+        });
+        let small_stats = small.run_trace(trace.iter().copied());
+        let large_stats = large.run_trace(trace.iter().copied());
+        prop_assert!(
+            large_stats.misses <= small_stats.misses,
+            "LRU inclusion violated: {} ways missed {}, {} ways missed {}",
+            large_ways, large_stats.misses, small_ways, small_stats.misses
+        );
+    }
+
+    /// A working set that fits is never evicted: replaying any trace whose
+    /// distinct lines fit in a fully-associative cache misses only cold.
+    #[test]
+    fn resident_working_sets_only_miss_cold(trace in arb_trace()) {
+        let line = 64u64;
+        let distinct: std::collections::BTreeSet<u64> =
+            trace.iter().map(|a| a / line).collect();
+        let ways = distinct.len().max(1);
+        let mut cache = CacheSim::new(CacheConfig {
+            size_bytes: 64 * ways,
+            line_bytes: 64,
+            ways,
+        });
+        let stats = cache.run_trace(trace.iter().copied());
+        prop_assert_eq!(stats.misses, distinct.len() as u64);
+        // A second pass is now all hits.
+        let second = cache.run_trace(trace.iter().copied());
+        prop_assert_eq!(second.misses, 0);
+    }
+
+    /// Accesses map to lines correctly: shifting a whole trace by less
+    /// than one line (keeping intra-line offsets) cannot change hit/miss
+    /// behaviour when the trace is line-aligned to begin with.
+    #[test]
+    fn sub_line_offsets_do_not_matter(lines in prop::collection::vec(0u64..256, 1..200),
+                                      offset in 0u64..32) {
+        let config = CacheConfig { size_bytes: 1024, line_bytes: 32, ways: 4 };
+        let mut a = CacheSim::new(config);
+        let mut b = CacheSim::new(config);
+        let sa = a.run_trace(lines.iter().map(|l| l * 32));
+        let sb = b.run_trace(lines.iter().map(|l| l * 32 + offset));
+        prop_assert_eq!(sa, sb);
+    }
+}

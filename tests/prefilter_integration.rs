@@ -1,0 +1,144 @@
+//! Integration tests for the pre-alignment filter study (the paper's
+//! footnote-6 future work): enabling a sound prefilter must never lose a
+//! mapping, and it must actually reject decoy candidates.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use segram_core::{SegramConfig, SegramMapper};
+use segram_filter::FilterSpec;
+use segram_graph::Base;
+use segram_sim::DatasetConfig;
+
+fn all_specs() -> [FilterSpec; 5] {
+    [
+        FilterSpec::BaseCount,
+        FilterSpec::QGram { q: 5 },
+        FilterSpec::ShiftedHamming,
+        FilterSpec::SneakySnake,
+        FilterSpec::cascade(),
+    ]
+}
+
+/// Every read that maps without the filter still maps — to the same place
+/// with the same edit distance — with any filter enabled.
+#[test]
+fn prefilter_loses_no_mappings_on_short_reads() {
+    let dataset = DatasetConfig::tiny(11).illumina(100);
+    let plain = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+    for spec in all_specs() {
+        let filtered = SegramMapper::new(
+            dataset.graph().clone(),
+            SegramConfig::short_reads().with_prefilter(spec),
+        );
+        for read in &dataset.reads {
+            let (without, _) = plain.map_read(&read.seq);
+            let (with, _) = filtered.map_read(&read.seq);
+            match (without, with) {
+                (None, _) => {}
+                (Some(w), Some(f)) => {
+                    assert_eq!(
+                        (w.linear_start, w.alignment.edit_distance),
+                        (f.linear_start, f.alignment.edit_distance),
+                        "{:?} changed the mapping of read {}",
+                        spec,
+                        read.id
+                    );
+                }
+                (Some(w), None) => panic!(
+                    "{:?} lost read {} (was at {} with {} edits)",
+                    spec, read.id, w.linear_start, w.alignment.edit_distance
+                ),
+            }
+        }
+    }
+}
+
+/// Long noisy reads keep their mappings too (the windowed alignment path).
+#[test]
+fn prefilter_loses_no_mappings_on_long_reads() {
+    let dataset = DatasetConfig::tiny(13).pacbio_5();
+    let mut config = SegramConfig::long_reads(0.05);
+    // Cap the candidate list (identically for both mappers) to keep the
+    // test fast on the repeat-heavy tiny genome.
+    config.max_regions = 12;
+    let plain = SegramMapper::new(dataset.graph().clone(), config);
+    let filtered = SegramMapper::new(
+        dataset.graph().clone(),
+        SegramConfig {
+            prefilter: Some(FilterSpec::cascade()),
+            ..config
+        },
+    );
+    for read in &dataset.reads {
+        let (without, _) = plain.map_read(&read.seq);
+        let (with, _) = filtered.map_read(&read.seq);
+        if let Some(w) = without {
+            let f = with.unwrap_or_else(|| panic!("cascade lost long read {}", read.id));
+            assert_eq!(
+                (w.linear_start, w.alignment.edit_distance),
+                (f.linear_start, f.alignment.edit_distance)
+            );
+        }
+    }
+}
+
+/// Decoy reads — an intact seed followed by random sequence — produce
+/// candidate regions the filter must reject before alignment.
+#[test]
+fn prefilter_rejects_decoy_candidates() {
+    let dataset = DatasetConfig::tiny(17).illumina(150);
+    let config = SegramConfig::short_reads().with_prefilter(FilterSpec::SneakySnake);
+    let mapper = SegramMapper::new(dataset.graph().clone(), config);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    let mut filtered_total = 0usize;
+    let mut decoys_with_candidates = 0usize;
+    for read in dataset.reads.iter().take(10) {
+        // Keep the first 40 bases (several intact minimizers seed the true
+        // locus), replace the rest with random noise.
+        let mut decoy = read.seq.slice(0, 40);
+        for _ in 40..read.seq.len() {
+            decoy.push(match rng.gen_range(0..4u8) {
+                0 => Base::A,
+                1 => Base::C,
+                2 => Base::G,
+                _ => Base::T,
+            });
+        }
+        let (_, stats) = mapper.map_read(&decoy);
+        if stats.regions_aligned + stats.regions_filtered > 0 {
+            decoys_with_candidates += 1;
+        }
+        filtered_total += stats.regions_filtered;
+    }
+    assert!(
+        decoys_with_candidates > 0,
+        "decoy construction failed to produce any candidates"
+    );
+    assert!(
+        filtered_total > 0,
+        "the filter rejected nothing across {decoys_with_candidates} decoys with candidates"
+    );
+}
+
+/// The filter statistics add up: every candidate either reaches alignment
+/// or is counted as filtered.
+#[test]
+fn filter_statistics_are_consistent() {
+    let dataset = DatasetConfig::tiny(19).illumina(100);
+    let plain = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+    let filtered = SegramMapper::new(
+        dataset.graph().clone(),
+        SegramConfig::short_reads().with_prefilter(FilterSpec::cascade()),
+    );
+    for read in &dataset.reads {
+        let (_, s0) = plain.map_read(&read.seq);
+        let (_, s1) = filtered.map_read(&read.seq);
+        assert_eq!(s0.regions_filtered, 0);
+        // With the filter on, alignments can only decrease; the early-exit
+        // and retry logic make exact equality unnecessary, but no new
+        // alignment work may appear.
+        assert!(s1.regions_aligned <= s0.regions_aligned + s1.regions_filtered);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the hop-minimizing linearization order
+//! (`LinearizedGraph::reordered_for_hops`, the footnote-2 future work):
+//! reordering must never change alignment semantics — same exact distance
+//! from the graph DP and from BitAlign — and must keep the linearization
+//! topologically valid.
+
+use proptest::prelude::*;
+
+use segram_align::{bitalign, graph_dp_distance, StartMode};
+use segram_graph::{build_graph, Base, DnaSeq, LinearizedGraph, Variant, VariantSet, BASES};
+
+fn base_strategy() -> impl Strategy<Value = Base> {
+    prop::sample::select(BASES.to_vec())
+}
+
+fn seq_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<Base>> {
+    prop::collection::vec(base_strategy(), min_len..=max_len)
+}
+
+/// Builds a variant graph with SNPs, one insertion, and one deletion at
+/// derived positions.
+fn variant_graph(ref_seq: &[Base], snps: &[usize], ins_at: usize, del_at: usize) -> LinearizedGraph {
+    let reference: DnaSeq = ref_seq.iter().copied().collect();
+    let mut set = VariantSet::new();
+    for &pos in snps {
+        if pos + 1 < ref_seq.len() {
+            let alt = BASES.into_iter().find(|&b| b != ref_seq[pos]).unwrap();
+            set.push(Variant::snp(pos as u64, alt));
+        }
+    }
+    if ins_at + 2 < ref_seq.len() {
+        set.push(Variant::insertion(ins_at as u64, "GATTACA".parse().unwrap()));
+    }
+    if del_at + 6 < ref_seq.len() {
+        set.push(Variant::deletion(del_at as u64, 4));
+    }
+    let mut set = set.into_sorted();
+    set.drop_overlapping();
+    let graph = build_graph(&reference, set).unwrap().graph;
+    LinearizedGraph::extract(&graph, 0, graph.total_chars()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The graph-DP distance is invariant under reordering, for any read.
+    #[test]
+    fn reorder_preserves_exact_distance(
+        ref_seq in seq_strategy(50, 120),
+        read in seq_strategy(8, 40),
+        snp_a in 2usize..30,
+        snp_b in 31usize..48,
+        ins_at in 5usize..40,
+        del_at in 10usize..40,
+    ) {
+        let lin = variant_graph(&ref_seq, &[snp_a, snp_b], ins_at, del_at);
+        let reordered = lin.reordered_for_hops();
+        let read_dna: DnaSeq = read.iter().copied().collect();
+        let (d0, _) = graph_dp_distance(&lin, &read_dna, StartMode::Free).unwrap();
+        let (d1, _) = graph_dp_distance(&reordered, &read_dna, StartMode::Free).unwrap();
+        prop_assert_eq!(d0, d1, "reordering changed the exact distance");
+    }
+
+    /// BitAlign agrees with itself across the two orders (distance and a
+    /// CIGAR of the same cost), for reads sampled from the graph.
+    #[test]
+    fn reorder_preserves_bitalign(
+        ref_seq in seq_strategy(60, 120),
+        start in 5usize..30,
+        len in 15usize..35,
+        snp in 10usize..50,
+    ) {
+        let lin = variant_graph(&ref_seq, &[snp], 20, 35);
+        let reordered = lin.reordered_for_hops();
+        let end = (start + len).min(ref_seq.len());
+        let read: DnaSeq = ref_seq[start..end].iter().copied().collect();
+        let k = 8u32;
+        let a0 = bitalign(&lin, &read, k);
+        let a1 = bitalign(&reordered, &read, k);
+        match (a0, a1) {
+            (Ok(a0), Ok(a1)) => {
+                prop_assert_eq!(a0.edit_distance, a1.edit_distance);
+                prop_assert_eq!(
+                    a0.cigar.edit_count(), a1.cigar.edit_count(),
+                    "CIGAR costs diverged"
+                );
+            }
+            (Err(_), Err(_)) => {} // both exceeded the threshold: consistent
+            (a0, a1) => prop_assert!(
+                false,
+                "one order aligned, the other errored: {a0:?} vs {a1:?}"
+            ),
+        }
+    }
+
+    /// Reordering is idempotent in structure: applying it twice yields the
+    /// same hop profile as applying it once.
+    #[test]
+    fn reorder_is_stable(
+        ref_seq in seq_strategy(50, 100),
+        snp in 5usize..40,
+    ) {
+        let lin = variant_graph(&ref_seq, &[snp], 15, 30);
+        let once = lin.reordered_for_hops();
+        let twice = once.reordered_for_hops();
+        prop_assert_eq!(once.hop_distances(), twice.hop_distances());
+        prop_assert_eq!(once.bases(), twice.bases());
+    }
+}
