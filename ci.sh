@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate for the SeGraM reproduction workspace.
+#
+# Fully offline by construction: every dependency is a workspace path
+# dependency (see segram-testkit), so this script must succeed on a
+# machine with no network access and no crates.io cache. `--locked`
+# enforces that the committed Cargo.lock stays authoritative.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --locked
+
+echo "== cargo test -q =="
+cargo test -q --locked
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "CI OK"

@@ -381,8 +381,8 @@ impl<'a> BitAligner<'a> {
             let succs = self.successors(i);
             // 1) Exact match: pattern head equals text[i] and some successor
             //    continues the remaining suffix within the same budget.
-            let matched = !pm.bit(p as usize)
-                && succs.iter().any(|&s| bit_is_zero(self, s, d, p - 1));
+            let matched =
+                !pm.bit(p as usize) && succs.iter().any(|&s| bit_is_zero(self, s, d, p - 1));
             if matched {
                 let next = *succs
                     .iter()
@@ -400,9 +400,8 @@ impl<'a> BitAligner<'a> {
             for op in self.preference.order() {
                 match op {
                     CigarOp::Subst => {
-                        if let Some(&next) = succs
-                            .iter()
-                            .find(|&&s| bit_is_zero(self, s, d - 1, p - 1))
+                        if let Some(&next) =
+                            succs.iter().find(|&&s| bit_is_zero(self, s, d - 1, p - 1))
                         {
                             cigar.push(CigarOp::Subst);
                             path.push(i as u32);
@@ -414,8 +413,7 @@ impl<'a> BitAligner<'a> {
                     }
                     CigarOp::Del => {
                         // Consumes the reference character only.
-                        if let Some(&next) =
-                            succs.iter().find(|&&s| bit_is_zero(self, s, d - 1, p))
+                        if let Some(&next) = succs.iter().find(|&&s| bit_is_zero(self, s, d - 1, p))
                         {
                             cigar.push(CigarOp::Del);
                             path.push(i as u32);
@@ -481,11 +479,7 @@ impl<'a> BitAligner<'a> {
 /// assert_eq!(alignment.text_start, 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn bitalign(
-    lin: &LinearizedGraph,
-    pattern: &DnaSeq,
-    k: u32,
-) -> Result<Alignment, AlignError> {
+pub fn bitalign(lin: &LinearizedGraph, pattern: &DnaSeq, k: u32) -> Result<Alignment, AlignError> {
     BitAligner::new(lin, pattern, BitAlignConfig::with_k(k))?.align()
 }
 
@@ -588,11 +582,12 @@ mod tests {
     fn snp_graph_aligns_both_alleles_exactly() {
         let built = build_graph(
             &"ACGTACGT".parse().unwrap(),
-            [Variant::snp(3, segram_graph::Base::G)].into_iter().collect(),
+            [Variant::snp(3, segram_graph::Base::G)]
+                .into_iter()
+                .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         for allele in ["ACGTACGT", "ACGGACGT"] {
             let a = bitalign(&lin, &allele.parse().unwrap(), 1).unwrap();
             assert_eq!(a.edit_distance, 0, "allele {allele}");
@@ -610,8 +605,7 @@ mod tests {
             [Variant::deletion(2, 4)].into_iter().collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         let a = bitalign(&lin, &"AATT".parse().unwrap(), 0).unwrap();
         assert_eq!(a.edit_distance, 0);
         // The path must jump over the deleted CCCC characters.
@@ -627,8 +621,7 @@ mod tests {
                 .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         for read in ["AATT", "AAGGGTT"] {
             let a = bitalign(&lin, &read.parse().unwrap(), 0).unwrap();
             assert_eq!(a.edit_distance, 0, "read {read}");
@@ -647,8 +640,7 @@ mod tests {
             .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         let read: DnaSeq = "CGAACGCG".parse().unwrap();
         let a = bitalign(&lin, &read, 3).unwrap();
         let fragment = a.ref_fragment(&lin);
@@ -664,11 +656,12 @@ mod tests {
     fn path_respects_graph_successors() {
         let built = build_graph(
             &"ACGTACGT".parse().unwrap(),
-            [Variant::snp(3, segram_graph::Base::G)].into_iter().collect(),
+            [Variant::snp(3, segram_graph::Base::G)]
+                .into_iter()
+                .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         let a = bitalign(&lin, &"ACGGACGT".parse().unwrap(), 2).unwrap();
         for pair in a.path.windows(2) {
             assert!(

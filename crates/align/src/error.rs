@@ -45,7 +45,10 @@ impl fmt::Display for AlignError {
                 write!(f, "no alignment within edit-distance threshold {k}")
             }
             AlignError::AnchorOutOfBounds { anchor, text_len } => {
-                write!(f, "anchor {anchor} out of bounds for text of length {text_len}")
+                write!(
+                    f,
+                    "anchor {anchor} out of bounds for text of length {text_len}"
+                )
             }
             AlignError::WindowFailed { pattern_pos } => write!(
                 f,

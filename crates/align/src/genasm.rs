@@ -10,7 +10,7 @@
 
 use segram_graph::{Base, DnaSeq, LinearizedGraph};
 
-use crate::{windowed_bitalign, Alignment, AlignError, StartMode, WindowConfig};
+use crate::{windowed_bitalign, AlignError, Alignment, StartMode, WindowConfig};
 
 /// Aligns `pattern` to the linear `text` with GenASM's divide-and-conquer
 /// configuration.

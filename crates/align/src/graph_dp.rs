@@ -120,7 +120,7 @@ pub fn graph_dp_align(
     let n = lin.len();
     let m = pattern.len();
     let width = n + 1; // index n = virtual sink
-    // e[l * width + i]
+                       // e[l * width + i]
     let mut e = vec![0u32; (m + 1) * width];
     for l in 1..=m {
         let head = pattern[m - l];
@@ -146,10 +146,7 @@ pub fn graph_dp_align(
     }
     let at = |l: usize, i: usize| e[l * width + i];
     let (dist, start_idx) = match start {
-        StartMode::Free => (0..n)
-            .map(|i| (at(m, i), i))
-            .min()
-            .expect("non-empty text"),
+        StartMode::Free => (0..n).map(|i| (at(m, i), i)).min().expect("non-empty text"),
         StartMode::Anchored(a) => (at(m, a), a),
     };
 
@@ -316,8 +313,7 @@ mod tests {
             .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         for read in ["ACTTACGT", "ACGTACGCG", "TTTTTT"] {
             let p: DnaSeq = read.parse().unwrap();
             let (d, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
@@ -331,11 +327,12 @@ mod tests {
     fn traceback_cigar_is_replayable() {
         let built = build_graph(
             &"ACGTACGTACGT".parse().unwrap(),
-            [Variant::snp(5, segram_graph::Base::A)].into_iter().collect(),
+            [Variant::snp(5, segram_graph::Base::A)]
+                .into_iter()
+                .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         let read: DnaSeq = "GTAAGTA".parse().unwrap();
         let a = graph_dp_align(&lin, &read, StartMode::Free).unwrap();
         let fragment = a.ref_fragment(&lin);
@@ -355,8 +352,7 @@ mod tests {
             .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         for read in ["ACGCACGT", "ACGTACGTGGACG", "ACGTACGTACCT", "GGGGGG"] {
             let p: DnaSeq = read.parse().unwrap();
             let (dp, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
@@ -371,8 +367,7 @@ mod tests {
         let p: DnaSeq = "ACGT".parse().unwrap();
         let (d_free, _) = graph_dp_distance(&lin, &p, StartMode::Free).unwrap();
         assert_eq!(d_free, 0);
-        let (d_anchored, i) =
-            graph_dp_distance(&lin, &p, StartMode::Anchored(1)).unwrap();
+        let (d_anchored, i) = graph_dp_distance(&lin, &p, StartMode::Anchored(1)).unwrap();
         assert_eq!(i, 1);
         assert!(d_anchored >= 1);
     }
@@ -380,8 +375,7 @@ mod tests {
     #[test]
     fn pattern_longer_than_text_costs_insertions() {
         let lin = linear("AC");
-        let (d, _) =
-            graph_dp_distance(&lin, &"ACGT".parse().unwrap(), StartMode::Free).unwrap();
+        let (d, _) = graph_dp_distance(&lin, &"ACGT".parse().unwrap(), StartMode::Free).unwrap();
         assert_eq!(d, 2);
     }
 

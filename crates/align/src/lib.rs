@@ -58,9 +58,7 @@ pub use bitvector::Bitvector;
 pub use cigar::{Cigar, CigarOp, ParseCigarError};
 pub use error::AlignError;
 pub use genasm::{genasm_align, genasm_distance};
-pub use graph_dp::{
-    dp_cell_count, graph_dp_align, graph_dp_distance, semiglobal_distance,
-};
+pub use graph_dp::{dp_cell_count, graph_dp_align, graph_dp_distance, semiglobal_distance};
 pub use myers::myers_distance;
 pub use pattern::PatternBitmasks;
 pub use windowed::{windowed_bitalign, WindowConfig};

@@ -96,8 +96,14 @@ mod tests {
 
     #[test]
     fn exact_and_simple_edits() {
-        assert_eq!(myers_distance(&bases("ACGTACGT"), &bases("GTAC")).unwrap(), 0);
-        assert_eq!(myers_distance(&bases("ACGTACGT"), &bases("GGAC")).unwrap(), 1);
+        assert_eq!(
+            myers_distance(&bases("ACGTACGT"), &bases("GTAC")).unwrap(),
+            0
+        );
+        assert_eq!(
+            myers_distance(&bases("ACGTACGT"), &bases("GGAC")).unwrap(),
+            1
+        );
         assert_eq!(myers_distance(&bases("AAAA"), &bases("TTTT")).unwrap(), 4);
     }
 

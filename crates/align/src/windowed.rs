@@ -15,9 +15,7 @@
 
 use segram_graph::{DnaSeq, LinearizedGraph};
 
-use crate::{
-    Alignment, AlignError, BitAlignConfig, BitAligner, Cigar, CigarOp, StartMode,
-};
+use crate::{AlignError, Alignment, BitAlignConfig, BitAligner, Cigar, CigarOp, StartMode};
 
 /// Configuration of windowed alignment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -170,8 +168,7 @@ pub fn windowed_bitalign(
         // searches the entire region.
         let (window_lin, to_parent, window_start) = match text_cursor {
             Some(from) => {
-                let (w, map) =
-                    lin.reachable_window(from, win_len + config.window_k as usize + 1);
+                let (w, map) = lin.reachable_window(from, win_len + config.window_k as usize + 1);
                 (w, Some(map), StartMode::Anchored(0))
             }
             None => (lin.clone(), None, StartMode::Free),
@@ -275,7 +272,9 @@ mod tests {
         let mut state = seed;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ['A', 'C', 'G', 'T'][(state >> 33) as usize % 4]
             })
             .collect()
@@ -286,8 +285,7 @@ mod tests {
         let text = lcg_text(800, 7);
         let lin = linear(&text);
         let read: DnaSeq = text[160..160 + 500].parse().unwrap();
-        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free)
-            .unwrap();
+        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free).unwrap();
         assert_eq!(a.edit_distance, 0);
         assert_eq!(a.text_start, 160);
         assert_eq!(a.cigar.read_len() as usize, 500);
@@ -300,13 +298,16 @@ mod tests {
         let lin = linear(&text);
         let mut read_string = text[100..500].to_string();
         for pos in [50usize, 180, 333] {
-            let replacement = if &read_string[pos..=pos] == "A" { "C" } else { "A" };
+            let replacement = if &read_string[pos..=pos] == "A" {
+                "C"
+            } else {
+                "A"
+            };
             read_string.replace_range(pos..=pos, replacement);
         }
         let read: DnaSeq = read_string.parse().unwrap();
         let (exact, _) = graph_dp_distance(&lin, &read, StartMode::Free).unwrap();
-        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free)
-            .unwrap();
+        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free).unwrap();
         assert_eq!(a.edit_distance, exact);
         assert!(a.edit_distance <= 3);
     }
@@ -322,8 +323,7 @@ mod tests {
         read_string.replace_range(10..11, "G");
         let read: DnaSeq = read_string.parse().unwrap();
         let (exact, _) = graph_dp_distance(&lin, &read, StartMode::Free).unwrap();
-        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free)
-            .unwrap();
+        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free).unwrap();
         assert!(a.edit_distance >= exact);
         assert!(a.edit_distance <= exact + 2, "heuristic drift too large");
     }
@@ -333,8 +333,7 @@ mod tests {
         let text = "TGCATGCA".repeat(50);
         let lin = linear(&text);
         let read: DnaSeq = text[24..324].parse().unwrap();
-        let a =
-            windowed_bitalign(&lin, &read, WindowConfig::genasm(), StartMode::Free).unwrap();
+        let a = windowed_bitalign(&lin, &read, WindowConfig::genasm(), StartMode::Free).unwrap();
         assert_eq!(a.edit_distance, 0);
     }
 
@@ -342,8 +341,7 @@ mod tests {
     fn short_pattern_falls_through_to_single_window() {
         let lin = linear("ACGTACGTACGT");
         let read: DnaSeq = "GTAC".parse().unwrap();
-        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free)
-            .unwrap();
+        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free).unwrap();
         assert_eq!(a.edit_distance, 0);
         assert_eq!(a.text_start, 2);
     }
@@ -370,8 +368,7 @@ mod tests {
         let mut read_string = text[50..450].to_string();
         read_string.replace_range(200..201, if &text[250..251] == "A" { "C" } else { "A" });
         let read: DnaSeq = read_string.parse().unwrap();
-        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free)
-            .unwrap();
+        let a = windowed_bitalign(&lin, &read, WindowConfig::bitalign(), StartMode::Free).unwrap();
         let fragment = a.ref_fragment(&lin);
         assert!(
             a.cigar.replay(&fragment, read.as_slice()).is_some(),

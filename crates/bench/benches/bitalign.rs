@@ -2,15 +2,15 @@
 //! exact graph DP (PaSGAL-like) vs Myers, across read lengths — the
 //! software-side view of the Figure 17 comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use segram_align::{
     bitalign, graph_dp_distance, myers_distance, windowed_bitalign, StartMode, WindowConfig,
 };
 use segram_graph::{build_graph, DnaSeq, LinearizedGraph};
 use segram_sim::{
-    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
-    ReadConfig, VariantConfig,
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
+    VariantConfig,
 };
+use segram_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 struct Fixture {
     lin: LinearizedGraph,
@@ -68,12 +68,7 @@ fn bench_long_alignment(c: &mut Criterion) {
     group.bench_function("windowed_bitalign_2kbp", |b| {
         b.iter(|| {
             for read in &f.reads {
-                let _ = windowed_bitalign(
-                    &f.lin,
-                    read,
-                    WindowConfig::bitalign(),
-                    StartMode::Free,
-                );
+                let _ = windowed_bitalign(&f.lin, read, WindowConfig::bitalign(), StartMode::Free);
             }
         })
     });

@@ -3,12 +3,14 @@
 //! than aligning it — this bench quantifies that ratio for each filter on
 //! true-positive and decoy candidates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use segram_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::{Rng, SeedableRng};
 
 use segram_align::{bitalign, windowed_bitalign, StartMode, WindowConfig};
-use segram_filter::{EditLowerBound, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter, BaseCountFilter};
+use segram_filter::{
+    BaseCountFilter, EditLowerBound, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter,
+};
 use segram_graph::{Base, DnaSeq, LinearizedGraph, BASES};
 
 fn random_seq(rng: &mut ChaCha8Rng, len: usize) -> Vec<Base> {
@@ -40,11 +42,9 @@ fn bench_filters(c: &mut Criterion) {
             ("shifted-hamming", &ShiftedHammingFilter),
             ("sneaky-snake", &SneakySnakeFilter),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, "positive"),
-                &positive,
-                |b, read| b.iter(|| filter.lower_bound(std::hint::black_box(read), &text, k)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, "positive"), &positive, |b, read| {
+                b.iter(|| filter.lower_bound(std::hint::black_box(read), &text, k))
+            });
             group.bench_with_input(BenchmarkId::new(name, "decoy"), &decoy, |b, read| {
                 b.iter(|| filter.lower_bound(std::hint::black_box(read), &text, k))
             });

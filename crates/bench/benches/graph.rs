@@ -2,9 +2,9 @@
 //! pre-processing step 0.1), topological sorting, linearization, and the
 //! hardware table layout.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use segram_graph::{build_graph, GraphTables, LinearizedGraph};
 use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
+use segram_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_graph_substrate(c: &mut Criterion) {
     let reference = generate_reference(&GenomeConfig::human_like(100_000, 21));

@@ -4,14 +4,16 @@
 //! bench tracks bytes-per-second for each format at realistic record
 //! shapes.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use segram_testkit::bench::{criterion_group, criterion_main, Criterion, Throughput};
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::{Rng, SeedableRng};
 
 use segram_io::{read_fasta, read_fastq, read_gaf, read_vcf, Ambiguity, VcfOptions};
 
 fn random_bases(rng: &mut ChaCha8Rng, len: usize) -> String {
-    (0..len).map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)]).collect()
+    (0..len)
+        .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0..4)])
+        .collect()
 }
 
 fn fasta_doc(rng: &mut ChaCha8Rng) -> String {

@@ -2,15 +2,14 @@
 //! (the O(m) single-loop algorithm), index construction, and full MinSeed
 //! seeding per read.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use segram_index::{
-    extract_minimizers, frequency_threshold, GraphIndex, MinSeed, MinSeedConfig,
-    MinimizerScheme,
+    extract_minimizers, frequency_threshold, GraphIndex, MinSeed, MinSeedConfig, MinimizerScheme,
 };
 use segram_sim::{
-    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
-    ReadConfig, VariantConfig,
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
+    VariantConfig,
 };
+use segram_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_minimizer_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("minimizer_extraction");

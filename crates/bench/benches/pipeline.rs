@@ -2,11 +2,9 @@
 //! vs the baseline mappers — the per-read software costs behind the
 //! Figure 15/16 throughput measurements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use segram_core::{
-    BaselineMapper, GraphAlignerLike, SegramConfig, SegramMapper, VgLike,
-};
+use segram_core::{BaselineMapper, GraphAlignerLike, SegramConfig, SegramMapper, VgLike};
 use segram_sim::DatasetConfig;
+use segram_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_end_to_end(c: &mut Criterion) {
     let dataset = DatasetConfig {

@@ -17,7 +17,7 @@ use segram_core::{SegramConfig, SegramMapper};
 use segram_filter::FilterSpec;
 use segram_hw::{SeedWorkload, SegramSystem};
 use segram_sim::Dataset;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct FilterRow {
@@ -135,10 +135,20 @@ fn run_dataset(dataset: &Dataset, base: SegramConfig, tolerance: u64) -> FilterA
 }
 
 fn print_ablation(ablation: &FilterAblation) {
-    println!("\n  dataset: {} ({} reads)", ablation.dataset, ablation.reads);
+    println!(
+        "\n  dataset: {} ({} reads)",
+        ablation.dataset, ablation.reads
+    );
     println!(
         "  {:<16} {:>9} {:>12} {:>8} {:>9} {:>12} {:>14} {:>9}",
-        "filter", "reject %", "regions/read", "mapped", "accurate", "software ms", "model reads/s", "speedup"
+        "filter",
+        "reject %",
+        "regions/read",
+        "mapped",
+        "accurate",
+        "software ms",
+        "model reads/s",
+        "speedup"
     );
     for row in &ablation.rows {
         println!(

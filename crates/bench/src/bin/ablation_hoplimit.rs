@@ -13,7 +13,7 @@ use segram_bench::{header, write_results, Scale};
 use segram_core::{SegramConfig, SegramMapper};
 use segram_graph::LinearizedGraph;
 use segram_hw::REGFILE_AREA_MM2_PER_KB;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct HopLimitRow {
@@ -61,14 +61,12 @@ fn main() {
     );
     let mut rows = Vec::new();
     for hop_limit in [1u32, 2, 4, 8, 12, 16, 24] {
-        let coverage =
-            segram_graph::hop_coverage(dataset.graph(), hop_limit).expect("non-empty");
+        let coverage = segram_graph::hop_coverage(dataset.graph(), hop_limit).expect("non-empty");
         let mut exact_hits = 0usize;
         let mut inflation_sum = 0.0f64;
         for (lin, read, exact) in &pairs {
             let (limited, _) = lin.with_hop_limit(hop_limit);
-            let (d, _) =
-                graph_dp_distance(&limited, read, StartMode::Free).expect("non-empty");
+            let (d, _) = graph_dp_distance(&limited, read, StartMode::Free).expect("non-empty");
             if d == *exact {
                 exact_hits += 1;
             }

@@ -8,7 +8,7 @@
 
 use segram_bench::{header, write_results};
 use segram_hw::{HbmConfig, SeedWorkload, SegramAccelerator, SegramSystem};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct ScalingSweep {
@@ -29,7 +29,10 @@ fn main() {
     };
 
     header("Scaling dimension 3: accelerators (one per HBM channel)");
-    println!("  {:>13} {:>16} {:>10}", "accelerators", "reads/s", "linear?");
+    println!(
+        "  {:>13} {:>16} {:>10}",
+        "accelerators", "reads/s", "linear?"
+    );
     let mut accel_rows = Vec::new();
     let mut base = 0.0;
     for stacks in [1usize, 2, 4, 8] {
@@ -86,12 +89,8 @@ fn main() {
     let demand = acc.bandwidth_demand_bytes_per_s(&workload, &hbm) / 1e9;
     let capacity = hbm.channel_bw_bytes_per_ns;
     let saturation = (capacity / demand).floor() as usize;
-    println!(
-        "  per-read-stream demand: {demand:.2} GB/s (paper: 3.4 GB/s) of {capacity:.0} GB/s"
-    );
-    println!(
-        "  a channel could feed ~{saturation} read streams before saturating;"
-    );
+    println!("  per-read-stream demand: {demand:.2} GB/s (paper: 3.4 GB/s) of {capacity:.0} GB/s");
+    println!("  a channel could feed ~{saturation} read streams before saturating;");
     println!("  the paper runs 1 per channel, far below saturation -> linear scaling.");
 
     write_results(

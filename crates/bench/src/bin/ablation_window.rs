@@ -11,7 +11,7 @@ use segram_align::{graph_dp_distance, windowed_bitalign, StartMode, WindowConfig
 use segram_bench::{header, write_results, Scale};
 use segram_graph::LinearizedGraph;
 use segram_hw::BitAlignHwConfig;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct WindowRow {
@@ -49,7 +49,11 @@ fn main() {
     let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars()).expect("non-empty");
     let exact: Vec<u32> = reads
         .iter()
-        .map(|r| graph_dp_distance(&lin, &r.seq, StartMode::Free).expect("aligns").0)
+        .map(|r| {
+            graph_dp_distance(&lin, &r.seq, StartMode::Free)
+                .expect("aligns")
+                .0
+        })
         .collect();
 
     header("Ablation: window size / overlap sweep (1.5 kbp reads at 5% error)");
@@ -93,7 +97,11 @@ fn main() {
             windows_10kbp: hw.window_count(10_000),
             exact_fraction: exact_hits as f64 / reads.len() as f64,
         };
-        let marker = if (window, overlap) == (128, 48) { "  <- paper" } else { "" };
+        let marker = if (window, overlap) == (128, 48) {
+            "  <- paper"
+        } else {
+            ""
+        };
         println!(
             "  {:>6} {:>8} {:>14} {:>12} {:>11.0}%{}",
             row.window,

@@ -16,12 +16,12 @@
 
 use segram_bench::{header, write_results, Scale};
 use segram_core::{evaluate, SegramConfig, SegramMapper};
-use segram_sim::{
-    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
-    ReadConfig, VariantConfig,
-};
 use segram_graph::build_graph;
-use serde::Serialize;
+use segram_sim::{
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
+    VariantConfig,
+};
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct DensityRow {
@@ -52,12 +52,19 @@ fn main() {
     let mut rows = Vec::new();
     println!(
         "  {:>9} {:>9} {:>10} {:>12} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "var/kbp", "variants", "S2G map%", "S2G sens%", "paired", "injected", "S2G edits", "S2S edits", "bias"
+        "var/kbp",
+        "variants",
+        "S2G map%",
+        "S2G sens%",
+        "paired",
+        "injected",
+        "S2G edits",
+        "S2S edits",
+        "bias"
     );
 
     for &density in &[0.5e-3, 1.0e-3, 1.0 / 450.0, 4.0e-3, 8.0e-3] {
-        let reference =
-            generate_reference(&GenomeConfig::human_like(scale.reference_len, 971));
+        let reference = generate_reference(&GenomeConfig::human_like(scale.reference_len, 971));
         let mut var_config = VariantConfig::human_like(972);
         var_config.density = density;
         let variants = simulate_variants(&reference, &var_config);

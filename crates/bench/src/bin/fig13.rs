@@ -9,7 +9,7 @@
 use segram_bench::{header, write_results, Scale};
 use segram_graph::{build_graph, hop_coverage};
 use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct Fig13 {
@@ -56,9 +56,9 @@ fn main() {
         coverage_by_limit.push((limit, c, cr));
     }
     match min99 {
-        Some(l) => println!(
-            "\n  99% coverage reached at hop limit {l} (paper: limit 12 covers >99%)"
-        ),
+        Some(l) => {
+            println!("\n  99% coverage reached at hop limit {l} (paper: limit 12 covers >99%)")
+        }
         None => println!("\n  99% not reached by limit 24 (heavier SV tail than the paper's data)"),
     }
     println!("  The long tail comes from structural variants; SNP/indel hops");

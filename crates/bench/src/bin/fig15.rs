@@ -13,7 +13,7 @@
 use segram_bench::experiments::{figure_row, print_rows, PowerComparison};
 use segram_bench::{header, row, write_results, Scale};
 use segram_core::SegramConfig;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct Fig15 {
@@ -47,10 +47,7 @@ fn main() {
     let t10 = rows[1].segram_system_reads_per_s;
     row(
         "SeGraM throughput 5% vs 10% error",
-        format!(
-            "{:.0} vs {:.0} reads/s (paper: nearly equal)",
-            t5, t10
-        ),
+        format!("{:.0} vs {:.0} reads/s (paper: nearly equal)", t5, t10),
     );
     row(
         "per-seed latency (paper: 35.9/37.5 us at full scale)",
@@ -63,7 +60,11 @@ fn main() {
     );
     row(
         "SeGraM accuracy vs truth",
-        format!("{:.0}% / {:.0}%", rows[0].segram_accuracy * 100.0, rows[1].segram_accuracy * 100.0),
+        format!(
+            "{:.0}% / {:.0}%",
+            rows[0].segram_accuracy * 100.0,
+            rows[1].segram_accuracy * 100.0
+        ),
     );
 
     write_results(

@@ -8,7 +8,7 @@
 use segram_bench::experiments::{figure_row, print_rows, PowerComparison};
 use segram_bench::{header, row, write_results, Scale};
 use segram_core::SegramConfig;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct Fig16 {
@@ -52,7 +52,11 @@ fn main() {
     let monotone = speedups[0] >= speedups[2];
     row(
         "shape holds?",
-        if monotone { "yes" } else { "no (see EXPERIMENTS.md)" },
+        if monotone {
+            "yes"
+        } else {
+            "no (see EXPERIMENTS.md)"
+        },
     );
 
     write_results(

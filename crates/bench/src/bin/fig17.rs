@@ -16,7 +16,7 @@ use segram_bench::{header, ratio, timed, write_results, Scale};
 use segram_core::{SegramConfig, SegramMapper};
 use segram_graph::LinearizedGraph;
 use segram_hw::BitAlignHwConfig;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct Fig17Row {
@@ -39,7 +39,14 @@ struct Fig17 {
 fn main() {
     let scale = Scale::from_env();
     // Region suite scaled: LRC/MHC graphs with dense variants.
-    let suite = segram_sim::pasgal_suite(if scale.reference_len > 1_000_000 { 4 } else { 32 }, 171);
+    let suite = segram_sim::pasgal_suite(
+        if scale.reference_len > 1_000_000 {
+            4
+        } else {
+            32
+        },
+        171,
+    );
     header("Figure 17: BitAlign vs PaSGAL (sequence-to-graph alignment)");
     println!(
         "  {:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>9} {:>9}",
@@ -61,9 +68,7 @@ fn main() {
         for read in region.reads.iter().take(read_cap) {
             let seeding = mapper.seed(&read.seq);
             if let Some(r) = seeding.regions.first() {
-                if let Ok(lin) =
-                    LinearizedGraph::extract(&region.built.graph, r.start, r.end)
-                {
+                if let Ok(lin) = LinearizedGraph::extract(&region.built.graph, r.start, r.end) {
                     pairs.push((lin, read.seq.clone()));
                 }
             }

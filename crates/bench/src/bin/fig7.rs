@@ -9,9 +9,11 @@
 
 use segram_bench::{header, write_results, Scale};
 use segram_graph::build_graph;
-use segram_index::{GraphIndex, MinimizerScheme, BUCKET_ENTRY_BYTES, LOCATION_ENTRY_BYTES, MINIMIZER_ENTRY_BYTES};
+use segram_index::{
+    GraphIndex, MinimizerScheme, BUCKET_ENTRY_BYTES, LOCATION_ENTRY_BYTES, MINIMIZER_ENTRY_BYTES,
+};
 use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct SweepPoint {
@@ -34,7 +36,9 @@ fn main() {
     let scale = Scale::from_env();
     let reference = generate_reference(&GenomeConfig::human_like(scale.reference_len, 7));
     let variants = simulate_variants(&reference, &VariantConfig::human_like(8));
-    let graph = build_graph(&reference, variants).expect("synthetic inputs").graph;
+    let graph = build_graph(&reference, variants)
+        .expect("synthetic inputs")
+        .graph;
     let index = GraphIndex::build(&graph, MinimizerScheme::new(10, 15), 20);
 
     header(&format!(

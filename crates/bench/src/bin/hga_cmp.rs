@@ -14,7 +14,7 @@ use segram_bench::experiments::run_software;
 use segram_bench::{header, ratio, write_results};
 use segram_core::{measure_workload, HgaLike, SegramConfig, SegramMapper};
 use segram_hw::SegramSystem;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct HgaRow {
@@ -91,13 +91,15 @@ fn main() {
     }
 
     header("Shape checks against the paper");
-    println!(
-        "  paper speedups: 523x (R1) / 85x (R2) / 17x (R3) — decreasing with read length"
-    );
+    println!("  paper speedups: 523x (R1) / 85x (R2) / 17x (R3) — decreasing with read length");
     let decreasing = rows.windows(2).all(|w| w[0].speedup >= w[1].speedup);
     println!(
         "  measured speedups decrease with read length: {}",
-        if decreasing { "yes" } else { "no (see EXPERIMENTS.md)" }
+        if decreasing {
+            "yes"
+        } else {
+            "no (see EXPERIMENTS.md)"
+        }
     );
     println!(
         "  measured: {} / {} / {}",

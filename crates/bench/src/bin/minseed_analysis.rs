@@ -11,7 +11,7 @@
 
 use segram_bench::{header, row, write_results, Scale};
 use segram_core::{measure_workload, SegramConfig, SegramMapper};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct MinSeedRow {
@@ -35,12 +35,25 @@ fn main() {
     header("Section 11.4: MinSeed seed-count analysis");
     println!(
         "  {:<20} {:>8} {:>11} {:>11} {:>12} {:>11} {:>10} {:>9}",
-        "dataset", "reads", "minimizers", "surviving", "seeds(raw)", "seeds", "clusters", "accuracy"
+        "dataset",
+        "reads",
+        "minimizers",
+        "surviving",
+        "seeds(raw)",
+        "seeds",
+        "clusters",
+        "accuracy"
     );
 
     let datasets = [
-        (scale.dataset_config(201).pacbio_5(), SegramConfig::long_reads(0.05)),
-        (scale.dataset_config(202).illumina(150), SegramConfig::short_reads()),
+        (
+            scale.dataset_config(201).pacbio_5(),
+            SegramConfig::long_reads(0.05),
+        ),
+        (
+            scale.dataset_config(202).illumina(150),
+            SegramConfig::short_reads(),
+        ),
     ];
     let mut rows = Vec::new();
     for (dataset, config) in &datasets {
@@ -53,8 +66,7 @@ fn main() {
         // "77 M" corresponds to before MinSeed's 0.02% rule cuts it down.
         let mut unfiltered_config = measure_config;
         unfiltered_config.discard_frac = 0.0;
-        let unfiltered_mapper =
-            SegramMapper::new(dataset.graph().clone(), unfiltered_config);
+        let unfiltered_mapper = SegramMapper::new(dataset.graph().clone(), unfiltered_config);
         let mut seeds_unfiltered = 0usize;
         // Chaining surrogate: overlapping-region clusters per read, the
         // quantity GraphAligner's chaining reduces seeds to.

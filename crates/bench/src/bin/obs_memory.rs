@@ -10,13 +10,13 @@
 //! Traces are generated from the actual data-structure layouts (Figures 5
 //! and 6 byte formulas) at the experiment scale.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use segram_bench::{header, write_results, Scale};
 use segram_core::{SegramConfig, SegramMapper};
 use segram_hw::{CacheConfig, CacheSim, CacheStats};
 use segram_index::extract_minimizers;
-use serde::Serialize;
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::{Rng, SeedableRng};
+use segram_testkit::Serialize;
 
 /// A three-level inclusive cache hierarchy: L1 misses go to L2, L2 misses
 /// to L3, L3 misses to DRAM.
@@ -213,7 +213,11 @@ fn main() {
     for row in &rows {
         println!(
             "  {:<36} {:>11} {:>8.1}% {:>8.1}% {:>9.1}% {:>8.1}%",
-            row.trace, row.accesses, row.l1_miss_pct, row.l2_miss_pct, row.l3_miss_pct,
+            row.trace,
+            row.accesses,
+            row.l1_miss_pct,
+            row.l2_miss_pct,
+            row.l3_miss_pct,
             row.overall_miss_pct
         );
     }

@@ -13,7 +13,7 @@
 use segram_bench::experiments::run_software;
 use segram_bench::{header, row, write_results, Scale};
 use segram_core::{map_with_threads, GraphAlignerLike, SegramConfig, SegramMapper, VgLike};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct ScalingPoint {
@@ -61,7 +61,10 @@ fn main() {
         .unwrap_or(4);
     let mut scaling = Vec::new();
     let mut base_seconds = 0.0;
-    println!("  {:>9} {:>10} {:>9} {:>11}", "threads", "seconds", "speedup", "efficiency");
+    println!(
+        "  {:>9} {:>10} {:>9} {:>11}",
+        "threads", "seconds", "speedup", "efficiency"
+    );
     for threads in [1usize, 2, 4, 8] {
         if threads > threads_available * 2 {
             break;
@@ -83,9 +86,7 @@ fn main() {
             efficiency,
         });
     }
-    println!(
-        "\n  paper: parallel efficiency does not exceed 0.4 at 40 threads on a"
-    );
+    println!("\n  paper: parallel efficiency does not exceed 0.4 at 40 threads on a");
     println!("  20-core Xeon; small inputs and shared caches keep ours sublinear too.");
 
     write_results(

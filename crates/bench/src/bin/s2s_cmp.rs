@@ -12,7 +12,7 @@
 
 use segram_bench::{header, row, write_results};
 use segram_hw::BitAlignHwConfig;
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct S2sCmp {
@@ -63,12 +63,21 @@ fn main() {
     );
 
     header("Short-read cycle comparison (model)");
-    println!("  {:>9} {:>14} {:>14} {:>9}", "read bp", "BitAlign cyc", "GenASM cyc", "speedup");
+    println!(
+        "  {:>9} {:>14} {:>14} {:>9}",
+        "read bp", "BitAlign cyc", "GenASM cyc", "speedup"
+    );
     let mut short_rows = Vec::new();
     for len in [100usize, 150, 250] {
         let b = bitalign.cycles_per_alignment(len);
         let g = genasm.cycles_per_alignment(len);
-        println!("  {:>9} {:>14} {:>14} {:>8.2}x", len, b, g, g as f64 / b as f64);
+        println!(
+            "  {:>9} {:>14} {:>14} {:>8.2}x",
+            len,
+            b,
+            g,
+            g as f64 / b as f64
+        );
         short_rows.push((len, b, g));
     }
     println!("  (paper: 1.3x average for short reads)");
@@ -77,9 +86,18 @@ fn main() {
     println!("  Darwin-GACT and GenAx-SillaX numbers are not reproducible without");
     println!("  their simulators; the paper itself uses 'the numbers reported by");
     println!("  the papers'. We echo those anchors (see DESIGN.md substitutions):");
-    row("BitAlign vs GACT (long reads)", "4.8x throughput, 2.7x power, 1.5x area (paper)");
-    row("BitAlign vs SillaX (short reads)", "2.4x throughput (paper)");
-    row("BitAlign vs GenASM power/area", "7.5x power, 2.6x area (paper; fixed per design)");
+    row(
+        "BitAlign vs GACT (long reads)",
+        "4.8x throughput, 2.7x power, 1.5x area (paper)",
+    );
+    row(
+        "BitAlign vs SillaX (short reads)",
+        "2.4x throughput (paper)",
+    );
+    row(
+        "BitAlign vs GenASM power/area",
+        "7.5x power, 2.6x area (paper; fixed per design)",
+    );
 
     write_results(
         "s2s_cmp",

@@ -6,7 +6,7 @@
 
 use segram_bench::{header, row, write_results};
 use segram_hw::{system_cost, AcceleratorCost, HbmConfig};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 #[derive(Serialize)]
 struct ComponentRow {
@@ -37,13 +37,22 @@ fn main() {
         ("MinSeed logic", cost.minseed_logic),
         ("MinSeed scratchpads (6+40+4 kB)", cost.minseed_scratchpads),
         ("BitAlign PE datapaths (64 x 128b)", cost.bitalign_pe_logic),
-        ("BitAlign hop queue registers (12 kB)", cost.bitalign_hop_queues),
+        (
+            "BitAlign hop queue registers (12 kB)",
+            cost.bitalign_hop_queues,
+        ),
         ("BitAlign traceback logic", cost.bitalign_traceback),
-        ("BitAlign scratchpads (24+128 kB)", cost.bitalign_scratchpads),
+        (
+            "BitAlign scratchpads (24+128 kB)",
+            cost.bitalign_scratchpads,
+        ),
     ];
 
     header("Table 1: SeGraM area & power breakdown (28 nm, 1 GHz)");
-    println!("  {:<38} {:>10} {:>10}", "component", "area mm2", "power mW");
+    println!(
+        "  {:<38} {:>10} {:>10}",
+        "component", "area mm2", "power mW"
+    );
     for (name, c) in &components {
         println!("  {:<38} {:>10.3} {:>10.1}", name, c.area_mm2, c.power_mw);
     }
@@ -81,14 +90,23 @@ fn main() {
         ),
     );
     row("paper: total with HBM", "28.1 W");
-    row("model: total with HBM", format!("{:.1} W", sys.total_power_w));
+    row(
+        "model: total with HBM",
+        format!("{:.1} W", sys.total_power_w),
+    );
     row(
         "hop queues / edit-distance logic area",
-        format!("{:.0}% (paper: >60%)", cost.hop_queue_area_fraction() * 100.0),
+        format!(
+            "{:.0}% (paper: >60%)",
+            cost.hop_queue_area_fraction() * 100.0
+        ),
     );
     row(
         "hop queues / edit-distance logic power",
-        format!("{:.0}% (paper: >60%)", cost.hop_queue_power_fraction() * 100.0),
+        format!(
+            "{:.0}% (paper: >60%)",
+            cost.hop_queue_power_fraction() * 100.0
+        ),
     );
 
     write_results(

@@ -2,12 +2,11 @@
 //! (Figures 15 and 16, and the HGA comparison).
 
 use segram_core::{
-    measure_workload, BaselineMapper, SegramConfig, SegramMapper, StepTimes,
-    WorkloadMeasurement,
+    measure_workload, BaselineMapper, SegramConfig, SegramMapper, StepTimes, WorkloadMeasurement,
 };
 use segram_hw::SegramSystem;
 use segram_sim::{Dataset, SimulatedRead};
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 /// Measured throughput of one mapper over one dataset.
 #[derive(Clone, Debug, Serialize)]

@@ -13,7 +13,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use segram_testkit::Serialize;
 
 /// Scale knobs shared by the experiment binaries. The paper's inputs
 /// (3.1 Gbp reference, 10 000 reads of 10 kbp) are scaled down so each
@@ -68,7 +68,7 @@ pub fn write_results<T: Serialize>(name: &str, payload: &T) {
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
     let mut file = std::fs::File::create(&path).expect("create results file");
-    let json = serde_json::to_string_pretty(payload).expect("serialize results");
+    let json = segram_testkit::json::to_string_pretty(payload).expect("serialize results");
     file.write_all(json.as_bytes()).expect("write results");
     println!("\n[results written to {}]", path.display());
 }

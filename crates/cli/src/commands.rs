@@ -13,12 +13,12 @@ use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
 use segram_index::{GraphIndex, MinimizerScheme};
 use segram_io::{
-    phred_from_error_rate, read_fasta, read_fastq, read_vcf, write_fasta, write_fastq,
-    write_gaf, write_vcf, Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions,
+    phred_from_error_rate, read_fasta, read_fastq, read_vcf, write_fasta, write_fastq, write_gaf,
+    write_vcf, Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions,
 };
 use segram_sim::{
-    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig,
-    ReadConfig, VariantConfig,
+    generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
+    VariantConfig,
 };
 
 use crate::args::Options;
@@ -191,7 +191,10 @@ pub fn index(options: &Options) -> Result<String, CliError> {
         "graph: {} nodes, {} edges, {} chars -> {} bytes (32 B/node + 2 bit/char + 4 B/edge)",
         stats.node_count, stats.edge_count, stats.total_chars, graph_bytes
     );
-    let _ = writeln!(report, "index (<w,k> = <{w},{k}>, 2^{bucket_bits} buckets):");
+    let _ = writeln!(
+        report,
+        "index (<w,k> = <{w},{k}>, 2^{bucket_bits} buckets):"
+    );
     let _ = writeln!(
         report,
         "  level 1 (buckets):    {:>12} bytes",
@@ -427,11 +430,8 @@ pub fn simulate(options: &Options) -> Result<String, CliError> {
     let fastq: Vec<FastqRecord> = reads
         .iter()
         .map(|r| {
-            let mut record = FastqRecord::with_uniform_quality(
-                format!("read{}", r.id),
-                r.seq.clone(),
-                phred,
-            );
+            let mut record =
+                FastqRecord::with_uniform_quality(format!("read{}", r.id), r.seq.clone(), phred);
             record.description = format!(
                 "truth:linear={} strand={:?} errors={}",
                 r.true_start_linear, r.strand, r.injected_errors

@@ -11,10 +11,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "segram-cli-test-{tag}-{}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("segram-cli-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&path);
         fs::create_dir_all(&path).expect("create temp dir");
         Self(path)
@@ -44,11 +42,16 @@ fn full_pipeline_simulate_construct_index_map() {
     // 1. simulate a small bundle.
     let report = run(&[
         "simulate",
-        "--out-prefix", &prefix,
-        "--length", "30000",
-        "--reads", "12",
-        "--read-len", "120",
-        "--seed", "7",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "30000",
+        "--reads",
+        "12",
+        "--read-len",
+        "120",
+        "--seed",
+        "7",
     ])
     .expect("simulate");
     assert!(report.contains("wrote"), "{report}");
@@ -64,15 +67,21 @@ fn full_pipeline_simulate_construct_index_map() {
     let graph2 = dir.path("rebuilt.gfa");
     let report = run(&[
         "construct",
-        "--reference", &format!("{prefix}.fa"),
-        "--vcf", &format!("{prefix}.vcf"),
-        "--output", &graph2,
+        "--reference",
+        &format!("{prefix}.fa"),
+        "--vcf",
+        &format!("{prefix}.vcf"),
+        "--output",
+        &graph2,
     ])
     .expect("construct");
     assert!(report.contains("variants embedded"), "{report}");
     let original = fs::read_to_string(format!("{prefix}.gfa")).unwrap();
     let rebuilt = fs::read_to_string(&graph2).unwrap();
-    assert_eq!(original, rebuilt, "construct must reproduce the simulated graph");
+    assert_eq!(
+        original, rebuilt,
+        "construct must reproduce the simulated graph"
+    );
 
     // 3. index the graph.
     let report = run(&["index", "--graph", &graph2, "--buckets", "14"]).expect("index");
@@ -83,16 +92,24 @@ fn full_pipeline_simulate_construct_index_map() {
     let sam_path = dir.path("out.sam");
     let report = run(&[
         "map",
-        "--graph", &graph2,
-        "--reads", &format!("{prefix}.fq"),
-        "--format", "sam",
-        "--output", &sam_path,
+        "--graph",
+        &graph2,
+        "--reads",
+        &format!("{prefix}.fq"),
+        "--format",
+        "sam",
+        "--output",
+        &sam_path,
         "--both-strands",
     ])
     .expect("map sam");
     assert!(report.contains("mapped"), "{report}");
     let sam = fs::read_to_string(&sam_path).unwrap();
-    assert!(sam.starts_with("@HD"), "SAM header missing: {}", &sam[..40.min(sam.len())]);
+    assert!(
+        sam.starts_with("@HD"),
+        "SAM header missing: {}",
+        &sam[..40.min(sam.len())]
+    );
     let mapped_lines = sam.lines().filter(|l| !l.starts_with('@')).count();
     assert_eq!(mapped_lines, 12, "one record per read");
 
@@ -100,11 +117,16 @@ fn full_pipeline_simulate_construct_index_map() {
     let gaf_path = dir.path("out.gaf");
     let report = run(&[
         "map",
-        "--graph", &graph2,
-        "--reads", &format!("{prefix}.fq"),
-        "--format", "gaf",
-        "--filter", "cascade",
-        "--output", &gaf_path,
+        "--graph",
+        &graph2,
+        "--reads",
+        &format!("{prefix}.fq"),
+        "--format",
+        "gaf",
+        "--filter",
+        "cascade",
+        "--output",
+        &gaf_path,
         "--both-strands",
     ])
     .expect("map gaf");
@@ -118,6 +140,114 @@ fn full_pipeline_simulate_construct_index_map() {
         assert!(rec.pend <= rec.plen);
         assert!(!rec.cigar.is_empty());
     }
+}
+
+/// True end-to-end smoke test: runs the compiled `segram` binary (not the
+/// in-process `dispatch`) over a tiny simulated dataset and checks exit
+/// codes plus the shape of the SAM/GAF files it writes.
+#[test]
+fn built_binary_end_to_end_smoke() {
+    use std::process::Command;
+
+    let binary = env!("CARGO_BIN_EXE_segram");
+    let dir = TempDir::new("binary");
+    let prefix = dir.path("smoke");
+
+    let simulate = Command::new(binary)
+        .args([
+            "simulate",
+            "--out-prefix",
+            &prefix,
+            "--length",
+            "20000",
+            "--reads",
+            "8",
+            "--read-len",
+            "100",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .expect("run segram simulate");
+    assert!(
+        simulate.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&simulate.stderr)
+    );
+    assert!(String::from_utf8_lossy(&simulate.stdout).contains("wrote"));
+
+    // Map to SAM with the binary and validate the output document shape.
+    let sam_path = dir.path("smoke.sam");
+    let map = Command::new(binary)
+        .args([
+            "map",
+            "--graph",
+            &format!("{prefix}.gfa"),
+            "--reads",
+            &format!("{prefix}.fq"),
+            "--format",
+            "sam",
+            "--output",
+            &sam_path,
+            "--both-strands",
+        ])
+        .output()
+        .expect("run segram map (sam)");
+    assert!(
+        map.status.success(),
+        "map failed: {}",
+        String::from_utf8_lossy(&map.stderr)
+    );
+    let sam = fs::read_to_string(&sam_path).unwrap();
+    assert!(
+        sam.starts_with("@HD\t"),
+        "missing SAM header: {}",
+        &sam[..40.min(sam.len())]
+    );
+    assert!(
+        sam.lines().any(|l| l.starts_with("@SQ\t")),
+        "missing @SQ line"
+    );
+    let records = sam.lines().filter(|l| !l.starts_with('@')).count();
+    assert_eq!(records, 8, "one SAM record per read:\n{sam}");
+    for line in sam.lines().filter(|l| !l.starts_with('@')) {
+        assert!(line.split('\t').count() >= 11, "short SAM line: {line}");
+    }
+
+    // Map to GAF and validate with the workspace's own parser.
+    let gaf_path = dir.path("smoke.gaf");
+    let map = Command::new(binary)
+        .args([
+            "map",
+            "--graph",
+            &format!("{prefix}.gfa"),
+            "--reads",
+            &format!("{prefix}.fq"),
+            "--format",
+            "gaf",
+            "--output",
+            &gaf_path,
+            "--both-strands",
+        ])
+        .output()
+        .expect("run segram map (gaf)");
+    assert!(map.status.success());
+    let gaf = segram_io::read_gaf(&fs::read_to_string(&gaf_path).unwrap())
+        .expect("binary GAF output must re-parse");
+    assert!(gaf.len() >= 6, "only {}/8 reads mapped", gaf.len());
+
+    // Exit codes: 2 for usage errors, 1 for I/O errors, 0 for help.
+    let usage = Command::new(binary).arg("frobnicate").output().unwrap();
+    assert_eq!(usage.status.code(), Some(2));
+    let io_error = Command::new(binary)
+        .args(["index", "--graph", &dir.path("missing.gfa")])
+        .output()
+        .unwrap();
+    assert_eq!(io_error.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&io_error.stderr).contains("missing.gfa"));
+    let help = Command::new(binary).arg("help").output().unwrap();
+    assert_eq!(help.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&help.stdout).contains("COMMANDS"));
 }
 
 #[test]
@@ -151,8 +281,10 @@ fn io_and_format_errors_are_reported_with_paths() {
     fs::write(&bad, ">x\nACGTN\n").unwrap();
     let err = run(&[
         "construct",
-        "--reference", &bad,
-        "--output", &dir.path("g.gfa"),
+        "--reference",
+        &bad,
+        "--output",
+        &dir.path("g.gfa"),
     ])
     .unwrap_err();
     assert!(err.to_string().contains("bad.fa"), "{err}");
@@ -161,8 +293,10 @@ fn io_and_format_errors_are_reported_with_paths() {
     // --lenient rescues the same input.
     run(&[
         "construct",
-        "--reference", &bad,
-        "--output", &dir.path("g.gfa"),
+        "--reference",
+        &bad,
+        "--output",
+        &dir.path("g.gfa"),
         "--lenient",
     ])
     .expect("lenient construct");
@@ -174,21 +308,30 @@ fn map_results_land_near_simulated_truth() {
     let prefix = dir.path("t");
     run(&[
         "simulate",
-        "--out-prefix", &prefix,
-        "--length", "40000",
-        "--reads", "15",
-        "--read-len", "150",
-        "--seed", "21",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "40000",
+        "--reads",
+        "15",
+        "--read-len",
+        "150",
+        "--seed",
+        "21",
     ])
     .expect("simulate");
 
     let gaf_path = dir.path("t.gaf");
     run(&[
         "map",
-        "--graph", &format!("{prefix}.gfa"),
-        "--reads", &format!("{prefix}.fq"),
-        "--format", "gaf",
-        "--output", &gaf_path,
+        "--graph",
+        &format!("{prefix}.gfa"),
+        "--reads",
+        &format!("{prefix}.fq"),
+        "--format",
+        "gaf",
+        "--output",
+        &gaf_path,
         "--both-strands",
     ])
     .expect("map");
@@ -209,9 +352,17 @@ fn map_results_land_near_simulated_truth() {
     );
     let mut checked = 0;
     for rec in &gaf {
-        let read = fastq.iter().find(|r| r.id == rec.qname).expect("known read");
+        let read = fastq
+            .iter()
+            .find(|r| r.id == rec.qname)
+            .expect("known read");
         // identity should be high for 1%-error reads.
-        assert!(rec.identity() > 0.9, "{}: identity {}", rec.qname, rec.identity());
+        assert!(
+            rec.identity() > 0.9,
+            "{}: identity {}",
+            rec.qname,
+            rec.identity()
+        );
         let _ = read;
         checked += 1;
     }
@@ -226,28 +377,38 @@ fn linear_reference_without_vcf_maps_as_s2s() {
     let prefix = dir.path("lin");
     run(&[
         "simulate",
-        "--out-prefix", &prefix,
-        "--length", "20000",
-        "--reads", "8",
-        "--read-len", "100",
-        "--seed", "3",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "20000",
+        "--reads",
+        "8",
+        "--read-len",
+        "100",
+        "--seed",
+        "3",
     ])
     .expect("simulate");
 
     let linear_gfa = dir.path("linear.gfa");
     run(&[
         "construct",
-        "--reference", &format!("{prefix}.fa"),
-        "--output", &linear_gfa,
+        "--reference",
+        &format!("{prefix}.fa"),
+        "--output",
+        &linear_gfa,
     ])
     .expect("construct without VCF");
 
     let out = dir.path("s2s.sam");
     let report = run(&[
         "map",
-        "--graph", &linear_gfa,
-        "--reads", &format!("{prefix}.fq"),
-        "--output", &out,
+        "--graph",
+        &linear_gfa,
+        "--reads",
+        &format!("{prefix}.fq"),
+        "--output",
+        &out,
         "--both-strands",
     ])
     .expect("map against linear graph");
@@ -260,5 +421,8 @@ fn linear_reference_without_vcf_maps_as_s2s() {
         .filter(|l| !l.starts_with('@'))
         .filter(|l| l.split('\t').nth(1) != Some("4"))
         .count();
-    assert!(mapped >= 6, "only {mapped}/8 reads mapped in S2S mode:\n{sam}");
+    assert!(
+        mapped >= 6,
+        "only {mapped}/8 reads mapped in S2S mode:\n{sam}"
+    );
 }

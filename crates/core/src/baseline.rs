@@ -303,8 +303,8 @@ impl HgaLike {
     ///
     /// Panics when the graph is empty.
     pub fn new(graph: GenomeGraph) -> Self {
-        let lin = LinearizedGraph::extract(&graph, 0, graph.total_chars())
-            .expect("non-empty graph");
+        let lin =
+            LinearizedGraph::extract(&graph, 0, graph.total_chars()).expect("non-empty graph");
         Self { graph, lin }
     }
 
@@ -357,8 +357,7 @@ mod tests {
     #[test]
     fn graphaligner_like_maps_short_reads() {
         let dataset = DatasetConfig::tiny(61).illumina(100);
-        let mapper =
-            GraphAlignerLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let mapper = GraphAlignerLike::new(dataset.graph().clone(), SegramConfig::short_reads());
         let (acc, times) = accuracy(&mapper, &dataset);
         assert!(acc > 0.8, "accuracy {acc}");
         assert!(times.total() > Duration::ZERO);

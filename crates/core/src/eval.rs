@@ -58,7 +58,11 @@ impl Evaluation {
     /// above 1.0 indicate residual reference bias or mis-mappings).
     pub fn edit_inflation(&self) -> f64 {
         if self.total_injected_errors == 0 {
-            return if self.total_edits == 0 { 1.0 } else { f64::INFINITY };
+            return if self.total_edits == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.total_edits as f64 / self.total_injected_errors as f64
     }
@@ -101,11 +105,7 @@ pub fn evaluate(mapper: &SegramMapper, reads: &[SimulatedRead], tolerance: u64) 
 /// Seeding sensitivity (§11.4): fraction of reads for which MinSeed keeps
 /// at least one seed region covering the true location — independent of
 /// the alignment step.
-pub fn seeding_sensitivity(
-    mapper: &SegramMapper,
-    reads: &[SimulatedRead],
-    tolerance: u64,
-) -> f64 {
+pub fn seeding_sensitivity(mapper: &SegramMapper, reads: &[SimulatedRead], tolerance: u64) -> f64 {
     if reads.is_empty() {
         return 0.0;
     }
@@ -113,9 +113,11 @@ pub fn seeding_sensitivity(
     for read in reads {
         let result = mapper.seed(&read.seq);
         let truth = read.true_start_linear;
-        if result.regions.iter().any(|r| {
-            r.start.saturating_sub(tolerance) <= truth && truth <= r.end + tolerance
-        }) {
+        if result
+            .regions
+            .iter()
+            .any(|r| r.start.saturating_sub(tolerance) <= truth && truth <= r.end + tolerance)
+        {
             covered += 1;
         }
     }
@@ -160,7 +162,11 @@ mod tests {
         let seeding = seeding_sensitivity(&mapper, &reads, 100);
         let eval = evaluate(&mapper, &reads, 100);
         // You cannot map correctly where you never seeded.
-        assert!(seeding + 1e-9 >= eval.sensitivity(), "{seeding} vs {}", eval.sensitivity());
+        assert!(
+            seeding + 1e-9 >= eval.sensitivity(),
+            "{seeding} vs {}",
+            eval.sensitivity()
+        );
         assert!(seeding > 0.9, "seeding sensitivity {seeding}");
     }
 

@@ -39,14 +39,10 @@ mod pangenome;
 mod sam;
 mod workload;
 
-pub use baseline::{
-    BaselineMapper, BaselineMapping, GraphAlignerLike, HgaLike, StepTimes, VgLike,
-};
+pub use baseline::{BaselineMapper, BaselineMapping, GraphAlignerLike, HgaLike, StepTimes, VgLike};
 pub use config::SegramConfig;
 pub use eval::{evaluate, seeding_sensitivity, Evaluation};
+pub use mapper::{MapStats, Mapping, SegramMapper};
 pub use pangenome::{Chromosome, Pangenome, PangenomeMapping};
 pub use sam::{mapq_estimate, sam_document, SamRecord};
-pub use mapper::{MapStats, Mapping, SegramMapper};
-pub use workload::{
-    map_with_threads, measure_sequences, measure_workload, WorkloadMeasurement,
-};
+pub use workload::{map_with_threads, measure_sequences, measure_workload, WorkloadMeasurement};

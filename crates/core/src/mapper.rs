@@ -7,11 +7,9 @@ use std::time::Duration;
 use std::time::Instant;
 
 use segram_align::{
-    windowed_bitalign, Alignment, AlignError, BitAlignConfig, BitAligner, StartMode,
+    windowed_bitalign, AlignError, Alignment, BitAlignConfig, BitAligner, StartMode,
 };
-use segram_graph::{
-    linear_graph, DnaSeq, GenomeGraph, GraphError, GraphPos, LinearizedGraph,
-};
+use segram_graph::{linear_graph, DnaSeq, GenomeGraph, GraphError, GraphPos, LinearizedGraph};
 use segram_index::{frequency_threshold, GraphIndex, MinSeed, MinSeedConfig, SeedRegion};
 
 use crate::config::SegramConfig;
@@ -178,7 +176,15 @@ impl SegramMapper {
     ) -> Result<Alignment, AlignError> {
         let k = self.config.threshold_for(read.len());
         if read.len() <= self.config.window.window {
-            BitAligner::new(lin, read, BitAlignConfig { k, ..BitAlignConfig::default() })?.align()
+            BitAligner::new(
+                lin,
+                read,
+                BitAlignConfig {
+                    k,
+                    ..BitAlignConfig::default()
+                },
+            )?
+            .align()
         } else {
             let mut window = self.config.window;
             window.window_k = window.window_k.max(window.overlap as u32);
@@ -235,8 +241,7 @@ impl SegramMapper {
         // linear-coordinate window (e.g. a hop across a structural-variant
         // deletion, whose deleted characters sit inline in the
         // linearization), so the region is retried wider.
-        let plausible =
-            ((read.len() as f64) * self.config.error_rate * 1.5).ceil() as u32 + 4;
+        let plausible = ((read.len() as f64) * self.config.error_rate * 1.5).ceil() as u32 + 4;
         let filter_k = self.config.threshold_for(read.len()).max(plausible);
         for region in regions {
             let mut window_start = region.start;
@@ -375,7 +380,10 @@ mod tests {
             }
         }
         assert!(mapped >= dataset.reads.len() * 9 / 10, "mapped {mapped}");
-        assert!(near_truth * 10 >= mapped * 9, "near {near_truth} of {mapped}");
+        assert!(
+            near_truth * 10 >= mapped * 9,
+            "near {near_truth} of {mapped}"
+        );
     }
 
     #[test]
@@ -387,8 +395,12 @@ mod tests {
             c
         }
         .pacbio_5();
-        let mapper =
-            SegramMapper::new(dataset.graph().clone(), SegramConfig::long_reads(0.05));
+        // Cap the candidate regions: unlimited (the default) aligns every
+        // seeded region — hundreds per 1.5 kbp read — which is the
+        // ablation binaries' job, not this smoke test's.
+        let mut config = SegramConfig::long_reads(0.05);
+        config.max_regions = 16;
+        let mapper = SegramMapper::new(dataset.graph().clone(), config);
         let mut hits = 0;
         for read in &dataset.reads {
             let (mapping, stats) = mapper.map_read(&read.seq);
@@ -404,11 +416,9 @@ mod tests {
 
     #[test]
     fn s2s_mode_maps_against_linear_reference() {
-        let reference = segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(
-            20_000, 55,
-        ));
-        let mapper =
-            SegramMapper::new_linear(&reference, SegramConfig::short_reads()).unwrap();
+        let reference =
+            segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(20_000, 55));
+        let mapper = SegramMapper::new_linear(&reference, SegramConfig::short_reads()).unwrap();
         // Every node of the linear graph has at most one successor.
         for node in mapper.graph().node_ids() {
             assert!(mapper.graph().successors(node).len() <= 1);
@@ -425,8 +435,7 @@ mod tests {
         let dataset = DatasetConfig::tiny(37).illumina(150);
         let mut eager = SegramConfig::short_reads();
         eager.early_exit_edits = 3;
-        let lazy_mapper =
-            SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let lazy_mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
         let eager_mapper = SegramMapper::new(dataset.graph().clone(), eager);
         let read = &dataset.reads[0].seq;
         let (_, lazy_stats) = lazy_mapper.map_read(read);
@@ -442,9 +451,7 @@ mod tests {
         // share full-length matches.
         let alien = segram_sim::simulate_reads(
             &segram_graph::linear_graph(
-                &segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(
-                    5_000, 999,
-                )),
+                &segram_sim::generate_reference(&segram_sim::GenomeConfig::human_like(5_000, 999)),
                 4096,
             )
             .unwrap(),

@@ -118,9 +118,9 @@ impl Pangenome {
             let (mapping, s) = chromosome.mapper.map_read(read);
             stats.merge(&s);
             if let Some(m) = mapping {
-                let better = best
-                    .as_ref()
-                    .map_or(true, |b| m.alignment.edit_distance < b.mapping.alignment.edit_distance);
+                let better = best.as_ref().map_or(true, |b| {
+                    m.alignment.edit_distance < b.mapping.alignment.edit_distance
+                });
                 if better {
                     best = Some(PangenomeMapping {
                         chromosome: chromosome.name.clone(),
@@ -167,7 +167,11 @@ impl Pangenome {
     pub fn placement_imbalance(&self, placement: &[Vec<usize>]) -> f64 {
         let loads: Vec<u64> = placement
             .iter()
-            .map(|chrs| chrs.iter().map(|&i| self.chromosomes[i].memory_bytes()).sum())
+            .map(|chrs| {
+                chrs.iter()
+                    .map(|&i| self.chromosomes[i].memory_bytes())
+                    .sum()
+            })
             .collect();
         let max = *loads.iter().max().unwrap_or(&0) as f64;
         let mean = loads.iter().sum::<u64>() as f64 / loads.len().max(1) as f64;
@@ -183,17 +187,14 @@ impl Pangenome {
 mod tests {
     use super::*;
     use segram_graph::build_graph;
-    use segram_sim::{
-        generate_reference, simulate_variants, GenomeConfig, VariantConfig,
-    };
+    use segram_sim::{generate_reference, simulate_variants, GenomeConfig, VariantConfig};
 
     fn pangenome(sizes: &[usize]) -> Pangenome {
         let chroms: Vec<(String, GenomeGraph)> = sizes
             .iter()
             .enumerate()
             .map(|(i, &len)| {
-                let reference =
-                    generate_reference(&GenomeConfig::human_like(len, 300 + i as u64));
+                let reference = generate_reference(&GenomeConfig::human_like(len, 300 + i as u64));
                 let variants =
                     simulate_variants(&reference, &VariantConfig::human_like(400 + i as u64));
                 (
@@ -210,8 +211,7 @@ mod tests {
         let p = pangenome(&[20_000, 20_000, 20_000]);
         for (i, chromosome) in p.chromosomes().iter().enumerate() {
             let graph = chromosome.mapper().graph();
-            let lin =
-                segram_graph::LinearizedGraph::extract(graph, 5_000, 5_120).unwrap();
+            let lin = segram_graph::LinearizedGraph::extract(graph, 5_000, 5_120).unwrap();
             let read: DnaSeq = lin.bases().iter().copied().collect();
             let (hit, _) = p.map_read(&read);
             let hit = hit.expect("read maps");

@@ -158,10 +158,7 @@ mod tests {
         assert_eq!(fields[2], "graph");
         assert!(fields[11].starts_with("NM:i:"));
         // CIGAR read length must equal SEQ length (SAM invariant).
-        assert_eq!(
-            mapping.alignment.cigar.read_len() as usize,
-            rec.seq.len()
-        );
+        assert_eq!(mapping.alignment.cigar.read_len() as usize, rec.seq.len());
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl QGramFilter {
 
 /// Iterates over the packed q-grams of `seq`.
 fn qgrams(seq: &[Base], q: usize) -> impl Iterator<Item = u64> + '_ {
-    let mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };
+    let mask = if q == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * q)) - 1
+    };
     let mut acc = 0u64;
     seq.iter().enumerate().filter_map(move |(i, &b)| {
         acc = ((acc << 2) | u64::from(b.code())) & mask;

@@ -2,7 +2,10 @@
 
 use segram_graph::{Base, LinearizedGraph};
 
-use crate::{BaseCountFilter, EditLowerBound, FilterSpec, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter};
+use crate::{
+    BaseCountFilter, EditLowerBound, FilterSpec, QGramFilter, ShiftedHammingFilter,
+    SneakySnakeFilter,
+};
 
 /// The outcome of filtering one candidate region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -208,11 +211,12 @@ mod tests {
         // Reference ACGT ACGT with an SNP bubble at position 3.
         let built = build_graph(
             &"ACGTACGTACGTACGT".parse::<DnaSeq>().unwrap(),
-            [Variant::snp(3, segram_graph::Base::G)].into_iter().collect(),
+            [Variant::snp(3, segram_graph::Base::G)]
+                .into_iter()
+                .collect(),
         )
         .unwrap();
-        let lin =
-            LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
+        let lin = LinearizedGraph::extract(&built.graph, 0, built.graph.total_chars()).unwrap();
         assert!(lin.hops().count() > 0, "bubble must create hops");
         let alt_read = read("ACGGACGT"); // spells the ALT path
         for spec in [FilterSpec::ShiftedHamming, FilterSpec::SneakySnake] {
@@ -221,7 +225,11 @@ mod tests {
             assert!(verdict.bypassed);
         }
         // The multiset-sound filters still run and still accept.
-        for spec in [FilterSpec::BaseCount, FilterSpec::QGram { q: 4 }, FilterSpec::cascade()] {
+        for spec in [
+            FilterSpec::BaseCount,
+            FilterSpec::QGram { q: 4 },
+            FilterSpec::cascade(),
+        ] {
             let verdict = filter_region(spec, &alt_read, &lin, 1);
             assert!(verdict.accepted, "{spec:?} falsely rejected an ALT read");
             assert!(!verdict.bypassed);
@@ -231,9 +239,21 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut stats = FilterStats::default();
-        stats.record(RegionVerdict { accepted: true, lower_bound: 0, bypassed: false });
-        stats.record(RegionVerdict { accepted: false, lower_bound: 9, bypassed: false });
-        stats.record(RegionVerdict { accepted: true, lower_bound: 0, bypassed: true });
+        stats.record(RegionVerdict {
+            accepted: true,
+            lower_bound: 0,
+            bypassed: false,
+        });
+        stats.record(RegionVerdict {
+            accepted: false,
+            lower_bound: 9,
+            bypassed: false,
+        });
+        stats.record(RegionVerdict {
+            accepted: true,
+            lower_bound: 0,
+            bypassed: true,
+        });
         assert_eq!(stats.candidates, 3);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.bypassed, 1);

@@ -4,8 +4,8 @@
 //! on random decoys so a regression that silently weakens a bound (e.g.
 //! an over-lenient envelope) fails loudly.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::{Rng, SeedableRng};
 
 use segram_filter::{
     BaseCountFilter, EditLowerBound, QGramFilter, ShiftedHammingFilter, SneakySnakeFilter,
@@ -49,12 +49,18 @@ fn weak_filters_are_weak_but_not_useless_at_tiny_k() {
     // The composition bound catches some decoys at k = 2 (a realistic
     // short-read threshold for low error rates).
     let base_count = decoy_reject_rate(&BaseCountFilter, 2, 100, 200);
-    assert!(base_count > 0.3, "base-count rejection only {base_count:.2}");
+    assert!(
+        base_count > 0.3,
+        "base-count rejection only {base_count:.2}"
+    );
     // The sound SHD core without the (unsound) streak amendment is very
     // lenient by design; document its measured weakness here so a future
     // "improvement" that changes this is noticed and justified.
     let shd = decoy_reject_rate(&ShiftedHammingFilter, 2, 100, 200);
-    assert!(shd < 0.5, "sound-core SHD unexpectedly aggressive: {shd:.2}");
+    assert!(
+        shd < 0.5,
+        "sound-core SHD unexpectedly aggressive: {shd:.2}"
+    );
 }
 
 #[test]

@@ -3,12 +3,12 @@
 //! linear candidates and on graph regions alike. A violated bound would
 //! mean a pre-alignment filter can silently drop a correct mapping.
 
-use proptest::prelude::*;
+use segram_testkit::prelude::*;
 
 use segram_align::{graph_dp_distance, semiglobal_distance, StartMode};
 use segram_filter::{
-    filter_region, BaseCountFilter, EditLowerBound, FilterSpec, QGramFilter,
-    ShiftedHammingFilter, SneakySnakeFilter,
+    filter_region, BaseCountFilter, EditLowerBound, FilterSpec, QGramFilter, ShiftedHammingFilter,
+    SneakySnakeFilter,
 };
 use segram_graph::{build_graph, Base, DnaSeq, LinearizedGraph, Variant, VariantSet, BASES};
 
@@ -22,7 +22,10 @@ fn seq_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<Bas
 
 /// An edit script: (position selector, kind, replacement base).
 fn edits_strategy(max_edits: usize) -> impl Strategy<Value = Vec<(prop::sample::Index, u8, Base)>> {
-    prop::collection::vec((any::<prop::sample::Index>(), 0u8..3, base_strategy()), 0..=max_edits)
+    prop::collection::vec(
+        (any::<prop::sample::Index>(), 0u8..3, base_strategy()),
+        0..=max_edits,
+    )
 }
 
 /// Applies an edit script to a sequence (clamping positions).
@@ -34,10 +37,10 @@ fn apply_edits(mut seq: Vec<Base>, edits: &[(prop::sample::Index, u8, Base)]) ->
         }
         let pos = idx.index(seq.len());
         match kind {
-            0 => seq[pos] = *base,        // substitution
-            1 => seq.insert(pos, *base),  // insertion
+            0 => seq[pos] = *base,       // substitution
+            1 => seq.insert(pos, *base), // insertion
             _ => {
-                seq.remove(pos);          // deletion
+                seq.remove(pos); // deletion
             }
         }
     }

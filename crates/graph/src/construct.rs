@@ -334,7 +334,10 @@ mod tests {
         .unwrap();
         let paths = all_path_seqs(&built.graph);
         for expect in ["ACGTACGT", "ACGGACGT", "ACGTTACGT", "ACGACGT"] {
-            assert!(paths.contains(&expect.to_string()), "missing {expect}: {paths:?}");
+            assert!(
+                paths.contains(&expect.to_string()),
+                "missing {expect}: {paths:?}"
+            );
         }
     }
 
@@ -388,7 +391,11 @@ mod tests {
         let paths = all_path_seqs(&built.graph);
         assert_eq!(
             paths,
-            vec!["AACAA".to_string(), "AAGAA".to_string(), "AATAA".to_string()]
+            vec![
+                "AACAA".to_string(),
+                "AAGAA".to_string(),
+                "AATAA".to_string()
+            ]
         );
     }
 
@@ -431,9 +438,12 @@ mod tests {
     fn variant_touching_reference_end() {
         let built = build_graph(
             &"ACGT".parse().unwrap(),
-            [Variant::snp(3, Base::A), Variant::insertion(4, "GG".parse().unwrap())]
-                .into_iter()
-                .collect(),
+            [
+                Variant::snp(3, Base::A),
+                Variant::insertion(4, "GG".parse().unwrap()),
+            ]
+            .into_iter()
+            .collect(),
         )
         .unwrap();
         let paths = all_path_seqs(&built.graph);

@@ -68,13 +68,12 @@ pub fn from_gfa(text: &str) -> Result<GenomeGraph, GraphError> {
                     line: lineno + 1,
                     reason: "segment record missing sequence".into(),
                 })?;
-                let seq: DnaSeq =
-                    DnaSeq::from_ascii(seq_text.as_bytes()).map_err(|e| {
-                        GraphError::MalformedGfa {
-                            line: lineno + 1,
-                            reason: e.to_string(),
-                        }
-                    })?;
+                let seq: DnaSeq = DnaSeq::from_ascii(seq_text.as_bytes()).map_err(|e| {
+                    GraphError::MalformedGfa {
+                        line: lineno + 1,
+                        reason: e.to_string(),
+                    }
+                })?;
                 let id = builder.add_node(seq)?;
                 if names.insert(name, id).is_some() {
                     return Err(GraphError::MalformedGfa {
@@ -103,10 +102,13 @@ pub fn from_gfa(text: &str) -> Result<GenomeGraph, GraphError> {
                     });
                 }
                 let resolve = |name: &str| {
-                    names.get(name).copied().ok_or_else(|| GraphError::MalformedGfa {
-                        line: lineno + 1,
-                        reason: format!("link references unknown segment {name}"),
-                    })
+                    names
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| GraphError::MalformedGfa {
+                            line: lineno + 1,
+                            reason: format!("link references unknown segment {name}"),
+                        })
                 };
                 links.push((resolve(from)?, resolve(to)?, lineno + 1));
             }
@@ -133,12 +135,9 @@ mod tests {
     fn round_trip_preserves_structure() {
         let graph = build_graph(
             &"ACGTACGT".parse().unwrap(),
-            [
-                Variant::snp(3, crate::Base::G),
-                Variant::deletion(5, 2),
-            ]
-            .into_iter()
-            .collect(),
+            [Variant::snp(3, crate::Base::G), Variant::deletion(5, 2)]
+                .into_iter()
+                .collect(),
         )
         .unwrap()
         .graph;

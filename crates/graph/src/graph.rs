@@ -171,9 +171,8 @@ impl GenomeGraph {
 
     /// Iterates over all edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.node_ids().flat_map(move |from| {
-            self.successors(from).iter().map(move |&to| (from, to))
-        })
+        self.node_ids()
+            .flat_map(move |from| self.successors(from).iter().map(move |&to| (from, to)))
     }
 
     /// Returns `true` when every edge points from a smaller id to a larger

@@ -123,9 +123,16 @@ impl LinearizedGraph {
         succ: Vec<Vec<u32>>,
         start_linear: u64,
     ) -> Result<Self, GraphError> {
-        assert_eq!(bases.len(), succ.len(), "bases and successor lists must align");
+        assert_eq!(
+            bases.len(),
+            succ.len(),
+            "bases and successor lists must align"
+        );
         for (i, list) in succ.iter().enumerate() {
-            if list.iter().any(|&s| s as usize <= i || s as usize >= bases.len()) {
+            if list
+                .iter()
+                .any(|&s| s as usize <= i || s as usize >= bases.len())
+            {
                 return Err(GraphError::CyclicGraph);
             }
         }
@@ -145,7 +152,13 @@ impl LinearizedGraph {
     pub fn from_linear_seq(seq: &crate::DnaSeq) -> Self {
         let n = seq.len();
         let succ = (0..n)
-            .map(|i| if i + 1 < n { vec![i as u32 + 1] } else { Vec::new() })
+            .map(|i| {
+                if i + 1 < n {
+                    vec![i as u32 + 1]
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         Self {
             bases: seq.iter().collect(),
@@ -366,9 +379,8 @@ impl LinearizedGraph {
         let mut segments = Vec::new();
         let mut start = 0usize;
         for i in 0..n {
-            let continues = self.succ[i].as_slice() == [i as u32 + 1]
-                && i + 1 < n
-                && !is_target[i + 1];
+            let continues =
+                self.succ[i].as_slice() == [i as u32 + 1] && i + 1 < n && !is_target[i + 1];
             if !continues {
                 segments.push((start, i + 1));
                 start = i + 1;
@@ -479,9 +491,15 @@ impl LinearizedGraph {
             let nc = new_index[c] as usize;
             bases[nc] = self.bases[c];
             origins[nc] = self.origins[c];
-            let mut list: Vec<u32> = self.succ[c].iter().map(|&t| new_index[t as usize]).collect();
+            let mut list: Vec<u32> = self.succ[c]
+                .iter()
+                .map(|&t| new_index[t as usize])
+                .collect();
             list.sort_unstable();
-            debug_assert!(list.iter().all(|&t| t > nc as u32), "order must stay topological");
+            debug_assert!(
+                list.iter().all(|&t| t > nc as u32),
+                "order must stay topological"
+            );
             succ[nc] = list;
         }
         Self {
@@ -547,7 +565,7 @@ mod tests {
         assert_eq!(lin.len(), 9);
         let spelled: String = lin.bases().iter().map(|b| char::from(*b)).collect();
         assert_eq!(spelled, "ACGTGACGT"); // ACG | T | G | ACGT in id order
-        // char 2 = 'G' end of node 0 -> successors are starts of T (3) and G (4)
+                                          // char 2 = 'G' end of node 0 -> successors are starts of T (3) and G (4)
         assert_eq!(lin.successors(2), &[3, 4]);
         // char 3 = ref allele T -> start of ACGT (5)
         assert_eq!(lin.successors(3), &[5]);
@@ -702,7 +720,9 @@ mod tests {
         let direct = LinearizedGraph::extract(&g, 2, 6).unwrap();
         assert_eq!(w.bases(), direct.bases());
         assert_eq!(
-            (0..w.len()).map(|i| w.successors(i).to_vec()).collect::<Vec<_>>(),
+            (0..w.len())
+                .map(|i| w.successors(i).to_vec())
+                .collect::<Vec<_>>(),
             (0..direct.len())
                 .map(|i| direct.successors(i).to_vec())
                 .collect::<Vec<_>>()
@@ -726,8 +746,9 @@ mod tests {
             edges
         };
         assert_eq!(edge_set(lin), edge_set(reordered));
-        let mut chars: Vec<(GraphPos, Base)> =
-            (0..lin.len()).map(|i| (lin.origin(i), lin.base(i))).collect();
+        let mut chars: Vec<(GraphPos, Base)> = (0..lin.len())
+            .map(|i| (lin.origin(i), lin.base(i)))
+            .collect();
         let mut chars2: Vec<(GraphPos, Base)> = (0..reordered.len())
             .map(|i| (reordered.origin(i), reordered.base(i)))
             .collect();

@@ -50,8 +50,7 @@ impl DnaSeq {
     pub fn from_ascii(ascii: &[u8]) -> Result<Self, GraphError> {
         let mut bases = Vec::with_capacity(ascii.len());
         for (offset, &ch) in ascii.iter().enumerate() {
-            let base = Base::from_ascii(ch)
-                .ok_or(GraphError::InvalidCharacter { ch, offset })?;
+            let base = Base::from_ascii(ch).ok_or(GraphError::InvalidCharacter { ch, offset })?;
             bases.push(base);
         }
         Ok(Self { bases })

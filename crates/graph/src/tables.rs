@@ -89,7 +89,11 @@ impl GraphTables {
             edges.extend(graph.successors(node).iter().map(|n| n.0));
             nodes.push(entry);
         }
-        Self { nodes, chars, edges }
+        Self {
+            nodes,
+            chars,
+            edges,
+        }
     }
 
     /// Number of nodes.
@@ -141,10 +145,12 @@ impl GraphTables {
     /// Returns [`GraphError::NodeOutOfBounds`] for unknown nodes.
     pub fn node_edges(&self, node: NodeId) -> Result<Vec<NodeId>, GraphError> {
         let entry = self.node(node)?;
-        Ok(self.edges[entry.edge_start as usize..][..entry.out_count as usize]
-            .iter()
-            .map(|&id| NodeId(id))
-            .collect())
+        Ok(
+            self.edges[entry.edge_start as usize..][..entry.out_count as usize]
+                .iter()
+                .map(|&id| NodeId(id))
+                .collect(),
+        )
     }
 
     /// Byte footprint per the paper's formulas.

@@ -278,9 +278,9 @@ mod tests {
     fn overlap_dropping_keeps_disjoint_and_multiallelic() {
         let set: VariantSet = [
             Variant::deletion(0, 3),
-            Variant::snp(1, Base::A),  // overlaps the deletion
-            Variant::snp(4, Base::C),  // disjoint
-            Variant::snp(4, Base::G),  // multi-allelic with previous: kept
+            Variant::snp(1, Base::A), // overlaps the deletion
+            Variant::snp(4, Base::C), // disjoint
+            Variant::snp(4, Base::G), // multi-allelic with previous: kept
             Variant::insertion(4, "T".parse().unwrap()), // zero-length at 4... after [4,5) -> overlaps
             Variant::insertion(5, "T".parse().unwrap()), // at frontier: kept
         ]

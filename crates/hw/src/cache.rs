@@ -131,8 +131,7 @@ impl CacheSim {
             "line size must be a power of two"
         );
         assert!(
-            config.size_bytes % (config.line_bytes * config.ways) == 0
-                && config.sets() > 0,
+            config.size_bytes % (config.line_bytes * config.ways) == 0 && config.sets() > 0,
             "capacity must divide into whole sets"
         );
         let sets = vec![Vec::with_capacity(config.ways); config.sets()];
@@ -292,7 +291,11 @@ mod tests {
 
     #[test]
     fn xeon_presets_have_sane_geometry() {
-        for config in [CacheConfig::l1d(), CacheConfig::l2(), CacheConfig::l3_slice()] {
+        for config in [
+            CacheConfig::l1d(),
+            CacheConfig::l2(),
+            CacheConfig::l3_slice(),
+        ] {
             let c = CacheSim::new(config);
             assert!(c.config().sets() > 0);
         }

@@ -106,9 +106,7 @@ impl AcceleratorCost {
                 area_mm2: TRACEBACK_AREA_MM2,
                 power_mw: TRACEBACK_POWER_MW,
             },
-            bitalign_scratchpads: sram(
-                bitalign.input.bytes + bitalign.bitvector_total_bytes(),
-            ),
+            bitalign_scratchpads: sram(bitalign.input.bytes + bitalign.bitvector_total_bytes()),
         }
     }
 
@@ -183,7 +181,11 @@ mod tests {
             "area {}",
             total.area_mm2
         );
-        assert!((total.power_mw - 758.0).abs() < 15.0, "power {}", total.power_mw);
+        assert!(
+            (total.power_mw - 758.0).abs() < 15.0,
+            "power {}",
+            total.power_mw
+        );
     }
 
     #[test]
@@ -192,7 +194,11 @@ mod tests {
         let sys = system_cost(32, crate::hbm::HbmConfig::default().total_dynamic_power_w());
         assert!((sys.all_accelerators.area_mm2 - 27.7).abs() < 0.6);
         assert!((sys.all_accelerators.power_mw / 1000.0 - 24.3).abs() < 0.5);
-        assert!((sys.total_power_w - 28.1).abs() < 0.6, "{}", sys.total_power_w);
+        assert!(
+            (sys.total_power_w - 28.1).abs() < 0.6,
+            "{}",
+            sys.total_power_w
+        );
     }
 
     #[test]
@@ -231,8 +237,7 @@ mod tests {
         let mut big = BitAlignStorage::default();
         big.bitvector_per_pe.bytes *= 2;
         let base = AcceleratorCost::paper_configuration().total();
-        let grown =
-            AcceleratorCost::for_storage(&MinSeedScratchpads::default(), &big).total();
+        let grown = AcceleratorCost::for_storage(&MinSeedScratchpads::default(), &big).total();
         assert!(grown.area_mm2 > base.area_mm2);
         assert!(grown.power_mw > base.power_mw);
     }

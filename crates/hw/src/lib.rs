@@ -48,10 +48,9 @@ mod system;
 pub use bitalign_model::BitAlignHwConfig;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use cost::{
-    system_cost, AcceleratorCost, Cost, SystemCost, MINSEED_LOGIC_AREA_MM2,
-    MINSEED_LOGIC_POWER_MW, PE_LOGIC_AREA_MM2, PE_LOGIC_POWER_MW, REGFILE_AREA_MM2_PER_KB,
-    REGFILE_POWER_MW_PER_KB, SRAM_AREA_MM2_PER_KB, SRAM_POWER_MW_PER_KB, TRACEBACK_AREA_MM2,
-    TRACEBACK_POWER_MW,
+    system_cost, AcceleratorCost, Cost, SystemCost, MINSEED_LOGIC_AREA_MM2, MINSEED_LOGIC_POWER_MW,
+    PE_LOGIC_AREA_MM2, PE_LOGIC_POWER_MW, REGFILE_AREA_MM2_PER_KB, REGFILE_POWER_MW_PER_KB,
+    SRAM_AREA_MM2_PER_KB, SRAM_POWER_MW_PER_KB, TRACEBACK_AREA_MM2, TRACEBACK_POWER_MW,
 };
 pub use hbm::HbmConfig;
 pub use minseed_model::{MinSeedHwConfig, SeedWorkload};

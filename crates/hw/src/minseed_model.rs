@@ -77,8 +77,8 @@ impl MinSeedHwConfig {
     /// `L / 4` B of packed characters plus node/edge-table metadata
     /// (~32 B per ~32-char node).
     pub fn subgraph_fetch_ns(&self, workload: &SeedWorkload, hbm: &HbmConfig) -> f64 {
-        let region_bytes = (workload.avg_region_len / 4.0
-            + (workload.avg_region_len / 32.0) * 36.0) as u64;
+        let region_bytes =
+            (workload.avg_region_len / 4.0 + (workload.avg_region_len / 32.0) * 36.0) as u64;
         let seeds = workload.seeds_per_read.round() as u64;
         hbm.batched_access_ns(seeds, region_bytes.max(64), self.memory_overlap)
     }
@@ -155,7 +155,10 @@ mod tests {
         let w = long_read_workload();
         let compute_ns = hw.compute_cycles(&w) as f64 / hw.clock_ghz;
         let memory_ns = hw.per_read_ns(&w, &hbm) - compute_ns;
-        assert!(memory_ns > compute_ns, "memory {memory_ns} compute {compute_ns}");
+        assert!(
+            memory_ns > compute_ns,
+            "memory {memory_ns} compute {compute_ns}"
+        );
     }
 
     #[test]

@@ -151,9 +151,18 @@ mod tests {
     #[test]
     fn variable_jobs_respect_ordering_and_buffering() {
         let jobs = [
-            SeedJob { minseed_ns: 5.0, bitalign_ns: 20.0 },
-            SeedJob { minseed_ns: 30.0, bitalign_ns: 5.0 },
-            SeedJob { minseed_ns: 5.0, bitalign_ns: 20.0 },
+            SeedJob {
+                minseed_ns: 5.0,
+                bitalign_ns: 20.0,
+            },
+            SeedJob {
+                minseed_ns: 30.0,
+                bitalign_ns: 5.0,
+            },
+            SeedJob {
+                minseed_ns: 5.0,
+                bitalign_ns: 20.0,
+            },
         ];
         let trace = simulate_pipeline(&jobs);
         // Completions are strictly increasing.

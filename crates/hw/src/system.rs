@@ -42,7 +42,8 @@ impl SegramAccelerator {
         let per_read_s = self.per_read_ns(workload, hbm) / 1e9;
         let bytes_per_read = workload.minimizers_per_read * 12.0
             + workload.seeds_per_read * 8.0
-            + workload.seeds_per_read * (workload.avg_region_len / 4.0 + workload.avg_region_len / 32.0 * 36.0);
+            + workload.seeds_per_read
+                * (workload.avg_region_len / 4.0 + workload.avg_region_len / 32.0 * 36.0);
         bytes_per_read / per_read_s
     }
 }

@@ -67,7 +67,10 @@ impl GraphIndex {
     ///
     /// Panics when `bucket_bits` is 0 or exceeds 32.
     pub fn build(graph: &GenomeGraph, scheme: MinimizerScheme, bucket_bits: u32) -> Self {
-        assert!((1..=32).contains(&bucket_bits), "bucket_bits must be 1..=32");
+        assert!(
+            (1..=32).contains(&bucket_bits),
+            "bucket_bits must be 1..=32"
+        );
         // Collect (hash, node, offset) for every node's minimizers.
         let mut raw: Vec<(u64, GraphPos)> = Vec::new();
         for node in graph.node_ids() {
@@ -79,11 +82,7 @@ impl GraphIndex {
         Self::from_raw(scheme, bucket_bits, raw)
     }
 
-    fn from_raw(
-        scheme: MinimizerScheme,
-        bucket_bits: u32,
-        mut raw: Vec<(u64, GraphPos)>,
-    ) -> Self {
+    fn from_raw(scheme: MinimizerScheme, bucket_bits: u32, mut raw: Vec<(u64, GraphPos)>) -> Self {
         let bucket_count = 1usize << bucket_bits;
         let bucket_of = |hash: u64| -> usize { (hash % bucket_count as u64) as usize };
         raw.sort_by_key(|&(hash, pos)| (bucket_of(hash), hash, pos));
@@ -91,9 +90,7 @@ impl GraphIndex {
         let mut minimizers: Vec<MinimizerEntry> = Vec::new();
         let mut locations: Vec<GraphPos> = Vec::with_capacity(raw.len());
         for (hash, pos) in raw {
-            let same = minimizers
-                .last()
-                .is_some_and(|last| last.hash == hash);
+            let same = minimizers.last().is_some_and(|last| last.hash == hash);
             if same {
                 minimizers.last_mut().expect("non-empty").loc_count += 1;
             } else {
@@ -313,10 +310,7 @@ mod tests {
         let index = GraphIndex::build(&graph, MinimizerScheme::new(5, 11), 12);
         let fp = index.footprint();
         assert_eq!(fp.bucket_bytes, (1 << 12) * 4);
-        assert_eq!(
-            fp.minimizer_bytes,
-            index.distinct_minimizers() as u64 * 12
-        );
+        assert_eq!(fp.minimizer_bytes, index.distinct_minimizers() as u64 * 12);
         assert_eq!(fp.location_bytes, index.total_locations() as u64 * 8);
         assert_eq!(
             fp.total_bytes(),

@@ -180,7 +180,10 @@ pub fn extract_minimizers_from(bases: &[Base], scheme: &MinimizerScheme) -> Vec<
         deque.push_back((rank, kmer_idx, packed));
         // Window of the last w k-mers: [kmer_idx + 1 - w, kmer_idx].
         let window_start = kmer_idx as isize + 1 - w as isize;
-        while deque.front().is_some_and(|&(_, idx, _)| (idx as isize) < window_start) {
+        while deque
+            .front()
+            .is_some_and(|&(_, idx, _)| (idx as isize) < window_start)
+        {
             deque.pop_front();
         }
         // Report once a full window exists (or at the very end for short

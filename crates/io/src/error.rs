@@ -75,7 +75,10 @@ impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnexpectedEof { line, expected } => {
-                write!(f, "line {line}: unexpected end of input, expected {expected}")
+                write!(
+                    f,
+                    "line {line}: unexpected end of input, expected {expected}"
+                )
             }
             Self::Malformed { line, message } => write!(f, "line {line}: {message}"),
             Self::InvalidBase { line, byte } => {

@@ -141,10 +141,20 @@ pub(crate) fn append_bases(
         match Base::from_ascii(byte) {
             Some(base) => seq.push(base),
             None if byte.is_ascii_alphabetic() => match ambiguity {
-                Ambiguity::Reject => return Err(FormatError::InvalidBase { line: line_no, byte }),
+                Ambiguity::Reject => {
+                    return Err(FormatError::InvalidBase {
+                        line: line_no,
+                        byte,
+                    })
+                }
                 Ambiguity::Substitute(base) => seq.push(base),
             },
-            None => return Err(FormatError::InvalidBase { line: line_no, byte }),
+            None => {
+                return Err(FormatError::InvalidBase {
+                    line: line_no,
+                    byte,
+                })
+            }
         }
     }
     Ok(())
@@ -214,7 +224,13 @@ mod tests {
     #[test]
     fn rejects_ambiguity_by_default() {
         let err = read_fasta(">x\nACNGT\n", Ambiguity::Reject).unwrap_err();
-        assert!(matches!(err, FormatError::InvalidBase { line: 2, byte: b'N' }));
+        assert!(matches!(
+            err,
+            FormatError::InvalidBase {
+                line: 2,
+                byte: b'N'
+            }
+        ));
     }
 
     #[test]
@@ -226,7 +242,13 @@ mod tests {
     #[test]
     fn digits_are_never_substituted() {
         let err = read_fasta(">x\nAC1GT\n", Ambiguity::Substitute(Base::A)).unwrap_err();
-        assert!(matches!(err, FormatError::InvalidBase { line: 2, byte: b'1' }));
+        assert!(matches!(
+            err,
+            FormatError::InvalidBase {
+                line: 2,
+                byte: b'1'
+            }
+        ));
     }
 
     #[test]

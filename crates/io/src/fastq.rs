@@ -42,7 +42,10 @@ impl FastqRecord {
     ///
     /// Panics if `phred > MAX_PHRED` (the score would not be printable).
     pub fn with_uniform_quality(id: impl Into<String>, seq: DnaSeq, phred: u8) -> Self {
-        assert!(phred <= MAX_PHRED, "phred score {phred} exceeds {MAX_PHRED}");
+        assert!(
+            phred <= MAX_PHRED,
+            "phred score {phred} exceeds {MAX_PHRED}"
+        );
         let qual = vec![phred; seq.len()];
         Self {
             id: id.into(),
@@ -59,8 +62,7 @@ impl FastqRecord {
         if self.qual.is_empty() {
             return 1.0;
         }
-        let mean =
-            self.qual.iter().map(|&q| f64::from(q)).sum::<f64>() / self.qual.len() as f64;
+        let mean = self.qual.iter().map(|&q| f64::from(q)).sum::<f64>() / self.qual.len() as f64;
         10f64.powf(-mean / 10.0)
     }
 }
@@ -246,11 +248,7 @@ mod tests {
 
     #[test]
     fn truncation_is_reported_per_missing_line() {
-        for (text, expected_line) in [
-            ("@r1\n", 2),
-            ("@r1\nACGT\n", 3),
-            ("@r1\nACGT\n+\n", 4),
-        ] {
+        for (text, expected_line) in [("@r1\n", 2), ("@r1\nACGT\n", 3), ("@r1\nACGT\n+\n", 4)] {
             let err = read_fastq(text, Ambiguity::Reject).unwrap_err();
             assert!(
                 matches!(err, FormatError::UnexpectedEof { line, .. } if line == expected_line),

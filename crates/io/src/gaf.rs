@@ -86,16 +86,11 @@ impl GafRecord {
             let same_node_step = a.node == b.node && b.offset == a.offset + 1;
             let edge_step = b.offset == 0
                 && a.node != b.node
-                && graph
-                    .successors(a.node)
-                    .iter()
-                    .any(|&succ| succ == b.node);
+                && graph.successors(a.node).iter().any(|&succ| succ == b.node);
             if !(same_node_step || edge_step) {
                 return Err(FormatError::invalid_record(
                     0,
-                    format!(
-                        "read {qname:?}: path step {a:?} -> {b:?} is not a valid graph step"
-                    ),
+                    format!("read {qname:?}: path step {a:?} -> {b:?} is not a valid graph step"),
                 ));
             }
             if a.node != b.node {
@@ -364,20 +359,9 @@ mod tests {
         let graph = bubble_graph();
         // Jump from node 0 directly to a node that is not a successor at a
         // non-zero offset.
-        let bogus = vec![
-            GraphPos::new(NodeId(0), 0),
-            GraphPos::new(NodeId(0), 2),
-        ];
-        let err = GafRecord::from_char_path(
-            "r",
-            2,
-            &graph,
-            &bogus,
-            &all_match_cigar(2),
-            0,
-            60,
-        )
-        .unwrap_err();
+        let bogus = vec![GraphPos::new(NodeId(0), 0), GraphPos::new(NodeId(0), 2)];
+        let err = GafRecord::from_char_path("r", 2, &graph, &bogus, &all_match_cigar(2), 0, 60)
+            .unwrap_err();
         assert!(matches!(err, FormatError::InvalidRecord { .. }));
     }
 
@@ -385,32 +369,15 @@ mod tests {
     fn rejects_cigar_path_disagreement() {
         let graph = bubble_graph();
         let char_path = vec![GraphPos::new(NodeId(0), 0), GraphPos::new(NodeId(0), 1)];
-        let err = GafRecord::from_char_path(
-            "r",
-            3,
-            &graph,
-            &char_path,
-            &all_match_cigar(3),
-            0,
-            60,
-        )
-        .unwrap_err();
+        let err = GafRecord::from_char_path("r", 3, &graph, &char_path, &all_match_cigar(3), 0, 60)
+            .unwrap_err();
         assert!(matches!(err, FormatError::InvalidRecord { .. }));
     }
 
     #[test]
     fn rejects_empty_path() {
         let graph = bubble_graph();
-        assert!(GafRecord::from_char_path(
-            "r",
-            0,
-            &graph,
-            &[],
-            &Cigar::new(),
-            0,
-            0
-        )
-        .is_err());
+        assert!(GafRecord::from_char_path("r", 0, &graph, &[], &Cigar::new(), 0, 0).is_err());
     }
 
     #[test]
@@ -422,10 +389,9 @@ mod tests {
         let mut cigar = Cigar::new();
         cigar.push_run(CigarOp::Match, len - 1);
         cigar.push_run(CigarOp::Subst, 1);
-        let rec = GafRecord::from_char_path(
-            "read/1", len as usize, &graph, &char_path, &cigar, 1, 42,
-        )
-        .unwrap();
+        let rec =
+            GafRecord::from_char_path("read/1", len as usize, &graph, &char_path, &cigar, 1, 42)
+                .unwrap();
         let text = write_gaf(std::slice::from_ref(&rec));
         let parsed = read_gaf(&text).unwrap();
         assert_eq!(parsed, vec![rec]);

@@ -143,8 +143,7 @@ pub fn read_vcf(text: &str, options: VcfOptions) -> Result<VcfDocument, FormatEr
 
 fn validate_column_header(header: &str, line_no: usize) -> Result<(), FormatError> {
     let mut cols = header.split('\t');
-    const MANDATORY: [&str; 8] =
-        ["CHROM", "POS", "ID", "REF", "ALT", "QUAL", "FILTER", "INFO"];
+    const MANDATORY: [&str; 8] = ["CHROM", "POS", "ID", "REF", "ALT", "QUAL", "FILTER", "INFO"];
     for want in MANDATORY {
         match cols.next() {
             Some(got) if got == want => {}
@@ -179,9 +178,9 @@ fn parse_record(
     let alt_text = next("the ALT column")?;
     // QUAL/FILTER/INFO and any genotype columns are ignored.
 
-    let pos_1based: u64 = pos_text.parse().map_err(|_| {
-        FormatError::malformed(line_no, format!("unparsable POS {pos_text:?}"))
-    })?;
+    let pos_1based: u64 = pos_text
+        .parse()
+        .map_err(|_| FormatError::malformed(line_no, format!("unparsable POS {pos_text:?}")))?;
     if pos_1based == 0 {
         return Err(FormatError::malformed(line_no, "POS must be >= 1"));
     }
@@ -207,7 +206,10 @@ fn parse_record(
             continue;
         }
         let variant = classify_alleles(pos, &ref_allele, &alt_allele);
-        doc.per_chrom.entry(chrom.to_owned()).or_default().push(variant);
+        doc.per_chrom
+            .entry(chrom.to_owned())
+            .or_default()
+            .push(variant);
     }
     Ok(())
 }
@@ -346,15 +348,13 @@ fn encode_variant(
                 let anchor = ref_slice(reference, *len, len + 1)?;
                 Ok((1, ref_allele.to_string(), anchor.to_string()))
             } else {
-                let ref_allele =
-                    ref_slice(reference, variant.pos - 1, variant.pos + len)?;
+                let ref_allele = ref_slice(reference, variant.pos - 1, variant.pos + len)?;
                 let anchor = ref_slice(reference, variant.pos - 1, variant.pos)?;
                 Ok((variant.pos, ref_allele.to_string(), anchor.to_string()))
             }
         }
         VariantKind::Replacement { ref_len, alt } => {
-            let ref_allele =
-                ref_slice(reference, variant.pos, variant.pos + ref_len)?;
+            let ref_allele = ref_slice(reference, variant.pos, variant.pos + ref_len)?;
             Ok((variant.pos + 1, ref_allele.to_string(), alt.to_string()))
         }
     }
@@ -364,8 +364,7 @@ fn encode_variant(
 mod tests {
     use super::*;
 
-    const HEADER: &str =
-        "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n";
+    const HEADER: &str = "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n";
 
     fn parse(body: &str) -> VcfDocument {
         read_vcf(&format!("{HEADER}{body}"), VcfOptions::default()).unwrap()
@@ -446,11 +445,7 @@ mod tests {
 
     #[test]
     fn wrong_column_header_is_rejected() {
-        let err = read_vcf(
-            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\n",
-            VcfOptions::default(),
-        )
-        .unwrap_err();
+        let err = read_vcf("#CHROM\tPOS\tID\tREF\tALT\tQUAL\n", VcfOptions::default()).unwrap_err();
         assert!(matches!(err, FormatError::Malformed { .. }));
     }
 

@@ -2,12 +2,12 @@
 //! arbitrary well-formed data, and the readers never panic on arbitrary
 //! byte soup.
 
-use proptest::prelude::*;
+use segram_testkit::prelude::*;
 
 use segram_graph::{Base, DnaSeq, NodeId, Variant, VariantSet, BASES};
 use segram_io::{
-    read_fasta, read_fastq, read_gaf, read_vcf, write_fasta, write_fastq, write_gaf,
-    write_vcf, Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions, MAX_PHRED,
+    read_fasta, read_fastq, read_gaf, read_vcf, write_fasta, write_fastq, write_gaf, write_vcf,
+    Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions, MAX_PHRED,
 };
 
 fn base_strategy() -> impl Strategy<Value = Base> {

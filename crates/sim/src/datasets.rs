@@ -198,8 +198,8 @@ pub struct Brca1Dataset {
 pub fn brca1_like(scale: usize, seed: u64) -> Brca1Dataset {
     let scale = scale.max(1);
     let reference = generate_reference(&GenomeConfig::human_like(81_000, seed));
-    let variants = simulate_variants(&reference, &VariantConfig::human_like(seed ^ 0xb5))
-        .into_sorted();
+    let variants =
+        simulate_variants(&reference, &VariantConfig::human_like(seed ^ 0xb5)).into_sorted();
     let built = build_graph(&reference, variants).expect("valid synthetic inputs");
     let mk = |len: usize, count: usize, salt: u64| {
         simulate_reads(
@@ -240,8 +240,10 @@ pub fn pasgal_suite(scale: usize, seed: u64) -> Vec<RegionDataset> {
     let lrc_len = 1_000_000 / scale;
     let mhc_len = 4_970_000 / scale;
     let mk_region = |name: &str, region_len: usize, read_len: usize, count: usize, salt: u64| {
-        let reference =
-            generate_reference(&GenomeConfig::human_like(region_len.max(10_000), seed ^ salt));
+        let reference = generate_reference(&GenomeConfig::human_like(
+            region_len.max(10_000),
+            seed ^ salt,
+        ));
         // Region graphs (LRC/MHC) are unusually variant-dense.
         let mut vconf = VariantConfig::human_like(seed ^ salt ^ 0xd1);
         vconf.density = 1.0 / 150.0;
@@ -269,8 +271,20 @@ pub fn pasgal_suite(scale: usize, seed: u64) -> Vec<RegionDataset> {
     vec![
         mk_region("LRC-L1", lrc_len, 100, 317_600 / scale, 0x01),
         mk_region("MHC1-M1", mhc_len, 100, 497_000 / scale, 0x02),
-        mk_region("LRC-L2", lrc_len, 10_000.min(lrc_len / 4), 3_200 / scale, 0x03),
-        mk_region("MHC1-M2", mhc_len, 10_000.min(mhc_len / 4), 4_900 / scale, 0x04),
+        mk_region(
+            "LRC-L2",
+            lrc_len,
+            10_000.min(lrc_len / 4),
+            3_200 / scale,
+            0x03,
+        ),
+        mk_region(
+            "MHC1-M2",
+            mhc_len,
+            10_000.min(mhc_len / 4),
+            4_900 / scale,
+            0x04,
+        ),
     ]
 }
 

@@ -10,10 +10,10 @@
 //!    frequency filter (discard the top 0.02 % most frequent minimizers,
 //!    Section 6) exists to handle.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use segram_graph::{Base, DnaSeq};
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::Rng;
+use segram_testkit::rng::SeedableRng;
 
 /// Configuration for [`generate_reference`].
 #[derive(Clone, Copy, Debug, PartialEq)]

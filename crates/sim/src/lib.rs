@@ -28,9 +28,7 @@ mod genome;
 mod reads;
 mod variants;
 
-pub use datasets::{
-    brca1_like, pasgal_suite, Brca1Dataset, Dataset, DatasetConfig, RegionDataset,
-};
+pub use datasets::{brca1_like, pasgal_suite, Brca1Dataset, Dataset, DatasetConfig, RegionDataset};
 pub use genome::{gc_fraction, generate_reference, GenomeConfig};
 pub use reads::{
     measured_error_rate, path_fragment, simulate_reads, simulate_stranded_reads,

@@ -6,10 +6,10 @@
 //! makes sequence-to-graph mapping necessary), then corrupted with a
 //! technology-specific error profile.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use segram_graph::{DnaSeq, GenomeGraph, GraphPos, NodeId, BASES};
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::Rng;
+use segram_testkit::rng::SeedableRng;
 
 /// Sequencing-error profile: independent per-base substitution, insertion,
 /// and deletion probabilities.
@@ -277,7 +277,12 @@ pub fn simulate_stranded_reads(
 
 /// Samples one error-free path sequence of `len` characters starting at
 /// `start` (used by tests that need ground-truth fragments).
-pub fn path_fragment(graph: &GenomeGraph, start: GraphPos, len: usize, seed: u64) -> Option<DnaSeq> {
+pub fn path_fragment(
+    graph: &GenomeGraph,
+    start: GraphPos,
+    len: usize,
+    seed: u64,
+) -> Option<DnaSeq> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let config = ReadConfig {
         count: 1,
@@ -351,8 +356,7 @@ mod tests {
             assert_eq!(read.injected_errors, 0);
             // On a linear graph the read must be an exact substring at its
             // true linear offset.
-            let frag =
-                path_fragment(&graph, read.true_start, read.seq.len(), 0).unwrap();
+            let frag = path_fragment(&graph, read.true_start, read.seq.len(), 0).unwrap();
             assert_eq!(read.seq, frag);
         }
     }

@@ -7,10 +7,10 @@
 //! variants are SNPs and small indels (short hops); large structural
 //! variants are rare (long hops).
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use segram_graph::{DnaSeq, Variant, VariantSet, BASES};
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::Rng;
+use segram_testkit::rng::SeedableRng;
 
 /// Configuration for [`simulate_variants`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,9 +103,7 @@ pub fn simulate_variants(reference: &DnaSeq, config: &VariantConfig) -> VariantS
             if config.multi_allelic_fraction > 0.0 && rng.gen_bool(config.multi_allelic_fraction) {
                 // A second alternate at the same site (kept by
                 // `drop_overlapping`'s multi-allelic rule).
-                if let Some(second) =
-                    BASES.into_iter().find(|&b| b != current && b != alt)
-                {
+                if let Some(second) = BASES.into_iter().find(|&b| b != current && b != alt) {
                     set.push(Variant::snp(pos, second));
                 }
             }
@@ -127,7 +125,11 @@ pub fn simulate_variants(reference: &DnaSeq, config: &VariantConfig) -> VariantS
                     set.push(Variant::deletion(pos, len));
                 } else {
                     let alt_len = rng.gen_range(1..=len.max(2)) as usize;
-                    set.push(Variant::replacement(pos, len, random_seq(&mut rng, alt_len)));
+                    set.push(Variant::replacement(
+                        pos,
+                        len,
+                        random_seq(&mut rng, alt_len),
+                    ));
                     if config.multi_allelic_fraction > 0.0
                         && rng.gen_bool(config.multi_allelic_fraction)
                     {
@@ -211,7 +213,11 @@ mod tests {
         let variants = simulate_variants(&reference, &VariantConfig::human_like(10));
         for v in variants.iter() {
             if let segram_graph::VariantKind::Snp { alt } = v.kind {
-                assert_ne!(alt, reference[v.pos as usize], "SNP at {} is a no-op", v.pos);
+                assert_ne!(
+                    alt, reference[v.pos as usize],
+                    "SNP at {} is a no-op",
+                    v.pos
+                );
             }
         }
     }

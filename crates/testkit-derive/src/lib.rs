@@ -1,0 +1,172 @@
+//! `#[derive(Serialize)]` for `segram_testkit::json::Serialize`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote` —
+//! the build environment is offline), which is enough for the shapes the
+//! workspace serializes: non-generic structs with named fields, plus
+//! unit-only enums (serialized as their variant name).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `segram_testkit::json::Serialize`.
+///
+/// Supported: `struct Name { field: Type, ... }` (fields may carry
+/// attributes and visibility) and `enum Name { Unit1, Unit2 }`. Anything
+/// else panics at expansion time with a pointer here.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (kind, name, body) = parse_type_header(&tokens);
+    let implementation = match kind {
+        TypeKind::Struct => {
+            let fields = named_fields(&body);
+            assert!(
+                !fields.is_empty(),
+                "derive(Serialize): struct {name} has no named fields"
+            );
+            let pushes: String = fields
+                .iter()
+                .map(|field| {
+                    format!(
+                        "object.push((\"{field}\".to_string(), \
+                         ::segram_testkit::json::Serialize::to_json(&self.{field})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut object = ::std::vec::Vec::new(); {pushes} \
+                 ::segram_testkit::json::Json::Object(object)"
+            )
+        }
+        TypeKind::Enum => {
+            let variants = unit_variants(&name, &body);
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => \"{v}\","))
+                .collect();
+            format!("::segram_testkit::json::Json::String(match self {{ {arms} }}.to_string())")
+        }
+    };
+    format!(
+        "impl ::segram_testkit::json::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::segram_testkit::json::Json {{\n\
+                 {implementation}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl must parse")
+}
+
+enum TypeKind {
+    Struct,
+    Enum,
+}
+
+/// Finds `struct Name { ... }` / `enum Name { ... }` in the derive input,
+/// skipping attributes and visibility.
+fn parse_type_header(tokens: &[TokenTree]) -> (TypeKind, String, Vec<TokenTree>) {
+    let mut iter = tokens.iter().peekable();
+    while let Some(token) = iter.next() {
+        let kind = match token {
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => TypeKind::Struct,
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => TypeKind::Enum,
+            _ => continue,
+        };
+        let name = match iter.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("derive(Serialize): expected type name, found {other:?}"),
+        };
+        for token in iter {
+            match token {
+                TokenTree::Group(group) if group.delimiter() == Delimiter::Brace => {
+                    return (kind, name, group.stream().into_iter().collect());
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    panic!("derive(Serialize): generic type {name} is not supported")
+                }
+                _ => {}
+            }
+        }
+        panic!("derive(Serialize): {name} has no braced body (tuple/unit types unsupported)");
+    }
+    panic!("derive(Serialize): no struct or enum found in input");
+}
+
+/// Extracts field names from a braced struct body: for each top-level
+/// comma-separated chunk, the identifier immediately before the first
+/// top-level `:` (skipping attributes and visibility).
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut iter = chunk.iter().peekable();
+            let mut previous_ident: Option<String> = None;
+            while let Some(token) = iter.next() {
+                match token {
+                    // Skip `#[...]` attributes (doc comments included).
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                        // Skip an optional `(crate)`-style restriction.
+                        if let Some(TokenTree::Group(_)) = iter.peek() {
+                            iter.next();
+                        }
+                    }
+                    TokenTree::Ident(ident) => previous_ident = Some(ident.to_string()),
+                    TokenTree::Punct(p) if p.as_char() == ':' => {
+                        return Some(previous_ident.expect("field name before `:`"));
+                    }
+                    _ => {}
+                }
+            }
+            None // trailing empty chunk after the last comma
+        })
+        .collect()
+}
+
+/// Extracts unit-variant names from an enum body; panics on data variants.
+fn unit_variants(name: &str, body: &[TokenTree]) -> Vec<String> {
+    split_top_level(body)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut variant = None;
+            for token in chunk {
+                match token {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {}
+                    TokenTree::Group(group) if group.delimiter() == Delimiter::Bracket => {}
+                    TokenTree::Ident(ident) => variant = Some(ident.to_string()),
+                    TokenTree::Group(_) => panic!(
+                        "derive(Serialize): enum {name} has a data-carrying variant; \
+                         only unit enums are supported"
+                    ),
+                    _ => {}
+                }
+            }
+            variant
+        })
+        .collect()
+}
+
+/// Splits a token list on top-level commas, treating `<...>` as nesting
+/// (angle brackets are plain punctuation in token streams, unlike
+/// parenthesis/bracket groups).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(token.clone());
+    }
+    chunks
+}

@@ -1,0 +1,262 @@
+//! A criterion-flavoured microbenchmark harness so `crates/bench/benches`
+//! compile and run with no external dependencies. Benchmarks are declared
+//! with [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) and `harness = false`.
+//!
+//! Measurement model: per benchmark, a short warm-up, then `sample_size`
+//! timed batches whose batch size is auto-calibrated so each batch takes
+//! roughly a millisecond; the report prints the median, min, and max
+//! per-iteration time. Far simpler than criterion's bootstrap analysis,
+//! but stable enough to compare kernels.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+// Re-exported here so `use segram_testkit::bench::{criterion_group, ...}`
+// mirrors `use criterion::{criterion_group, ...}`.
+pub use crate::{criterion_group, criterion_main};
+
+/// Top-level harness state (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A `name/parameter` benchmark id (mirrors `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Throughput annotation for a group (printed with each report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into().id, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.into().id, self.throughput);
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly; this exists for
+    /// criterion source compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Hands the measured closure to the harness (mirrors
+/// `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration seconds, one entry per timed batch.
+    measurements: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Measures `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up + batch-size calibration: grow until one batch costs
+        // >= ~1 ms (or a growth cap for very slow routines).
+        let mut batch = 1u64;
+        let batch = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break batch;
+            }
+            batch *= 2;
+        };
+        self.measurements.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.measurements
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.measurements.is_empty() {
+            println!("  {group}/{id}: no measurements");
+            return;
+        }
+        let mut sorted = self.measurements.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let line = format!(
+            "  {group}/{id}: median {} (min {}, max {}, {} samples)",
+            format_time(median),
+            format_time(sorted[0]),
+            format_time(*sorted.last().unwrap()),
+            sorted.len(),
+        );
+        match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let rate = bytes as f64 / median / 1e6;
+                println!("{line} [{rate:.1} MB/s]");
+            }
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / median / 1e6;
+                println!("{line} [{rate:.2} Melem/s]");
+            }
+            None => println!("{line}"),
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors criterion's macro;
+/// only the positional `criterion_group!(name, target, ...)` form is
+/// supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("testkit_selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,299 @@
+//! A minimal JSON document model and serializer replacing `serde` +
+//! `serde_json` for the experiment binaries: structs opt in with
+//! `#[derive(Serialize)]` (from `segram-testkit-derive`) and are written
+//! with [`to_string_pretty`], matching `serde_json`'s pretty format
+//! (2-space indent) closely enough for downstream tooling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, pre-formatted (keeps integers free of decimal points).
+    Number(String),
+    /// A string (unescaped; escaping happens at write time).
+    String(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys (declaration order for
+    /// derived structs).
+    Object(Vec<(String, Json)>),
+}
+
+/// Serialization errors. The built-in impls are total, so this currently
+/// never occurs; the `Result` return keeps call sites source-compatible
+/// with `serde_json`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Json`] value.
+///
+/// Implement by hand or with `#[derive(Serialize)]`.
+pub trait Serialize {
+    /// Converts to a JSON document value.
+    fn to_json(&self) -> Json;
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (2-space indent), like
+/// `serde_json::to_string_pretty`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_json(), Some(0), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Json, pretty: Option<usize>, _depth: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Number(n) => out.push_str(n),
+        Json::String(s) => write_escaped(s, out),
+        Json::Array(items) => write_seq(items.iter(), pretty, out, ('[', ']'), |item, p, o| {
+            write_value(item, p, 0, o)
+        }),
+        Json::Object(fields) => write_seq(
+            fields.iter(),
+            pretty,
+            out,
+            ('{', '}'),
+            |(key, val), p, o| {
+                write_escaped(key, o);
+                o.push(':');
+                if p.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, p, 0, o);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, T>(
+    items: I,
+    pretty: Option<usize>,
+    out: &mut String,
+    brackets: (char, char),
+    mut write_item: impl FnMut(T, Option<usize>, &mut String),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(brackets.0);
+    let len = items.len();
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let inner = pretty.map(|i| i + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(indent) = inner {
+            out.push('\n');
+            out.extend(std::iter::repeat("  ").take(indent));
+        }
+        write_item(item, inner, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(indent) = pretty {
+        out.push('\n');
+        out.extend(std::iter::repeat("  ").take(indent));
+    }
+    out.push(brackets.1);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- Serialize impls for the types the workspace serializes -------------
+
+macro_rules! serialize_display_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Number(self.to_string())
+            }
+        }
+    )*}
+}
+serialize_display_number!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                if self.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats, the
+                    // same shape serde_json emits for f64.
+                    Json::Number(format!("{self:?}"))
+                } else {
+                    // JSON has no NaN/inf; serde_json errors, we degrade
+                    // to null (experiment outputs should never hit this).
+                    Json::Null
+                }
+            }
+        }
+    )*}
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        self.as_slice().to_json()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )*}
+}
+serialize_tuple!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+    A.0, B.1, C.2, D.3, E.4
+)(A.0, B.1, C.2, D.3, E.4, F.5));
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            to_string(&"a\"b\\c\nd\te\u{1}").unwrap(),
+            r#""a\"b\\c\nd\te\u0001""#
+        );
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&(1u8, 2.5f64, "x")).unwrap(), "[1,2.5,\"x\"]");
+        assert_eq!(to_string(&[1.0f64; 3]).unwrap(), "[1.0,1.0,1.0]");
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(to_string(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json_shape() {
+        let value = Json::Object(vec![
+            ("name".into(), Json::String("fig7".into())),
+            (
+                "sweep".into(),
+                Json::Array(vec![Json::Number("1".into()), Json::Number("2".into())]),
+            ),
+            ("empty".into(), Json::Array(Vec::new())),
+        ]);
+        assert_eq!(
+            to_string_pretty(&value).unwrap(),
+            "{\n  \"name\": \"fig7\",\n  \"sweep\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # segram-testkit
+//!
+//! The workspace's offline test/bench substrate. The build environment
+//! has no access to crates.io, so everything the tests, benches, and
+//! experiment binaries used to pull from external crates lives here:
+//!
+//! * [`rng`] — seeded ChaCha8 RNG with a `rand`-style `Rng`/`SeedableRng`
+//!   surface (replaces `rand` + `rand_chacha`);
+//! * [`prop`] + [`proptest!`] — deterministic property testing with a
+//!   proptest-flavoured strategy/macro surface (replaces `proptest`);
+//! * [`json`] + `#[derive(Serialize)]` — a minimal JSON serializer for
+//!   the experiment result files (replaces `serde` + `serde_json`);
+//! * [`bench`] — a criterion-flavoured microbenchmark harness (replaces
+//!   `criterion`).
+//!
+//! Everything is deterministic by construction: tests seed their own
+//! streams, and the property runner derives per-case seeds from the
+//! test's name, so failures reproduce across runs and machines.
+//!
+//! Property-test case counts are capped by default (see
+//! [`prop::DEFAULT_CASE_CAP`]) and tunable via the
+//! `SEGRAM_PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+mod macros;
+pub mod pattern;
+pub mod prop;
+pub mod rng;
+
+// The `Serialize` trait and its derive macro share one import path, as
+// with `serde::Serialize`.
+pub use json::Serialize;
+pub use segram_testkit_derive::Serialize;
+
+/// Drop-in prelude for property tests, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop::prop;
+    pub use crate::prop::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::rng::{ChaCha8Rng, Rng, RngCore, SeedableRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest};
+}

@@ -1,0 +1,192 @@
+//! The proptest-style macro surface: [`proptest!`](crate::proptest),
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`, and
+//! `prop_compose!`.
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over deterministically seeded
+/// generated inputs (see [`crate::prop::resolve_cases`] for the case
+/// budget). An optional leading `#![proptest_config(...)]` sets the
+/// requested case count.
+///
+/// On failure the runner reports the failing case's seed and every
+/// generated input (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::prop::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`](crate::proptest).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prop::ProptestConfig = $config;
+                let cases = $crate::prop::resolve_cases(config.cases);
+                let name_hash = $crate::prop::hash_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut passed = 0u32;
+                let mut attempt = 0u32;
+                let max_attempts = cases.saturating_mul(20).max(64);
+                while passed < cases && attempt < max_attempts {
+                    let seed = $crate::prop::case_seed(name_hash, attempt);
+                    attempt += 1;
+                    let mut rng = <$crate::rng::ChaCha8Rng as $crate::rng::SeedableRng>
+                        ::seed_from_u64(seed);
+                    $(
+                        let $arg = $crate::prop::Strategy::generate(&$strategy, &mut rng);
+                    )+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::prop::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            }
+                        )
+                    );
+                    match outcome {
+                        Ok(Ok(())) => passed += 1,
+                        Ok(Err($crate::prop::TestCaseError::Reject)) => {}
+                        Ok(Err($crate::prop::TestCaseError::Fail(message))) => {
+                            ::std::panic!(
+                                "property failed: {}\n{}",
+                                message,
+                                $crate::__proptest_case_report!(
+                                    seed; $($arg in $strategy),+
+                                )
+                            );
+                        }
+                        Err(payload) => {
+                            ::std::eprintln!(
+                                "{}",
+                                $crate::__proptest_case_report!(
+                                    seed; $($arg in $strategy),+
+                                )
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                ::std::assert!(
+                    passed > 0,
+                    "every generated case was rejected by prop_assume! \
+                     ({attempt} attempts); loosen the assumption or strategy"
+                );
+            }
+        )*
+    };
+}
+
+/// Regenerates a failing case's inputs (generation is deterministic in the
+/// case seed) and formats them for the failure report.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case_report {
+    ($seed:expr; $($arg:ident in $strategy:expr),+) => {{
+        let mut rng = <$crate::rng::ChaCha8Rng as $crate::rng::SeedableRng>
+            ::seed_from_u64($seed);
+        let mut report = ::std::format!("failing case (seed {:#018x}):\n", $seed);
+        $(
+            let value = $crate::prop::Strategy::generate(&$strategy, &mut rng);
+            report.push_str(&::std::format!(
+                "  {} = {:?}\n", stringify!($arg), value
+            ));
+        )+
+        report
+    }};
+}
+
+/// Asserts inside a [`proptest!`](crate::proptest) body; failure reports
+/// the generated inputs instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::TestCaseError::Fail(
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`](crate::prop_assert).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Discards the current case (without counting it against the budget)
+/// when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::prop::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop::Union::new(::std::vec![
+            $($crate::prop::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Composes named sub-strategies into a derived-value strategy:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn record()(id in id_strategy(), len in 1usize..10) -> Record {
+///         Record { id, len }
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($outer:tt)* )
+                 ( $($arg:ident in $strategy:expr),+ $(,)? )
+                 -> $output:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($outer)*) -> impl $crate::prop::Strategy<Value = $output> {
+            $crate::prop::map(($($strategy,)+), move |($($arg,)+)| $body)
+        }
+    };
+}

@@ -1,0 +1,223 @@
+//! Random string generation from a small regex subset, covering the
+//! patterns the workspace's property tests use as proptest-style string
+//! strategies:
+//!
+//! * literal characters and `\n` / `\t` / `\\` escapes;
+//! * character classes `[...]` with ranges (`A-Z`, ` -~`) and escapes;
+//! * `\PC` — any non-control character (proptest's printable class);
+//! * `{m,n}` repetition after any of the above.
+//!
+//! Unsupported syntax panics with the offending pattern, so a new test
+//! pattern fails loudly instead of silently generating garbage.
+
+use crate::rng::{Rng, RngCore};
+
+/// One generatable unit of the pattern.
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// One of an explicit set of characters.
+    Class(Vec<char>),
+    /// Any non-control character (`\PC`).
+    Printable,
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// A parsed pattern, reusable across generation calls.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+/// Mostly printable ASCII, with a few multi-byte characters mixed in so
+/// parsers see real UTF-8 (proptest's `\PC` also draws beyond ASCII).
+const EXOTIC: &[char] = &['é', 'Ω', 'λ', '→', '日', '𝕊'];
+
+impl Pattern {
+    /// Parses `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset.
+    pub fn parse(pattern: &str) -> Self {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '\\' => set.push(unescape(chars.next(), pattern)),
+                            c => {
+                                // Range `a-z` unless `-` is last-in-class.
+                                if chars.peek() == Some(&'-') {
+                                    let mut look = chars.clone();
+                                    look.next(); // the '-'
+                                    match look.peek() {
+                                        Some(']') | None => set.push(c),
+                                        Some(&hi) => {
+                                            chars.next();
+                                            chars.next();
+                                            assert!(
+                                                c <= hi,
+                                                "inverted range {c}-{hi} in {pattern:?}"
+                                            );
+                                            set.extend(c..=hi);
+                                        }
+                                    }
+                                } else {
+                                    set.push(c);
+                                }
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(set)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        let category = chars.next();
+                        assert_eq!(
+                            category,
+                            Some('C'),
+                            "only \\PC is supported, got \\P{category:?} in {pattern:?}"
+                        );
+                        Atom::Printable
+                    }
+                    other => Atom::Literal(unescape(other, pattern)),
+                },
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                    panic!("unsupported regex syntax {c:?} in {pattern:?}")
+                }
+                c => Atom::Literal(c),
+            };
+            // Optional {m,n} quantifier.
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let (lo, hi) = spec
+                    .split_once(',')
+                    .unwrap_or_else(|| panic!("only {{m,n}} quantifiers supported in {pattern:?}"));
+                (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                )
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        Self { pieces }
+    }
+
+    /// Generates one string.
+    pub fn generate<R: RngCore>(&self, rng: &mut R) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Atom::Printable => {
+                        // Mostly ASCII printable; occasionally exotic.
+                        if rng.gen_bool(0.05) {
+                            out.push(EXOTIC[rng.gen_range(0..EXOTIC.len())]);
+                        } else {
+                            out.push(char::from(rng.gen_range(0x20u8..0x7f)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some('0') => '\0',
+        Some(c @ ('\\' | '[' | ']' | '{' | '}' | '-' | '.' | '/' | '+' | '*' | '?')) => c,
+        other => panic!("unsupported escape \\{other:?} in {pattern:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{ChaCha8Rng, SeedableRng};
+
+    #[test]
+    fn class_with_ranges_and_trailing_dash() {
+        let p = Pattern::parse("[A-Za-z0-9_.:/-]{1,20}");
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = p.generate(&mut rng);
+            assert!((1..=20).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.:/-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let p = Pattern::parse("[ -~\\t\\n]{0,40}");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            for c in p.generate(&mut rng).chars() {
+                assert!((' '..='~').contains(&c) || c == '\t' || c == '\n', "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_class_excludes_controls() {
+        let p = Pattern::parse("\\PC{0,100}");
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!p.generate(&mut rng).chars().any(char::is_control));
+        }
+    }
+
+    #[test]
+    fn concatenation_of_class_and_printable() {
+        let p = Pattern::parse("[ SLH]\\PC{0,20}");
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = p.generate(&mut rng);
+            assert!(" SLH".contains(s.chars().next().unwrap()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_width_is_possible() {
+        let p = Pattern::parse("[a]{0,3}");
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let lens: std::collections::HashSet<usize> =
+            (0..200).map(|_| p.generate(&mut rng).len()).collect();
+        assert!(lens.contains(&0) && lens.contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn alternation_is_rejected() {
+        Pattern::parse("a|b");
+    }
+}

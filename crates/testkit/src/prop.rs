@@ -1,0 +1,514 @@
+//! Offline property testing with a proptest-flavoured surface: the
+//! [`Strategy`] trait, combinators (`prop::collection::vec`,
+//! `prop::sample::select`, ranges, tuples, `prop_map`, `prop_oneof!`),
+//! and the [`proptest!`](crate::proptest) runner macro.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from per-case ChaCha8 streams derived from the
+//!   test's name, so runs are fully deterministic with no persistence
+//!   files;
+//! * there is no shrinking — on failure the runner reports every
+//!   generated input (and the case seed) instead;
+//! * the case count defaults to a capped budget so `cargo test` stays
+//!   fast, and is overridable via `SEGRAM_PROPTEST_CASES`.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::pattern::Pattern;
+use crate::rng::{ChaCha8Rng, RngCore, SampleRange};
+
+/// The RNG handed to strategies by the [`proptest!`](crate::proptest) runner.
+pub type TestRng = ChaCha8Rng;
+
+/// Default per-test case budget when no override is active. Chosen so the
+/// full workspace property suite finishes in well under the tier-1 time
+/// budget even in debug builds; raise locally with `SEGRAM_PROPTEST_CASES`.
+pub const DEFAULT_CASE_CAP: u32 = 32;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Free-function form of `prop_map`, used by
+/// [`prop_compose!`](crate::prop_compose).
+pub fn map<S, O, F>(strategy: S, f: F) -> Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    Map { inner: strategy, f }
+}
+
+// Integer/float ranges are strategies.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*}
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String literals are regex-subset string strategies (see
+/// [`crate::pattern`] for the supported syntax).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per case keeps the impl allocation-free at rest; the
+        // patterns in this workspace are tiny.
+        Pattern::parse(self).generate(rng)
+    }
+}
+
+// Tuples of strategies generate tuples of values, in order.
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*}
+}
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+)(A, B, C, D, E, F, G)(A, B, C, D, E, F, G, H));
+
+/// Types with a canonical strategy (proptest's `Arbitrary`), reachable via
+/// [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for an [`Arbitrary`] type.
+#[derive(Clone, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice between boxed strategies (the engine behind
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+/// `prop::...` namespace, mirroring proptest's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Anything usable as a collection size: a fixed `usize`, `a..b`,
+        /// or `a..=b`.
+        pub trait IntoSizeRange {
+            /// Draws a concrete length.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                self.clone().sample_from(rng)
+            }
+        }
+
+        impl IntoSizeRange for RangeInclusive<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                self.clone().sample_from(rng)
+            }
+        }
+
+        /// Generates `Vec`s of values from `element`, with a length drawn
+        /// from `size`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy, Z: IntoSizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, Z: IntoSizeRange> Strategy for VecStrategy<S, Z> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.sample_len(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Generates `BTreeSet`s with a target size drawn from `size`
+        /// (smaller when the element domain saturates).
+        #[derive(Clone, Debug)]
+        pub struct BTreeSetStrategy<S, Z> {
+            element: S,
+            size: Z,
+        }
+
+        /// `prop::collection::btree_set(element, size)`.
+        pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            Z: IntoSizeRange,
+        {
+            BTreeSetStrategy { element, size }
+        }
+
+        impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+        where
+            S: Strategy,
+            S::Value: Ord,
+            Z: IntoSizeRange,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.sample_len(rng);
+                let mut set = BTreeSet::new();
+                // Duplicates don't grow the set; bound the attempts so a
+                // tiny element domain cannot loop forever.
+                for _ in 0..target.saturating_mul(10) {
+                    if set.len() >= target {
+                        break;
+                    }
+                    set.insert(self.element.generate(rng));
+                }
+                set
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::*;
+
+        /// Uniform choice from a fixed list (`prop::sample::select`).
+        #[derive(Clone, Debug)]
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// `prop::sample::select(options)`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let pick = (rng.next_u64() % self.0.len() as u64) as usize;
+                self.0[pick].clone()
+            }
+        }
+
+        /// An index into a collection whose length is only known inside
+        /// the test body (proptest's `prop::sample::Index`).
+        #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Projects onto `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics when `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl std::fmt::Debug for Index {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "Index({})", self.0)
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Runner configuration (mirrors proptest's `ProptestConfig`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Requested number of successful cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Requests `cases` successful cases (subject to the runtime cap; see
+    /// [`resolve_cases`]).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // proptest's default; capped by resolve_cases at runtime.
+        Self { cases: 256 }
+    }
+}
+
+/// How a single case ended (the `Err` side of a test-body closure).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without counting it.
+    Reject,
+    /// `prop_assert!`-style failure with a message.
+    Fail(String),
+}
+
+/// Resolves the effective case count: `SEGRAM_PROPTEST_CASES` wins when
+/// set, otherwise `requested` capped at [`DEFAULT_CASE_CAP`] so the suite
+/// stays within the tier-1 time budget.
+pub fn resolve_cases(requested: u32) -> u32 {
+    match std::env::var("SEGRAM_PROPTEST_CASES") {
+        Ok(v) => v
+            .trim()
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("SEGRAM_PROPTEST_CASES={v:?} is not a number"))
+            .max(1),
+        Err(_) => requested.min(DEFAULT_CASE_CAP).max(1),
+    }
+}
+
+/// FNV-1a hash of a test's fully qualified name, the per-test half of the
+/// case seed.
+pub fn hash_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Derives the deterministic seed for one case of one test.
+pub fn case_seed(name_hash: u64, case: u32) -> u64 {
+    name_hash ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            assert!((0..4u8).contains(&(0u8..4).generate(&mut rng)));
+            assert!((10..=20usize).contains(&(10usize..=20).generate(&mut rng)));
+            let f = (1.0f64..3.0).generate(&mut rng);
+            assert!((1.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_all_size_forms() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(
+                prop::collection::vec(0u8..4, 4usize)
+                    .generate(&mut rng)
+                    .len(),
+                4
+            );
+            let v = prop::collection::vec(0u8..4, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            let w = prop::collection::vec(0u8..4, 2..=3).generate(&mut rng);
+            assert!((2..=3).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_option() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let union = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let seen: std::collections::HashSet<u8> =
+            (0..200).map(|_| union.generate(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = (0u8..4).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng) % 10, 0);
+        }
+    }
+
+    #[test]
+    fn index_projects_uniformly() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut hits = [0usize; 7];
+        for _ in 0..7000 {
+            hits[prop::sample::Index::arbitrary(&mut rng).index(7)] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 700), "{hits:?}");
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_stable() {
+        let h = hash_name("a::b::c");
+        assert_eq!(h, hash_name("a::b::c"));
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|c| case_seed(h, c)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn resolve_cases_caps_by_default() {
+        // Serial-unsafe env mutation is confined to this one test.
+        std::env::remove_var("SEGRAM_PROPTEST_CASES");
+        assert_eq!(resolve_cases(256), DEFAULT_CASE_CAP);
+        assert_eq!(resolve_cases(8), 8);
+        assert_eq!(resolve_cases(0), 1);
+        // Regression: an explicit 0 override must clamp to one case, not
+        // starve the runner into a misleading all-rejected failure.
+        std::env::set_var("SEGRAM_PROPTEST_CASES", "0");
+        assert_eq!(resolve_cases(256), 1);
+        std::env::remove_var("SEGRAM_PROPTEST_CASES");
+    }
+}

@@ -1,0 +1,401 @@
+//! Seeded random-number generation with the `rand`-style surface the
+//! workspace uses (`Rng`, `SeedableRng`, `ChaCha8Rng`), implemented from
+//! scratch so nothing depends on crates.io.
+//!
+//! The generator is a genuine ChaCha stream cipher reduced to 8 rounds —
+//! the same construction `rand_chacha::ChaCha8Rng` uses. Streams are not
+//! bit-compatible with `rand_chacha` (seed expansion differs), which is
+//! fine: no test in this workspace pins exact draws, only seeded
+//! determinism and distribution shape.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core trait: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable constructor surface (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods (mirrors the subset of `rand::Rng` this
+/// workspace uses: `gen_range`, `gen_bool`, `gen`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a type with a standard uniform distribution
+    /// (`f64`/`f32` in `[0, 1)`, full range for integers and `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable by [`Rng::gen`] (mirrors `rand`'s `Standard`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Scalars uniformly samplable between two bounds (mirrors
+/// `rand::distributions::uniform::SampleUniform`). The single blanket
+/// [`SampleRange`] impl below routes through this trait, which keeps
+/// integer-literal inference working (`slice[rng.gen_range(0..4)]`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `start..end`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Uniform draw from `start..=end`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                let width = (end as $wide).wrapping_sub(start as $wide) as u64;
+                start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                let width =
+                    ((end as $wide).wrapping_sub(start as $wide) as u64).wrapping_add(1);
+                if width == 0 {
+                    // Full 64-bit domain: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+    )*}
+}
+// Widths are computed in the same-width *unsigned* type (two's-complement
+// subtraction), so signed ranges wider than the type's positive half
+// (e.g. `i8::MIN..i8::MAX`) don't overflow.
+int_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                start + (unit_f64(rng.next_u64()) as $t) * (end - start)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self {
+                start + (unit_f64(rng.next_u64()) as $t) * (end - start)
+            }
+        }
+    )*}
+}
+float_sample_uniform!(f32, f64);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+}
+
+/// SplitMix64: the standard seed-expansion generator.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A ChaCha stream cipher with 8 double-rounds used as a deterministic,
+/// high-quality PRNG (the construction behind `rand_chacha::ChaCha8Rng`).
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, 256-bit key, 64-bit counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unconsumed word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+
+    /// Builds a generator from a 256-bit key (eight little-endian words).
+    pub fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" block constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Words 12..13: 64-bit block counter; 14..15: stream id (zero).
+        Self {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    #[inline]
+    fn quarter_round(block: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        block[a] = block[a].wrapping_add(block[b]);
+        block[d] = (block[d] ^ block[a]).rotate_left(16);
+        block[c] = block[c].wrapping_add(block[d]);
+        block[b] = (block[b] ^ block[c]).rotate_left(12);
+        block[a] = block[a].wrapping_add(block[b]);
+        block[d] = (block[d] ^ block[a]).rotate_left(8);
+        block[c] = block[c].wrapping_add(block[d]);
+        block[b] = (block[b] ^ block[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..Self::ROUNDS / 2 {
+            // Column round.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // Advance the 64-bit counter in words 12..13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word();
+        let hi = self.next_word();
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = splitmix64(&mut sm);
+            pair[0] = word as u32;
+            if pair.len() > 1 {
+                pair[1] = (word >> 32) as u32;
+            }
+        }
+        Self::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn extreme_signed_ranges_stay_in_bounds() {
+        // Regression: widths wider than the signed type's positive half
+        // must not wrap (computed in the unsigned counterpart).
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..20_000 {
+            let v = rng.gen_range(i8::MIN..i8::MAX);
+            assert!((i8::MIN..i8::MAX).contains(&v));
+            let w = rng.gen_range(-100i8..=100);
+            assert!((-100..=100).contains(&w));
+            saw_low |= w < -64;
+            saw_high |= w > 64;
+            let x = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = x; // full domain: any value is valid
+        }
+        // Both halves of the wide range are actually reachable.
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_f64_is_half_open() {
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn words_are_roughly_uniform() {
+        // Cheap chi-square-ish sanity: byte histogram of 64k draws.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut histogram = [0u32; 256];
+        for _ in 0..65_536 {
+            histogram[(rng.next_u64() & 0xff) as usize] += 1;
+        }
+        let (min, max) = histogram
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        // Expected 256 per bucket; allow generous slack.
+        assert!(min > 150 && max < 400, "histogram spread {min}..{max}");
+    }
+}

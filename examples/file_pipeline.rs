@@ -12,14 +12,15 @@
 use segram_core::{mapq_estimate, sam_document, SamRecord, SegramConfig, SegramMapper};
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa};
-use segram_io::{
-    read_fasta, read_fastq, read_vcf, write_gaf, Ambiguity, GafRecord, VcfOptions,
-};
+use segram_io::{read_fasta, read_fastq, read_vcf, write_gaf, Ambiguity, GafRecord, VcfOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The input files (inline for the example). The reference carries a
     //    SNP and an insertion in the population VCF.
-    let fasta = format!(">chr20 demo contig\n{}\n", "ACGTTGCAGCATGGCATTAC".repeat(40));
+    let fasta = format!(
+        ">chr20 demo contig\n{}\n",
+        "ACGTTGCAGCATGGCATTAC".repeat(40)
+    );
     let vcf = concat!(
         "##fileformat=VCFv4.2\n",
         "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n",
@@ -33,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .chrom(&reference.id)
         .cloned()
         .unwrap_or_default();
-    println!("parsed {} ({} bp), {} variants", reference.id, reference.seq.len(), variants.len());
+    println!(
+        "parsed {} ({} bp), {} variants",
+        reference.id,
+        reference.seq.len(),
+        variants.len()
+    );
     let built = build_graph(&reference.seq, variants.into_sorted())?;
     let gfa_text = gfa::to_gfa(&built.graph);
     println!(
@@ -79,8 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (mapping, stats) = mapper.map_read(&read.seq);
         match mapping {
             Some(mapping) => {
-                let mapq =
-                    mapq_estimate(stats.regions_aligned, mapping.alignment.edit_distance, read.seq.len());
+                let mapq = mapq_estimate(
+                    stats.regions_aligned,
+                    mapping.alignment.edit_distance,
+                    read.seq.len(),
+                );
                 println!(
                     "{}: mapped at linear {} with {} edits (CIGAR {}, {} regions filtered)",
                     read.id,
@@ -89,7 +98,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     mapping.alignment.cigar,
                     stats.regions_filtered,
                 );
-                sam_records.push(SamRecord::from_mapping(&read.id, &reference.id, &read.seq, &mapping, mapq));
+                sam_records.push(SamRecord::from_mapping(
+                    &read.id,
+                    &reference.id,
+                    &read.seq,
+                    &mapping,
+                    mapq,
+                ));
                 gaf_records.push(GafRecord::from_char_path(
                     &read.id,
                     read.seq.len(),

@@ -30,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Map against the graph and against the bare linear reference.
     let graph_mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
-    let linear_mapper =
-        SegramMapper::new_linear(&dataset.reference, SegramConfig::short_reads())?;
+    let linear_mapper = SegramMapper::new_linear(&dataset.reference, SegramConfig::short_reads())?;
 
     let mut graph_edits = 0u64;
     let mut linear_edits = 0u64;

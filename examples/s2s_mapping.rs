@@ -46,7 +46,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // against Myers' algorithm.
     let fragment = reference.slice(1000, 1400);
     let mut query_text = reference.slice(1050, 1350).to_string();
-    query_text.replace_range(100..101, if &query_text[100..101] == "A" { "T" } else { "A" });
+    query_text.replace_range(
+        100..101,
+        if &query_text[100..101] == "A" {
+            "T"
+        } else {
+            "A"
+        },
+    );
     let query: segram_graph::DnaSeq = query_text.parse()?;
     let alignment = genasm_align(fragment.as_slice(), query.as_slice())?;
     let myers = myers_distance(fragment.as_slice(), query.as_slice())?;

@@ -40,10 +40,10 @@ L\t5\t+\t6\t+\t0M
 
     // Align reads spelling different allele combinations.
     for read_text in [
-        "ACGTTGCAGCCATGTTACGCAT",  // SNP allele G + deletion of GGA
+        "ACGTTGCAGCCATGTTACGCAT", // SNP allele G + deletion of GGA
         "ACGTTGCATCCATGGGATTACG", // SNP allele T + GGA retained (prefix)
-        "GCAGCCATGGGATT",          // internal fragment
-        "ACGTTGCATCCTTGGGATT",     // with two sequencing errors
+        "GCAGCCATGGGATT",         // internal fragment
+        "ACGTTGCATCCTTGGGATT",    // with two sequencing errors
     ] {
         let read: segram_graph::DnaSeq = read_text.parse()?;
         let a = bitalign(&lin, &read, 4)?;

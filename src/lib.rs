@@ -2,8 +2,11 @@
 //! root-level examples and integration tests have a single import surface.
 
 pub use segram_align as align;
+pub use segram_cli as cli;
 pub use segram_core as core;
+pub use segram_filter as filter;
 pub use segram_graph as graph;
 pub use segram_hw as hw;
 pub use segram_index as index;
+pub use segram_io as io;
 pub use segram_sim as sim;

@@ -4,14 +4,12 @@
 //! variation graphs — and reduces to classical sequence-to-sequence
 //! algorithms (Myers, semi-global NW) on linear references.
 
-use proptest::prelude::*;
 use segram_align::{
     bitalign, graph_dp_distance, myers_distance, semiglobal_distance, windowed_bitalign,
     BitAlignConfig, BitAligner, StartMode, WindowConfig,
 };
-use segram_graph::{
-    build_graph, Base, DnaSeq, GenomeGraph, LinearizedGraph, Variant, VariantSet,
-};
+use segram_graph::{build_graph, Base, DnaSeq, GenomeGraph, LinearizedGraph, Variant, VariantSet};
+use segram_testkit::prelude::*;
 
 fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = DnaSeq> {
     prop::collection::vec(0u8..4, min..=max)
@@ -20,8 +18,11 @@ fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = DnaSeq> {
 
 /// A random variation graph built from a random reference + random variants.
 fn arb_graph() -> impl Strategy<Value = GenomeGraph> {
-    (arb_seq(20, 80), prop::collection::vec((0u64..70, 0u8..4), 0..6)).prop_map(
-        |(reference, raw_variants)| {
+    (
+        arb_seq(20, 80),
+        prop::collection::vec((0u64..70, 0u8..4), 0..6),
+    )
+        .prop_map(|(reference, raw_variants)| {
             let len = reference.len() as u64;
             let variants: VariantSet = raw_variants
                 .into_iter()
@@ -33,9 +34,10 @@ fn arb_graph() -> impl Strategy<Value = GenomeGraph> {
                     _ => Variant::replacement(pos, 3, "A".parse().unwrap()),
                 })
                 .collect();
-            build_graph(&reference, variants).expect("valid variants").graph
-        },
-    )
+            build_graph(&reference, variants)
+                .expect("valid variants")
+                .graph
+        })
 }
 
 proptest! {

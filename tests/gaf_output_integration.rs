@@ -22,11 +22,13 @@ fn gaf_records_for(dataset: &segram_sim::Dataset, config: SegramConfig) -> Vec<G
             &mapping.path,
             &mapping.alignment.cigar,
             mapping.alignment.edit_distance,
-            mapq_estimate(stats.regions_aligned, mapping.alignment.edit_distance, read.seq.len()),
+            mapq_estimate(
+                stats.regions_aligned,
+                mapping.alignment.edit_distance,
+                read.seq.len(),
+            ),
         )
-        .unwrap_or_else(|e| {
-            panic!("read{}: mapping does not convert to GAF: {e}", read.id)
-        });
+        .unwrap_or_else(|e| panic!("read{}: mapping does not convert to GAF: {e}", read.id));
         records.push(record);
     }
     records
@@ -44,7 +46,12 @@ fn short_read_mappings_are_valid_gaf() {
     );
     for rec in &records {
         // Illumina-like 1% error: identity must stay high.
-        assert!(rec.identity() > 0.9, "{}: identity {}", rec.qname, rec.identity());
+        assert!(
+            rec.identity() > 0.9,
+            "{}: identity {}",
+            rec.qname,
+            rec.identity()
+        );
         assert!(rec.pend <= rec.plen, "{}: path overrun", rec.qname);
         assert!(!rec.path.is_empty());
     }
@@ -64,22 +71,35 @@ fn long_read_mappings_are_valid_gaf() {
     assert!(!records.is_empty(), "no long reads mapped");
     for rec in &records {
         // 5% error reads: identity well above random but below short-read.
-        assert!(rec.identity() > 0.75, "{}: identity {}", rec.qname, rec.identity());
+        assert!(
+            rec.identity() > 0.75,
+            "{}: identity {}",
+            rec.qname,
+            rec.identity()
+        );
         // The path must walk several nodes on a variant graph at 2 kbp.
-        assert!(rec.path.len() >= 2, "{}: suspiciously short path", rec.qname);
+        assert!(
+            rec.path.len() >= 2,
+            "{}: suspiciously short path",
+            rec.qname
+        );
     }
 }
 
 #[test]
 fn variant_spanning_reads_walk_alt_nodes() {
     // Reads that the simulator drew through ALT alleles should produce GAF
-    // paths that visit non-backbone nodes.
-    let dataset = DatasetConfig::tiny(71).illumina(150);
+    // paths that visit non-backbone nodes. 60 reads over a 30 kbp graph
+    // cover dozens of variant sites, so this holds with huge margin for
+    // any healthy seed.
+    let mut config = DatasetConfig::tiny(71);
+    config.read_count = 60;
+    let dataset = config.illumina(150);
     let is_backbone = &dataset.built.is_backbone;
     let records = gaf_records_for(&dataset, SegramConfig::short_reads());
-    let touches_alt = records.iter().any(|rec| {
-        rec.path.iter().any(|node| !is_backbone[node.index()])
-    });
+    let touches_alt = records
+        .iter()
+        .any(|rec| rec.path.iter().any(|node| !is_backbone[node.index()]));
     assert!(
         touches_alt,
         "no mapping ever walked an ALT node across {} records",

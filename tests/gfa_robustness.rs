@@ -1,8 +1,8 @@
 //! Failure-injection tests for the GFA reader: arbitrary byte soup must
 //! never panic, and structured corruption must produce precise errors.
 
-use proptest::prelude::*;
 use segram_graph::{gfa, GraphError};
+use segram_testkit::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

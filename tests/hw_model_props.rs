@@ -2,11 +2,11 @@
 //! monotone and dimensionally sane for any workload, not just the paper's
 //! calibration points.
 
-use proptest::prelude::*;
 use segram_hw::{
-    system_cost, BitAlignHwConfig, HbmConfig, MinSeedHwConfig, MinSeedScratchpads,
-    SeedWorkload, SegramAccelerator, SegramSystem,
+    system_cost, BitAlignHwConfig, HbmConfig, MinSeedHwConfig, MinSeedScratchpads, SeedWorkload,
+    SegramAccelerator, SegramSystem,
 };
+use segram_testkit::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = SeedWorkload> {
     (
@@ -16,13 +16,15 @@ fn arb_workload() -> impl Strategy<Value = SeedWorkload> {
         1.0f64..5000.0,
         50.0f64..20_000.0,
     )
-        .prop_map(|(read_len, minimizers, surviving_frac, seeds, region)| SeedWorkload {
-            read_len,
-            minimizers_per_read: minimizers,
-            surviving_minimizers: minimizers * surviving_frac,
-            seeds_per_read: seeds,
-            avg_region_len: region,
-        })
+        .prop_map(
+            |(read_len, minimizers, surviving_frac, seeds, region)| SeedWorkload {
+                read_len,
+                minimizers_per_read: minimizers,
+                surviving_minimizers: minimizers * surviving_frac,
+                seeds_per_read: seeds,
+                avg_region_len: region,
+            },
+        )
 }
 
 proptest! {

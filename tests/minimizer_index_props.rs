@@ -1,12 +1,12 @@
 //! Property tests for MinSeed's substrate: minimizer extraction and the
 //! three-level hash index.
 
-use proptest::prelude::*;
 use segram_graph::{linear_graph, Base, DnaSeq, GraphPos};
 use segram_index::{
     extract_minimizers, frequency_threshold, pack_kmer, GraphIndex, MinSeed, MinSeedConfig,
     Minimizer, MinimizerScheme,
 };
+use segram_testkit::prelude::*;
 
 fn arb_seq(min: usize, max: usize) -> impl Strategy<Value = DnaSeq> {
     prop::collection::vec(0u8..4, min..=max)

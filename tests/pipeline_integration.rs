@@ -5,9 +5,7 @@ use segram_core::{
     measure_workload, BaselineMapper, GraphAlignerLike, HgaLike, SegramConfig, SegramMapper,
 };
 use segram_graph::{gfa, hop_coverage, GraphTables};
-use segram_hw::{
-    system_cost, BitAlignStorage, HbmConfig, MinSeedScratchpads, SegramSystem,
-};
+use segram_hw::{system_cost, BitAlignStorage, HbmConfig, MinSeedScratchpads, SegramSystem};
 use segram_sim::{DatasetConfig, ErrorProfile, ReadConfig};
 
 #[test]
@@ -29,8 +27,7 @@ fn graph_mapping_beats_linear_mapping_on_variant_reads() {
     let mut config = DatasetConfig::tiny(103);
     config.read_count = 40;
     let dataset = config.illumina(150);
-    let graph_mapper =
-        SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+    let graph_mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
     let linear_mapper =
         SegramMapper::new_linear(&dataset.reference, SegramConfig::short_reads()).unwrap();
     let mut graph_edits = 0u64;
@@ -153,7 +150,12 @@ fn long_reads_flow_through_windowed_alignment() {
     config.read_count = 3;
     config.long_read_len = 1_200;
     let dataset = config.pacbio_5();
-    let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::long_reads(0.05));
+    // Cap candidate regions (as real long-read configs do): the unlimited
+    // default aligns hundreds of regions per read, which belongs in the
+    // ablation binaries, not a smoke test.
+    let mut mapper_config = SegramConfig::long_reads(0.05);
+    mapper_config.max_regions = 12;
+    let mapper = SegramMapper::new(dataset.graph().clone(), mapper_config);
     let mut mapped = 0;
     for read in &dataset.reads {
         let (mapping, stats) = mapper.map_read(&read.seq);
@@ -184,7 +186,10 @@ fn baseline_and_segram_agree_on_locations() {
         }
     }
     assert!(comparable >= 5);
-    assert!(agreements * 10 >= comparable * 8, "{agreements}/{comparable}");
+    assert!(
+        agreements * 10 >= comparable * 8,
+        "{agreements}/{comparable}"
+    );
 }
 
 #[test]
@@ -217,7 +222,10 @@ fn graph_tables_round_trip_a_dataset_graph() {
     let tables = GraphTables::from_graph(dataset.graph());
     assert_eq!(tables.node_count(), dataset.graph().node_count());
     let fp = tables.footprint();
-    assert_eq!(fp.node_table_bytes, dataset.graph().node_count() as u64 * 32);
+    assert_eq!(
+        fp.node_table_bytes,
+        dataset.graph().node_count() as u64 * 32
+    );
     for node in dataset.graph().node_ids().take(50) {
         assert_eq!(
             tables.node_edges(node).unwrap(),

@@ -2,8 +2,8 @@
 //! footnote-6 future work): enabling a sound prefilter must never lose a
 //! mapping, and it must actually reject decoy candidates.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use segram_testkit::rng::ChaCha8Rng;
+use segram_testkit::rng::{Rng, SeedableRng};
 
 use segram_core::{SegramConfig, SegramMapper};
 use segram_filter::FilterSpec;

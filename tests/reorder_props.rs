@@ -4,7 +4,7 @@
 //! from the graph DP and from BitAlign — and must keep the linearization
 //! topologically valid.
 
-use proptest::prelude::*;
+use segram_testkit::prelude::*;
 
 use segram_align::{bitalign, graph_dp_distance, StartMode};
 use segram_graph::{build_graph, Base, DnaSeq, LinearizedGraph, Variant, VariantSet, BASES};
@@ -19,7 +19,12 @@ fn seq_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<Bas
 
 /// Builds a variant graph with SNPs, one insertion, and one deletion at
 /// derived positions.
-fn variant_graph(ref_seq: &[Base], snps: &[usize], ins_at: usize, del_at: usize) -> LinearizedGraph {
+fn variant_graph(
+    ref_seq: &[Base],
+    snps: &[usize],
+    ins_at: usize,
+    del_at: usize,
+) -> LinearizedGraph {
     let reference: DnaSeq = ref_seq.iter().copied().collect();
     let mut set = VariantSet::new();
     for &pos in snps {
@@ -29,7 +34,10 @@ fn variant_graph(ref_seq: &[Base], snps: &[usize], ins_at: usize, del_at: usize)
         }
     }
     if ins_at + 2 < ref_seq.len() {
-        set.push(Variant::insertion(ins_at as u64, "GATTACA".parse().unwrap()));
+        set.push(Variant::insertion(
+            ins_at as u64,
+            "GATTACA".parse().unwrap(),
+        ));
     }
     if del_at + 6 < ref_seq.len() {
         set.push(Variant::deletion(del_at as u64, 4));

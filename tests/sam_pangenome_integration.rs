@@ -2,13 +2,11 @@
 //! set against a multi-chromosome pangenome and emit a valid SAM document.
 
 use segram_align::Cigar;
-use segram_core::{
-    mapq_estimate, sam_document, Pangenome, SamRecord, SegramConfig, SegramMapper,
-};
+use segram_core::{mapq_estimate, sam_document, Pangenome, SamRecord, SegramConfig, SegramMapper};
 use segram_graph::build_graph;
 use segram_sim::{
-    generate_reference, simulate_stranded_reads, simulate_variants, GenomeConfig,
-    ReadConfig, VariantConfig,
+    generate_reference, simulate_stranded_reads, simulate_variants, GenomeConfig, ReadConfig,
+    VariantConfig,
 };
 
 #[test]
@@ -17,11 +15,7 @@ fn stranded_mapping_to_sam_document() {
     let variants = simulate_variants(&reference, &VariantConfig::human_like(402));
     let built = build_graph(&reference, variants).unwrap();
     let mapper = SegramMapper::new(built.graph.clone(), SegramConfig::short_reads());
-    let reads = simulate_stranded_reads(
-        &built.graph,
-        &ReadConfig::short_reads(25, 120, 403),
-        0.5,
-    );
+    let reads = simulate_stranded_reads(&built.graph, &ReadConfig::short_reads(25, 120, 403), 0.5);
 
     let mut records = Vec::new();
     let mut correct = 0usize;
