@@ -17,4 +17,25 @@ cargo test -q --locked
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== end-to-end determinism gate (threads 1 vs 4) =="
+# Multi-threaded mapping must be byte-identical to serial mapping: the
+# MapEngine numbers batches and releases them to the output writer in
+# input order, so SAM/GAF bytes cannot depend on --threads.
+GATE_DIR="$(mktemp -d)"
+trap 'rm -rf "$GATE_DIR"' EXIT
+SEGRAM=target/release/segram
+"$SEGRAM" simulate --out-prefix "$GATE_DIR/ds" \
+    --length 30000 --reads 16 --read-len 120 --seed 5 > /dev/null
+for fmt in sam gaf; do
+    "$SEGRAM" map --graph "$GATE_DIR/ds.gfa" --reads "$GATE_DIR/ds.fq" \
+        --format "$fmt" --threads 1 --both-strands \
+        --output "$GATE_DIR/t1.$fmt" > /dev/null
+    "$SEGRAM" map --graph "$GATE_DIR/ds.gfa" --reads "$GATE_DIR/ds.fq" \
+        --format "$fmt" --threads 4 --both-strands \
+        --output "$GATE_DIR/t4.$fmt" > /dev/null
+    diff "$GATE_DIR/t1.$fmt" "$GATE_DIR/t4.$fmt" \
+        || { echo "FAIL: $fmt output differs between --threads 1 and 4"; exit 1; }
+    echo "  $fmt: identical"
+done
+
 echo "CI OK"

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the batched multi-threaded `MapEngine`: batch
+//! throughput at 1/2/4 worker threads, the baseline perf trajectory for
+//! future scaling PRs (sharded indexes, async IO, region batching).
+
+use segram_core::{EngineConfig, MapEngine, SegramConfig, SegramMapper};
+use segram_graph::DnaSeq;
+use segram_sim::DatasetConfig;
+use segram_testkit::bench::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let dataset = DatasetConfig {
+        reference_len: 100_000,
+        read_count: 32,
+        long_read_len: 2_000,
+        seed: 171,
+    }
+    .illumina(150);
+    let mut config = SegramConfig::short_reads();
+    config.max_regions = 8;
+    let mapper = SegramMapper::new(dataset.graph().clone(), config);
+    let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+
+    let mut group = c.benchmark_group("engine_batch_150bp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    for threads in [1usize, 2, 4] {
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(threads));
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let (outcomes, report) = engine.map_batch(black_box(&reads));
+                black_box((outcomes.len(), report.mapped))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! vs the baseline mappers — the per-read software costs behind the
 //! Figure 15/16 throughput measurements.
 
-use segram_core::{BaselineMapper, GraphAlignerLike, SegramConfig, SegramMapper, VgLike};
+use segram_core::{
+    BaselineMapper, EngineConfig, GraphAlignerLike, MapEngine, SegramConfig, SegramMapper, VgLike,
+};
 use segram_sim::DatasetConfig;
 use segram_testkit::bench::{criterion_group, criterion_main, Criterion};
 
@@ -23,11 +25,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_150bp");
     group.sample_size(10);
     group.bench_function("segram_software", |b| {
-        b.iter(|| {
-            for read in &dataset.reads {
-                let _ = segram.map_read(&read.seq);
-            }
-        })
+        // The SeGraM software pipeline runs through the engine (serial
+        // configuration), the same path `segram map --threads 1` takes.
+        let engine = MapEngine::new(&segram, EngineConfig::with_threads(1));
+        b.iter(|| engine.map_stream(dataset.reads.iter(), |r| &r.seq, |_, _| {}))
     });
     group.bench_function("graphaligner_like", |b| {
         b.iter(|| {

@@ -69,6 +69,8 @@ fn main() {
         if threads > threads_available * 2 {
             break;
         }
+        // `map_with_threads` is a thin wrapper over `MapEngine` since the
+        // stage-based refactor, so this measures the engine directly.
         let (seconds, _) = map_with_threads(&mapper, &dataset.reads, threads);
         if threads == 1 {
             base_seconds = seconds;

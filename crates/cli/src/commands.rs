@@ -6,15 +6,19 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+use std::time::Duration;
 
-use segram_core::{mapq_estimate, sam_document, SamRecord, SegramConfig, SegramMapper};
+use segram_core::{
+    gaf_record_for, sam_record_for, EngineConfig, MapEngine, SegramConfig, SegramMapper,
+};
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
 use segram_index::{GraphIndex, MinimizerScheme};
 use segram_io::{
-    phred_from_error_rate, read_fasta, read_fastq, read_vcf, write_fasta, write_fastq, write_gaf,
-    write_vcf, Ambiguity, FastaRecord, FastqRecord, GafRecord, VcfOptions,
+    phred_from_error_rate, read_fasta, read_vcf, write_fasta, write_fastq, write_vcf, Ambiguity,
+    FastaRecord, FastqReader, FastqRecord, GafWriter, SamWriter, StreamError, VcfOptions,
 };
 use segram_sim::{
     generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
@@ -226,11 +230,16 @@ pub fn index(options: &Options) -> Result<String, CliError> {
 const MAP_HELP: &str = "\
 segram map — map FASTQ reads to a genome graph (MinSeed + BitAlign)
 
+Reads are streamed through the stage pipeline (seed -> prefilter -> align)
+by a batched multi-threaded engine; output order is the input order and is
+byte-identical for every --threads value.
+
 OPTIONS:
     --graph <graph.gfa>    input graph (required)
     --reads <reads.fq>     input FASTQ (required)
     --output <path>        output file (default: stdout section of report)
     --format <sam|gaf>     output format (default sam)
+    --threads <int>        worker threads (default: all available cores)
     --preset <short|long5|long10>
                            mapper preset (default short)
     --filter <none|base-count|qgram|shd|snake|cascade>
@@ -264,6 +273,52 @@ fn filter_spec(name: &str) -> Result<Option<FilterSpec>, CliError> {
     }
 }
 
+/// Worker-thread count for `segram map`: `--threads N` with `N >= 1`, or
+/// every available core when the option is absent.
+fn thread_count(options: &Options) -> Result<usize, CliError> {
+    match options.get("threads") {
+        None => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+        Some(text) => match text.parse::<usize>() {
+            Ok(0) => Err(CliError::usage("--threads must be at least 1")),
+            Ok(n) => Ok(n),
+            Err(_) => Err(CliError::usage(format!(
+                "--threads: unparsable value {text:?}"
+            ))),
+        },
+    }
+}
+
+/// Where the streamed output records go: a buffered file or an in-memory
+/// buffer that is appended to the report (the no-`--output` case).
+enum MapTarget {
+    File(BufWriter<fs::File>),
+    Memory(Vec<u8>),
+}
+
+impl Write for MapTarget {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::File(w) => w.write(buf),
+            Self::Memory(w) => w.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::File(w) => w.flush(),
+            Self::Memory(w) => w.flush(),
+        }
+    }
+}
+
+/// The format-specific streaming writer side of `segram map`.
+enum MapWriter {
+    Sam(SamWriter<MapTarget>),
+    Gaf(GafWriter<MapTarget>),
+}
+
 /// `segram map`.
 pub fn map(options: &Options) -> Result<String, CliError> {
     if options.switch("help") {
@@ -274,6 +329,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "reads",
         "output",
         "format",
+        "threads",
         "preset",
         "filter",
         "both-strands",
@@ -281,88 +337,164 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     ])?;
     let graph_path = options.require("graph")?;
     let reads_path = options.require("reads")?;
-    let graph = load_graph(graph_path)?;
-    let reads = read_fastq(&read_file(reads_path)?, ambiguity(options))
-        .map_err(|e| CliError::format(reads_path, e))?;
     let format = options.get("format").unwrap_or("sam");
     if format != "sam" && format != "gaf" {
         return Err(CliError::usage(format!(
             "unknown format {format:?} (expected sam|gaf)"
         )));
     }
-
+    // Validate the cheap options before touching the filesystem, so usage
+    // errors win over I/O errors.
+    let threads = thread_count(options)?;
     let mut config = preset(options.get("preset").unwrap_or("short"))?;
     config.prefilter = filter_spec(options.get("filter").unwrap_or("none"))?;
+
+    let graph = load_graph(graph_path)?;
     let mapper = SegramMapper::new(graph, config);
     let both = options.switch("both-strands");
 
-    let mut sam_records = Vec::new();
-    let mut gaf_records = Vec::new();
-    let mut mapped = 0usize;
-    let mut filtered_regions = 0usize;
-    let mut aligned_regions = 0usize;
-    for read in &reads {
-        let (mapping, stats) = if both {
-            let (best, stats) = mapper.map_read_both(&read.seq);
-            (best.map(|(m, _)| m), stats)
-        } else {
-            mapper.map_read(&read.seq)
-        };
-        filtered_regions += stats.regions_filtered;
-        aligned_regions += stats.regions_aligned;
-        match mapping {
-            Some(mapping) => {
-                mapped += 1;
-                let mapq = mapq_estimate(
-                    stats.regions_aligned,
-                    mapping.alignment.edit_distance,
-                    read.seq.len(),
-                );
-                if format == "sam" {
-                    sam_records.push(SamRecord::from_mapping(
-                        &read.id, "graph", &read.seq, &mapping, mapq,
-                    ));
-                } else {
-                    let record = GafRecord::from_char_path(
-                        &read.id,
-                        read.seq.len(),
-                        mapper.graph(),
-                        &mapping.path,
-                        &mapping.alignment.cigar,
-                        mapping.alignment.edit_distance,
-                        mapq,
-                    )
-                    .map_err(|e| CliError::format(reads_path, e))?;
-                    gaf_records.push(record);
+    // Raised by the sink on the first write failure; the input side stops
+    // feeding the engine so a full-disk error surfaces without mapping
+    // the rest of the stream first.
+    let abort = std::sync::atomic::AtomicBool::new(false);
+
+    // Input side: the FASTQ is streamed record by record, never fully
+    // materialized. A parse failure (or a raised abort flag) stops the
+    // stream; the cause is reported after the engine drains.
+    let reads_file = fs::File::open(reads_path).map_err(|e| CliError::io(reads_path, e))?;
+    let mut fastq = FastqReader::new(BufReader::new(reads_file), ambiguity(options));
+    let mut read_error: Option<StreamError> = None;
+    let reads = std::iter::from_fn(|| {
+        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+            return None;
+        }
+        match fastq.next() {
+            Some(Ok(record)) => Some(record),
+            Some(Err(err)) => {
+                read_error = Some(err);
+                None
+            }
+            None => None,
+        }
+    });
+
+    // Output side: records are written as their batch is released, so the
+    // document is never held in memory when writing to a file.
+    let out_path = options.get("output");
+    let out_name = out_path.unwrap_or("<report>");
+    let target = match out_path {
+        Some(path) => {
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
                 }
             }
-            None if format == "sam" => {
-                sam_records.push(SamRecord::unmapped(&read.id, &read.seq));
-            }
-            None => {}
+            MapTarget::File(BufWriter::new(
+                fs::File::create(path).map_err(|e| CliError::io(path, e))?,
+            ))
         }
-    }
-
-    let output = if format == "sam" {
-        sam_document("graph", mapper.graph().total_chars(), &sam_records)
-    } else {
-        write_gaf(&gaf_records)
+        None => MapTarget::Memory(Vec::new()),
     };
+    let mut writer = match format {
+        "sam" => match SamWriter::new(target, "graph", mapper.graph().total_chars()) {
+            Ok(writer) => MapWriter::Sam(writer),
+            Err(err) => {
+                // The file was already created; don't leave a header-less
+                // stub behind.
+                if let Some(path) = out_path {
+                    let _ = fs::remove_file(path);
+                }
+                return Err(CliError::io(out_name, err));
+            }
+        },
+        _ => MapWriter::Gaf(GafWriter::new(target)),
+    };
+    let mut write_error: Option<CliError> = None;
 
+    let engine = MapEngine::new(
+        &mapper,
+        EngineConfig::with_threads(threads).both_strands(both),
+    );
+    let run = engine.map_stream(
+        reads,
+        |record| &record.seq,
+        |record, outcome| {
+            if write_error.is_some() {
+                return;
+            }
+            let result = match &mut writer {
+                MapWriter::Sam(w) => {
+                    let rec = sam_record_for(&record.id, &record.seq, &outcome);
+                    w.write_line(&rec.to_sam_line())
+                        .map_err(|e| CliError::io(out_name, e))
+                }
+                MapWriter::Gaf(w) => {
+                    match gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome) {
+                        Err(e) => Err(CliError::format(reads_path, e)),
+                        Ok(None) => Ok(()),
+                        Ok(Some(rec)) => {
+                            w.write_record(&rec).map_err(|e| CliError::io(out_name, e))
+                        }
+                    }
+                }
+            };
+            if let Err(err) = result {
+                write_error = Some(err);
+                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        },
+    );
+
+    let failure = match read_error {
+        Some(StreamError::Io(err)) => Some(CliError::io(reads_path, err)),
+        Some(StreamError::Format(err)) => Some(CliError::format(reads_path, err)),
+        None => write_error,
+    };
+    if let Some(err) = failure {
+        // Don't leave a truncated document behind: drop the writer (which
+        // flushes whatever was buffered) and remove the partial file.
+        drop(writer);
+        if let Some(path) = out_path {
+            let _ = fs::remove_file(path);
+        }
+        return Err(err);
+    }
+    let target = match writer {
+        MapWriter::Sam(w) => w.finish(),
+        MapWriter::Gaf(w) => w.finish(),
+    }
+    .map_err(|e| CliError::io(out_name, e))?;
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut report = String::new();
     let _ = writeln!(
         report,
-        "mapped {mapped}/{} reads ({aligned_regions} regions aligned, {filtered_regions} filtered)",
-        reads.len()
+        "mapped {}/{} reads ({} regions aligned, {} filtered)",
+        run.mapped, run.reads, run.stats.regions_aligned, run.stats.regions_filtered
     );
-    match options.get("output") {
-        Some(path) => {
-            write_file(path, &output)?;
+    let _ = writeln!(
+        report,
+        "threads: {threads} ({} batches of up to {} reads)",
+        run.batches,
+        engine.config().batch_size
+    );
+    let _ = writeln!(
+        report,
+        "stage times: seeding {:.2} ms, filtering {:.2} ms, alignment {:.2} ms \
+         (alignment fraction {:.0}%)",
+        ms(run.stats.seeding),
+        ms(run.stats.filtering),
+        ms(run.stats.alignment),
+        run.stats.alignment_fraction() * 100.0
+    );
+    match (out_path, target) {
+        (Some(path), _) => {
             let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
         }
-        None => {
-            report.push_str(&output);
+        (None, MapTarget::Memory(buffer)) => {
+            report.push_str(&String::from_utf8_lossy(&buffer));
         }
+        (None, MapTarget::File(_)) => unreachable!("no --output implies the memory target"),
     }
     Ok(report)
 }

@@ -271,6 +271,127 @@ fn usage_errors_are_reported_with_exit_code_2() {
 }
 
 #[test]
+fn threads_option_is_validated_before_io() {
+    // Both rejections are usage errors (exit 2), and they win over the
+    // nonexistent input paths (which would be exit 1).
+    for bad in ["0", "two", "-1", "1.5"] {
+        let err = run(&[
+            "map",
+            "--graph",
+            "x.gfa",
+            "--reads",
+            "y.fq",
+            "--threads",
+            bad,
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "--threads {bad} must be a usage error");
+        assert!(err.to_string().contains("--threads"), "{err}");
+    }
+}
+
+#[test]
+fn failed_map_leaves_no_partial_output_file() {
+    let dir = TempDir::new("partial");
+    let prefix = dir.path("p");
+    run(&[
+        "simulate",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "20000",
+        "--reads",
+        "4",
+        "--read-len",
+        "100",
+        "--seed",
+        "29",
+    ])
+    .expect("simulate");
+
+    // A FASTQ whose second record is malformed (quality shorter than the
+    // sequence): the streaming map must fail and must not leave a
+    // truncated SAM behind.
+    let good = fs::read_to_string(format!("{prefix}.fq")).unwrap();
+    let bad_path = dir.path("bad.fq");
+    fs::write(&bad_path, format!("{good}@broken\nACGT\n+\nII\n")).unwrap();
+    let out = dir.path("partial.sam");
+    let err = run(&[
+        "map",
+        "--graph",
+        &format!("{prefix}.gfa"),
+        "--reads",
+        &bad_path,
+        "--output",
+        &out,
+    ])
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 1);
+    assert!(err.to_string().contains("bad.fq"), "{err}");
+    assert!(
+        fs::metadata(&out).is_err(),
+        "partial output file must be removed on failure"
+    );
+}
+
+#[test]
+fn threads_choice_is_reported_and_output_is_thread_invariant() {
+    let dir = TempDir::new("threads");
+    let prefix = dir.path("t");
+    run(&[
+        "simulate",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "25000",
+        "--reads",
+        "10",
+        "--read-len",
+        "110",
+        "--seed",
+        "17",
+    ])
+    .expect("simulate");
+
+    let map_args = |threads: Option<&str>, format: &str, out: &str| {
+        let mut args = vec![
+            "map".to_owned(),
+            "--graph".to_owned(),
+            format!("{prefix}.gfa"),
+            "--reads".to_owned(),
+            format!("{prefix}.fq"),
+            "--format".to_owned(),
+            format.to_owned(),
+            "--output".to_owned(),
+            dir.path(out),
+            "--both-strands".to_owned(),
+        ];
+        if let Some(n) = threads {
+            args.push("--threads".to_owned());
+            args.push(n.to_owned());
+        }
+        args
+    };
+    let run_owned = |args: &[String]| dispatch(args).expect("map");
+
+    // Explicit --threads is echoed in the run report, as is the default.
+    let report = run_owned(&map_args(Some("2"), "sam", "t2.sam"));
+    assert!(report.contains("threads: 2"), "{report}");
+    assert!(report.contains("stage times: seeding"), "{report}");
+    let report = run_owned(&map_args(None, "sam", "tdefault.sam"));
+    assert!(report.contains("threads: "), "{report}");
+
+    // SAM and GAF bytes are identical across thread counts.
+    for format in ["sam", "gaf"] {
+        run_owned(&map_args(Some("1"), format, &format!("serial.{format}")));
+        run_owned(&map_args(Some("4"), format, &format!("parallel.{format}")));
+        let serial = fs::read(dir.path(&format!("serial.{format}"))).unwrap();
+        let parallel = fs::read(dir.path(&format!("parallel.{format}"))).unwrap();
+        assert_eq!(serial, parallel, "{format} output differs across threads");
+    }
+}
+
+#[test]
 fn io_and_format_errors_are_reported_with_paths() {
     let dir = TempDir::new("errors");
     let err = run(&["index", "--graph", &dir.path("missing.gfa")]).unwrap_err();

@@ -10,6 +10,11 @@
 //! 2. **Standalone alignment** ([`SegramMapper::align_region`]);
 //! 3. **Standalone seeding** ([`SegramMapper::seed`]).
 //!
+//! The mapping flow itself lives in the [`pipeline`] module as explicit
+//! stages ([`Seeder`] → [`Prefilter`] → [`Aligner`]) driven by a
+//! [`MapPipeline`]; [`MapEngine`] batches read streams over worker
+//! threads with order-preserving output.
+//!
 //! It also hosts the software baseline mappers used by the evaluation
 //! ([`GraphAlignerLike`], [`VgLike`], [`HgaLike`]) and the workload
 //! measurement that parameterizes the `segram-hw` performance model
@@ -36,6 +41,7 @@ mod config;
 mod eval;
 mod mapper;
 mod pangenome;
+pub mod pipeline;
 mod sam;
 mod workload;
 
@@ -44,5 +50,9 @@ pub use config::SegramConfig;
 pub use eval::{evaluate, seeding_sensitivity, Evaluation};
 pub use mapper::{MapStats, Mapping, SegramMapper};
 pub use pangenome::{Chromosome, Pangenome, PangenomeMapping};
+pub use pipeline::{
+    gaf_record_for, sam_record_for, Aligner, BitAlignStage, EngineConfig, EngineReport, MapEngine,
+    MapPipeline, MinSeedStage, Prefilter, ReadOutcome, Seeder, SpecPrefilter,
+};
 pub use sam::{mapq_estimate, sam_document, SamRecord};
 pub use workload::{map_with_threads, measure_sequences, measure_workload, WorkloadMeasurement};

@@ -2,17 +2,22 @@
 //! (the "End-to-End Mapping" use case of Section 9), for both
 //! sequence-to-graph and sequence-to-sequence mapping, short and long
 //! reads.
+//!
+//! Since the stage-based refactor, [`SegramMapper`] is a thin facade: it
+//! owns the graph, the index, and the configuration, and wires the
+//! default stage implementations into a
+//! [`MapPipeline`](crate::pipeline::MapPipeline), which hosts the actual
+//! seeding → prefilter → alignment flow. Batched multi-threaded mapping
+//! lives in [`MapEngine`](crate::pipeline::MapEngine).
 
 use std::time::Duration;
-use std::time::Instant;
 
-use segram_align::{
-    windowed_bitalign, AlignError, Alignment, BitAlignConfig, BitAligner, StartMode,
-};
+use segram_align::{AlignError, Alignment};
 use segram_graph::{linear_graph, DnaSeq, GenomeGraph, GraphError, GraphPos, LinearizedGraph};
-use segram_index::{frequency_threshold, GraphIndex, MinSeed, MinSeedConfig, SeedRegion};
+use segram_index::{frequency_threshold, GraphIndex, MinSeedConfig, SeedRegion};
 
 use crate::config::SegramConfig;
+use crate::pipeline::{Aligner, BitAlignStage, MapPipeline, MinSeedStage, Seeder, SpecPrefilter};
 
 /// A completed read mapping.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,7 +41,11 @@ pub struct Mapping {
 pub struct MapStats {
     /// Time spent in the seeding step.
     pub seeding: Duration,
-    /// Time spent in the alignment step.
+    /// Time spent in the optional pre-alignment filter step (zero when
+    /// [`SegramConfig::prefilter`](crate::SegramConfig) is `None`).
+    pub filtering: Duration,
+    /// Time spent in the alignment step (region extraction + BitAlign,
+    /// excluding pre-alignment filtering).
     pub alignment: Duration,
     /// Minimizers extracted.
     pub minimizers: usize,
@@ -58,6 +67,7 @@ impl MapStats {
     /// Merges another read's stats into an aggregate.
     pub fn merge(&mut self, other: &MapStats) {
         self.seeding += other.seeding;
+        self.filtering += other.filtering;
         self.alignment += other.alignment;
         self.minimizers += other.minimizers;
         self.filtered_minimizers += other.filtered_minimizers;
@@ -67,9 +77,17 @@ impl MapStats {
         self.total_region_len += other.total_region_len;
     }
 
-    /// Fraction of pipeline time spent in alignment (Observation 1 metric).
+    /// Total pipeline time across all stages.
+    pub fn total_time(&self) -> Duration {
+        self.seeding + self.filtering + self.alignment
+    }
+
+    /// Fraction of pipeline time spent in alignment (Observation 1
+    /// metric). Pre-alignment filtering counts toward the denominator but
+    /// not toward alignment, so enabling a filter visibly *lowers* this
+    /// fraction instead of silently inflating it.
     pub fn alignment_fraction(&self) -> f64 {
-        let total = self.seeding.as_secs_f64() + self.alignment.as_secs_f64();
+        let total = self.total_time().as_secs_f64();
         if total == 0.0 {
             return 0.0;
         }
@@ -147,20 +165,29 @@ impl SegramMapper {
         self.freq_threshold
     }
 
-    fn minseed(&self) -> MinSeed<'_> {
-        MinSeed::new(
+    /// Assembles the default stage pipeline over this mapper's graph,
+    /// index, and configuration. All mapping entry points below are thin
+    /// wrappers over the pipeline this returns.
+    pub fn pipeline(&self) -> MapPipeline<'_, MinSeedStage<'_>, SpecPrefilter, BitAlignStage> {
+        MapPipeline::new(
             &self.graph,
-            &self.index,
-            MinSeedConfig {
-                error_rate: self.config.error_rate,
-                frequency_threshold: self.freq_threshold,
-            },
+            MinSeedStage::new(
+                &self.graph,
+                &self.index,
+                MinSeedConfig {
+                    error_rate: self.config.error_rate,
+                    frequency_threshold: self.freq_threshold,
+                },
+            ),
+            SpecPrefilter::new(self.config.prefilter),
+            BitAlignStage::new(&self.config),
+            self.config,
         )
     }
 
     /// Runs the seeding step only (the "Seeding" use case of Section 9).
     pub fn seed(&self, read: &DnaSeq) -> segram_index::SeedingResult {
-        self.minseed().seed(read)
+        self.pipeline().seeder().seed(read)
     }
 
     /// Aligns a read against one already-extracted subgraph (the
@@ -174,184 +201,37 @@ impl SegramMapper {
         lin: &LinearizedGraph,
         read: &DnaSeq,
     ) -> Result<Alignment, AlignError> {
-        let k = self.config.threshold_for(read.len());
-        if read.len() <= self.config.window.window {
-            BitAligner::new(
-                lin,
-                read,
-                BitAlignConfig {
-                    k,
-                    ..BitAlignConfig::default()
-                },
-            )?
-            .align()
-        } else {
-            let mut window = self.config.window;
-            window.window_k = window.window_k.max(window.overlap as u32);
-            windowed_bitalign(lin, read, window, StartMode::Free)
-        }
+        BitAlignStage::new(&self.config).align(lin, read)
     }
 
     /// Maps one read end to end; returns the best mapping (fewest edits,
     /// then leftmost) and the pipeline statistics.
     pub fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
-        let mut stats = MapStats::default();
-        let t0 = Instant::now();
-        let seeding = self.minseed().seed(read);
-        stats.seeding = t0.elapsed();
-        stats.minimizers = seeding.stats.minimizers;
-        stats.filtered_minimizers = seeding.stats.filtered_minimizers;
-        stats.seed_locations = seeding.stats.seed_locations;
-
-        let t1 = Instant::now();
-        let mut best: Option<Mapping> = None;
-        let mut regions = seeding.regions;
-        if self.config.max_regions > 0 && regions.len() > self.config.max_regions {
-            // The pipeline's optional clustering step (Figure 2, step 2):
-            // seeds from one locus produce near-identical regions, so
-            // cluster them before truncating — otherwise the cap keeps
-            // only the read's first (often repeat-heavy) minimizers and
-            // drops the true locus entirely. MinSeed itself stays
-            // cluster-free (Section 11.4); this only runs when the caller
-            // opted into a region cap.
-            regions.sort_by_key(|r| r.start);
-            let merge_within = (read.len() as u64).max(64);
-            let mut clusters: Vec<(SeedRegion, usize)> = Vec::new();
-            for region in regions.drain(..) {
-                match clusters.last_mut() {
-                    Some((head, count))
-                        if region.start.saturating_sub(head.start) < merge_within =>
-                    {
-                        *count += 1;
-                    }
-                    _ => clusters.push((region, 1)),
-                }
-            }
-            // Rank loci by seed support: the true locus collects hits from
-            // many of the read's minimizers, repeats collect few each.
-            clusters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.start.cmp(&b.0.start)));
-            regions = clusters
-                .into_iter()
-                .take(self.config.max_regions)
-                .map(|(region, _)| region)
-                .collect();
-        }
-        // An alignment whose edit count stays below this is plausibly
-        // error-only; anything above it hints that the read's path left the
-        // linear-coordinate window (e.g. a hop across a structural-variant
-        // deletion, whose deleted characters sit inline in the
-        // linearization), so the region is retried wider.
-        let plausible = ((read.len() as f64) * self.config.error_rate * 1.5).ceil() as u32 + 4;
-        let filter_k = self.config.threshold_for(read.len()).max(plausible);
-        for region in regions {
-            let mut window_start = region.start;
-            let mut window_end = region.end;
-            let mut outcome: Option<(segram_align::Alignment, LinearizedGraph)> = None;
-            for attempt in 0..3u32 {
-                let Ok(lin) = LinearizedGraph::extract(&self.graph, window_start, window_end)
-                else {
-                    break;
-                };
-                if let Some(spec) = self.config.prefilter {
-                    let verdict =
-                        segram_filter::filter_region(spec, read.as_slice(), &lin, filter_k);
-                    if !verdict.accepted {
-                        // Treat a rejection like an implausible alignment:
-                        // widen and re-filter, so structural-variant hops
-                        // that the narrow window clips still get rescued.
-                        stats.regions_filtered += 1;
-                        let ext = (read.len() as u64).max(256) << attempt;
-                        window_start = window_start.saturating_sub(ext);
-                        window_end = (window_end + ext).min(self.graph.total_chars());
-                        continue;
-                    }
-                }
-                stats.regions_aligned += 1;
-                stats.total_region_len += window_end - window_start;
-                match self.align_region(&lin, read) {
-                    Ok(a) if a.edit_distance <= plausible => {
-                        outcome = Some((a, lin));
-                        break;
-                    }
-                    Ok(a) => outcome = Some((a, lin)),
-                    Err(_) => {}
-                }
-                // Widen and retry (bounded): covers SV-sized hops.
-                let ext = (read.len() as u64).max(256) << attempt;
-                window_start = window_start.saturating_sub(ext);
-                window_end = (window_end + ext).min(self.graph.total_chars());
-            }
-            let Some((alignment, lin)) = outcome else {
-                continue;
-            };
-            let linear_start = window_start + alignment.text_start as u64;
-            let candidate = Mapping {
-                start: lin.origin(alignment.text_start.min(lin.len() - 1)),
-                linear_start,
-                path: alignment.graph_path(&lin),
-                alignment,
-                region,
-            };
-            let better = match &best {
-                None => true,
-                Some(current) => {
-                    (candidate.alignment.edit_distance, candidate.linear_start)
-                        < (current.alignment.edit_distance, current.linear_start)
-                }
-            };
-            if better {
-                best = Some(candidate);
-            }
-            if let Some(current) = &best {
-                if self.config.early_exit_edits > 0
-                    && current.alignment.edit_distance <= self.config.early_exit_edits
-                {
-                    break;
-                }
-            }
-        }
-        stats.alignment = t1.elapsed();
-        (best, stats)
+        self.pipeline().map_read(read)
     }
 
     /// Maps a read trying **both strands** (the read as given and its
     /// reverse complement), returning the better mapping and the strand it
-    /// mapped on. Sequencers emit reads from either strand with equal
-    /// probability, so end-to-end mappers always do this double query; the
-    /// hardware does too (each orientation is just another read stream).
+    /// mapped on.
     pub fn map_read_both(
         &self,
         read: &DnaSeq,
     ) -> (Option<(Mapping, segram_sim::Strand)>, MapStats) {
-        let (forward, mut stats) = self.map_read(read);
-        let rc = read.reverse_complement();
-        let (reverse, reverse_stats) = self.map_read(&rc);
-        stats.merge(&reverse_stats);
-        let best = match (forward, reverse) {
-            (Some(f), Some(r)) => {
-                if f.alignment.edit_distance <= r.alignment.edit_distance {
-                    Some((f, segram_sim::Strand::Forward))
-                } else {
-                    Some((r, segram_sim::Strand::Reverse))
-                }
-            }
-            (Some(f), None) => Some((f, segram_sim::Strand::Forward)),
-            (None, Some(r)) => Some((r, segram_sim::Strand::Reverse)),
-            (None, None) => None,
-        };
-        (best, stats)
+        self.pipeline().map_read_both(read)
     }
 
-    /// Maps a batch of reads, returning per-read mappings and the
-    /// aggregated statistics.
+    /// Maps a batch of reads serially, returning per-read mappings and the
+    /// aggregated statistics. For multi-threaded batches use
+    /// [`MapEngine`](crate::pipeline::MapEngine).
     pub fn map_all<'r>(
         &self,
         reads: impl IntoIterator<Item = &'r DnaSeq>,
     ) -> (Vec<Option<Mapping>>, MapStats) {
+        let pipeline = self.pipeline();
         let mut aggregate = MapStats::default();
         let mut out = Vec::new();
         for read in reads {
-            let (mapping, stats) = self.map_read(read);
+            let (mapping, stats) = pipeline.map_read(read);
             aggregate.merge(&stats);
             out.push(mapping);
         }
@@ -515,5 +395,26 @@ mod tests {
         assert_eq!(mappings.len(), 5);
         assert!(stats.minimizers > 0);
         assert!(stats.alignment_fraction() > 0.0);
+    }
+
+    #[test]
+    fn filtering_time_is_tracked_and_bounded() {
+        let dataset = DatasetConfig::tiny(45).illumina(100);
+        let filtered_config =
+            SegramConfig::short_reads().with_prefilter(segram_filter::FilterSpec::cascade());
+        let plain = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let filtered = SegramMapper::new(dataset.graph().clone(), filtered_config);
+        let read = &dataset.reads[0].seq;
+        let (_, plain_stats) = plain.map_read(read);
+        assert_eq!(plain_stats.filtering, Duration::ZERO);
+        let (_, filtered_stats) = filtered.map_read(read);
+        assert!(filtered_stats.filtering > Duration::ZERO);
+        // The fraction denominator includes all three stages.
+        let total = filtered_stats.total_time();
+        assert_eq!(
+            total,
+            filtered_stats.seeding + filtered_stats.filtering + filtered_stats.alignment
+        );
+        assert!(filtered_stats.alignment_fraction() < 1.0);
     }
 }

@@ -1,0 +1,507 @@
+//! The batched, multi-threaded, order-preserving map engine.
+//!
+//! [`MapEngine`] is the production driver around
+//! [`SegramMapper`](crate::SegramMapper): it consumes a stream of reads,
+//! groups them into fixed-size batches, fans the batches out to
+//! `std::thread::scope` workers through a bounded work queue (so an
+//! arbitrarily long input stream never piles up in memory), and emits
+//! per-read outcomes to a sink **in input order**, whatever the worker
+//! interleaving. Per-stage [`MapStats`] are aggregated across all workers.
+//!
+//! Ordering guarantee: batches are numbered by the producer and a reorder
+//! buffer releases them to the sink strictly sequentially, so the output
+//! of `threads = N` is byte-identical to `threads = 1` for any `N` (the
+//! mapper itself is deterministic). `ci.sh` enforces this end to end.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use segram_graph::DnaSeq;
+use segram_sim::Strand;
+
+use crate::mapper::{MapStats, Mapping, SegramMapper};
+
+/// Tuning knobs of a [`MapEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub threads: usize,
+    /// Reads per work item; batching amortizes queue synchronization.
+    pub batch_size: usize,
+    /// Bounded work-queue capacity in batches (0 = `2 × threads`). Bounds
+    /// how far the producer can run ahead of the workers.
+    pub queue_depth: usize,
+    /// Map each read on both strands and keep the better mapping.
+    pub both_strands: bool,
+}
+
+impl EngineConfig {
+    /// A configuration with `threads` workers and default batching.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with both-strand mapping enabled or disabled.
+    pub fn both_strands(mut self, enabled: bool) -> Self {
+        self.both_strands = enabled;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_size: 16,
+            queue_depth: 0,
+            both_strands: false,
+        }
+    }
+}
+
+/// The engine's per-read result: the mapping (if any), the strand it was
+/// found on, and this read's per-stage statistics (the inputs SAM/GAF
+/// rendering needs, e.g. for MAPQ estimation).
+#[derive(Clone, Debug)]
+pub struct ReadOutcome {
+    /// The winning mapping, if the read mapped.
+    pub mapping: Option<Mapping>,
+    /// Strand the mapping was found on ([`Strand::Forward`] unless
+    /// [`EngineConfig::both_strands`] found a better reverse mapping).
+    pub strand: Strand,
+    /// This read's pipeline statistics.
+    pub stats: MapStats,
+}
+
+/// Aggregate of one engine run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineReport {
+    /// Reads consumed from the input stream.
+    pub reads: usize,
+    /// Reads that produced a mapping.
+    pub mapped: usize,
+    /// Batches the input was split into.
+    pub batches: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-stage statistics summed over every read and worker.
+    pub stats: MapStats,
+}
+
+/// A bounded single-producer / multi-consumer batch queue (Mutex +
+/// Condvar; no external dependencies). `push` blocks while the queue is
+/// full, `pop` blocks while it is empty, and `close` wakes everyone so
+/// drained workers observe end-of-stream.
+struct WorkQueue<T> {
+    inner: Mutex<WorkQueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct WorkQueueInner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> WorkQueue<T> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(WorkQueueInner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        while inner.items.len() >= inner.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).expect("work queue poisoned");
+        }
+        if inner.closed {
+            return;
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("work queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        match self.inner.lock() {
+            Ok(mut inner) => inner.closed = true,
+            // Closing must succeed even after a worker panicked while
+            // holding the lock — liveness beats the poison flag here.
+            Err(poisoned) => poisoned.into_inner().closed = true,
+        }
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Closes the queue when dropped — including during a panic unwind. Both
+/// the producer and every worker hold one, so a panic anywhere (input
+/// iterator, sink, pipeline) releases the threads blocked on the queue
+/// and lets `std::thread::scope` propagate the panic instead of
+/// deadlocking.
+struct CloseOnDrop<'a, T>(&'a WorkQueue<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// The in-order emission side: completed batches park in `pending` until
+/// every earlier batch has been handed to the sink.
+struct Reorder<T, F> {
+    next: usize,
+    pending: BTreeMap<usize, Vec<(T, ReadOutcome)>>,
+    sink: F,
+    report: EngineReport,
+}
+
+/// The batched, multi-threaded, order-preserving mapping engine.
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{EngineConfig, MapEngine, SegramConfig, SegramMapper};
+/// use segram_sim::DatasetConfig;
+///
+/// let dataset = DatasetConfig::tiny(3).illumina(100);
+/// let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+/// let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2));
+/// let reads: Vec<_> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+/// let (outcomes, report) = engine.map_batch(&reads);
+/// assert_eq!(outcomes.len(), reads.len());
+/// assert_eq!(report.reads, reads.len());
+/// assert!(report.mapped > 0);
+/// ```
+#[derive(Debug)]
+pub struct MapEngine<'m> {
+    mapper: &'m SegramMapper,
+    config: EngineConfig,
+}
+
+impl<'m> MapEngine<'m> {
+    /// Binds the engine to a mapper.
+    pub fn new(mapper: &'m SegramMapper, config: EngineConfig) -> Self {
+        Self { mapper, config }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Maps one read according to the engine's strand policy.
+    fn map_one(&self, read: &DnaSeq) -> ReadOutcome {
+        if self.config.both_strands {
+            let (best, stats) = self.mapper.map_read_both(read);
+            let (mapping, strand) = match best {
+                Some((mapping, strand)) => (Some(mapping), strand),
+                None => (None, Strand::Forward),
+            };
+            ReadOutcome {
+                mapping,
+                strand,
+                stats,
+            }
+        } else {
+            let (mapping, stats) = self.mapper.map_read(read);
+            ReadOutcome {
+                mapping,
+                strand: Strand::Forward,
+                stats,
+            }
+        }
+    }
+
+    /// Streams `reads` through the engine, calling `sink(item, outcome)`
+    /// once per read **in input order**.
+    ///
+    /// `read_of` projects the sequence out of an arbitrary item type, so
+    /// callers can stream `FastqRecord`s, `SimulatedRead`s, or bare
+    /// [`DnaSeq`]s and get the item back in the sink alongside its
+    /// outcome. The input iterator is consumed incrementally on the
+    /// calling thread, and a worker that runs too far ahead of a slow
+    /// batch parks until the reorder buffer drains, so at most
+    /// `2 × queue_depth + 2 × threads` batches exist at any moment —
+    /// memory stays bounded for arbitrarily long streams.
+    pub fn map_stream<T, R, F>(
+        &self,
+        mut reads: impl Iterator<Item = T>,
+        read_of: R,
+        sink: F,
+    ) -> EngineReport
+    where
+        T: Send,
+        R: Fn(&T) -> &DnaSeq + Sync,
+        F: FnMut(T, ReadOutcome) + Send,
+    {
+        let threads = self.config.threads.max(1);
+        let batch_size = self.config.batch_size.max(1);
+        let queue_depth = if self.config.queue_depth == 0 {
+            threads * 2
+        } else {
+            self.config.queue_depth
+        };
+        let queue: WorkQueue<(usize, Vec<T>)> = WorkQueue::new(queue_depth);
+        // The reorder buffer is bounded too: a worker whose finished batch
+        // is further than this ahead of the next-to-emit batch parks until
+        // the slow batch releases, so one pathological read cannot make
+        // `pending` absorb the rest of the stream.
+        let max_ahead = queue_depth + threads;
+        let output = Mutex::new(Reorder {
+            next: 0,
+            pending: BTreeMap::new(),
+            sink,
+            report: EngineReport::default(),
+        });
+        let released = Condvar::new();
+        let read_of = &read_of;
+        let mut batches = 0usize;
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Unblocks the producer and fellow workers if this
+                    // worker panics (sink, pipeline, or poisoned lock).
+                    let _close_guard = CloseOnDrop(&queue);
+                    while let Some((index, items)) = queue.pop() {
+                        let outcomes: Vec<(T, ReadOutcome)> = items
+                            .into_iter()
+                            .map(|item| {
+                                let outcome = self.map_one(read_of(&item));
+                                (item, outcome)
+                            })
+                            .collect();
+                        let mut guard = output.lock().expect("engine output poisoned");
+                        // Backpressure: the worker owning batch `next` is
+                        // never parked here, so emission always advances.
+                        while index >= guard.next + max_ahead {
+                            guard = released.wait(guard).expect("engine output poisoned");
+                        }
+                        let out = &mut *guard;
+                        out.pending.insert(index, outcomes);
+                        // Release every batch that is now contiguous with
+                        // the emitted prefix, in order.
+                        let mut advanced = false;
+                        while let Some(ready) = out.pending.remove(&out.next) {
+                            out.next += 1;
+                            advanced = true;
+                            for (item, outcome) in ready {
+                                out.report.reads += 1;
+                                if outcome.mapping.is_some() {
+                                    out.report.mapped += 1;
+                                }
+                                out.report.stats.merge(&outcome.stats);
+                                (out.sink)(item, outcome);
+                            }
+                        }
+                        drop(guard);
+                        if advanced {
+                            released.notify_all();
+                        }
+                    }
+                });
+            }
+
+            // The calling thread is the producer: batch the stream into
+            // the bounded queue, then signal end-of-input (the guard also
+            // closes the queue if the input iterator panics, so workers
+            // are never left blocked).
+            let _close_guard = CloseOnDrop(&queue);
+            loop {
+                let batch: Vec<T> = reads.by_ref().take(batch_size).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                queue.push((batches, batch));
+                batches += 1;
+            }
+        });
+
+        let mut report = output.into_inner().expect("engine output poisoned").report;
+        report.batches = batches;
+        report.threads = threads;
+        report
+    }
+
+    /// Maps a slice of reads, returning the outcomes in input order plus
+    /// the aggregate report (the batch-oriented convenience entry point).
+    pub fn map_batch(&self, reads: &[DnaSeq]) -> (Vec<ReadOutcome>, EngineReport) {
+        let mut outcomes = Vec::with_capacity(reads.len());
+        let report = self.map_stream(
+            reads.iter(),
+            |read| *read,
+            |_, outcome| outcomes.push(outcome),
+        );
+        (outcomes, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegramConfig;
+    use segram_sim::DatasetConfig;
+    use std::time::Duration;
+
+    fn setup() -> (segram_sim::Dataset, SegramMapper) {
+        let dataset = DatasetConfig::tiny(91).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        (dataset, mapper)
+    }
+
+    #[test]
+    fn outcomes_preserve_input_order_across_thread_counts() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let serial = MapEngine::new(&mapper, EngineConfig::with_threads(1));
+        let (base, base_report) = serial.map_batch(&reads);
+        assert_eq!(base_report.reads, reads.len());
+        for threads in [2usize, 4] {
+            let mut config = EngineConfig::with_threads(threads);
+            config.batch_size = 3; // force interleaving across workers
+            let engine = MapEngine::new(&mapper, config);
+            let (outcomes, report) = engine.map_batch(&reads);
+            assert_eq!(report.threads, threads);
+            assert_eq!(report.reads, reads.len());
+            assert_eq!(report.mapped, base_report.mapped);
+            for (a, b) in base.iter().zip(&outcomes) {
+                assert_eq!(
+                    a.mapping
+                        .as_ref()
+                        .map(|m| (m.linear_start, m.alignment.edit_distance)),
+                    b.mapping
+                        .as_ref()
+                        .map(|m| (m.linear_start, m.alignment.edit_distance)),
+                );
+                assert_eq!(a.strand, b.strand);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_queue_backpressure_still_preserves_order() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let (base, _) = MapEngine::new(&mapper, EngineConfig::with_threads(1)).map_batch(&reads);
+        // One-read batches through a one-slot queue with four workers:
+        // maximum contention on both the work queue and the bounded
+        // reorder buffer (max_ahead = 5 with 20 batches in flight).
+        let mut config = EngineConfig::with_threads(4);
+        config.batch_size = 1;
+        config.queue_depth = 1;
+        let engine = MapEngine::new(&mapper, config);
+        let (outcomes, report) = engine.map_batch(&reads);
+        assert_eq!(report.reads, reads.len());
+        assert_eq!(report.batches, reads.len());
+        for (a, b) in base.iter().zip(&outcomes) {
+            assert_eq!(
+                a.mapping.as_ref().map(|m| m.linear_start),
+                b.mapping.as_ref().map(|m| m.linear_start),
+            );
+        }
+    }
+
+    #[test]
+    fn per_stage_stats_aggregation_matches_serial_sums() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+
+        // Serial reference: sum per-read stats by hand.
+        let mut serial = MapStats::default();
+        let mut serial_mapped = 0usize;
+        for read in &reads {
+            let (mapping, stats) = mapper.map_read(read);
+            serial.merge(&stats);
+            if mapping.is_some() {
+                serial_mapped += 1;
+            }
+        }
+
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(4));
+        let (_, report) = engine.map_batch(&reads);
+        // Counts are deterministic and must match the serial sums exactly;
+        // durations are wall-clock measurements, so only their presence is
+        // checked.
+        assert_eq!(report.mapped, serial_mapped);
+        assert_eq!(report.stats.minimizers, serial.minimizers);
+        assert_eq!(report.stats.filtered_minimizers, serial.filtered_minimizers);
+        assert_eq!(report.stats.seed_locations, serial.seed_locations);
+        assert_eq!(report.stats.regions_aligned, serial.regions_aligned);
+        assert_eq!(report.stats.regions_filtered, serial.regions_filtered);
+        assert_eq!(report.stats.total_region_len, serial.total_region_len);
+        assert!(report.stats.seeding > Duration::ZERO);
+        assert!(report.stats.alignment > Duration::ZERO);
+    }
+
+    #[test]
+    fn prefiltered_engine_accounts_filtering_time_separately() {
+        let dataset = DatasetConfig::tiny(93).illumina(100);
+        let config =
+            SegramConfig::short_reads().with_prefilter(segram_filter::FilterSpec::cascade());
+        let mapper = SegramMapper::new(dataset.graph().clone(), config);
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2));
+        let (_, report) = engine.map_batch(&reads);
+        assert!(report.stats.filtering > Duration::ZERO);
+        let fraction = report.stats.alignment_fraction();
+        assert!(fraction > 0.0 && fraction < 1.0);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let (_, mapper) = setup();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(3));
+        let report = engine.map_stream(std::iter::empty::<DnaSeq>(), |r| r, |_, _| {});
+        assert_eq!(report.reads, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.mapped, 0);
+    }
+
+    #[test]
+    fn both_strand_engine_recovers_reverse_reads() {
+        let dataset = DatasetConfig::tiny(95).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let stranded = segram_sim::simulate_stranded_reads(
+            dataset.graph(),
+            &segram_sim::ReadConfig::short_reads(10, 100, 96),
+            1.0,
+        );
+        let reads: Vec<DnaSeq> = stranded.iter().map(|r| r.seq.clone()).collect();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2).both_strands(true));
+        let (outcomes, report) = engine.map_batch(&reads);
+        assert!(report.mapped >= 8, "only {} of 10 mapped", report.mapped);
+        assert!(outcomes
+            .iter()
+            .filter_map(|o| o.mapping.as_ref().map(|_| o.strand))
+            .any(|s| s == Strand::Reverse));
+    }
+}

@@ -1,0 +1,352 @@
+//! The mapping pipeline as explicit stages plus the batched parallel
+//! engine on top.
+//!
+//! The paper's end-to-end system is a pipeline — MinSeed feeds candidate
+//! regions through optional pre-alignment filtering into BitAlign
+//! (Figure 2). This module makes that dataflow explicit:
+//!
+//! ```text
+//!            ┌────────┐   regions   ┌───────────┐  surviving  ┌─────────┐
+//!   read ───►│ Seeder │────────────►│ Prefilter │────────────►│ Aligner │──► Mapping
+//!            └────────┘             └───────────┘   regions   └─────────┘
+//!             MinSeed               SHD-family                 BitAlign
+//! ```
+//!
+//! * [`Seeder`] / [`Prefilter`] / [`Aligner`] — the stage traits, with
+//!   [`MinSeedStage`], [`SpecPrefilter`], and [`BitAlignStage`] as the
+//!   paper's default implementations ([`stages`]);
+//! * [`MapPipeline`] — the per-read driver: candidate clustering, region
+//!   extraction/widening, early exit, and per-stage time accounting;
+//! * [`MapEngine`] — the batched, multi-threaded, order-preserving driver
+//!   for read streams ([`engine`]);
+//! * [`sam_record_for`] / [`gaf_record_for`] — render one engine outcome
+//!   into the interchange formats, shared by the CLI and the test suite.
+//!
+//! [`SegramMapper`](crate::SegramMapper) is a thin facade over this
+//! module: it owns the graph + index and wires the default stages into a
+//! [`MapPipeline`].
+
+mod engine;
+mod stages;
+
+pub use engine::{EngineConfig, EngineReport, MapEngine, ReadOutcome};
+pub use stages::{Aligner, BitAlignStage, MinSeedStage, Prefilter, Seeder, SpecPrefilter};
+
+use std::time::{Duration, Instant};
+
+use segram_graph::{DnaSeq, GenomeGraph, LinearizedGraph};
+use segram_index::SeedRegion;
+use segram_io::{FormatError, GafRecord};
+use segram_sim::Strand;
+
+use crate::config::SegramConfig;
+use crate::mapper::{MapStats, Mapping};
+use crate::sam::{mapq_estimate, SamRecord};
+
+/// The per-read pipeline: three stages plus the driver logic that connects
+/// them (candidate clustering, region extraction and widening, early
+/// exit, and per-stage statistics).
+///
+/// Generic over the stage implementations so alternative components can be
+/// benchmarked against the defaults without touching the driver.
+#[derive(Clone, Copy, Debug)]
+pub struct MapPipeline<'g, S, P, A> {
+    graph: &'g GenomeGraph,
+    seeder: S,
+    prefilter: P,
+    aligner: A,
+    config: SegramConfig,
+}
+
+impl<'g, S: Seeder, P: Prefilter, A: Aligner> MapPipeline<'g, S, P, A> {
+    /// Assembles a pipeline from its stages.
+    ///
+    /// `config` supplies the driver knobs (`max_regions`, `error_rate`,
+    /// `early_exit_edits`, thresholds); the stages carry their own
+    /// parameters.
+    pub fn new(
+        graph: &'g GenomeGraph,
+        seeder: S,
+        prefilter: P,
+        aligner: A,
+        config: SegramConfig,
+    ) -> Self {
+        Self {
+            graph,
+            seeder,
+            prefilter,
+            aligner,
+            config,
+        }
+    }
+
+    /// The reference graph the pipeline maps against.
+    pub fn graph(&self) -> &'g GenomeGraph {
+        self.graph
+    }
+
+    /// The seeding stage.
+    pub fn seeder(&self) -> &S {
+        &self.seeder
+    }
+
+    /// The pre-alignment filter stage.
+    pub fn prefilter(&self) -> &P {
+        &self.prefilter
+    }
+
+    /// The alignment stage.
+    pub fn aligner(&self) -> &A {
+        &self.aligner
+    }
+
+    /// The pipeline's optional clustering step (Figure 2, step 2): seeds
+    /// from one locus produce near-identical regions, so cluster them
+    /// before truncating — otherwise the cap keeps only the read's first
+    /// (often repeat-heavy) minimizers and drops the true locus entirely.
+    /// MinSeed itself stays cluster-free (Section 11.4); this only runs
+    /// when the caller opted into a region cap.
+    fn cap_regions(&self, mut regions: Vec<SeedRegion>, read_len: usize) -> Vec<SeedRegion> {
+        if self.config.max_regions == 0 || regions.len() <= self.config.max_regions {
+            return regions;
+        }
+        regions.sort_by_key(|r| r.start);
+        let merge_within = (read_len as u64).max(64);
+        let mut clusters: Vec<(SeedRegion, usize)> = Vec::new();
+        for region in regions.drain(..) {
+            match clusters.last_mut() {
+                Some((head, count)) if region.start.saturating_sub(head.start) < merge_within => {
+                    *count += 1;
+                }
+                _ => clusters.push((region, 1)),
+            }
+        }
+        // Rank loci by seed support: the true locus collects hits from
+        // many of the read's minimizers, repeats collect few each.
+        clusters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.start.cmp(&b.0.start)));
+        clusters
+            .into_iter()
+            .take(self.config.max_regions)
+            .map(|(region, _)| region)
+            .collect()
+    }
+
+    /// Maps one read end to end; returns the best mapping (fewest edits,
+    /// then leftmost) and the per-stage pipeline statistics.
+    pub fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+        let mut stats = MapStats::default();
+        let t0 = Instant::now();
+        let seeding = self.seeder.seed(read);
+        stats.seeding = t0.elapsed();
+        stats.minimizers = seeding.stats.minimizers;
+        stats.filtered_minimizers = seeding.stats.filtered_minimizers;
+        stats.seed_locations = seeding.stats.seed_locations;
+
+        let t1 = Instant::now();
+        let mut filtering = Duration::ZERO;
+        let mut best: Option<Mapping> = None;
+        let regions = self.cap_regions(seeding.regions, read.len());
+        // An alignment whose edit count stays below this is plausibly
+        // error-only; anything above it hints that the read's path left the
+        // linear-coordinate window (e.g. a hop across a structural-variant
+        // deletion, whose deleted characters sit inline in the
+        // linearization), so the region is retried wider.
+        let plausible = ((read.len() as f64) * self.config.error_rate * 1.5).ceil() as u32 + 4;
+        let filter_k = self.config.threshold_for(read.len()).max(plausible);
+        for region in regions {
+            let mut window_start = region.start;
+            let mut window_end = region.end;
+            let mut outcome: Option<(segram_align::Alignment, LinearizedGraph)> = None;
+            for attempt in 0..3u32 {
+                let Ok(lin) = LinearizedGraph::extract(self.graph, window_start, window_end) else {
+                    break;
+                };
+                let accepted = if self.prefilter.is_pass_through() {
+                    true
+                } else {
+                    let tf = Instant::now();
+                    let accepted = self.prefilter.accept(read, &lin, filter_k);
+                    filtering += tf.elapsed();
+                    accepted
+                };
+                if !accepted {
+                    // Treat a rejection like an implausible alignment:
+                    // widen and re-filter, so structural-variant hops
+                    // that the narrow window clips still get rescued.
+                    stats.regions_filtered += 1;
+                    let ext = (read.len() as u64).max(256) << attempt;
+                    window_start = window_start.saturating_sub(ext);
+                    window_end = (window_end + ext).min(self.graph.total_chars());
+                    continue;
+                }
+                stats.regions_aligned += 1;
+                stats.total_region_len += window_end - window_start;
+                match self.aligner.align(&lin, read) {
+                    Ok(a) if a.edit_distance <= plausible => {
+                        outcome = Some((a, lin));
+                        break;
+                    }
+                    Ok(a) => outcome = Some((a, lin)),
+                    Err(_) => {}
+                }
+                // Widen and retry (bounded): covers SV-sized hops.
+                let ext = (read.len() as u64).max(256) << attempt;
+                window_start = window_start.saturating_sub(ext);
+                window_end = (window_end + ext).min(self.graph.total_chars());
+            }
+            let Some((alignment, lin)) = outcome else {
+                continue;
+            };
+            let linear_start = window_start + alignment.text_start as u64;
+            let candidate = Mapping {
+                start: lin.origin(alignment.text_start.min(lin.len() - 1)),
+                linear_start,
+                path: alignment.graph_path(&lin),
+                alignment,
+                region,
+            };
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    (candidate.alignment.edit_distance, candidate.linear_start)
+                        < (current.alignment.edit_distance, current.linear_start)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+            if let Some(current) = &best {
+                if self.config.early_exit_edits > 0
+                    && current.alignment.edit_distance <= self.config.early_exit_edits
+                {
+                    break;
+                }
+            }
+        }
+        stats.filtering = filtering;
+        stats.alignment = t1.elapsed().saturating_sub(filtering);
+        (best, stats)
+    }
+
+    /// Maps a read trying **both strands** (the read as given and its
+    /// reverse complement), returning the better mapping and the strand it
+    /// mapped on. Sequencers emit reads from either strand with equal
+    /// probability, so end-to-end mappers always do this double query; the
+    /// hardware does too (each orientation is just another read stream).
+    pub fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+        let (forward, mut stats) = self.map_read(read);
+        let rc = read.reverse_complement();
+        let (reverse, reverse_stats) = self.map_read(&rc);
+        stats.merge(&reverse_stats);
+        let best = match (forward, reverse) {
+            (Some(f), Some(r)) => {
+                if f.alignment.edit_distance <= r.alignment.edit_distance {
+                    Some((f, Strand::Forward))
+                } else {
+                    Some((r, Strand::Reverse))
+                }
+            }
+            (Some(f), None) => Some((f, Strand::Forward)),
+            (None, Some(r)) => Some((r, Strand::Reverse)),
+            (None, None) => None,
+        };
+        (best, stats)
+    }
+}
+
+/// Renders one engine outcome as a SAM record: a mapped record with a
+/// MAPQ estimated from the read's own seed support, or an unmapped
+/// placeholder. Shared by the CLI and the thread-invariance tests so both
+/// produce identical bytes.
+pub fn sam_record_for(id: &str, read: &DnaSeq, outcome: &ReadOutcome) -> SamRecord {
+    match &outcome.mapping {
+        Some(mapping) => {
+            let mapq = mapq_estimate(
+                outcome.stats.regions_aligned,
+                mapping.alignment.edit_distance,
+                read.len(),
+            );
+            SamRecord::from_mapping(id, "graph", read, mapping, mapq)
+        }
+        None => SamRecord::unmapped(id, read),
+    }
+}
+
+/// Renders one engine outcome as a GAF record, or `None` for unmapped
+/// reads (GAF has no unmapped-record convention).
+///
+/// # Errors
+///
+/// Propagates [`FormatError`] when the mapping's graph path is
+/// inconsistent with `graph` (which would indicate a mapper bug).
+pub fn gaf_record_for(
+    id: &str,
+    read: &DnaSeq,
+    graph: &GenomeGraph,
+    outcome: &ReadOutcome,
+) -> Result<Option<GafRecord>, FormatError> {
+    let Some(mapping) = &outcome.mapping else {
+        return Ok(None);
+    };
+    let mapq = mapq_estimate(
+        outcome.stats.regions_aligned,
+        mapping.alignment.edit_distance,
+        read.len(),
+    );
+    GafRecord::from_char_path(
+        id,
+        read.len(),
+        graph,
+        &mapping.path,
+        &mapping.alignment.cigar,
+        mapping.alignment.edit_distance,
+        mapq,
+    )
+    .map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SegramConfig, SegramMapper};
+    use segram_sim::DatasetConfig;
+
+    #[test]
+    fn mapper_facade_equals_direct_pipeline() {
+        let dataset = DatasetConfig::tiny(21).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let pipeline = mapper.pipeline();
+        for read in dataset.reads.iter().take(5) {
+            let (a, _) = mapper.map_read(&read.seq);
+            let (b, _) = pipeline.map_read(&read.seq);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn renderers_cover_mapped_and_unmapped_outcomes() {
+        let dataset = DatasetConfig::tiny(23).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(1));
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let (outcomes, _) = engine.map_batch(&reads);
+        let mapped = outcomes
+            .iter()
+            .position(|o| o.mapping.is_some())
+            .expect("some read maps");
+        let sam = sam_record_for("r", &reads[mapped], &outcomes[mapped]);
+        assert!(sam.is_mapped());
+        let gaf = gaf_record_for("r", &reads[mapped], mapper.graph(), &outcomes[mapped]).unwrap();
+        assert!(gaf.is_some());
+
+        let unmapped = ReadOutcome {
+            mapping: None,
+            strand: Strand::Forward,
+            stats: MapStats::default(),
+        };
+        assert!(!sam_record_for("r", &reads[0], &unmapped).is_mapped());
+        assert!(gaf_record_for("r", &reads[0], mapper.graph(), &unmapped)
+            .unwrap()
+            .is_none());
+    }
+}

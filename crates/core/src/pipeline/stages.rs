@@ -1,0 +1,192 @@
+//! The three pipeline stages as traits, with the paper's components as
+//! the default implementations.
+//!
+//! * [`Seeder`] — read → candidate regions (MinSeed, Section 6);
+//! * [`Prefilter`] — cheap accept/reject of a candidate region before
+//!   alignment (the footnote-6 pre-alignment-filter study);
+//! * [`Aligner`] — read × extracted subgraph → alignment (BitAlign,
+//!   Section 7).
+//!
+//! Keeping the stages behind traits lets alternative components (baseline
+//! seeders, hardware-model-driven aligners, learned filters) slot into the
+//! same [`MapPipeline`](crate::pipeline::MapPipeline) and
+//! [`MapEngine`](crate::pipeline::MapEngine) without touching the driver
+//! loop. Every stage must be `Sync`: the engine shares one pipeline across
+//! its worker threads.
+
+use segram_align::{
+    windowed_bitalign, AlignError, Alignment, BitAlignConfig, BitAligner, StartMode,
+};
+use segram_filter::FilterSpec;
+use segram_graph::{DnaSeq, GenomeGraph, LinearizedGraph};
+use segram_index::{GraphIndex, MinSeed, MinSeedConfig, SeedingResult};
+
+use crate::config::SegramConfig;
+
+/// Stage 1: produces candidate regions for a read.
+pub trait Seeder: Sync {
+    /// Seeds one read, returning candidate regions plus seeding statistics.
+    fn seed(&self, read: &DnaSeq) -> SeedingResult;
+}
+
+/// Stage 2: cheap pre-alignment screening of one candidate region.
+pub trait Prefilter: Sync {
+    /// Returns whether the region may contain an alignment with at most
+    /// `k` edits and should therefore reach the aligner.
+    ///
+    /// Implementations must be *sound* for the configured `k`: rejecting a
+    /// region that holds a ≤ `k`-edit alignment loses mappings.
+    fn accept(&self, read: &DnaSeq, region: &LinearizedGraph, k: u32) -> bool;
+
+    /// Whether this filter accepts every region unconditionally. The
+    /// pipeline skips the filtering stage (and its time accounting)
+    /// entirely when this returns `true`, so a filter-free run reports
+    /// exactly zero filtering time.
+    fn is_pass_through(&self) -> bool {
+        false
+    }
+}
+
+/// Stage 3: aligns a read against one extracted subgraph.
+pub trait Aligner: Sync {
+    /// Aligns `read` to `region`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates alignment errors (e.g. edit threshold exceeded).
+    fn align(&self, region: &LinearizedGraph, read: &DnaSeq) -> Result<Alignment, AlignError>;
+}
+
+/// The default [`Seeder`]: MinSeed over a graph and its minimizer index.
+#[derive(Clone, Copy, Debug)]
+pub struct MinSeedStage<'a> {
+    graph: &'a GenomeGraph,
+    index: &'a GraphIndex,
+    config: MinSeedConfig,
+}
+
+impl<'a> MinSeedStage<'a> {
+    /// Binds MinSeed to a graph, its index, and the seeding parameters.
+    pub fn new(graph: &'a GenomeGraph, index: &'a GraphIndex, config: MinSeedConfig) -> Self {
+        Self {
+            graph,
+            index,
+            config,
+        }
+    }
+}
+
+impl Seeder for MinSeedStage<'_> {
+    fn seed(&self, read: &DnaSeq) -> SeedingResult {
+        MinSeed::new(self.graph, self.index, self.config).seed(read)
+    }
+}
+
+/// The default [`Prefilter`]: an optional [`FilterSpec`] from
+/// `segram-filter`, where `None` (the paper's filter-free configuration)
+/// accepts every region.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpecPrefilter {
+    spec: Option<FilterSpec>,
+}
+
+impl SpecPrefilter {
+    /// Wraps an optional filter specification.
+    pub fn new(spec: Option<FilterSpec>) -> Self {
+        Self { spec }
+    }
+
+    /// The wrapped specification, if any.
+    pub fn spec(&self) -> Option<FilterSpec> {
+        self.spec
+    }
+}
+
+impl Prefilter for SpecPrefilter {
+    fn accept(&self, read: &DnaSeq, region: &LinearizedGraph, k: u32) -> bool {
+        match self.spec {
+            None => true,
+            Some(spec) => segram_filter::filter_region(spec, read.as_slice(), region, k).accepted,
+        }
+    }
+
+    fn is_pass_through(&self) -> bool {
+        self.spec.is_none()
+    }
+}
+
+/// The default [`Aligner`]: BitAlign for short reads, windowed BitAlign
+/// for reads longer than one window. Thresholds and the window layout
+/// come from the shared [`SegramConfig`], so the aligner's `k` and the
+/// prefilter's `k` can never drift apart.
+#[derive(Clone, Copy, Debug)]
+pub struct BitAlignStage {
+    config: SegramConfig,
+}
+
+impl BitAlignStage {
+    /// Derives the alignment stage from a mapper configuration.
+    pub fn new(config: &SegramConfig) -> Self {
+        Self { config: *config }
+    }
+}
+
+impl Aligner for BitAlignStage {
+    fn align(&self, region: &LinearizedGraph, read: &DnaSeq) -> Result<Alignment, AlignError> {
+        let k = self.config.threshold_for(read.len());
+        if read.len() <= self.config.window.window {
+            BitAligner::new(
+                region,
+                read,
+                BitAlignConfig {
+                    k,
+                    ..BitAlignConfig::default()
+                },
+            )?
+            .align()
+        } else {
+            let mut window = self.config.window;
+            window.window_k = window.window_k.max(window.overlap as u32);
+            windowed_bitalign(region, read, window, StartMode::Free)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_index::frequency_threshold;
+    use segram_sim::DatasetConfig;
+
+    #[test]
+    fn default_stages_match_mapper_components() {
+        let dataset = DatasetConfig::tiny(11).illumina(100);
+        let config = SegramConfig::short_reads();
+        let mapper = crate::SegramMapper::new(dataset.graph().clone(), config);
+        let index = GraphIndex::build(dataset.graph(), config.scheme, config.bucket_bits);
+        let stage = MinSeedStage::new(
+            dataset.graph(),
+            &index,
+            MinSeedConfig {
+                error_rate: config.error_rate,
+                frequency_threshold: frequency_threshold(&index, config.discard_frac),
+            },
+        );
+        let read = &dataset.reads[0].seq;
+        let via_stage = stage.seed(read);
+        let via_mapper = mapper.seed(read);
+        assert_eq!(via_stage.regions, via_mapper.regions);
+        assert_eq!(via_stage.stats.minimizers, via_mapper.stats.minimizers);
+    }
+
+    #[test]
+    fn filter_free_prefilter_accepts_everything() {
+        let dataset = DatasetConfig::tiny(13).illumina(100);
+        let read = &dataset.reads[0].seq;
+        let lin = LinearizedGraph::extract(dataset.graph(), 0, 200).unwrap();
+        assert!(SpecPrefilter::new(None).accept(read, &lin, 0));
+        // The sound cascade never rejects at a generous threshold either.
+        let cascade = SpecPrefilter::new(Some(FilterSpec::cascade()));
+        assert!(cascade.accept(read, &lin, read.len() as u32));
+    }
+}

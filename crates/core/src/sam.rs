@@ -90,7 +90,8 @@ impl SamRecord {
 }
 
 /// Renders a complete SAM document: header (`@HD`, `@SQ`, `@PG`) plus one
-/// line per record.
+/// line per record — the whole-document convenience over the streaming
+/// [`segram_io::SamWriter`].
 ///
 /// # Examples
 ///
@@ -105,15 +106,15 @@ impl SamRecord {
 /// # Ok::<(), segram_graph::GraphError>(())
 /// ```
 pub fn sam_document(reference_name: &str, reference_len: u64, records: &[SamRecord]) -> String {
-    let mut doc = String::new();
-    doc.push_str("@HD\tVN:1.6\tSO:unknown\n");
-    writeln!(doc, "@SQ\tSN:{reference_name}\tLN:{reference_len}").expect("string write");
-    doc.push_str("@PG\tID:segram-rs\tPN:segram-rs\tVN:0.1.0\n");
+    let mut writer = segram_io::SamWriter::new(Vec::new(), reference_name, reference_len)
+        .expect("vec write cannot fail");
     for rec in records {
-        doc.push_str(&rec.to_sam_line());
-        doc.push('\n');
+        writer
+            .write_line(&rec.to_sam_line())
+            .expect("vec write cannot fail");
     }
-    doc
+    let bytes = writer.finish().expect("vec flush cannot fail");
+    String::from_utf8(bytes).expect("SAM lines are UTF-8")
 }
 
 /// A crude mapping quality from seed support and edit distance: more

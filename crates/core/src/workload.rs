@@ -8,6 +8,7 @@ use segram_hw::SeedWorkload;
 use segram_sim::SimulatedRead;
 
 use crate::mapper::SegramMapper;
+use crate::pipeline::{EngineConfig, MapEngine};
 
 /// Aggregated measurement over a read set.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -79,36 +80,30 @@ pub fn measure_workload(
     }
 }
 
-/// Maps a dataset with `threads` worker threads (std scoped threads), the
-/// instrument behind the Observation 4 thread-scaling experiment. Returns
-/// wall-clock seconds and the reads mapped.
+/// Maps a dataset with `threads` worker threads, the instrument behind
+/// the Observation 4 thread-scaling experiment. Returns wall-clock
+/// seconds and the reads mapped.
+///
+/// A thin wrapper over [`MapEngine`]: one engine run with the requested
+/// thread count and an outcome-discarding sink.
 pub fn map_with_threads(
     mapper: &SegramMapper,
     reads: &[SimulatedRead],
     threads: usize,
 ) -> (f64, usize) {
-    let threads = threads.max(1);
+    let mut config = EngineConfig::with_threads(threads);
+    // Size batches so every worker gets several, even on the small read
+    // sets the scaling experiments use — with the engine's default batch
+    // size, 60 reads would form only 4 batches and leave workers idle at
+    // 8 threads, measuring batch granularity instead of mapper scaling.
+    config.batch_size = reads
+        .len()
+        .div_ceil(threads.max(1) * 4)
+        .clamp(1, config.batch_size);
+    let engine = MapEngine::new(mapper, config);
     let start = std::time::Instant::now();
-    let counter = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for chunk in reads.chunks(reads.len().div_ceil(threads).max(1)) {
-            let counter = &counter;
-            scope.spawn(move || {
-                let mut local = 0usize;
-                for read in chunk {
-                    let (mapping, _) = mapper.map_read(&read.seq);
-                    if mapping.is_some() {
-                        local += 1;
-                    }
-                }
-                counter.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-            });
-        }
-    });
-    (
-        start.elapsed().as_secs_f64(),
-        counter.load(std::sync::atomic::Ordering::Relaxed),
-    )
+    let report = engine.map_stream(reads.iter(), |read| &read.seq, |_, _| {});
+    (start.elapsed().as_secs_f64(), report.mapped)
 }
 
 /// Convenience: measure a workload straight from plain sequences with no

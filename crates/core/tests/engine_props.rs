@@ -1,0 +1,86 @@
+//! Property tests for the stage-based map engine: on random simulated
+//! datasets, the SAM and GAF documents the engine produces are
+//! byte-identical for every thread count. This is the in-process half of
+//! the determinism guarantee (`ci.sh` checks the same property end to end
+//! through the built binary).
+
+use segram_core::{
+    gaf_record_for, sam_record_for, EngineConfig, MapEngine, SegramConfig, SegramMapper,
+};
+use segram_filter::FilterSpec;
+use segram_graph::DnaSeq;
+use segram_io::{GafWriter, SamWriter};
+use segram_sim::DatasetConfig;
+use segram_testkit::prelude::*;
+
+/// Runs one engine pass and renders both output documents, exactly as the
+/// CLI's streaming path does (shared renderers, shared writers).
+fn render_documents(
+    mapper: &SegramMapper,
+    reads: &[(String, DnaSeq)],
+    threads: usize,
+    both_strands: bool,
+) -> (Vec<u8>, Vec<u8>) {
+    let mut config = EngineConfig::with_threads(threads).both_strands(both_strands);
+    // Tiny batches force batch interleaving across workers even on the
+    // small datasets the strategy generates.
+    config.batch_size = 2;
+    let engine = MapEngine::new(mapper, config);
+    let mut sam = SamWriter::new(Vec::new(), "graph", mapper.graph().total_chars())
+        .expect("vec write cannot fail");
+    let mut gaf = GafWriter::new(Vec::new());
+    engine.map_stream(
+        reads.iter(),
+        |(_, seq)| seq,
+        |(id, seq), outcome| {
+            let record = sam_record_for(id, seq, &outcome);
+            sam.write_line(&record.to_sam_line())
+                .expect("vec write cannot fail");
+            if let Some(record) =
+                gaf_record_for(id, seq, mapper.graph(), &outcome).expect("consistent graph path")
+            {
+                gaf.write_record(&record).expect("vec write cannot fail");
+            }
+        },
+    );
+    (
+        sam.finish().expect("vec flush cannot fail"),
+        gaf.finish().expect("vec flush cannot fail"),
+    )
+}
+
+proptest! {
+    #[test]
+    fn sam_and_gaf_bytes_are_thread_invariant(
+        seed in 0u64..5_000,
+        read_count in 3usize..8,
+        read_len in prop::sample::select(vec![80usize, 100, 130]),
+        with_filter in any::<bool>(),
+        both_strands in any::<bool>(),
+    ) {
+        let mut dataset_config = DatasetConfig::tiny(seed);
+        dataset_config.read_count = read_count;
+        let dataset = dataset_config.illumina(read_len);
+        let mut config = SegramConfig::short_reads();
+        if with_filter {
+            config.prefilter = Some(FilterSpec::cascade());
+        }
+        let mapper = SegramMapper::new(dataset.graph().clone(), config);
+        let reads: Vec<(String, DnaSeq)> = dataset
+            .reads
+            .iter()
+            .map(|r| (format!("read{}", r.id), r.seq.clone()))
+            .collect();
+
+        let (sam_serial, gaf_serial) = render_documents(&mapper, &reads, 1, both_strands);
+        // The serial document contains one SAM record per read.
+        let records = sam_serial.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+        prop_assert_eq!(records, reads.len() + 3); // 3 header lines
+
+        for threads in [2usize, 4] {
+            let (sam, gaf) = render_documents(&mapper, &reads, threads, both_strands);
+            prop_assert_eq!(&sam, &sam_serial);
+            prop_assert_eq!(&gaf, &gaf_serial);
+        }
+    }
+}

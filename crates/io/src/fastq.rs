@@ -7,11 +7,13 @@
 //! directly.
 
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use segram_graph::DnaSeq;
 
 use crate::error::FormatError;
 use crate::fasta::{append_bases, Ambiguity};
+use crate::stream::{next_line, StreamError};
 
 /// Offset between an ASCII quality character and its Phred score.
 pub const PHRED_OFFSET: u8 = 33;
@@ -105,19 +107,80 @@ pub fn phred_from_error_rate(error_rate: f64) -> u8 {
 /// # Ok::<(), segram_io::FormatError>(())
 /// ```
 pub fn read_fastq(text: &str, ambiguity: Ambiguity) -> Result<Vec<FastqRecord>, FormatError> {
-    let mut records = Vec::new();
-    let mut lines = text.lines().map(|l| l.trim_end_matches('\r')).enumerate();
+    FastqReader::new(text.as_bytes(), ambiguity)
+        .map(|item| {
+            item.map_err(|err| match err {
+                StreamError::Format(err) => err,
+                // A byte-slice source cannot fail at the transport level.
+                StreamError::Io(err) => {
+                    FormatError::malformed(0, format!("unexpected I/O error: {err}"))
+                }
+            })
+        })
+        .collect()
+}
 
-    while let Some((idx, header)) = lines.next() {
-        let line_no = idx + 1;
-        if header.is_empty() {
-            continue;
+/// A streaming FASTQ reader: an iterator of [`FastqRecord`]s over any
+/// [`BufRead`] source, holding one record in memory at a time — the input
+/// side of the `MapEngine` streaming path, where the read set never fits
+/// in memory at production scale.
+///
+/// Iteration stops at the first error (the iterator fuses), mirroring the
+/// fail-fast behaviour of [`read_fastq`].
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::{Ambiguity, FastqReader};
+///
+/// let mut reader = FastqReader::new(&b"@r1\nACGT\n+\nIIII\n"[..], Ambiguity::Reject);
+/// let record = reader.next().unwrap().unwrap();
+/// assert_eq!(record.id, "r1");
+/// assert!(reader.next().is_none());
+/// ```
+#[derive(Debug)]
+pub struct FastqReader<R: BufRead> {
+    source: R,
+    ambiguity: Ambiguity,
+    /// 1-based number of the last line consumed.
+    line: usize,
+    /// Set after end-of-input or the first error; the iterator fuses.
+    done: bool,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wraps a buffered source with the given ambiguity policy.
+    pub fn new(source: R, ambiguity: Ambiguity) -> Self {
+        Self {
+            source,
+            ambiguity,
+            line: 0,
+            done: false,
         }
+    }
+
+    /// Reads the next record, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError`] on transport failures and on the same
+    /// format violations [`read_fastq`] reports.
+    fn next_record(&mut self) -> Result<Option<FastqRecord>, StreamError> {
+        // Skip blank lines between records (tolerated like `read_fastq`).
+        let header = loop {
+            match next_line(&mut self.source, &mut self.line)? {
+                None => return Ok(None),
+                Some(line) if line.is_empty() => continue,
+                Some(line) => break line,
+            }
+        };
+        let line_no = self.line;
         let Some(header) = header.strip_prefix('@') else {
             return Err(FormatError::malformed(
                 line_no,
                 "expected '@' at the start of a FASTQ record",
-            ));
+            )
+            .into());
         };
         let header = header.trim();
         let (id, description) = match header.split_once(char::is_whitespace) {
@@ -125,66 +188,91 @@ pub fn read_fastq(text: &str, ambiguity: Ambiguity) -> Result<Vec<FastqRecord>, 
             None => (header.to_owned(), String::new()),
         };
         if id.is_empty() {
-            return Err(FormatError::malformed(line_no, "empty FASTQ header"));
+            return Err(FormatError::malformed(line_no, "empty FASTQ header").into());
         }
 
-        let (seq_idx, seq_line) = lines.next().ok_or(FormatError::UnexpectedEof {
-            line: line_no + 1,
-            expected: "a sequence line",
-        })?;
+        let seq_line =
+            next_line(&mut self.source, &mut self.line)?.ok_or(FormatError::UnexpectedEof {
+                line: line_no + 1,
+                expected: "a sequence line",
+            })?;
         let mut seq = DnaSeq::with_capacity(seq_line.len());
-        append_bases(&mut seq, seq_line.as_bytes(), seq_idx + 1, ambiguity)?;
+        append_bases(&mut seq, seq_line.as_bytes(), self.line, self.ambiguity)?;
         if seq.is_empty() {
             return Err(FormatError::invalid_record(
-                seq_idx + 1,
+                self.line,
                 format!("read {id:?} has an empty sequence"),
-            ));
+            )
+            .into());
         }
+        let seq_line_no = self.line;
 
-        let (sep_idx, sep) = lines.next().ok_or(FormatError::UnexpectedEof {
-            line: seq_idx + 2,
-            expected: "the '+' separator line",
-        })?;
+        let sep =
+            next_line(&mut self.source, &mut self.line)?.ok_or(FormatError::UnexpectedEof {
+                line: seq_line_no + 1,
+                expected: "the '+' separator line",
+            })?;
         if !sep.starts_with('+') {
-            return Err(FormatError::malformed(
-                sep_idx + 1,
-                "expected '+' separator line",
-            ));
+            return Err(FormatError::malformed(self.line, "expected '+' separator line").into());
         }
+        let sep_line_no = self.line;
 
-        let (qual_idx, qual_line) = lines.next().ok_or(FormatError::UnexpectedEof {
-            line: sep_idx + 2,
-            expected: "a quality line",
-        })?;
+        let qual_line =
+            next_line(&mut self.source, &mut self.line)?.ok_or(FormatError::UnexpectedEof {
+                line: sep_line_no + 1,
+                expected: "a quality line",
+            })?;
         if qual_line.len() != seq.len() {
             return Err(FormatError::invalid_record(
-                qual_idx + 1,
+                self.line,
                 format!(
                     "quality length {} does not match sequence length {}",
                     qual_line.len(),
                     seq.len()
                 ),
-            ));
+            )
+            .into());
         }
         let mut qual = Vec::with_capacity(qual_line.len());
         for &byte in qual_line.as_bytes() {
             if !(PHRED_OFFSET..=b'~').contains(&byte) {
                 return Err(FormatError::malformed(
-                    qual_idx + 1,
+                    self.line,
                     format!("quality character 0x{byte:02x} outside Phred+33 range"),
-                ));
+                )
+                .into());
             }
             qual.push(byte - PHRED_OFFSET);
         }
 
-        records.push(FastqRecord {
+        Ok(Some(FastqRecord {
             id,
             description,
             seq,
             qual,
-        });
+        }))
     }
-    Ok(records)
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<FastqRecord, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(err) => {
+                self.done = true;
+                Some(Err(err))
+            }
+        }
+    }
 }
 
 /// Renders records as a FASTQ document.
@@ -289,5 +377,35 @@ mod tests {
         let records =
             read_fastq("@r1\nACGT\n+\nIIII\n\n@r2\nTT\n+\nII\n", Ambiguity::Reject).unwrap();
         assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn streaming_reader_agrees_with_batch_parser() {
+        let text = sample();
+        let batch = read_fastq(&text, Ambiguity::Reject).unwrap();
+        let streamed: Vec<FastqRecord> = FastqReader::new(text.as_bytes(), Ambiguity::Reject)
+            .map(|r| r.expect("well-formed sample"))
+            .collect();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn streaming_reader_fuses_after_an_error() {
+        let mut reader = FastqReader::new(
+            &b"@r1\nACGT\n+\nIII\n@r2\nTT\n+\nII\n"[..],
+            Ambiguity::Reject,
+        );
+        assert!(reader.next().unwrap().is_err());
+        // The record after the malformed one is not resynchronized.
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_reports_missing_final_newline_records() {
+        // A final record without a trailing newline still parses.
+        let mut reader = FastqReader::new(&b"@r1\nACGT\n+\nIIII"[..], Ambiguity::Reject);
+        let record = reader.next().unwrap().unwrap();
+        assert_eq!(record.qual.len(), 4);
+        assert!(reader.next().is_none());
     }
 }

@@ -184,14 +184,16 @@ impl GafRecord {
     }
 }
 
-/// Renders records as a GAF document (one line per record).
+/// Renders records as a GAF document (one line per record) — the
+/// whole-document convenience over the streaming
+/// [`GafWriter`](crate::GafWriter).
 pub fn write_gaf(records: &[GafRecord]) -> String {
-    let mut out = String::new();
+    let mut writer = crate::GafWriter::new(Vec::new());
     for rec in records {
-        out.push_str(&rec.to_gaf_line());
-        out.push('\n');
+        writer.write_record(rec).expect("vec write cannot fail");
     }
-    out
+    let bytes = writer.finish().expect("vec flush cannot fail");
+    String::from_utf8(bytes).expect("GAF lines are UTF-8")
 }
 
 /// Parses a GAF document produced by [`write_gaf`] (or by other graph

@@ -46,12 +46,15 @@ mod error;
 mod fasta;
 mod fastq;
 mod gaf;
+mod stream;
 mod vcf;
 
 pub use error::FormatError;
 pub use fasta::{read_fasta, write_fasta, Ambiguity, FastaRecord};
 pub use fastq::{
-    phred_from_error_rate, read_fastq, write_fastq, FastqRecord, MAX_PHRED, PHRED_OFFSET,
+    phred_from_error_rate, read_fastq, write_fastq, FastqReader, FastqRecord, MAX_PHRED,
+    PHRED_OFFSET,
 };
 pub use gaf::{read_gaf, write_gaf, GafRecord};
+pub use stream::{GafWriter, SamWriter, StreamError};
 pub use vcf::{read_vcf, write_vcf, VcfDocument, VcfOptions};

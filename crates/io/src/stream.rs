@@ -1,0 +1,228 @@
+//! Streaming I/O: incremental readers and writers for the mapping path.
+//!
+//! The string-based parsers in this crate (`read_fastq`, `write_gaf`, …)
+//! materialize whole documents, which is fine for pre-processing inputs
+//! (references, VCFs) but not for the read stream: a production mapping
+//! run consumes millions of reads and emits one output record per read.
+//! This module supplies the streaming counterparts the
+//! `segram_core::pipeline::MapEngine` consumers use:
+//!
+//! * [`FastqReader`] — an iterator over FASTQ records from any
+//!   [`BufRead`], holding one record in memory at a time;
+//! * [`SamWriter`] — writes the SAM header eagerly, then records one line
+//!   at a time;
+//! * [`GafWriter`] — writes GAF records one line at a time.
+//!
+//! [`StreamError`] unifies the two failure modes of streaming input:
+//! transport ([`std::io::Error`]) and syntax ([`FormatError`]).
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::error::FormatError;
+use crate::gaf::GafRecord;
+
+/// An error while streaming records: either the underlying transport
+/// failed or the bytes did not parse.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The input violated the format (with a 1-based line number).
+    Format(FormatError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(err) => write!(f, "I/O error: {err}"),
+            Self::Format(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            Self::Format(err) => Some(err),
+        }
+    }
+}
+
+impl From<io::Error> for StreamError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+impl From<FormatError> for StreamError {
+    fn from(err: FormatError) -> Self {
+        Self::Format(err)
+    }
+}
+
+/// An incremental SAM writer: the header (`@HD`, `@SQ`, `@PG`) goes out at
+/// construction, records stream one line at a time. The full-document
+/// `segram_core::sam_document` is a convenience wrapper over this.
+#[derive(Debug)]
+pub struct SamWriter<W: Write> {
+    sink: W,
+    records: usize,
+}
+
+impl<W: Write> SamWriter<W> {
+    /// Opens the document: writes the `@HD`/`@SQ`/`@PG` header for one
+    /// reference sequence of the given length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn new(mut sink: W, reference_name: &str, reference_len: u64) -> io::Result<Self> {
+        sink.write_all(b"@HD\tVN:1.6\tSO:unknown\n")?;
+        writeln!(sink, "@SQ\tSN:{reference_name}\tLN:{reference_len}")?;
+        sink.write_all(b"@PG\tID:segram-rs\tPN:segram-rs\tVN:0.1.0\n")?;
+        Ok(Self { sink, records: 0 })
+    }
+
+    /// Appends one record line (without its trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far (header lines excluded).
+    pub fn records_written(&self) -> usize {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// An incremental GAF writer: one record per line, streamed as produced.
+/// The full-document [`write_gaf`](crate::write_gaf) is a convenience
+/// wrapper over this.
+#[derive(Debug)]
+pub struct GafWriter<W: Write> {
+    sink: W,
+    records: usize,
+}
+
+impl<W: Write> GafWriter<W> {
+    /// Wraps a sink (GAF has no header).
+    pub fn new(sink: W) -> Self {
+        Self { sink, records: 0 }
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn write_record(&mut self, record: &GafRecord) -> io::Result<()> {
+        self.sink.write_all(record.to_gaf_line().as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> usize {
+        self.records
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads one line from `source` (up to `\n`), stripping the trailing
+/// `\n`/`\r\n`; returns `None` at end of input. The line counter is
+/// incremented for every line consumed.
+pub(crate) fn next_line(
+    source: &mut impl BufRead,
+    line_no: &mut usize,
+) -> Result<Option<String>, StreamError> {
+    let mut raw = Vec::new();
+    let n = source.read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    *line_no += 1;
+    if raw.last() == Some(&b'\n') {
+        raw.pop();
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map(Some).map_err(|_| {
+        StreamError::Format(FormatError::malformed(*line_no, "line is not valid UTF-8"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sam_writer_emits_header_then_lines() {
+        let mut writer = SamWriter::new(Vec::new(), "chr1", 1234).unwrap();
+        writer
+            .write_line("r1\t0\tchr1\t1\t60\t4=\t*\t0\t0\tACGT\t*")
+            .unwrap();
+        assert_eq!(writer.records_written(), 1);
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("@HD\tVN:1.6"));
+        assert!(text.contains("@SQ\tSN:chr1\tLN:1234\n"));
+        assert!(text.ends_with("ACGT\t*\n"));
+    }
+
+    #[test]
+    fn line_reader_strips_endings_and_counts() {
+        let mut source: &[u8] = b"one\r\ntwo\nthree";
+        let mut line_no = 0usize;
+        assert_eq!(
+            next_line(&mut source, &mut line_no).unwrap().unwrap(),
+            "one"
+        );
+        assert_eq!(
+            next_line(&mut source, &mut line_no).unwrap().unwrap(),
+            "two"
+        );
+        assert_eq!(
+            next_line(&mut source, &mut line_no).unwrap().unwrap(),
+            "three"
+        );
+        assert_eq!(line_no, 3);
+        assert!(next_line(&mut source, &mut line_no).unwrap().is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_format_error() {
+        let mut source: &[u8] = b"\xff\xfe\n";
+        let mut line_no = 0usize;
+        let err = next_line(&mut source, &mut line_no).unwrap_err();
+        assert!(matches!(err, StreamError::Format(_)));
+    }
+}
