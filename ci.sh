@@ -1,41 +1,116 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate for the SeGraM reproduction workspace.
+# Multi-stage CI gate for the SeGraM reproduction workspace.
 #
 # Fully offline by construction: every dependency is a workspace path
 # dependency (see segram-testkit), so this script must succeed on a
 # machine with no network access and no crates.io cache. `--locked`
 # enforces that the committed Cargo.lock stays authoritative.
+#
+# Tiers (each timed; a failure names its tier):
+#   1. build            cargo build --release --locked
+#   2. test             cargo test -q --locked
+#   3. fmt              cargo fmt --check
+#   4. clippy           cargo clippy --all-targets -- -D warnings
+#   5. bench-smoke      engine + sharding benches, 2 samples each,
+#                       emitting the BENCH_smoke.json artifact
+#   6. determinism      segram map output diffed across --threads 1 vs 4
+#   7. shard-determinism  segram map output diffed across --shards 1 vs 4,
+#                       crossed with --threads 1 vs 4
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release =="
-cargo build --release --locked
+# Runs one named tier, reporting its duration; failures abort with the
+# tier name so CI logs are diagnosable at a glance.
+tier() {
+    local name="$1"
+    shift
+    local start=$SECONDS
+    echo "== tier: $name =="
+    if ! "$@"; then
+        echo "FAIL: tier '$name' failed after $((SECONDS - start))s"
+        exit 1
+    fi
+    echo "-- tier '$name' OK in $((SECONDS - start))s"
+}
 
-echo "== cargo test -q =="
-cargo test -q --locked
+tier build cargo build --release --locked
+tier test cargo test -q --locked
+tier fmt cargo fmt --check
+tier clippy cargo clippy --all-targets --locked -- -D warnings
 
-echo "== cargo fmt --check =="
-cargo fmt --check
+# ---------------------------------------------------------------------------
+# Bench smoke: the benchmark binaries must still build and run. Two
+# samples per benchmark (SEGRAM_BENCH_SAMPLES) keep this tier fast; the
+# per-benchmark results land in BENCH_smoke.json for CI artifact upload.
+# ---------------------------------------------------------------------------
+bench_smoke() {
+    cargo build --release --locked -p segram-bench || return 1
+    local jsonl="$GATE_DIR/bench.jsonl"
+    rm -f "$jsonl" BENCH_smoke.json
+    SEGRAM_BENCH_SAMPLES=2 SEGRAM_BENCH_JSON="$jsonl" \
+        cargo bench -q -p segram-bench --locked --bench engine --bench sharding \
+        || return 1
+    [ -s "$jsonl" ] || { echo "bench run emitted no JSON lines"; return 1; }
+    {
+        echo '{"benches":['
+        paste -sd, - < "$jsonl"
+        echo ']}'
+    } > BENCH_smoke.json
+    echo "  wrote BENCH_smoke.json ($(wc -l < "$jsonl") benchmarks)"
+}
 
-echo "== end-to-end determinism gate (threads 1 vs 4) =="
-# Multi-threaded mapping must be byte-identical to serial mapping: the
-# MapEngine numbers batches and releases them to the output writer in
-# input order, so SAM/GAF bytes cannot depend on --threads.
 GATE_DIR="$(mktemp -d)"
 trap 'rm -rf "$GATE_DIR"' EXIT
 SEGRAM=target/release/segram
-"$SEGRAM" simulate --out-prefix "$GATE_DIR/ds" \
-    --length 30000 --reads 16 --read-len 120 --seed 5 > /dev/null
-for fmt in sam gaf; do
-    "$SEGRAM" map --graph "$GATE_DIR/ds.gfa" --reads "$GATE_DIR/ds.fq" \
-        --format "$fmt" --threads 1 --both-strands \
-        --output "$GATE_DIR/t1.$fmt" > /dev/null
-    "$SEGRAM" map --graph "$GATE_DIR/ds.gfa" --reads "$GATE_DIR/ds.fq" \
-        --format "$fmt" --threads 4 --both-strands \
-        --output "$GATE_DIR/t4.$fmt" > /dev/null
-    diff "$GATE_DIR/t1.$fmt" "$GATE_DIR/t4.$fmt" \
-        || { echo "FAIL: $fmt output differs between --threads 1 and 4"; exit 1; }
-    echo "  $fmt: identical"
-done
 
-echo "CI OK"
+tier bench-smoke bench_smoke
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism gates. The MapEngine numbers batches and releases
+# them to the output writer in input order, and the sharded path's seeding
+# router merges per-shard hits back into the monolithic candidate order —
+# so SAM/GAF bytes cannot depend on --threads or --shards.
+# ---------------------------------------------------------------------------
+map_once() { # out-file, then extra flags
+    local out="$1"
+    shift
+    "$SEGRAM" map --graph "$GATE_DIR/ds.gfa" --reads "$GATE_DIR/ds.fq" \
+        --both-strands --output "$out" "$@" > /dev/null
+}
+
+determinism_threads() {
+    "$SEGRAM" simulate --out-prefix "$GATE_DIR/ds" \
+        --length 30000 --reads 16 --read-len 120 --seed 5 > /dev/null || return 1
+    local fmt
+    for fmt in sam gaf; do
+        map_once "$GATE_DIR/t1.$fmt" --format "$fmt" --threads 1 || return 1
+        map_once "$GATE_DIR/t4.$fmt" --format "$fmt" --threads 4 || return 1
+        diff "$GATE_DIR/t1.$fmt" "$GATE_DIR/t4.$fmt" \
+            || { echo "$fmt output differs between --threads 1 and 4"; return 1; }
+        echo "  $fmt: identical across --threads 1/4"
+    done
+}
+
+determinism_shards() {
+    # A larger simulated genome so 4 coordinate-range shards (the software
+    # stand-ins for per-chromosome/per-channel slices) each hold a
+    # non-trivial piece of the index, with reads landing in all of them.
+    "$SEGRAM" simulate --out-prefix "$GATE_DIR/ds" \
+        --length 60000 --reads 24 --read-len 120 --seed 11 > /dev/null || return 1
+    local fmt threads
+    for fmt in sam gaf; do
+        map_once "$GATE_DIR/s1.$fmt" --format "$fmt" --threads 1 --shards 1 || return 1
+        for threads in 1 4; do
+            map_once "$GATE_DIR/s4t$threads.$fmt" \
+                --format "$fmt" --threads "$threads" --shards 4 || return 1
+            diff "$GATE_DIR/s1.$fmt" "$GATE_DIR/s4t$threads.$fmt" \
+                || { echo "$fmt output differs for --shards 4 --threads $threads"; return 1; }
+        done
+        echo "  $fmt: identical across --shards 1/4 x --threads 1/4"
+    done
+}
+
+tier determinism determinism_threads
+tier shard-determinism determinism_shards
+
+echo "CI OK in ${SECONDS}s"

@@ -114,7 +114,7 @@ impl Cigar {
     pub fn ops(&self) -> impl Iterator<Item = CigarOp> + '_ {
         self.runs
             .iter()
-            .flat_map(|&(op, n)| std::iter::repeat(op).take(n as usize))
+            .flat_map(|&(op, n)| std::iter::repeat_n(op, n as usize))
     }
 
     /// Total number of ops.

@@ -1,6 +1,8 @@
 //! Criterion benchmarks of the batched multi-threaded `MapEngine`: batch
 //! throughput at 1/2/4 worker threads, the baseline perf trajectory for
-//! future scaling PRs (sharded indexes, async IO, region batching).
+//! the scaling PRs (async IO, region batching). Sharded-index throughput
+//! and load-balance live in `benches/sharding.rs`; both benches run in
+//! CI's bench-smoke tier (`SEGRAM_BENCH_SAMPLES`/`SEGRAM_BENCH_JSON`).
 
 use segram_core::{EngineConfig, MapEngine, SegramConfig, SegramMapper};
 use segram_graph::DnaSeq;

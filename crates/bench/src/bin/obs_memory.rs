@@ -240,8 +240,8 @@ fn main() {
 
     // Address map mirroring Figure 6: [buckets][minimizers][locations].
     let bucket_base = 0u64;
-    let minimizer_base = footprint.bucket_bytes as u64;
-    let location_base = minimizer_base + footprint.minimizer_bytes as u64;
+    let minimizer_base = footprint.bucket_bytes;
+    let location_base = minimizer_base + footprint.minimizer_bytes;
     let bucket_count = 1u64 << config.bucket_bits;
 
     let mut h = Hierarchy::xeon_like();
@@ -254,13 +254,13 @@ fn main() {
             h.access(bucket_base + (m.rank % bucket_count) * 4);
             // Second level: a short scan of 12 B minimizer entries at a
             // hash-dependent offset.
-            let mini_idx = m.rank % (footprint.minimizer_bytes as u64 / 12).max(1);
+            let mini_idx = m.rank % (footprint.minimizer_bytes / 12).max(1);
             for step in 0..2u64 {
                 h.access(minimizer_base + mini_idx * 12 + step * 12);
             }
             // Third level: the seed locations (8 B each) at a random group.
             let loc_count = rng.gen_range(1..6u64);
-            let loc_idx = m.rank % (footprint.location_bytes as u64 / 8).max(1);
+            let loc_idx = m.rank % (footprint.location_bytes / 8).max(1);
             for l in 0..loc_count {
                 h.access(location_base + (loc_idx + l) * 8);
             }

@@ -11,7 +11,8 @@ use std::path::Path;
 use std::time::Duration;
 
 use segram_core::{
-    gaf_record_for, sam_record_for, EngineConfig, MapEngine, SegramConfig, SegramMapper,
+    gaf_record_for, sam_record_for, EngineConfig, EngineReport, MapEngine, ReadMapper,
+    SegramConfig, SegramMapper, ShardAffinity, ShardedIndex,
 };
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
@@ -232,7 +233,7 @@ segram map — map FASTQ reads to a genome graph (MinSeed + BitAlign)
 
 Reads are streamed through the stage pipeline (seed -> prefilter -> align)
 by a batched multi-threaded engine; output order is the input order and is
-byte-identical for every --threads value.
+byte-identical for every --threads and --shards value.
 
 OPTIONS:
     --graph <graph.gfa>    input graph (required)
@@ -240,6 +241,10 @@ OPTIONS:
     --output <path>        output file (default: stdout section of report)
     --format <sam|gaf>     output format (default sam)
     --threads <int>        worker threads (default: all available cores)
+    --shards <int>         split the index into N coordinate-range shards
+                           with a seeding router in front (default 1; the
+                           software analogue of the paper's per-HBM-channel
+                           accelerator instances)
     --preset <short|long5|long10>
                            mapper preset (default short)
     --filter <none|base-count|qgram|shd|snake|cascade>
@@ -290,6 +295,21 @@ fn thread_count(options: &Options) -> Result<usize, CliError> {
     }
 }
 
+/// Index-shard count for `segram map`: `--shards N` with `N >= 1`
+/// (default 1 = the unsharded mapper).
+fn shard_count(options: &Options) -> Result<usize, CliError> {
+    match options.get("shards") {
+        None => Ok(1),
+        Some(text) => match text.parse::<usize>() {
+            Ok(0) => Err(CliError::usage("--shards must be at least 1")),
+            Ok(n) => Ok(n),
+            Err(_) => Err(CliError::usage(format!(
+                "--shards: unparsable value {text:?}"
+            ))),
+        },
+    }
+}
+
 /// Where the streamed output records go: a buffered file or an in-memory
 /// buffer that is appended to the report (the no-`--output` case).
 enum MapTarget {
@@ -319,40 +339,31 @@ enum MapWriter {
     Gaf(GafWriter<MapTarget>),
 }
 
-/// `segram map`.
-pub fn map(options: &Options) -> Result<String, CliError> {
-    if options.switch("help") {
-        return Ok(MAP_HELP.to_owned());
-    }
-    options.reject_unknown(&[
-        "graph",
-        "reads",
-        "output",
-        "format",
-        "threads",
-        "preset",
-        "filter",
-        "both-strands",
-        "lenient",
-    ])?;
-    let graph_path = options.require("graph")?;
-    let reads_path = options.require("reads")?;
-    let format = options.get("format").unwrap_or("sam");
-    if format != "sam" && format != "gaf" {
-        return Err(CliError::usage(format!(
-            "unknown format {format:?} (expected sam|gaf)"
-        )));
-    }
-    // Validate the cheap options before touching the filesystem, so usage
-    // errors win over I/O errors.
-    let threads = thread_count(options)?;
-    let mut config = preset(options.get("preset").unwrap_or("short"))?;
-    config.prefilter = filter_spec(options.get("filter").unwrap_or("none"))?;
+/// Everything one engine pass produces that the report needs.
+struct EngineRun {
+    report: EngineReport,
+    batch_size: usize,
+    /// Worker affinity summary (sharded runs only): per group, the shard
+    /// ids pinned to it and the batches its workers processed.
+    affinity: Option<(Vec<Vec<usize>>, Vec<u64>)>,
+    target: MapTarget,
+}
 
-    let graph = load_graph(graph_path)?;
-    let mapper = SegramMapper::new(graph, config);
-    let both = options.switch("both-strands");
-
+/// Streams the FASTQ at `reads_path` through a [`MapEngine`] over any
+/// [`ReadMapper`] (monolithic or sharded), writing records to `out_path`
+/// (or an in-memory buffer) as each batch is released in input order.
+#[allow(clippy::too_many_arguments)]
+fn run_map_stream<M: ReadMapper>(
+    mapper: &M,
+    affinity: Option<ShardAffinity>,
+    threads: usize,
+    both: bool,
+    options: &Options,
+    format: &str,
+    reads_path: &str,
+    out_path: Option<&str>,
+) -> Result<EngineRun, CliError> {
+    let out_name = out_path.unwrap_or("<report>");
     // Raised by the sink on the first write failure; the input side stops
     // feeding the engine so a full-disk error surfaces without mapping
     // the rest of the stream first.
@@ -380,8 +391,6 @@ pub fn map(options: &Options) -> Result<String, CliError> {
 
     // Output side: records are written as their batch is released, so the
     // document is never held in memory when writing to a file.
-    let out_path = options.get("output");
-    let out_name = out_path.unwrap_or("<report>");
     let target = match out_path {
         Some(path) => {
             if let Some(parent) = Path::new(path).parent() {
@@ -411,10 +420,11 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     };
     let mut write_error: Option<CliError> = None;
 
-    let engine = MapEngine::new(
-        &mapper,
-        EngineConfig::with_threads(threads).both_strands(both),
-    );
+    let engine_config = EngineConfig::with_threads(threads).both_strands(both);
+    let engine = match affinity {
+        Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
+        None => MapEngine::new(mapper, engine_config),
+    };
     let run = engine.map_stream(
         reads,
         |record| &record.seq,
@@ -465,29 +475,136 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     }
     .map_err(|e| CliError::io(out_name, e))?;
 
+    Ok(EngineRun {
+        report: run,
+        batch_size: engine.config().batch_size,
+        affinity: engine
+            .affinity()
+            .map(|a| (a.groups().to_vec(), a.batches_per_group())),
+        target,
+    })
+}
+
+/// The per-shard section of a sharded run's report: occupancy counters,
+/// seeding-load imbalance, and the worker affinity groups.
+fn shard_report(sharded: &ShardedIndex, affinity: Option<&(Vec<Vec<usize>>, Vec<u64>)>) -> String {
+    let mut section = String::new();
+    let _ = writeln!(
+        section,
+        "shards: {} coordinate ranges (seed-hit imbalance {:.2})",
+        sharded.shards().len(),
+        sharded.seed_imbalance()
+    );
+    for stats in sharded.shard_stats() {
+        let _ = writeln!(
+            section,
+            "  shard {} [{}, {}): {} seed hits, {} regions, {} wins",
+            stats.shard, stats.start, stats.end, stats.seed_hits, stats.regions, stats.wins
+        );
+    }
+    if let Some((groups, batches)) = affinity {
+        let lines: Vec<String> = groups
+            .iter()
+            .zip(batches)
+            .enumerate()
+            .map(|(g, (shards, b))| format!("group {g} -> shards {shards:?} ({b} batches)"))
+            .collect();
+        let _ = writeln!(section, "worker affinity plan: {}", lines.join(", "));
+    }
+    section
+}
+
+/// `segram map`.
+pub fn map(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(MAP_HELP.to_owned());
+    }
+    options.reject_unknown(&[
+        "graph",
+        "reads",
+        "output",
+        "format",
+        "threads",
+        "shards",
+        "preset",
+        "filter",
+        "both-strands",
+        "lenient",
+    ])?;
+    let graph_path = options.require("graph")?;
+    let reads_path = options.require("reads")?;
+    let format = options.get("format").unwrap_or("sam");
+    if format != "sam" && format != "gaf" {
+        return Err(CliError::usage(format!(
+            "unknown format {format:?} (expected sam|gaf)"
+        )));
+    }
+    // Validate the cheap options before touching the filesystem, so usage
+    // errors win over I/O errors.
+    let threads = thread_count(options)?;
+    let shards = shard_count(options)?;
+    let mut config = preset(options.get("preset").unwrap_or("short"))?;
+    config.prefilter = filter_spec(options.get("filter").unwrap_or("none"))?;
+    let both = options.switch("both-strands");
+    let out_path = options.get("output");
+
+    let graph = load_graph(graph_path)?;
+    let (run, shard_section) = if shards <= 1 {
+        let mapper = SegramMapper::new(graph, config);
+        let run = run_map_stream(
+            &mapper, None, threads, both, options, format, reads_path, out_path,
+        )?;
+        (run, String::new())
+    } else {
+        let sharded = ShardedIndex::build(graph, config, shards);
+        let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
+        let run = run_map_stream(
+            &sharded,
+            Some(affinity),
+            threads,
+            both,
+            options,
+            format,
+            reads_path,
+            out_path,
+        )?;
+        let section = shard_report(&sharded, run.affinity.as_ref());
+        (run, section)
+    };
+
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let stats = run.report;
     let mut report = String::new();
     let _ = writeln!(
         report,
         "mapped {}/{} reads ({} regions aligned, {} filtered)",
-        run.mapped, run.reads, run.stats.regions_aligned, run.stats.regions_filtered
+        stats.mapped, stats.reads, stats.stats.regions_aligned, stats.stats.regions_filtered
     );
     let _ = writeln!(
         report,
         "threads: {threads} ({} batches of up to {} reads)",
-        run.batches,
-        engine.config().batch_size
+        stats.batches, run.batch_size
     );
     let _ = writeln!(
         report,
         "stage times: seeding {:.2} ms, filtering {:.2} ms, alignment {:.2} ms \
          (alignment fraction {:.0}%)",
-        ms(run.stats.seeding),
-        ms(run.stats.filtering),
-        ms(run.stats.alignment),
-        run.stats.alignment_fraction() * 100.0
+        ms(stats.stats.seeding),
+        ms(stats.stats.filtering),
+        ms(stats.stats.alignment),
+        stats.stats.alignment_fraction() * 100.0
     );
-    match (out_path, target) {
+    let _ = writeln!(
+        report,
+        "queue: max depth {}, producer waited {}x ({:.2} ms), workers waited {}x ({:.2} ms)",
+        stats.queue.max_depth,
+        stats.queue.producer_waits,
+        ms(stats.queue.producer_wait),
+        stats.queue.worker_waits,
+        ms(stats.queue.worker_wait)
+    );
+    report.push_str(&shard_section);
+    match (out_path, run.target) {
         (Some(path), _) => {
             let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
         }

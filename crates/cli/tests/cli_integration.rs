@@ -392,6 +392,88 @@ fn threads_choice_is_reported_and_output_is_thread_invariant() {
 }
 
 #[test]
+fn sharded_mapping_is_reported_and_output_is_shard_invariant() {
+    let dir = TempDir::new("shards");
+    let prefix = dir.path("s");
+    run(&[
+        "simulate",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "30000",
+        "--reads",
+        "12",
+        "--read-len",
+        "110",
+        "--seed",
+        "23",
+    ])
+    .expect("simulate");
+
+    let map_args = |shards: Option<&str>, threads: &str, format: &str, out: &str| {
+        let mut args = vec![
+            "map".to_owned(),
+            "--graph".to_owned(),
+            format!("{prefix}.gfa"),
+            "--reads".to_owned(),
+            format!("{prefix}.fq"),
+            "--format".to_owned(),
+            format.to_owned(),
+            "--threads".to_owned(),
+            threads.to_owned(),
+            "--output".to_owned(),
+            dir.path(out),
+            "--both-strands".to_owned(),
+        ];
+        if let Some(n) = shards {
+            args.push("--shards".to_owned());
+            args.push(n.to_owned());
+        }
+        args
+    };
+    let run_owned = |args: &[String]| dispatch(args).expect("map");
+
+    // A sharded run reports the per-shard section and worker affinity.
+    let report = run_owned(&map_args(Some("3"), "2", "sam", "sharded.sam"));
+    assert!(report.contains("shards: 3 coordinate ranges"), "{report}");
+    assert!(report.contains("shard 0 ["), "{report}");
+    assert!(report.contains("worker affinity plan: group 0"), "{report}");
+    assert!(report.contains("queue: max depth"), "{report}");
+
+    // SAM and GAF bytes are identical across shard counts, crossed with
+    // thread counts (the in-process half of ci.sh's end-to-end gate).
+    for format in ["sam", "gaf"] {
+        run_owned(&map_args(None, "1", format, &format!("mono.{format}")));
+        let mono = fs::read(dir.path(&format!("mono.{format}"))).unwrap();
+        for (shards, threads) in [("2", "4"), ("4", "1"), ("4", "4")] {
+            let out = format!("s{shards}t{threads}.{format}");
+            run_owned(&map_args(Some(shards), threads, format, &out));
+            let sharded = fs::read(dir.path(&out)).unwrap();
+            assert_eq!(
+                mono, sharded,
+                "{format} output differs for --shards {shards} --threads {threads}"
+            );
+        }
+    }
+
+    // --shards is validated like --threads: usage errors before I/O.
+    for bad in ["0", "many"] {
+        let err = run(&[
+            "map",
+            "--graph",
+            "missing.gfa",
+            "--reads",
+            "missing.fq",
+            "--shards",
+            bad,
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "--shards {bad} must be a usage error");
+        assert!(err.to_string().contains("--shards"), "{err}");
+    }
+}
+
+#[test]
 fn io_and_format_errors_are_reported_with_paths() {
     let dir = TempDir::new("errors");
     let err = run(&["index", "--graph", &dir.path("missing.gfa")]).unwrap_err();

@@ -178,7 +178,7 @@ impl BaselineMapper for GraphAlignerLike {
                 edit_distance: a.edit_distance,
                 linear_start: start + a.text_start as u64,
             };
-            if best.map_or(true, |b| {
+            if best.is_none_or(|b| {
                 (candidate.edit_distance, candidate.linear_start)
                     < (b.edit_distance, b.linear_start)
             }) {
@@ -277,7 +277,7 @@ impl BaselineMapper for VgLike {
                 edit_distance: total,
                 linear_start: region.start,
             };
-            if best.map_or(true, |b| {
+            if best.is_none_or(|b| {
                 (candidate.edit_distance, candidate.linear_start)
                     < (b.edit_distance, b.linear_start)
             }) {

@@ -43,16 +43,19 @@ mod mapper;
 mod pangenome;
 pub mod pipeline;
 mod sam;
+mod shard;
 mod workload;
 
 pub use baseline::{BaselineMapper, BaselineMapping, GraphAlignerLike, HgaLike, StepTimes, VgLike};
 pub use config::SegramConfig;
 pub use eval::{evaluate, seeding_sensitivity, Evaluation};
-pub use mapper::{MapStats, Mapping, SegramMapper};
+pub use mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
 pub use pangenome::{Chromosome, Pangenome, PangenomeMapping};
 pub use pipeline::{
     gaf_record_for, sam_record_for, Aligner, BitAlignStage, EngineConfig, EngineReport, MapEngine,
-    MapPipeline, MinSeedStage, Prefilter, ReadOutcome, Seeder, SpecPrefilter,
+    MapPipeline, MinSeedStage, Prefilter, QueueStats, ReadOutcome, Seeder, ShardAffinity,
+    ShardRouter, SpecPrefilter,
 };
 pub use sam::{mapq_estimate, sam_document, SamRecord};
+pub use shard::{balance_loads, load_imbalance, IndexShard, ShardStats, ShardedIndex};
 pub use workload::{map_with_threads, measure_sequences, measure_workload, WorkloadMeasurement};

@@ -10,6 +10,7 @@
 //! seeding → prefilter → alignment flow. Batched multi-threaded mapping
 //! lives in [`MapEngine`](crate::pipeline::MapEngine).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use segram_align::{AlignError, Alignment};
@@ -18,6 +19,24 @@ use segram_index::{frequency_threshold, GraphIndex, MinSeedConfig, SeedRegion};
 
 use crate::config::SegramConfig;
 use crate::pipeline::{Aligner, BitAlignStage, MapPipeline, MinSeedStage, Seeder, SpecPrefilter};
+
+/// Anything that can map one read end to end: the abstraction
+/// [`MapEngine`](crate::pipeline::MapEngine) drives, implemented by the
+/// monolithic [`SegramMapper`] and the coordinate-range
+/// [`ShardedIndex`](crate::ShardedIndex). Implementations must be `Sync`
+/// because the engine shares one mapper across its worker threads.
+pub trait ReadMapper: Sync {
+    /// The reference graph mappings refer to (SAM/GAF rendering needs it).
+    fn graph(&self) -> &GenomeGraph;
+
+    /// Maps one read end to end; returns the best mapping (fewest edits,
+    /// then leftmost) and the per-stage pipeline statistics.
+    fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats);
+
+    /// Maps a read trying both strands, returning the better mapping and
+    /// the strand it mapped on.
+    fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, segram_sim::Strand)>, MapStats);
+}
 
 /// A completed read mapping.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -114,7 +133,9 @@ impl MapStats {
 /// ```
 #[derive(Debug)]
 pub struct SegramMapper {
-    graph: GenomeGraph,
+    /// Shared so N coordinate-range shards (each with its own index slice)
+    /// can reference one graph without cloning it per shard.
+    graph: Arc<GenomeGraph>,
     index: GraphIndex,
     config: SegramConfig,
     freq_threshold: u32,
@@ -124,6 +145,7 @@ impl SegramMapper {
     /// Builds the mapper: indexes the graph and derives the frequency
     /// threshold (the two pre-processing steps of Section 5).
     pub fn new(graph: GenomeGraph, config: SegramConfig) -> Self {
+        let graph = Arc::new(graph);
         let index = GraphIndex::build(&graph, config.scheme, config.bucket_bits);
         let freq_threshold = frequency_threshold(&index, config.discard_frac);
         Self {
@@ -132,6 +154,33 @@ impl SegramMapper {
             config,
             freq_threshold,
         }
+    }
+
+    /// Assembles a mapper from pre-built parts: a shared graph, an index
+    /// over (a slice of) it, and an externally derived frequency
+    /// threshold. This is how [`ShardedIndex`](crate::ShardedIndex)
+    /// constructs its per-shard mappers — each shard's index covers only
+    /// its coordinate range, while the frequency threshold stays the
+    /// *global* one so shard-local mapping agrees with the monolithic
+    /// filter decisions.
+    pub fn from_parts(
+        graph: Arc<GenomeGraph>,
+        index: GraphIndex,
+        config: SegramConfig,
+        freq_threshold: u32,
+    ) -> Self {
+        Self {
+            graph,
+            index,
+            config,
+            freq_threshold,
+        }
+    }
+
+    /// The shared handle to the reference graph (cheap to clone; used to
+    /// build further mappers over the same graph).
+    pub fn shared_graph(&self) -> Arc<GenomeGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// Builds a sequence-to-sequence mapper from a linear reference
@@ -147,7 +196,7 @@ impl SegramMapper {
 
     /// The reference graph.
     pub fn graph(&self) -> &GenomeGraph {
-        &self.graph
+        self.graph.as_ref()
     }
 
     /// The hash-table index.
@@ -170,9 +219,9 @@ impl SegramMapper {
     /// wrappers over the pipeline this returns.
     pub fn pipeline(&self) -> MapPipeline<'_, MinSeedStage<'_>, SpecPrefilter, BitAlignStage> {
         MapPipeline::new(
-            &self.graph,
+            self.graph.as_ref(),
             MinSeedStage::new(
-                &self.graph,
+                self.graph.as_ref(),
                 &self.index,
                 MinSeedConfig {
                     error_rate: self.config.error_rate,
@@ -236,6 +285,20 @@ impl SegramMapper {
             out.push(mapping);
         }
         (out, aggregate)
+    }
+}
+
+impl ReadMapper for SegramMapper {
+    fn graph(&self) -> &GenomeGraph {
+        SegramMapper::graph(self)
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+        SegramMapper::map_read(self, read)
+    }
+
+    fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, segram_sim::Strand)>, MapStats) {
+        SegramMapper::map_read_both(self, read)
     }
 }
 

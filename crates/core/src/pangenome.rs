@@ -118,9 +118,9 @@ impl Pangenome {
             let (mapping, s) = chromosome.mapper.map_read(read);
             stats.merge(&s);
             if let Some(m) = mapping {
-                let better = best.as_ref().map_or(true, |b| {
-                    m.alignment.edit_distance < b.mapping.alignment.edit_distance
-                });
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| m.alignment.edit_distance < b.mapping.alignment.edit_distance);
                 if better {
                     best = Some(PangenomeMapping {
                         chromosome: chromosome.name.clone(),
@@ -139,27 +139,16 @@ impl Pangenome {
 
     /// The paper's channel placement: assign chromosomes to `channels`
     /// memory channels, balancing per-channel bytes (greedy
-    /// largest-first bin packing). Returns, per channel, the chromosome
-    /// indices assigned to it.
+    /// largest-first bin packing, shared with the engine's worker-to-shard
+    /// pinning via [`balance_loads`](crate::balance_loads)). Returns, per
+    /// channel, the chromosome indices assigned to it.
     pub fn channel_placement(&self, channels: usize) -> Vec<Vec<usize>> {
-        assert!(channels > 0, "at least one channel");
-        let mut order: Vec<(usize, u64)> = self
+        let bytes: Vec<u64> = self
             .chromosomes
             .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.memory_bytes()))
+            .map(Chromosome::memory_bytes)
             .collect();
-        order.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
-        let mut loads = vec![0u64; channels];
-        let mut placement = vec![Vec::new(); channels];
-        for (idx, bytes) in order {
-            let target = (0..channels)
-                .min_by_key(|&c| loads[c])
-                .expect("channels > 0");
-            loads[target] += bytes;
-            placement[target].push(idx);
-        }
-        placement
+        crate::shard::balance_loads(&bytes, channels)
     }
 
     /// Imbalance of a placement: max channel load / mean channel load
@@ -173,13 +162,7 @@ impl Pangenome {
                     .sum()
             })
             .collect();
-        let max = *loads.iter().max().unwrap_or(&0) as f64;
-        let mean = loads.iter().sum::<u64>() as f64 / loads.len().max(1) as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max / mean
-        }
+        crate::shard::load_imbalance(&loads)
     }
 }
 

@@ -12,14 +12,26 @@
 //! buffer releases them to the sink strictly sequentially, so the output
 //! of `threads = N` is byte-identical to `threads = 1` for any `N` (the
 //! mapper itself is deterministic). `ci.sh` enforces this end to end.
+//!
+//! The engine is generic over [`ReadMapper`], so the same driver runs the
+//! monolithic [`SegramMapper`] and the coordinate-range
+//! [`ShardedIndex`](crate::ShardedIndex). The bounded queue exposes
+//! depth/wait counters ([`QueueStats`]) to locate the
+//! producer-vs-worker bottleneck, and a [`ShardAffinity`] plan assigns
+//! workers to shard groups with the same size-balanced placement the
+//! paper uses for chromosomes over memory channels (an ownership model
+//! plus batch accounting — routing still fans out to every shard).
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use segram_graph::DnaSeq;
 use segram_sim::Strand;
 
-use crate::mapper::{MapStats, Mapping, SegramMapper};
+use crate::mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
+use crate::shard::balance_loads;
 
 /// Tuning knobs of a [`MapEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +103,96 @@ pub struct EngineReport {
     pub threads: usize,
     /// Per-stage statistics summed over every read and worker.
     pub stats: MapStats,
+    /// Work-queue depth and wait counters for this run.
+    pub queue: QueueStats,
+}
+
+/// Depth/wait counters of the engine's bounded work queue — the
+/// backpressure observability that locates the producer-vs-worker
+/// bottleneck at high thread counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// High-water mark of queued batches.
+    pub max_depth: usize,
+    /// Times the producer blocked on a full queue.
+    pub producer_waits: u64,
+    /// Total time the producer spent blocked on a full queue.
+    pub producer_wait: Duration,
+    /// Times a worker blocked on an empty queue (excluding the final
+    /// end-of-stream drain).
+    pub worker_waits: u64,
+    /// Total time workers spent blocked on an empty queue.
+    pub worker_wait: Duration,
+}
+
+/// Worker-to-shard ownership *plan* plus per-group batch accounting:
+/// distributes shard ids over worker groups with the same greedy
+/// size-balanced placement the paper uses to spread chromosomes across
+/// HBM channels (Section 8.3, [`balance_loads`](crate::balance_loads)),
+/// and counts the batches each group's workers processed.
+///
+/// This is the deployment model for a NUMA/multi-queue setup, not a
+/// routing constraint: today every worker still pops from the one shared
+/// queue and the seeding router fans each read out to **all** shards, so
+/// the per-group batch counts measure queue scheduling, not shard-local
+/// work (per-shard occupancy lives in
+/// [`ShardStats`](crate::ShardStats)). Dedicated per-group worker pools
+/// are the ROADMAP's follow-up extension.
+///
+/// With more workers than shards, workers share groups round-robin; with
+/// more shards than workers, a group owns several shards.
+#[derive(Debug)]
+pub struct ShardAffinity {
+    /// Per group, the shard ids pinned to it.
+    groups: Vec<Vec<usize>>,
+    /// Worker index → group index.
+    worker_group: Vec<usize>,
+    /// Per group, batches processed by its workers.
+    batches: Vec<AtomicU64>,
+}
+
+impl ShardAffinity {
+    /// Pins `workers` workers to shard groups balanced by `shard_loads`
+    /// (per-shard memory bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_loads` is empty or `workers` is zero.
+    pub fn pin_workers(shard_loads: &[u64], workers: usize) -> Self {
+        assert!(!shard_loads.is_empty(), "at least one shard");
+        assert!(workers > 0, "at least one worker");
+        let group_count = workers.min(shard_loads.len());
+        let groups = balance_loads(shard_loads, group_count);
+        let worker_group = (0..workers).map(|w| w % group_count).collect();
+        let batches = (0..group_count).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            groups,
+            worker_group,
+            batches,
+        }
+    }
+
+    /// Per group, the shard ids pinned to it.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The shard group a worker is pinned to.
+    pub fn group_of(&self, worker: usize) -> usize {
+        self.worker_group[worker % self.worker_group.len()]
+    }
+
+    /// Batches processed per shard group (since construction).
+    pub fn batches_per_group(&self) -> Vec<u64> {
+        self.batches
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn record_batch(&self, worker: usize) {
+        self.batches[self.group_of(worker)].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A bounded single-producer / multi-consumer batch queue (Mutex +
@@ -101,12 +203,20 @@ struct WorkQueue<T> {
     inner: Mutex<WorkQueueInner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
+    // Wait accounting lives outside the mutex so blocked-time bookkeeping
+    // never extends the critical section.
+    producer_waits: AtomicU64,
+    producer_wait_ns: AtomicU64,
+    worker_waits: AtomicU64,
+    worker_wait_ns: AtomicU64,
 }
 
 struct WorkQueueInner<T> {
     items: VecDeque<T>,
     capacity: usize,
     closed: bool,
+    /// High-water mark of `items.len()`.
+    max_depth: usize,
 }
 
 impl<T> WorkQueue<T> {
@@ -116,21 +226,33 @@ impl<T> WorkQueue<T> {
                 items: VecDeque::new(),
                 capacity: capacity.max(1),
                 closed: false,
+                max_depth: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            producer_waits: AtomicU64::new(0),
+            producer_wait_ns: AtomicU64::new(0),
+            worker_waits: AtomicU64::new(0),
+            worker_wait_ns: AtomicU64::new(0),
         }
     }
 
     fn push(&self, item: T) {
         let mut inner = self.inner.lock().expect("work queue poisoned");
-        while inner.items.len() >= inner.capacity && !inner.closed {
-            inner = self.not_full.wait(inner).expect("work queue poisoned");
+        if inner.items.len() >= inner.capacity && !inner.closed {
+            let blocked = Instant::now();
+            while inner.items.len() >= inner.capacity && !inner.closed {
+                inner = self.not_full.wait(inner).expect("work queue poisoned");
+            }
+            self.producer_waits.fetch_add(1, Ordering::Relaxed);
+            self.producer_wait_ns
+                .fetch_add(blocked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         if inner.closed {
             return;
         }
         inner.items.push_back(item);
+        inner.max_depth = inner.max_depth.max(inner.items.len());
         drop(inner);
         self.not_empty.notify_one();
     }
@@ -146,7 +268,35 @@ impl<T> WorkQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("work queue poisoned");
+            // One blocked period counts as one wait, however many
+            // (possibly spurious) wakeups it takes — mirroring the
+            // producer-side accounting so the two columns compare.
+            // End-of-stream wakeups (close with no work) are not
+            // starvation and are not counted.
+            let blocked = Instant::now();
+            while inner.items.is_empty() && !inner.closed {
+                inner = self.not_empty.wait(inner).expect("work queue poisoned");
+            }
+            if !inner.items.is_empty() {
+                self.worker_waits.fetch_add(1, Ordering::Relaxed);
+                self.worker_wait_ns
+                    .fetch_add(blocked.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot of the queue's depth/wait counters.
+    fn stats(&self) -> QueueStats {
+        let max_depth = match self.inner.lock() {
+            Ok(inner) => inner.max_depth,
+            Err(poisoned) => poisoned.into_inner().max_depth,
+        };
+        QueueStats {
+            max_depth,
+            producer_waits: self.producer_waits.load(Ordering::Relaxed),
+            producer_wait: Duration::from_nanos(self.producer_wait_ns.load(Ordering::Relaxed)),
+            worker_waits: self.worker_waits.load(Ordering::Relaxed),
+            worker_wait: Duration::from_nanos(self.worker_wait_ns.load(Ordering::Relaxed)),
         }
     }
 
@@ -184,7 +334,9 @@ struct Reorder<T, F> {
     report: EngineReport,
 }
 
-/// The batched, multi-threaded, order-preserving mapping engine.
+/// The batched, multi-threaded, order-preserving mapping engine, generic
+/// over the [`ReadMapper`] it drives (the monolithic [`SegramMapper`] or
+/// the coordinate-range [`ShardedIndex`](crate::ShardedIndex)).
 ///
 /// # Examples
 ///
@@ -202,20 +354,41 @@ struct Reorder<T, F> {
 /// assert!(report.mapped > 0);
 /// ```
 #[derive(Debug)]
-pub struct MapEngine<'m> {
-    mapper: &'m SegramMapper,
+pub struct MapEngine<'m, M: ReadMapper = SegramMapper> {
+    mapper: &'m M,
     config: EngineConfig,
+    affinity: Option<ShardAffinity>,
 }
 
-impl<'m> MapEngine<'m> {
+impl<'m, M: ReadMapper> MapEngine<'m, M> {
     /// Binds the engine to a mapper.
-    pub fn new(mapper: &'m SegramMapper, config: EngineConfig) -> Self {
-        Self { mapper, config }
+    pub fn new(mapper: &'m M, config: EngineConfig) -> Self {
+        Self {
+            mapper,
+            config,
+            affinity: None,
+        }
+    }
+
+    /// Binds the engine to a mapper with a worker-to-shard-group
+    /// ownership plan (see [`ShardAffinity`] for what the plan does and
+    /// does not affect).
+    pub fn with_affinity(mapper: &'m M, config: EngineConfig, affinity: ShardAffinity) -> Self {
+        Self {
+            mapper,
+            config,
+            affinity: Some(affinity),
+        }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The worker-to-shard pinning, when configured.
+    pub fn affinity(&self) -> Option<&ShardAffinity> {
+        self.affinity.as_ref()
     }
 
     /// Maps one read according to the engine's strand policy.
@@ -287,12 +460,19 @@ impl<'m> MapEngine<'m> {
         let mut batches = 0usize;
 
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for worker in 0..threads {
+                let queue = &queue;
+                let output = &output;
+                let released = &released;
+                let affinity = self.affinity.as_ref();
+                scope.spawn(move || {
                     // Unblocks the producer and fellow workers if this
                     // worker panics (sink, pipeline, or poisoned lock).
-                    let _close_guard = CloseOnDrop(&queue);
+                    let _close_guard = CloseOnDrop(queue);
                     while let Some((index, items)) = queue.pop() {
+                        if let Some(affinity) = affinity {
+                            affinity.record_batch(worker);
+                        }
                         let outcomes: Vec<(T, ReadOutcome)> = items
                             .into_iter()
                             .map(|item| {
@@ -349,6 +529,7 @@ impl<'m> MapEngine<'m> {
         let mut report = output.into_inner().expect("engine output poisoned").report;
         report.batches = batches;
         report.threads = threads;
+        report.queue = queue.stats();
         report
     }
 
@@ -474,6 +655,64 @@ mod tests {
         assert!(report.stats.filtering > Duration::ZERO);
         let fraction = report.stats.alignment_fraction();
         assert!(fraction > 0.0 && fraction < 1.0);
+    }
+
+    #[test]
+    fn queue_stats_observe_depth_and_waits() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        // A one-slot queue with one-read batches maximizes contention: the
+        // producer must block while workers drain.
+        let mut config = EngineConfig::with_threads(2);
+        config.batch_size = 1;
+        config.queue_depth = 1;
+        let engine = MapEngine::new(&mapper, config);
+        let (_, report) = engine.map_batch(&reads);
+        assert!(report.queue.max_depth >= 1);
+        assert!(
+            report.queue.max_depth <= 1,
+            "bounded queue must bound depth"
+        );
+        // With 20 single-read batches through one slot, someone must have
+        // waited at least once on either side.
+        assert!(
+            report.queue.producer_waits + report.queue.worker_waits > 0,
+            "contended run recorded no waits: {:?}",
+            report.queue
+        );
+    }
+
+    #[test]
+    fn shard_affinity_pins_workers_and_counts_batches() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let affinity = ShardAffinity::pin_workers(&[100, 80, 60, 40], 4);
+        // Every shard pinned to exactly one group.
+        let mut pinned: Vec<usize> = affinity.groups().iter().flatten().copied().collect();
+        pinned.sort_unstable();
+        assert_eq!(pinned, vec![0, 1, 2, 3]);
+        let mut config = EngineConfig::with_threads(4);
+        config.batch_size = 2;
+        let engine = MapEngine::with_affinity(&mapper, config, affinity);
+        let (_, report) = engine.map_batch(&reads);
+        let per_group = engine
+            .affinity()
+            .expect("affinity configured")
+            .batches_per_group();
+        assert_eq!(per_group.iter().sum::<u64>() as usize, report.batches);
+    }
+
+    #[test]
+    fn more_workers_than_shards_share_groups() {
+        let affinity = ShardAffinity::pin_workers(&[10, 20], 5);
+        assert_eq!(affinity.groups().len(), 2);
+        for worker in 0..5 {
+            assert!(affinity.group_of(worker) < 2);
+        }
+        // More shards than workers: one group owns several shards.
+        let wide = ShardAffinity::pin_workers(&[5, 4, 3, 2, 1], 2);
+        assert_eq!(wide.groups().len(), 2);
+        assert_eq!(wide.groups().iter().map(Vec::len).sum::<usize>(), 5);
     }
 
     #[test]

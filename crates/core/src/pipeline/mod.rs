@@ -18,7 +18,11 @@
 //! * [`MapPipeline`] — the per-read driver: candidate clustering, region
 //!   extraction/widening, early exit, and per-stage time accounting;
 //! * [`MapEngine`] — the batched, multi-threaded, order-preserving driver
-//!   for read streams ([`engine`]);
+//!   for read streams ([`engine`]), generic over any
+//!   [`ReadMapper`](crate::ReadMapper);
+//! * [`ShardRouter`] — the sharded seeding stage: per-shard index lookups
+//!   merged into the monolithic candidate order before
+//!   prefilter/alignment ([`router`]);
 //! * [`sam_record_for`] / [`gaf_record_for`] — render one engine outcome
 //!   into the interchange formats, shared by the CLI and the test suite.
 //!
@@ -27,9 +31,11 @@
 //! [`MapPipeline`].
 
 mod engine;
+mod router;
 mod stages;
 
-pub use engine::{EngineConfig, EngineReport, MapEngine, ReadOutcome};
+pub use engine::{EngineConfig, EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity};
+pub use router::ShardRouter;
 pub use stages::{Aligner, BitAlignStage, MinSeedStage, Prefilter, Seeder, SpecPrefilter};
 
 use std::time::{Duration, Instant};

@@ -1,0 +1,106 @@
+//! The seeding-stage router: dispatches a read's minimizers to the
+//! shard(s) whose index slice can answer them and merges the per-shard
+//! hits into one candidate-region list **before** prefilter/alignment.
+//!
+//! Byte-identity with the unsharded path holds by construction:
+//!
+//! 1. the shards partition the monolithic index's seed locations, so for
+//!    every minimizer the summed per-shard frequency equals the global
+//!    frequency (the frequency filter makes identical decisions);
+//! 2. candidate regions are computed with the same Figure 9 arithmetic
+//!    ([`segram_index::seed_region`]) against the same shared graph;
+//! 3. the merged region list goes through the exact monolithic
+//!    sort-by-`(start, end, seed)` + dedup-by-`(start, end)` ordering, so
+//!    downstream stages see the same regions in the same order.
+//!
+//! The router also feeds each shard's occupancy counters (seed hits,
+//! regions produced), the observability behind the paper's Section 8.3
+//! load-balance study.
+
+use segram_graph::{DnaSeq, GenomeGraph};
+use segram_index::{extract_minimizers, seed_region, SeedRegion, SeedingResult, SeedingStats};
+
+use crate::pipeline::Seeder;
+use crate::shard::IndexShard;
+
+/// The sharded [`Seeder`]: minimizer extraction once per read, a global
+/// frequency decision, then per-shard index lookups merged into the
+/// monolithic candidate order.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRouter<'a> {
+    graph: &'a GenomeGraph,
+    shards: &'a [IndexShard],
+    error_rate: f64,
+    frequency_threshold: u32,
+}
+
+impl<'a> ShardRouter<'a> {
+    /// Binds the router to a shard set. `frequency_threshold` must be the
+    /// *global* (whole-graph) threshold, not a shard-local one.
+    pub fn new(
+        graph: &'a GenomeGraph,
+        shards: &'a [IndexShard],
+        error_rate: f64,
+        frequency_threshold: u32,
+    ) -> Self {
+        assert!(!shards.is_empty(), "router needs at least one shard");
+        Self {
+            graph,
+            shards,
+            error_rate,
+            frequency_threshold,
+        }
+    }
+
+    /// The shards this router dispatches to.
+    pub fn shards(&self) -> &'a [IndexShard] {
+        self.shards
+    }
+}
+
+impl Seeder for ShardRouter<'_> {
+    fn seed(&self, read: &DnaSeq) -> SeedingResult {
+        let scheme = *self.shards[0].mapper().index().scheme();
+        let minimizers = extract_minimizers(read, &scheme);
+        let mut stats = SeedingStats {
+            minimizers: minimizers.len(),
+            ..SeedingStats::default()
+        };
+        let mut regions: Vec<SeedRegion> = Vec::new();
+        // One index probe per shard per minimizer: the location slice
+        // answers both the routing question (who holds this minimizer)
+        // and the frequency question (its length *is* the shard-local
+        // frequency), so no separate frequency lookup is needed.
+        let mut per_shard: Vec<&[segram_graph::GraphPos]> = Vec::with_capacity(self.shards.len());
+        for m in &minimizers {
+            per_shard.clear();
+            per_shard.extend(self.shards.iter().map(|s| s.mapper().index().lookup(m)));
+            // Summed shard-local frequencies reproduce the monolithic
+            // frequency-filter decision (the shards partition the index).
+            let freq: u32 = per_shard.iter().map(|locs| locs.len() as u32).sum();
+            if freq > self.frequency_threshold {
+                stats.filtered_minimizers += 1;
+                continue;
+            }
+            for (shard, locs) in self.shards.iter().zip(&per_shard) {
+                if locs.is_empty() {
+                    continue;
+                }
+                shard.record_seed_hits(locs.len() as u64);
+                for &loc in *locs {
+                    stats.seed_locations += 1;
+                    if let Some(region) =
+                        seed_region(self.graph, self.error_rate, read.len(), m, loc, scheme.k)
+                    {
+                        shard.record_region();
+                        regions.push(region);
+                    }
+                }
+            }
+        }
+        regions.sort_by_key(|r| (r.start, r.end, r.seed));
+        regions.dedup_by_key(|r| (r.start, r.end));
+        stats.regions = regions.len();
+        SeedingResult { regions, stats }
+    }
+}

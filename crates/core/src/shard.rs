@@ -1,0 +1,444 @@
+//! Coordinate-range sharding of the mapping engine: the software analogue
+//! of the paper's per-HBM-channel accelerator instances (Section 8.3),
+//! where each channel owns a private slice of the graph and index so
+//! seeding never crosses channels.
+//!
+//! [`ShardedIndex`] splits one reference graph's coordinate space into `N`
+//! contiguous ranges and owns one [`SegramMapper`] per range: all shards
+//! share the graph (via `Arc`), but each shard's minimizer index holds
+//! exactly the seed locations whose linear coordinate falls in its range.
+//! The seeding-stage router
+//! ([`ShardRouter`](crate::pipeline::ShardRouter)) dispatches each read's
+//! minimizers to the shard(s) whose index can answer them and merges the
+//! per-shard hits **before** prefilter/alignment, so the sharded engine's
+//! SAM/GAF output is byte-identical to the unsharded path (`ci.sh`
+//! enforces this end to end).
+//!
+//! The same greedy size-balanced placement the paper uses to distribute
+//! chromosomes over memory channels ([`balance_loads`], shared with
+//! [`Pangenome::channel_placement`](crate::Pangenome::channel_placement))
+//! also plans the engine's worker-to-shard-group ownership
+//! ([`ShardAffinity`](crate::pipeline::ShardAffinity) — an ownership
+//! model plus batch accounting; routing fans out to every shard).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use segram_graph::{DnaSeq, GenomeGraph};
+use segram_index::{frequency_threshold, shard_boundaries, GraphIndex};
+
+use crate::config::SegramConfig;
+use crate::mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
+use crate::pipeline::{BitAlignStage, MapPipeline, ShardRouter, SpecPrefilter};
+
+/// Greedy largest-first load balancing: assigns `loads.len()` items to
+/// `bins` bins, always placing the next-largest item into the currently
+/// lightest bin. Returns, per bin, the item indices assigned to it (every
+/// item exactly once; bins beyond the item count stay empty).
+///
+/// This is the paper's Section 8.3 placement rule, shared by
+/// [`Pangenome::channel_placement`](crate::Pangenome::channel_placement)
+/// (chromosomes → memory channels) and
+/// [`ShardAffinity`](crate::pipeline::ShardAffinity) (shards → worker
+/// groups).
+///
+/// # Panics
+///
+/// Panics when `bins` is zero.
+pub fn balance_loads(loads: &[u64], bins: usize) -> Vec<Vec<usize>> {
+    assert!(bins > 0, "at least one bin");
+    let mut order: Vec<(usize, u64)> = loads.iter().copied().enumerate().collect();
+    order.sort_by_key(|&(_, load)| std::cmp::Reverse(load));
+    let mut totals = vec![0u64; bins];
+    let mut placement = vec![Vec::new(); bins];
+    for (idx, load) in order {
+        let target = (0..bins).min_by_key(|&b| totals[b]).expect("bins > 0");
+        totals[target] += load;
+        placement[target].push(idx);
+    }
+    placement
+}
+
+/// Max-over-mean imbalance of per-bin load totals (1.0 = perfectly
+/// balanced; 0 bins or all-zero loads report 1.0).
+pub fn load_imbalance(loads: &[u64]) -> f64 {
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len().max(1) as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+/// One coordinate-range shard: a linear range `[start, end)` of the shared
+/// graph plus a [`SegramMapper`] whose index holds exactly that range's
+/// seed locations. Carries per-shard occupancy counters filled in by the
+/// seeding router.
+#[derive(Debug)]
+pub struct IndexShard {
+    id: usize,
+    start: u64,
+    end: u64,
+    mapper: SegramMapper,
+    seed_hits: AtomicU64,
+    regions: AtomicU64,
+    wins: AtomicU64,
+}
+
+impl IndexShard {
+    /// Shard id (0-based, in coordinate order).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The shard's linear coordinate range `[start, end)`.
+    pub fn range(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// The shard-local mapper (shared graph, range-restricted index,
+    /// global frequency threshold).
+    pub fn mapper(&self) -> &SegramMapper {
+        &self.mapper
+    }
+
+    /// Bytes of reference data this shard owns in the paper's memory
+    /// layout: its index slice plus its share of the 2-bit-packed graph
+    /// characters.
+    pub fn memory_bytes(&self) -> u64 {
+        self.mapper.index().footprint().total_bytes() + (self.end - self.start).div_ceil(4)
+    }
+
+    pub(crate) fn record_seed_hits(&self, hits: u64) {
+        self.seed_hits.fetch_add(hits, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_region(&self) {
+        self.regions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_win(&self) {
+        self.wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of this shard's counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shard: self.id,
+            start: self.start,
+            end: self.end,
+            seed_hits: self.seed_hits.load(Ordering::Relaxed),
+            regions: self.regions.load(Ordering::Relaxed),
+            wins: self.wins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one shard's per-run occupancy counters (the load-balance
+/// observability the paper's Section 8.3 study needs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: usize,
+    /// Linear range start (inclusive).
+    pub start: u64,
+    /// Linear range end (exclusive).
+    pub end: u64,
+    /// Seed locations this shard's index served.
+    pub seed_hits: u64,
+    /// Candidate regions this shard produced (pre-dedup).
+    pub regions: u64,
+    /// Reads whose winning mapping's seed lay in this shard.
+    pub wins: u64,
+}
+
+/// A reference graph sharded by coordinate range: `N` [`SegramMapper`]
+/// shards over one shared graph, mapped jointly through a seeding router
+/// whose merged output is byte-identical to the unsharded
+/// [`SegramMapper`].
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{ReadMapper, SegramConfig, SegramMapper, ShardedIndex};
+/// use segram_sim::DatasetConfig;
+///
+/// let dataset = DatasetConfig::tiny(7).illumina(100);
+/// let config = SegramConfig::short_reads();
+/// let mono = SegramMapper::new(dataset.graph().clone(), config);
+/// let sharded = ShardedIndex::build(dataset.graph().clone(), config, 4);
+/// for read in dataset.reads.iter().take(3) {
+///     let (a, _) = mono.map_read(&read.seq);
+///     let (b, _) = sharded.map_read(&read.seq);
+///     assert_eq!(a, b);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ShardedIndex {
+    graph: Arc<GenomeGraph>,
+    config: SegramConfig,
+    freq_threshold: u32,
+    boundaries: Vec<u64>,
+    shards: Vec<IndexShard>,
+}
+
+impl ShardedIndex {
+    /// Builds the sharded index: one monolithic index pass (so the
+    /// frequency threshold is derived from *global* minimizer counts,
+    /// exactly as [`SegramMapper::new`] does), then an exact partition of
+    /// the seed locations into `shards` equal-width coordinate ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn build(graph: GenomeGraph, config: SegramConfig, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        let graph = Arc::new(graph);
+        let index = GraphIndex::build(&graph, config.scheme, config.bucket_bits);
+        let freq_threshold = frequency_threshold(&index, config.discard_frac);
+        let boundaries = shard_boundaries(graph.total_chars(), shards);
+        let shard_indexes = index.split_by_ranges(&graph, &boundaries);
+        let shards = shard_indexes
+            .into_iter()
+            .enumerate()
+            .map(|(id, shard_index)| IndexShard {
+                id,
+                start: boundaries[id],
+                end: boundaries[id + 1],
+                mapper: SegramMapper::from_parts(
+                    Arc::clone(&graph),
+                    shard_index,
+                    config,
+                    freq_threshold,
+                ),
+                seed_hits: AtomicU64::new(0),
+                regions: AtomicU64::new(0),
+                wins: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            graph,
+            config,
+            freq_threshold,
+            boundaries,
+            shards,
+        }
+    }
+
+    /// The shards, in coordinate order.
+    pub fn shards(&self) -> &[IndexShard] {
+        &self.shards
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &SegramConfig {
+        &self.config
+    }
+
+    /// The global frequency-filter threshold (identical to the monolithic
+    /// mapper's, by construction).
+    pub fn freq_threshold(&self) -> u32 {
+        self.freq_threshold
+    }
+
+    /// The shard owning linear coordinate `linear`.
+    pub fn shard_of(&self, linear: u64) -> usize {
+        let inner = &self.boundaries[1..self.boundaries.len() - 1];
+        inner
+            .partition_point(|&b| b <= linear)
+            .min(self.shards.len() - 1)
+    }
+
+    /// The seeding-stage router over this index's shards.
+    pub fn router(&self) -> ShardRouter<'_> {
+        ShardRouter::new(
+            self.graph.as_ref(),
+            &self.shards,
+            self.config.error_rate,
+            self.freq_threshold,
+        )
+    }
+
+    /// Assembles the sharded pipeline: the router as the seeding stage,
+    /// the default prefilter/aligner after the merge — so everything past
+    /// seeding is exactly the monolithic path.
+    pub fn pipeline(&self) -> MapPipeline<'_, ShardRouter<'_>, SpecPrefilter, BitAlignStage> {
+        MapPipeline::new(
+            self.graph.as_ref(),
+            self.router(),
+            SpecPrefilter::new(self.config.prefilter),
+            BitAlignStage::new(&self.config),
+            self.config,
+        )
+    }
+
+    /// Per-shard memory loads (the inputs to worker-affinity placement).
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.shards.iter().map(IndexShard::memory_bytes).collect()
+    }
+
+    /// Snapshot of every shard's occupancy counters.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(IndexShard::stats).collect()
+    }
+
+    /// Resets the per-shard occupancy counters (between engine runs).
+    pub fn reset_shard_stats(&self) {
+        for shard in &self.shards {
+            shard.seed_hits.store(0, Ordering::Relaxed);
+            shard.regions.store(0, Ordering::Relaxed);
+            shard.wins.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Max-over-mean imbalance of per-shard seed hits since the last
+    /// reset (1.0 = perfectly balanced seeding load).
+    pub fn seed_imbalance(&self) -> f64 {
+        let hits: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.seed_hits.load(Ordering::Relaxed))
+            .collect();
+        load_imbalance(&hits)
+    }
+
+    fn attribute_win(&self, mapping: &Mapping) {
+        if let Ok(linear) = self.graph.linear_pos(mapping.region.seed) {
+            self.shards[self.shard_of(linear)].record_win();
+        }
+    }
+}
+
+impl ReadMapper for ShardedIndex {
+    fn graph(&self) -> &GenomeGraph {
+        self.graph.as_ref()
+    }
+
+    fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+        let (mapping, stats) = self.pipeline().map_read(read);
+        if let Some(m) = &mapping {
+            self.attribute_win(m);
+        }
+        (mapping, stats)
+    }
+
+    fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, segram_sim::Strand)>, MapStats) {
+        let (best, stats) = self.pipeline().map_read_both(read);
+        if let Some((m, _)) = &best {
+            self.attribute_win(m);
+        }
+        (best, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segram_sim::DatasetConfig;
+
+    fn setup(shards: usize) -> (segram_sim::Dataset, SegramMapper, ShardedIndex) {
+        let dataset = DatasetConfig::tiny(61).illumina(100);
+        let config = SegramConfig::short_reads();
+        let mono = SegramMapper::new(dataset.graph().clone(), config);
+        let sharded = ShardedIndex::build(dataset.graph().clone(), config, shards);
+        (dataset, mono, sharded)
+    }
+
+    #[test]
+    fn sharded_seeding_equals_monolithic_seeding() {
+        let (dataset, mono, sharded) = setup(4);
+        let router = sharded.router();
+        use crate::pipeline::Seeder;
+        for read in &dataset.reads {
+            let a = mono.seed(&read.seq);
+            let b = router.seed(&read.seq);
+            assert_eq!(a.regions, b.regions);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn sharded_mapping_equals_monolithic_mapping() {
+        for shards in [1usize, 2, 3, 4] {
+            let (dataset, mono, sharded) = setup(shards);
+            for read in &dataset.reads {
+                let (a, a_stats) = mono.map_read(&read.seq);
+                let (b, b_stats) = sharded.map_read(&read.seq);
+                assert_eq!(a, b, "shards {shards}");
+                assert_eq!(a_stats.regions_aligned, b_stats.regions_aligned);
+                assert_eq!(a_stats.seed_locations, b_stats.seed_locations);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_index_partition_is_exact() {
+        let (_, mono, sharded) = setup(4);
+        let total: usize = sharded
+            .shards()
+            .iter()
+            .map(|s| s.mapper().index().total_locations())
+            .sum();
+        assert_eq!(total, mono.index().total_locations());
+        assert_eq!(sharded.freq_threshold(), mono.freq_threshold());
+        // Ranges tile the coordinate space.
+        let shards = sharded.shards();
+        assert_eq!(shards[0].range().0, 0);
+        assert_eq!(shards.last().unwrap().range().1, mono.graph().total_chars());
+        for w in shards.windows(2) {
+            assert_eq!(w[0].range().1, w[1].range().0);
+        }
+    }
+
+    #[test]
+    fn shard_counters_track_seeding_load() {
+        let (dataset, _, sharded) = setup(3);
+        for read in dataset.reads.iter().take(8) {
+            let _ = sharded.map_read(&read.seq);
+        }
+        let stats = sharded.shard_stats();
+        let hits: u64 = stats.iter().map(|s| s.seed_hits).sum();
+        let wins: u64 = stats.iter().map(|s| s.wins).sum();
+        assert!(hits > 0, "router must record seed hits");
+        assert!(wins > 0, "mapped reads must attribute a winning shard");
+        assert!(sharded.seed_imbalance() >= 1.0);
+        sharded.reset_shard_stats();
+        assert!(sharded.shard_stats().iter().all(|s| s.seed_hits == 0));
+    }
+
+    #[test]
+    fn shard_of_respects_boundaries() {
+        let (_, _, sharded) = setup(4);
+        for (i, shard) in sharded.shards().iter().enumerate() {
+            let (start, end) = shard.range();
+            if end > start {
+                assert_eq!(sharded.shard_of(start), i);
+                assert_eq!(sharded.shard_of(end - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn balance_loads_places_every_item_once() {
+        let placement = balance_loads(&[50, 30, 20, 15, 10, 8], 3);
+        assert_eq!(placement.len(), 3);
+        let mut seen: Vec<usize> = placement.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        // Largest-first: 50 alone beats any pair from the tail.
+        let totals: Vec<u64> = placement
+            .iter()
+            .map(|bin| bin.iter().map(|&i| [50u64, 30, 20, 15, 10, 8][i]).sum())
+            .collect();
+        assert!(load_imbalance(&totals) < 1.35);
+    }
+
+    #[test]
+    fn load_imbalance_degenerate_cases() {
+        assert_eq!(load_imbalance(&[]), 1.0);
+        assert_eq!(load_imbalance(&[0, 0]), 1.0);
+        assert_eq!(load_imbalance(&[5, 5, 5]), 1.0);
+        assert!(load_imbalance(&[10, 0]) > 1.9);
+    }
+}

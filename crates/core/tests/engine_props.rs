@@ -1,11 +1,14 @@
 //! Property tests for the stage-based map engine: on random simulated
 //! datasets, the SAM and GAF documents the engine produces are
-//! byte-identical for every thread count. This is the in-process half of
+//! byte-identical for every thread count **and** every shard count (the
+//! sharded path routes seeding through per-coordinate-range index shards
+//! and merges before prefilter/alignment). This is the in-process half of
 //! the determinism guarantee (`ci.sh` checks the same property end to end
 //! through the built binary).
 
 use segram_core::{
-    gaf_record_for, sam_record_for, EngineConfig, MapEngine, SegramConfig, SegramMapper,
+    gaf_record_for, sam_record_for, EngineConfig, MapEngine, ReadMapper, SegramConfig,
+    SegramMapper, ShardedIndex,
 };
 use segram_filter::FilterSpec;
 use segram_graph::DnaSeq;
@@ -14,9 +17,10 @@ use segram_sim::DatasetConfig;
 use segram_testkit::prelude::*;
 
 /// Runs one engine pass and renders both output documents, exactly as the
-/// CLI's streaming path does (shared renderers, shared writers).
-fn render_documents(
-    mapper: &SegramMapper,
+/// CLI's streaming path does (shared renderers, shared writers). Generic
+/// over the mapper so the monolithic and sharded paths share the harness.
+fn render_documents<M: ReadMapper>(
+    mapper: &M,
     reads: &[(String, DnaSeq)],
     threads: usize,
     both_strands: bool,
@@ -51,10 +55,11 @@ fn render_documents(
 
 proptest! {
     #[test]
-    fn sam_and_gaf_bytes_are_thread_invariant(
+    fn sam_and_gaf_bytes_are_thread_and_shard_invariant(
         seed in 0u64..5_000,
         read_count in 3usize..8,
         read_len in prop::sample::select(vec![80usize, 100, 130]),
+        shards in prop::sample::select(vec![2usize, 3, 4]),
         with_filter in any::<bool>(),
         both_strands in any::<bool>(),
     ) {
@@ -79,6 +84,16 @@ proptest! {
 
         for threads in [2usize, 4] {
             let (sam, gaf) = render_documents(&mapper, &reads, threads, both_strands);
+            prop_assert_eq!(&sam, &sam_serial);
+            prop_assert_eq!(&gaf, &gaf_serial);
+        }
+
+        // The sharded engine (router seeding over per-range index shards)
+        // must emit the same bytes as the monolithic serial baseline, at
+        // any thread count.
+        let sharded = ShardedIndex::build(dataset.graph().clone(), config, shards);
+        for threads in [1usize, 4] {
+            let (sam, gaf) = render_documents(&sharded, &reads, threads, both_strands);
             prop_assert_eq!(&sam, &sam_serial);
             prop_assert_eq!(&gaf, &gaf_serial);
         }

@@ -424,9 +424,7 @@ impl LinearizedGraph {
         // Map char -> segment, and build the segment DAG.
         let mut seg_of = vec![0usize; self.len()];
         for (s, &(a, b)) in segments.iter().enumerate() {
-            for c in a..b {
-                seg_of[c] = s;
-            }
+            seg_of[a..b].fill(s);
         }
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); seg_count];
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); seg_count];
@@ -479,8 +477,8 @@ impl LinearizedGraph {
         let mut pos = 0u32;
         for &s in &order {
             let (a, b) = segments[s];
-            for c in a..b {
-                new_index[c] = pos;
+            for slot in &mut new_index[a..b] {
+                *slot = pos;
                 pos += 1;
             }
         }
@@ -649,9 +647,9 @@ mod tests {
         let g = snp_graph();
         let lin = LinearizedGraph::extract(&g, 0, g.total_chars()).unwrap();
         let m = lin.hop_bits();
-        for i in 0..lin.len() {
-            for j in 0..lin.len() {
-                assert_eq!(m[i][j], lin.successors(i).contains(&(j as u32)));
+        for (i, row) in m.iter().enumerate() {
+            for (j, &bit) in row.iter().enumerate() {
+                assert_eq!(bit, lin.successors(i).contains(&(j as u32)));
             }
         }
     }
@@ -786,13 +784,13 @@ mod tests {
             .into_bases();
         let mut succ: Vec<Vec<u32>> = vec![Vec::new(); bases.len()];
         succ[0] = vec![1, 7, 8]; // S -> three branch starts
-        for i in 1..6 {
-            succ[i] = vec![i as u32 + 1];
+        for (i, s) in succ.iter_mut().enumerate().take(6).skip(1) {
+            *s = vec![i as u32 + 1];
         }
         succ[6] = vec![14]; // branch 1 -> tail
         succ[7] = vec![14]; // branch 2 -> tail
-        for i in 8..13 {
-            succ[i] = vec![i as u32 + 1];
+        for (i, s) in succ.iter_mut().enumerate().take(13).skip(8) {
+            *s = vec![i as u32 + 1];
         }
         succ[13] = vec![14]; // branch 3 -> tail
         let lin = LinearizedGraph::from_parts(bases, succ, 0).unwrap();

@@ -250,7 +250,7 @@ impl PackedSeq {
 
     /// Appends a base.
     pub fn push(&mut self, base: Base) {
-        if self.len % 4 == 0 {
+        if self.len.is_multiple_of(4) {
             self.words.push(0);
         }
         self.len += 1;

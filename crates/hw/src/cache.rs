@@ -131,7 +131,10 @@ impl CacheSim {
             "line size must be a power of two"
         );
         assert!(
-            config.size_bytes % (config.line_bytes * config.ways) == 0 && config.sets() > 0,
+            config
+                .size_bytes
+                .is_multiple_of(config.line_bytes * config.ways)
+                && config.sets() > 0,
             "capacity must divide into whole sets"
         );
         let sets = vec![Vec::with_capacity(config.ways); config.sets()];

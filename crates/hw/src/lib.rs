@@ -54,6 +54,9 @@ pub use cost::{
 };
 pub use hbm::HbmConfig;
 pub use minseed_model::{MinSeedHwConfig, SeedWorkload};
-pub use pipeline_sim::{simulate_pipeline, uniform_jobs, PipelineTrace, SeedJob};
+pub use pipeline_sim::{
+    simulate_pipeline, simulate_sharded_pipeline, uniform_jobs, PipelineTrace, SeedJob,
+    ShardedPipelineTrace,
+};
 pub use scratchpad::{BitAlignStorage, MinSeedScratchpads, Scratchpad};
 pub use system::{SegramAccelerator, SegramSystem};

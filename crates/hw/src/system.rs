@@ -1,6 +1,7 @@
-//! The full SeGraM accelerator and system model (Section 8.3): one MinSeed
-//! + one BitAlign per HBM channel, pipelined with double buffering; four
-//! stacks × eight channels = 32 accelerators running independent reads.
+//! The full SeGraM accelerator and system model (Section 8.3): one
+//! MinSeed and one BitAlign per HBM channel, pipelined with double
+//! buffering; four stacks × eight channels = 32 accelerators running
+//! independent reads.
 
 use crate::bitalign_model::BitAlignHwConfig;
 use crate::hbm::HbmConfig;

@@ -166,6 +166,52 @@ impl GraphIndex {
         self.locations(minimizer.rank)
     }
 
+    /// Splits this index into per-coordinate-range shard indexes — the
+    /// software analogue of the paper's per-HBM-channel index slices
+    /// (Section 8.3). `boundaries` are `N + 1` ascending linear-coordinate
+    /// cut points; shard `s` receives exactly the seed locations whose
+    /// linear coordinate falls in `[boundaries[s], boundaries[s + 1])`.
+    ///
+    /// The shards partition this index: every location lands in exactly
+    /// one shard, so summing a minimizer's per-shard frequencies
+    /// reproduces [`Self::frequency`] and concatenating per-shard
+    /// [`Self::locations`] reproduces the monolithic location multiset.
+    /// Each shard keeps the parent's scheme and bucket count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `boundaries` has fewer than two entries, is not
+    /// ascending, or when a location's linear coordinate cannot be
+    /// resolved against `graph` (i.e. `graph` is not the graph this index
+    /// was built from).
+    pub fn split_by_ranges(&self, graph: &GenomeGraph, boundaries: &[u64]) -> Vec<GraphIndex> {
+        assert!(boundaries.len() >= 2, "need at least one shard range");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "shard boundaries must be ascending"
+        );
+        let shards = boundaries.len() - 1;
+        let mut raw: Vec<Vec<(u64, GraphPos)>> = vec![Vec::new(); shards];
+        for entry in &self.minimizers {
+            let locs = &self.locations[entry.loc_start as usize..][..entry.loc_count as usize];
+            for &loc in locs {
+                let linear = graph
+                    .linear_pos(loc)
+                    .expect("index location must resolve against its own graph");
+                // partition_point: first boundary > linear, minus one =
+                // owning shard; coordinates past the last cut stay in the
+                // final shard so a short `boundaries` never loses seeds.
+                let shard = boundaries[1..boundaries.len() - 1]
+                    .partition_point(|&b| b <= linear)
+                    .min(shards - 1);
+                raw[shard].push((entry.hash, loc));
+            }
+        }
+        raw.into_iter()
+            .map(|r| Self::from_raw(self.scheme, self.bucket_bits, r))
+            .collect()
+    }
+
     /// The per-minimizer occurrence counts (used to derive the frequency
     /// filter threshold).
     pub fn frequencies(&self) -> impl Iterator<Item = u32> + '_ {
@@ -199,6 +245,21 @@ impl GraphIndex {
         }
         loads.values().copied().max().unwrap_or(0)
     }
+}
+
+/// Equal-width coordinate cut points for `shards` shards over a graph of
+/// `total_chars` linear characters: `shards + 1` ascending boundaries with
+/// the remainder spread over the leading shards, suitable for
+/// [`GraphIndex::split_by_ranges`].
+///
+/// # Panics
+///
+/// Panics when `shards` is zero.
+pub fn shard_boundaries(total_chars: u64, shards: usize) -> Vec<u64> {
+    assert!(shards > 0, "at least one shard");
+    (0..=shards as u64)
+        .map(|s| total_chars * s / shards as u64)
+        .collect()
 }
 
 /// Byte footprint of the index (Figure 7's left axis) plus the bucket-load
@@ -338,6 +399,58 @@ mod tests {
             + 400_000_000 * LOCATION_ENTRY_BYTES;
         let gb = total as f64 / 1e9;
         assert!((8.0..11.0).contains(&gb), "got {gb} GB");
+    }
+
+    #[test]
+    fn shard_boundaries_cover_and_ascend() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let bounds = shard_boundaries(10_007, shards);
+            assert_eq!(bounds.len(), shards + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), 10_007);
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn split_by_ranges_partitions_every_location() {
+        let graph = test_graph();
+        let scheme = MinimizerScheme::new(5, 11);
+        let index = GraphIndex::build(&graph, scheme, 10);
+        for shard_count in [1usize, 2, 4] {
+            let bounds = shard_boundaries(graph.total_chars(), shard_count);
+            let shards = index.split_by_ranges(&graph, &bounds);
+            assert_eq!(shards.len(), shard_count);
+            let total: usize = shards.iter().map(GraphIndex::total_locations).sum();
+            assert_eq!(total, index.total_locations());
+            // Every shard location sits inside its coordinate range, and
+            // per-minimizer shard frequencies sum to the global frequency.
+            for (s, shard) in shards.iter().enumerate() {
+                for e in &shard.minimizers {
+                    let locs = &shard.locations[e.loc_start as usize..][..e.loc_count as usize];
+                    for &loc in locs {
+                        let linear = graph.linear_pos(loc).unwrap();
+                        assert!(
+                            bounds[s] <= linear && linear < bounds[s + 1].max(bounds[s] + 1),
+                            "location {linear} escaped shard {s} {:?}",
+                            (bounds[s], bounds[s + 1])
+                        );
+                    }
+                }
+            }
+            for e in &index.minimizers {
+                let summed: u32 = shards.iter().map(|s| s.frequency(e.hash)).sum();
+                assert_eq!(summed, index.frequency(e.hash), "hash {}", e.hash);
+                let mut merged: Vec<GraphPos> = shards
+                    .iter()
+                    .flat_map(|s| s.locations(e.hash).iter().copied())
+                    .collect();
+                merged.sort();
+                let mut expected = index.locations(e.hash).to_vec();
+                expected.sort();
+                assert_eq!(merged, expected);
+            }
+        }
     }
 
     #[test]

@@ -36,13 +36,14 @@ mod minseed;
 
 pub use chain::{chain_anchors, Anchor, Chain, ChainConfig};
 pub use index::{
-    GraphIndex, IndexFootprint, BUCKET_ENTRY_BYTES, DEFAULT_BUCKET_BITS, LOCATION_ENTRY_BYTES,
-    MINIMIZER_ENTRY_BYTES,
+    shard_boundaries, GraphIndex, IndexFootprint, BUCKET_ENTRY_BYTES, DEFAULT_BUCKET_BITS,
+    LOCATION_ENTRY_BYTES, MINIMIZER_ENTRY_BYTES,
 };
 pub use minimizer::{
     density, extract_minimizers, extract_minimizers_from, hash64, kmer_mask, pack_kmer,
     KmerOrdering, Minimizer, MinimizerScheme,
 };
 pub use minseed::{
-    frequency_threshold, MinSeed, MinSeedConfig, SeedRegion, SeedingResult, SeedingStats,
+    frequency_threshold, seed_region, MinSeed, MinSeedConfig, SeedRegion, SeedingResult,
+    SeedingStats,
 };

@@ -47,6 +47,43 @@ pub fn frequency_threshold(index: &GraphIndex, discard_frac: f64) -> u32 {
     freqs[idx].max(1)
 }
 
+/// Figure 9's candidate-region arithmetic as a free function, shared by
+/// [`MinSeed`] and the sharded seeding router. With the minimizer spanning
+/// read offsets `[a, b]` and the seed spanning reference linear
+/// coordinates `[c, d]`:
+///
+/// ```text
+/// x = c - a * (1 + E)            (left extension)
+/// y = d + (m - b - 1) * (1 + E)  (right extension)
+/// ```
+///
+/// Returns `None` when the seed's linear coordinate cannot be resolved or
+/// the clamped window collapses to nothing.
+pub fn seed_region(
+    graph: &GenomeGraph,
+    error_rate: f64,
+    read_len: usize,
+    minimizer: &Minimizer,
+    loc: GraphPos,
+    k: usize,
+) -> Option<SeedRegion> {
+    let a = minimizer.pos as f64;
+    let b = (minimizer.end(k) - 1) as f64;
+    let m = read_len as f64;
+    let c = graph.linear_pos(loc).ok()?;
+    let d = c + k as u64 - 1;
+    let left = (a * (1.0 + error_rate)).ceil() as u64;
+    let right = ((m - b - 1.0) * (1.0 + error_rate)).ceil() as u64;
+    let start = c.saturating_sub(left);
+    let end = (d + right + 1).min(graph.total_chars());
+    (end > start).then_some(SeedRegion {
+        start,
+        end,
+        seed: loc,
+        read_offset: minimizer.pos,
+    })
+}
+
 /// A candidate mapping region: the subgraph window MinSeed hands BitAlign.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SeedRegion {
@@ -166,14 +203,8 @@ impl<'a> MinSeed<'a> {
         SeedingResult { regions, stats }
     }
 
-    /// Figure 9's region arithmetic. With the minimizer spanning read
-    /// offsets `[a, b]` and the seed spanning reference linear coordinates
-    /// `[c, d]`:
-    ///
-    /// ```text
-    /// x = c - a * (1 + E)            (left extension)
-    /// y = d + (m - b - 1) * (1 + E)  (right extension)
-    /// ```
+    /// Figure 9's region arithmetic (delegates to the shared
+    /// [`seed_region`] free function).
     fn region_for(
         &self,
         read_len: usize,
@@ -181,22 +212,14 @@ impl<'a> MinSeed<'a> {
         loc: GraphPos,
         k: usize,
     ) -> Option<SeedRegion> {
-        let e = self.config.error_rate;
-        let a = minimizer.pos as f64;
-        let b = (minimizer.end(k) - 1) as f64;
-        let m = read_len as f64;
-        let c = self.graph.linear_pos(loc).ok()?;
-        let d = c + k as u64 - 1;
-        let left = (a * (1.0 + e)).ceil() as u64;
-        let right = ((m - b - 1.0) * (1.0 + e)).ceil() as u64;
-        let start = c.saturating_sub(left);
-        let end = (d + right + 1).min(self.graph.total_chars());
-        (end > start).then_some(SeedRegion {
-            start,
-            end,
-            seed: loc,
-            read_offset: minimizer.pos,
-        })
+        seed_region(
+            self.graph,
+            self.config.error_rate,
+            read_len,
+            minimizer,
+            loc,
+            k,
+        )
     }
 
     /// Batched seeding (Section 8.3: "If the minimizers do not fit in the

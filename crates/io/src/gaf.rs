@@ -84,9 +84,8 @@ impl GafRecord {
         for pair in char_path.windows(2) {
             let (a, b) = (pair[0], pair[1]);
             let same_node_step = a.node == b.node && b.offset == a.offset + 1;
-            let edge_step = b.offset == 0
-                && a.node != b.node
-                && graph.successors(a.node).iter().any(|&succ| succ == b.node);
+            let edge_step =
+                b.offset == 0 && a.node != b.node && graph.successors(a.node).contains(&b.node);
             if !(same_node_step || edge_step) {
                 return Err(FormatError::invalid_record(
                     0,

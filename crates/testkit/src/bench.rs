@@ -8,7 +8,17 @@
 //! roughly a millisecond; the report prints the median, min, and max
 //! per-iteration time. Far simpler than criterion's bootstrap analysis,
 //! but stable enough to compare kernels.
+//!
+//! Two environment variables support the CI bench-smoke tier:
+//!
+//! * `SEGRAM_BENCH_SAMPLES=N` — run exactly `N` samples per benchmark and
+//!   skip warm-up/calibration (each sample is one iteration), so bench
+//!   binaries can be smoke-tested in seconds;
+//! * `SEGRAM_BENCH_JSON=path` — append one JSON object per benchmark
+//!   (`{"group":…,"id":…,"median_s":…,"min_s":…,"max_s":…,"samples":…}`)
+//!   to `path`, giving CI a machine-readable artifact.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -35,6 +45,14 @@ impl Criterion {
             throughput: None,
         }
     }
+}
+
+/// The `SEGRAM_BENCH_SAMPLES` smoke override, if set and parsable.
+fn smoke_samples() -> Option<usize> {
+    std::env::var("SEGRAM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|n: usize| n.max(1))
 }
 
 /// A `name/parameter` benchmark id (mirrors `criterion::BenchmarkId`).
@@ -144,6 +162,17 @@ impl Bencher {
 
     /// Measures `routine`.
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Smoke mode: a fixed tiny sample count, one iteration per sample,
+        // no warm-up — CI only checks that the benchmark still runs.
+        if let Some(samples) = smoke_samples() {
+            self.measurements.clear();
+            for _ in 0..samples {
+                let start = Instant::now();
+                black_box(routine());
+                self.measurements.push(start.elapsed().as_secs_f64());
+            }
+            return;
+        }
         // Warm-up + batch-size calibration: grow until one batch costs
         // >= ~1 ms (or a growth cap for very slow routines).
         let mut batch = 1u64;
@@ -194,6 +223,29 @@ impl Bencher {
                 println!("{line} [{rate:.2} Melem/s]");
             }
             None => println!("{line}"),
+        }
+        self.append_json(group, id, median, sorted[0], *sorted.last().unwrap());
+    }
+
+    /// Appends this benchmark's result as one JSON line to the
+    /// `SEGRAM_BENCH_JSON` artifact, when requested. Failures are
+    /// reported but never fail the benchmark itself.
+    fn append_json(&self, group: &str, id: &str, median: f64, min: f64, max: f64) {
+        let Ok(path) = std::env::var("SEGRAM_BENCH_JSON") else {
+            return;
+        };
+        let line = format!(
+            "{{\"group\":{group:?},\"id\":{id:?},\"median_s\":{median:e},\
+             \"min_s\":{min:e},\"max_s\":{max:e},\"samples\":{}}}",
+            self.measurements.len()
+        );
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(err) = appended {
+            eprintln!("SEGRAM_BENCH_JSON: cannot append to {path}: {err}");
         }
     }
 }
@@ -250,6 +302,32 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn smoke_mode_writes_json_artifact() {
+        let path =
+            std::env::temp_dir().join(format!("segram_bench_smoke_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("SEGRAM_BENCH_SAMPLES", "2");
+        std::env::set_var("SEGRAM_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json_selftest");
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        group.finish();
+        std::env::remove_var("SEGRAM_BENCH_SAMPLES");
+        std::env::remove_var("SEGRAM_BENCH_JSON");
+        // Smoke mode ran exactly the requested samples (no calibration).
+        assert_eq!(runs, 2);
+        let artifact = std::fs::read_to_string(&path).expect("artifact written");
+        let line = artifact
+            .lines()
+            .find(|l| l.contains("\"group\":\"json_selftest\""))
+            .expect("selftest line present");
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"samples\":2"), "{line}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

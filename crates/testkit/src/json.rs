@@ -107,7 +107,7 @@ fn write_seq<I, T>(
     for (i, item) in items.enumerate() {
         if let Some(indent) = inner {
             out.push('\n');
-            out.extend(std::iter::repeat("  ").take(indent));
+            out.extend(std::iter::repeat_n("  ", indent));
         }
         write_item(item, inner, out);
         if i + 1 < len {
@@ -116,7 +116,7 @@ fn write_seq<I, T>(
     }
     if let Some(indent) = pretty {
         out.push('\n');
-        out.extend(std::iter::repeat("  ").take(indent));
+        out.extend(std::iter::repeat_n("  ", indent));
     }
     out.push(brackets.1);
 }

@@ -218,7 +218,10 @@ impl<T> std::fmt::Debug for Union<T> {
     }
 }
 
-/// `prop::...` namespace, mirroring proptest's module layout.
+/// `prop::...` namespace, mirroring proptest's module layout (the name
+/// collision with the containing module is the point: test code written
+/// for proptest's `prop::collection::vec` compiles unchanged).
+#[allow(clippy::module_inception)]
 pub mod prop {
     /// Collection strategies.
     pub mod collection {
@@ -405,7 +408,7 @@ pub fn resolve_cases(requested: u32) -> u32 {
             .parse::<u32>()
             .unwrap_or_else(|_| panic!("SEGRAM_PROPTEST_CASES={v:?} is not a number"))
             .max(1),
-        Err(_) => requested.min(DEFAULT_CASE_CAP).max(1),
+        Err(_) => requested.clamp(1, DEFAULT_CASE_CAP),
     }
 }
 

@@ -209,10 +209,7 @@ fn extract_scalar<'a>(doc: &'a str, key: &str) -> &'a str {
         .find(&pattern)
         .unwrap_or_else(|| panic!("{key} in {doc}"))
         + pattern.len();
-    doc[start..]
-        .split(|c| c == ',' || c == '\n')
-        .next()
-        .unwrap()
+    doc[start..].split([',', '\n']).next().unwrap()
 }
 
 #[test]
