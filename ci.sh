@@ -16,6 +16,9 @@
 #   6. determinism      segram map output diffed across --threads 1 vs 4
 #   7. shard-determinism  segram map output diffed across --shards 1 vs 4,
 #                       crossed with --threads 1 vs 4
+#   8. backend-matrix   all four backends (segram/graphaligner/vg/hga)
+#                       through the engine, each diffed across
+#                       --threads 1 vs 4
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -112,5 +115,32 @@ determinism_shards() {
 
 tier determinism determinism_threads
 tier shard-determinism determinism_shards
+
+# ---------------------------------------------------------------------------
+# Backend matrix: every pluggable backend rides the same engine, so each
+# backend's output must be byte-identical across thread counts too (the
+# end-to-end half of the differential test in
+# crates/core/tests/backend_props.rs). Small dataset: the hga backend runs
+# whole-graph DP per read.
+# ---------------------------------------------------------------------------
+backend_matrix() {
+    "$SEGRAM" simulate --out-prefix "$GATE_DIR/bm" \
+        --length 20000 --reads 10 --read-len 100 --seed 13 > /dev/null || return 1
+    local backend threads fmt
+    for backend in segram graphaligner vg hga; do
+        for fmt in sam gaf; do
+            for threads in 1 4; do
+                "$SEGRAM" map --graph "$GATE_DIR/bm.gfa" --reads "$GATE_DIR/bm.fq" \
+                    --backend "$backend" --format "$fmt" --threads "$threads" \
+                    --output "$GATE_DIR/bm-$backend-t$threads.$fmt" > /dev/null || return 1
+            done
+            diff "$GATE_DIR/bm-$backend-t1.$fmt" "$GATE_DIR/bm-$backend-t4.$fmt" \
+                || { echo "backend $backend $fmt differs between --threads 1 and 4"; return 1; }
+        done
+        echo "  $backend: sam+gaf identical across --threads 1/4"
+    done
+}
+
+tier backend-matrix backend_matrix
 
 echo "CI OK in ${SECONDS}s"

@@ -1,10 +1,13 @@
 //! Criterion benchmarks of the batched multi-threaded `MapEngine`: batch
-//! throughput at 1/2/4 worker threads, the baseline perf trajectory for
-//! the scaling PRs (async IO, region batching). Sharded-index throughput
-//! and load-balance live in `benches/sharding.rs`; both benches run in
-//! CI's bench-smoke tier (`SEGRAM_BENCH_SAMPLES`/`SEGRAM_BENCH_JSON`).
+//! throughput at 1/2/4 worker threads (the baseline perf trajectory for
+//! the scaling PRs — async IO, region batching) plus the backend matrix
+//! (every pluggable backend × thread count through the same engine, the
+//! apples-to-apples throughput comparison the paper's evaluation rests
+//! on). Sharded-index throughput and load-balance live in
+//! `benches/sharding.rs`; these benches run in CI's bench-smoke tier
+//! (`SEGRAM_BENCH_SAMPLES`/`SEGRAM_BENCH_JSON`).
 
-use segram_core::{EngineConfig, MapEngine, SegramConfig, SegramMapper};
+use segram_core::{Backend, BackendKind, EngineConfig, MapEngine, SegramConfig, SegramMapper};
 use segram_graph::DnaSeq;
 use segram_sim::DatasetConfig;
 use segram_testkit::bench::{
@@ -39,5 +42,38 @@ fn bench_engine_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_batch);
+fn bench_backend_matrix(c: &mut Criterion) {
+    // A smaller dataset than the engine-batch one: the HGA-like backend
+    // runs whole-graph DP per read, so the matrix stays affordable while
+    // still ranking the backends' relative throughput.
+    let dataset = DatasetConfig {
+        reference_len: 20_000,
+        read_count: 16,
+        long_read_len: 2_000,
+        seed: 175,
+    }
+    .illumina(100);
+    let mut config = SegramConfig::short_reads();
+    config.max_regions = 8;
+    let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+
+    let mut group = c.benchmark_group("backend_matrix_100bp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    for kind in BackendKind::ALL {
+        let backend = Backend::build(kind, dataset.graph().clone(), config, 1);
+        for threads in [1usize, 4] {
+            let engine = MapEngine::new(&backend, EngineConfig::with_threads(threads));
+            group.bench_function(BenchmarkId::new(kind.name(), format!("t{threads}")), |b| {
+                b.iter(|| {
+                    let (outcomes, report) = engine.map_batch(black_box(&reads));
+                    black_box((outcomes.len(), report.mapped))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch, bench_backend_matrix);
 criterion_main!(benches);

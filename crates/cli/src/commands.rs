@@ -1,4 +1,5 @@
-//! The four subcommands: `construct`, `index`, `map`, `simulate`.
+//! The five subcommands: `construct`, `index`, `map`, `simulate`, and
+//! `eval` (with its `compare` subcommand).
 //!
 //! Each command is a pure function from parsed [`Options`] to a
 //! human-readable report string; file I/O happens at the edges so the
@@ -11,8 +12,9 @@ use std::path::Path;
 use std::time::Duration;
 
 use segram_core::{
-    gaf_record_for, sam_record_for, EngineConfig, EngineReport, MapEngine, ReadMapper,
-    SegramConfig, SegramMapper, ShardAffinity, ShardedIndex,
+    gaf_record_for, run_backend_eval, sam_record_for, Backend, BackendEval, BackendKind,
+    EngineConfig, EngineReport, EvalRead, MapEngine, ReadMapper, SegramConfig, SegramMapper,
+    ShardAffinity, ShardedIndex,
 };
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
@@ -25,6 +27,7 @@ use segram_sim::{
     generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
     VariantConfig,
 };
+use segram_testkit::Serialize;
 
 use crate::args::Options;
 use crate::error::CliError;
@@ -42,6 +45,8 @@ COMMANDS:
     index       Build the minimizer index for a graph and report footprints
     map         Map FASTQ reads to a graph, emitting SAM or GAF
     simulate    Generate a synthetic reference/VCF/graph/reads bundle
+    eval        Evaluation harnesses (`eval compare`: same reads through
+                several mapping backends, one comparison table)
 
 Run `segram <COMMAND> --help` for per-command options.
 ";
@@ -240,15 +245,21 @@ OPTIONS:
     --reads <reads.fq>     input FASTQ (required)
     --output <path>        output file (default: stdout section of report)
     --format <sam|gaf>     output format (default sam)
+    --backend <segram|graphaligner|vg|hga>
+                           mapping backend (default segram); the software
+                           baselines run through the same engine for
+                           apples-to-apples comparison (`segram eval
+                           compare` runs several at once)
     --threads <int>        worker threads (default: all available cores)
     --shards <int>         split the index into N coordinate-range shards
                            with a seeding router in front (default 1; the
                            software analogue of the paper's per-HBM-channel
-                           accelerator instances)
+                           accelerator instances; --backend segram only)
     --preset <short|long5|long10>
                            mapper preset (default short)
     --filter <none|base-count|qgram|shd|snake|cascade>
-                           pre-alignment filter (default none, as in the paper)
+                           pre-alignment filter (default none, as in the
+                           paper; --backend segram only)
     --both-strands         also try each read's reverse complement
     --lenient              substitute ambiguous read bases instead of failing
 ";
@@ -293,6 +304,48 @@ fn thread_count(options: &Options) -> Result<usize, CliError> {
             ))),
         },
     }
+}
+
+/// Mapping backend for `segram map` / `segram eval compare`:
+/// `--backend name` (default the native SeGraM pipeline).
+fn backend_kind(options: &Options) -> Result<BackendKind, CliError> {
+    match options.get("backend") {
+        None => Ok(BackendKind::Segram),
+        Some(name) => BackendKind::parse(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown backend {name:?} (expected segram|graphaligner|vg|hga)"
+            ))
+        }),
+    }
+}
+
+/// Rejects `--shards` for backends without a sharded index, pointing at
+/// the fix instead of silently ignoring the flag.
+fn reject_foreign_shards(backend: BackendKind, options: &Options) -> Result<(), CliError> {
+    if !backend.supports_shards() && options.get("shards").is_some() {
+        return Err(CliError::usage(format!(
+            "--shards only applies to --backend segram (the coordinate-range sharded \
+             index is SeGraM's per-HBM-channel split); drop --shards or use \
+             --backend segram to shard, got --backend {}",
+            backend.name()
+        )));
+    }
+    Ok(())
+}
+
+/// Rejects `--filter` for the baseline backends, which run their own
+/// fixed filtering surrogates (chaining, region truncation) and never
+/// consult the SeGraM prefilter stage — silently ignoring the flag would
+/// make a filtered-vs-filtered comparison apples-to-oranges.
+fn reject_foreign_filter(backend: BackendKind, options: &Options) -> Result<(), CliError> {
+    if backend != BackendKind::Segram && options.get("filter").is_some() {
+        return Err(CliError::usage(format!(
+            "--filter only applies to --backend segram (the baselines have fixed \
+             filtering of their own); drop --filter for --backend {}",
+            backend.name()
+        )));
+    }
+    Ok(())
 }
 
 /// Index-shard count for `segram map`: `--shards N` with `N >= 1`
@@ -524,6 +577,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "reads",
         "output",
         "format",
+        "backend",
         "threads",
         "shards",
         "preset",
@@ -541,6 +595,9 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     }
     // Validate the cheap options before touching the filesystem, so usage
     // errors win over I/O errors.
+    let backend = backend_kind(options)?;
+    reject_foreign_shards(backend, options)?;
+    reject_foreign_filter(backend, options)?;
     let threads = thread_count(options)?;
     let shards = shard_count(options)?;
     let mut config = preset(options.get("preset").unwrap_or("short"))?;
@@ -549,7 +606,16 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     let out_path = options.get("output");
 
     let graph = load_graph(graph_path)?;
-    let (run, shard_section) = if shards <= 1 {
+    let (run, shard_section) = if backend != BackendKind::Segram {
+        // A baseline backend: same engine, same streaming output path, so
+        // the run is directly comparable to (and diffable against) the
+        // native one.
+        let mapper = Backend::build(backend, graph, config, 1);
+        let run = run_map_stream(
+            &mapper, None, threads, both, options, format, reads_path, out_path,
+        )?;
+        (run, String::new())
+    } else if shards <= 1 {
         let mapper = SegramMapper::new(graph, config);
         let run = run_map_stream(
             &mapper, None, threads, both, options, format, reads_path, out_path,
@@ -580,6 +646,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "mapped {}/{} reads ({} regions aligned, {} filtered)",
         stats.mapped, stats.reads, stats.stats.regions_aligned, stats.stats.regions_filtered
     );
+    let _ = writeln!(report, "backend: {}", stats.backend);
     let _ = writeln!(
         report,
         "threads: {threads} ({} batches of up to {} reads)",
@@ -707,6 +774,276 @@ pub fn simulate(options: &Options) -> Result<String, CliError> {
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// eval compare
+// ---------------------------------------------------------------------------
+
+const EVAL_HELP: &str = "\
+segram eval — evaluation harnesses
+
+USAGE:
+    segram eval <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    compare    drive one read stream through several mapping backends and
+               compare throughput, stage times, accuracy, and modeled
+               accelerator occupancy under one methodology
+
+Run `segram eval compare --help` for options.
+";
+
+const COMPARE_HELP: &str = "\
+segram eval compare — the same reads through N backends, one table
+(the paper's apples-to-apples comparison methodology: every backend runs
+through the same batched engine and the same measurement path)
+
+OPTIONS:
+    --graph <graph.gfa>    input graph (required)
+    --reads <reads.fq>     input FASTQ (required); records carrying
+                           `truth:linear=` descriptions (as written by
+                           `segram simulate`) also get per-backend accuracy
+    --backends <list>      comma-separated backends to run, in order
+                           (default segram,graphaligner,vg,hga)
+    --threads <int>        worker threads per run (default: all cores)
+    --shards <int>         shard count for the segram backend (default 1)
+    --preset <short|long5|long10>
+                           mapper preset (default short)
+    --tolerance <int>      max distance from truth counted correct
+                           (default 150)
+    --json <path>          also write the table as a JSON artifact
+    --both-strands         map each read on both strands
+    --lenient              substitute ambiguous read bases instead of failing
+";
+
+/// Parses the `--backends` list, preserving order and dropping duplicates.
+fn parse_backends(list: &str) -> Result<Vec<BackendKind>, CliError> {
+    let mut kinds = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let kind = BackendKind::parse(name).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown backend {name:?} in --backends (expected a comma-separated \
+                 subset of segram,graphaligner,vg,hga)"
+            ))
+        })?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err(CliError::usage(
+            "--backends names no backends (expected e.g. segram,vg)",
+        ));
+    }
+    Ok(kinds)
+}
+
+/// The simulated truth location embedded in a FASTQ description by
+/// `segram simulate` (`truth:linear=N strand=... errors=...`), if any.
+fn truth_linear(description: &str) -> Option<u64> {
+    description
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix("truth:linear=")?.parse().ok())
+}
+
+/// Reads the whole FASTQ into [`EvalRead`]s (compare runs the same
+/// materialized read set through every backend, unlike `map`'s streaming).
+fn load_eval_reads(reads_path: &str, ambiguity: Ambiguity) -> Result<Vec<EvalRead>, CliError> {
+    let reads_file = fs::File::open(reads_path).map_err(|e| CliError::io(reads_path, e))?;
+    let mut reads = Vec::new();
+    for record in FastqReader::new(BufReader::new(reads_file), ambiguity) {
+        let record = match record {
+            Ok(record) => record,
+            Err(StreamError::Io(err)) => return Err(CliError::io(reads_path, err)),
+            Err(StreamError::Format(err)) => return Err(CliError::format(reads_path, err)),
+        };
+        reads.push(EvalRead {
+            truth_linear: truth_linear(&record.description),
+            seq: record.seq,
+        });
+    }
+    Ok(reads)
+}
+
+/// One JSON row of the `--json` artifact (testkit's offline serializer).
+#[derive(Serialize)]
+struct CompareRow {
+    backend: String,
+    reads: usize,
+    mapped: usize,
+    with_truth: usize,
+    correct: usize,
+    accuracy: Option<f64>,
+    seconds: f64,
+    reads_per_second: f64,
+    seeding_ms: f64,
+    filtering_ms: f64,
+    alignment_ms: f64,
+    alignment_fraction: f64,
+    regions_aligned: usize,
+    modeled_makespan_ns: f64,
+    modeled_bitalign_utilization: f64,
+}
+
+#[derive(Serialize)]
+struct CompareDoc {
+    threads: usize,
+    tolerance: u64,
+    backends: Vec<CompareRow>,
+}
+
+impl CompareRow {
+    fn from_eval(eval: &BackendEval) -> Self {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        Self {
+            backend: eval.backend.to_owned(),
+            reads: eval.report.reads,
+            mapped: eval.report.mapped,
+            with_truth: eval.with_truth,
+            correct: eval.correct,
+            accuracy: eval.accuracy(),
+            seconds: eval.seconds,
+            reads_per_second: eval.reads_per_second(),
+            seeding_ms: ms(eval.report.stats.seeding),
+            filtering_ms: ms(eval.report.stats.filtering),
+            alignment_ms: ms(eval.report.stats.alignment),
+            alignment_fraction: eval.report.stats.alignment_fraction(),
+            regions_aligned: eval.report.stats.regions_aligned,
+            modeled_makespan_ns: eval.modeled_makespan_ns,
+            modeled_bitalign_utilization: eval.modeled_bitalign_utilization,
+        }
+    }
+}
+
+/// `segram eval compare`.
+pub fn compare(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(COMPARE_HELP.to_owned());
+    }
+    options.reject_unknown(&[
+        "graph",
+        "reads",
+        "backends",
+        "threads",
+        "shards",
+        "preset",
+        "tolerance",
+        "json",
+        "both-strands",
+        "lenient",
+    ])?;
+    let graph_path = options.require("graph")?;
+    let reads_path = options.require("reads")?;
+    let kinds = parse_backends(
+        options
+            .get("backends")
+            .unwrap_or("segram,graphaligner,vg,hga"),
+    )?;
+    let threads = thread_count(options)?;
+    let shards = shard_count(options)?;
+    // `--shards` configures the segram backend only; with none in the
+    // list the flag would be a silent no-op, so reject it like `map` does.
+    if options.get("shards").is_some() && !kinds.iter().any(|k| k.supports_shards()) {
+        return Err(CliError::usage(
+            "--shards only applies to the segram backend, and --backends does not \
+             include segram; drop --shards or add segram to the list",
+        ));
+    }
+    let config = preset(options.get("preset").unwrap_or("short"))?;
+    let tolerance: u64 = options.number("tolerance", 150)?;
+    let both = options.switch("both-strands");
+
+    let graph = load_graph(graph_path)?;
+    let reads = load_eval_reads(reads_path, ambiguity(options))?;
+    if reads.is_empty() {
+        return Err(CliError::usage(format!(
+            "{reads_path}: no reads to compare backends on"
+        )));
+    }
+
+    let mut evals = Vec::new();
+    for kind in kinds {
+        let backend_shards = if kind.supports_shards() { shards } else { 1 };
+        let backend = Backend::build(kind, graph.clone(), config, backend_shards);
+        evals.push(run_backend_eval(&backend, &reads, threads, both, tolerance));
+    }
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut report = String::new();
+    let with_truth = evals.first().map_or(0, |e| e.with_truth);
+    let _ = writeln!(
+        report,
+        "compared {} backends on {} reads ({} with truth labels; threads {threads}, \
+         tolerance {tolerance})",
+        evals.len(),
+        reads.len(),
+        with_truth
+    );
+    let _ = writeln!(
+        report,
+        "  {:<14} {:>9} {:>9} {:>10} {:>11} {:>12} {:>11} {:>7} {:>14} {:>9}",
+        "backend",
+        "mapped",
+        "accuracy",
+        "reads/s",
+        "seeding-ms",
+        "filtering-ms",
+        "aligning-ms",
+        "align%",
+        "hw-makespan-us",
+        "hw-util"
+    );
+    for eval in &evals {
+        let accuracy = match eval.accuracy() {
+            Some(a) => format!("{:.0}%", a * 100.0),
+            None => "n/a".to_owned(),
+        };
+        let _ = writeln!(
+            report,
+            "  {:<14} {:>9} {:>9} {:>10.1} {:>11.2} {:>12.2} {:>11.2} {:>6.0}% {:>14.1} {:>8.0}%",
+            eval.backend,
+            format!("{}/{}", eval.report.mapped, eval.report.reads),
+            accuracy,
+            eval.reads_per_second(),
+            ms(eval.report.stats.seeding),
+            ms(eval.report.stats.filtering),
+            ms(eval.report.stats.alignment),
+            eval.report.stats.alignment_fraction() * 100.0,
+            eval.modeled_makespan_ns / 1e3,
+            eval.modeled_bitalign_utilization * 100.0
+        );
+    }
+
+    if let Some(json_path) = options.get("json") {
+        let doc = CompareDoc {
+            threads,
+            tolerance,
+            backends: evals.iter().map(CompareRow::from_eval).collect(),
+        };
+        let text = segram_testkit::json::to_string_pretty(&doc)
+            .map_err(|e| CliError::usage(format!("--json serialization failed: {e}")))?;
+        write_file(json_path, &text)?;
+        let _ = writeln!(report, "wrote comparison JSON to {json_path}");
+    }
+    Ok(report)
+}
+
+/// `segram eval`: dispatches its subcommands.
+fn eval(args: &[String]) -> Result<String, CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(EVAL_HELP.to_owned());
+    };
+    match sub.as_str() {
+        "compare" => {
+            let options = Options::parse(rest)?;
+            compare(&options)
+        }
+        "--help" | "help" => Ok(EVAL_HELP.to_owned()),
+        other => Err(CliError::usage(format!(
+            "unknown eval subcommand {other:?}; run `segram eval --help`"
+        ))),
+    }
+}
+
 /// Dispatches a full argument vector (without the program name).
 ///
 /// # Errors
@@ -718,6 +1055,11 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     let Some((command, rest)) = args.split_first() else {
         return Ok(USAGE.to_owned());
     };
+    // `eval` hosts subcommands of its own, so its first argument is a
+    // positional name the flag parser must not see.
+    if command == "eval" {
+        return eval(rest);
+    }
     let options = Options::parse(rest)?;
     match command.as_str() {
         "construct" => construct(&options),

@@ -258,6 +258,13 @@ fn help_is_available_everywhere() {
         let text = run(&[cmd, "--help"]).unwrap();
         assert!(text.contains("OPTIONS"), "{cmd} help: {text}");
     }
+    // `eval` hosts subcommands: bare, help, and per-subcommand help.
+    assert!(run(&["eval"]).unwrap().contains("SUBCOMMANDS"));
+    assert!(run(&["eval", "--help"]).unwrap().contains("compare"));
+    let text = run(&["eval", "compare", "--help"]).unwrap();
+    assert!(text.contains("--backends"), "{text}");
+    let err = run(&["eval", "frobnicate"]).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
 }
 
 #[test]
@@ -471,6 +478,215 @@ fn sharded_mapping_is_reported_and_output_is_shard_invariant() {
         assert_eq!(err.exit_code(), 2, "--shards {bad} must be a usage error");
         assert!(err.to_string().contains("--shards"), "{err}");
     }
+}
+
+/// Backend usage errors through the *built binary* (exit codes + stderr),
+/// not just the in-process dispatch: unknown names and invalid flag
+/// combinations must fail fast with actionable messages.
+#[test]
+fn backend_errors_are_actionable_via_the_binary() {
+    use std::process::Command;
+
+    let binary = env!("CARGO_BIN_EXE_segram");
+    // Unknown backend: usage error naming the valid choices, before I/O
+    // (the input paths do not exist).
+    let unknown = Command::new(binary)
+        .args([
+            "map",
+            "--graph",
+            "x.gfa",
+            "--reads",
+            "y.fq",
+            "--backend",
+            "bowtie",
+        ])
+        .output()
+        .expect("run segram map");
+    assert_eq!(unknown.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&unknown.stderr);
+    assert!(stderr.contains("unknown backend \"bowtie\""), "{stderr}");
+    assert!(stderr.contains("graphaligner"), "lists choices: {stderr}");
+
+    // --shards with a baseline backend: usage error pointing at the fix.
+    let foreign = Command::new(binary)
+        .args([
+            "map",
+            "--graph",
+            "x.gfa",
+            "--reads",
+            "y.fq",
+            "--backend",
+            "vg",
+            "--shards",
+            "4",
+        ])
+        .output()
+        .expect("run segram map");
+    assert_eq!(foreign.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&foreign.stderr);
+    assert!(
+        stderr.contains("--shards only applies to --backend segram"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("--backend vg"),
+        "names the culprit: {stderr}"
+    );
+
+    // --filter with a baseline backend: same treatment as --shards (the
+    // baselines never consult the SeGraM prefilter stage).
+    let filtered = Command::new(binary)
+        .args([
+            "map",
+            "--graph",
+            "x.gfa",
+            "--reads",
+            "y.fq",
+            "--backend",
+            "hga",
+            "--filter",
+            "cascade",
+        ])
+        .output()
+        .expect("run segram map");
+    assert_eq!(filtered.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&filtered.stderr);
+    assert!(
+        stderr.contains("--filter only applies to --backend segram"),
+        "{stderr}"
+    );
+
+    // eval compare: --shards without a segram backend in the list is a
+    // usage error, not a silent no-op.
+    let no_segram = Command::new(binary)
+        .args([
+            "eval",
+            "compare",
+            "--graph",
+            "x.gfa",
+            "--reads",
+            "y.fq",
+            "--backends",
+            "vg,hga",
+            "--shards",
+            "4",
+        ])
+        .output()
+        .expect("run segram eval compare");
+    assert_eq!(no_segram.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&no_segram.stderr);
+    assert!(
+        stderr.contains("--backends does not include segram"),
+        "{stderr}"
+    );
+
+    // The same rejections in eval compare's --backends list.
+    let compare = Command::new(binary)
+        .args([
+            "eval",
+            "compare",
+            "--graph",
+            "x.gfa",
+            "--reads",
+            "y.fq",
+            "--backends",
+            "segram,nope",
+        ])
+        .output()
+        .expect("run segram eval compare");
+    assert_eq!(compare.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&compare.stderr);
+    assert!(stderr.contains("unknown backend \"nope\""), "{stderr}");
+}
+
+/// Acceptance path: `map --backend graphaligner --threads 4` and
+/// `eval compare --backends segram,vg` run end-to-end on a simulated
+/// dataset, and a baseline backend's output is thread-invariant.
+#[test]
+fn baseline_backends_map_and_compare_end_to_end() {
+    let dir = TempDir::new("backends");
+    let prefix = dir.path("b");
+    run(&[
+        "simulate",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "20000",
+        "--reads",
+        "8",
+        "--read-len",
+        "100",
+        "--seed",
+        "19",
+    ])
+    .expect("simulate");
+
+    let map_backend = |backend: &str, threads: &str, out: &str| {
+        run(&[
+            "map",
+            "--graph",
+            &format!("{prefix}.gfa"),
+            "--reads",
+            &format!("{prefix}.fq"),
+            "--backend",
+            backend,
+            "--threads",
+            threads,
+            "--output",
+            &dir.path(out),
+        ])
+        .expect("map with backend")
+    };
+
+    let report = map_backend("graphaligner", "4", "ga4.sam");
+    assert!(report.contains("backend: graphaligner"), "{report}");
+    assert!(report.contains("threads: 4"), "{report}");
+    let sam = fs::read_to_string(dir.path("ga4.sam")).unwrap();
+    assert_eq!(
+        sam.lines().filter(|l| !l.starts_with('@')).count(),
+        8,
+        "one record per read:\n{sam}"
+    );
+
+    // Thread invariance holds for baseline backends exactly as for the
+    // native one (ci.sh runs the full backend matrix).
+    map_backend("graphaligner", "1", "ga1.sam");
+    assert_eq!(
+        fs::read(dir.path("ga1.sam")).unwrap(),
+        fs::read(dir.path("ga4.sam")).unwrap(),
+        "graphaligner output differs across threads"
+    );
+
+    // eval compare: table + JSON artifact over two backends.
+    let json_path = dir.path("cmp.json");
+    let report = run(&[
+        "eval",
+        "compare",
+        "--graph",
+        &format!("{prefix}.gfa"),
+        "--reads",
+        &format!("{prefix}.fq"),
+        "--backends",
+        "segram,vg",
+        "--threads",
+        "2",
+        "--json",
+        &json_path,
+    ])
+    .expect("eval compare");
+    assert!(
+        report.contains("compared 2 backends on 8 reads"),
+        "{report}"
+    );
+    assert!(report.contains("8 with truth labels"), "{report}");
+    for column in ["backend", "accuracy", "reads/s", "hw-makespan-us"] {
+        assert!(report.contains(column), "missing column {column}: {report}");
+    }
+    assert!(report.contains("segram"), "{report}");
+    let json = fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"backend\": \"segram\""), "{json}");
+    assert!(json.contains("\"backend\": \"vg\""), "{json}");
+    assert!(json.contains("\"modeled_makespan_ns\""), "{json}");
 }
 
 #[test]

@@ -33,7 +33,8 @@ pub struct BaselineMapping {
     pub linear_start: u64,
 }
 
-/// Per-step timing of a baseline mapper run.
+/// Per-step timing of a baseline mapper run, plus the alignment-step
+/// workload counters the cross-backend occupancy model consumes.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StepTimes {
     /// Seeding (minimizer extraction + index lookup + region calc).
@@ -42,6 +43,12 @@ pub struct StepTimes {
     pub filtering: Duration,
     /// Alignment.
     pub alignment: Duration,
+    /// Candidate regions the alignment step evaluated (chains, chunked
+    /// regions, or one whole-graph pass for HGA).
+    pub candidates: usize,
+    /// Total reference characters those candidates covered (the workload
+    /// behind `candidates`; whole-graph DP reports the whole graph).
+    pub aligned_chars: u64,
 }
 
 impl StepTimes {
@@ -50,6 +57,8 @@ impl StepTimes {
         self.seeding += other.seeding;
         self.filtering += other.filtering;
         self.alignment += other.alignment;
+        self.candidates += other.candidates;
+        self.aligned_chars += other.aligned_chars;
     }
 
     /// Total time.
@@ -71,6 +80,10 @@ impl StepTimes {
 pub trait BaselineMapper: Send + Sync {
     /// Tool name (paper nomenclature).
     fn name(&self) -> &'static str;
+
+    /// The reference graph this baseline maps against (every baseline owns
+    /// one; the engine adapter renders SAM/GAF against it).
+    fn graph(&self) -> &GenomeGraph;
 
     /// Maps one read, reporting the result and per-step times.
     fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes);
@@ -136,6 +149,10 @@ impl BaselineMapper for GraphAlignerLike {
         "GraphAligner-like"
     }
 
+    fn graph(&self) -> &GenomeGraph {
+        &self.base.graph
+    }
+
     fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes) {
         let mut times = StepTimes::default();
         let t0 = Instant::now();
@@ -169,6 +186,8 @@ impl BaselineMapper for GraphAlignerLike {
             let Ok(lin) = LinearizedGraph::extract(&self.base.graph, start, end) else {
                 continue;
             };
+            times.candidates += 1;
+            times.aligned_chars += end - start;
             let mut window = self.base.config.window;
             window.window_k = window.window_k.max(window.overlap as u32);
             let Ok(a) = windowed_bitalign(&lin, read, window, StartMode::Free) else {
@@ -218,6 +237,10 @@ impl BaselineMapper for VgLike {
         "vg-like"
     }
 
+    fn graph(&self) -> &GenomeGraph {
+        &self.base.graph
+    }
+
     fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes) {
         let mut times = StepTimes::default();
         let t0 = Instant::now();
@@ -236,6 +259,8 @@ impl BaselineMapper for VgLike {
             else {
                 continue;
             };
+            times.candidates += 1;
+            times.aligned_chars += region.end - region.start;
             // Chunked DP: exact distance per chunk, summed; chunk windows
             // slide along the region proportionally.
             let mut total = 0u32;
@@ -319,11 +344,19 @@ impl BaselineMapper for HgaLike {
         "HGA-like"
     }
 
+    fn graph(&self) -> &GenomeGraph {
+        &self.graph
+    }
+
     fn map_read(&self, read: &DnaSeq) -> (Option<BaselineMapping>, StepTimes) {
         let mut times = StepTimes::default();
         let t0 = Instant::now();
         let result = graph_dp_distance(&self.lin, read, StartMode::Free).ok();
         times.alignment = t0.elapsed();
+        // One candidate covering the whole graph: what "no seeding"
+        // costs, in the same units the seeded baselines report.
+        times.candidates = 1;
+        times.aligned_chars = self.lin.len() as u64;
         (
             result.map(|(d, start)| BaselineMapping {
                 edit_distance: d,
@@ -398,6 +431,33 @@ mod tests {
             "alignment fraction {}",
             times.alignment_fraction()
         );
+    }
+
+    #[test]
+    fn step_times_report_alignment_workload() {
+        let dataset = DatasetConfig::tiny(71).illumina(100);
+        let ga = GraphAlignerLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let (m, times) = ga.map_read(&dataset.reads[0].seq);
+        assert!(m.is_some());
+        assert!(times.candidates >= 1, "{times:?}");
+        assert!(times.aligned_chars >= 100, "{times:?}");
+
+        let vg = VgLike::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let (_, times) = vg.map_read(&dataset.reads[0].seq);
+        assert!(times.candidates >= 1 && times.candidates <= vg.max_regions);
+
+        // HGA charges exactly one whole-graph candidate per read.
+        let hga = HgaLike::new(dataset.graph().clone());
+        let (_, times) = hga.map_read(&dataset.reads[0].seq);
+        assert_eq!(times.candidates, 1);
+        assert_eq!(times.aligned_chars, dataset.graph().total_chars());
+
+        // Merging sums the workload counters like the durations.
+        let mut total = StepTimes::default();
+        total.merge(&times);
+        total.merge(&times);
+        assert_eq!(total.candidates, 2);
+        assert_eq!(total.aligned_chars, 2 * dataset.graph().total_chars());
     }
 
     #[test]

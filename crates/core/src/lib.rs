@@ -18,7 +18,10 @@
 //! It also hosts the software baseline mappers used by the evaluation
 //! ([`GraphAlignerLike`], [`VgLike`], [`HgaLike`]) and the workload
 //! measurement that parameterizes the `segram-hw` performance model
-//! ([`measure_workload`]).
+//! ([`measure_workload`]). Every mapper — SeGraM and the baselines — is a
+//! first-class engine [`Backend`] selected by [`BackendKind`], so the
+//! same read stream drives all of them under one methodology (`segram map
+//! --backend ...`, `segram eval compare`, [`run_backend_eval`]).
 //!
 //! ## Example
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod baseline;
 mod config;
 mod eval;
@@ -46,6 +50,10 @@ mod sam;
 mod shard;
 mod workload;
 
+pub use backend::{
+    run_backend_eval, Backend, BackendEval, BackendKind, BaselineAdapter, EvalRead,
+    MODELED_BITALIGN_NS, MODELED_MINSEED_NS, MODELED_REGION_CHARS,
+};
 pub use baseline::{BaselineMapper, BaselineMapping, GraphAlignerLike, HgaLike, StepTimes, VgLike};
 pub use config::SegramConfig;
 pub use eval::{evaluate, seeding_sensitivity, Evaluation};

@@ -29,6 +29,15 @@ pub trait ReadMapper: Sync {
     /// The reference graph mappings refer to (SAM/GAF rendering needs it).
     fn graph(&self) -> &GenomeGraph;
 
+    /// Short stable identifier of the backend this mapper implements
+    /// (`"segram"`, `"graphaligner"`, `"vg"`, `"hga"`), threaded into
+    /// [`EngineReport`](crate::EngineReport) and the `eval compare` table
+    /// so every measurement names the mapper that produced it. The default
+    /// is the native SeGraM pipeline.
+    fn backend_name(&self) -> &'static str {
+        "segram"
+    }
+
     /// Maps one read end to end; returns the best mapping (fewest edits,
     /// then leftmost) and the per-stage pipeline statistics.
     fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats);
@@ -36,6 +45,29 @@ pub trait ReadMapper: Sync {
     /// Maps a read trying both strands, returning the better mapping and
     /// the strand it mapped on.
     fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, segram_sim::Strand)>, MapStats);
+}
+
+/// Merges a forward-strand and a reverse-complement mapping attempt into
+/// the better of the two (fewest edits; **forward wins ties**) and the
+/// strand it mapped on. Every both-strand mapper shares this exact
+/// tie-break so outputs stay comparable across backends.
+pub(crate) fn better_stranded(
+    forward: Option<Mapping>,
+    reverse: Option<Mapping>,
+) -> Option<(Mapping, segram_sim::Strand)> {
+    use segram_sim::Strand;
+    match (forward, reverse) {
+        (Some(f), Some(r)) => {
+            if f.alignment.edit_distance <= r.alignment.edit_distance {
+                Some((f, Strand::Forward))
+            } else {
+                Some((r, Strand::Reverse))
+            }
+        }
+        (Some(f), None) => Some((f, Strand::Forward)),
+        (None, Some(r)) => Some((r, Strand::Reverse)),
+        (None, None) => None,
+    }
 }
 
 /// A completed read mapping.

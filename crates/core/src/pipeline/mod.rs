@@ -244,19 +244,7 @@ impl<'g, S: Seeder, P: Prefilter, A: Aligner> MapPipeline<'g, S, P, A> {
         let rc = read.reverse_complement();
         let (reverse, reverse_stats) = self.map_read(&rc);
         stats.merge(&reverse_stats);
-        let best = match (forward, reverse) {
-            (Some(f), Some(r)) => {
-                if f.alignment.edit_distance <= r.alignment.edit_distance {
-                    Some((f, Strand::Forward))
-                } else {
-                    Some((r, Strand::Reverse))
-                }
-            }
-            (Some(f), None) => Some((f, Strand::Forward)),
-            (None, Some(r)) => Some((r, Strand::Reverse)),
-            (None, None) => None,
-        };
-        (best, stats)
+        (crate::mapper::better_stranded(forward, reverse), stats)
     }
 }
 

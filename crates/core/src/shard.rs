@@ -420,6 +420,40 @@ mod tests {
     }
 
     #[test]
+    fn seed_imbalance_tracks_recorded_hits_exactly() {
+        let (_, _, sharded) = setup(3);
+        // No hits recorded yet: the all-zero degenerate case reports 1.0
+        // (perfectly balanced), not a division by zero.
+        assert_eq!(sharded.seed_imbalance(), 1.0);
+        for shard in sharded.shards() {
+            shard.record_seed_hits(30);
+        }
+        assert!((sharded.seed_imbalance() - 1.0).abs() < 1e-9);
+        // Skew one shard: hits become [90, 30, 30] -> max 90 / mean 50.
+        sharded.shards()[0].record_seed_hits(60);
+        assert!((sharded.seed_imbalance() - 1.8).abs() < 1e-9);
+        // Reset restores the balanced baseline.
+        sharded.reset_shard_stats();
+        assert_eq!(sharded.seed_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn shard_stats_snapshot_mirrors_recorded_counters() {
+        let (_, _, sharded) = setup(2);
+        sharded.shards()[1].record_seed_hits(5);
+        sharded.shards()[1].record_region();
+        sharded.shards()[1].record_region();
+        let stats = sharded.shard_stats();
+        assert_eq!(stats[0].seed_hits, 0);
+        assert_eq!(stats[1].seed_hits, 5);
+        assert_eq!(stats[1].regions, 2);
+        assert_eq!(stats[1].wins, 0);
+        // The snapshot carries the shard's identity and range.
+        assert_eq!(stats[1].shard, 1);
+        assert_eq!((stats[1].start, stats[1].end), sharded.shards()[1].range());
+    }
+
+    #[test]
     fn balance_loads_places_every_item_once() {
         let placement = balance_loads(&[50, 30, 20, 15, 10, 8], 3);
         assert_eq!(placement.len(), 3);

@@ -1,0 +1,110 @@
+//! Edge-case tests for the streaming `FastqReader`: the malformed inputs
+//! a production read stream actually encounters — truncations, missing
+//! markers, CRLF transfers — each pinned to the *exact* `StreamError`
+//! variant (and line number) the reader must report, not just `is_err()`.
+
+use segram_io::{Ambiguity, FastqReader, FastqRecord, FormatError, StreamError};
+
+fn reader(text: &str) -> FastqReader<&[u8]> {
+    FastqReader::new(text.as_bytes(), Ambiguity::Reject)
+}
+
+fn first_error(text: &str) -> StreamError {
+    reader(text)
+        .next()
+        .expect("a record or an error")
+        .expect_err("input must be rejected")
+}
+
+#[test]
+fn empty_file_is_end_of_stream_not_an_error() {
+    assert!(reader("").next().is_none());
+    // Blank lines only: still a clean end of stream.
+    assert!(reader("\n\n\n").next().is_none());
+}
+
+#[test]
+fn empty_sequence_is_an_invalid_record_on_the_sequence_line() {
+    let err = first_error("@r1\n\n+\nII\n");
+    match err {
+        StreamError::Format(FormatError::InvalidRecord { line, message }) => {
+            assert_eq!(line, 2, "the sequence line is line 2");
+            assert!(message.contains("empty sequence"), "{message}");
+            assert!(message.contains("r1"), "names the read: {message}");
+        }
+        other => panic!("expected InvalidRecord, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_plus_separator_is_malformed_on_the_separator_line() {
+    let err = first_error("@r1\nACGT\nIIII\n@r2\nTT\n+\nII\n");
+    match err {
+        StreamError::Format(FormatError::Malformed { line, message }) => {
+            assert_eq!(line, 3, "the separator line is line 3");
+            assert!(message.contains("'+' separator"), "{message}");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_final_record_reports_unexpected_eof_per_missing_line() {
+    // Truncation after each of the record's four lines names the line the
+    // missing piece should have started on, and what was expected there.
+    for (text, missing_line, expectation) in [
+        ("@r1\n", 2, "a sequence line"),
+        ("@r1\nACGT\n", 3, "the '+' separator line"),
+        ("@r1\nACGT\n+\n", 4, "a quality line"),
+    ] {
+        match first_error(text) {
+            StreamError::Format(FormatError::UnexpectedEof { line, expected }) => {
+                assert_eq!(line, missing_line, "input {text:?}");
+                assert_eq!(expected, expectation, "input {text:?}");
+            }
+            other => panic!("{text:?}: expected UnexpectedEof, got {other:?}"),
+        }
+    }
+    // A complete record before the truncated one is still delivered.
+    let mut records = reader("@ok\nACGT\n+\nIIII\n@r1\nACGT\n");
+    assert_eq!(records.next().unwrap().unwrap().id, "ok");
+    assert!(matches!(
+        records.next().unwrap().unwrap_err(),
+        StreamError::Format(FormatError::UnexpectedEof { line: 7, .. })
+    ));
+    // The iterator fuses after the error.
+    assert!(records.next().is_none());
+}
+
+#[test]
+fn crlf_line_endings_parse_identically_to_lf() {
+    let lf = "@r1 first\nACGT\n+\nII5I\n@r2\nTTAA\n+\n!!!!\n";
+    let crlf = lf.replace('\n', "\r\n");
+    let parse = |text: &str| -> Vec<FastqRecord> {
+        FastqReader::new(text.as_bytes(), Ambiguity::Reject)
+            .map(|r| r.expect("well-formed record"))
+            .collect()
+    };
+    let from_lf = parse(lf);
+    let from_crlf = parse(&crlf);
+    assert_eq!(from_lf, from_crlf);
+    assert_eq!(from_crlf.len(), 2);
+    // The carriage return is stripped before the quality-length check, so
+    // qualities keep their exact length and values.
+    assert_eq!(from_crlf[0].qual, vec![40, 40, 20, 40]);
+    assert_eq!(from_crlf[0].description, "first");
+}
+
+#[test]
+fn quality_shorter_than_sequence_is_an_invalid_record() {
+    // The mismatch is detected on the quality line (line 4), with both
+    // lengths named.
+    let err = first_error("@r1\nACGT\n+\nIII\n");
+    match err {
+        StreamError::Format(FormatError::InvalidRecord { line, message }) => {
+            assert_eq!(line, 4);
+            assert!(message.contains('3') && message.contains('4'), "{message}");
+        }
+        other => panic!("expected InvalidRecord, got {other:?}"),
+    }
+}
