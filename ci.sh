@@ -19,6 +19,10 @@
 #   8. backend-matrix   all four backends (segram/graphaligner/vg/hga)
 #                       through the engine, each diffed across
 #                       --threads 1 vs 4
+#   9. overlapped-io    the framer -> worker-decode -> writer-thread path:
+#                       all four backends diffed across --threads 1 vs 8
+#                       (SAM and GAF), the high-thread-count stress of the
+#                       overlapped pipeline's ordering guarantee
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -123,24 +127,48 @@ tier shard-determinism determinism_shards
 # crates/core/tests/backend_props.rs). Small dataset: the hga backend runs
 # whole-graph DP per read.
 # ---------------------------------------------------------------------------
-backend_matrix() {
-    "$SEGRAM" simulate --out-prefix "$GATE_DIR/bm" \
-        --length 20000 --reads 10 --read-len 100 --seed 13 > /dev/null || return 1
-    local backend threads fmt
+# Shared sweep: maps dataset prefix $1 through all four backends x
+# sam/gaf at thread counts $2 and $3, diffing each pair — used by both
+# the backend-matrix and overlapped-io tiers so the two stay in sync.
+backend_sweep() {
+    local data="$1" lo="$2" hi="$3"
+    local backend fmt threads
     for backend in segram graphaligner vg hga; do
         for fmt in sam gaf; do
-            for threads in 1 4; do
-                "$SEGRAM" map --graph "$GATE_DIR/bm.gfa" --reads "$GATE_DIR/bm.fq" \
+            for threads in "$lo" "$hi"; do
+                "$SEGRAM" map --graph "$data.gfa" --reads "$data.fq" \
                     --backend "$backend" --format "$fmt" --threads "$threads" \
-                    --output "$GATE_DIR/bm-$backend-t$threads.$fmt" > /dev/null || return 1
+                    --output "$data-$backend-t$threads.$fmt" > /dev/null || return 1
             done
-            diff "$GATE_DIR/bm-$backend-t1.$fmt" "$GATE_DIR/bm-$backend-t4.$fmt" \
-                || { echo "backend $backend $fmt differs between --threads 1 and 4"; return 1; }
+            diff "$data-$backend-t$lo.$fmt" "$data-$backend-t$hi.$fmt" \
+                || { echo "backend $backend $fmt differs between --threads $lo and $hi"; return 1; }
         done
-        echo "  $backend: sam+gaf identical across --threads 1/4"
+        echo "  $backend: sam+gaf identical across --threads $lo/$hi"
     done
 }
 
+backend_matrix() {
+    "$SEGRAM" simulate --out-prefix "$GATE_DIR/bm" \
+        --length 20000 --reads 10 --read-len 100 --seed 13 > /dev/null || return 1
+    backend_sweep "$GATE_DIR/bm" 1 4
+}
+
 tier backend-matrix backend_matrix
+
+# ---------------------------------------------------------------------------
+# Overlapped-IO gate: `segram map` now frames raw records on the producer,
+# decodes FASTQ in the worker stage, and renders+writes on a dedicated
+# writer thread fed by an ordered bounded channel. None of that may change
+# a single output byte, at any thread count, for any backend — 8 threads
+# (more workers than this dataset has batches on small runs) is the
+# stress case for the reorder-buffer -> writer-channel handoff.
+# ---------------------------------------------------------------------------
+overlapped_io() {
+    "$SEGRAM" simulate --out-prefix "$GATE_DIR/ov" \
+        --length 20000 --reads 12 --read-len 100 --seed 31 > /dev/null || return 1
+    backend_sweep "$GATE_DIR/ov" 1 8
+}
+
+tier overlapped-io overlapped_io
 
 echo "CI OK in ${SECONDS}s"

@@ -7,8 +7,11 @@
 //! `benches/sharding.rs`; these benches run in CI's bench-smoke tier
 //! (`SEGRAM_BENCH_SAMPLES`/`SEGRAM_BENCH_JSON`).
 
-use segram_core::{Backend, BackendKind, EngineConfig, MapEngine, SegramConfig, SegramMapper};
+use segram_core::{
+    sam_record_for, Backend, BackendKind, EngineConfig, MapEngine, SegramConfig, SegramMapper,
+};
 use segram_graph::DnaSeq;
+use segram_io::{write_fastq, Ambiguity, FastqFramer, FastqRecord, SamWriter};
 use segram_sim::DatasetConfig;
 use segram_testkit::bench::{
     black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
@@ -75,5 +78,72 @@ fn bench_backend_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_batch, bench_backend_matrix);
+fn bench_engine_stream_io(c: &mut Criterion) {
+    // The IO-inclusive path `segram map` actually runs: FASTQ bytes ->
+    // FastqFramer (producer) -> worker-stage decode -> map -> render ->
+    // SAM writer on the dedicated writer thread. Unlike engine_batch —
+    // which starts from pre-decoded reads and discards outcomes into a
+    // Vec — this measures whether the overlapped design keeps transport
+    // work off the mapping workers: on a multi-core host, 1 -> 4 threads
+    // should scale near-linearly where the old serial-ends path was flat.
+    let dataset = DatasetConfig {
+        reference_len: 100_000,
+        read_count: 64,
+        long_read_len: 2_000,
+        seed: 177,
+    }
+    .illumina(150);
+    let mut config = SegramConfig::short_reads();
+    config.max_regions = 8;
+    let mapper = SegramMapper::new(dataset.graph().clone(), config);
+    let total_chars = dataset.graph().total_chars();
+    let fastq: Vec<FastqRecord> = dataset
+        .reads
+        .iter()
+        .map(|r| FastqRecord::with_uniform_quality(format!("read{}", r.id), r.seq.clone(), 30))
+        .collect();
+    let bytes = write_fastq(&fastq).into_bytes();
+
+    let mut group = c.benchmark_group("engine_stream_io_150bp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fastq.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let mut engine_config = EngineConfig::with_threads(threads);
+                // Several batches per worker even at 8 threads: 64 reads
+                // in 16 batches of 4, so the measurement is stage overlap,
+                // not batch granularity.
+                engine_config.batch_size = 4;
+                let engine = MapEngine::new(&mapper, engine_config);
+                let mut framer = FastqFramer::new(black_box(bytes.as_slice()));
+                let raws = std::iter::from_fn(|| match framer.next() {
+                    Some(Ok(raw)) => Some(raw),
+                    _ => None,
+                });
+                let mut sam = SamWriter::new(Vec::with_capacity(bytes.len()), "graph", total_chars)
+                    .expect("vec write cannot fail");
+                let report = engine.map_raw_stream(
+                    raws,
+                    |raw| raw.decode(Ambiguity::Reject).ok(),
+                    |record| &record.seq,
+                    |record, outcome| {
+                        let rec = sam_record_for(&record.id, &record.seq, &outcome);
+                        sam.write_line(&rec.to_sam_line())
+                            .expect("vec write cannot fail");
+                    },
+                );
+                black_box((report.reads, sam.records_written()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_batch,
+    bench_engine_stream_io,
+    bench_backend_matrix
+);
 criterion_main!(benches);

@@ -9,19 +9,21 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use segram_core::{
     gaf_record_for, run_backend_eval, sam_record_for, Backend, BackendEval, BackendKind,
-    EngineConfig, EngineReport, EvalRead, MapEngine, ReadMapper, SegramConfig, SegramMapper,
-    ShardAffinity, ShardedIndex,
+    CancelToken, EngineConfig, EngineReport, EvalRead, MapEngine, ReadMapper, SegramConfig,
+    SegramMapper, ShardAffinity, ShardedIndex,
 };
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
 use segram_index::{GraphIndex, MinimizerScheme};
 use segram_io::{
     phred_from_error_rate, read_fasta, read_vcf, write_fasta, write_fastq, write_vcf, Ambiguity,
-    FastaRecord, FastqReader, FastqRecord, GafWriter, SamWriter, StreamError, VcfOptions,
+    FastaRecord, FastqFramer, FastqReader, FastqRecord, GafWriter, RawFastqRecord, SamWriter,
+    StreamError, VcfOptions,
 };
 use segram_sim::{
     generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
@@ -402,9 +404,45 @@ struct EngineRun {
     target: MapTarget,
 }
 
+/// Removes a partially written output file on drop unless disarmed — the
+/// one cleanup path for the header-failure case, the post-run failure
+/// case, and every early `?` in between, so no truncated document ever
+/// survives an error. Declare it *before* the writer: drop order then
+/// guarantees the `BufWriter` handle is flushed and closed before the
+/// file is unlinked.
+struct OutputCleanup<'a> {
+    path: Option<&'a str>,
+}
+
+impl OutputCleanup<'_> {
+    /// Keeps the file: the run completed and flushed successfully.
+    fn disarm(&mut self) {
+        self.path = None;
+    }
+}
+
+impl Drop for OutputCleanup<'_> {
+    fn drop(&mut self) {
+        if let Some(path) = self.path {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Takes the first recorded error out of a worker-shared slot.
+fn take_error<E>(slot: Mutex<Option<E>>) -> Option<E> {
+    slot.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Streams the FASTQ at `reads_path` through a [`MapEngine`] over any
-/// [`ReadMapper`] (monolithic or sharded), writing records to `out_path`
-/// (or an in-memory buffer) as each batch is released in input order.
+/// [`ReadMapper`] (monolithic or sharded) with fully overlapped IO: the
+/// producer thread only frames raw record boundaries
+/// ([`FastqFramer`], double-buffered block reads), FASTQ decode runs in
+/// the worker stage ahead of seeding, and rendering + file writes happen
+/// on the engine's dedicated writer thread as each batch is released in
+/// input order. A failure at either end (framing, decode, write) cancels
+/// the shared [`CancelToken`] so the whole pipeline stops promptly
+/// instead of mapping the rest of the stream first.
 #[allow(clippy::too_many_arguments)]
 fn run_map_stream<M: ReadMapper>(
     mapper: &M,
@@ -417,33 +455,44 @@ fn run_map_stream<M: ReadMapper>(
     out_path: Option<&str>,
 ) -> Result<EngineRun, CliError> {
     let out_name = out_path.unwrap_or("<report>");
-    // Raised by the sink on the first write failure; the input side stops
-    // feeding the engine so a full-disk error surfaces without mapping
-    // the rest of the stream first.
-    let abort = std::sync::atomic::AtomicBool::new(false);
+    let cancel = CancelToken::new();
 
-    // Input side: the FASTQ is streamed record by record, never fully
-    // materialized. A parse failure (or a raised abort flag) stops the
-    // stream; the cause is reported after the engine drains.
+    // Input side: the producer slices raw record frames off
+    // double-buffered block reads; it never parses FASTQ. A transport
+    // error stops the stream and cancels the run; the cause is reported
+    // after the engine winds down.
     let reads_file = fs::File::open(reads_path).map_err(|e| CliError::io(reads_path, e))?;
-    let mut fastq = FastqReader::new(BufReader::new(reads_file), ambiguity(options));
-    let mut read_error: Option<StreamError> = None;
-    let reads = std::iter::from_fn(|| {
-        if abort.load(std::sync::atomic::Ordering::Relaxed) {
-            return None;
-        }
-        match fastq.next() {
-            Some(Ok(record)) => Some(record),
-            Some(Err(err)) => {
-                read_error = Some(err);
-                None
+    let mut framer = FastqFramer::new(reads_file);
+    let mut frame_error: Option<StreamError> = None;
+    let raws = {
+        let cancel = cancel.clone();
+        let frame_error = &mut frame_error;
+        std::iter::from_fn(move || {
+            if cancel.is_cancelled() {
+                return None;
             }
-            None => None,
-        }
-    });
+            match framer.next() {
+                Some(Ok(raw)) => Some(raw),
+                Some(Err(err)) => {
+                    *frame_error = Some(err);
+                    cancel.cancel();
+                    None
+                }
+                None => None,
+            }
+        })
+    };
 
-    // Output side: records are written as their batch is released, so the
-    // document is never held in memory when writing to a file.
+    // One RAII guard owns partial-file removal for every failure path
+    // below. It starts disarmed: arming only after `File::create`
+    // succeeds means a failed create (say, an unwritable pre-existing
+    // file) can never unlink a file this run did not produce. It is also
+    // declared before the writer, so on failure the handle closes first.
+    let mut cleanup = OutputCleanup { path: None };
+
+    // Output side: records are rendered and written on the engine's
+    // writer thread as their batch is released, so the document is never
+    // held in memory when writing to a file.
     let target = match out_path {
         Some(path) => {
             if let Some(parent) = Path::new(path).parent() {
@@ -451,75 +500,90 @@ fn run_map_stream<M: ReadMapper>(
                     fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
                 }
             }
-            MapTarget::File(BufWriter::new(
-                fs::File::create(path).map_err(|e| CliError::io(path, e))?,
-            ))
+            let file = fs::File::create(path).map_err(|e| CliError::io(path, e))?;
+            cleanup.path = out_path;
+            MapTarget::File(BufWriter::new(file))
         }
         None => MapTarget::Memory(Vec::new()),
     };
     let mut writer = match format {
         "sam" => match SamWriter::new(target, "graph", mapper.graph().total_chars()) {
             Ok(writer) => MapWriter::Sam(writer),
-            Err(err) => {
-                // The file was already created; don't leave a header-less
-                // stub behind.
-                if let Some(path) = out_path {
-                    let _ = fs::remove_file(path);
-                }
-                return Err(CliError::io(out_name, err));
-            }
+            // The header failed after the file was created; the cleanup
+            // guard removes the header-less stub.
+            Err(err) => return Err(CliError::io(out_name, err)),
         },
         _ => MapWriter::Gaf(GafWriter::new(target)),
     };
-    let mut write_error: Option<CliError> = None;
 
-    let engine_config = EngineConfig::with_threads(threads).both_strands(both);
+    // Worker-stage decode: FASTQ parsing happens on the mapping threads,
+    // timed into `MapStats::decode`. Of the errors actually observed, the
+    // one from the earliest record wins, so multi-threaded runs report
+    // stably when failures land in the same decode window. (Cancellation
+    // may stop a *later-queued but earlier-positioned* record from being
+    // decoded at all — prompt stopping is the point — so the reported
+    // error names a real malformed record with its exact line, though not
+    // necessarily the file's first.)
+    let decode_ambiguity = ambiguity(options);
+    let decode_error: Mutex<Option<(usize, StreamError)>> = Mutex::new(None);
+    let decode = |raw: RawFastqRecord| match raw.decode(decode_ambiguity) {
+        Ok(record) => Some(record),
+        Err(err) => {
+            let mut slot = decode_error.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.as_ref().is_none_or(|(line, _)| raw.line() < *line) {
+                *slot = Some((raw.line(), err));
+            }
+            None
+        }
+    };
+
+    // Writer-thread sink: render + write only; a failure cancels the run.
+    let write_error: Mutex<Option<CliError>> = Mutex::new(None);
+    let sink = |record: FastqRecord, outcome| {
+        let mut slot = write_error.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() {
+            return;
+        }
+        let result = match &mut writer {
+            MapWriter::Sam(w) => {
+                let rec = sam_record_for(&record.id, &record.seq, &outcome);
+                w.write_line(&rec.to_sam_line())
+                    .map_err(|e| CliError::io(out_name, e))
+            }
+            MapWriter::Gaf(w) => {
+                match gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome) {
+                    Err(e) => Err(CliError::format(reads_path, e)),
+                    Ok(None) => Ok(()),
+                    Ok(Some(rec)) => w.write_record(&rec).map_err(|e| CliError::io(out_name, e)),
+                }
+            }
+        };
+        if let Err(err) = result {
+            *slot = Some(err);
+            cancel.cancel();
+        }
+    };
+
+    let engine_config = EngineConfig::with_threads(threads)
+        .both_strands(both)
+        .with_cancel(cancel.clone());
     let engine = match affinity {
         Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
         None => MapEngine::new(mapper, engine_config),
     };
-    let run = engine.map_stream(
-        reads,
-        |record| &record.seq,
-        |record, outcome| {
-            if write_error.is_some() {
-                return;
-            }
-            let result = match &mut writer {
-                MapWriter::Sam(w) => {
-                    let rec = sam_record_for(&record.id, &record.seq, &outcome);
-                    w.write_line(&rec.to_sam_line())
-                        .map_err(|e| CliError::io(out_name, e))
-                }
-                MapWriter::Gaf(w) => {
-                    match gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome) {
-                        Err(e) => Err(CliError::format(reads_path, e)),
-                        Ok(None) => Ok(()),
-                        Ok(Some(rec)) => {
-                            w.write_record(&rec).map_err(|e| CliError::io(out_name, e))
-                        }
-                    }
-                }
-            };
-            if let Err(err) = result {
-                write_error = Some(err);
-                abort.store(true, std::sync::atomic::Ordering::Relaxed);
-            }
-        },
-    );
+    let run = engine.map_raw_stream(raws, decode, |record| &record.seq, sink);
 
-    let failure = match read_error {
+    // Input-side failures outrank output-side ones, mirroring the
+    // pre-overlap behaviour (decode errors *are* the old read errors,
+    // they just surface from the worker stage now).
+    let failure = match frame_error.or_else(|| take_error(decode_error).map(|(_, err)| err)) {
         Some(StreamError::Io(err)) => Some(CliError::io(reads_path, err)),
         Some(StreamError::Format(err)) => Some(CliError::format(reads_path, err)),
-        None => write_error,
+        None => take_error(write_error),
     };
     if let Some(err) = failure {
-        // Don't leave a truncated document behind: drop the writer (which
-        // flushes whatever was buffered) and remove the partial file.
-        drop(writer);
-        if let Some(path) = out_path {
-            let _ = fs::remove_file(path);
-        }
+        // The cleanup guard removes the partial file (after `writer`
+        // drops and flushes, per declaration order).
         return Err(err);
     }
     let target = match writer {
@@ -527,6 +591,7 @@ fn run_map_stream<M: ReadMapper>(
         MapWriter::Gaf(w) => w.finish(),
     }
     .map_err(|e| CliError::io(out_name, e))?;
+    cleanup.disarm();
 
     Ok(EngineRun {
         report: run,
@@ -654,11 +719,12 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     );
     let _ = writeln!(
         report,
-        "stage times: seeding {:.2} ms, filtering {:.2} ms, alignment {:.2} ms \
-         (alignment fraction {:.0}%)",
+        "stage times: seeding {:.2} ms, filtering {:.2} ms, alignment {:.2} ms, \
+         decode {:.2} ms (alignment fraction {:.0}%)",
         ms(stats.stats.seeding),
         ms(stats.stats.filtering),
         ms(stats.stats.alignment),
+        ms(stats.stats.decode),
         stats.stats.alignment_fraction() * 100.0
     );
     let _ = writeln!(
@@ -669,6 +735,15 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         ms(stats.queue.producer_wait),
         stats.queue.worker_waits,
         ms(stats.queue.worker_wait)
+    );
+    let _ = writeln!(
+        report,
+        "writer: max depth {}, workers stalled {}x ({:.2} ms), writer waited {}x ({:.2} ms)",
+        stats.queue.output_max_depth,
+        stats.queue.output_stall_waits,
+        ms(stats.queue.output_stall_wait),
+        stats.queue.writer_waits,
+        ms(stats.queue.writer_wait)
     );
     report.push_str(&shard_section);
     match (out_path, run.target) {

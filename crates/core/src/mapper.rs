@@ -90,6 +90,13 @@ pub struct Mapping {
 /// Section 3 observations and Section 11.4 analysis are based on.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MapStats {
+    /// Time spent decoding the read from its raw transport bytes (zero
+    /// outside the engine's overlapped input path, where FASTQ parsing
+    /// runs in the worker stage ahead of seeding). Transport work, not
+    /// mapping work: reported separately and excluded from
+    /// [`total_time`](Self::total_time) /
+    /// [`alignment_fraction`](Self::alignment_fraction).
+    pub decode: Duration,
     /// Time spent in the seeding step.
     pub seeding: Duration,
     /// Time spent in the optional pre-alignment filter step (zero when
@@ -117,6 +124,7 @@ pub struct MapStats {
 impl MapStats {
     /// Merges another read's stats into an aggregate.
     pub fn merge(&mut self, other: &MapStats) {
+        self.decode += other.decode;
         self.seeding += other.seeding;
         self.filtering += other.filtering;
         self.alignment += other.alignment;
@@ -128,7 +136,10 @@ impl MapStats {
         self.total_region_len += other.total_region_len;
     }
 
-    /// Total pipeline time across all stages.
+    /// Total *mapping* pipeline time: seeding + filtering + alignment.
+    /// [`decode`](Self::decode) is transport time and deliberately not
+    /// included, so enabling the overlapped input path does not shift
+    /// the Observation 1 stage fractions.
     pub fn total_time(&self) -> Duration {
         self.seeding + self.filtering + self.alignment
     }

@@ -1,4 +1,5 @@
-//! The batched, multi-threaded, order-preserving map engine.
+//! The batched, multi-threaded, order-preserving map engine with
+//! overlapped IO.
 //!
 //! [`MapEngine`] is the production driver around
 //! [`SegramMapper`](crate::SegramMapper): it consumes a stream of reads,
@@ -8,23 +9,44 @@
 //! per-read outcomes to a sink **in input order**, whatever the worker
 //! interleaving. Per-stage [`MapStats`] are aggregated across all workers.
 //!
-//! Ordering guarantee: batches are numbered by the producer and a reorder
-//! buffer releases them to the sink strictly sequentially, so the output
-//! of `threads = N` is byte-identical to `threads = 1` for any `N` (the
-//! mapper itself is deterministic). `ci.sh` enforces this end to end.
+//! Mapping workers never touch IO. On the input side,
+//! [`MapEngine::map_raw_stream`] accepts *undecoded* items plus a decode
+//! function that runs in the worker stage (timed into
+//! [`MapStats::decode`]), so the producer thread only slices raw record
+//! boundaries (e.g. `segram_io::FastqFramer`). On the output side, the
+//! reorder buffer never calls the sink under its lock: released batches
+//! are handed — still strictly in input order — over a bounded channel to
+//! a dedicated writer thread, the only thread that runs the sink. A shared
+//! [`CancelToken`] in [`EngineConfig`] stops the producer *and* the
+//! workers promptly when either end fails (sink write error, input stream
+//! error) instead of mapping every queued batch first.
+//!
+//! Ordering guarantee: batches are numbered by the producer and the
+//! reorder buffer releases them to the writer strictly sequentially, so
+//! the output of `threads = N` is byte-identical to `threads = 1` for any
+//! `N` (the mapper itself is deterministic). `ci.sh` enforces this end to
+//! end, including through the overlapped framer+decode path.
 //!
 //! The engine is generic over [`ReadMapper`], so the same driver runs the
 //! monolithic [`SegramMapper`] and the coordinate-range
-//! [`ShardedIndex`](crate::ShardedIndex). The bounded queue exposes
+//! [`ShardedIndex`](crate::ShardedIndex). Both bounded queues expose
 //! depth/wait counters ([`QueueStats`]) to locate the
-//! producer-vs-worker bottleneck, and a [`ShardAffinity`] plan assigns
-//! workers to shard groups with the same size-balanced placement the
-//! paper uses for chromosomes over memory channels (an ownership model
-//! plus batch accounting — routing still fans out to every shard).
+//! producer-vs-worker-vs-writer bottleneck, and a [`ShardAffinity`] plan
+//! assigns workers to shard groups with the same size-balanced placement
+//! the paper uses for chromosomes over memory channels (an ownership
+//! model plus batch accounting — routing still fans out to every shard).
+//!
+//! Failure model: the first panic anywhere in the pipeline (decode,
+//! mapper, sink) is captured, the run is cancelled, and the original
+//! payload is re-raised once from the calling thread — not buried under
+//! the poisoned-lock panic cascade every other worker would otherwise die
+//! with.
 
+use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use segram_graph::DnaSeq;
@@ -33,18 +55,50 @@ use segram_sim::Strand;
 use crate::mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
 use crate::shard::balance_loads;
 
+/// A shared cooperative stop flag: cloning yields handles onto the same
+/// flag, so the CLI (or any engine embedder) can hand one clone to the
+/// engine via [`EngineConfig`] and keep another to pull when its sink or
+/// input stream fails. Once cancelled, the engine's producer stops
+/// consuming input and workers drop still-queued batches unmapped —
+/// instead of faithfully mapping a stream whose output already failed.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag on every clone of this token. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
 /// Tuning knobs of a [`MapEngine`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Worker thread count (clamped to at least 1).
     pub threads: usize,
     /// Reads per work item; batching amortizes queue synchronization.
     pub batch_size: usize,
     /// Bounded work-queue capacity in batches (0 = `2 × threads`). Bounds
-    /// how far the producer can run ahead of the workers.
+    /// how far the producer can run ahead of the workers, and doubles as
+    /// the capacity of the ordered channel to the writer thread.
     pub queue_depth: usize,
     /// Map each read on both strands and keep the better mapping.
     pub both_strands: bool,
+    /// Shared stop flag: cancel it (from the sink, the input stream, or
+    /// anywhere else holding a clone) and the run winds down promptly.
+    pub cancel: CancelToken,
 }
 
 impl EngineConfig {
@@ -61,6 +115,12 @@ impl EngineConfig {
         self.both_strands = enabled;
         self
     }
+
+    /// Returns a copy sharing the given cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -72,7 +132,35 @@ impl Default for EngineConfig {
             batch_size: 16,
             queue_depth: 0,
             both_strands: false,
+            cancel: CancelToken::new(),
         }
+    }
+}
+
+/// Poison-tolerant lock: a panicking thread is already captured by the
+/// engine's first-failure slot, so other threads keep the lock usable
+/// instead of dying on the poison flag (the cascade this replaces).
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The first panic payload captured from any pipeline stage; later
+/// failures (usually knock-on effects of the first) are dropped.
+#[derive(Default)]
+struct FirstFailure {
+    slot: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl FirstFailure {
+    fn record(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = relock(&self.slot);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        relock(&self.slot).take()
     }
 }
 
@@ -101,7 +189,9 @@ pub struct EngineReport {
     pub reads: usize,
     /// Reads that produced a mapping.
     pub mapped: usize,
-    /// Batches the input was split into.
+    /// Batches the workers actually mapped — counted at worker
+    /// completion, not at producer enqueue, so a cancelled run reports
+    /// the work that happened rather than the work that was queued.
     pub batches: usize,
     /// Worker threads used.
     pub threads: usize,
@@ -125,22 +215,36 @@ impl Default for EngineReport {
     }
 }
 
-/// Depth/wait counters of the engine's bounded work queue — the
-/// backpressure observability that locates the producer-vs-worker
-/// bottleneck at high thread counts.
+/// Depth/wait counters of the engine's two bounded queues — the
+/// backpressure observability that locates the bottleneck at high thread
+/// counts: the producer side (input queue, producer vs workers) and the
+/// writer side (ordered output channel, workers vs the writer thread),
+/// each with symmetric push/pop accounting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QueueStats {
-    /// High-water mark of queued batches.
+    /// High-water mark of queued input batches.
     pub max_depth: usize,
-    /// Times the producer blocked on a full queue.
+    /// Times the producer blocked on a full input queue.
     pub producer_waits: u64,
-    /// Total time the producer spent blocked on a full queue.
+    /// Total time the producer spent blocked on a full input queue.
     pub producer_wait: Duration,
-    /// Times a worker blocked on an empty queue (excluding the final
-    /// end-of-stream drain).
+    /// Times a worker blocked on an empty input queue (excluding the
+    /// final end-of-stream drain).
     pub worker_waits: u64,
-    /// Total time workers spent blocked on an empty queue.
+    /// Total time workers spent blocked on an empty input queue.
     pub worker_wait: Duration,
+    /// High-water mark of released batches queued to the writer thread.
+    pub output_max_depth: usize,
+    /// Times a worker blocked handing a released batch to the full
+    /// output channel (the writer is the bottleneck).
+    pub output_stall_waits: u64,
+    /// Total time workers spent blocked on the full output channel.
+    pub output_stall_wait: Duration,
+    /// Times the writer thread blocked on an empty output channel
+    /// (mapping is the bottleneck; excludes the end-of-stream drain).
+    pub writer_waits: u64,
+    /// Total time the writer thread spent blocked on an empty channel.
+    pub writer_wait: Duration,
 }
 
 /// Worker-to-shard ownership *plan* plus per-group batch accounting:
@@ -256,11 +360,14 @@ impl<T> WorkQueue<T> {
     }
 
     fn push(&self, item: T) {
-        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let mut inner = relock(&self.inner);
         if inner.items.len() >= inner.capacity && !inner.closed {
             let blocked = Instant::now();
             while inner.items.len() >= inner.capacity && !inner.closed {
-                inner = self.not_full.wait(inner).expect("work queue poisoned");
+                inner = self
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             self.producer_waits.fetch_add(1, Ordering::Relaxed);
             self.producer_wait_ns
@@ -276,7 +383,7 @@ impl<T> WorkQueue<T> {
     }
 
     fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let mut inner = relock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -293,7 +400,10 @@ impl<T> WorkQueue<T> {
             // starvation and are not counted.
             let blocked = Instant::now();
             while inner.items.is_empty() && !inner.closed {
-                inner = self.not_empty.wait(inner).expect("work queue poisoned");
+                inner = self
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             if !inner.items.is_empty() {
                 self.worker_waits.fetch_add(1, Ordering::Relaxed);
@@ -303,28 +413,24 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    /// Snapshot of the queue's depth/wait counters.
+    /// Snapshot of the queue's depth/wait counters (push side reported as
+    /// `producer_*`, pop side as `worker_*`; callers remap for the output
+    /// channel).
     fn stats(&self) -> QueueStats {
-        let max_depth = match self.inner.lock() {
-            Ok(inner) => inner.max_depth,
-            Err(poisoned) => poisoned.into_inner().max_depth,
-        };
         QueueStats {
-            max_depth,
+            max_depth: relock(&self.inner).max_depth,
             producer_waits: self.producer_waits.load(Ordering::Relaxed),
             producer_wait: Duration::from_nanos(self.producer_wait_ns.load(Ordering::Relaxed)),
             worker_waits: self.worker_waits.load(Ordering::Relaxed),
             worker_wait: Duration::from_nanos(self.worker_wait_ns.load(Ordering::Relaxed)),
+            ..QueueStats::default()
         }
     }
 
     fn close(&self) {
-        match self.inner.lock() {
-            Ok(mut inner) => inner.closed = true,
-            // Closing must succeed even after a worker panicked while
-            // holding the lock — liveness beats the poison flag here.
-            Err(poisoned) => poisoned.into_inner().closed = true,
-        }
+        // Closing must succeed even after a worker panicked while holding
+        // the lock — liveness beats the poison flag here (relock).
+        relock(&self.inner).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -343,12 +449,13 @@ impl<T> Drop for CloseOnDrop<'_, T> {
     }
 }
 
-/// The in-order emission side: completed batches park in `pending` until
-/// every earlier batch has been handed to the sink.
-struct Reorder<T, F> {
+/// The in-order release side: completed batches park in `pending` until
+/// every earlier batch has been handed — still in input order — to the
+/// bounded channel feeding the writer thread. The lock covers only this
+/// bookkeeping; rendering and IO happen on the writer thread, outside it.
+struct Reorder<T> {
     next: usize,
     pending: BTreeMap<usize, Vec<(T, ReadOutcome)>>,
-    sink: F,
     report: EngineReport,
 }
 
@@ -433,24 +540,62 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
     }
 
     /// Streams `reads` through the engine, calling `sink(item, outcome)`
-    /// once per read **in input order**.
-    ///
-    /// `read_of` projects the sequence out of an arbitrary item type, so
-    /// callers can stream `FastqRecord`s, `SimulatedRead`s, or bare
-    /// [`DnaSeq`]s and get the item back in the sink alongside its
-    /// outcome. The input iterator is consumed incrementally on the
-    /// calling thread, and a worker that runs too far ahead of a slow
-    /// batch parks until the reorder buffer drains, so at most
-    /// `2 × queue_depth + 2 × threads` batches exist at any moment —
-    /// memory stays bounded for arbitrarily long streams.
+    /// once per read **in input order** — already-decoded items, the
+    /// trivial-decode special case of [`map_raw_stream`](Self::map_raw_stream).
     pub fn map_stream<T, R, F>(
         &self,
-        mut reads: impl Iterator<Item = T>,
+        reads: impl Iterator<Item = T>,
         read_of: R,
         sink: F,
     ) -> EngineReport
     where
         T: Send,
+        R: Fn(&T) -> &DnaSeq + Sync,
+        F: FnMut(T, ReadOutcome) + Send,
+    {
+        self.map_raw_stream(reads, Some, read_of, sink)
+    }
+
+    /// Streams *undecoded* items through the engine: `decode` runs in the
+    /// worker stage ahead of seeding (timed into [`MapStats::decode`]),
+    /// and `sink(item, outcome)` is called once per read **in input
+    /// order** on a dedicated writer thread — the only thread that ever
+    /// runs the sink — so neither input parsing nor output rendering/IO
+    /// blocks a mapping worker.
+    ///
+    /// `raw` is consumed incrementally on the calling thread (the
+    /// producer), which ideally only slices record boundaries (e.g.
+    /// `segram_io::FastqFramer`). `read_of` projects the sequence out of
+    /// the decoded item. A worker that runs too far ahead of a slow batch
+    /// parks until the reorder buffer drains, and released batches flow
+    /// through a bounded channel to the writer, so at most
+    /// `3 × queue_depth + 2 × threads` batches exist at any moment —
+    /// memory stays bounded for arbitrarily long streams.
+    ///
+    /// Cancellation: when [`EngineConfig::cancel`] is cancelled — by the
+    /// sink, the input iterator, anyone holding a clone — the producer
+    /// stops consuming `raw` and workers drop still-queued batches
+    /// unmapped. `decode` returning `None` cancels the run the same way
+    /// (the decoder is expected to have recorded its error out of band).
+    /// [`EngineReport::batches`] counts batches that were actually
+    /// mapped, so a cancelled run's report stays truthful.
+    ///
+    /// # Panics
+    ///
+    /// If decode, the mapper, or the sink panics, the run is cancelled
+    /// and the **first** panic payload is re-raised from this call once
+    /// every thread has wound down.
+    pub fn map_raw_stream<Q, T, D, R, F>(
+        &self,
+        mut raw: impl Iterator<Item = Q>,
+        decode: D,
+        read_of: R,
+        sink: F,
+    ) -> EngineReport
+    where
+        Q: Send,
+        T: Send,
+        D: Fn(Q) -> Option<T> + Sync,
         R: Fn(&T) -> &DnaSeq + Sync,
         F: FnMut(T, ReadOutcome) + Send,
     {
@@ -461,94 +606,232 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
         } else {
             self.config.queue_depth
         };
-        let queue: WorkQueue<(usize, Vec<T>)> = WorkQueue::new(queue_depth);
+        let cancel = &self.config.cancel;
+        let queue: WorkQueue<(usize, Vec<Q>)> = WorkQueue::new(queue_depth);
+        // The ordered handoff to the writer thread: released batches enter
+        // in input order (pushes happen under the reorder lock) and the
+        // bound makes a slow sink back-pressure the workers.
+        let out_queue: WorkQueue<Vec<(T, ReadOutcome)>> = WorkQueue::new(queue_depth);
         // The reorder buffer is bounded too: a worker whose finished batch
-        // is further than this ahead of the next-to-emit batch parks until
-        // the slow batch releases, so one pathological read cannot make
-        // `pending` absorb the rest of the stream.
+        // is further than this ahead of the next-to-release batch parks
+        // until the slow batch releases, so one pathological read cannot
+        // make `pending` absorb the rest of the stream.
         let max_ahead = queue_depth + threads;
-        let output = Mutex::new(Reorder {
+        let reorder: Mutex<Reorder<T>> = Mutex::new(Reorder {
             next: 0,
             pending: BTreeMap::new(),
-            sink,
             report: EngineReport::default(),
         });
         let released = Condvar::new();
+        let failure = FirstFailure::default();
+        let mapped_batches = AtomicUsize::new(0);
+        let decode = &decode;
         let read_of = &read_of;
-        let mut batches = 0usize;
+        let mut produced = 0usize;
 
         std::thread::scope(|scope| {
-            for worker in 0..threads {
+            // The writer: drains ordered batches and runs the sink. A sink
+            // panic is captured as the run's failure, the run is
+            // cancelled, and both queues close so no thread stays blocked.
+            let writer_handle = {
+                let out_queue = &out_queue;
                 let queue = &queue;
-                let output = &output;
-                let released = &released;
-                let affinity = self.affinity.as_ref();
+                let failure = &failure;
+                let mut sink = sink;
                 scope.spawn(move || {
-                    // Unblocks the producer and fellow workers if this
-                    // worker panics (sink, pipeline, or poisoned lock).
-                    let _close_guard = CloseOnDrop(queue);
-                    while let Some((index, items)) = queue.pop() {
-                        if let Some(affinity) = affinity {
-                            affinity.record_batch(worker);
-                        }
-                        let outcomes: Vec<(T, ReadOutcome)> = items
-                            .into_iter()
-                            .map(|item| {
-                                let outcome = self.map_one(read_of(&item));
-                                (item, outcome)
-                            })
-                            .collect();
-                        let mut guard = output.lock().expect("engine output poisoned");
-                        // Backpressure: the worker owning batch `next` is
-                        // never parked here, so emission always advances.
-                        while index >= guard.next + max_ahead {
-                            guard = released.wait(guard).expect("engine output poisoned");
-                        }
-                        let out = &mut *guard;
-                        out.pending.insert(index, outcomes);
-                        // Release every batch that is now contiguous with
-                        // the emitted prefix, in order.
-                        let mut advanced = false;
-                        while let Some(ready) = out.pending.remove(&out.next) {
-                            out.next += 1;
-                            advanced = true;
-                            for (item, outcome) in ready {
-                                out.report.reads += 1;
-                                if outcome.mapping.is_some() {
-                                    out.report.mapped += 1;
-                                }
-                                out.report.stats.merge(&outcome.stats);
-                                (out.sink)(item, outcome);
+                    while let Some(batch) = out_queue.pop() {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            for (item, outcome) in batch {
+                                sink(item, outcome);
                             }
-                        }
-                        drop(guard);
-                        if advanced {
-                            released.notify_all();
+                        }));
+                        if let Err(payload) = result {
+                            failure.record(payload);
+                            cancel.cancel();
+                            out_queue.close();
+                            queue.close();
+                            break;
                         }
                     }
-                });
-            }
+                })
+            };
 
-            // The calling thread is the producer: batch the stream into
-            // the bounded queue, then signal end-of-input (the guard also
-            // closes the queue if the input iterator panics, so workers
-            // are never left blocked).
+            let worker_handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let queue = &queue;
+                    let out_queue = &out_queue;
+                    let reorder = &reorder;
+                    let released = &released;
+                    let failure = &failure;
+                    let mapped_batches = &mapped_batches;
+                    let affinity = self.affinity.as_ref();
+                    scope.spawn(move || {
+                        // Unblocks the producer and fellow workers if this
+                        // worker dies in a way `catch_unwind` cannot see.
+                        // Note: no such guard on `out_queue` — the first
+                        // worker to finish must not close the channel
+                        // under peers that are still releasing batches;
+                        // the producer closes it after joining every
+                        // worker (and the explicit failure path closes it
+                        // eagerly).
+                        let _close_guard = CloseOnDrop(queue);
+                        while let Some((index, raws)) = queue.pop() {
+                            if cancel.is_cancelled() {
+                                // Drain-and-drop: the producer is already
+                                // stopping; queued batches are not mapped.
+                                continue;
+                            }
+                            if let Some(affinity) = affinity {
+                                affinity.record_batch(worker);
+                            }
+                            // `true` = batch released; `false` = run
+                            // cancelled mid-batch (batch abandoned).
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                // Decode + map: the parallel stage.
+                                let mut outcomes: Vec<(T, ReadOutcome)> =
+                                    Vec::with_capacity(raws.len());
+                                for raw in raws {
+                                    if cancel.is_cancelled() {
+                                        return false;
+                                    }
+                                    let started = Instant::now();
+                                    let Some(item) = decode(raw) else {
+                                        // The decoder records its own
+                                        // error; stopping the run is the
+                                        // engine's job.
+                                        cancel.cancel();
+                                        return false;
+                                    };
+                                    let decode_time = started.elapsed();
+                                    let mut outcome = self.map_one(read_of(&item));
+                                    outcome.stats.decode = decode_time;
+                                    outcomes.push((item, outcome));
+                                }
+                                mapped_batches.fetch_add(1, Ordering::Relaxed);
+                                // Reorder bookkeeping: the lock covers map
+                                // insertion and release accounting only —
+                                // rendering and IO happen on the writer
+                                // thread, outside any engine lock.
+                                let mut guard = relock(reorder);
+                                // Backpressure: the worker owning batch
+                                // `next` is never parked here, so release
+                                // always advances. The wait is bounded so
+                                // a cancellation (which has no handle on
+                                // this condvar) cannot strand a parked
+                                // worker.
+                                while index >= guard.next + max_ahead {
+                                    if cancel.is_cancelled() {
+                                        return false;
+                                    }
+                                    guard = released
+                                        .wait_timeout(guard, Duration::from_millis(50))
+                                        .unwrap_or_else(PoisonError::into_inner)
+                                        .0;
+                                }
+                                let state = &mut *guard;
+                                state.pending.insert(index, outcomes);
+                                // Release every batch now contiguous with
+                                // the released prefix, in order. Pushing
+                                // under the lock keeps the channel order
+                                // identical to release order; a full
+                                // channel blocks here, which is exactly
+                                // the backpressure a lagging writer must
+                                // exert on the workers.
+                                let mut advanced = false;
+                                while let Some(ready) = state.pending.remove(&state.next) {
+                                    state.next += 1;
+                                    advanced = true;
+                                    for (_, outcome) in &ready {
+                                        state.report.reads += 1;
+                                        if outcome.mapping.is_some() {
+                                            state.report.mapped += 1;
+                                        }
+                                        state.report.stats.merge(&outcome.stats);
+                                    }
+                                    out_queue.push(ready);
+                                }
+                                drop(guard);
+                                if advanced {
+                                    released.notify_all();
+                                }
+                                true
+                            }));
+                            match result {
+                                Ok(true) => {}
+                                // Cancelled mid-batch: keep draining the
+                                // queue so the producer never blocks.
+                                Ok(false) => continue,
+                                Err(payload) => {
+                                    // First failure wins; wind everyone
+                                    // down and let the calling thread
+                                    // re-raise it once.
+                                    failure.record(payload);
+                                    cancel.cancel();
+                                    queue.close();
+                                    out_queue.close();
+                                    released.notify_all();
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            // The calling thread is the producer: it only slices the raw
+            // stream into batches — decode belongs to the workers. The
+            // guards also close both queues if the input iterator panics,
+            // so no thread is ever left blocked.
             let _close_guard = CloseOnDrop(&queue);
+            let _out_close_guard = CloseOnDrop(&out_queue);
             loop {
-                let batch: Vec<T> = reads.by_ref().take(batch_size).collect();
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let batch: Vec<Q> = raw.by_ref().take(batch_size).collect();
                 if batch.is_empty() {
                     break;
                 }
-                queue.push((batches, batch));
-                batches += 1;
+                queue.push((produced, batch));
+                produced += 1;
+            }
+            queue.close();
+            // Workers first, then the channel, then the writer: the writer
+            // must not see end-of-stream before every released batch is in
+            // the channel.
+            for handle in worker_handles {
+                if let Err(payload) = handle.join() {
+                    failure.record(payload);
+                }
+            }
+            out_queue.close();
+            if let Err(payload) = writer_handle.join() {
+                failure.record(payload);
             }
         });
 
-        let mut report = output.into_inner().expect("engine output poisoned").report;
+        if let Some(payload) = failure.take() {
+            // Surface the original failure once, instead of the
+            // poisoned-lock panic cascade every other thread would
+            // otherwise die with.
+            resume_unwind(payload);
+        }
+
+        let reorder = reorder.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut report = reorder.report;
         report.backend = self.mapper.backend_name();
-        report.batches = batches;
+        report.batches = mapped_batches.load(Ordering::Relaxed);
         report.threads = threads;
-        report.queue = queue.stats();
+        let input = queue.stats();
+        let output = out_queue.stats();
+        report.queue = QueueStats {
+            output_max_depth: output.max_depth,
+            output_stall_waits: output.producer_waits,
+            output_stall_wait: output.producer_wait,
+            writer_waits: output.worker_waits,
+            writer_wait: output.worker_wait,
+            ..input
+        };
         report
     }
 
@@ -868,6 +1151,263 @@ mod tests {
         });
         assert_eq!(drained.stats().worker_waits, 0);
         assert_eq!(drained.stats().worker_wait, Duration::ZERO);
+    }
+
+    /// A [`ReadMapper`] that sleeps per read: cancellation tests need a
+    /// mapper slow enough that the producer is still feeding (and workers
+    /// still queued up) when the failure fires.
+    struct SlowMapper {
+        graph: segram_graph::GenomeGraph,
+        delay: Duration,
+    }
+
+    impl SlowMapper {
+        fn with_delay(delay: Duration) -> Self {
+            let dataset = DatasetConfig::tiny(97).illumina(100);
+            Self {
+                graph: dataset.graph().clone(),
+                delay,
+            }
+        }
+    }
+
+    impl ReadMapper for SlowMapper {
+        fn graph(&self) -> &segram_graph::GenomeGraph {
+            &self.graph
+        }
+
+        fn map_read(&self, _read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            std::thread::sleep(self.delay);
+            (None, MapStats::default())
+        }
+
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            let (mapping, stats) = self.map_read(read);
+            (mapping.map(|m| (m, Strand::Forward)), stats)
+        }
+    }
+
+    fn slow_engine_reads(count: usize) -> Vec<DnaSeq> {
+        let dataset = DatasetConfig::tiny(97).illumina(100);
+        let read = dataset.reads[0].seq.clone();
+        vec![read; count]
+    }
+
+    #[test]
+    fn sink_cancellation_stops_producer_and_workers_promptly() {
+        // 100 reads x 5 ms = 500 ms of serial mapping; the sink cancels
+        // on the very first outcome, so a prompt stop maps only the few
+        // batches that were already in flight.
+        let mapper = SlowMapper::with_delay(Duration::from_millis(5));
+        let reads = slow_engine_reads(100);
+        let cancel = CancelToken::new();
+        let mut config = EngineConfig::with_threads(2).with_cancel(cancel.clone());
+        config.batch_size = 1;
+        config.queue_depth = 2;
+        let engine = MapEngine::new(&mapper, config);
+
+        let produced = std::cell::Cell::new(0usize);
+        let mut reads_iter = reads.iter();
+        let stream = std::iter::from_fn(|| {
+            let next = reads_iter.next()?;
+            produced.set(produced.get() + 1);
+            Some(next)
+        });
+        let mut sunk = 0usize;
+        let started = Instant::now();
+        let report = engine.map_stream(
+            stream,
+            |read| *read,
+            |_, _| {
+                sunk += 1;
+                cancel.cancel(); // the CLI does this on a write error
+            },
+        );
+        let elapsed = started.elapsed();
+
+        assert!(
+            produced.get() < reads.len(),
+            "producer must stop early, consumed {}/{}",
+            produced.get(),
+            reads.len()
+        );
+        // Truthful accounting: batches counts mapped work only, and the
+        // released reads can never exceed what was produced.
+        assert!(report.batches <= produced.get(), "{report:?}");
+        assert!(report.reads <= produced.get(), "{report:?}");
+        assert!(sunk >= 1);
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "cancelled run still took {elapsed:?} (serial estimate 500 ms)"
+        );
+    }
+
+    #[test]
+    fn decode_failure_cancels_the_run() {
+        let mapper = SlowMapper::with_delay(Duration::from_millis(2));
+        let reads = slow_engine_reads(60);
+        let cancel = CancelToken::new();
+        let mut config = EngineConfig::with_threads(2).with_cancel(cancel.clone());
+        config.batch_size = 1;
+        config.queue_depth = 2;
+        let engine = MapEngine::new(&mapper, config);
+        let decode_failures = AtomicUsize::new(0);
+        let report = engine.map_raw_stream(
+            reads.iter().enumerate(),
+            |(i, read)| {
+                if i == 3 {
+                    // A real decoder records its error here.
+                    decode_failures.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(read)
+                }
+            },
+            |read| *read,
+            |_, _| {},
+        );
+        assert_eq!(decode_failures.load(Ordering::Relaxed), 1);
+        assert!(cancel.is_cancelled(), "decode failure must cancel the run");
+        assert!(
+            report.reads < reads.len(),
+            "run must not map the whole stream: {report:?}"
+        );
+    }
+
+    #[test]
+    fn already_cancelled_token_maps_nothing() {
+        let (_, mapper) = setup();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2).with_cancel(cancel));
+        let reads = slow_engine_reads(10);
+        let report = engine.map_stream(reads.iter(), |r| *r, |_, _| {});
+        assert_eq!(report.reads, 0);
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn sink_panic_surfaces_the_original_payload_once() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let mut config = EngineConfig::with_threads(4);
+        config.batch_size = 1;
+        let engine = MapEngine::new(&mapper, config);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.map_stream(reads.iter(), |r| *r, |_, _| panic!("sink exploded"));
+        }));
+        let payload = result.expect_err("sink panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is the original message");
+        assert!(
+            message.contains("sink exploded"),
+            "expected the sink's own panic, got {message:?}"
+        );
+    }
+
+    #[test]
+    fn sink_runs_on_one_dedicated_thread_in_input_order() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let mut config = EngineConfig::with_threads(4);
+        config.batch_size = 2; // interleave batches across workers
+        let engine = MapEngine::new(&mapper, config);
+        let caller = std::thread::current().id();
+        let mut sink_threads = Vec::new();
+        let mut order = Vec::new();
+        engine.map_stream(
+            reads.iter().enumerate(),
+            |(_, read)| *read,
+            |(index, _), _| {
+                sink_threads.push(std::thread::current().id());
+                order.push(index);
+            },
+        );
+        assert_eq!(order, (0..reads.len()).collect::<Vec<_>>());
+        assert!(
+            sink_threads.iter().all(|&id| id == sink_threads[0]),
+            "sink must run on exactly one thread"
+        );
+        assert_ne!(
+            sink_threads[0], caller,
+            "the writer is a dedicated thread, not the producer"
+        );
+    }
+
+    #[test]
+    fn worker_decode_is_timed_into_stats() {
+        let (dataset, mapper) = setup();
+        let texts: Vec<(String, String)> = dataset
+            .reads
+            .iter()
+            .map(|r| (format!("read{}", r.id), r.seq.to_string()))
+            .collect();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2));
+        let report = engine.map_raw_stream(
+            texts.iter(),
+            |(_, text)| text.parse::<DnaSeq>().ok(),
+            |read| read,
+            |_, _| {},
+        );
+        assert_eq!(report.reads, texts.len());
+        assert!(
+            report.stats.decode > Duration::ZERO,
+            "decode stage must be timed: {:?}",
+            report.stats
+        );
+        // Transport time is excluded from the mapping-stage total.
+        assert_eq!(
+            report.stats.total_time(),
+            report.stats.seeding + report.stats.filtering + report.stats.alignment
+        );
+    }
+
+    #[test]
+    fn writer_channel_stats_observe_depth_and_stalls() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let mut config = EngineConfig::with_threads(2);
+        config.batch_size = 1;
+        config.queue_depth = 1; // output channel capacity follows
+        let engine = MapEngine::new(&mapper, config);
+        let (_, report) = {
+            let mut outcomes = Vec::new();
+            let report = engine.map_stream(
+                reads.iter(),
+                |r| *r,
+                |_, outcome| {
+                    // A deliberately slow sink: the bounded channel must fill
+                    // and stall the workers, never the other way around.
+                    std::thread::sleep(Duration::from_millis(2));
+                    outcomes.push(outcome);
+                },
+            );
+            (outcomes, report)
+        };
+        assert!(report.queue.output_max_depth >= 1);
+        assert!(
+            report.queue.output_max_depth <= 1,
+            "bounded channel must bound depth: {:?}",
+            report.queue
+        );
+        assert!(
+            report.queue.output_stall_waits > 0,
+            "slow writer must stall workers: {:?}",
+            report.queue
+        );
+        // A recorded wait implies recorded blocked time, and vice versa.
+        assert_eq!(
+            report.queue.output_stall_waits > 0,
+            report.queue.output_stall_wait > Duration::ZERO
+        );
+        assert_eq!(
+            report.queue.writer_waits > 0,
+            report.queue.writer_wait > Duration::ZERO
+        );
     }
 
     #[test]

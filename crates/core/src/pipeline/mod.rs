@@ -19,7 +19,10 @@
 //!   extraction/widening, early exit, and per-stage time accounting;
 //! * [`MapEngine`] — the batched, multi-threaded, order-preserving driver
 //!   for read streams ([`engine`]), generic over any
-//!   [`ReadMapper`](crate::ReadMapper);
+//!   [`ReadMapper`](crate::ReadMapper), with overlapped IO: raw-record
+//!   decode runs in the worker stage and the sink runs on a dedicated
+//!   writer thread, with a [`CancelToken`] stopping both ends promptly on
+//!   failure;
 //! * [`ShardRouter`] — the sharded seeding stage: per-shard index lookups
 //!   merged into the monolithic candidate order before
 //!   prefilter/alignment ([`router`]);
@@ -34,7 +37,9 @@ mod engine;
 mod router;
 mod stages;
 
-pub use engine::{EngineConfig, EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity};
+pub use engine::{
+    CancelToken, EngineConfig, EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity,
+};
 pub use router::ShardRouter;
 pub use stages::{Aligner, BitAlignStage, MinSeedStage, Prefilter, Seeder, SpecPrefilter};
 

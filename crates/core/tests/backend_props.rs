@@ -12,7 +12,9 @@ use segram_core::{
     ReadMapper, ReadOutcome, SegramConfig, SegramMapper,
 };
 use segram_graph::DnaSeq;
-use segram_io::{GafWriter, SamWriter};
+use segram_io::{
+    write_fastq, Ambiguity, FastqFramer, FastqRecord, GafWriter, RawFastqRecord, SamWriter,
+};
 use segram_sim::{DatasetConfig, Strand};
 use segram_testkit::prelude::*;
 
@@ -82,6 +84,55 @@ fn render_engine<M: ReadMapper>(
     )
 }
 
+/// Renders both output documents through the *overlapped* path: the
+/// reads serialized to FASTQ bytes, framed by [`FastqFramer`], decoded in
+/// the worker stage (`map_raw_stream`), rendered from the decoded
+/// records — the exact pipeline `segram map` runs.
+fn render_engine_overlapped<M: ReadMapper>(
+    mapper: &M,
+    reads: &[(String, DnaSeq)],
+    threads: usize,
+) -> Documents {
+    let fastq: Vec<FastqRecord> = reads
+        .iter()
+        .map(|(id, seq)| FastqRecord::with_uniform_quality(id.clone(), seq.clone(), 30))
+        .collect();
+    let bytes = write_fastq(&fastq).into_bytes();
+    let mut config = EngineConfig::with_threads(threads);
+    config.batch_size = 2;
+    let engine = MapEngine::new(mapper, config);
+    let mut sam = SamWriter::new(Vec::new(), "graph", mapper.graph().total_chars())
+        .expect("vec write cannot fail");
+    let mut gaf = GafWriter::new(Vec::new());
+    // A tiny block size forces records to straddle block boundaries even
+    // on the small documents the strategy generates.
+    let mut framer = FastqFramer::with_block_size(bytes.as_slice(), 7);
+    let raws = std::iter::from_fn(|| match framer.next() {
+        Some(Ok(raw)) => Some(raw),
+        Some(Err(err)) => panic!("in-memory framing cannot fail: {err}"),
+        None => None,
+    });
+    engine.map_raw_stream(
+        raws,
+        |raw: RawFastqRecord| Some(raw.decode(Ambiguity::Reject).expect("well-formed FASTQ")),
+        |record| &record.seq,
+        |record, outcome| {
+            let rec = sam_record_for(&record.id, &record.seq, &outcome);
+            sam.write_line(&rec.to_sam_line())
+                .expect("vec write cannot fail");
+            if let Some(rec) = gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome)
+                .expect("consistent graph path")
+            {
+                gaf.write_record(&rec).expect("vec write cannot fail");
+            }
+        },
+    );
+    (
+        sam.finish().expect("vec flush cannot fail"),
+        gaf.finish().expect("vec flush cannot fail"),
+    )
+}
+
 proptest! {
     #[test]
     fn every_backend_is_engine_and_thread_invariant(
@@ -118,6 +169,11 @@ proptest! {
                 prop_assert_eq!(&sam, &sam_serial);
                 prop_assert_eq!(&gaf, &gaf_serial);
             }
+            // The overlapped path (FASTQ bytes -> framer -> worker decode
+            // -> writer thread) emits the same bytes as the serial path.
+            let (sam, gaf) = render_engine_overlapped(&backend, &reads, 4);
+            prop_assert_eq!(&sam, &sam_serial);
+            prop_assert_eq!(&gaf, &gaf_serial);
             if kind == BackendKind::Segram {
                 // The factory's segram backend *is* the native path.
                 prop_assert_eq!(&sam_serial, &sam_native);

@@ -254,6 +254,27 @@ impl<R: BufRead> FastqReader<R> {
     }
 }
 
+/// Parses one framed record (see [`crate::FastqFramer`]): the same
+/// parser as [`FastqReader`], pointed at the frame's bytes with its line
+/// counter pre-advanced to `header_line - 1`, so records *and* errors
+/// (variant and line number) are identical to a reader consuming the
+/// whole source.
+pub(crate) fn decode_framed(
+    bytes: &[u8],
+    header_line: usize,
+    ambiguity: Ambiguity,
+) -> Result<FastqRecord, StreamError> {
+    let mut reader = FastqReader::new(bytes, ambiguity);
+    reader.line = header_line.saturating_sub(1);
+    match reader.next_record() {
+        Ok(Some(record)) => Ok(record),
+        // The framer never yields a frame without a non-blank first line,
+        // so an empty parse means the bytes were not framer-produced.
+        Ok(None) => Err(FormatError::malformed(header_line, "empty framed FASTQ record").into()),
+        Err(err) => Err(err),
+    }
+}
+
 impl<R: BufRead> Iterator for FastqReader<R> {
     type Item = Result<FastqRecord, StreamError>;
 

@@ -1,0 +1,330 @@
+//! Raw FASTQ framing: byte-level record slicing for the overlapped map
+//! engine input path.
+//!
+//! [`FastqReader`](crate::FastqReader) parses records inline — UTF-8
+//! validation, base decoding, Phred conversion — which is exactly the
+//! work a multi-threaded consumer wants *off* the producer thread: when
+//! the reader feeds `segram_core`'s `MapEngine`, every worker serializes
+//! behind the single thread doing the parsing. [`FastqFramer`] splits the
+//! job: the producer only scans bytes for record boundaries (newline
+//! counting over double-buffered block reads) and hands out
+//! [`RawFastqRecord`] frames; [`RawFastqRecord::decode`] — the expensive
+//! half — runs wherever the consumer wants, typically inside the worker
+//! pool, and is guaranteed to behave byte-for-byte like `FastqReader`
+//! (same records, same errors, same line numbers) because it *is* the
+//! same parser, pointed at the frame.
+//!
+//! ```
+//! use segram_io::{Ambiguity, FastqFramer};
+//!
+//! let bytes: &[u8] = b"@r1\nACGT\n+\nIIII\n";
+//! let mut framer = FastqFramer::new(bytes);
+//! let raw = framer.next().unwrap().unwrap();
+//! assert_eq!(raw.line(), 1);
+//! let record = raw.decode(Ambiguity::Reject).unwrap();
+//! assert_eq!(record.id, "r1");
+//! assert!(framer.next().is_none());
+//! ```
+
+use std::io::{self, Read};
+
+use crate::fasta::Ambiguity;
+use crate::fastq::{decode_framed, FastqRecord};
+use crate::stream::StreamError;
+
+/// Default block size of [`FastqFramer`]'s double-buffered reads.
+pub const FRAMER_BLOCK: usize = 64 * 1024;
+
+/// One framed FASTQ record: the raw bytes of its lines (endings
+/// included), still undecoded, plus the 1-based line number of its
+/// header — everything [`decode`](Self::decode) needs to reproduce
+/// [`FastqReader`](crate::FastqReader)'s behaviour exactly, including
+/// error line numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawFastqRecord {
+    bytes: Vec<u8>,
+    line: usize,
+}
+
+impl RawFastqRecord {
+    /// 1-based line number of the record's header line in the source.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The record's raw bytes: its header line and up to three following
+    /// lines, verbatim (line endings included; fewer lines only at a
+    /// truncated end of input).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Parses the frame into a [`FastqRecord`] — the decode half of the
+    /// split reader, safe to run on any thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns exactly the [`StreamError`] a [`FastqReader`] reading the
+    /// whole source would report for this record (same variant, same line
+    /// number): truncation, bad markers, length mismatches, invalid
+    /// bases or quality characters, invalid UTF-8.
+    ///
+    /// [`FastqReader`]: crate::FastqReader
+    pub fn decode(&self, ambiguity: Ambiguity) -> Result<FastqRecord, StreamError> {
+        decode_framed(&self.bytes, self.line, ambiguity)
+    }
+}
+
+/// A byte-scanning FASTQ record framer over double-buffered block reads:
+/// the producer-side half of the split reader (see the module docs).
+///
+/// The framer never inspects record *contents* — it only counts lines
+/// (skipping the blank lines between records that
+/// [`FastqReader`](crate::FastqReader) tolerates) and slices four-line
+/// frames, so iterating it costs a newline scan plus one memcpy per
+/// record. Transport errors surface here; format errors surface from
+/// [`RawFastqRecord::decode`].
+///
+/// Reads alternate between two reusable block buffers: the refill for
+/// the next block is issued eagerly when a block is swapped in, not
+/// lazily when the scanner runs dry. The reads themselves are still
+/// synchronous on the calling thread — the pipeline-level IO/compute
+/// overlap comes from this framer living on the *producer* thread while
+/// decoding and mapping run in the worker pool.
+#[derive(Debug)]
+pub struct FastqFramer<R: Read> {
+    source: R,
+    /// The block currently being sliced.
+    front: Vec<u8>,
+    /// Scan position within `front`.
+    pos: usize,
+    /// The read-ahead block, swapped in when `front` is exhausted.
+    back: Vec<u8>,
+    /// Block size of each read.
+    block: usize,
+    /// 1-based number of the last line consumed.
+    line: usize,
+    /// The source reported end of input.
+    eof: bool,
+    /// Set after end-of-input or a transport error; the iterator fuses.
+    done: bool,
+}
+
+impl<R: Read> FastqFramer<R> {
+    /// Wraps a byte source with the default block size.
+    pub fn new(source: R) -> Self {
+        Self::with_block_size(source, FRAMER_BLOCK)
+    }
+
+    /// Wraps a byte source with an explicit block size (clamped to at
+    /// least 1). Small blocks are useful in tests to exercise records
+    /// straddling block boundaries.
+    pub fn with_block_size(source: R, block: usize) -> Self {
+        Self {
+            source,
+            front: Vec::new(),
+            pos: 0,
+            back: Vec::new(),
+            block: block.max(1),
+            line: 0,
+            eof: false,
+            done: false,
+        }
+    }
+
+    /// 1-based number of the last line consumed from the source.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Ensures `front[pos..]` is non-empty, swapping in the pre-filled
+    /// block and issuing the next (synchronous) refill. Returns `false`
+    /// at end of input.
+    fn ensure_bytes(&mut self) -> io::Result<bool> {
+        while self.pos >= self.front.len() {
+            if self.back.is_empty() && self.eof {
+                return Ok(false);
+            }
+            std::mem::swap(&mut self.front, &mut self.back);
+            self.pos = 0;
+            // Refill the swapped-out buffer immediately, so the next swap
+            // finds its bytes already resident (one blocking read per
+            // block either way — just issued at the start of a block's
+            // scan instead of its end).
+            if self.eof {
+                self.back.clear();
+            } else {
+                self.back.resize(self.block, 0);
+                let n = loop {
+                    match self.source.read(&mut self.back) {
+                        Ok(n) => break n,
+                        Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(err) => {
+                            self.back.clear();
+                            return Err(err);
+                        }
+                    }
+                };
+                self.back.truncate(n);
+                if n == 0 {
+                    self.eof = true;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Appends the next raw line (terminator included) to `out`; returns
+    /// `false` at end of input. A final unterminated line still counts,
+    /// mirroring `BufRead::read_until`.
+    fn read_line(&mut self, out: &mut Vec<u8>) -> io::Result<bool> {
+        let start = out.len();
+        loop {
+            if !self.ensure_bytes()? {
+                if out.len() > start {
+                    self.line += 1;
+                    return Ok(true);
+                }
+                return Ok(false);
+            }
+            let chunk = &self.front[self.pos..];
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    out.extend_from_slice(&chunk[..=i]);
+                    self.pos += i + 1;
+                    self.line += 1;
+                    return Ok(true);
+                }
+                None => {
+                    out.extend_from_slice(chunk);
+                    self.pos = self.front.len();
+                }
+            }
+        }
+    }
+
+    /// Slices the next frame: skips blank lines, then takes the header
+    /// line plus up to three more, verbatim.
+    fn next_frame(&mut self) -> io::Result<Option<RawFastqRecord>> {
+        let mut bytes = Vec::new();
+        // Skip blank lines between records, exactly as FastqReader does
+        // (its line counter advances over them too).
+        loop {
+            if !self.read_line(&mut bytes)? {
+                return Ok(None);
+            }
+            if is_blank(&bytes) {
+                bytes.clear();
+            } else {
+                break;
+            }
+        }
+        let line = self.line;
+        // The three remaining record lines, blank or not — judging their
+        // contents is decode's job, the framer only counts them. Fewer
+        // lines only at a truncated end of input, which decode reports
+        // with the same line numbers FastqReader would.
+        for _ in 0..3 {
+            if !self.read_line(&mut bytes)? {
+                break;
+            }
+        }
+        Ok(Some(RawFastqRecord { bytes, line }))
+    }
+}
+
+/// Whether a raw line is blank once its `\n`/`\r\n` terminator is
+/// stripped — the framing-level mirror of `FastqReader`'s blank check.
+fn is_blank(line: &[u8]) -> bool {
+    let line = line.strip_suffix(b"\n").unwrap_or(line);
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    line.is_empty()
+}
+
+impl<R: Read> Iterator for FastqFramer<R> {
+    type Item = Result<RawFastqRecord, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_frame() {
+            Ok(Some(raw)) => Some(Ok(raw)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(err) => {
+                self.done = true;
+                Some(Err(StreamError::Io(err)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fastq::read_fastq;
+
+    fn frames(text: &str, block: usize) -> Vec<RawFastqRecord> {
+        FastqFramer::with_block_size(text.as_bytes(), block)
+            .map(|r| r.expect("in-memory source cannot fail"))
+            .collect()
+    }
+
+    #[test]
+    fn frames_agree_with_batch_parser_across_block_sizes() {
+        let text = "@r1 first\nACGT\n+\nII5I\n\n@r2\nTTAA\n+anything\n!!!!\n";
+        let batch = read_fastq(text, Ambiguity::Reject).unwrap();
+        for block in [1usize, 2, 3, 7, 64, FRAMER_BLOCK] {
+            let decoded: Vec<FastqRecord> = frames(text, block)
+                .iter()
+                .map(|raw| raw.decode(Ambiguity::Reject).expect("well-formed"))
+                .collect();
+            assert_eq!(decoded, batch, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn frames_carry_header_line_numbers_past_blanks_and_crlf() {
+        let text = "\r\n\n@r1\r\nACGT\r\n+\r\nIIII\r\n\n@r2\nTT\n+\nII\n";
+        let raw = frames(text, 4);
+        assert_eq!(raw.len(), 2);
+        assert_eq!(raw[0].line(), 3);
+        assert_eq!(raw[1].line(), 8);
+        let rec = raw[0].decode(Ambiguity::Reject).unwrap();
+        assert_eq!(rec.id, "r1");
+        assert_eq!(rec.seq.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn truncated_tail_decodes_to_the_reader_error() {
+        // Frame the truncated record, then check decode reports the same
+        // UnexpectedEof line the streaming reader would.
+        let text = "@r1\nACGT\n+\nIIII\n@r2\nTT\n";
+        let raw = frames(text, 5);
+        assert_eq!(raw.len(), 2);
+        assert!(raw[0].decode(Ambiguity::Reject).is_ok());
+        let err = raw[1].decode(Ambiguity::Reject).unwrap_err();
+        let direct = crate::FastqReader::new(text.as_bytes(), Ambiguity::Reject)
+            .nth(1)
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(format!("{err:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn unterminated_final_line_is_framed() {
+        let raw = frames("@r1\nACGT\n+\nIIII", 3);
+        assert_eq!(raw.len(), 1);
+        let rec = raw[0].decode(Ambiguity::Reject).unwrap();
+        assert_eq!(rec.qual.len(), 4);
+    }
+
+    #[test]
+    fn empty_and_blank_only_sources_frame_nothing() {
+        assert!(frames("", 8).is_empty());
+        assert!(frames("\n\r\n\n", 2).is_empty());
+    }
+}

@@ -8,7 +8,9 @@
 //!
 //! * **FASTA** ([`read_fasta`] / [`write_fasta`]) — reference genomes;
 //! * **FASTQ** ([`read_fastq`] / [`write_fastq`]) — query reads with
-//!   Phred qualities;
+//!   Phred qualities; [`FastqFramer`] additionally splits reading into a
+//!   cheap byte-framing half and a [`RawFastqRecord::decode`] half that
+//!   can run on worker threads (the map engine's overlapped input path);
 //! * **VCF subset** ([`read_vcf`] / [`write_vcf`]) — variants, mapped to
 //!   [`segram_graph::Variant`] for graph construction;
 //! * **GAF** ([`read_gaf`] / [`write_gaf`]) — graph alignments with
@@ -45,6 +47,7 @@
 mod error;
 mod fasta;
 mod fastq;
+mod framer;
 mod gaf;
 mod stream;
 mod vcf;
@@ -55,6 +58,7 @@ pub use fastq::{
     phred_from_error_rate, read_fastq, write_fastq, FastqReader, FastqRecord, MAX_PHRED,
     PHRED_OFFSET,
 };
+pub use framer::{FastqFramer, RawFastqRecord, FRAMER_BLOCK};
 pub use gaf::{read_gaf, write_gaf, GafRecord};
 pub use stream::{GafWriter, SamWriter, StreamError};
 pub use vcf::{read_vcf, write_vcf, VcfDocument, VcfOptions};

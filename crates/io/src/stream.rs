@@ -8,7 +8,9 @@
 //! `segram_core::pipeline::MapEngine` consumers use:
 //!
 //! * [`FastqReader`] — an iterator over FASTQ records from any
-//!   [`BufRead`], holding one record in memory at a time;
+//!   [`BufRead`], holding one record in memory at a time (its split
+//!   producer/worker counterpart, [`FastqFramer`](crate::FastqFramer),
+//!   lives in the `framer` module);
 //! * [`SamWriter`] — writes the SAM header eagerly, then records one line
 //!   at a time;
 //! * [`GafWriter`] — writes GAF records one line at a time.

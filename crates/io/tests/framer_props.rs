@@ -1,0 +1,138 @@
+//! Differential property tests for the split FASTQ reader: on random
+//! FASTQ-shaped inputs — including CRLF line endings, blank separator
+//! lines, malformed records, and truncation at an arbitrary byte — the
+//! framer + worker-side decode path ([`FastqFramer`] →
+//! [`RawFastqRecord::decode`]) produces exactly the records *and* exactly
+//! the first error (same variant, same line number) that the inline
+//! [`FastqReader`] produces, at every block size. This is the guarantee
+//! that lets `segram map` move FASTQ parsing off the producer thread
+//! without changing a single output byte or error message.
+
+use segram_io::{Ambiguity, FastqFramer, FastqReader, FastqRecord, RawFastqRecord};
+use segram_testkit::prelude::*;
+
+/// Everything observable from reading a stream to its first failure:
+/// the records before it and a debug rendering of the error (variant,
+/// line number, message — `StreamError` carries no `PartialEq`).
+type Outcome = (Vec<FastqRecord>, Option<String>);
+
+fn reader_outcome(bytes: &[u8], ambiguity: Ambiguity) -> Outcome {
+    let mut records = Vec::new();
+    let mut error = None;
+    for item in FastqReader::new(bytes, ambiguity) {
+        match item {
+            Ok(record) => records.push(record),
+            Err(err) => error = Some(format!("{err:?}")), // reader fuses
+        }
+    }
+    (records, error)
+}
+
+fn framer_outcome(bytes: &[u8], ambiguity: Ambiguity, block: usize) -> Outcome {
+    let mut records = Vec::new();
+    let mut error = None;
+    for item in FastqFramer::with_block_size(bytes, block) {
+        let raw: RawFastqRecord = match item {
+            Ok(raw) => raw,
+            Err(err) => {
+                error = Some(format!("{err:?}"));
+                break;
+            }
+        };
+        // Decode errors fuse the consumer exactly as FastqReader fuses
+        // itself (the engine cancels the whole run at this point).
+        match raw.decode(ambiguity) {
+            Ok(record) => records.push(record),
+            Err(err) => {
+                error = Some(format!("{err:?}"));
+                break;
+            }
+        }
+    }
+    (records, error)
+}
+
+/// One synthesized record's text, with injected quirks.
+fn render_record(
+    id: &str,
+    seq: &str,
+    qual_len: usize,
+    crlf: bool,
+    plus_tail: bool,
+    blanks_before: usize,
+) -> String {
+    let eol = if crlf { "\r\n" } else { "\n" };
+    let mut out = String::new();
+    for _ in 0..blanks_before {
+        out.push_str(eol);
+    }
+    out.push('@');
+    out.push_str(id);
+    out.push_str(eol);
+    out.push_str(seq);
+    out.push_str(eol);
+    out.push('+');
+    if plus_tail {
+        out.push_str(id);
+    }
+    out.push_str(eol);
+    out.push_str(&"I".repeat(qual_len));
+    out.push_str(eol);
+    out
+}
+
+proptest! {
+    #[test]
+    fn framer_decode_is_byte_identical_to_the_inline_reader(
+        entries in prop::collection::vec(
+            (
+                "[A-Za-z0-9_.-]{1,8}",        // id
+                "[ACGTN]{1,40}",              // sequence (N exercises ambiguity)
+                0usize..3,                    // quality-length skew
+                any::<bool>(),                // CRLF
+                any::<bool>(),                // '+' separator tail
+                0usize..3,                    // blank lines before the record
+            ),
+            1..5,
+        ),
+        truncate_tail in 0usize..20,
+        block in prop::sample::select(vec![1usize, 2, 3, 7, 17, 64, 4096]),
+        reject in any::<bool>(),
+    ) {
+        let mut text = String::new();
+        for (id, seq, skew, crlf, plus_tail, blanks) in &entries {
+            // Skewed quality lengths produce invalid records on purpose.
+            let qual_len = seq.len().saturating_sub(*skew).max(1);
+            text.push_str(&render_record(id, seq, qual_len, *crlf, *plus_tail, *blanks));
+        }
+        // Truncate the tail to exercise mid-record end of input.
+        let cut = text.len().saturating_sub(truncate_tail);
+        let bytes = &text.as_bytes()[..cut];
+        let ambiguity = if reject {
+            Ambiguity::Reject
+        } else {
+            Ambiguity::Substitute(segram_graph::Base::A)
+        };
+
+        let expected = reader_outcome(bytes, ambiguity);
+        let actual = framer_outcome(bytes, ambiguity, block);
+        prop_assert_eq!(
+            &actual.0, &expected.0,
+            "records diverge at block {}", block
+        );
+        prop_assert_eq!(
+            &actual.1, &expected.1,
+            "errors diverge at block {}", block
+        );
+    }
+
+    #[test]
+    fn framer_never_panics_on_byte_soup(
+        text in "[ -~\r\n]{0,300}",
+        block in 1usize..32,
+    ) {
+        let expected = reader_outcome(text.as_bytes(), Ambiguity::Reject);
+        let actual = framer_outcome(text.as_bytes(), Ambiguity::Reject, block);
+        prop_assert_eq!(actual, expected);
+    }
+}
