@@ -23,6 +23,10 @@
 #                       all four backends diffed across --threads 1 vs 8
 #                       (SAM and GAF), the high-thread-count stress of the
 #                       overlapped pipeline's ordering guarantee
+#  10. persistent-serve `segram index build` -> `map --index` diffed against
+#                       `map --graph`, then a live `segram serve` daemon:
+#                       concurrent requests (one cancelled mid-payload)
+#                       diffed against one-shot output, clean shutdown
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -55,7 +59,8 @@ bench_smoke() {
     local jsonl="$GATE_DIR/bench.jsonl"
     rm -f "$jsonl" BENCH_smoke.json
     SEGRAM_BENCH_SAMPLES=2 SEGRAM_BENCH_JSON="$jsonl" \
-        cargo bench -q -p segram-bench --locked --bench engine --bench sharding \
+        cargo bench -q -p segram-bench --locked \
+        --bench engine --bench sharding --bench persist_serve \
         || return 1
     [ -s "$jsonl" ] || { echo "bench run emitted no JSON lines"; return 1; }
     {
@@ -170,5 +175,76 @@ overlapped_io() {
 }
 
 tier overlapped-io overlapped_io
+
+# ---------------------------------------------------------------------------
+# Persistent-index + serve gate: `segram index build` writes the graph and
+# index to a .sgi once; `segram map --index` must produce bytes identical
+# to `map --graph`; and a live `segram serve` daemon must answer
+# concurrent requests with those same bytes while a third client
+# disconnects mid-payload (cancelling only its own request), then shut
+# down cleanly on QUIT.
+# ---------------------------------------------------------------------------
+serve_gate() {
+    local d="$GATE_DIR/sv"
+    "$SEGRAM" simulate --out-prefix "$d" \
+        --length 30000 --reads 12 --read-len 120 --seed 17 > /dev/null || return 1
+    "$SEGRAM" index build --reference "$d.fa" --vcf "$d.vcf" \
+        --output "$d.sgi" > /dev/null || return 1
+
+    local fmt
+    for fmt in sam gaf; do
+        "$SEGRAM" map --graph "$d.gfa" --reads "$d.fq" --format "$fmt" \
+            --output "$d-graph.$fmt" > /dev/null || return 1
+        "$SEGRAM" map --index "$d.sgi" --reads "$d.fq" --format "$fmt" \
+            --output "$d-index.$fmt" > /dev/null || return 1
+        diff "$d-graph.$fmt" "$d-index.$fmt" \
+            || { echo "$fmt differs between map --graph and map --index"; return 1; }
+        echo "  $fmt: map --index identical to map --graph"
+    done
+
+    "$SEGRAM" serve --index "$d.sgi" --addr 127.0.0.1:0 \
+        --addr-file "$d.addr" --threads 2 --quiet > "$d.serve.log" 2>&1 &
+    local daemon=$!
+    local addr="" i
+    for i in $(seq 1 300); do
+        [ -s "$d.addr" ] && { addr="$(tr -d '\n' < "$d.addr")"; break; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "daemon never wrote $d.addr"
+                        kill "$daemon" 2> /dev/null || true; return 1; }
+
+    # Two full requests and one mid-payload disconnect, all in flight at
+    # once: the survivors must still diff clean against the one-shot run.
+    "$SEGRAM" request --addr "$addr" --reads "$d.fq" --format sam \
+        --output "$d-serve.sam" > /dev/null &
+    local req_sam=$!
+    "$SEGRAM" request --addr "$addr" --reads "$d.fq" --format gaf \
+        --output "$d-serve.gaf" > /dev/null &
+    local req_gaf=$!
+    "$SEGRAM" request --addr "$addr" --reads "$d.fq" --cancel-after 100 \
+        > /dev/null \
+        || { echo "cancel-after request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    wait "$req_sam" || { echo "concurrent sam request failed"
+                         kill "$daemon" 2> /dev/null || true; return 1; }
+    wait "$req_gaf" || { echo "concurrent gaf request failed"
+                         kill "$daemon" 2> /dev/null || true; return 1; }
+    for fmt in sam gaf; do
+        diff "$d-index.$fmt" "$d-serve.$fmt" \
+            || { echo "served $fmt differs from one-shot map --index"
+                 kill "$daemon" 2> /dev/null || true; return 1; }
+        echo "  $fmt: served bytes identical to one-shot map --index"
+    done
+
+    "$SEGRAM" request --addr "$addr" --shutdown > /dev/null \
+        || { echo "shutdown request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    wait "$daemon" || { echo "daemon exited non-zero"; return 1; }
+    grep -q "served" "$d.serve.log" \
+        || { echo "daemon report missing from $d.serve.log"; return 1; }
+    echo "  daemon: $(grep 'served' "$d.serve.log")"
+}
+
+tier persistent-serve serve_gate
 
 echo "CI OK in ${SECONDS}s"

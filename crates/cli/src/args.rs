@@ -13,7 +13,7 @@ pub struct Options {
 }
 
 /// Switches (flags without a value) recognized anywhere.
-const SWITCHES: [&str; 4] = ["help", "both-strands", "lenient", "quiet"];
+const SWITCHES: [&str; 5] = ["help", "both-strands", "lenient", "quiet", "shutdown"];
 
 impl Options {
     /// Parses everything after the subcommand.

@@ -1,5 +1,6 @@
-//! The five subcommands: `construct`, `index`, `map`, `simulate`, and
-//! `eval` (with its `compare` subcommand).
+//! The subcommands: `construct`, `index` (with its `build` subcommand),
+//! `map`, `simulate`, `eval` (with its `compare` subcommand), plus the
+//! daemon pair `serve` / `request` hosted in [`crate::serve`].
 //!
 //! Each command is a pure function from parsed [`Options`] to a
 //! human-readable report string; file I/O happens at the edges so the
@@ -9,7 +10,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use segram_core::{
@@ -18,8 +19,11 @@ use segram_core::{
     SegramMapper, ShardAffinity, ShardedIndex,
 };
 use segram_filter::FilterSpec;
-use segram_graph::{build_graph, gfa, DnaSeq, GenomeGraph, VariantSet};
-use segram_index::{GraphIndex, MinimizerScheme};
+use segram_graph::{build_graph, gfa, ConstructedGraph, DnaSeq, GenomeGraph, VariantSet};
+use segram_index::{
+    frequency_threshold, read_index_file, write_index_file, GraphIndex, MinimizerScheme,
+    PersistedIndex, INDEX_FORMAT_VERSION,
+};
 use segram_io::{
     phred_from_error_rate, read_fasta, read_vcf, write_fasta, write_fastq, write_vcf, Ambiguity,
     FastaRecord, FastqFramer, FastqReader, FastqRecord, GafWriter, RawFastqRecord, SamWriter,
@@ -45,7 +49,11 @@ USAGE:
 COMMANDS:
     construct   Build a genome graph from a FASTA reference and a VCF
     index       Build the minimizer index for a graph and report footprints
+                (`index build`: persist graph + index to a .sgi file)
     map         Map FASTQ reads to a graph, emitting SAM or GAF
+    serve       Long-lived mapping daemon over a persistent .sgi index,
+                multiplexing concurrent requests through one shared engine
+    request     Line-protocol client for `segram serve`
     simulate    Generate a synthetic reference/VCF/graph/reads bundle
     eval        Evaluation harnesses (`eval compare`: same reads through
                 several mapping backends, one comparison table)
@@ -57,7 +65,7 @@ fn read_file(path: &str) -> Result<String, CliError> {
     fs::read_to_string(path).map_err(|e| CliError::io(path, e))
 }
 
-fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+pub(crate) fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
@@ -96,15 +104,14 @@ OPTIONS:
                            VCF records instead of failing
 ";
 
-/// `segram construct`.
-pub fn construct(options: &Options) -> Result<String, CliError> {
-    if options.switch("help") {
-        return Ok(CONSTRUCT_HELP.to_owned());
-    }
-    options.reject_unknown(&["reference", "vcf", "output", "chrom", "lenient"])?;
+/// Shared FASTA(+VCF) → graph front half of `construct` and
+/// `index build`: picks the reference record (`--chrom` or first),
+/// collects its variants, and builds the graph. Returns the record id,
+/// the constructed graph, the variant count, and the VCF-skipped count.
+fn build_reference_graph(
+    options: &Options,
+) -> Result<(String, ConstructedGraph, usize, usize), CliError> {
     let ref_path = options.require("reference")?;
-    let out_path = options.require("output")?;
-
     let records = read_fasta(&read_file(ref_path)?, ambiguity(options))
         .map_err(|e| CliError::format(ref_path, e))?;
     let record = match options.get("chrom") {
@@ -139,11 +146,22 @@ pub fn construct(options: &Options) -> Result<String, CliError> {
 
     let variant_count = variants.len();
     let built = build_graph(&record.seq, variants.into_sorted())?;
+    Ok((record.id.clone(), built, variant_count, skipped))
+}
+
+/// `segram construct`.
+pub fn construct(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(CONSTRUCT_HELP.to_owned());
+    }
+    options.reject_unknown(&["reference", "vcf", "output", "chrom", "lenient"])?;
+    let out_path = options.require("output")?;
+    let (record_id, built, variant_count, skipped) = build_reference_graph(options)?;
     write_file(out_path, &gfa::to_gfa(&built.graph))?;
 
     let stats = built.graph.stats();
     let mut report = String::new();
-    let _ = writeln!(report, "constructed {out_path} from {}:", record.id);
+    let _ = writeln!(report, "constructed {out_path} from {record_id}:");
     let _ = writeln!(
         report,
         "  {} nodes, {} edges, {} characters",
@@ -166,6 +184,11 @@ pub fn construct(options: &Options) -> Result<String, CliError> {
 const INDEX_HELP: &str = "\
 segram index — build the minimizer hash-table index and report the
 Figure 5/6 memory footprints
+
+USAGE:
+    segram index [OPTIONS]          footprint report (below)
+    segram index build [OPTIONS]    persist graph + index to a .sgi file
+                                    (`segram index build --help`)
 
 OPTIONS:
     --graph <graph.gfa>   input graph (required)
@@ -232,6 +255,128 @@ pub fn index(options: &Options) -> Result<String, CliError> {
 }
 
 // ---------------------------------------------------------------------------
+// index build
+// ---------------------------------------------------------------------------
+
+const INDEX_BUILD_HELP: &str = "\
+segram index build — construct the graph and its minimizer index once,
+persist both to a versioned .sgi file (magic + section table + checksums)
+
+`segram map --index ref.sgi` and `segram serve --index ref.sgi` load the
+file instead of re-running construction and indexing; a load round-trips
+byte-identically and a corrupt or truncated file fails with a named
+error, never a panic.
+
+OPTIONS:
+    --reference <ref.fa>  FASTA reference (required)
+    --vcf <vars.vcf>      VCF with variants (optional: none = linear graph)
+    --output <ref.sgi>    output index path (required)
+    --chrom <name>        FASTA record / VCF CHROM to use (default: first)
+    --preset <short|long5|long10>
+                          scheme/bucket/discard defaults (default short)
+    --w <int>             minimizer window override
+    --k <int>             k-mer length override
+    --buckets <int>       log2 bucket-count override
+    --discard <float>     most-frequent-minimizer discard fraction override
+    --lenient             substitute ambiguous bases and skip unsupported
+                          VCF records instead of failing
+";
+
+/// `segram index build`.
+pub fn index_build(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(INDEX_BUILD_HELP.to_owned());
+    }
+    options.reject_unknown(&[
+        "reference",
+        "vcf",
+        "output",
+        "chrom",
+        "preset",
+        "w",
+        "k",
+        "buckets",
+        "discard",
+        "lenient",
+    ])?;
+    let out_path = options.require("output")?;
+    let config = preset(options.get("preset").unwrap_or("short"))?;
+    let w: usize = options.number("w", config.scheme.w)?;
+    let k: usize = options.number("k", config.scheme.k)?;
+    let bucket_bits: u32 = options.number("buckets", config.bucket_bits)?;
+    let discard_frac: f64 = options.number("discard", config.discard_frac)?;
+    if !(1..=32).contains(&bucket_bits) {
+        return Err(CliError::usage("--buckets must be within 1..=32"));
+    }
+    if !(1..=31).contains(&k) || w == 0 {
+        return Err(CliError::usage("--k must be 1..=31 and --w >= 1"));
+    }
+    if !(0.0..=1.0).contains(&discard_frac) {
+        return Err(CliError::usage("--discard must be within 0.0..=1.0"));
+    }
+
+    let (record_id, built, variant_count, _) = build_reference_graph(options)?;
+    let index = GraphIndex::build(&built.graph, MinimizerScheme::new(w, k), bucket_bits);
+    let freq_threshold = frequency_threshold(&index, discard_frac);
+    let footprint = index.footprint();
+    let distinct = index.distinct_minimizers();
+    let persisted = PersistedIndex {
+        graph: built.graph,
+        index,
+        discard_frac,
+        freq_threshold,
+    };
+    let bytes = write_index_file(&persisted, out_path).map_err(|e| CliError::index(out_path, e))?;
+
+    let stats = persisted.graph.stats();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "wrote {out_path}: format v{INDEX_FORMAT_VERSION}, {bytes} bytes"
+    );
+    let _ = writeln!(
+        report,
+        "  graph: {} nodes, {} edges, {} characters from {record_id} \
+         ({} variants embedded)",
+        stats.node_count,
+        stats.edge_count,
+        stats.total_chars,
+        variant_count - built.dropped_variants
+    );
+    let _ = writeln!(
+        report,
+        "  index: <w,k> = <{w},{k}>, 2^{bucket_bits} buckets, {distinct} distinct \
+         minimizers ({} bytes in memory)",
+        footprint.total_bytes()
+    );
+    let _ = writeln!(
+        report,
+        "  frequency threshold {freq_threshold} (discard fraction {discard_frac})"
+    );
+    Ok(report)
+}
+
+/// Loads a persistent `.sgi` index into a ready [`SegramMapper`]. The
+/// scheme, bucket count, and discard fraction recorded in the file
+/// override the preset's (seeding reads the scheme from the index itself;
+/// overriding keeps reports and derived knobs coherent with it).
+pub(crate) fn mapper_from_index_file(
+    path: &str,
+    mut config: SegramConfig,
+) -> Result<SegramMapper, CliError> {
+    let loaded = read_index_file(path).map_err(|e| CliError::index(path, e))?;
+    config.scheme = *loaded.index.scheme();
+    config.bucket_bits = loaded.index.bucket_bits();
+    config.discard_frac = loaded.discard_frac;
+    Ok(SegramMapper::from_parts(
+        Arc::new(loaded.graph),
+        loaded.index,
+        config,
+        loaded.freq_threshold,
+    ))
+}
+
+// ---------------------------------------------------------------------------
 // map
 // ---------------------------------------------------------------------------
 
@@ -243,7 +388,11 @@ by a batched multi-threaded engine; output order is the input order and is
 byte-identical for every --threads and --shards value.
 
 OPTIONS:
-    --graph <graph.gfa>    input graph (required)
+    --graph <graph.gfa>    input graph (one of --graph/--index required)
+    --index <ref.sgi>      persistent index from `segram index build`:
+                           skips construction + indexing entirely (the
+                           file records the scheme, buckets, and discard
+                           fraction; --backend segram, --shards 1 only)
     --reads <reads.fq>     input FASTQ (required)
     --output <path>        output file (default: stdout section of report)
     --format <sam|gaf>     output format (default sam)
@@ -266,7 +415,7 @@ OPTIONS:
     --lenient              substitute ambiguous read bases instead of failing
 ";
 
-fn preset(name: &str) -> Result<SegramConfig, CliError> {
+pub(crate) fn preset(name: &str) -> Result<SegramConfig, CliError> {
     match name {
         "short" => Ok(SegramConfig::short_reads()),
         "long5" => Ok(SegramConfig::long_reads(0.05)),
@@ -291,9 +440,9 @@ fn filter_spec(name: &str) -> Result<Option<FilterSpec>, CliError> {
     }
 }
 
-/// Worker-thread count for `segram map`: `--threads N` with `N >= 1`, or
-/// every available core when the option is absent.
-fn thread_count(options: &Options) -> Result<usize, CliError> {
+/// Worker-thread count for `segram map` / `segram serve`: `--threads N`
+/// with `N >= 1`, or every available core when the option is absent.
+pub(crate) fn thread_count(options: &Options) -> Result<usize, CliError> {
     match options.get("threads") {
         None => Ok(std::thread::available_parallelism()
             .map(|n| n.get())
@@ -363,6 +512,13 @@ fn shard_count(options: &Options) -> Result<usize, CliError> {
             ))),
         },
     }
+}
+
+/// Where `segram map` gets its graph + index from: a GFA file (construct
+/// the index now) or a persistent `.sgi` file (load both).
+enum MapSource<'a> {
+    Graph(&'a str),
+    Index(&'a str),
 }
 
 /// Where the streamed output records go: a buffered file or an in-memory
@@ -517,13 +673,12 @@ fn run_map_stream<M: ReadMapper>(
     };
 
     // Worker-stage decode: FASTQ parsing happens on the mapping threads,
-    // timed into `MapStats::decode`. Of the errors actually observed, the
-    // one from the earliest record wins, so multi-threaded runs report
-    // stably when failures land in the same decode window. (Cancellation
-    // may stop a *later-queued but earlier-positioned* record from being
-    // decoded at all — prompt stopping is the point — so the reported
-    // error names a real malformed record with its exact line, though not
-    // necessarily the file's first.)
+    // timed into `MapStats::decode`. The earliest failing record wins the
+    // slot, and the engine settles in-flight batches decode-only when a
+    // decode failure cancels the run, so every record before the observed
+    // failure is guaranteed to reach this closure: the reported error is
+    // deterministically the file's *first* malformed record, whatever the
+    // thread count or worker interleaving.
     let decode_ambiguity = ambiguity(options);
     let decode_error: Mutex<Option<(usize, StreamError)>> = Mutex::new(None);
     let decode = |raw: RawFastqRecord| match raw.decode(decode_ambiguity) {
@@ -639,6 +794,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     }
     options.reject_unknown(&[
         "graph",
+        "index",
         "reads",
         "output",
         "format",
@@ -650,7 +806,17 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "both-strands",
         "lenient",
     ])?;
-    let graph_path = options.require("graph")?;
+    let source = match (options.get("graph"), options.get("index")) {
+        (Some(graph), None) => MapSource::Graph(graph),
+        (None, Some(index)) => MapSource::Index(index),
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage(
+                "--graph and --index are mutually exclusive (the .sgi file \
+                 already contains the graph)",
+            ))
+        }
+        (None, None) => return Err(CliError::usage("one of --graph or --index is required")),
+    };
     let reads_path = options.require("reads")?;
     let format = options.get("format").unwrap_or("sam");
     if format != "sam" && format != "gaf" {
@@ -670,42 +836,79 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     let both = options.switch("both-strands");
     let out_path = options.get("output");
 
-    let graph = load_graph(graph_path)?;
-    let (run, shard_section) = if backend != BackendKind::Segram {
-        // A baseline backend: same engine, same streaming output path, so
-        // the run is directly comparable to (and diffable against) the
-        // native one.
-        let mapper = Backend::build(backend, graph, config, 1);
-        let run = run_map_stream(
-            &mapper, None, threads, both, options, format, reads_path, out_path,
-        )?;
-        (run, String::new())
-    } else if shards <= 1 {
-        let mapper = SegramMapper::new(graph, config);
-        let run = run_map_stream(
-            &mapper, None, threads, both, options, format, reads_path, out_path,
-        )?;
-        (run, String::new())
-    } else {
-        let sharded = ShardedIndex::build(graph, config, shards);
-        let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
-        let run = run_map_stream(
-            &sharded,
-            Some(affinity),
-            threads,
-            both,
-            options,
-            format,
-            reads_path,
-            out_path,
-        )?;
-        let section = shard_report(&sharded, run.affinity.as_ref());
-        (run, section)
+    let (run, shard_section, source_note) = match source {
+        MapSource::Index(index_path) => {
+            // A persistent index is monolithic and native-only: reject the
+            // flag combinations that would need a rebuild from the GFA.
+            if options.get("shards").is_some() {
+                return Err(CliError::usage(
+                    "--shards requires --graph (the persistent index is \
+                     monolithic; shard from the GFA instead)",
+                ));
+            }
+            if backend != BackendKind::Segram {
+                return Err(CliError::usage(format!(
+                    "--index only applies to --backend segram (the .sgi file \
+                     holds the SeGraM index); use --graph for --backend {}",
+                    backend.name()
+                )));
+            }
+            let mapper = mapper_from_index_file(index_path, config)?;
+            let run = run_map_stream(
+                &mapper, None, threads, both, options, format, reads_path, out_path,
+            )?;
+            (
+                run,
+                String::new(),
+                format!("loaded persistent index {index_path}\n"),
+            )
+        }
+        MapSource::Graph(graph_path) => {
+            let graph = load_graph(graph_path)?;
+            if backend != BackendKind::Segram {
+                // A baseline backend: same engine, same streaming output
+                // path, so the run is directly comparable to (and diffable
+                // against) the native one.
+                let mapper = Backend::build(backend, graph, config, 1);
+                let run = run_map_stream(
+                    &mapper, None, threads, both, options, format, reads_path, out_path,
+                )?;
+                (run, String::new(), String::new())
+            } else if shards <= 1 {
+                let mapper = SegramMapper::new(graph, config);
+                let run = run_map_stream(
+                    &mapper, None, threads, both, options, format, reads_path, out_path,
+                )?;
+                (run, String::new(), String::new())
+            } else {
+                let sharded = ShardedIndex::build(graph, config, shards);
+                if sharded.shards().len() < shards {
+                    eprintln!(
+                        "warning: --shards {shards} exceeds the reference length; \
+                         clamped to {} non-empty coordinate ranges",
+                        sharded.shards().len()
+                    );
+                }
+                let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
+                let run = run_map_stream(
+                    &sharded,
+                    Some(affinity),
+                    threads,
+                    both,
+                    options,
+                    format,
+                    reads_path,
+                    out_path,
+                )?;
+                let section = shard_report(&sharded, run.affinity.as_ref());
+                (run, section, String::new())
+            }
+        }
     };
 
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let stats = run.report;
-    let mut report = String::new();
+    let mut report = source_note;
     let _ = writeln!(
         report,
         "mapped {}/{} reads ({} regions aligned, {} filtered)",
@@ -1135,11 +1338,22 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     if command == "eval" {
         return eval(rest);
     }
+    // Likewise `index build`; a bare `index` stays the footprint report.
+    if command == "index" {
+        if let Some((sub, tail)) = rest.split_first() {
+            if sub == "build" {
+                let options = Options::parse(tail)?;
+                return index_build(&options);
+            }
+        }
+    }
     let options = Options::parse(rest)?;
     match command.as_str() {
         "construct" => construct(&options),
         "index" => index(&options),
         "map" => map(&options),
+        "serve" => crate::serve::serve(&options),
+        "request" => crate::serve::request(&options),
         "simulate" => simulate(&options),
         "--help" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(

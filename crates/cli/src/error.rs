@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use segram_graph::GraphError;
+use segram_index::PersistError;
 use segram_io::FormatError;
 
 /// Errors surfaced to the terminal by the `segram` binary.
@@ -27,6 +28,18 @@ pub enum CliError {
     },
     /// A graph operation failed (construction, topological sort, ...).
     Graph(GraphError),
+    /// A persistent `.sgi` index file could not be loaded or written
+    /// (corrupt, truncated, or version-skewed — never a panic).
+    Index {
+        /// The index file involved.
+        path: String,
+        /// The named persistence error.
+        source: PersistError,
+    },
+    /// A `segram serve` / `segram request` protocol failure: the server
+    /// refused (`BUSY`), reported an error (`ERR`), or answered something
+    /// the client does not understand.
+    Server(String),
 }
 
 impl CliError {
@@ -51,6 +64,23 @@ impl CliError {
         }
     }
 
+    /// Wraps a persistence error with its path; plain I/O failures fold
+    /// into [`CliError::Io`] so missing-file messages stay uniform.
+    pub fn index(path: impl Into<String>, source: PersistError) -> Self {
+        match source {
+            PersistError::Io(err) => Self::io(path, err),
+            other => Self::Index {
+                path: path.into(),
+                source: other,
+            },
+        }
+    }
+
+    /// Convenience constructor for serve-protocol errors.
+    pub fn server(message: impl Into<String>) -> Self {
+        Self::Server(message.into())
+    }
+
     /// The conventional process exit code for this error class.
     pub fn exit_code(&self) -> i32 {
         match self {
@@ -67,6 +97,8 @@ impl fmt::Display for CliError {
             Self::Io { path, source } => write!(f, "{path}: {source}"),
             Self::Format { path, source } => write!(f, "{path}: {source}"),
             Self::Graph(err) => write!(f, "graph error: {err}"),
+            Self::Index { path, source } => write!(f, "{path}: {source}"),
+            Self::Server(message) => write!(f, "server error: {message}"),
         }
     }
 }
@@ -78,6 +110,8 @@ impl Error for CliError {
             Self::Io { source, .. } => Some(source),
             Self::Format { source, .. } => Some(source),
             Self::Graph(err) => Some(err),
+            Self::Index { source, .. } => Some(source),
+            Self::Server(_) => None,
         }
     }
 }

@@ -5,15 +5,18 @@
 //! the workspace crates together along the paper's pipeline (Figure 2):
 //!
 //! ```text
-//! segram construct  reference.fa + variants.vcf          -> graph.gfa   (step 0.1)
-//! segram index      graph.gfa                            -> footprint   (step 0.2)
-//! segram map        graph.gfa + reads.fq                 -> SAM / GAF   (steps 1-3)
-//! segram simulate   synthetic ref/VCF/graph/reads bundle (Section 10 stand-in)
+//! segram construct    reference.fa + variants.vcf          -> graph.gfa   (step 0.1)
+//! segram index        graph.gfa                            -> footprint   (step 0.2)
+//! segram index build  reference.fa + variants.vcf          -> ref.sgi     (persistent index)
+//! segram map          graph.gfa|ref.sgi + reads.fq         -> SAM / GAF   (steps 1-3)
+//! segram serve        ref.sgi                              -> mapping daemon (TCP)
+//! segram request      reads.fq -> daemon                   -> SAM / GAF
+//! segram simulate     synthetic ref/VCF/graph/reads bundle (Section 10 stand-in)
 //! ```
 //!
-//! The command implementations live in [`commands`] as plain functions so
-//! integration tests can call them without spawning processes; `main` is a
-//! thin dispatcher.
+//! The command implementations live in [`commands`] (and the daemon pair
+//! in `serve`) as plain functions so integration tests can call them
+//! without spawning processes; `main` is a thin dispatcher.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -21,6 +24,7 @@
 mod args;
 pub mod commands;
 mod error;
+mod serve;
 
 pub use args::Options;
 pub use commands::{dispatch, USAGE};

@@ -1,0 +1,622 @@
+//! `segram serve` and `segram request`: the long-lived mapping daemon and
+//! its minimal line-protocol client.
+//!
+//! The daemon loads a persistent `.sgi` index once (the expensive part of
+//! every `segram map` run), then multiplexes N concurrent map requests
+//! through one shared [`MultiEngine`]: per-request cancellation (a client
+//! disconnect cancels only that request), per-request ordered output, and
+//! queued-batch admission control (`BUSY` replies past the limit).
+//!
+//! ## Wire protocol (one request per TCP connection, line-framed)
+//!
+//! ```text
+//! client:  MAP <sam|gaf> <payload-bytes>\n   then exactly that many
+//!          bytes of FASTQ, or
+//!          QUIT\n                            stop the daemon
+//! server:  OK\n                              request accepted + mapped,
+//!          CHUNK <len>\n + <len> bytes       output document pieces,
+//!          END reads=<n> mapped=<m>\n        request complete; or
+//!          BUSY <queued-batches>\n           admission refused, or
+//!          ERR <message>\n                   malformed request/input, or
+//!          BYE\n                             QUIT acknowledged
+//! ```
+//!
+//! A request's output document is byte-identical to a one-shot
+//! `segram map --index ref.sgi` over the same reads — `ci.sh`'s serve
+//! tier diffs exactly that.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use segram_core::{
+    gaf_record_for, sam_record_for, MultiConfig, MultiEngine, RequestHandle, SegramMapper,
+};
+use segram_graph::{DnaSeq, GenomeGraph};
+use segram_io::{Ambiguity, FastqReader, FastqRecord, GafWriter, SamWriter};
+
+use crate::args::Options;
+use crate::commands::{mapper_from_index_file, preset, thread_count, write_file};
+use crate::error::CliError;
+
+/// Reads per engine batch: small enough that a request's first outputs
+/// stream back while its payload is still arriving.
+const SERVE_BATCH: usize = 32;
+
+/// Maximum bytes per `CHUNK` reply line.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+const SERVE_HELP: &str = "\
+segram serve — long-lived mapping daemon over a persistent .sgi index
+
+Loads the index once, then answers concurrent `segram request` calls
+through one shared multi-request engine: per-request cancellation (a
+client disconnect cancels only that request), per-request ordered output
+(byte-identical to a one-shot `segram map --index`), round-robin
+fairness, and queued-batch admission control (BUSY past the limit).
+Stops when a client sends QUIT (`segram request --shutdown`).
+
+OPTIONS:
+    --index <ref.sgi>      persistent index from `segram index build`
+                           (required)
+    --addr <host:port>     listen address (default 127.0.0.1:0 = any free
+                           port; the chosen address is printed as
+                           `listening on <addr>`)
+    --addr-file <path>     also write the chosen address to this file
+                           (for scripts that need to find the port)
+    --threads <int>        worker threads (default: all available cores)
+    --queue-depth <int>    per-request input-queue capacity in batches
+                           (default 2 x threads)
+    --max-queued <int>     total queued batches before new requests are
+                           refused BUSY (default 4 x queue depth)
+    --preset <short|long5|long10>
+                           mapper preset for thresholds (default short;
+                           scheme/buckets/discard come from the .sgi file)
+    --both-strands         also try each read's reverse complement
+    --quiet                suppress per-request log lines on stderr
+";
+
+const REQUEST_HELP: &str = "\
+segram request — line-protocol client for `segram serve`
+
+Sends one FASTQ payload, receives the mapped SAM/GAF document. With
+--cancel-after it instead disconnects mid-payload, which makes the
+server cancel just that request (the test hook for cancellation
+isolation). With --shutdown it asks the daemon to stop.
+
+OPTIONS:
+    --addr <host:port>     server address (required; the daemon prints it)
+    --reads <reads.fq>     input FASTQ (required unless --shutdown)
+    --format <sam|gaf>     output format (default sam)
+    --output <path>        write the returned document here (default:
+                           stdout section of report)
+    --cancel-after <int>   send only this many payload bytes, then
+                           disconnect without reading a reply
+    --shutdown             send QUIT instead of a mapping request
+";
+
+fn seq_of(record: &FastqRecord) -> &DnaSeq {
+    &record.seq
+}
+
+/// Validated output format of one request.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WireFormat {
+    Sam,
+    Gaf,
+}
+
+impl WireFormat {
+    fn parse(name: &str) -> Option<Self> {
+        match name {
+            "sam" => Some(Self::Sam),
+            "gaf" => Some(Self::Gaf),
+            _ => None,
+        }
+    }
+}
+
+/// Lifetime counters the daemon reports when it exits.
+#[derive(Default)]
+struct ServeStats {
+    served: AtomicU64,
+    cancelled: AtomicU64,
+    refused: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// What the accept loop should do after a connection is handled.
+enum Control {
+    Continue,
+    Quit,
+}
+
+/// A reader that counts how many payload bytes actually arrived, so a
+/// short payload (the client vanished mid-transfer) is distinguishable
+/// from a complete one that merely ended at a record boundary.
+struct CountingReader<R> {
+    inner: R,
+    seen: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.seen.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// `segram serve`.
+pub fn serve(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(SERVE_HELP.to_owned());
+    }
+    options.reject_unknown(&[
+        "index",
+        "addr",
+        "addr-file",
+        "threads",
+        "queue-depth",
+        "max-queued",
+        "preset",
+        "both-strands",
+        "quiet",
+    ])?;
+    let index_path = options.require("index")?;
+    let addr = options.get("addr").unwrap_or("127.0.0.1:0");
+    let threads = thread_count(options)?;
+    let queue_depth: usize = options.number("queue-depth", 0)?;
+    let max_queued: usize = options.number("max-queued", 0)?;
+    let config = preset(options.get("preset").unwrap_or("short"))?;
+    let quiet = options.switch("quiet");
+
+    let mapper = mapper_from_index_file(index_path, config)?;
+    let graph = mapper.shared_graph();
+    let engine = MultiEngine::new(
+        Arc::new(mapper),
+        seq_of,
+        MultiConfig {
+            threads,
+            queue_depth,
+            max_queued,
+            both_strands: options.switch("both-strands"),
+        },
+    );
+
+    let listener = TcpListener::bind(addr).map_err(|e| CliError::io(addr, e))?;
+    let local = listener.local_addr().map_err(|e| CliError::io(addr, e))?;
+    // Announce the address *before* blocking in accept: stdout for humans,
+    // --addr-file for scripts and tests that must discover the port.
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = options.get("addr-file") {
+        write_file(path, &format!("{local}\n"))?;
+    }
+
+    let stats = ServeStats::default();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let engine = &engine;
+            let graph = &graph;
+            let stats = &stats;
+            let stop = &stop;
+            scope.spawn(move || {
+                if let Control::Quit = handle_connection(stream, engine, graph, quiet, stats) {
+                    stop.store(true, Ordering::SeqCst);
+                    // The accept loop is blocked in `incoming()`; one
+                    // throwaway connection wakes it to observe `stop`.
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+    });
+    engine.shutdown();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "served {} requests ({} cancelled by clients, {} refused busy, {} failed)",
+        stats.served.load(Ordering::Relaxed),
+        stats.cancelled.load(Ordering::Relaxed),
+        stats.refused.load(Ordering::Relaxed),
+        stats.failed.load(Ordering::Relaxed)
+    );
+    Ok(report)
+}
+
+/// Handles one client connection: parse the header line, then run the
+/// request (or acknowledge QUIT). Reply-side write failures are ignored —
+/// the client is gone, and its request has already been settled.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &MultiEngine<SegramMapper, FastqRecord>,
+    graph: &GenomeGraph,
+    quiet: bool,
+    stats: &ServeStats,
+) -> Control {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".to_owned());
+    let Ok(read_half) = stream.try_clone() else {
+        return Control::Continue;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    let mut header = String::new();
+    if reader.read_line(&mut header).is_err() || header.is_empty() {
+        return Control::Continue;
+    }
+    let header = header.trim_end();
+    if header == "QUIT" {
+        let _ = writer.write_all(b"BYE\n");
+        let _ = writer.flush();
+        if !quiet {
+            eprintln!("serve: shutdown requested by {peer}");
+        }
+        return Control::Quit;
+    }
+
+    match parse_map_header(header) {
+        Err(message) => {
+            let _ = writeln!(writer, "ERR {message}");
+            let _ = writer.flush();
+        }
+        Ok((format, payload_len)) => {
+            handle_map(
+                reader,
+                writer,
+                format,
+                payload_len,
+                engine,
+                graph,
+                &peer,
+                quiet,
+                stats,
+            );
+        }
+    }
+    Control::Continue
+}
+
+/// Parses `MAP <sam|gaf> <payload-bytes>`.
+fn parse_map_header(header: &str) -> Result<(WireFormat, u64), String> {
+    let mut tokens = header.split_whitespace();
+    match tokens.next() {
+        Some("MAP") => {}
+        _ => return Err(format!("unknown command {header:?} (expected MAP or QUIT)")),
+    }
+    let format = tokens
+        .next()
+        .and_then(WireFormat::parse)
+        .ok_or_else(|| format!("bad MAP header {header:?} (expected MAP <sam|gaf> <bytes>)"))?;
+    let len: u64 = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("bad payload length in {header:?}"))?;
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens in {header:?}"));
+    }
+    Ok((format, len))
+}
+
+/// Runs one MAP request end to end: admission, streaming FASTQ decode off
+/// the socket (pushing batches as they parse, so mapping overlaps the
+/// transfer), ordered drain, reply.
+#[allow(clippy::too_many_arguments)]
+fn handle_map(
+    reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+    format: WireFormat,
+    payload_len: u64,
+    engine: &MultiEngine<SegramMapper, FastqRecord>,
+    graph: &GenomeGraph,
+    peer: &str,
+    quiet: bool,
+    stats: &ServeStats,
+) {
+    let mut handle = match engine.open() {
+        Ok(handle) => handle,
+        Err(busy) => {
+            ServeStats::bump(&stats.refused);
+            if !quiet {
+                eprintln!("serve: refused {peer}: {busy}");
+            }
+            // Drain the announced payload before replying: closing the
+            // socket while the client is still sending would RST the BUSY
+            // line away before the client reads it.
+            let _ = std::io::copy(&mut reader.take(payload_len), &mut std::io::sink());
+            let _ = writeln!(writer, "BUSY {}", busy.queued);
+            let _ = writer.flush();
+            return;
+        }
+    };
+    let id = handle.id();
+    if !quiet {
+        eprintln!("serve: request {id} from {peer}: {payload_len} payload bytes");
+    }
+
+    // Input side: decode FASTQ straight off the socket, bounded by the
+    // declared payload length so the parser cannot over-read into a next
+    // request. The byte counter distinguishes "client disconnected
+    // mid-payload" (cancel this request only) from a complete payload.
+    let seen = Arc::new(AtomicU64::new(0));
+    let mut limited = BufReader::new(CountingReader {
+        inner: reader.take(payload_len),
+        seen: Arc::clone(&seen),
+    });
+    let mut decode_failure: Option<String> = None;
+    let mut batch: Vec<FastqRecord> = Vec::with_capacity(SERVE_BATCH);
+    for record in FastqReader::new(&mut limited, Ambiguity::Reject) {
+        match record {
+            Ok(record) => {
+                batch.push(record);
+                if batch.len() == SERVE_BATCH && !handle.push(std::mem::take(&mut batch)) {
+                    break;
+                }
+            }
+            Err(err) => {
+                decode_failure = Some(err.to_string());
+                break;
+            }
+        }
+    }
+    if decode_failure.is_none() && !batch.is_empty() {
+        handle.push(std::mem::take(&mut batch));
+    }
+
+    let short_payload = seen.load(Ordering::Relaxed) < payload_len;
+    if !short_payload {
+        // Drain any unparsed remainder (a decode error stops the parser
+        // mid-payload): replying over a socket with unread inbound bytes
+        // risks an RST that discards the reply in flight.
+        let _ = std::io::copy(&mut limited, &mut std::io::sink());
+    }
+    if short_payload || decode_failure.is_some() {
+        // Cancel *this* request: queued and in-flight batches wind down,
+        // every other request is untouched.
+        handle.cancel();
+        ServeStats::bump(&stats.cancelled);
+        if let Some(message) = decode_failure {
+            let _ = writeln!(writer, "ERR {message}");
+            let _ = writer.flush();
+        }
+        if !quiet {
+            eprintln!(
+                "serve: request {id} cancelled ({} of {payload_len} payload bytes)",
+                seen.load(Ordering::Relaxed)
+            );
+        }
+        return;
+    }
+    handle.finish_input();
+
+    // Output side: drain strictly-ordered batches into the same document
+    // writers `segram map` uses, so the reply bytes diff clean against a
+    // one-shot run.
+    match render_document(handle, format, graph) {
+        Ok((document, reads, mapped)) => {
+            ServeStats::bump(&stats.served);
+            if !quiet {
+                eprintln!("serve: request {id} done: {mapped}/{reads} reads mapped");
+            }
+            let _ = writeln!(writer, "OK");
+            for chunk in document.chunks(CHUNK_BYTES) {
+                let _ = writeln!(writer, "CHUNK {}", chunk.len());
+                let _ = writer.write_all(chunk);
+            }
+            let _ = writeln!(writer, "END reads={reads} mapped={mapped}");
+            let _ = writer.flush();
+        }
+        Err(message) => {
+            ServeStats::bump(&stats.failed);
+            if !quiet {
+                eprintln!("serve: request {id} failed: {message}");
+            }
+            let _ = writeln!(writer, "ERR {message}");
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Drains a finished-input request into a rendered SAM/GAF document.
+/// Returns `(document bytes, reads, mapped)`.
+fn render_document(
+    mut handle: RequestHandle<SegramMapper, FastqRecord>,
+    format: WireFormat,
+    graph: &GenomeGraph,
+) -> Result<(Vec<u8>, usize, usize), String> {
+    enum Doc {
+        Sam(SamWriter<Vec<u8>>),
+        Gaf(GafWriter<Vec<u8>>),
+    }
+    let mut doc = match format {
+        WireFormat::Sam => Doc::Sam(
+            SamWriter::new(Vec::new(), "graph", graph.total_chars())
+                .map_err(|e| format!("render failed: {e}"))?,
+        ),
+        WireFormat::Gaf => Doc::Gaf(GafWriter::new(Vec::new())),
+    };
+    while let Some(batch) = handle.next_output() {
+        for (record, outcome) in &batch {
+            let result = match &mut doc {
+                Doc::Sam(w) => {
+                    let rec = sam_record_for(&record.id, &record.seq, outcome);
+                    w.write_line(&rec.to_sam_line()).map_err(|e| e.to_string())
+                }
+                Doc::Gaf(w) => match gaf_record_for(&record.id, &record.seq, graph, outcome) {
+                    Err(e) => Err(e.to_string()),
+                    Ok(None) => Ok(()),
+                    Ok(Some(rec)) => w.write_record(&rec).map_err(|e| e.to_string()),
+                },
+            };
+            if let Err(message) = result {
+                handle.cancel();
+                return Err(format!("render failed: {message}"));
+            }
+        }
+    }
+    let report = handle
+        .finish()
+        .map_err(|p| format!("mapping panicked: {}", p.message))?;
+    let bytes = match doc {
+        Doc::Sam(w) => w.finish(),
+        Doc::Gaf(w) => w.finish(),
+    }
+    .map_err(|e| format!("render failed: {e}"))?;
+    Ok((bytes, report.reads, report.mapped))
+}
+
+/// `segram request`.
+pub fn request(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(REQUEST_HELP.to_owned());
+    }
+    options.reject_unknown(&[
+        "addr",
+        "reads",
+        "format",
+        "output",
+        "cancel-after",
+        "shutdown",
+    ])?;
+    let addr = options.require("addr")?;
+
+    if options.switch("shutdown") {
+        let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
+        let read_half = stream.try_clone().map_err(|e| CliError::io(addr, e))?;
+        let mut writer = BufWriter::new(stream);
+        writer
+            .write_all(b"QUIT\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| CliError::io(addr, e))?;
+        let mut line = String::new();
+        BufReader::new(read_half)
+            .read_line(&mut line)
+            .map_err(|e| CliError::io(addr, e))?;
+        if line.trim_end() != "BYE" {
+            return Err(CliError::server(format!(
+                "unexpected shutdown reply {:?}",
+                line.trim_end()
+            )));
+        }
+        return Ok("server acknowledged shutdown\n".to_owned());
+    }
+
+    let reads_path = options.require("reads")?;
+    let format = options.get("format").unwrap_or("sam");
+    if WireFormat::parse(format).is_none() {
+        return Err(CliError::usage(format!(
+            "unknown format {format:?} (expected sam|gaf)"
+        )));
+    }
+    let payload = std::fs::read(reads_path).map_err(|e| CliError::io(reads_path, e))?;
+
+    let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
+    let read_half = stream.try_clone().map_err(|e| CliError::io(addr, e))?;
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "MAP {format} {}", payload.len()).map_err(|e| CliError::io(addr, e))?;
+
+    if let Some(text) = options.get("cancel-after") {
+        let cut: usize = text
+            .parse()
+            .map_err(|_| CliError::usage(format!("--cancel-after: unparsable value {text:?}")))?;
+        let cut = cut.min(payload.len());
+        writer
+            .write_all(&payload[..cut])
+            .and_then(|()| writer.flush())
+            .map_err(|e| CliError::io(addr, e))?;
+        // Drop both halves: the server sees EOF mid-payload and cancels
+        // only this request.
+        drop(writer);
+        drop(read_half);
+        return Ok(format!(
+            "disconnected after {cut} of {} payload bytes (server cancels this request)\n",
+            payload.len()
+        ));
+    }
+
+    writer
+        .write_all(&payload)
+        .and_then(|()| writer.flush())
+        .map_err(|e| CliError::io(addr, e))?;
+
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| CliError::io(addr, e))?;
+    let status = line.trim_end().to_owned();
+    if let Some(depth) = status.strip_prefix("BUSY ") {
+        return Err(CliError::server(format!(
+            "server busy (queued depth {depth}); retry later"
+        )));
+    }
+    if let Some(message) = status.strip_prefix("ERR ") {
+        return Err(CliError::server(message.to_owned()));
+    }
+    if status != "OK" {
+        return Err(CliError::server(format!("unexpected reply {status:?}")));
+    }
+
+    let mut document: Vec<u8> = Vec::new();
+    let summary = loop {
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| CliError::io(addr, e))?;
+        let trimmed = line.trim_end();
+        if let Some(len) = trimmed.strip_prefix("CHUNK ") {
+            let len: usize = len
+                .parse()
+                .map_err(|_| CliError::server(format!("bad chunk length {trimmed:?}")))?;
+            let start = document.len();
+            document.resize(start + len, 0);
+            reader
+                .read_exact(&mut document[start..])
+                .map_err(|e| CliError::io(addr, e))?;
+        } else if let Some(summary) = trimmed.strip_prefix("END ") {
+            break summary.to_owned();
+        } else {
+            return Err(CliError::server(format!("unexpected reply {trimmed:?}")));
+        }
+    };
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "received {} document bytes from {addr} ({summary})",
+        document.len()
+    );
+    match options.get("output") {
+        Some(path) => {
+            // Raw bytes, not a lossy string round-trip: the document must
+            // diff byte-identically against a one-shot `segram map` run.
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
+                }
+            }
+            std::fs::write(path, &document).map_err(|e| CliError::io(path, e))?;
+            let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
+        }
+        None => report.push_str(&String::from_utf8_lossy(&document)),
+    }
+    Ok(report)
+}

@@ -342,6 +342,68 @@ fn failed_map_leaves_no_partial_output_file() {
 }
 
 #[test]
+fn decode_error_reporting_is_deterministic_across_threads() {
+    // Two malformed records — one early, one late — through a
+    // multi-threaded run: whatever the worker interleaving, the engine
+    // settles in-flight decode results on cancellation, so the reported
+    // error must always name the *first* malformed record, exactly as a
+    // serial run does.
+    let dir = TempDir::new("decode-det");
+    let prefix = dir.path("d");
+    run(&[
+        "simulate",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "20000",
+        "--reads",
+        "40",
+        "--read-len",
+        "100",
+        "--seed",
+        "31",
+    ])
+    .expect("simulate");
+
+    let good = fs::read_to_string(format!("{prefix}.fq")).unwrap();
+    let mut lines: Vec<String> = good.lines().map(str::to_owned).collect();
+    assert!(lines.len() >= 4 * 40, "expected 40 four-line records");
+    // Record i occupies lines 4i..4i+4; shorten the quality string of
+    // records 4 and 24 so both fail to decode.
+    lines[4 * 4 + 3].truncate(2);
+    lines[4 * 24 + 3].truncate(2);
+    let bad_path = dir.path("two-bad.fq");
+    fs::write(&bad_path, lines.join("\n") + "\n").unwrap();
+
+    let map_err = |threads: &str, out: &str| {
+        run(&[
+            "map",
+            "--graph",
+            &format!("{prefix}.gfa"),
+            "--reads",
+            &bad_path,
+            "--threads",
+            threads,
+            "--output",
+            &dir.path(out),
+        ])
+        .unwrap_err()
+        .to_string()
+    };
+    // The serial run defines the expected message (it can only ever see
+    // the first malformed record).
+    let expected = map_err("1", "serial.sam");
+    assert!(expected.contains("line"), "{expected}");
+    for attempt in 0..5 {
+        let got = map_err("4", &format!("parallel{attempt}.sam"));
+        assert_eq!(
+            got, expected,
+            "attempt {attempt}: multi-threaded decode error must match the serial one"
+        );
+    }
+}
+
+#[test]
 fn threads_choice_is_reported_and_output_is_thread_invariant() {
     let dir = TempDir::new("threads");
     let prefix = dir.path("t");

@@ -1,0 +1,354 @@
+//! Persistent-index and daemon tests: `index build` -> `map --index`
+//! byte-parity against `map --graph`, named errors on corrupt `.sgi`
+//! files, and a live `segram serve` daemon driven through `segram
+//! request` — round trips, concurrency, mid-payload cancellation
+//! isolation, and shutdown.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use segram_cli::{dispatch, CliError};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("segram-serve-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(args: &[&str]) -> Result<String, CliError> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    dispatch(&owned)
+}
+
+/// Simulates a small bundle and builds its persistent index; returns
+/// `(bundle prefix, .sgi path)`.
+fn build_bundle(dir: &TempDir) -> (String, String) {
+    let prefix = dir.path("bundle");
+    run(&[
+        "simulate",
+        "--out-prefix",
+        &prefix,
+        "--length",
+        "30000",
+        "--reads",
+        "12",
+        "--read-len",
+        "120",
+        "--seed",
+        "7",
+    ])
+    .expect("simulate");
+    let sgi = dir.path("ref.sgi");
+    let report = run(&[
+        "index",
+        "build",
+        "--reference",
+        &format!("{prefix}.fa"),
+        "--vcf",
+        &format!("{prefix}.vcf"),
+        "--output",
+        &sgi,
+    ])
+    .expect("index build");
+    assert!(report.contains("format v"), "{report}");
+    assert!(report.contains("frequency threshold"), "{report}");
+    (prefix, sgi)
+}
+
+/// Polls the daemon's `--addr-file` until it holds a complete address.
+fn wait_for_addr(path: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = fs::read_to_string(path) {
+            if text.ends_with('\n') && !text.trim().is_empty() {
+                return text.trim().to_owned();
+            }
+        }
+        assert!(Instant::now() < deadline, "server never wrote {path}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn map_index_matches_map_graph_byte_for_byte() {
+    let dir = TempDir::new("parity");
+    let (prefix, sgi) = build_bundle(&dir);
+    let reads = format!("{prefix}.fq");
+    let gfa = format!("{prefix}.gfa");
+
+    for format in ["sam", "gaf"] {
+        let from_graph = dir.path(&format!("graph.{format}"));
+        let from_index = dir.path(&format!("index.{format}"));
+        run(&[
+            "map",
+            "--graph",
+            &gfa,
+            "--reads",
+            &reads,
+            "--format",
+            format,
+            "--output",
+            &from_graph,
+        ])
+        .expect("map --graph");
+        let report = run(&[
+            "map",
+            "--index",
+            &sgi,
+            "--reads",
+            &reads,
+            "--format",
+            format,
+            "--output",
+            &from_index,
+        ])
+        .expect("map --index");
+        assert!(report.contains("loaded persistent index"), "{report}");
+        assert_eq!(
+            fs::read(&from_graph).unwrap(),
+            fs::read(&from_index).unwrap(),
+            "{format}: map --index must be byte-identical to map --graph"
+        );
+    }
+}
+
+#[test]
+fn map_index_flag_conflicts_are_usage_errors() {
+    let dir = TempDir::new("conflicts");
+    let sgi = dir.path("ref.sgi");
+    let gfa = dir.path("ref.gfa");
+    let reads = dir.path("reads.fq");
+    // The conflicts are rejected before any file is opened, so the paths
+    // need not exist.
+    let cases: &[(&[&str], &str)] = &[
+        (
+            &["map", "--graph", &gfa, "--index", &sgi, "--reads", &reads],
+            "mutually exclusive",
+        ),
+        (&["map", "--reads", &reads], "one of --graph or --index"),
+        (
+            &["map", "--index", &sgi, "--reads", &reads, "--shards", "2"],
+            "--shards requires --graph",
+        ),
+        (
+            &["map", "--index", &sgi, "--reads", &reads, "--backend", "vg"],
+            "--index only applies to --backend segram",
+        ),
+    ];
+    for (args, needle) in cases {
+        let err = run(args).expect_err("conflict must be rejected");
+        assert_eq!(err.exit_code(), 2, "{args:?}");
+        assert!(err.to_string().contains(needle), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn corrupt_index_files_fail_with_named_errors() {
+    let dir = TempDir::new("corrupt");
+    let (prefix, sgi) = build_bundle(&dir);
+    let reads = format!("{prefix}.fq");
+    let bytes = fs::read(&sgi).unwrap();
+
+    // Wrong magic: not a segram index at all.
+    let bad = dir.path("bad.sgi");
+    let mut mutated = bytes.clone();
+    mutated[0] ^= 0xFF;
+    fs::write(&bad, &mutated).unwrap();
+    let err = run(&["map", "--index", &bad, "--reads", &reads]).expect_err("bad magic");
+    assert_eq!(err.exit_code(), 1);
+    assert!(err.to_string().contains("not a segram index file"), "{err}");
+
+    // Truncated to half: the section table points past the end.
+    let trunc = dir.path("trunc.sgi");
+    fs::write(&trunc, &bytes[..bytes.len() / 2]).unwrap();
+    let err = run(&["map", "--index", &trunc, "--reads", &reads]).expect_err("truncated");
+    assert_eq!(err.exit_code(), 1);
+    let message = err.to_string();
+    assert!(
+        message.contains("truncated")
+            || message.contains("checksum")
+            || message.contains("corrupt"),
+        "{message}"
+    );
+
+    // One flipped payload byte: the section checksum catches it.
+    let flipped = dir.path("flipped.sgi");
+    let mut mutated = bytes.clone();
+    let last = mutated.len() - 1;
+    mutated[last] ^= 0xFF;
+    fs::write(&flipped, &mutated).unwrap();
+    let err = run(&["map", "--index", &flipped, "--reads", &reads]).expect_err("flipped byte");
+    assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+    // Empty file.
+    let empty = dir.path("empty.sgi");
+    fs::write(&empty, b"").unwrap();
+    let err = run(&["map", "--index", &empty, "--reads", &reads]).expect_err("empty file");
+    assert!(err.to_string().contains("truncated"), "{err}");
+}
+
+#[test]
+fn serve_daemon_round_trips_cancels_and_shuts_down() {
+    let dir = TempDir::new("daemon");
+    let (prefix, sgi) = build_bundle(&dir);
+    let reads = format!("{prefix}.fq");
+
+    // One-shot references the daemon's replies must match byte-for-byte.
+    let want_sam = dir.path("want.sam");
+    let want_gaf = dir.path("want.gaf");
+    for (format, path) in [("sam", &want_sam), ("gaf", &want_gaf)] {
+        run(&[
+            "map", "--index", &sgi, "--reads", &reads, "--format", format, "--output", path,
+        ])
+        .expect("one-shot map --index");
+    }
+
+    let addr_file = dir.path("addr");
+    let serve_args: Vec<String> = [
+        "serve",
+        "--index",
+        &sgi,
+        "--addr",
+        "127.0.0.1:0",
+        "--addr-file",
+        &addr_file,
+        "--threads",
+        "2",
+        "--quiet",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server = std::thread::spawn(move || dispatch(&serve_args));
+    let addr = wait_for_addr(&addr_file);
+
+    // 1. Single round trip: reply bytes identical to the one-shot run.
+    let got_sam = dir.path("got.sam");
+    let report = run(&[
+        "request", "--addr", &addr, "--reads", &reads, "--format", "sam", "--output", &got_sam,
+    ])
+    .expect("request sam");
+    assert!(report.contains("reads=12"), "{report}");
+    assert_eq!(
+        fs::read(&want_sam).unwrap(),
+        fs::read(&got_sam).unwrap(),
+        "served SAM must match one-shot map --index"
+    );
+
+    // 2. Concurrent requests (sam + gaf) through the shared engine: both
+    //    documents must come back unmixed and byte-identical.
+    let concurrent_sam = dir.path("concurrent.sam");
+    let concurrent_gaf = dir.path("concurrent.gaf");
+    let mut workers = Vec::new();
+    for (format, output) in [("sam", &concurrent_sam), ("gaf", &concurrent_gaf)] {
+        let args: Vec<String> = [
+            "request", "--addr", &addr, "--reads", &reads, "--format", format, "--output", output,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        workers.push(std::thread::spawn(move || dispatch(&args)));
+    }
+    for worker in workers {
+        worker
+            .join()
+            .expect("request thread")
+            .expect("concurrent request");
+    }
+    assert_eq!(
+        fs::read(&want_sam).unwrap(),
+        fs::read(&concurrent_sam).unwrap(),
+        "concurrent SAM request must not interleave with the GAF one"
+    );
+    assert_eq!(
+        fs::read(&want_gaf).unwrap(),
+        fs::read(&concurrent_gaf).unwrap(),
+        "concurrent GAF request must not interleave with the SAM one"
+    );
+
+    // 3. A client that disconnects mid-payload cancels only its own
+    //    request; the next request is served normally.
+    let report = run(&[
+        "request",
+        "--addr",
+        &addr,
+        "--reads",
+        &reads,
+        "--cancel-after",
+        "100",
+    ])
+    .expect("cancel-after");
+    assert!(report.contains("disconnected after 100"), "{report}");
+    let after_cancel = dir.path("after-cancel.gaf");
+    run(&[
+        "request",
+        "--addr",
+        &addr,
+        "--reads",
+        &reads,
+        "--format",
+        "gaf",
+        "--output",
+        &after_cancel,
+    ])
+    .expect("request after cancellation");
+    assert_eq!(
+        fs::read(&want_gaf).unwrap(),
+        fs::read(&after_cancel).unwrap(),
+        "a cancelled request must not corrupt later ones"
+    );
+
+    // 4. A malformed payload earns an ERR reply, surfaced as a server
+    //    error (exit code 1), and the daemon keeps running.
+    let bad_reads = dir.path("bad.fq");
+    fs::write(&bad_reads, "this is not fastq\n").unwrap();
+    let err =
+        run(&["request", "--addr", &addr, "--reads", &bad_reads]).expect_err("malformed payload");
+    assert_eq!(err.exit_code(), 1);
+    assert!(
+        matches!(err, CliError::Server(_)),
+        "expected a server error, got {err}"
+    );
+
+    // 5. Shutdown: QUIT is acknowledged, the daemon exits, and its report
+    //    accounts for every request above.
+    let report = run(&["request", "--addr", &addr, "--shutdown"]).expect("shutdown");
+    assert!(report.contains("server acknowledged shutdown"), "{report}");
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("serve exits cleanly");
+    assert!(
+        report.contains("served 4 requests (2 cancelled by clients, 0 refused busy, 0 failed)"),
+        "{report}"
+    );
+}
+
+#[test]
+fn new_commands_answer_help() {
+    for args in [
+        &["index", "build", "--help"][..],
+        &["serve", "--help"][..],
+        &["request", "--help"][..],
+    ] {
+        let text = run(args).expect("help");
+        assert!(text.contains("OPTIONS"), "{args:?}: {text}");
+    }
+}

@@ -73,13 +73,17 @@ impl CancelToken {
     }
 
     /// Raises the flag on every clone of this token. Idempotent.
+    ///
+    /// Sequentially consistent so that anything stored before the cancel
+    /// (e.g. the engine's decode-failure flag, or an embedder's error
+    /// slot) is visible to every thread that observes the cancellation.
     pub fn cancel(&self) {
-        self.cancelled.store(true, Ordering::Relaxed);
+        self.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Whether any clone has been cancelled.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Relaxed)
+        self.cancelled.load(Ordering::SeqCst)
     }
 }
 
@@ -140,7 +144,9 @@ impl Default for EngineConfig {
 /// Poison-tolerant lock: a panicking thread is already captured by the
 /// engine's first-failure slot, so other threads keep the lock usable
 /// instead of dying on the poison flag (the cascade this replaces).
-fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+/// Crate-visible because the multi-request engine shares the failure
+/// model.
+pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -245,6 +251,13 @@ pub struct QueueStats {
     pub writer_waits: u64,
     /// Total time the writer thread spent blocked on an empty channel.
     pub writer_wait: Duration,
+    /// Times a worker genuinely parked on a full reorder buffer (ran too
+    /// far ahead of a slow batch). One parked period counts once, however
+    /// many 50 ms cancellation-poll wakeups it spans — so the counter
+    /// stays an honest backpressure signal for admission control.
+    pub park_waits: u64,
+    /// Total time workers spent parked on a full reorder buffer.
+    pub park_wait: Duration,
 }
 
 /// Worker-to-shard ownership *plan* plus per-group batch accounting:
@@ -625,6 +638,17 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
         let released = Condvar::new();
         let failure = FirstFailure::default();
         let mapped_batches = AtomicUsize::new(0);
+        // Raised (before `cancel`, which is SeqCst) when a decode failure
+        // stopped the run. Workers that observe the cancellation then
+        // *settle* still-queued batches decode-only instead of dropping
+        // them blind, so the decoder's error recording deterministically
+        // covers every record up to and including the file's first
+        // malformed one — whatever the worker interleaving.
+        let decode_failed = AtomicBool::new(false);
+        // Reorder-park accounting (one count per genuine parked period;
+        // see `QueueStats::park_waits`).
+        let park_waits = AtomicU64::new(0);
+        let park_wait_ns = AtomicU64::new(0);
         let decode = &decode;
         let read_of = &read_of;
         let mut produced = 0usize;
@@ -637,6 +661,7 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                 let out_queue = &out_queue;
                 let queue = &queue;
                 let failure = &failure;
+                let released = &released;
                 let mut sink = sink;
                 scope.spawn(move || {
                     while let Some(batch) = out_queue.pop() {
@@ -650,6 +675,10 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                             cancel.cancel();
                             out_queue.close();
                             queue.close();
+                            // Wake workers parked on the reorder buffer so
+                            // they observe the cancellation now instead of
+                            // at the next 50 ms poll.
+                            released.notify_all();
                             break;
                         }
                     }
@@ -664,6 +693,9 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                     let released = &released;
                     let failure = &failure;
                     let mapped_batches = &mapped_batches;
+                    let decode_failed = &decode_failed;
+                    let park_waits = &park_waits;
+                    let park_wait_ns = &park_wait_ns;
                     let affinity = self.affinity.as_ref();
                     scope.spawn(move || {
                         // Unblocks the producer and fellow workers if this
@@ -677,8 +709,25 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                         let _close_guard = CloseOnDrop(queue);
                         while let Some((index, raws)) = queue.pop() {
                             if cancel.is_cancelled() {
-                                // Drain-and-drop: the producer is already
-                                // stopping; queued batches are not mapped.
+                                // Drain path: the producer is already
+                                // stopping and queued batches are not
+                                // mapped. If the stop was a decode
+                                // failure, settle the batch decode-only —
+                                // the decoder records errors out of band,
+                                // and the producer pushed batches in file
+                                // order, so settling every queued batch
+                                // guarantees the earliest recorded error
+                                // is the file's *first* malformed record.
+                                if decode_failed.load(Ordering::SeqCst) {
+                                    let result = catch_unwind(AssertUnwindSafe(|| {
+                                        for raw in raws {
+                                            let _ = decode(raw);
+                                        }
+                                    }));
+                                    if let Err(payload) = result {
+                                        failure.record(payload);
+                                    }
+                                }
                                 continue;
                             }
                             if let Some(affinity) = affinity {
@@ -690,15 +739,34 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                 // Decode + map: the parallel stage.
                                 let mut outcomes: Vec<(T, ReadOutcome)> =
                                     Vec::with_capacity(raws.len());
+                                let mut settling = false;
                                 for raw in raws {
-                                    if cancel.is_cancelled() {
-                                        return false;
+                                    if !settling && cancel.is_cancelled() {
+                                        if decode_failed.load(Ordering::SeqCst) {
+                                            // Another worker hit a decode
+                                            // failure: finish this batch
+                                            // decode-only (see the drain
+                                            // path above) so error
+                                            // reporting stays
+                                            // deterministic.
+                                            settling = true;
+                                        } else {
+                                            return false;
+                                        }
+                                    }
+                                    if settling {
+                                        let _ = decode(raw);
+                                        continue;
                                     }
                                     let started = Instant::now();
                                     let Some(item) = decode(raw) else {
                                         // The decoder records its own
                                         // error; stopping the run is the
-                                        // engine's job.
+                                        // engine's job. Everything after
+                                        // this record is later in the
+                                        // file, so nothing here needs
+                                        // settling.
+                                        decode_failed.store(true, Ordering::SeqCst);
                                         cancel.cancel();
                                         return false;
                                     };
@@ -706,6 +774,9 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                     let mut outcome = self.map_one(read_of(&item));
                                     outcome.stats.decode = decode_time;
                                     outcomes.push((item, outcome));
+                                }
+                                if settling {
+                                    return false;
                                 }
                                 mapped_batches.fetch_add(1, Ordering::Relaxed);
                                 // Reorder bookkeeping: the lock covers map
@@ -715,18 +786,39 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                 let mut guard = relock(reorder);
                                 // Backpressure: the worker owning batch
                                 // `next` is never parked here, so release
-                                // always advances. The wait is bounded so
-                                // a cancellation (which has no handle on
-                                // this condvar) cannot strand a parked
-                                // worker.
-                                while index >= guard.next + max_ahead {
-                                    if cancel.is_cancelled() {
-                                        return false;
+                                // always advances. The wait is timed out
+                                // as a safety net so a cancellation path
+                                // without a handle on this condvar cannot
+                                // strand a parked worker — but one parked
+                                // period is *one* stall, however many
+                                // timeout wakeups it spans: admission
+                                // control reads these counters, and
+                                // counting poll wakeups would inflate
+                                // them ~20×/s per parked worker.
+                                if index >= guard.next + max_ahead {
+                                    let blocked = Instant::now();
+                                    let mut parked = false;
+                                    let record = |since: Instant| {
+                                        park_waits.fetch_add(1, Ordering::Relaxed);
+                                        park_wait_ns.fetch_add(
+                                            since.elapsed().as_nanos() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                    };
+                                    while index >= guard.next + max_ahead {
+                                        if cancel.is_cancelled() {
+                                            if parked {
+                                                record(blocked);
+                                            }
+                                            return false;
+                                        }
+                                        parked = true;
+                                        guard = released
+                                            .wait_timeout(guard, Duration::from_millis(50))
+                                            .unwrap_or_else(PoisonError::into_inner)
+                                            .0;
                                     }
-                                    guard = released
-                                        .wait_timeout(guard, Duration::from_millis(50))
-                                        .unwrap_or_else(PoisonError::into_inner)
-                                        .0;
+                                    record(blocked);
                                 }
                                 let state = &mut *guard;
                                 state.pending.insert(index, outcomes);
@@ -830,6 +922,8 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
             output_stall_wait: output.producer_wait,
             writer_waits: output.worker_waits,
             writer_wait: output.worker_wait,
+            park_waits: park_waits.load(Ordering::Relaxed),
+            park_wait: Duration::from_nanos(park_wait_ns.load(Ordering::Relaxed)),
             ..input
         };
         report
@@ -1408,6 +1502,145 @@ mod tests {
             report.queue.writer_waits > 0,
             report.queue.writer_wait > Duration::ZERO
         );
+    }
+
+    #[test]
+    fn decode_errors_settle_to_the_files_first_failure() {
+        // Two malformed records (stream indices 5 and 9) in a 16-record
+        // stream, two workers, batch_size 8: one worker is still inside
+        // batch 0 (records 0..8, held open by record 0) when the other
+        // worker's record 9 fails and cancels the run. Before the settle
+        // path, the first worker dropped records 1..8 undecoded on the
+        // cancellation check and the run reported record 9 — the racy
+        // behavior this test pins down.
+        let (dataset, mapper) = setup();
+        let read = dataset.reads[0].seq.clone();
+        for attempt in 0..8 {
+            let cancel = CancelToken::new();
+            let mut config = EngineConfig::with_threads(2).with_cancel(cancel.clone());
+            config.batch_size = 8;
+            config.queue_depth = 4;
+            let engine = MapEngine::new(&mapper, config);
+            let first_error: Mutex<Option<usize>> = Mutex::new(None);
+            let gate = cancel.clone();
+            engine.map_raw_stream(
+                0..16usize,
+                |i| {
+                    if i == 0 {
+                        // Hold batch 0 open until the cancellation fires
+                        // (bounded so a regression cannot hang the test).
+                        let waited = Instant::now();
+                        while !gate.is_cancelled() && waited.elapsed() < Duration::from_secs(2) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    if i == 5 || i == 9 {
+                        // A real decoder keeps the smallest failing line,
+                        // exactly as the CLI's error slot does.
+                        let mut slot = relock(&first_error);
+                        *slot = Some(slot.map_or(i, |prev| prev.min(i)));
+                        return None;
+                    }
+                    Some(read.clone())
+                },
+                |r| r,
+                |_, _| {},
+            );
+            assert_eq!(
+                *relock(&first_error),
+                Some(5),
+                "attempt {attempt}: the settled decode error must be the \
+                 file's first malformed record"
+            );
+        }
+    }
+
+    /// A [`ReadMapper`] that sleeps only on one sentinel read — the tool
+    /// for making exactly one batch slow while the rest of the stream is
+    /// fast (reorder-park scenarios).
+    struct SelectiveSlowMapper {
+        graph: segram_graph::GenomeGraph,
+        slow: DnaSeq,
+        delay: Duration,
+    }
+
+    impl ReadMapper for SelectiveSlowMapper {
+        fn graph(&self) -> &segram_graph::GenomeGraph {
+            &self.graph
+        }
+
+        fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            if *read == self.slow {
+                std::thread::sleep(self.delay);
+            }
+            (None, MapStats::default())
+        }
+
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            let (mapping, stats) = self.map_read(read);
+            (mapping.map(|m| (m, Strand::Forward)), stats)
+        }
+    }
+
+    #[test]
+    fn reorder_park_counts_one_stall_per_period_not_per_poll_wakeup() {
+        // Batch 0 maps for ~400 ms while everything else is instant, so
+        // with queue_depth 1 and 2 threads (max_ahead = 3) the second
+        // worker finishes batches 1 and 2 and then parks on batch 3 for
+        // the rest of the slow batch — a single genuine stall spanning
+        // many 50 ms cancellation-poll wakeups. Counting wakeups instead
+        // of periods would report ~8 stalls here and poison the
+        // admission-control signal.
+        let dataset = DatasetConfig::tiny(97).illumina(100);
+        let slow = dataset.reads[0].seq.clone();
+        let fast = dataset.reads[1].seq.clone();
+        assert_ne!(slow, fast);
+        let mapper = SelectiveSlowMapper {
+            graph: dataset.graph().clone(),
+            slow: slow.clone(),
+            delay: Duration::from_millis(400),
+        };
+        let mut config = EngineConfig::with_threads(2);
+        config.batch_size = 1;
+        config.queue_depth = 1;
+        let engine = MapEngine::new(&mapper, config);
+        let mut reads = vec![slow];
+        reads.extend(std::iter::repeat_with(|| fast.clone()).take(7));
+        let (_, report) = engine.map_batch(&reads);
+        assert!(
+            report.queue.park_waits >= 1,
+            "the second worker must park behind the slow batch: {:?}",
+            report.queue
+        );
+        assert!(
+            report.queue.park_wait >= Duration::from_millis(200),
+            "the park spans most of the slow batch: {:?}",
+            report.queue
+        );
+        // The pinned bug: the parked period above spans at least four
+        // 50 ms poll wakeups; per-wakeup counting would report >= 4.
+        assert!(
+            report.queue.park_waits <= 2,
+            "one parked period must count once, not once per poll wakeup: {:?}",
+            report.queue
+        );
+        // A recorded park implies recorded parked time, and vice versa.
+        assert_eq!(
+            report.queue.park_waits > 0,
+            report.queue.park_wait > Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn unparked_runs_record_no_park_stalls() {
+        // Plenty of reorder headroom: nobody should ever park, so the
+        // counter must stay zero (no spurious counts from the poll loop).
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2));
+        let (_, report) = engine.map_batch(&reads);
+        assert_eq!(report.queue.park_waits, 0, "{:?}", report.queue);
+        assert_eq!(report.queue.park_wait, Duration::ZERO);
     }
 
     #[test]

@@ -34,12 +34,14 @@
 //! [`MapPipeline`].
 
 mod engine;
+mod multi;
 mod router;
 mod stages;
 
 pub use engine::{
     CancelToken, EngineConfig, EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity,
 };
+pub use multi::{EngineBusy, MultiConfig, MultiEngine, RequestHandle, RequestPanicked};
 pub use router::ShardRouter;
 pub use stages::{Aligner, BitAlignStage, MinSeedStage, Prefilter, Seeder, SpecPrefilter};
 

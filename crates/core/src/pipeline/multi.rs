@@ -1,0 +1,1099 @@
+//! The long-lived multi-request mapping engine behind `segram serve`.
+//!
+//! [`MapEngine`](super::MapEngine) drives **one** stream to completion and
+//! returns. A mapping daemon has the opposite shape: the expensive state
+//! (graph + index, loaded once from a persistent `.sgi` file) lives for
+//! hours, while N short mapping requests arrive, run concurrently, and
+//! leave. [`MultiEngine`] is that daemon core: a fixed pool of worker
+//! threads multiplexes every open request over one shared
+//! [`ReadMapper`], with the properties a server needs:
+//!
+//! * **Request isolation** — every batch is tagged with its request id;
+//!   each request has its own [`CancelToken`], reorder buffer, and ordered
+//!   output queue, so concurrent requests never interleave outputs and
+//!   cancelling one (say, a disconnected client) leaves the others
+//!   untouched. A panic inside one request's mapping is captured as *that
+//!   request's* failure; the engine keeps serving.
+//! * **Round-robin fairness** — workers pick the next runnable request in
+//!   rotation, so one huge request cannot starve a small one; a request
+//!   whose reorder buffer has run `max_ahead` past its slowest in-flight
+//!   batch is deprioritized rather than parking a worker.
+//! * **Admission control** — the live queued-batch depth (the same
+//!   backpressure signal [`QueueStats`] exposes for the single-stream
+//!   engine) gates [`MultiEngine::open`]: past `max_queued` the engine
+//!   answers [`EngineBusy`] instead of accepting work it would only queue.
+//!
+//! Ordering guarantee: within a request, outputs are released strictly in
+//! push order, so a request's output is byte-identical to running the same
+//! reads through a one-shot [`MapEngine`](super::MapEngine) — `ci.sh`
+//! enforces exactly that equivalence through `segram serve`.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use segram_graph::DnaSeq;
+use segram_sim::Strand;
+
+use crate::mapper::ReadMapper;
+
+use super::engine::{relock, CancelToken, EngineReport, ReadOutcome};
+
+/// Tuning knobs of a [`MultiEngine`].
+#[derive(Clone, Debug)]
+pub struct MultiConfig {
+    /// Worker thread count (clamped to at least 1).
+    pub threads: usize,
+    /// Per-request input-queue capacity in batches (0 = `2 × threads`).
+    /// [`RequestHandle::push`] blocks past this, so one producer cannot
+    /// buffer its whole stream into the engine.
+    pub queue_depth: usize,
+    /// Admission limit: when the total queued batches across all open
+    /// requests reaches this, [`MultiEngine::open`] refuses with
+    /// [`EngineBusy`] (0 = `4 ×` the effective queue depth).
+    pub max_queued: usize,
+    /// Map each read on both strands and keep the better mapping.
+    pub both_strands: bool,
+}
+
+impl MultiConfig {
+    /// A configuration with `threads` workers and default batching.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_depth: 0,
+            max_queued: 0,
+            both_strands: false,
+        }
+    }
+}
+
+/// Admission refusal: the engine's queued-batch depth has reached the
+/// configured limit. Clients should retry later (the `segram serve` line
+/// protocol surfaces this as a `BUSY` reply carrying the depth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineBusy {
+    /// Batches currently queued across all open requests.
+    pub queued: usize,
+    /// The configured admission limit.
+    pub capacity: usize,
+}
+
+impl fmt::Display for EngineBusy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine busy: {} of {} queued batches",
+            self.queued, self.capacity
+        )
+    }
+}
+
+impl Error for EngineBusy {}
+
+/// A request failed because mapping panicked. The panic is scoped to the
+/// request — the engine and every other request keep running.
+#[derive(Clone, Debug)]
+pub struct RequestPanicked {
+    /// The panic message, as well as it could be recovered.
+    pub message: String,
+}
+
+impl fmt::Display for RequestPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request failed: mapping panicked: {}", self.message)
+    }
+}
+
+impl Error for RequestPanicked {}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Per-request scheduler state. Everything lives under the one scheduler
+/// lock; mapping itself always runs outside it.
+struct ReqState<T> {
+    /// Queued input batches, in push order (`(batch index, items)`).
+    input: VecDeque<(usize, Vec<T>)>,
+    input_closed: bool,
+    cancel: CancelToken,
+    /// Batches popped by workers and not yet released or discarded.
+    inflight: usize,
+    /// Next batch index to release to `out` (per-request reorder buffer).
+    next_release: usize,
+    pending: BTreeMap<usize, Vec<(T, ReadOutcome)>>,
+    /// Released batches, strictly in push order. Unbounded: a request's
+    /// outputs never exceed what its producer already pushed in, and
+    /// admission bounds the queued total across requests.
+    out: VecDeque<Vec<(T, ReadOutcome)>>,
+    /// All work released or discarded; `next_output` returns `None` once
+    /// `out` also drains.
+    done: bool,
+    /// Handle dropped without `finish`: discard outputs, remove when idle.
+    detached: bool,
+    failure: Option<String>,
+    report: EngineReport,
+}
+
+impl<T> ReqState<T> {
+    fn new(cancel: CancelToken) -> Self {
+        Self {
+            input: VecDeque::new(),
+            input_closed: false,
+            cancel,
+            inflight: 0,
+            next_release: 0,
+            pending: BTreeMap::new(),
+            out: VecDeque::new(),
+            done: false,
+            detached: false,
+            failure: None,
+            report: EngineReport::default(),
+        }
+    }
+}
+
+struct Sched<T> {
+    requests: BTreeMap<u64, ReqState<T>>,
+    /// Round-robin rotation: the order workers consider requests in. A
+    /// worker that pops from a request moves it to the back.
+    rr: VecDeque<u64>,
+    next_id: u64,
+    /// Total queued input batches across requests — the live admission /
+    /// backpressure depth.
+    queued_total: usize,
+    shutdown: bool,
+}
+
+impl<T> Sched<T> {
+    /// Re-derives a request's lifecycle after any state change:
+    /// cancellation drops queued and pending work immediately, completion
+    /// flips `done`, and a detached request is removed once idle.
+    fn settle(&mut self, id: u64) {
+        let Some(req) = self.requests.get_mut(&id) else {
+            return;
+        };
+        if req.cancel.is_cancelled() {
+            self.queued_total -= req.input.len();
+            req.input.clear();
+            req.pending.clear();
+            if req.inflight == 0 {
+                req.done = true;
+            }
+        } else if req.input_closed
+            && req.input.is_empty()
+            && req.inflight == 0
+            && req.pending.is_empty()
+        {
+            req.done = true;
+        }
+        if req.done && req.detached && req.inflight == 0 {
+            self.requests.remove(&id);
+            self.rr.retain(|&r| r != id);
+        }
+    }
+}
+
+struct Shared<M, T> {
+    mapper: Arc<M>,
+    read_of: fn(&T) -> &DnaSeq,
+    threads: usize,
+    queue_depth: usize,
+    /// A request with this many batches in flight + parked in its reorder
+    /// buffer is deprioritized until its slowest batch releases (the
+    /// single-stream engine's `max_ahead` bound, per request).
+    max_ahead: usize,
+    max_queued: usize,
+    both_strands: bool,
+    sched: Mutex<Sched<T>>,
+    /// Workers wait here for a runnable request.
+    work_ready: Condvar,
+    /// Producers wait here for per-request input space.
+    space_ready: Condvar,
+    /// Consumers wait here for ordered output or completion.
+    output_ready: Condvar,
+}
+
+impl<M: ReadMapper, T> Shared<M, T> {
+    fn map_one(&self, read: &DnaSeq) -> ReadOutcome {
+        if self.both_strands {
+            let (best, stats) = self.mapper.map_read_both(read);
+            let (mapping, strand) = match best {
+                Some((mapping, strand)) => (Some(mapping), strand),
+                None => (None, Strand::Forward),
+            };
+            ReadOutcome {
+                mapping,
+                strand,
+                stats,
+            }
+        } else {
+            let (mapping, stats) = self.mapper.map_read(read);
+            ReadOutcome {
+                mapping,
+                strand: Strand::Forward,
+                stats,
+            }
+        }
+    }
+}
+
+/// The worker loop: pick the next runnable request round-robin, map one of
+/// its batches outside the lock, release in order, repeat.
+fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>) {
+    let mut guard = relock(&shared.sched);
+    loop {
+        if guard.shutdown {
+            return;
+        }
+        let mut picked = None;
+        for slot in 0..guard.rr.len() {
+            let id = guard.rr[slot];
+            let Some(req) = guard.requests.get(&id) else {
+                continue;
+            };
+            if req.input.is_empty() {
+                continue;
+            }
+            // A cancelled request's batches are always poppable (cheap
+            // discard); a live one is skipped while its reorder buffer is
+            // full — round-robin then favors the requests that can make
+            // release progress.
+            if !req.cancel.is_cancelled() && req.inflight + req.pending.len() >= shared.max_ahead {
+                continue;
+            }
+            picked = Some((slot, id));
+            break;
+        }
+        let Some((slot, id)) = picked else {
+            guard = shared
+                .work_ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+            continue;
+        };
+        guard.rr.remove(slot);
+        guard.rr.push_back(id);
+        let req = guard.requests.get_mut(&id).expect("picked request exists");
+        let (index, items) = req.input.pop_front().expect("picked request has input");
+        req.inflight += 1;
+        let cancel = req.cancel.clone();
+        guard.queued_total -= 1;
+        drop(guard);
+        shared.space_ready.notify_all();
+
+        // Map outside the lock. A mid-batch cancellation abandons the rest
+        // of the batch; a panic becomes this request's failure only.
+        let mut outcomes: Vec<(T, ReadOutcome)> = Vec::with_capacity(items.len());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for item in items {
+                if cancel.is_cancelled() {
+                    return false;
+                }
+                let outcome = shared.map_one((shared.read_of)(&item));
+                outcomes.push((item, outcome));
+            }
+            true
+        }));
+
+        guard = relock(&shared.sched);
+        if let Some(req) = guard.requests.get_mut(&id) {
+            req.inflight -= 1;
+            match result {
+                Err(payload) => {
+                    if req.failure.is_none() {
+                        req.failure = Some(panic_message(payload));
+                    }
+                    req.cancel.cancel();
+                }
+                Ok(true) if !req.cancel.is_cancelled() => {
+                    req.report.batches += 1;
+                    req.pending.insert(index, std::mem::take(&mut outcomes));
+                    // Release every batch now contiguous with the released
+                    // prefix, strictly in push order.
+                    while let Some(ready) = req.pending.remove(&req.next_release) {
+                        req.next_release += 1;
+                        for (_, outcome) in &ready {
+                            req.report.reads += 1;
+                            if outcome.mapping.is_some() {
+                                req.report.mapped += 1;
+                            }
+                            req.report.stats.merge(&outcome.stats);
+                        }
+                        if !req.detached {
+                            req.out.push_back(ready);
+                        }
+                    }
+                }
+                // Cancelled mid-batch or just after: outputs are dropped.
+                Ok(_) => {}
+            }
+            guard.settle(id);
+        }
+        drop(guard);
+        shared.output_ready.notify_all();
+        shared.work_ready.notify_all();
+        shared.space_ready.notify_all();
+        guard = relock(&shared.sched);
+    }
+}
+
+/// The long-lived multi-request engine: a worker pool multiplexing
+/// concurrent mapping requests over one shared mapper (see the module
+/// docs for the isolation/fairness/admission contract).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use segram_core::{MultiConfig, MultiEngine, SegramConfig, SegramMapper};
+/// use segram_graph::DnaSeq;
+/// use segram_sim::DatasetConfig;
+///
+/// fn seq_of(read: &DnaSeq) -> &DnaSeq {
+///     read
+/// }
+///
+/// let dataset = DatasetConfig::tiny(3).illumina(100);
+/// let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+/// let engine = MultiEngine::new(Arc::new(mapper), seq_of, MultiConfig::with_threads(2));
+///
+/// let mut request = engine.open().expect("engine accepts");
+/// let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+/// request.push(reads.clone());
+/// request.finish_input();
+/// let mut mapped = 0;
+/// while let Some(batch) = request.next_output() {
+///     mapped += batch.iter().filter(|(_, o)| o.mapping.is_some()).count();
+/// }
+/// let report = request.finish().expect("no panic");
+/// assert_eq!(report.reads, reads.len());
+/// assert_eq!(report.mapped, mapped);
+/// engine.shutdown();
+/// ```
+pub struct MultiEngine<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> {
+    shared: Arc<Shared<M, T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+// Manual impl: `derive` would demand `M: Debug` + `T: Debug`, which the
+// mapper has no reason to provide.
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> fmt::Debug for MultiEngine<M, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiEngine")
+            .field("shared", &self.shared)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> fmt::Debug for Shared<M, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("threads", &self.threads)
+            .field("queue_depth", &self.queue_depth)
+            .field("max_queued", &self.max_queued)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T> {
+    /// Spawns the worker pool over a shared mapper. `read_of` projects the
+    /// sequence out of a work item (e.g. `|record| &record.seq`).
+    pub fn new(mapper: Arc<M>, read_of: fn(&T) -> &DnaSeq, config: MultiConfig) -> Self {
+        let threads = config.threads.max(1);
+        let queue_depth = if config.queue_depth == 0 {
+            threads * 2
+        } else {
+            config.queue_depth
+        };
+        let max_queued = if config.max_queued == 0 {
+            queue_depth * 4
+        } else {
+            config.max_queued
+        };
+        let shared = Arc::new(Shared {
+            mapper,
+            read_of,
+            threads,
+            queue_depth,
+            max_ahead: queue_depth + threads,
+            max_queued,
+            both_strands: config.both_strands,
+            sched: Mutex::new(Sched {
+                requests: BTreeMap::new(),
+                rr: VecDeque::new(),
+                next_id: 0,
+                queued_total: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            output_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("segram-serve-{i}"))
+                    .spawn(move || worker_loop(shared.as_ref()))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Opens a new request, subject to admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineBusy`] when the queued-batch depth has reached the limit
+    /// (or the engine is shutting down).
+    pub fn open(&self) -> Result<RequestHandle<M, T>, EngineBusy> {
+        let mut guard = relock(&self.shared.sched);
+        if guard.shutdown || guard.queued_total >= self.shared.max_queued {
+            return Err(EngineBusy {
+                queued: guard.queued_total,
+                capacity: self.shared.max_queued,
+            });
+        }
+        let id = guard.next_id;
+        guard.next_id += 1;
+        let cancel = CancelToken::new();
+        guard.requests.insert(id, ReqState::new(cancel.clone()));
+        guard.rr.push_back(id);
+        Ok(RequestHandle {
+            shared: Arc::clone(&self.shared),
+            id,
+            cancel,
+            produced: 0,
+            finished: false,
+        })
+    }
+
+    /// The live queued-batch depth across all open requests — the
+    /// admission/backpressure signal (`BUSY <depth>` in the serve
+    /// protocol).
+    pub fn queued_batches(&self) -> usize {
+        relock(&self.shared.sched).queued_total
+    }
+
+    /// Open (not yet finished or removed) requests.
+    pub fn open_requests(&self) -> usize {
+        relock(&self.shared.sched).requests.len()
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Stops the pool: cancels every open request and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut guard = relock(&self.shared.sched);
+            guard.shutdown = true;
+            for req in guard.requests.values() {
+                req.cancel.cancel();
+            }
+            let ids: Vec<u64> = guard.requests.keys().copied().collect();
+            for id in ids {
+                guard.settle(id);
+            }
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        self.shared.output_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> Drop for MultiEngine<M, T> {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// One open mapping request on a [`MultiEngine`]: push input batches, read
+/// ordered output batches, then [`finish`](Self::finish) for the report.
+/// Dropping the handle without finishing cancels the request and discards
+/// its outputs.
+pub struct RequestHandle<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> {
+    shared: Arc<Shared<M, T>>,
+    id: u64,
+    cancel: CancelToken,
+    produced: usize,
+    finished: bool,
+}
+
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> fmt::Debug for RequestHandle<M, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("id", &self.id)
+            .field("produced", &self.produced)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, T> {
+    /// This request's engine-assigned id (the batch tag in logs).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A clone of this request's cancellation token — hand it to whatever
+    /// watches the client connection; cancelling stops only this request.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cancels this request now: queued input and parked outputs are
+    /// dropped, in-flight batches wind down, other requests are untouched.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+        let mut guard = relock(&self.shared.sched);
+        guard.settle(self.id);
+        drop(guard);
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        self.shared.output_ready.notify_all();
+    }
+
+    /// Pushes one input batch, blocking while this request's input queue
+    /// is full. Returns `false` — and discards the batch — once the
+    /// request is cancelled or the engine is shutting down.
+    pub fn push(&mut self, items: Vec<T>) -> bool {
+        if items.is_empty() {
+            return !self.cancel.is_cancelled();
+        }
+        let shared = self.shared.as_ref();
+        let mut guard = relock(&shared.sched);
+        let mut blocked: Option<Instant> = None;
+        loop {
+            if self.cancel.is_cancelled() || guard.shutdown {
+                return false;
+            }
+            let Some(req) = guard.requests.get_mut(&self.id) else {
+                return false;
+            };
+            if req.input.len() < shared.queue_depth {
+                if let Some(since) = blocked {
+                    req.report.queue.producer_waits += 1;
+                    req.report.queue.producer_wait += since.elapsed();
+                }
+                req.input.push_back((self.produced, items));
+                let depth = req.input.len();
+                req.report.queue.max_depth = req.report.queue.max_depth.max(depth);
+                break;
+            }
+            blocked.get_or_insert_with(Instant::now);
+            guard = shared
+                .space_ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        self.produced += 1;
+        guard.queued_total += 1;
+        drop(guard);
+        shared.work_ready.notify_one();
+        true
+    }
+
+    /// Declares end of input: once every pushed batch is released the
+    /// request completes and [`next_output`](Self::next_output) returns
+    /// `None` after draining.
+    pub fn finish_input(&mut self) {
+        let mut guard = relock(&self.shared.sched);
+        if let Some(req) = guard.requests.get_mut(&self.id) {
+            req.input_closed = true;
+        }
+        guard.settle(self.id);
+        drop(guard);
+        self.shared.work_ready.notify_all();
+        self.shared.output_ready.notify_all();
+    }
+
+    /// Blocks for the next output batch, **strictly in push order**.
+    /// Returns `None` once the request is complete (all input released, or
+    /// cancelled) and every released batch has been taken.
+    pub fn next_output(&mut self) -> Option<Vec<(T, ReadOutcome)>> {
+        let mut guard = relock(&self.shared.sched);
+        loop {
+            let req = guard.requests.get_mut(&self.id)?;
+            if let Some(batch) = req.out.pop_front() {
+                return Some(batch);
+            }
+            if req.done || guard.shutdown {
+                return None;
+            }
+            guard = self
+                .shared
+                .output_ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Completes the request: closes input if still open, waits for every
+    /// in-flight batch, removes the request from the engine, and returns
+    /// its report.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestPanicked`] when mapping panicked inside this request (the
+    /// engine itself keeps serving).
+    pub fn finish(mut self) -> Result<EngineReport, RequestPanicked> {
+        self.finish_input();
+        let shared = Arc::clone(&self.shared);
+        let mut guard = relock(&shared.sched);
+        loop {
+            let Some(req) = guard.requests.get(&self.id) else {
+                // Already removed (shutdown raced us): report what we know.
+                self.finished = true;
+                return Ok(EngineReport {
+                    threads: shared.threads,
+                    ..EngineReport::default()
+                });
+            };
+            if req.done || guard.shutdown {
+                break;
+            }
+            guard = shared
+                .output_ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let state = guard.requests.remove(&self.id).expect("checked above");
+        guard.rr.retain(|&r| r != self.id);
+        drop(guard);
+        self.finished = true;
+        let mut report = state.report;
+        report.backend = shared.mapper.backend_name();
+        report.threads = shared.threads;
+        match state.failure {
+            Some(message) => Err(RequestPanicked { message }),
+            None => Ok(report),
+        }
+    }
+}
+
+impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> Drop for RequestHandle<M, T> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.cancel.cancel();
+        let mut guard = relock(&self.shared.sched);
+        if let Some(req) = guard.requests.get_mut(&self.id) {
+            req.detached = true;
+            req.out.clear();
+        }
+        guard.settle(self.id);
+        drop(guard);
+        self.shared.work_ready.notify_all();
+        self.shared.space_ready.notify_all();
+        self.shared.output_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::engine::{EngineConfig, MapEngine};
+    use crate::{MapStats, Mapping, SegramConfig, SegramMapper};
+    use segram_graph::GenomeGraph;
+    use segram_sim::DatasetConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    fn seq_of(read: &DnaSeq) -> &DnaSeq {
+        read
+    }
+
+    fn setup() -> (segram_sim::Dataset, SegramMapper) {
+        let dataset = DatasetConfig::tiny(91).illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        (dataset, mapper)
+    }
+
+    fn key(outcome: &ReadOutcome) -> Option<(u64, u32)> {
+        outcome
+            .mapping
+            .as_ref()
+            .map(|m| (m.linear_start, m.alignment.edit_distance))
+    }
+
+    /// Drives one request end to end: push every read in `chunk`-sized
+    /// batches, then drain, returning flattened outcomes + the report.
+    fn run_request(
+        engine: &MultiEngine<SegramMapper, DnaSeq>,
+        reads: &[DnaSeq],
+        chunk: usize,
+    ) -> (Vec<ReadOutcome>, EngineReport) {
+        let mut request = engine.open().expect("admission");
+        for batch in reads.chunks(chunk) {
+            assert!(request.push(batch.to_vec()));
+        }
+        request.finish_input();
+        let mut outcomes = Vec::new();
+        let mut echoed: Vec<DnaSeq> = Vec::new();
+        while let Some(batch) = request.next_output() {
+            for (read, outcome) in batch {
+                echoed.push(read);
+                outcomes.push(outcome);
+            }
+        }
+        assert_eq!(echoed, reads, "outputs echo inputs in push order");
+        let report = request.finish().expect("no panic");
+        (outcomes, report)
+    }
+
+    #[test]
+    fn concurrent_requests_each_match_the_single_stream_engine() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let (base, base_report) =
+            MapEngine::new(&mapper, EngineConfig::with_threads(1)).map_batch(&reads);
+
+        let engine = MultiEngine::new(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 2,
+                queue_depth: 2,
+                max_queued: 0,
+                both_strands: false,
+            },
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let engine = &engine;
+                    let reads = &reads;
+                    // Different chunk sizes force different interleavings.
+                    scope.spawn(move || run_request(engine, reads, 1 + i * 2))
+                })
+                .collect();
+            for handle in handles {
+                let (outcomes, report) = handle.join().expect("request thread");
+                assert_eq!(report.reads, base_report.reads);
+                assert_eq!(report.mapped, base_report.mapped);
+                assert_eq!(outcomes.len(), base.len());
+                for (a, b) in base.iter().zip(&outcomes) {
+                    assert_eq!(key(a), key(b));
+                    assert_eq!(a.strand, b.strand);
+                }
+            }
+        });
+        assert_eq!(engine.open_requests(), 0, "finished requests are removed");
+        engine.shutdown();
+    }
+
+    /// A mapper that sleeps per read, to make scheduling observable.
+    struct SlowMapper {
+        graph: GenomeGraph,
+        delay: Duration,
+    }
+
+    impl ReadMapper for SlowMapper {
+        fn graph(&self) -> &GenomeGraph {
+            &self.graph
+        }
+        fn map_read(&self, _read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            std::thread::sleep(self.delay);
+            (None, MapStats::default())
+        }
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            let (_, stats) = self.map_read(read);
+            let _ = read;
+            (None, stats)
+        }
+    }
+
+    #[test]
+    fn cancelling_one_request_leaves_the_other_intact() {
+        let (dataset, _) = setup();
+        let mapper = SlowMapper {
+            graph: dataset.graph().clone(),
+            delay: Duration::from_millis(60),
+        };
+        let read: DnaSeq = dataset.reads[0].seq.clone();
+        let engine = MultiEngine::new(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 2,
+                queue_depth: 8,
+                max_queued: 64,
+                both_strands: false,
+            },
+        );
+        std::thread::scope(|scope| {
+            let victim = scope.spawn(|| {
+                let mut request = engine.open().expect("admission");
+                for _ in 0..8 {
+                    assert!(request.push(vec![read.clone()]));
+                }
+                // Cancel mid-flight, right after the first output: most of
+                // the eight batches are still queued or in flight.
+                let first = request.next_output();
+                request.cancel();
+                while request.next_output().is_some() {}
+                (first.is_some(), request.finish())
+            });
+            let survivor = scope.spawn(|| run_request_slow(&engine, &read, 10));
+            let (saw_output, report) = victim.join().expect("victim thread");
+            assert!(saw_output, "victim produced output before cancellation");
+            let report = report.expect("cancellation is not a panic");
+            assert!(report.reads < 8, "cancellation cut the victim short");
+            let survivor_reads = survivor.join().expect("survivor thread");
+            assert_eq!(survivor_reads, 10, "survivor completed every read");
+        });
+        engine.shutdown();
+    }
+
+    /// `run_request` for the SlowMapper engine: returns released reads.
+    fn run_request_slow(
+        engine: &MultiEngine<SlowMapper, DnaSeq>,
+        read: &DnaSeq,
+        count: usize,
+    ) -> usize {
+        let mut request = engine.open().expect("admission");
+        for _ in 0..count {
+            assert!(request.push(vec![read.clone()]));
+        }
+        request.finish_input();
+        let mut released = 0;
+        while let Some(batch) = request.next_output() {
+            released += batch.len();
+        }
+        assert_eq!(request.finish().expect("no panic").reads, released);
+        released
+    }
+
+    /// A mapper that blocks until released — admission tests need the
+    /// queue to stay full without timing assumptions.
+    struct GatedMapper {
+        graph: GenomeGraph,
+        gate: Arc<AtomicBool>,
+    }
+
+    impl ReadMapper for GatedMapper {
+        fn graph(&self) -> &GenomeGraph {
+            &self.graph
+        }
+        fn map_read(&self, _read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            let start = Instant::now();
+            while !self.gate.load(Ordering::SeqCst) && start.elapsed() < Duration::from_secs(10) {
+                std::thread::yield_now();
+            }
+            (None, MapStats::default())
+        }
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            let (_, stats) = self.map_read(read);
+            let _ = read;
+            (None, stats)
+        }
+    }
+
+    #[test]
+    fn admission_refuses_past_the_queued_batch_limit() {
+        let (dataset, _) = setup();
+        let gate = Arc::new(AtomicBool::new(false));
+        let mapper = GatedMapper {
+            graph: dataset.graph().clone(),
+            gate: Arc::clone(&gate),
+        };
+        let read: DnaSeq = dataset.reads[0].seq.clone();
+        let engine = MultiEngine::new(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 1,
+                queue_depth: 2,
+                max_queued: 1,
+                both_strands: false,
+            },
+        );
+        let mut request = engine.open().expect("empty engine admits");
+        // Two batches: the worker blocks inside the first (gated), the
+        // second stays queued, so the depth sits at the limit.
+        assert!(request.push(vec![read.clone()]));
+        assert!(request.push(vec![read.clone()]));
+        let busy = engine.open().expect_err("over the admission limit");
+        assert_eq!(busy.capacity, 1);
+        assert!(busy.queued >= 1, "refusal reports the live depth");
+
+        gate.store(true, Ordering::SeqCst);
+        request.finish_input();
+        while request.next_output().is_some() {}
+        assert_eq!(request.finish().expect("no panic").reads, 2);
+        assert_eq!(engine.queued_batches(), 0);
+        engine.open().expect("drained engine admits again");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn round_robin_lets_a_small_request_overtake_a_big_one() {
+        let (dataset, _) = setup();
+        let delay = Duration::from_millis(25);
+        let mapper = SlowMapper {
+            graph: dataset.graph().clone(),
+            delay,
+        };
+        let read: DnaSeq = dataset.reads[0].seq.clone();
+        // One worker: completion order is exactly the scheduling order.
+        let engine = MultiEngine::new(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 1,
+                queue_depth: 16,
+                max_queued: 64,
+                both_strands: false,
+            },
+        );
+        std::thread::scope(|scope| {
+            let big = scope.spawn(|| {
+                let mut request = engine.open().expect("admission");
+                for _ in 0..8 {
+                    assert!(request.push(vec![read.clone()]));
+                }
+                request.finish_input();
+                while request.next_output().is_some() {}
+                let finished = Instant::now();
+                request.finish().expect("no panic");
+                finished
+            });
+            // Give the big request a head start so its batches are queued.
+            std::thread::sleep(delay);
+            let small = scope.spawn(|| {
+                let mut request = engine.open().expect("admission");
+                assert!(request.push(vec![read.clone()]));
+                request.finish_input();
+                while request.next_output().is_some() {}
+                let finished = Instant::now();
+                request.finish().expect("no panic");
+                finished
+            });
+            let big_done = big.join().expect("big request");
+            let small_done = small.join().expect("small request");
+            assert!(
+                small_done < big_done,
+                "round-robin must not make the one-batch request wait \
+                 behind all eight batches of the earlier request"
+            );
+        });
+        engine.shutdown();
+    }
+
+    /// Panics on a marker read, to test request-scoped failure.
+    struct FaultyMapper {
+        inner: SegramMapper,
+        poison: DnaSeq,
+    }
+
+    impl ReadMapper for FaultyMapper {
+        fn graph(&self) -> &GenomeGraph {
+            self.inner.graph()
+        }
+        fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            assert!(*read != self.poison, "poisoned read");
+            self.inner.map_read(read)
+        }
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            ReadMapper::map_read_both(&self.inner, read)
+        }
+    }
+
+    #[test]
+    fn a_panicking_request_fails_alone_and_the_engine_keeps_serving() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let poison = reads[3].clone();
+        let engine = MultiEngine::new(
+            Arc::new(FaultyMapper {
+                inner: mapper,
+                poison: poison.clone(),
+            }),
+            seq_of,
+            MultiConfig::with_threads(2),
+        );
+
+        let mut doomed = engine.open().expect("admission");
+        assert!(doomed.push(vec![reads[0].clone(), poison.clone()]));
+        doomed.finish_input();
+        while doomed.next_output().is_some() {}
+        let failure = doomed.finish().expect_err("the poison read panics");
+        assert!(
+            failure.message.contains("poisoned read"),
+            "failure carries the panic message, got: {}",
+            failure.message
+        );
+
+        // The engine survives: a clean request still completes fully.
+        let clean: Vec<DnaSeq> = reads.iter().filter(|r| **r != poison).cloned().collect();
+        let mut request = engine.open().expect("engine still admits");
+        assert!(request.push(clean.clone()));
+        request.finish_input();
+        let mut released = 0;
+        while let Some(batch) = request.next_output() {
+            released += batch.len();
+        }
+        assert_eq!(released, clean.len());
+        assert_eq!(request.finish().expect("no panic").reads, clean.len());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn dropping_a_handle_detaches_and_cleans_up() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let engine = MultiEngine::new(Arc::new(mapper), seq_of, MultiConfig::with_threads(2));
+        {
+            let mut request = engine.open().expect("admission");
+            assert!(request.push(reads.clone()));
+            // Dropped without finish: cancelled + detached.
+        }
+        // The request must disappear once its in-flight work winds down.
+        let start = Instant::now();
+        while engine.open_requests() > 0 && start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(engine.open_requests(), 0);
+        assert_eq!(engine.queued_batches(), 0);
+        engine.shutdown();
+    }
+}

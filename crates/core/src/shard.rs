@@ -189,6 +189,10 @@ impl ShardedIndex {
     /// exactly as [`SegramMapper::new`] does), then an exact partition of
     /// the seed locations into `shards` equal-width coordinate ranges.
     ///
+    /// Degenerate requests (`shards` exceeding the reference length) are
+    /// clamped by [`shard_boundaries`], so [`Self::shards`] may report
+    /// fewer ranges than requested rather than silently empty ones.
+    ///
     /// # Panics
     ///
     /// Panics when `shards` is zero.

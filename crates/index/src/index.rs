@@ -20,14 +20,16 @@ pub const LOCATION_ENTRY_BYTES: u64 = 8;
 pub const DEFAULT_BUCKET_BITS: u32 = 24;
 
 /// One second-level entry: a distinct minimizer and its seed locations.
+/// Crate-visible so the `persist` module can stream entries to and from
+/// the on-disk format without re-sorting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct MinimizerEntry {
+pub(crate) struct MinimizerEntry {
     /// Hash value of the minimizer.
-    hash: u64,
+    pub(crate) hash: u64,
     /// Start of this minimizer's locations in the third level.
-    loc_start: u32,
+    pub(crate) loc_start: u32,
     /// Number of locations.
-    loc_count: u32,
+    pub(crate) loc_count: u32,
 }
 
 /// The three-level hash-table index over a genome graph's nodes.
@@ -46,14 +48,14 @@ struct MinimizerEntry {
 /// ```
 #[derive(Clone, Debug)]
 pub struct GraphIndex {
-    scheme: MinimizerScheme,
-    bucket_bits: u32,
+    pub(crate) scheme: MinimizerScheme,
+    pub(crate) bucket_bits: u32,
     /// First level: per bucket, the range of second-level entries.
-    bucket_starts: Vec<u32>,
+    pub(crate) bucket_starts: Vec<u32>,
     /// Second level, sorted by (bucket, hash).
-    minimizers: Vec<MinimizerEntry>,
+    pub(crate) minimizers: Vec<MinimizerEntry>,
     /// Third level, grouped per minimizer, sorted by (node, offset).
-    locations: Vec<GraphPos>,
+    pub(crate) locations: Vec<GraphPos>,
 }
 
 impl GraphIndex {
@@ -252,14 +254,26 @@ impl GraphIndex {
 /// the remainder spread over the leading shards, suitable for
 /// [`GraphIndex::split_by_ranges`].
 ///
+/// Degenerate requests are clamped: asking for more shards than there are
+/// characters would force duplicate boundaries (silently empty shards), so
+/// the effective shard count is `min(shards, max(total_chars, 1))` and the
+/// returned vector may be shorter than `shards + 1`. Callers that must
+/// honor the requested count exactly should compare `len() - 1` against it
+/// (the CLI warns on this).
+///
 /// # Panics
 ///
 /// Panics when `shards` is zero.
 pub fn shard_boundaries(total_chars: u64, shards: usize) -> Vec<u64> {
     assert!(shards > 0, "at least one shard");
-    (0..=shards as u64)
-        .map(|s| total_chars * s / shards as u64)
-        .collect()
+    let shards = (shards as u64).min(total_chars.max(1));
+    // boundary[s] = base·s + min(s, rem) is the overflow-safe split;
+    // the naive `total_chars * s / shards` overflows u64 once
+    // total_chars × shards exceeds 2^64 (human-scale totals at high
+    // shard counts).
+    let base = total_chars / shards;
+    let rem = total_chars % shards;
+    (0..=shards).map(|s| base * s + s.min(rem)).collect()
 }
 
 /// Byte footprint of the index (Figure 7's left axis) plus the bucket-load
@@ -409,6 +423,35 @@ mod tests {
             assert_eq!(bounds[0], 0);
             assert_eq!(*bounds.last().unwrap(), 10_007);
             assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Human-scale totals at high shard counts used to overflow the
+        // naive `total * s / shards` computation; the widths must still be
+        // within one character of each other.
+        for total in [3_100_000_000u64, u64::MAX / 2, u64::MAX] {
+            for shards in [64usize, 1024, 4096] {
+                let bounds = shard_boundaries(total, shards);
+                assert_eq!(bounds.len(), shards + 1, "total {total} × {shards}");
+                assert_eq!(bounds[0], 0);
+                assert_eq!(*bounds.last().unwrap(), total);
+                assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+                let widths: Vec<u64> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+                let (min, max) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+                assert!(max - min <= 1, "uneven split: {min}..{max}");
+            }
+        }
+        // More shards than characters is clamped rather than producing
+        // duplicate boundaries (silently empty shards).
+        for (total, shards) in [(5u64, 8usize), (1, 4), (0, 3)] {
+            let bounds = shard_boundaries(total, shards);
+            assert_eq!(bounds.len() as u64, total.max(1).min(shards as u64) + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), total);
+            if total > 0 {
+                assert!(
+                    bounds.windows(2).all(|w| w[0] < w[1]),
+                    "no empty shard for total {total} × {shards}: {bounds:?}"
+                );
+            }
         }
     }
 

@@ -33,6 +33,7 @@ mod chain;
 mod index;
 mod minimizer;
 mod minseed;
+mod persist;
 
 pub use chain::{chain_anchors, Anchor, Chain, ChainConfig};
 pub use index::{
@@ -46,4 +47,8 @@ pub use minimizer::{
 pub use minseed::{
     frequency_threshold, seed_region, MinSeed, MinSeedConfig, SeedRegion, SeedingResult,
     SeedingStats,
+};
+pub use persist::{
+    decode_index, encode_index, read_index_file, write_index_file, PersistError, PersistedIndex,
+    INDEX_FORMAT_VERSION, INDEX_MAGIC,
 };

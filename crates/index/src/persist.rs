@@ -1,0 +1,558 @@
+//! The versioned on-disk index format behind `segram index build` /
+//! `segram serve` (`.sgi` files).
+//!
+//! A `.sgi` file bundles everything a mapping daemon needs to start
+//! serving without re-running graph construction or
+//! [`GraphIndex::build`]: the genome graph (2-bit packed node sequences +
+//! edges, Section 5's representation), the three-level hash index written
+//! field-for-field so loading is a straight reconstruction rather than a
+//! re-sort, and the seeding metadata (the frequency-filter threshold and
+//! the discard fraction it was derived from).
+//!
+//! Layout: an 8-byte magic, a format version, and a section table
+//! (`id / offset / length / FNV-1a checksum` per section) followed by the
+//! section payloads. Everything is little-endian via the bounds-checked
+//! [`segram_io::ByteReader`] primitives, so **loading never panics** on
+//! truncated or corrupt input — every failure mode maps to a named
+//! [`PersistError`] variant, and a loaded index additionally passes the
+//! same structural invariants [`GraphIndex::build`] guarantees (validated
+//! here so a tampered file cannot crash a later lookup).
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use segram_graph::{Base, DnaSeq, GenomeGraph, GraphBuilder, GraphPos, NodeId};
+use segram_io::{fnv1a64, BinError, ByteReader, ByteWriter};
+
+use crate::index::{GraphIndex, MinimizerEntry};
+use crate::minimizer::{KmerOrdering, MinimizerScheme};
+
+/// The 8-byte magic at the start of every `.sgi` file.
+pub const INDEX_MAGIC: [u8; 8] = *b"SGRMIDX\0";
+/// Current format version; bumped on any incompatible layout change.
+pub const INDEX_FORMAT_VERSION: u32 = 1;
+
+const SECTION_GRAPH: u32 = 1;
+const SECTION_INDEX: u32 = 2;
+const SECTION_META: u32 = 3;
+/// Bytes per section-table entry: id + offset + length + checksum.
+const TABLE_ENTRY_BYTES: usize = 4 + 8 + 8 + 8;
+/// Upper bound on the section count — far above the three we write, low
+/// enough that a corrupt count cannot drive a large allocation.
+const MAX_SECTIONS: u32 = 64;
+
+/// Everything `segram index build` persists and `segram serve` loads: the
+/// graph, its index, and the seeding metadata needed to reconstruct a
+/// mapper that is byte-identical to one built from scratch.
+#[derive(Clone, Debug)]
+pub struct PersistedIndex {
+    /// The genome graph the index was built over.
+    pub graph: GenomeGraph,
+    /// The three-level hash index.
+    pub index: GraphIndex,
+    /// The discard fraction the frequency threshold was derived from
+    /// (kept so reports can echo the build configuration).
+    pub discard_frac: f64,
+    /// The frequency-filter threshold (derived from *global* minimizer
+    /// counts at build time, exactly as the in-memory path does).
+    pub freq_threshold: u32,
+}
+
+/// A named reason an index file could not be loaded. Loading never
+/// panics: every corrupt, truncated, or incompatible input maps here.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file does not start with [`INDEX_MAGIC`] — not an index file.
+    BadMagic,
+    /// The file's format version is not [`INDEX_FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// The version the file declares.
+        found: u32,
+    },
+    /// The file ends before the declared layout does.
+    Truncated {
+        /// Byte offset where the input ran out.
+        offset: usize,
+    },
+    /// A section's checksum does not match its payload.
+    ChecksumMismatch {
+        /// The section that failed verification.
+        section: &'static str,
+    },
+    /// A section decoded but violates a structural invariant.
+    Corrupt {
+        /// The section the violation was found in.
+        section: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad magic: not a segram index file"),
+            Self::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported index format version {found} (this build reads \
+                 version {INDEX_FORMAT_VERSION})"
+            ),
+            Self::Truncated { offset } => {
+                write!(f, "index file truncated at byte {offset}")
+            }
+            Self::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section:?}")
+            }
+            Self::Corrupt { section, detail } => {
+                write!(f, "corrupt section {section:?}: {detail}")
+            }
+            Self::Io(err) => write!(f, "I/O error: {err}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(err: io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// Maps a primitive decode error into the file-level vocabulary, tagging
+/// it with the section it happened in.
+fn from_bin(section: &'static str, err: BinError) -> PersistError {
+    match err {
+        BinError::UnexpectedEnd { offset, .. } => PersistError::Truncated { offset },
+        BinError::ImplausibleLength { offset, claimed } => PersistError::Corrupt {
+            section,
+            detail: format!("implausible element count {claimed} at byte {offset}"),
+        },
+    }
+}
+
+fn corrupt(section: &'static str, detail: impl Into<String>) -> PersistError {
+    PersistError::Corrupt {
+        section,
+        detail: detail.into(),
+    }
+}
+
+/// Serializes a persisted index to `.sgi` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use segram_graph::linear_graph;
+/// use segram_index::{
+///     decode_index, encode_index, GraphIndex, MinimizerScheme, PersistedIndex,
+/// };
+///
+/// let text: segram_graph::DnaSeq = "ACGTTGCAGTCATGCA".repeat(40).parse()?;
+/// let graph = linear_graph(&text, 64)?;
+/// let index = GraphIndex::build(&graph, MinimizerScheme::new(5, 11), 10);
+/// let persisted = PersistedIndex {
+///     graph,
+///     index,
+///     discard_frac: 0.0002,
+///     freq_threshold: u32::MAX,
+/// };
+/// let bytes = encode_index(&persisted);
+/// let loaded = decode_index(&bytes).expect("round trip");
+/// assert_eq!(loaded.graph.node_count(), persisted.graph.node_count());
+/// assert_eq!(
+///     loaded.index.distinct_minimizers(),
+///     persisted.index.distinct_minimizers()
+/// );
+/// # Ok::<(), segram_graph::GraphError>(())
+/// ```
+pub fn encode_index(persisted: &PersistedIndex) -> Vec<u8> {
+    let sections = [
+        (SECTION_GRAPH, encode_graph(&persisted.graph)),
+        (SECTION_INDEX, encode_hash_index(&persisted.index)),
+        (SECTION_META, encode_meta(persisted)),
+    ];
+    let mut header = ByteWriter::new();
+    header.put_bytes(&INDEX_MAGIC);
+    header.put_u32(INDEX_FORMAT_VERSION);
+    header.put_u32(sections.len() as u32);
+    let mut offset = 8 + 4 + 4 + sections.len() * TABLE_ENTRY_BYTES;
+    for (id, payload) in &sections {
+        header.put_u32(*id);
+        header.put_u64(offset as u64);
+        header.put_u64(payload.len() as u64);
+        header.put_u64(fnv1a64(payload));
+        offset += payload.len();
+    }
+    let mut bytes = header.into_bytes();
+    for (_, payload) in sections {
+        bytes.extend_from_slice(&payload);
+    }
+    bytes
+}
+
+/// Deserializes `.sgi` bytes (see [`encode_index`] for an example).
+///
+/// # Errors
+///
+/// Never panics on bad input: returns [`PersistError::BadMagic`],
+/// [`PersistError::UnsupportedVersion`], [`PersistError::Truncated`],
+/// [`PersistError::ChecksumMismatch`], or [`PersistError::Corrupt`]
+/// depending on what the bytes got wrong.
+pub fn decode_index(bytes: &[u8]) -> Result<PersistedIndex, PersistError> {
+    let mut reader = ByteReader::new(bytes);
+    let magic = reader.take_bytes(8).map_err(|e| from_bin("header", e))?;
+    if magic != INDEX_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = reader.take_u32().map_err(|e| from_bin("header", e))?;
+    if version != INDEX_FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let section_count = reader.take_u32().map_err(|e| from_bin("header", e))?;
+    if section_count > MAX_SECTIONS {
+        return Err(corrupt(
+            "header",
+            format!("section count {section_count} exceeds the maximum {MAX_SECTIONS}"),
+        ));
+    }
+    let mut graph_payload: Option<&[u8]> = None;
+    let mut index_payload: Option<&[u8]> = None;
+    let mut meta_payload: Option<&[u8]> = None;
+    for _ in 0..section_count {
+        let id = reader.take_u32().map_err(|e| from_bin("header", e))?;
+        let offset = reader.take_u64().map_err(|e| from_bin("header", e))? as usize;
+        let len = reader.take_u64().map_err(|e| from_bin("header", e))? as usize;
+        let checksum = reader.take_u64().map_err(|e| from_bin("header", e))?;
+        let (slot, name) = match id {
+            SECTION_GRAPH => (&mut graph_payload, "graph"),
+            SECTION_INDEX => (&mut index_payload, "index"),
+            SECTION_META => (&mut meta_payload, "meta"),
+            // Unknown sections are skipped (bounds still verified), so a
+            // future minor revision can append data old readers ignore.
+            _ => {
+                section_slice(bytes, offset, len)?;
+                continue;
+            }
+        };
+        let payload = section_slice(bytes, offset, len)?;
+        if fnv1a64(payload) != checksum {
+            return Err(PersistError::ChecksumMismatch { section: name });
+        }
+        if slot.replace(payload).is_some() {
+            return Err(corrupt("header", format!("duplicate section {name:?}")));
+        }
+    }
+    let graph_payload = graph_payload.ok_or_else(|| corrupt("header", "missing graph section"))?;
+    let index_payload = index_payload.ok_or_else(|| corrupt("header", "missing index section"))?;
+    let meta_payload = meta_payload.ok_or_else(|| corrupt("header", "missing meta section"))?;
+
+    let graph = decode_graph(graph_payload)?;
+    let index = decode_hash_index(index_payload, &graph)?;
+    let (discard_frac, freq_threshold) = decode_meta(meta_payload)?;
+    Ok(PersistedIndex {
+        graph,
+        index,
+        discard_frac,
+        freq_threshold,
+    })
+}
+
+/// Writes a persisted index to `path`, returning the file size in bytes.
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`PersistError::Io`].
+pub fn write_index_file(
+    persisted: &PersistedIndex,
+    path: impl AsRef<Path>,
+) -> Result<u64, PersistError> {
+    let bytes = encode_index(persisted);
+    fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Loads a persisted index from `path`.
+///
+/// # Errors
+///
+/// Filesystem failures surface as [`PersistError::Io`]; malformed content
+/// surfaces as the named [`decode_index`] errors, never a panic.
+pub fn read_index_file(path: impl AsRef<Path>) -> Result<PersistedIndex, PersistError> {
+    let bytes = fs::read(path)?;
+    decode_index(&bytes)
+}
+
+/// Bounds-checks one section's extent against the whole file.
+fn section_slice(bytes: &[u8], offset: usize, len: usize) -> Result<&[u8], PersistError> {
+    let end = offset
+        .checked_add(len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or(PersistError::Truncated {
+            offset: bytes.len(),
+        })?;
+    Ok(&bytes[offset..end])
+}
+
+fn encode_graph(graph: &GenomeGraph) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(graph.node_count() as u64);
+    for node in graph.node_ids() {
+        let seq = graph.seq(node).as_slice();
+        w.put_u64(seq.len() as u64);
+        // 2-bit packing, low bits first within each byte — the paper's
+        // reference representation (Section 5).
+        for chunk in seq.chunks(4) {
+            let mut byte = 0u8;
+            for (i, base) in chunk.iter().enumerate() {
+                byte |= base.code() << (2 * i);
+            }
+            w.put_u8(byte);
+        }
+    }
+    w.put_u64(graph.edge_count() as u64);
+    for (from, to) in graph.edges() {
+        w.put_u32(from.0);
+        w.put_u32(to.0);
+    }
+    w.into_bytes()
+}
+
+fn decode_graph(payload: &[u8]) -> Result<GenomeGraph, PersistError> {
+    const SECTION: &str = "graph";
+    let bin = |e| from_bin(SECTION, e);
+    let mut r = ByteReader::new(payload);
+    // A node costs at least 9 bytes (length prefix + one packed byte).
+    let node_count = r.take_count(9).map_err(bin)?;
+    let mut builder = GraphBuilder::new();
+    for n in 0..node_count {
+        let len = usize::try_from(r.take_u64().map_err(bin)?)
+            .map_err(|_| corrupt(SECTION, format!("node {n}: length overflows usize")))?;
+        if len == 0 {
+            return Err(corrupt(SECTION, format!("node {n} is empty")));
+        }
+        let packed = r.take_bytes(len.div_ceil(4)).map_err(bin)?;
+        let seq: DnaSeq = (0..len)
+            .map(|i| Base::from_code_masked(packed[i / 4] >> (2 * (i % 4))))
+            .collect();
+        builder
+            .add_node(seq)
+            .map_err(|e| corrupt(SECTION, format!("node {n}: {e}")))?;
+    }
+    let edge_count = r.take_count(8).map_err(bin)?;
+    for e in 0..edge_count {
+        let from = NodeId(r.take_u32().map_err(bin)?);
+        let to = NodeId(r.take_u32().map_err(bin)?);
+        builder
+            .add_edge(from, to)
+            .map_err(|err| corrupt(SECTION, format!("edge {e} ({from} -> {to}): {err}")))?;
+    }
+    if !r.is_empty() {
+        return Err(corrupt(
+            SECTION,
+            format!("{} trailing bytes", r.remaining()),
+        ));
+    }
+    builder
+        .finish()
+        .map_err(|e| corrupt(SECTION, e.to_string()))
+}
+
+fn encode_hash_index(index: &GraphIndex) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(index.scheme.w as u64);
+    w.put_u64(index.scheme.k as u64);
+    w.put_u8(match index.scheme.ordering {
+        KmerOrdering::Hash => 0,
+        KmerOrdering::Lexicographic => 1,
+    });
+    w.put_u32(index.bucket_bits);
+    w.put_u64(index.bucket_starts.len() as u64);
+    for &start in &index.bucket_starts {
+        w.put_u32(start);
+    }
+    w.put_u64(index.minimizers.len() as u64);
+    for entry in &index.minimizers {
+        w.put_u64(entry.hash);
+        w.put_u32(entry.loc_start);
+        w.put_u32(entry.loc_count);
+    }
+    w.put_u64(index.locations.len() as u64);
+    for loc in &index.locations {
+        w.put_u32(loc.node.0);
+        w.put_u32(loc.offset);
+    }
+    w.into_bytes()
+}
+
+/// Decodes the hash-index section and re-validates every structural
+/// invariant [`GraphIndex::build`] guarantees — bucket ranges, sorted
+/// hashes, contiguous location runs, in-graph positions — so a loaded
+/// index can never panic (or silently mis-answer) a later lookup.
+fn decode_hash_index(payload: &[u8], graph: &GenomeGraph) -> Result<GraphIndex, PersistError> {
+    const SECTION: &str = "index";
+    let bin = |e| from_bin(SECTION, e);
+    let mut r = ByteReader::new(payload);
+    let w = usize::try_from(r.take_u64().map_err(bin)?)
+        .map_err(|_| corrupt(SECTION, "scheme w overflows usize"))?;
+    let k = usize::try_from(r.take_u64().map_err(bin)?)
+        .map_err(|_| corrupt(SECTION, "scheme k overflows usize"))?;
+    if w == 0 || k == 0 || k > 31 {
+        return Err(corrupt(SECTION, format!("invalid scheme <w={w}, k={k}>")));
+    }
+    let ordering = match r.take_u8().map_err(bin)? {
+        0 => KmerOrdering::Hash,
+        1 => KmerOrdering::Lexicographic,
+        other => return Err(corrupt(SECTION, format!("unknown k-mer ordering {other}"))),
+    };
+    let scheme = MinimizerScheme { w, k, ordering };
+    let bucket_bits = r.take_u32().map_err(bin)?;
+    if !(1..=32).contains(&bucket_bits) {
+        return Err(corrupt(
+            SECTION,
+            format!("bucket_bits {bucket_bits} not in 1..=32"),
+        ));
+    }
+    let bucket_count = 1u64 << bucket_bits;
+
+    let starts_len = r.take_count(4).map_err(bin)?;
+    if starts_len as u64 != bucket_count + 1 {
+        return Err(corrupt(
+            SECTION,
+            format!("{starts_len} bucket starts for 2^{bucket_bits} buckets"),
+        ));
+    }
+    let mut bucket_starts = Vec::with_capacity(starts_len);
+    for _ in 0..starts_len {
+        bucket_starts.push(r.take_u32().map_err(bin)?);
+    }
+    if bucket_starts[0] != 0 {
+        return Err(corrupt(SECTION, "first bucket start is not 0"));
+    }
+    if bucket_starts.windows(2).any(|p| p[0] > p[1]) {
+        return Err(corrupt(SECTION, "bucket starts are not non-decreasing"));
+    }
+
+    let minimizer_count = r.take_count(16).map_err(bin)?;
+    if *bucket_starts.last().expect("non-empty") as usize != minimizer_count {
+        return Err(corrupt(
+            SECTION,
+            "last bucket start does not equal the minimizer count",
+        ));
+    }
+    let mut minimizers = Vec::with_capacity(minimizer_count);
+    let mut next_loc_start = 0u64;
+    for m in 0..minimizer_count {
+        let hash = r.take_u64().map_err(bin)?;
+        let loc_start = r.take_u32().map_err(bin)?;
+        let loc_count = r.take_u32().map_err(bin)?;
+        // Location runs must tile the third level exactly, in order.
+        if u64::from(loc_start) != next_loc_start || loc_count == 0 {
+            return Err(corrupt(
+                SECTION,
+                format!("minimizer {m}: non-contiguous location run"),
+            ));
+        }
+        next_loc_start += u64::from(loc_count);
+        minimizers.push(MinimizerEntry {
+            hash,
+            loc_start,
+            loc_count,
+        });
+    }
+    // Per-bucket invariants: every entry hashes into its bucket and
+    // hashes are strictly increasing within it (binary-search order).
+    for bucket in 0..bucket_count as usize {
+        let range = bucket_starts[bucket] as usize..bucket_starts[bucket + 1] as usize;
+        let entries = &minimizers[range];
+        for pair in entries.windows(2) {
+            if pair[0].hash >= pair[1].hash {
+                return Err(corrupt(
+                    SECTION,
+                    format!("bucket {bucket}: hashes not strictly increasing"),
+                ));
+            }
+        }
+        for entry in entries {
+            if entry.hash % bucket_count != bucket as u64 {
+                return Err(corrupt(
+                    SECTION,
+                    format!("hash {:#x} filed under bucket {bucket}", entry.hash),
+                ));
+            }
+        }
+    }
+
+    let location_count = r.take_count(8).map_err(bin)?;
+    if location_count as u64 != next_loc_start {
+        return Err(corrupt(
+            SECTION,
+            "location count does not match the minimizer runs",
+        ));
+    }
+    let mut locations = Vec::with_capacity(location_count);
+    for l in 0..location_count {
+        let node = NodeId(r.take_u32().map_err(bin)?);
+        let offset = r.take_u32().map_err(bin)?;
+        if node.index() >= graph.node_count() || offset as usize >= graph.node_len(node) {
+            return Err(corrupt(
+                SECTION,
+                format!("location {l} ({node}:{offset}) is outside the graph"),
+            ));
+        }
+        locations.push(GraphPos { node, offset });
+    }
+    if !r.is_empty() {
+        return Err(corrupt(
+            SECTION,
+            format!("{} trailing bytes", r.remaining()),
+        ));
+    }
+    Ok(GraphIndex {
+        scheme,
+        bucket_bits,
+        bucket_starts,
+        minimizers,
+        locations,
+    })
+}
+
+fn encode_meta(persisted: &PersistedIndex) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(persisted.discard_frac.to_bits());
+    w.put_u32(persisted.freq_threshold);
+    w.into_bytes()
+}
+
+fn decode_meta(payload: &[u8]) -> Result<(f64, u32), PersistError> {
+    const SECTION: &str = "meta";
+    let bin = |e| from_bin(SECTION, e);
+    let mut r = ByteReader::new(payload);
+    let discard_frac = f64::from_bits(r.take_u64().map_err(bin)?);
+    if !(0.0..=1.0).contains(&discard_frac) {
+        return Err(corrupt(
+            SECTION,
+            format!("discard fraction {discard_frac} not in 0..=1"),
+        ));
+    }
+    let freq_threshold = r.take_u32().map_err(bin)?;
+    if !r.is_empty() {
+        return Err(corrupt(
+            SECTION,
+            format!("{} trailing bytes", r.remaining()),
+        ));
+    }
+    Ok((discard_frac, freq_threshold))
+}

@@ -1,0 +1,315 @@
+//! Bounds-checked little-endian binary primitives for the on-disk index
+//! format (`segram index build` / the `segram serve` load path).
+//!
+//! The pair [`ByteWriter`] / [`ByteReader`] is deliberately minimal: fixed
+//! little-endian integer encodings, length-prefixed byte runs, and a
+//! [`BinError`] for every way a corrupt or truncated buffer can disappoint
+//! the reader — reading never panics and never allocates proportionally to
+//! an unvalidated length field. Checksums use [`fnv1a64`], chosen because
+//! it is tiny, dependency-free, and plenty for corruption *detection* (the
+//! format does not defend against adversarial collisions).
+
+use std::error::Error;
+use std::fmt;
+
+/// FNV-1a 64-bit hash of `bytes` — the section checksum of the on-disk
+/// index format.
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::fnv1a64;
+/// // The FNV-1a offset basis is the hash of the empty string.
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_ne!(fnv1a64(b"segram"), fnv1a64(b"segraM"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An error while decoding a binary buffer: the input ended early or a
+/// length field claimed more bytes than exist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BinError {
+    /// A read ran past the end of the buffer.
+    UnexpectedEnd {
+        /// Byte offset the read started at.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A length field implies more elements than the remaining bytes can
+    /// possibly hold (guards allocations against corrupt counts).
+    ImplausibleLength {
+        /// Byte offset of the length field.
+        offset: usize,
+        /// The claimed element count.
+        claimed: u64,
+    },
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "unexpected end of input at byte {offset}: needed {needed} bytes, \
+                 {available} available"
+            ),
+            Self::ImplausibleLength { offset, claimed } => write!(
+                f,
+                "implausible length {claimed} at byte {offset}: larger than the \
+                 remaining input"
+            ),
+        }
+    }
+}
+
+impl Error for BinError {}
+
+/// An append-only little-endian encoder over a growable byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use segram_io::{ByteReader, ByteWriter};
+///
+/// let mut w = ByteWriter::new();
+/// w.put_u32(7);
+/// w.put_bytes(b"acgt");
+/// let bytes = w.into_bytes();
+///
+/// let mut r = ByteReader::new(&bytes);
+/// assert_eq!(r.take_u32()?, 7);
+/// assert_eq!(r.take_bytes(4)?, b"acgt");
+/// assert!(r.is_empty());
+/// # Ok::<(), segram_io::BinError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked little-endian decoder over a byte slice. Every `take_*`
+/// returns [`BinError`] instead of panicking when the buffer is shorter
+/// than the format promised.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current read offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `len` bytes verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEnd`] when fewer than `len` bytes remain.
+    pub fn take_bytes(&mut self, len: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < len {
+            return Err(BinError::UnexpectedEnd {
+                offset: self.pos,
+                needed: len,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Takes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEnd`] at end of input.
+    pub fn take_u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Takes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEnd`] when fewer than 4 bytes remain.
+    pub fn take_u32(&mut self) -> Result<u32, BinError> {
+        let bytes = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    /// Takes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEnd`] when fewer than 8 bytes remain.
+    pub fn take_u64(&mut self) -> Result<u64, BinError> {
+        let bytes = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Takes a `u64` element count and validates that `count × elem_bytes`
+    /// elements could still fit in the remaining input — the guard that
+    /// keeps a corrupt count from driving a proportional allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEnd`] at end of input,
+    /// [`BinError::ImplausibleLength`] when the count cannot fit.
+    pub fn take_count(&mut self, elem_bytes: usize) -> Result<usize, BinError> {
+        let offset = self.pos;
+        let claimed = self.take_u64()?;
+        let fits = u64::try_from(elem_bytes)
+            .ok()
+            .and_then(|eb| claimed.checked_mul(eb))
+            .is_some_and(|total| total <= self.remaining() as u64);
+        if !fits {
+            return Err(BinError::ImplausibleLength { offset, claimed });
+        }
+        Ok(claimed as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_bytes(b"xyz");
+        assert_eq!(w.len(), 1 + 4 + 8 + 3);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xab);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_bytes(3).unwrap(), b"xyz");
+        assert!(r.is_empty());
+        assert_eq!(r.position(), bytes.len());
+    }
+
+    #[test]
+    fn every_truncation_prefix_errors_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.put_u32(3);
+        w.put_u64(12);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let short = r.take_u32().and_then(|_| r.take_u64());
+            assert!(short.is_err(), "prefix of {cut} bytes must fail");
+            assert!(matches!(short.unwrap_err(), BinError::UnexpectedEnd { .. }));
+        }
+    }
+
+    #[test]
+    fn take_count_rejects_implausible_lengths() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // claims 2^64-1 elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.take_count(8),
+            Err(BinError::ImplausibleLength {
+                claimed: u64::MAX,
+                ..
+            })
+        ));
+        // A plausible count passes and leaves the payload readable.
+        let mut w = ByteWriter::new();
+        w.put_u64(2);
+        w.put_u32(1);
+        w.put_u32(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_count(4).unwrap(), 2);
+        assert_eq!(r.take_u32().unwrap(), 1);
+    }
+
+    #[test]
+    fn fnv_checksum_detects_single_byte_flips() {
+        let payload = b"the quick brown fox".to_vec();
+        let reference = fnv1a64(&payload);
+        for i in 0..payload.len() {
+            let mut flipped = payload.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(fnv1a64(&flipped), reference, "flip at byte {i}");
+        }
+    }
+}

@@ -16,6 +16,11 @@
 //! * **GAF** ([`read_gaf`] / [`write_gaf`]) — graph alignments with
 //!   explicit node paths.
 //!
+//! The `segram index build` persistent-index format additionally builds on
+//! the bounds-checked binary primitives here ([`ByteWriter`] /
+//! [`ByteReader`] / [`fnv1a64`]): reading never panics on truncated or
+//! corrupt input.
+//!
 //! All parsers take `&str` input and report 1-based line numbers in
 //! [`FormatError`]; callers own file handling (`std::fs::read_to_string`),
 //! per C-RW-VALUE's spirit of keeping I/O at the edge.
@@ -44,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod binary;
 mod error;
 mod fasta;
 mod fastq;
@@ -52,6 +58,7 @@ mod gaf;
 mod stream;
 mod vcf;
 
+pub use binary::{fnv1a64, BinError, ByteReader, ByteWriter};
 pub use error::FormatError;
 pub use fasta::{read_fasta, write_fasta, Ambiguity, FastaRecord};
 pub use fastq::{

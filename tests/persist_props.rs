@@ -1,0 +1,218 @@
+//! Property tests for the persistent on-disk index format (`.sgi`):
+//! encode/decode round-trips over arbitrary graphs, and the guarantee
+//! that corrupt, truncated, or incompatible files produce a named
+//! [`PersistError`] — never a panic.
+
+use segram_core::SegramConfig;
+use segram_graph::{linear_graph, Base, DnaSeq, GenomeGraph, GraphBuilder, NodeId};
+use segram_index::{
+    decode_index, encode_index, frequency_threshold, GraphIndex, MinimizerScheme, PersistError,
+    PersistedIndex, INDEX_FORMAT_VERSION, INDEX_MAGIC,
+};
+use segram_sim::DatasetConfig;
+use segram_testkit::prelude::*;
+use std::sync::Arc;
+
+/// Bytes before the first section payload: magic + version + count + the
+/// three 28-byte table entries. Flips beyond this land in a checksummed
+/// payload.
+const HEADER_BYTES: usize = 8 + 4 + 4 + 3 * 28;
+
+fn arb_graph() -> impl Strategy<Value = GenomeGraph> {
+    (
+        prop::collection::vec(prop::collection::vec(0u8..4, 1..=40), 1..=12),
+        prop::collection::vec((0usize..12, 0usize..12), 0..=20),
+    )
+        .prop_map(|(seqs, raw_edges)| {
+            let mut builder = GraphBuilder::new();
+            let ids: Vec<NodeId> = seqs
+                .iter()
+                .map(|codes| {
+                    let seq: DnaSeq = codes.iter().copied().map(Base::from_code_masked).collect();
+                    builder.add_node(seq).expect("non-empty node")
+                })
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in raw_edges {
+                let (a, b) = (a % ids.len(), b % ids.len());
+                // Forward edges only keep the random graph acyclic.
+                if a < b && seen.insert((a, b)) {
+                    builder.add_edge(ids[a], ids[b]).expect("valid edge");
+                }
+            }
+            builder.finish().expect("acyclic by construction")
+        })
+}
+
+/// A small but non-trivial fixture file for the corruption tests.
+fn fixture() -> PersistedIndex {
+    let text: DnaSeq = "ACGTTGCAGTCATGCAACGGTTAC"
+        .repeat(90)
+        .parse()
+        .expect("valid bases");
+    let graph = linear_graph(&text, 64).expect("non-empty reference");
+    let index = GraphIndex::build(&graph, MinimizerScheme::new(5, 11), 6);
+    let freq_threshold = frequency_threshold(&index, 0.01);
+    PersistedIndex {
+        graph,
+        index,
+        discard_frac: 0.01,
+        freq_threshold,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode → encode is byte-identical for arbitrary graphs,
+    /// schemes, and metadata (field-level equality via re-serialization,
+    /// plus behavioral equality of the graph and index).
+    #[test]
+    fn round_trip_is_byte_identical(
+        graph in arb_graph(),
+        w in 1usize..8,
+        k in 1usize..12,
+        lexicographic in any::<bool>(),
+        bucket_bits in 1u32..10,
+        discard_frac in 0.0f64..1.0,
+    ) {
+        let scheme = if lexicographic {
+            MinimizerScheme::lexicographic(w, k)
+        } else {
+            MinimizerScheme::new(w, k)
+        };
+        let index = GraphIndex::build(&graph, scheme, bucket_bits);
+        let persisted = PersistedIndex {
+            freq_threshold: frequency_threshold(&index, discard_frac),
+            graph,
+            index,
+            discard_frac,
+        };
+        let bytes = encode_index(&persisted);
+        let loaded = decode_index(&bytes).expect("own encoding must load");
+        prop_assert_eq!(&encode_index(&loaded), &bytes);
+        prop_assert_eq!(loaded.graph.node_count(), persisted.graph.node_count());
+        prop_assert_eq!(loaded.graph.edge_count(), persisted.graph.edge_count());
+        for node in persisted.graph.node_ids() {
+            prop_assert_eq!(loaded.graph.seq(node), persisted.graph.seq(node));
+        }
+        prop_assert_eq!(
+            loaded.index.distinct_minimizers(),
+            persisted.index.distinct_minimizers()
+        );
+        prop_assert_eq!(loaded.freq_threshold, persisted.freq_threshold);
+        prop_assert_eq!(loaded.discard_frac.to_bits(), persisted.discard_frac.to_bits());
+    }
+
+    /// Flipping any single byte outside the section-count field makes the
+    /// file fail to load with a named error (payload flips are caught by
+    /// the section checksums; header flips by the structural checks).
+    #[test]
+    fn single_byte_flips_yield_named_errors(
+        seed_pos in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let bytes = encode_index(&fixture());
+        let pos = seed_pos % bytes.len();
+        // Bytes 12..16 hold the section count; some flips there only add
+        // ignored trailing sections, which is compatibility, not
+        // corruption — every other byte must be load-bearing.
+        prop_assume!(!(12..16).contains(&pos));
+        let mut flipped = bytes.clone();
+        flipped[pos] ^= mask;
+        let err = decode_index(&flipped).expect_err("flip must be detected");
+        match pos {
+            0..=7 => prop_assert!(matches!(err, PersistError::BadMagic)),
+            8..=11 => prop_assert!(matches!(err, PersistError::UnsupportedVersion { .. })),
+            _ if pos >= HEADER_BYTES => prop_assert!(
+                matches!(
+                    err,
+                    PersistError::ChecksumMismatch { .. } | PersistError::Truncated { .. }
+                ),
+                "payload flip at {pos} gave {err}"
+            ),
+            _ => {} // table flips: any named error is acceptable
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_errors_instead_of_panicking() {
+    let bytes = encode_index(&fixture());
+    assert!(bytes.len() > HEADER_BYTES);
+    for cut in 0..bytes.len() {
+        let err = decode_index(&bytes[..cut]).expect_err("truncated file must not load");
+        match err {
+            PersistError::BadMagic
+            | PersistError::Truncated { .. }
+            | PersistError::ChecksumMismatch { .. }
+            | PersistError::Corrupt { .. } => {}
+            other => panic!("truncation at {cut} gave unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_and_version_skew_are_named() {
+    let bytes = encode_index(&fixture());
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..8].copy_from_slice(b"NOTSGRM\0");
+    assert!(matches!(
+        decode_index(&wrong_magic),
+        Err(PersistError::BadMagic)
+    ));
+
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&(INDEX_FORMAT_VERSION + 1).to_le_bytes());
+    match decode_index(&future) {
+        Err(PersistError::UnsupportedVersion { found }) => {
+            assert_eq!(found, INDEX_FORMAT_VERSION + 1);
+        }
+        other => panic!("version skew gave {other:?}"),
+    }
+
+    // The happy path still works, and the magic is what the docs claim.
+    assert_eq!(&bytes[..8], &INDEX_MAGIC);
+    assert!(decode_index(&bytes).is_ok());
+}
+
+#[test]
+fn empty_and_tiny_inputs_error_cleanly() {
+    for len in 0..INDEX_MAGIC.len() {
+        assert!(matches!(
+            decode_index(&vec![0u8; len]),
+            Err(PersistError::BadMagic | PersistError::Truncated { .. })
+        ));
+    }
+}
+
+/// A mapper reconstructed from a loaded index maps every read exactly as
+/// the mapper the index was built from — the contract `segram serve`
+/// relies on for byte-identical output.
+#[test]
+fn built_and_loaded_mappers_agree_on_every_read() {
+    let dataset = DatasetConfig::tiny(123).illumina(100);
+    let config = SegramConfig::short_reads();
+    let built = segram_core::SegramMapper::new(dataset.graph().clone(), config);
+
+    let persisted = PersistedIndex {
+        graph: built.graph().clone(),
+        index: built.index().clone(),
+        discard_frac: config.discard_frac,
+        freq_threshold: built.freq_threshold(),
+    };
+    let loaded = decode_index(&encode_index(&persisted)).expect("round trip");
+    let reloaded = segram_core::SegramMapper::from_parts(
+        Arc::new(loaded.graph),
+        loaded.index,
+        config,
+        loaded.freq_threshold,
+    );
+
+    for read in &dataset.reads {
+        let (a, _) = built.map_read(&read.seq);
+        let (b, _) = reloaded.map_read(&read.seq);
+        assert_eq!(a, b, "mapping diverged for a read");
+    }
+}
