@@ -11,19 +11,23 @@
 #   2. test             cargo test -q --locked
 #   3. fmt              cargo fmt --check
 #   4. clippy           cargo clippy --all-targets -- -D warnings
-#   5. bench-smoke      engine + sharding benches, 2 samples each,
+#   5. bench-smoke      engine + sharding benches, 3 samples each,
 #                       emitting the BENCH_smoke.json artifact
 #   6. determinism      segram map output diffed across --threads 1 vs 4
 #   7. shard-determinism  segram map output diffed across --shards 1 vs 4,
 #                       crossed with --threads 1 vs 4
-#   8. backend-matrix   all four backends (segram/graphaligner/vg/hga)
+#   8. elastic-shards   `--schedule elastic` (per-shard-group worker pools,
+#                       routed batches, live rebalancing) diffed against
+#                       the default fanout schedule across --shards 1 vs 4
+#                       crossed with --threads 1 vs 4
+#   9. backend-matrix   all four backends (segram/graphaligner/vg/hga)
 #                       through the engine, each diffed across
 #                       --threads 1 vs 4
-#   9. overlapped-io    the framer -> worker-decode -> writer-thread path:
+#  10. overlapped-io    the framer -> worker-decode -> writer-thread path:
 #                       all four backends diffed across --threads 1 vs 8
 #                       (SAM and GAF), the high-thread-count stress of the
 #                       overlapped pipeline's ordering guarantee
-#  10. persistent-serve `segram index build` -> `map --index` diffed against
+#  11. persistent-serve `segram index build` -> `map --index` diffed against
 #                       `map --graph`, then a live `segram serve` daemon:
 #                       concurrent requests (one cancelled mid-payload)
 #                       diffed against one-shot output, clean shutdown
@@ -50,15 +54,16 @@ tier fmt cargo fmt --check
 tier clippy cargo clippy --all-targets --locked -- -D warnings
 
 # ---------------------------------------------------------------------------
-# Bench smoke: the benchmark binaries must still build and run. Two
-# samples per benchmark (SEGRAM_BENCH_SAMPLES) keep this tier fast; the
-# per-benchmark results land in BENCH_smoke.json for CI artifact upload.
+# Bench smoke: the benchmark binaries must still build and run. Three
+# samples per benchmark (SEGRAM_BENCH_SAMPLES) keep this tier fast while
+# giving the min-of-samples a little noise rejection; the per-benchmark
+# results land in BENCH_smoke.json for CI artifact upload.
 # ---------------------------------------------------------------------------
 bench_smoke() {
     cargo build --release --locked -p segram-bench || return 1
     local jsonl="$GATE_DIR/bench.jsonl"
     rm -f "$jsonl" BENCH_smoke.json
-    SEGRAM_BENCH_SAMPLES=2 SEGRAM_BENCH_JSON="$jsonl" \
+    SEGRAM_BENCH_SAMPLES=3 SEGRAM_BENCH_JSON="$jsonl" \
         cargo bench -q -p segram-bench --locked \
         --bench engine --bench sharding --bench persist_serve \
         || return 1
@@ -122,8 +127,34 @@ determinism_shards() {
     done
 }
 
+elastic_shards() {
+    # Same 60 kb dataset as shard-determinism. The elastic schedule —
+    # per-shard-group worker pools, batches routed by dominant shard
+    # group, shard ownership rebalanced live from seed-hit counters —
+    # must produce bytes identical to the default fanout schedule for
+    # every shards x threads combination, in both output formats.
+    "$SEGRAM" simulate --out-prefix "$GATE_DIR/ds" \
+        --length 60000 --reads 24 --read-len 120 --seed 11 > /dev/null || return 1
+    local fmt shards threads
+    for fmt in sam gaf; do
+        map_once "$GATE_DIR/fan.$fmt" --format "$fmt" --threads 1 || return 1
+        for shards in 1 4; do
+            for threads in 1 4; do
+                map_once "$GATE_DIR/el-s$shards-t$threads.$fmt" \
+                    --format "$fmt" --threads "$threads" --shards "$shards" \
+                    --schedule elastic || return 1
+                diff "$GATE_DIR/fan.$fmt" "$GATE_DIR/el-s$shards-t$threads.$fmt" \
+                    || { echo "$fmt differs: --schedule elastic --shards $shards --threads $threads"
+                         return 1; }
+            done
+        done
+        echo "  $fmt: elastic identical to fanout across --shards 1/4 x --threads 1/4"
+    done
+}
+
 tier determinism determinism_threads
 tier shard-determinism determinism_shards
+tier elastic-shards elastic_shards
 
 # ---------------------------------------------------------------------------
 # Backend matrix: every pluggable backend rides the same engine, so each

@@ -15,8 +15,8 @@ use std::time::Duration;
 
 use segram_core::{
     gaf_record_for, run_backend_eval, sam_record_for, Backend, BackendEval, BackendKind,
-    CancelToken, EngineConfig, EngineReport, EvalRead, MapEngine, ReadMapper, SegramConfig,
-    SegramMapper, ShardAffinity, ShardedIndex,
+    CancelToken, ElasticReport, ElasticScheduler, EngineConfig, EngineReport, EvalRead, MapEngine,
+    ReadMapper, SegramConfig, SegramMapper, ShardAffinity, ShardedIndex,
 };
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, ConstructedGraph, DnaSeq, GenomeGraph, VariantSet};
@@ -376,6 +376,28 @@ pub(crate) fn mapper_from_index_file(
     ))
 }
 
+/// Loads a persistent `.sgi` index and re-shards it into `shards`
+/// coordinate-range shards (`segram serve --shards`). Applies the same
+/// config overrides as [`mapper_from_index_file`], so shard mapping stays
+/// byte-identical to the monolithic loaded index.
+pub(crate) fn sharded_from_index_file(
+    path: &str,
+    mut config: SegramConfig,
+    shards: usize,
+) -> Result<ShardedIndex, CliError> {
+    let loaded = read_index_file(path).map_err(|e| CliError::index(path, e))?;
+    config.scheme = *loaded.index.scheme();
+    config.bucket_bits = loaded.index.bucket_bits();
+    config.discard_frac = loaded.discard_frac;
+    Ok(ShardedIndex::from_parts(
+        Arc::new(loaded.graph),
+        &loaded.index,
+        config,
+        loaded.freq_threshold,
+        shards,
+    ))
+}
+
 // ---------------------------------------------------------------------------
 // map
 // ---------------------------------------------------------------------------
@@ -406,6 +428,14 @@ OPTIONS:
                            with a seeding router in front (default 1; the
                            software analogue of the paper's per-HBM-channel
                            accelerator instances; --backend segram only)
+    --schedule <fanout|elastic>
+                           worker schedule (default fanout: all workers pop
+                           one shared queue). elastic gives each shard group
+                           a dedicated worker pool with its own queue,
+                           routes batches by their dominant shard group, and
+                           rebalances shard ownership live; output bytes are
+                           identical either way (--graph + --backend segram
+                           only)
     --preset <short|long5|long10>
                            mapper preset (default short)
     --filter <none|base-count|qgram|shd|snake|cascade>
@@ -499,9 +529,9 @@ fn reject_foreign_filter(backend: BackendKind, options: &Options) -> Result<(), 
     Ok(())
 }
 
-/// Index-shard count for `segram map`: `--shards N` with `N >= 1`
-/// (default 1 = the unsharded mapper).
-fn shard_count(options: &Options) -> Result<usize, CliError> {
+/// Index-shard count for `segram map` / `segram serve`: `--shards N`
+/// with `N >= 1` (default 1 = the unsharded mapper).
+pub(crate) fn shard_count(options: &Options) -> Result<usize, CliError> {
     match options.get("shards") {
         None => Ok(1),
         Some(text) => match text.parse::<usize>() {
@@ -511,6 +541,28 @@ fn shard_count(options: &Options) -> Result<usize, CliError> {
                 "--shards: unparsable value {text:?}"
             ))),
         },
+    }
+}
+
+/// Worker schedule for `segram map` / `segram serve`: the default fanout
+/// (one shared queue) or the elastic per-shard-group pool schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Schedule {
+    /// Every worker pops the one shared queue; shard affinity is a plan.
+    Fanout,
+    /// Per-shard-group worker pools with routed batches and live
+    /// rebalancing ([`ElasticScheduler`]).
+    Elastic,
+}
+
+/// Parses `--schedule fanout|elastic` (default fanout).
+pub(crate) fn schedule_kind(options: &Options) -> Result<Schedule, CliError> {
+    match options.get("schedule") {
+        None | Some("fanout") => Ok(Schedule::Fanout),
+        Some("elastic") => Ok(Schedule::Elastic),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown schedule {other:?} (expected fanout|elastic)"
+        ))),
     }
 }
 
@@ -554,10 +606,21 @@ enum MapWriter {
 struct EngineRun {
     report: EngineReport,
     batch_size: usize,
-    /// Worker affinity summary (sharded runs only): per group, the shard
-    /// ids pinned to it and the batches its workers processed.
-    affinity: Option<(Vec<Vec<usize>>, Vec<u64>)>,
+    /// Worker affinity plan (sharded fanout runs only): per group, the
+    /// shard ids pinned to it.
+    affinity: Option<Vec<Vec<usize>>>,
+    /// The full elastic report (elastic runs only): per-pool
+    /// depth/stall/batch counters plus route/spill/migration totals.
+    elastic: Option<ElasticReport>,
     target: MapTarget,
+}
+
+/// How `run_map_stream` drives the engine: the fanout [`MapEngine`] (with
+/// an optional informational affinity plan) or the [`ElasticScheduler`]
+/// over a sharded index.
+enum MapSchedule<'a> {
+    Fanout(Option<ShardAffinity>),
+    Elastic(&'a ShardedIndex, ShardAffinity),
 }
 
 /// Removes a partially written output file on drop unless disarmed — the
@@ -602,7 +665,7 @@ fn take_error<E>(slot: Mutex<Option<E>>) -> Option<E> {
 #[allow(clippy::too_many_arguments)]
 fn run_map_stream<M: ReadMapper>(
     mapper: &M,
-    affinity: Option<ShardAffinity>,
+    schedule: MapSchedule<'_>,
     threads: usize,
     both: bool,
     options: &Options,
@@ -722,11 +785,24 @@ fn run_map_stream<M: ReadMapper>(
     let engine_config = EngineConfig::with_threads(threads)
         .both_strands(both)
         .with_cancel(cancel.clone());
-    let engine = match affinity {
-        Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
-        None => MapEngine::new(mapper, engine_config),
+    let (run, batch_size, affinity_groups, elastic) = match schedule {
+        MapSchedule::Fanout(affinity) => {
+            let engine = match affinity {
+                Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
+                None => MapEngine::new(mapper, engine_config),
+            };
+            let run = engine.map_raw_stream(raws, decode, |record| &record.seq, sink);
+            let batch_size = engine.config().batch_size;
+            let groups = engine.affinity().map(|a| a.groups().to_vec());
+            (run, batch_size, groups, None)
+        }
+        MapSchedule::Elastic(sharded, affinity) => {
+            let scheduler = ElasticScheduler::new(sharded, engine_config, affinity);
+            let batch_size = scheduler.config().batch_size;
+            let report = scheduler.map_raw_stream(raws, decode, |record| &record.seq, sink);
+            (report.engine, batch_size, None, Some(report))
+        }
     };
-    let run = engine.map_raw_stream(raws, decode, |record| &record.seq, sink);
 
     // Input-side failures outrank output-side ones, mirroring the
     // pre-overlap behaviour (decode errors *are* the old read errors,
@@ -750,17 +826,22 @@ fn run_map_stream<M: ReadMapper>(
 
     Ok(EngineRun {
         report: run,
-        batch_size: engine.config().batch_size,
-        affinity: engine
-            .affinity()
-            .map(|a| (a.groups().to_vec(), a.batches_per_group())),
+        batch_size,
+        affinity: affinity_groups,
+        elastic,
         target,
     })
 }
 
 /// The per-shard section of a sharded run's report: occupancy counters,
-/// seeding-load imbalance, and the worker affinity groups.
-fn shard_report(sharded: &ShardedIndex, affinity: Option<&(Vec<Vec<usize>>, Vec<u64>)>) -> String {
+/// seeding-load imbalance, and either the (informational) fanout affinity
+/// plan or the elastic per-pool depth/stall/migration counters.
+fn shard_report(
+    sharded: &ShardedIndex,
+    affinity: Option<&Vec<Vec<usize>>>,
+    elastic: Option<&ElasticReport>,
+) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut section = String::new();
     let _ = writeln!(
         section,
@@ -775,14 +856,42 @@ fn shard_report(sharded: &ShardedIndex, affinity: Option<&(Vec<Vec<usize>>, Vec<
             stats.shard, stats.start, stats.end, stats.seed_hits, stats.regions, stats.wins
         );
     }
-    if let Some((groups, batches)) = affinity {
+    if let Some(groups) = affinity {
         let lines: Vec<String> = groups
             .iter()
-            .zip(batches)
             .enumerate()
-            .map(|(g, (shards, b))| format!("group {g} -> shards {shards:?} ({b} batches)"))
+            .map(|(g, shards)| format!("group {g} -> shards {shards:?}"))
             .collect();
         let _ = writeln!(section, "worker affinity plan: {}", lines.join(", "));
+    }
+    if let Some(report) = elastic {
+        let _ = writeln!(
+            section,
+            "schedule: elastic — {} pools, {} batches routed, {} spilled, \
+             {} shard migrations",
+            report.pools.len(),
+            report.routed,
+            report.spilled,
+            report.migrations
+        );
+        for (p, pool) in report.pools.iter().enumerate() {
+            let _ = writeln!(
+                section,
+                "  pool {p} -> shards {:?} ({} workers): {} batches \
+                 ({} routed, {} spilled), queue max depth {}, \
+                 producer stalled {}x ({:.2} ms), workers starved {}x ({:.2} ms)",
+                pool.shards,
+                pool.workers,
+                pool.batches,
+                pool.routed,
+                pool.spilled,
+                pool.queue.max_depth,
+                pool.queue.producer_waits,
+                ms(pool.queue.producer_wait),
+                pool.queue.worker_waits,
+                ms(pool.queue.worker_wait)
+            );
+        }
     }
     section
 }
@@ -801,6 +910,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "backend",
         "threads",
         "shards",
+        "schedule",
         "preset",
         "filter",
         "both-strands",
@@ -831,6 +941,15 @@ pub fn map(options: &Options) -> Result<String, CliError> {
     reject_foreign_filter(backend, options)?;
     let threads = thread_count(options)?;
     let shards = shard_count(options)?;
+    let schedule = schedule_kind(options)?;
+    if schedule == Schedule::Elastic && backend != BackendKind::Segram {
+        return Err(CliError::usage(format!(
+            "--schedule elastic only applies to --backend segram (the pool \
+             schedule routes by the sharded index); drop --schedule or use \
+             --backend segram, got --backend {}",
+            backend.name()
+        )));
+    }
     let mut config = preset(options.get("preset").unwrap_or("short"))?;
     config.prefilter = filter_spec(options.get("filter").unwrap_or("none"))?;
     let both = options.switch("both-strands");
@@ -843,7 +962,14 @@ pub fn map(options: &Options) -> Result<String, CliError> {
             if options.get("shards").is_some() {
                 return Err(CliError::usage(
                     "--shards requires --graph (the persistent index is \
-                     monolithic; shard from the GFA instead)",
+                     monolithic; shard from the GFA, or use `segram serve \
+                     --shards` which re-shards the loaded index)",
+                ));
+            }
+            if schedule == Schedule::Elastic {
+                return Err(CliError::usage(
+                    "--schedule elastic requires --graph (the pool schedule \
+                     runs over a sharded index built from the GFA)",
                 ));
             }
             if backend != BackendKind::Segram {
@@ -855,7 +981,14 @@ pub fn map(options: &Options) -> Result<String, CliError> {
             }
             let mapper = mapper_from_index_file(index_path, config)?;
             let run = run_map_stream(
-                &mapper, None, threads, both, options, format, reads_path, out_path,
+                &mapper,
+                MapSchedule::Fanout(None),
+                threads,
+                both,
+                options,
+                format,
+                reads_path,
+                out_path,
             )?;
             (
                 run,
@@ -871,16 +1004,33 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                 // against) the native one.
                 let mapper = Backend::build(backend, graph, config, 1);
                 let run = run_map_stream(
-                    &mapper, None, threads, both, options, format, reads_path, out_path,
+                    &mapper,
+                    MapSchedule::Fanout(None),
+                    threads,
+                    both,
+                    options,
+                    format,
+                    reads_path,
+                    out_path,
                 )?;
                 (run, String::new(), String::new())
-            } else if shards <= 1 {
+            } else if shards <= 1 && schedule == Schedule::Fanout {
                 let mapper = SegramMapper::new(graph, config);
                 let run = run_map_stream(
-                    &mapper, None, threads, both, options, format, reads_path, out_path,
+                    &mapper,
+                    MapSchedule::Fanout(None),
+                    threads,
+                    both,
+                    options,
+                    format,
+                    reads_path,
+                    out_path,
                 )?;
                 (run, String::new(), String::new())
             } else {
+                // Sharded and/or elastic: both need the sharded index (the
+                // elastic schedule over --shards 1 is a single pool, still
+                // exercising the routed path).
                 let sharded = ShardedIndex::build(graph, config, shards);
                 if sharded.shards().len() < shards {
                     eprintln!(
@@ -890,9 +1040,13 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                     );
                 }
                 let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
+                let map_schedule = match schedule {
+                    Schedule::Fanout => MapSchedule::Fanout(Some(affinity)),
+                    Schedule::Elastic => MapSchedule::Elastic(&sharded, affinity),
+                };
                 let run = run_map_stream(
                     &sharded,
-                    Some(affinity),
+                    map_schedule,
                     threads,
                     both,
                     options,
@@ -900,7 +1054,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                     reads_path,
                     out_path,
                 )?;
-                let section = shard_report(&sharded, run.affinity.as_ref());
+                let section = shard_report(&sharded, run.affinity.as_ref(), run.elastic.as_ref());
                 (run, section, String::new())
             }
         }

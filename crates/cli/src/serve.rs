@@ -30,16 +30,20 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use segram_core::{
-    gaf_record_for, sam_record_for, MultiConfig, MultiEngine, RequestHandle, SegramMapper,
+    gaf_record_for, sam_record_for, MultiConfig, MultiEngine, ReadMapper, RebalanceConfig,
+    Rebalancer, RequestHandle, RouteHook, ShardAffinity, ShardedIndex,
 };
 use segram_graph::{DnaSeq, GenomeGraph};
 use segram_io::{Ambiguity, FastqReader, FastqRecord, GafWriter, SamWriter};
 
 use crate::args::Options;
-use crate::commands::{mapper_from_index_file, preset, thread_count, write_file};
+use crate::commands::{
+    mapper_from_index_file, preset, schedule_kind, shard_count, sharded_from_index_file,
+    thread_count, write_file, Schedule,
+};
 use crate::error::CliError;
 
 /// Reads per engine batch: small enough that a request's first outputs
@@ -68,6 +72,16 @@ OPTIONS:
     --addr-file <path>     also write the chosen address to this file
                            (for scripts that need to find the port)
     --threads <int>        worker threads (default: all available cores)
+    --shards <int>         re-shard the loaded index into N coordinate
+                           ranges with a seeding router in front
+                           (default 1; replies stay byte-identical)
+    --schedule <fanout|elastic>
+                           worker schedule (default fanout: all workers
+                           serve every request batch). elastic splits the
+                           workers into per-shard-group pools, routes each
+                           request batch to the pool owning its dominant
+                           shard group (idle pools steal), and rebalances
+                           shard ownership from live seed-hit counters
     --queue-depth <int>    per-request input-queue capacity in batches
                            (default 2 x threads)
     --max-queued <int>     total queued batches before new requests are
@@ -166,6 +180,8 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
         "addr",
         "addr-file",
         "threads",
+        "shards",
+        "schedule",
         "queue-depth",
         "max-queued",
         "preset",
@@ -173,26 +189,99 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
         "quiet",
     ])?;
     let index_path = options.require("index")?;
-    let addr = options.get("addr").unwrap_or("127.0.0.1:0");
     let threads = thread_count(options)?;
-    let queue_depth: usize = options.number("queue-depth", 0)?;
-    let max_queued: usize = options.number("max-queued", 0)?;
+    let shards = shard_count(options)?;
+    let schedule = schedule_kind(options)?;
     let config = preset(options.get("preset").unwrap_or("short"))?;
     let quiet = options.switch("quiet");
+    let multi = MultiConfig {
+        threads,
+        queue_depth: options.number("queue-depth", 0)?,
+        max_queued: options.number("max-queued", 0)?,
+        both_strands: options.switch("both-strands"),
+    };
 
-    let mapper = mapper_from_index_file(index_path, config)?;
-    let graph = mapper.shared_graph();
-    let engine = MultiEngine::new(
-        Arc::new(mapper),
-        seq_of,
-        MultiConfig {
-            threads,
-            queue_depth,
-            max_queued,
-            both_strands: options.switch("both-strands"),
-        },
-    );
+    if shards <= 1 && schedule == Schedule::Fanout {
+        let mapper = mapper_from_index_file(index_path, config)?;
+        let graph = mapper.shared_graph();
+        let engine = MultiEngine::new(Arc::new(mapper), seq_of, multi);
+        return run_daemon(options, engine, &graph, quiet, None);
+    }
 
+    // Re-shard the persisted index: same graph, same frequency threshold,
+    // so replies stay byte-identical to the monolithic daemon.
+    let sharded = Arc::new(sharded_from_index_file(index_path, config, shards)?);
+    let graph = sharded.shared_graph();
+    match schedule {
+        Schedule::Fanout => {
+            let engine = MultiEngine::new(Arc::clone(&sharded), seq_of, multi);
+            run_daemon(options, engine, &graph, quiet, None)
+        }
+        Schedule::Elastic => {
+            let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
+            let pools = affinity.groups().len();
+            let rebalancer = Arc::new(Mutex::new(Rebalancer::new(
+                affinity.groups(),
+                shards,
+                RebalanceConfig::default(),
+            )));
+            let route = pool_route(Arc::clone(&sharded), Arc::clone(&rebalancer), pools);
+            let engine =
+                MultiEngine::with_routing(Arc::clone(&sharded), seq_of, multi, pools, Some(route));
+            run_daemon(options, engine, &graph, quiet, Some(rebalancer))
+        }
+    }
+}
+
+/// The serve-side analogue of the elastic producer's pre-route pass: tag a
+/// request batch with the pool owning its dominant shard group (strict
+/// majority of routed seed hits), or `None` to spill to the least-loaded
+/// pool. Each call also feeds the live per-shard seed-hit counters to the
+/// rebalancer, so pool ownership follows observed load across requests.
+fn pool_route(
+    index: Arc<ShardedIndex>,
+    rebalancer: Arc<Mutex<Rebalancer>>,
+    pools: usize,
+) -> RouteHook<FastqRecord> {
+    Arc::new(move |batch| {
+        let router = index.router();
+        let mut shard_hits = vec![0u64; index.shards().len()];
+        for record in batch {
+            for (shard, hits) in router.route_hits(&record.seq).into_iter().enumerate() {
+                shard_hits[shard] += hits;
+            }
+        }
+        let live: Vec<u64> = index.shard_stats().iter().map(|s| s.seed_hits).collect();
+        let Ok(mut rebalancer) = rebalancer.lock() else {
+            return None;
+        };
+        rebalancer.observe(&live);
+        let mut pool_hits = vec![0u64; pools];
+        for (shard, &hits) in shard_hits.iter().enumerate() {
+            pool_hits[rebalancer.pool_of(shard)] += hits;
+        }
+        let total: u64 = pool_hits.iter().sum();
+        let (pool, best) = pool_hits
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(pool, hits)| (hits, std::cmp::Reverse(pool)))?;
+        (total > 0 && 2 * best > total).then_some(pool)
+    })
+}
+
+/// The daemon proper: accept loop, per-connection handlers, lifetime
+/// report. Generic over the mapper behind the engine — the monolithic
+/// [`SegramMapper`] or a routed [`ShardedIndex`] — because requests are
+/// handled identically either way.
+fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
+    options: &Options,
+    engine: MultiEngine<M, FastqRecord>,
+    graph: &GenomeGraph,
+    quiet: bool,
+    rebalancer: Option<Arc<Mutex<Rebalancer>>>,
+) -> Result<String, CliError> {
+    let addr = options.get("addr").unwrap_or("127.0.0.1:0");
     let listener = TcpListener::bind(addr).map_err(|e| CliError::io(addr, e))?;
     let local = listener.local_addr().map_err(|e| CliError::io(addr, e))?;
     // Announce the address *before* blocking in accept: stdout for humans,
@@ -212,7 +301,6 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
             }
             let Ok(stream) = conn else { continue };
             let engine = &engine;
-            let graph = &graph;
             let stats = &stats;
             let stop = &stop;
             scope.spawn(move || {
@@ -225,6 +313,8 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
             });
         }
     });
+    let pools = engine.pools();
+    let counters = engine.pool_counters();
     engine.shutdown();
 
     let mut report = String::new();
@@ -236,15 +326,27 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
         stats.refused.load(Ordering::Relaxed),
         stats.failed.load(Ordering::Relaxed)
     );
+    if pools > 1 {
+        let migrations = rebalancer
+            .as_ref()
+            .and_then(|r| r.lock().ok().map(|r| r.migrations()))
+            .unwrap_or(0);
+        let _ = writeln!(
+            report,
+            "elastic schedule: {pools} pools, {} batches routed, {} spilled, {} stolen, \
+             {migrations} shard migrations",
+            counters.routed, counters.spilled, counters.stolen
+        );
+    }
     Ok(report)
 }
 
 /// Handles one client connection: parse the header line, then run the
 /// request (or acknowledge QUIT). Reply-side write failures are ignored —
 /// the client is gone, and its request has already been settled.
-fn handle_connection(
+fn handle_connection<M: ReadMapper + Send + Sync + 'static>(
     stream: TcpStream,
-    engine: &MultiEngine<SegramMapper, FastqRecord>,
+    engine: &MultiEngine<M, FastqRecord>,
     graph: &GenomeGraph,
     quiet: bool,
     stats: &ServeStats,
@@ -320,12 +422,12 @@ fn parse_map_header(header: &str) -> Result<(WireFormat, u64), String> {
 /// the socket (pushing batches as they parse, so mapping overlaps the
 /// transfer), ordered drain, reply.
 #[allow(clippy::too_many_arguments)]
-fn handle_map(
+fn handle_map<M: ReadMapper + Send + Sync + 'static>(
     reader: BufReader<TcpStream>,
     mut writer: BufWriter<TcpStream>,
     format: WireFormat,
     payload_len: u64,
-    engine: &MultiEngine<SegramMapper, FastqRecord>,
+    engine: &MultiEngine<M, FastqRecord>,
     graph: &GenomeGraph,
     peer: &str,
     quiet: bool,
@@ -437,8 +539,8 @@ fn handle_map(
 
 /// Drains a finished-input request into a rendered SAM/GAF document.
 /// Returns `(document bytes, reads, mapped)`.
-fn render_document(
-    mut handle: RequestHandle<SegramMapper, FastqRecord>,
+fn render_document<M: ReadMapper + Send + Sync + 'static>(
+    mut handle: RequestHandle<M, FastqRecord>,
     format: WireFormat,
     graph: &GenomeGraph,
 ) -> Result<(Vec<u8>, usize, usize), String> {

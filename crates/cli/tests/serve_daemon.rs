@@ -342,6 +342,65 @@ fn serve_daemon_round_trips_cancels_and_shuts_down() {
 }
 
 #[test]
+fn elastic_daemon_replies_match_one_shot_and_reports_pools() {
+    let dir = TempDir::new("elastic");
+    let (prefix, sgi) = build_bundle(&dir);
+    let reads = format!("{prefix}.fq");
+
+    let want_sam = dir.path("want.sam");
+    run(&[
+        "map", "--index", &sgi, "--reads", &reads, "--format", "sam", "--output", &want_sam,
+    ])
+    .expect("one-shot map --index");
+
+    // Daemon with the loaded index re-sharded four ways and the elastic
+    // schedule: request batches are pre-routed to per-shard-group pools,
+    // yet replies must stay byte-identical to the monolithic one-shot run.
+    let addr_file = dir.path("addr");
+    let serve_args: Vec<String> = [
+        "serve",
+        "--index",
+        &sgi,
+        "--shards",
+        "4",
+        "--schedule",
+        "elastic",
+        "--addr",
+        "127.0.0.1:0",
+        "--addr-file",
+        &addr_file,
+        "--threads",
+        "4",
+        "--quiet",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server = std::thread::spawn(move || dispatch(&serve_args));
+    let addr = wait_for_addr(&addr_file);
+
+    let got_sam = dir.path("got.sam");
+    run(&[
+        "request", "--addr", &addr, "--reads", &reads, "--format", "sam", "--output", &got_sam,
+    ])
+    .expect("request sam");
+    assert_eq!(
+        fs::read(&want_sam).unwrap(),
+        fs::read(&got_sam).unwrap(),
+        "elastic daemon reply must match the one-shot monolithic run"
+    );
+
+    run(&["request", "--addr", &addr, "--shutdown"]).expect("shutdown");
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("serve exits cleanly");
+    assert!(report.contains("served 1 requests"), "{report}");
+    assert!(report.contains("elastic schedule: 4 pools"), "{report}");
+    assert!(report.contains("shard migrations"), "{report}");
+}
+
+#[test]
 fn new_commands_answer_help() {
     for args in [
         &["index", "build", "--help"][..],

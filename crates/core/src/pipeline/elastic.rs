@@ -1,0 +1,983 @@
+//! Elastic shard scheduling: per-shard-group worker pools with routed
+//! batches and live imbalance-driven rebalancing.
+//!
+//! The paper scales by *per-channel provisioning*: each HBM channel owns
+//! a slice of the index and a private accelerator pipeline, so requests
+//! for a channel's slice never contend with the others (Section 8.3).
+//! [`ElasticScheduler`] is the software analogue on top of
+//! [`ShardedIndex`](crate::ShardedIndex): it materializes the
+//! [`ShardAffinity`] plan as N worker *pools*, each owning a disjoint
+//! shard group over the shared `Arc<GenomeGraph>`, each with its own
+//! bounded [`WorkQueue`] and [`QueueStats`].
+//!
+//! ```text
+//!                      route by dominant shard group
+//!            ┌──────────────────┬──────────────────┐
+//!   producer │  pool 0 queue    │  pool 1 queue    │ ... (spill → least
+//!   (decode  ▼                  ▼                  ▼      loaded pool)
+//!   + route) workers w%P==0    workers w%P==1     ...
+//!            └───────┬──────────┴───────┬─────────┘
+//!                    ▼ shared reorder buffer ▼   (input-order release)
+//!                     └─── writer thread ───┘    → byte-identical output
+//! ```
+//!
+//! * **Pre-route** — the producer decodes each batch, extracts minimizers
+//!   once per read ([`ShardRouter::route_hits`]), and tags the batch with
+//!   its dominant shard group: a strict majority of the batch's seed hits
+//!   routes it to that group's pool; anything that straddles groups (or
+//!   hits nothing) *spills* to the pool with the shortest live queue.
+//! * **Rebalance** — a [`Rebalancer`] watches the live per-shard seed-hit
+//!   counters ([`ShardStats`](crate::ShardStats), the signal behind
+//!   [`ShardedIndex::seed_imbalance`](crate::ShardedIndex::seed_imbalance))
+//!   and migrates shard ownership between pools at batch boundaries,
+//!   reusing the paper's greedy placement
+//!   ([`balance_loads`](crate::balance_loads)) with hysteresis (an
+//!   imbalance threshold plus a post-migration cooldown) so it cannot
+//!   thrash. Migration is safe at any batch boundary because pool
+//!   ownership only steers *scheduling*: every read still maps against
+//!   the full sharded index.
+//! * **Merge** — all pools release through one shared reorder buffer and
+//!   one writer thread keyed by producer batch index, so SAM/GAF output
+//!   is byte-identical to the monolithic/fanout path whatever the
+//!   routing, spilling, or migration history. Cancellation and
+//!   panic-isolation semantics match [`MapEngine`]: the first failure
+//!   wins, every pool winds down, the payload is re-raised once.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use segram_graph::DnaSeq;
+use segram_sim::Strand;
+
+use crate::mapper::ReadMapper;
+use crate::pipeline::engine::{
+    relock, CloseOnDrop, EngineConfig, EngineReport, FirstFailure, QueueStats, Reorder,
+    ShardAffinity, WorkQueue,
+};
+use crate::pipeline::ReadOutcome;
+use crate::shard::{balance_loads, load_imbalance, ShardedIndex};
+
+/// One pool-queue item: the batch's producer index (for the shared
+/// reorder buffer) plus its decoded reads with their decode durations.
+type PoolBatch<T> = (usize, Vec<(T, Duration)>);
+
+/// Hysteresis knobs of the live [`Rebalancer`].
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceConfig {
+    /// Minimum max-over-mean imbalance of per-pool loads
+    /// ([`load_imbalance`](crate::load_imbalance)) before a migration is
+    /// even considered. Below it the current placement is good enough.
+    pub threshold: f64,
+    /// Observations (batch boundaries) to hold still after a migration —
+    /// the hysteresis that keeps alternating proposals from thrashing
+    /// shards back and forth.
+    pub cooldown: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 1.5,
+            cooldown: 8,
+        }
+    }
+}
+
+/// Live shard-ownership table with imbalance-driven migration and
+/// hysteresis.
+///
+/// Owns the shard → pool assignment the producer routes by. Each batch
+/// boundary feeds it the current per-shard load vector via
+/// [`observe`](Self::observe); when the per-pool aggregate imbalance
+/// exceeds the threshold (and the cooldown has elapsed), it re-runs the
+/// paper's greedy placement ([`balance_loads`](crate::balance_loads)) on
+/// the live loads, relabels the proposal to maximize agreement with the
+/// current assignment (a relabeled identical partition is *not* a
+/// migration), and applies whatever actually moved.
+///
+/// Because `balance_loads` is deterministic, proposals stabilize as the
+/// cumulative load proportions stabilize — so migrations provably stop on
+/// a stationary workload, which is the hysteresis property the tests pin.
+#[derive(Debug)]
+pub struct Rebalancer {
+    /// Shard id → owning pool.
+    assignment: Vec<usize>,
+    pools: usize,
+    config: RebalanceConfig,
+    observations: u64,
+    last_migration: Option<u64>,
+    migrations: u64,
+}
+
+impl Rebalancer {
+    /// Starts from an initial placement (per pool, the shard ids it
+    /// owns — e.g. [`ShardAffinity::groups`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial` is empty or does not cover every shard in
+    /// `0..shard_count` exactly once.
+    pub fn new(initial: &[Vec<usize>], shard_count: usize, config: RebalanceConfig) -> Self {
+        assert!(!initial.is_empty(), "at least one pool");
+        let mut assignment = vec![usize::MAX; shard_count];
+        for (pool, shards) in initial.iter().enumerate() {
+            for &shard in shards {
+                assert!(
+                    assignment[shard] == usize::MAX,
+                    "shard {shard} placed twice"
+                );
+                assignment[shard] = pool;
+            }
+        }
+        assert!(
+            assignment.iter().all(|&p| p != usize::MAX),
+            "initial placement must cover every shard"
+        );
+        Self {
+            assignment,
+            pools: initial.len(),
+            config,
+            observations: 0,
+            last_migration: None,
+            migrations: 0,
+        }
+    }
+
+    /// The pool currently owning `shard`.
+    pub fn pool_of(&self, shard: usize) -> usize {
+        self.assignment[shard]
+    }
+
+    /// Current ownership, per pool (the live counterpart of
+    /// [`ShardAffinity::groups`]).
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.pools];
+        for (shard, &pool) in self.assignment.iter().enumerate() {
+            groups[pool].push(shard);
+        }
+        groups
+    }
+
+    /// Total shards migrated since construction.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Feeds one load observation (per-shard cumulative loads, e.g. live
+    /// seed-hit counters) and migrates ownership if the imbalance
+    /// warrants it. Returns how many shards changed pools (0 = no
+    /// migration: balanced enough, inside the cooldown, or the balanced
+    /// proposal already equals the current assignment).
+    pub fn observe(&mut self, shard_loads: &[u64]) -> usize {
+        assert_eq!(
+            shard_loads.len(),
+            self.assignment.len(),
+            "load vector must cover every shard"
+        );
+        self.observations += 1;
+        if let Some(last) = self.last_migration {
+            if self.observations.saturating_sub(last) <= self.config.cooldown {
+                return 0;
+            }
+        }
+        let mut pool_loads = vec![0u64; self.pools];
+        for (&pool, &load) in self.assignment.iter().zip(shard_loads) {
+            pool_loads[pool] += load;
+        }
+        if load_imbalance(&pool_loads) < self.config.threshold {
+            return 0;
+        }
+        let proposal = balance_loads(shard_loads, self.pools);
+        let relabeled = self.relabel(&proposal, shard_loads);
+        let moved = relabeled
+            .iter()
+            .zip(&self.assignment)
+            .filter(|(a, b)| a != b)
+            .count();
+        if moved == 0 {
+            return 0;
+        }
+        self.assignment = relabeled;
+        self.migrations += moved as u64;
+        self.last_migration = Some(self.observations);
+        moved
+    }
+
+    /// Maps proposal bins onto current pools by greedy maximum load
+    /// overlap, so a proposal that merely permutes bin labels over the
+    /// same partition counts as zero migrations.
+    fn relabel(&self, proposal: &[Vec<usize>], shard_loads: &[u64]) -> Vec<usize> {
+        let pools = self.pools;
+        let mut overlap = vec![vec![0u64; pools]; pools];
+        for (bin, members) in proposal.iter().enumerate() {
+            for &shard in members {
+                // `max(1)`: zero-load shards still vote for staying put.
+                overlap[bin][self.assignment[shard]] += shard_loads[shard].max(1);
+            }
+        }
+        let mut bin_to_pool = vec![usize::MAX; pools];
+        let mut pool_taken = vec![false; pools];
+        let mut bin_taken = vec![false; pools];
+        for _ in 0..pools {
+            let mut best: Option<(u64, usize, usize)> = None;
+            for (bin, row) in overlap.iter().enumerate() {
+                if bin_taken[bin] {
+                    continue;
+                }
+                for (pool, &weight) in row.iter().enumerate() {
+                    if pool_taken[pool] {
+                        continue;
+                    }
+                    // Strict `>` keeps ties on the lowest (bin, pool)
+                    // pair — deterministic for reproducible migrations.
+                    if best.is_none_or(|(w, _, _)| weight > w) {
+                        best = Some((weight, bin, pool));
+                    }
+                }
+            }
+            let (_, bin, pool) = best.expect("unmatched bin/pool pair remains");
+            bin_to_pool[bin] = pool;
+            bin_taken[bin] = true;
+            pool_taken[pool] = true;
+        }
+        let mut assignment = self.assignment.clone();
+        for (bin, members) in proposal.iter().enumerate() {
+            for &shard in members {
+                assignment[shard] = bin_to_pool[bin];
+            }
+        }
+        assignment
+    }
+}
+
+/// Per-pool slice of an [`ElasticReport`].
+#[derive(Clone, Debug)]
+pub struct PoolReport {
+    /// Shard ids the pool owned when the run finished (post-migration).
+    pub shards: Vec<usize>,
+    /// Worker threads serving this pool's queue.
+    pub workers: usize,
+    /// Batches this pool's workers mapped.
+    pub batches: u64,
+    /// Batches routed here by shard-majority decision.
+    pub routed: u64,
+    /// Batches that spilled here (straddled groups or hit nothing, sent
+    /// to the least-loaded queue).
+    pub spilled: u64,
+    /// This pool's input-queue depth/wait counters (`producer_*` = the
+    /// routing producer blocked on this pool's full queue, `worker_*` =
+    /// this pool's workers starved on it).
+    pub queue: QueueStats,
+}
+
+/// Aggregate of one elastic run: the familiar engine totals plus the
+/// pool/route/migration observability.
+#[derive(Clone, Debug)]
+pub struct ElasticReport {
+    /// Engine-level totals (reads, mapped, stats, merged queue counters —
+    /// the same shape the fanout engine reports, so output layers treat
+    /// both schedules alike).
+    pub engine: EngineReport,
+    /// Per-pool depth/stall/batch counters.
+    pub pools: Vec<PoolReport>,
+    /// Batches routed by a strict shard-group majority.
+    pub routed: u64,
+    /// Batches spilled to the least-loaded pool.
+    pub spilled: u64,
+    /// Shards migrated between pools by the live rebalancer.
+    pub migrations: u64,
+}
+
+/// The per-shard-group pool scheduler over a [`ShardedIndex`] — the
+/// *elastic* counterpart of [`MapEngine`](crate::MapEngine)'s fanout
+/// schedule (`segram map --schedule elastic`).
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{
+///     ElasticScheduler, EngineConfig, RebalanceConfig, SegramConfig, ShardAffinity, ShardedIndex,
+/// };
+/// use segram_sim::DatasetConfig;
+///
+/// let dataset = DatasetConfig::tiny(3).illumina(100);
+/// let index = ShardedIndex::build(dataset.graph().clone(), SegramConfig::short_reads(), 2);
+/// let affinity = ShardAffinity::pin_workers(&index.shard_loads(), 2);
+/// let scheduler = ElasticScheduler::new(&index, EngineConfig::with_threads(2), affinity);
+/// let reads: Vec<_> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+/// let (outcomes, report) = scheduler.map_batch(&reads);
+/// assert_eq!(outcomes.len(), reads.len());
+/// assert_eq!(report.routed + report.spilled, report.engine.batches as u64);
+/// ```
+#[derive(Debug)]
+pub struct ElasticScheduler<'m> {
+    index: &'m ShardedIndex,
+    config: EngineConfig,
+    affinity: ShardAffinity,
+    rebalance: RebalanceConfig,
+}
+
+impl<'m> ElasticScheduler<'m> {
+    /// Binds the scheduler to a sharded index, consuming the affinity
+    /// plan as the pools' initial shard placement.
+    pub fn new(index: &'m ShardedIndex, config: EngineConfig, affinity: ShardAffinity) -> Self {
+        Self {
+            index,
+            config,
+            affinity,
+            rebalance: RebalanceConfig::default(),
+        }
+    }
+
+    /// Returns a copy with the given rebalancer hysteresis knobs.
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Maps one read according to the schedule's strand policy (identical
+    /// to the fanout engine's, against the full sharded index — pool
+    /// routing never restricts which shards answer a read).
+    fn map_one(&self, read: &DnaSeq) -> ReadOutcome {
+        if self.config.both_strands {
+            let (best, stats) = self.index.map_read_both(read);
+            let (mapping, strand) = match best {
+                Some((mapping, strand)) => (Some(mapping), strand),
+                None => (None, Strand::Forward),
+            };
+            ReadOutcome {
+                mapping,
+                strand,
+                stats,
+            }
+        } else {
+            let (mapping, stats) = self.index.map_read(read);
+            ReadOutcome {
+                mapping,
+                strand: Strand::Forward,
+                stats,
+            }
+        }
+    }
+
+    /// Streams *undecoded* items through the pool-routed schedule:
+    /// `decode` runs on the producer thread (the router needs the decoded
+    /// read to extract minimizers; its time still lands in
+    /// [`MapStats::decode`](crate::MapStats)), batches are routed to
+    /// per-group pools, and `sink(item, outcome)` runs once per read **in
+    /// input order** on a dedicated writer thread.
+    ///
+    /// Ordering, cancellation, and failure semantics match
+    /// [`MapEngine::map_raw_stream`](crate::MapEngine::map_raw_stream):
+    /// output bytes are independent of pool count, routing decisions, and
+    /// migrations; a cancel winds every pool down promptly; the first
+    /// panic anywhere is re-raised once. A decode failure (`decode`
+    /// returning `None`) stops the run — since the producer decodes
+    /// serially in input order, the first failure it sees *is* the
+    /// stream's first malformed record.
+    ///
+    /// # Panics
+    ///
+    /// If decode, the mapper, or the sink panics, the run is cancelled
+    /// and the **first** panic payload is re-raised from this call once
+    /// every thread has wound down.
+    pub fn map_raw_stream<Q, T, D, R, F>(
+        &self,
+        mut raw: impl Iterator<Item = Q>,
+        decode: D,
+        read_of: R,
+        sink: F,
+    ) -> ElasticReport
+    where
+        Q: Send,
+        T: Send,
+        D: Fn(Q) -> Option<T>,
+        R: Fn(&T) -> &DnaSeq + Sync,
+        F: FnMut(T, ReadOutcome) + Send,
+    {
+        let pools = self.affinity.groups().len().max(1);
+        // Every pool needs at least one worker; extra workers share pools
+        // round-robin exactly as the affinity plan pins them.
+        let threads = self.config.threads.max(pools);
+        let batch_size = self.config.batch_size.max(1);
+        let queue_depth = if self.config.queue_depth == 0 {
+            threads * 2
+        } else {
+            self.config.queue_depth
+        };
+        let cancel = &self.config.cancel;
+        let shard_count = self.index.shards().len();
+        let router = self.index.router();
+        let mut rebalancer = Rebalancer::new(self.affinity.groups(), shard_count, self.rebalance);
+
+        // One bounded queue per pool; batches carry their producer index
+        // (for the shared reorder buffer) and per-item decode durations.
+        let queues: Vec<WorkQueue<PoolBatch<T>>> =
+            (0..pools).map(|_| WorkQueue::new(queue_depth)).collect();
+        let out_queue: WorkQueue<Vec<(T, ReadOutcome)>> = WorkQueue::new(queue_depth);
+        let max_ahead = queue_depth + threads;
+        let reorder: Mutex<Reorder<T>> = Mutex::new(Reorder {
+            next: 0,
+            pending: BTreeMap::new(),
+            report: EngineReport::default(),
+        });
+        let released = Condvar::new();
+        let failure = FirstFailure::default();
+        let mapped_batches = AtomicUsize::new(0);
+        let pool_batches: Vec<AtomicU64> = (0..pools).map(|_| AtomicU64::new(0)).collect();
+        let park_waits = AtomicU64::new(0);
+        let park_wait_ns = AtomicU64::new(0);
+        let read_of = &read_of;
+        let close_all = |queues: &[WorkQueue<PoolBatch<T>>]| {
+            for queue in queues {
+                queue.close();
+            }
+        };
+
+        let mut pool_routed = vec![0u64; pools];
+        let mut pool_spilled = vec![0u64; pools];
+
+        std::thread::scope(|scope| {
+            let writer_handle = {
+                let out_queue = &out_queue;
+                let queues = &queues;
+                let failure = &failure;
+                let released = &released;
+                let mut sink = sink;
+                scope.spawn(move || {
+                    while let Some(batch) = out_queue.pop() {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            for (item, outcome) in batch {
+                                sink(item, outcome);
+                            }
+                        }));
+                        if let Err(payload) = result {
+                            failure.record(payload);
+                            cancel.cancel();
+                            out_queue.close();
+                            close_all(queues);
+                            released.notify_all();
+                            break;
+                        }
+                    }
+                })
+            };
+
+            let worker_handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let queue = &queues[worker % pools];
+                    let queues = &queues;
+                    let out_queue = &out_queue;
+                    let reorder = &reorder;
+                    let released = &released;
+                    let failure = &failure;
+                    let mapped_batches = &mapped_batches;
+                    let pool_batches = &pool_batches[worker % pools];
+                    let park_waits = &park_waits;
+                    let park_wait_ns = &park_wait_ns;
+                    scope.spawn(move || {
+                        // Closing only this worker's pool queue on unwind
+                        // keeps sibling pools draining; the explicit
+                        // failure path below closes everything.
+                        let _close_guard = CloseOnDrop(queue);
+                        while let Some((index, items)) = queue.pop() {
+                            if cancel.is_cancelled() {
+                                // Drain path: producer is stopping; queued
+                                // batches are dropped unmapped. Decode
+                                // already happened on the producer, so
+                                // there is no settle obligation here.
+                                continue;
+                            }
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                let mut outcomes: Vec<(T, ReadOutcome)> =
+                                    Vec::with_capacity(items.len());
+                                for (item, decode_time) in items {
+                                    if cancel.is_cancelled() {
+                                        return false;
+                                    }
+                                    let mut outcome = self.map_one(read_of(&item));
+                                    outcome.stats.decode = decode_time;
+                                    outcomes.push((item, outcome));
+                                }
+                                mapped_batches.fetch_add(1, Ordering::Relaxed);
+                                pool_batches.fetch_add(1, Ordering::Relaxed);
+                                let mut guard = relock(reorder);
+                                // Bounded reorder: same park discipline as
+                                // the fanout engine — the worker owning
+                                // batch `next` never parks, so release
+                                // always advances even across pools.
+                                if index >= guard.next + max_ahead {
+                                    let blocked = Instant::now();
+                                    let mut parked = false;
+                                    let record = |since: Instant| {
+                                        park_waits.fetch_add(1, Ordering::Relaxed);
+                                        park_wait_ns.fetch_add(
+                                            since.elapsed().as_nanos() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                    };
+                                    while index >= guard.next + max_ahead {
+                                        if cancel.is_cancelled() {
+                                            if parked {
+                                                record(blocked);
+                                            }
+                                            return false;
+                                        }
+                                        parked = true;
+                                        guard = released
+                                            .wait_timeout(guard, Duration::from_millis(50))
+                                            .unwrap_or_else(PoisonError::into_inner)
+                                            .0;
+                                    }
+                                    record(blocked);
+                                }
+                                let state = &mut *guard;
+                                state.pending.insert(index, outcomes);
+                                let mut advanced = false;
+                                while let Some(ready) = state.pending.remove(&state.next) {
+                                    state.next += 1;
+                                    advanced = true;
+                                    for (_, outcome) in &ready {
+                                        state.report.reads += 1;
+                                        if outcome.mapping.is_some() {
+                                            state.report.mapped += 1;
+                                        }
+                                        state.report.stats.merge(&outcome.stats);
+                                    }
+                                    out_queue.push(ready);
+                                }
+                                drop(guard);
+                                if advanced {
+                                    released.notify_all();
+                                }
+                                true
+                            }));
+                            match result {
+                                Ok(true) => {}
+                                Ok(false) => continue,
+                                Err(payload) => {
+                                    failure.record(payload);
+                                    cancel.cancel();
+                                    close_all(queues);
+                                    out_queue.close();
+                                    released.notify_all();
+                                    break;
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            // The calling thread is the producer: decode (serially, in
+            // input order), route, rebalance.
+            let _out_close_guard = CloseOnDrop(&out_queue);
+            let produce = catch_unwind(AssertUnwindSafe(|| {
+                let mut produced = 0usize;
+                'produce: loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let mut batch: Vec<(T, Duration)> = Vec::with_capacity(batch_size);
+                    let mut shard_hits = vec![0u64; shard_count];
+                    while batch.len() < batch_size {
+                        let Some(raw_item) = raw.next() else { break };
+                        let started = Instant::now();
+                        let Some(item) = decode(raw_item) else {
+                            // The decoder records its own error; producer
+                            // decode order makes it the stream's first.
+                            cancel.cancel();
+                            break 'produce;
+                        };
+                        let decode_time = started.elapsed();
+                        // The pre-route pass: one minimizer extraction per
+                        // read, no occupancy counters touched.
+                        for (total, hits) in
+                            shard_hits.iter_mut().zip(router.route_hits(read_of(&item)))
+                        {
+                            *total += hits;
+                        }
+                        batch.push((item, decode_time));
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    // Dominant-group routing with a least-loaded spill.
+                    let mut pool_hits = vec![0u64; pools];
+                    for (shard, &hits) in shard_hits.iter().enumerate() {
+                        pool_hits[rebalancer.pool_of(shard)] += hits;
+                    }
+                    let total: u64 = pool_hits.iter().sum();
+                    let (best_pool, best_hits) = pool_hits
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .max_by_key(|&(pool, hits)| (hits, std::cmp::Reverse(pool)))
+                        .expect("at least one pool");
+                    let target = if total > 0 && 2 * best_hits > total {
+                        pool_routed[best_pool] += 1;
+                        best_pool
+                    } else {
+                        let spill = (0..pools)
+                            .min_by_key(|&pool| queues[pool].len())
+                            .expect("at least one pool");
+                        pool_spilled[spill] += 1;
+                        spill
+                    };
+                    queues[target].push((produced, batch));
+                    produced += 1;
+                    // Rebalance at the batch boundary, off the live
+                    // per-shard seed-hit counters the mapping workers are
+                    // filling in (the signal behind `seed_imbalance`).
+                    let live: Vec<u64> = self
+                        .index
+                        .shard_stats()
+                        .iter()
+                        .map(|s| s.seed_hits)
+                        .collect();
+                    rebalancer.observe(&live);
+                }
+            }));
+            if let Err(payload) = produce {
+                failure.record(payload);
+                cancel.cancel();
+            }
+            close_all(&queues);
+            for handle in worker_handles {
+                if let Err(payload) = handle.join() {
+                    failure.record(payload);
+                }
+            }
+            out_queue.close();
+            if let Err(payload) = writer_handle.join() {
+                failure.record(payload);
+            }
+        });
+
+        if let Some(payload) = failure.take() {
+            resume_unwind(payload);
+        }
+
+        let reorder = reorder.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut engine = reorder.report;
+        engine.backend = self.index.backend_name();
+        engine.batches = mapped_batches.load(Ordering::Relaxed);
+        engine.threads = threads;
+        // Engine-level queue view: input counters summed over the pools
+        // (depth as the max across them), output/park exactly as the
+        // fanout engine reports them.
+        let pool_queue_stats: Vec<QueueStats> = queues.iter().map(WorkQueue::stats).collect();
+        let output = out_queue.stats();
+        let mut merged = QueueStats {
+            output_max_depth: output.max_depth,
+            output_stall_waits: output.producer_waits,
+            output_stall_wait: output.producer_wait,
+            writer_waits: output.worker_waits,
+            writer_wait: output.worker_wait,
+            park_waits: park_waits.load(Ordering::Relaxed),
+            park_wait: Duration::from_nanos(park_wait_ns.load(Ordering::Relaxed)),
+            ..QueueStats::default()
+        };
+        for stats in &pool_queue_stats {
+            merged.max_depth = merged.max_depth.max(stats.max_depth);
+            merged.producer_waits += stats.producer_waits;
+            merged.producer_wait += stats.producer_wait;
+            merged.worker_waits += stats.worker_waits;
+            merged.worker_wait += stats.worker_wait;
+        }
+        engine.queue = merged;
+
+        let final_groups = rebalancer.groups();
+        let pool_reports = (0..pools)
+            .map(|pool| PoolReport {
+                shards: final_groups[pool].clone(),
+                workers: (0..threads).filter(|w| w % pools == pool).count(),
+                batches: pool_batches[pool].load(Ordering::Relaxed),
+                routed: pool_routed[pool],
+                spilled: pool_spilled[pool],
+                queue: pool_queue_stats[pool],
+            })
+            .collect();
+        ElasticReport {
+            engine,
+            pools: pool_reports,
+            routed: pool_routed.iter().sum(),
+            spilled: pool_spilled.iter().sum(),
+            migrations: rebalancer.migrations(),
+        }
+    }
+
+    /// Streams already-decoded reads through the schedule (the
+    /// trivial-decode special case of
+    /// [`map_raw_stream`](Self::map_raw_stream)).
+    pub fn map_stream<T, R, F>(
+        &self,
+        reads: impl Iterator<Item = T>,
+        read_of: R,
+        sink: F,
+    ) -> ElasticReport
+    where
+        T: Send,
+        R: Fn(&T) -> &DnaSeq + Sync,
+        F: FnMut(T, ReadOutcome) + Send,
+    {
+        self.map_raw_stream(reads, Some, read_of, sink)
+    }
+
+    /// Maps a slice of reads, returning the outcomes in input order plus
+    /// the elastic report.
+    pub fn map_batch(&self, reads: &[DnaSeq]) -> (Vec<ReadOutcome>, ElasticReport) {
+        let mut outcomes = Vec::with_capacity(reads.len());
+        let report = self.map_stream(
+            reads.iter(),
+            |read| *read,
+            |_, outcome| outcomes.push(outcome),
+        );
+        (outcomes, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, MapEngine, SegramConfig, ShardedIndex};
+    use segram_sim::DatasetConfig;
+
+    fn sharded(shards: usize) -> (segram_sim::Dataset, ShardedIndex) {
+        let dataset = DatasetConfig::tiny(61).illumina(100);
+        let index =
+            ShardedIndex::build(dataset.graph().clone(), SegramConfig::short_reads(), shards);
+        (dataset, index)
+    }
+
+    fn scheduler_for(index: &ShardedIndex, threads: usize) -> ElasticScheduler<'_> {
+        let affinity = ShardAffinity::pin_workers(&index.shard_loads(), threads);
+        let mut config = EngineConfig::with_threads(threads);
+        config.batch_size = 3; // interleave batches across pools
+        ElasticScheduler::new(index, config, affinity)
+    }
+
+    #[test]
+    fn elastic_outcomes_match_fanout_across_pool_counts() {
+        for shards in [1usize, 2, 4] {
+            let (dataset, index) = sharded(shards);
+            let reads: Vec<_> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+            let fanout = MapEngine::new(&index, EngineConfig::with_threads(1));
+            let (base, base_report) = fanout.map_batch(&reads);
+            for threads in [1usize, 4] {
+                let scheduler = scheduler_for(&index, threads);
+                let (outcomes, report) = scheduler.map_batch(&reads);
+                assert_eq!(report.engine.reads, reads.len(), "shards {shards}");
+                assert_eq!(report.engine.mapped, base_report.mapped, "shards {shards}");
+                for (a, b) in base.iter().zip(&outcomes) {
+                    assert_eq!(
+                        a.mapping.as_ref().map(|m| m.linear_start),
+                        b.mapping.as_ref().map(|m| m.linear_start),
+                    );
+                    assert_eq!(a.strand, b.strand);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_batch_is_either_routed_or_spilled() {
+        let (dataset, index) = sharded(4);
+        let reads: Vec<_> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let scheduler = scheduler_for(&index, 4);
+        let (_, report) = scheduler.map_batch(&reads);
+        assert_eq!(report.pools.len(), 4);
+        assert_eq!(
+            report.routed + report.spilled,
+            report.engine.batches as u64,
+            "{report:?}"
+        );
+        let per_pool: u64 = report.pools.iter().map(|p| p.batches).sum();
+        assert_eq!(per_pool, report.engine.batches as u64);
+        // The final ownership is still a partition of the shards.
+        let mut owned: Vec<usize> = report
+            .pools
+            .iter()
+            .flat_map(|p| p.shards.iter().copied())
+            .collect();
+        owned.sort_unstable();
+        assert_eq!(owned, (0..4).collect::<Vec<_>>());
+        // Every pool got at least one worker.
+        assert!(report.pools.iter().all(|p| p.workers >= 1));
+    }
+
+    #[test]
+    fn rebalancer_migrates_on_skewed_loads() {
+        // Initial placement from (roughly equal) memory loads: pools own
+        // {0, 1} and {2, 3} in some order. Then the observed seeding load
+        // is extremely skewed onto shard 0, so the balanced proposal
+        // isolates shard 0 — at least one shard must migrate.
+        let initial = balance_loads(&[100, 100, 100, 100], 2);
+        let mut rebalancer = Rebalancer::new(
+            &initial,
+            4,
+            RebalanceConfig {
+                threshold: 1.5,
+                cooldown: 2,
+            },
+        );
+        let skewed = [10_000u64, 10, 10, 10];
+        let mut migrated = 0;
+        for _ in 0..16 {
+            migrated += rebalancer.observe(&skewed);
+        }
+        assert!(migrated > 0, "skewed load must trigger a migration");
+        assert!(rebalancer.migrations() >= migrated as u64);
+        // Shard 0 ends up alone in its pool; the rest share the other.
+        let heavy = rebalancer.pool_of(0);
+        for shard in 1..4 {
+            assert_ne!(rebalancer.pool_of(shard), heavy, "{rebalancer:?}");
+        }
+    }
+
+    #[test]
+    fn rebalancer_hysteresis_stops_migrations_on_stationary_load() {
+        let initial = balance_loads(&[100, 100, 100, 100], 2);
+        let mut rebalancer = Rebalancer::new(
+            &initial,
+            4,
+            RebalanceConfig {
+                threshold: 1.5,
+                cooldown: 2,
+            },
+        );
+        // Stationary skew: cumulative proportions never change, so after
+        // the placement adapts once, proposals keep matching the current
+        // assignment and migrations stop.
+        let mut hits = [4_000u64, 4, 4, 4];
+        let mut history = Vec::new();
+        for _ in 0..32 {
+            history.push(rebalancer.observe(&hits));
+            for h in &mut hits {
+                *h *= 2; // same proportions, growing totals
+            }
+        }
+        assert!(
+            history.iter().sum::<usize>() > 0,
+            "must adapt at least once"
+        );
+        assert!(
+            history[history.len() - 16..].iter().all(|&m| m == 0),
+            "migrations must stop once the placement matches the load: {history:?}"
+        );
+    }
+
+    #[test]
+    fn rebalancer_holds_still_below_threshold_and_during_cooldown() {
+        let initial = balance_loads(&[100, 100, 100, 100], 2);
+        let mut rebalancer = Rebalancer::new(
+            &initial,
+            4,
+            RebalanceConfig {
+                threshold: 1.5,
+                cooldown: 8,
+            },
+        );
+        // Balanced loads: imbalance 1.0 < 1.5, never migrates.
+        for _ in 0..16 {
+            assert_eq!(rebalancer.observe(&[50, 50, 50, 50]), 0);
+        }
+        assert_eq!(rebalancer.migrations(), 0);
+        // All-zero loads degenerate to imbalance 1.0 — also a no-op.
+        assert_eq!(rebalancer.observe(&[0, 0, 0, 0]), 0);
+        // A migration starts the cooldown: the immediately following
+        // observations cannot migrate again, however skewed.
+        let first = rebalancer.observe(&[10_000, 10, 10, 10]);
+        assert!(first > 0);
+        for _ in 0..8 {
+            assert_eq!(
+                rebalancer.observe(&[10, 10, 10, 10_000]),
+                0,
+                "cooldown must suppress immediate re-migration"
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_cancellation_winds_all_pools_down() {
+        let (dataset, index) = sharded(2);
+        let reads: Vec<_> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let cancel = crate::CancelToken::new();
+        let affinity = ShardAffinity::pin_workers(&index.shard_loads(), 2);
+        let mut config = EngineConfig::with_threads(2).with_cancel(cancel.clone());
+        config.batch_size = 1;
+        let scheduler = ElasticScheduler::new(&index, config, affinity);
+        let mut sunk = 0usize;
+        let report = scheduler.map_stream(
+            reads.iter(),
+            |read| *read,
+            |_, _| {
+                sunk += 1;
+                cancel.cancel();
+            },
+        );
+        assert!(sunk >= 1);
+        assert!(
+            report.engine.reads <= reads.len(),
+            "cancelled run must not over-report: {report:?}"
+        );
+    }
+
+    #[test]
+    fn elastic_sink_panic_surfaces_original_payload() {
+        let (dataset, index) = sharded(2);
+        let reads: Vec<_> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let scheduler = scheduler_for(&index, 2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scheduler.map_stream(reads.iter(), |r| *r, |_, _| panic!("elastic sink exploded"));
+        }));
+        let payload = result.expect_err("sink panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is the original message");
+        assert!(message.contains("elastic sink exploded"), "{message:?}");
+    }
+
+    #[test]
+    fn elastic_decode_failure_cancels_the_run() {
+        let (dataset, index) = sharded(2);
+        let reads: Vec<_> = dataset
+            .reads
+            .iter()
+            .map(|r| r.seq.clone())
+            .collect::<Vec<_>>();
+        let cancel = crate::CancelToken::new();
+        let affinity = ShardAffinity::pin_workers(&index.shard_loads(), 2);
+        let mut config = EngineConfig::with_threads(2).with_cancel(cancel.clone());
+        config.batch_size = 2;
+        let scheduler = ElasticScheduler::new(&index, config, affinity);
+        let failures = AtomicUsize::new(0);
+        let report = scheduler.map_raw_stream(
+            reads.iter().enumerate(),
+            |(i, read)| {
+                if i == 5 {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    Some(read)
+                }
+            },
+            |read| *read,
+            |_, _| {},
+        );
+        assert_eq!(failures.load(Ordering::Relaxed), 1);
+        assert!(cancel.is_cancelled());
+        assert!(report.engine.reads <= 5, "{:?}", report.engine);
+    }
+}

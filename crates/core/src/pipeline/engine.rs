@@ -33,8 +33,10 @@
 //! depth/wait counters ([`QueueStats`]) to locate the
 //! producer-vs-worker-vs-writer bottleneck, and a [`ShardAffinity`] plan
 //! assigns workers to shard groups with the same size-balanced placement
-//! the paper uses for chromosomes over memory channels (an ownership
-//! model plus batch accounting — routing still fans out to every shard).
+//! the paper uses for chromosomes over memory channels. This engine is
+//! the *fanout* schedule — every worker pops from the one shared queue;
+//! the per-shard-group pool schedule lives in
+//! [`elastic`](crate::pipeline::elastic).
 //!
 //! Failure model: the first panic anywhere in the pipeline (decode,
 //! mapper, sink) is captured, the run is cancelled, and the original
@@ -152,20 +154,21 @@ pub(crate) fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// The first panic payload captured from any pipeline stage; later
 /// failures (usually knock-on effects of the first) are dropped.
+/// Crate-visible because the elastic scheduler shares the failure model.
 #[derive(Default)]
-struct FirstFailure {
+pub(crate) struct FirstFailure {
     slot: Mutex<Option<Box<dyn Any + Send + 'static>>>,
 }
 
 impl FirstFailure {
-    fn record(&self, payload: Box<dyn Any + Send + 'static>) {
+    pub(crate) fn record(&self, payload: Box<dyn Any + Send + 'static>) {
         let mut slot = relock(&self.slot);
         if slot.is_none() {
             *slot = Some(payload);
         }
     }
 
-    fn take(&self) -> Option<Box<dyn Any + Send + 'static>> {
+    pub(crate) fn take(&self) -> Option<Box<dyn Any + Send + 'static>> {
         relock(&self.slot).take()
     }
 }
@@ -260,19 +263,21 @@ pub struct QueueStats {
     pub park_wait: Duration,
 }
 
-/// Worker-to-shard ownership *plan* plus per-group batch accounting:
-/// distributes shard ids over worker groups with the same greedy
-/// size-balanced placement the paper uses to spread chromosomes across
-/// HBM channels (Section 8.3, [`balance_loads`](crate::balance_loads)),
-/// and counts the batches each group's workers processed.
+/// Worker-to-shard ownership plan: distributes shard ids over worker
+/// groups with the same greedy size-balanced placement the paper uses to
+/// spread chromosomes across HBM channels (Section 8.3,
+/// [`balance_loads`](crate::balance_loads)).
 ///
-/// This is the deployment model for a NUMA/multi-queue setup, not a
-/// routing constraint: today every worker still pops from the one shared
-/// queue and the seeding router fans each read out to **all** shards, so
-/// the per-group batch counts measure queue scheduling, not shard-local
-/// work (per-shard occupancy lives in
-/// [`ShardStats`](crate::ShardStats)). Dedicated per-group worker pools
-/// are the ROADMAP's follow-up extension.
+/// The [`ElasticScheduler`](crate::pipeline::ElasticScheduler) consumes
+/// this plan as its *initial* pool placement: each group becomes a worker
+/// pool with its own bounded queue, batches are routed by the seeding
+/// router's shard decision, and a live rebalancer migrates shard
+/// ownership between pools as the load skews. Under the fanout schedule
+/// ([`MapEngine`]) the plan is informational only — every worker pops
+/// from the one shared queue (the historical per-group batch counters
+/// that measured that shared-queue scheduling are gone; per-pool batch
+/// counts live in the elastic report, per-shard occupancy in
+/// [`ShardStats`](crate::ShardStats)).
 ///
 /// With more workers than shards, workers share groups round-robin; with
 /// more shards than workers, a group owns several shards.
@@ -282,8 +287,6 @@ pub struct ShardAffinity {
     groups: Vec<Vec<usize>>,
     /// Worker index → group index.
     worker_group: Vec<usize>,
-    /// Per group, batches processed by its workers.
-    batches: Vec<AtomicU64>,
 }
 
 impl ShardAffinity {
@@ -299,11 +302,9 @@ impl ShardAffinity {
         let group_count = workers.min(shard_loads.len());
         let groups = balance_loads(shard_loads, group_count);
         let worker_group = (0..workers).map(|w| w % group_count).collect();
-        let batches = (0..group_count).map(|_| AtomicU64::new(0)).collect();
         Self {
             groups,
             worker_group,
-            batches,
         }
     }
 
@@ -316,25 +317,14 @@ impl ShardAffinity {
     pub fn group_of(&self, worker: usize) -> usize {
         self.worker_group[worker % self.worker_group.len()]
     }
-
-    /// Batches processed per shard group (since construction).
-    pub fn batches_per_group(&self) -> Vec<u64> {
-        self.batches
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
-    }
-
-    fn record_batch(&self, worker: usize) {
-        self.batches[self.group_of(worker)].fetch_add(1, Ordering::Relaxed);
-    }
 }
 
 /// A bounded single-producer / multi-consumer batch queue (Mutex +
 /// Condvar; no external dependencies). `push` blocks while the queue is
 /// full, `pop` blocks while it is empty, and `close` wakes everyone so
-/// drained workers observe end-of-stream.
-struct WorkQueue<T> {
+/// drained workers observe end-of-stream. Crate-visible: the elastic
+/// scheduler runs one of these per worker pool.
+pub(crate) struct WorkQueue<T> {
     inner: Mutex<WorkQueueInner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -355,7 +345,7 @@ struct WorkQueueInner<T> {
 }
 
 impl<T> WorkQueue<T> {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(WorkQueueInner {
                 items: VecDeque::new(),
@@ -372,7 +362,7 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    fn push(&self, item: T) {
+    pub(crate) fn push(&self, item: T) {
         let mut inner = relock(&self.inner);
         if inner.items.len() >= inner.capacity && !inner.closed {
             let blocked = Instant::now();
@@ -395,7 +385,7 @@ impl<T> WorkQueue<T> {
         self.not_empty.notify_one();
     }
 
-    fn pop(&self) -> Option<T> {
+    pub(crate) fn pop(&self) -> Option<T> {
         let mut inner = relock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -426,10 +416,16 @@ impl<T> WorkQueue<T> {
         }
     }
 
+    /// Current queued-item count — the live load signal behind the
+    /// elastic scheduler's least-loaded spill decision.
+    pub(crate) fn len(&self) -> usize {
+        relock(&self.inner).items.len()
+    }
+
     /// Snapshot of the queue's depth/wait counters (push side reported as
     /// `producer_*`, pop side as `worker_*`; callers remap for the output
     /// channel).
-    fn stats(&self) -> QueueStats {
+    pub(crate) fn stats(&self) -> QueueStats {
         QueueStats {
             max_depth: relock(&self.inner).max_depth,
             producer_waits: self.producer_waits.load(Ordering::Relaxed),
@@ -440,7 +436,7 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         // Closing must succeed even after a worker panicked while holding
         // the lock — liveness beats the poison flag here (relock).
         relock(&self.inner).closed = true;
@@ -454,7 +450,7 @@ impl<T> WorkQueue<T> {
 /// iterator, sink, pipeline) releases the threads blocked on the queue
 /// and lets `std::thread::scope` propagate the panic instead of
 /// deadlocking.
-struct CloseOnDrop<'a, T>(&'a WorkQueue<T>);
+pub(crate) struct CloseOnDrop<'a, T>(pub(crate) &'a WorkQueue<T>);
 
 impl<T> Drop for CloseOnDrop<'_, T> {
     fn drop(&mut self) {
@@ -466,10 +462,12 @@ impl<T> Drop for CloseOnDrop<'_, T> {
 /// every earlier batch has been handed — still in input order — to the
 /// bounded channel feeding the writer thread. The lock covers only this
 /// bookkeeping; rendering and IO happen on the writer thread, outside it.
-struct Reorder<T> {
-    next: usize,
-    pending: BTreeMap<usize, Vec<(T, ReadOutcome)>>,
-    report: EngineReport,
+/// Crate-visible: the elastic scheduler's pools all merge through one of
+/// these, which is what keeps pool-routed output byte-identical.
+pub(crate) struct Reorder<T> {
+    pub(crate) next: usize,
+    pub(crate) pending: BTreeMap<usize, Vec<(T, ReadOutcome)>>,
+    pub(crate) report: EngineReport,
 }
 
 /// The batched, multi-threaded, order-preserving mapping engine, generic
@@ -686,7 +684,7 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
             };
 
             let worker_handles: Vec<_> = (0..threads)
-                .map(|worker| {
+                .map(|_worker| {
                     let queue = &queue;
                     let out_queue = &out_queue;
                     let reorder = &reorder;
@@ -696,7 +694,6 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                     let decode_failed = &decode_failed;
                     let park_waits = &park_waits;
                     let park_wait_ns = &park_wait_ns;
-                    let affinity = self.affinity.as_ref();
                     scope.spawn(move || {
                         // Unblocks the producer and fellow workers if this
                         // worker dies in a way `catch_unwind` cannot see.
@@ -729,9 +726,6 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                     }
                                 }
                                 continue;
-                            }
-                            if let Some(affinity) = affinity {
-                                affinity.record_batch(worker);
                             }
                             // `true` = batch released; `false` = run
                             // cancelled mid-batch (batch abandoned).
@@ -1079,7 +1073,7 @@ mod tests {
     }
 
     #[test]
-    fn shard_affinity_pins_workers_and_counts_batches() {
+    fn shard_affinity_pins_every_shard_to_exactly_one_group() {
         let (dataset, mapper) = setup();
         let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
         let affinity = ShardAffinity::pin_workers(&[100, 80, 60, 40], 4);
@@ -1087,15 +1081,20 @@ mod tests {
         let mut pinned: Vec<usize> = affinity.groups().iter().flatten().copied().collect();
         pinned.sort_unstable();
         assert_eq!(pinned, vec![0, 1, 2, 3]);
+        // The plan rides along without changing the fanout engine's run.
         let mut config = EngineConfig::with_threads(4);
         config.batch_size = 2;
         let engine = MapEngine::with_affinity(&mapper, config, affinity);
         let (_, report) = engine.map_batch(&reads);
-        let per_group = engine
-            .affinity()
-            .expect("affinity configured")
-            .batches_per_group();
-        assert_eq!(per_group.iter().sum::<u64>() as usize, report.batches);
+        assert_eq!(report.reads, reads.len());
+        assert_eq!(
+            engine
+                .affinity()
+                .expect("affinity configured")
+                .groups()
+                .len(),
+            4
+        );
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! * [`ShardRouter`] — the sharded seeding stage: per-shard index lookups
 //!   merged into the monolithic candidate order before
 //!   prefilter/alignment ([`router`]);
+//! * [`ElasticScheduler`] — the per-shard-group pool schedule over a
+//!   sharded index ([`elastic`]): batches routed to dedicated pools by the
+//!   router's shard decision, with a live imbalance-driven [`Rebalancer`]
+//!   migrating shard ownership between pools — same bytes as the fanout
+//!   engine, by the shared reorder buffer;
 //! * [`sam_record_for`] / [`gaf_record_for`] — render one engine outcome
 //!   into the interchange formats, shared by the CLI and the test suite.
 //!
@@ -33,15 +38,19 @@
 //! module: it owns the graph + index and wires the default stages into a
 //! [`MapPipeline`].
 
+mod elastic;
 mod engine;
 mod multi;
 mod router;
 mod stages;
 
+pub use elastic::{ElasticReport, ElasticScheduler, PoolReport, RebalanceConfig, Rebalancer};
 pub use engine::{
     CancelToken, EngineConfig, EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity,
 };
-pub use multi::{EngineBusy, MultiConfig, MultiEngine, RequestHandle, RequestPanicked};
+pub use multi::{
+    EngineBusy, MultiConfig, MultiEngine, PoolCounters, RequestHandle, RequestPanicked, RouteHook,
+};
 pub use router::ShardRouter;
 pub use stages::{Aligner, BitAlignStage, MinSeedStage, Prefilter, Seeder, SpecPrefilter};
 

@@ -22,6 +22,16 @@
 //!   backpressure signal [`QueueStats`] exposes for the single-stream
 //!   engine) gates [`MultiEngine::open`]: past `max_queued` the engine
 //!   answers [`EngineBusy`] instead of accepting work it would only queue.
+//! * **Pool routing** (optional, [`MultiEngine::with_routing`]) — the
+//!   elastic-schedule analogue for the daemon: workers are partitioned
+//!   into pools (worker `w` → pool `w % pools`), a route hook tags each
+//!   pushed batch with a preferred pool (e.g. its dominant shard group
+//!   via [`ShardRouter::route_hits`](super::ShardRouter::route_hits)),
+//!   and workers prefer batches tagged for their own pool, *stealing*
+//!   cross-pool only when nothing of their own is runnable — so locality
+//!   never costs liveness, and per-request ordering (hence output bytes)
+//!   is untouched by where a batch actually ran. [`PoolCounters`] reports
+//!   how many batches were routed, spilled, and stolen.
 //!
 //! Ordering guarantee: within a request, outputs are released strictly in
 //! push order, so a request's output is byte-identical to running the same
@@ -133,11 +143,28 @@ fn panic_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
+/// Route/spill/steal totals of a pool-routed [`MultiEngine`] (all zero
+/// without routing): `routed` batches carried a route-hook pool tag,
+/// `spilled` ones fell back to the least-loaded pool, and `stolen` ones
+/// were ultimately mapped by a worker from a *different* pool (the
+/// work-stealing that keeps routing from ever idling a worker).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Batches the route hook assigned to a specific pool.
+    pub routed: u64,
+    /// Batches the hook declined (straddling groups, or no signal),
+    /// tagged with the least-loaded pool instead.
+    pub spilled: u64,
+    /// Batches mapped by a worker outside their tagged pool.
+    pub stolen: u64,
+}
+
 /// Per-request scheduler state. Everything lives under the one scheduler
 /// lock; mapping itself always runs outside it.
 struct ReqState<T> {
-    /// Queued input batches, in push order (`(batch index, items)`).
-    input: VecDeque<(usize, Vec<T>)>,
+    /// Queued input batches, in push order
+    /// (`(batch index, items, tagged pool)`).
+    input: VecDeque<(usize, Vec<T>, usize)>,
     input_closed: bool,
     cancel: CancelToken,
     /// Batches popped by workers and not yet released or discarded.
@@ -185,6 +212,9 @@ struct Sched<T> {
     /// Total queued input batches across requests — the live admission /
     /// backpressure depth.
     queued_total: usize,
+    /// Queued batches per pool tag — the least-loaded spill signal.
+    queued_per_pool: Vec<usize>,
+    counters: PoolCounters,
     shutdown: bool,
 }
 
@@ -198,6 +228,9 @@ impl<T> Sched<T> {
         };
         if req.cancel.is_cancelled() {
             self.queued_total -= req.input.len();
+            for &(_, _, pool) in &req.input {
+                self.queued_per_pool[pool] -= 1;
+            }
             req.input.clear();
             req.pending.clear();
             if req.inflight == 0 {
@@ -217,10 +250,19 @@ impl<T> Sched<T> {
     }
 }
 
+/// The optional batch-routing hook of [`MultiEngine::with_routing`]:
+/// returns the preferred pool for a batch, or `None` to spill it to the
+/// least-loaded pool.
+pub type RouteHook<T> = Arc<dyn Fn(&[T]) -> Option<usize> + Send + Sync>;
+
 struct Shared<M, T> {
     mapper: Arc<M>,
     read_of: fn(&T) -> &DnaSeq,
     threads: usize,
+    /// Worker pools (1 = unrouted). Worker `w` serves pool `w % pools`.
+    pools: usize,
+    /// Routes a pushed batch to its preferred pool ([`RouteHook`]).
+    route: Option<RouteHook<T>>,
     queue_depth: usize,
     /// A request with this many batches in flight + parked in its reorder
     /// buffer is deprioritized until its slowest batch releases (the
@@ -261,23 +303,30 @@ impl<M: ReadMapper, T> Shared<M, T> {
     }
 }
 
-/// The worker loop: pick the next runnable request round-robin, map one of
-/// its batches outside the lock, release in order, repeat.
-fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>) {
+/// The worker loop: pick the next runnable request round-robin —
+/// preferring requests whose front batch is tagged for this worker's
+/// `pool`, stealing any runnable batch when none is — then map one batch
+/// outside the lock, release in order, repeat.
+fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
     let mut guard = relock(&shared.sched);
     loop {
         if guard.shutdown {
             return;
         }
+        // Two-priority scan in one pass: `picked` is the first runnable
+        // request whose next batch belongs to this pool, `fallback` the
+        // first runnable request of any pool (the steal that keeps every
+        // worker busy whatever the routing skew).
         let mut picked = None;
+        let mut fallback = None;
         for slot in 0..guard.rr.len() {
             let id = guard.rr[slot];
             let Some(req) = guard.requests.get(&id) else {
                 continue;
             };
-            if req.input.is_empty() {
+            let Some(front) = req.input.front() else {
                 continue;
-            }
+            };
             // A cancelled request's batches are always poppable (cheap
             // discard); a live one is skipped while its reorder buffer is
             // full — round-robin then favors the requests that can make
@@ -285,10 +334,15 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>) {
             if !req.cancel.is_cancelled() && req.inflight + req.pending.len() >= shared.max_ahead {
                 continue;
             }
-            picked = Some((slot, id));
-            break;
+            if front.2 == pool {
+                picked = Some((slot, id));
+                break;
+            }
+            if fallback.is_none() {
+                fallback = Some((slot, id));
+            }
         }
-        let Some((slot, id)) = picked else {
+        let Some((slot, id)) = picked.or(fallback) else {
             guard = shared
                 .work_ready
                 .wait(guard)
@@ -298,10 +352,14 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>) {
         guard.rr.remove(slot);
         guard.rr.push_back(id);
         let req = guard.requests.get_mut(&id).expect("picked request exists");
-        let (index, items) = req.input.pop_front().expect("picked request has input");
+        let (index, items, batch_pool) = req.input.pop_front().expect("picked request has input");
         req.inflight += 1;
         let cancel = req.cancel.clone();
         guard.queued_total -= 1;
+        guard.queued_per_pool[batch_pool] -= 1;
+        if batch_pool != pool {
+            guard.counters.stolen += 1;
+        }
         drop(guard);
         shared.space_ready.notify_all();
 
@@ -424,7 +482,25 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
     /// Spawns the worker pool over a shared mapper. `read_of` projects the
     /// sequence out of a work item (e.g. `|record| &record.seq`).
     pub fn new(mapper: Arc<M>, read_of: fn(&T) -> &DnaSeq, config: MultiConfig) -> Self {
+        Self::with_routing(mapper, read_of, config, 1, None)
+    }
+
+    /// [`Self::new`] plus pool routing: workers are partitioned into
+    /// `pools` pools (worker `w` → pool `w % pools`, clamped so every
+    /// pool has a worker), and `route` tags each pushed batch with its
+    /// preferred pool — `None` spills to the least-loaded one. Workers
+    /// prefer their own pool's batches and steal otherwise, so routing
+    /// shapes locality without affecting ordering, output bytes, or
+    /// liveness.
+    pub fn with_routing(
+        mapper: Arc<M>,
+        read_of: fn(&T) -> &DnaSeq,
+        config: MultiConfig,
+        pools: usize,
+        route: Option<RouteHook<T>>,
+    ) -> Self {
         let threads = config.threads.max(1);
+        let pools = pools.clamp(1, threads);
         let queue_depth = if config.queue_depth == 0 {
             threads * 2
         } else {
@@ -439,6 +515,8 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
             mapper,
             read_of,
             threads,
+            pools,
+            route,
             queue_depth,
             max_ahead: queue_depth + threads,
             max_queued,
@@ -448,6 +526,8 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
                 rr: VecDeque::new(),
                 next_id: 0,
                 queued_total: 0,
+                queued_per_pool: vec![0; pools],
+                counters: PoolCounters::default(),
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
@@ -459,7 +539,7 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("segram-serve-{i}"))
-                    .spawn(move || worker_loop(shared.as_ref()))
+                    .spawn(move || worker_loop(shared.as_ref(), i % pools))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -509,6 +589,16 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
     /// Worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.shared.threads
+    }
+
+    /// Worker pools (1 unless built [`with_routing`](Self::with_routing)).
+    pub fn pools(&self) -> usize {
+        self.shared.pools
+    }
+
+    /// Route/spill/steal totals since the engine started.
+    pub fn pool_counters(&self) -> PoolCounters {
+        relock(&self.shared.sched).counters
     }
 
     /// Stops the pool: cancels every open request and joins the workers.
@@ -599,6 +689,18 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, 
             return !self.cancel.is_cancelled();
         }
         let shared = self.shared.as_ref();
+        // The pre-route pass runs on the producer (connection) thread,
+        // outside the scheduler lock — minimizer extraction must never
+        // block the worker pool.
+        let preferred = if shared.pools > 1 {
+            shared
+                .route
+                .as_ref()
+                .and_then(|route| route(&items))
+                .filter(|&pool| pool < shared.pools)
+        } else {
+            Some(0)
+        };
         let mut guard = relock(&shared.sched);
         let mut blocked: Option<Instant> = None;
         loop {
@@ -613,9 +715,6 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, 
                     req.report.queue.producer_waits += 1;
                     req.report.queue.producer_wait += since.elapsed();
                 }
-                req.input.push_back((self.produced, items));
-                let depth = req.input.len();
-                req.report.queue.max_depth = req.report.queue.max_depth.max(depth);
                 break;
             }
             blocked.get_or_insert_with(Instant::now);
@@ -624,10 +723,34 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, 
                 .wait(guard)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+        // The spill decision needs the live per-pool depths, so it waits
+        // for the lock (routed batches already know their pool).
+        let pool = match preferred {
+            Some(pool) => {
+                if shared.pools > 1 {
+                    guard.counters.routed += 1;
+                }
+                pool
+            }
+            None => {
+                guard.counters.spilled += 1;
+                (0..shared.pools)
+                    .min_by_key(|&p| guard.queued_per_pool[p])
+                    .expect("at least one pool")
+            }
+        };
+        let req = guard
+            .requests
+            .get_mut(&self.id)
+            .expect("request checked above");
+        req.input.push_back((self.produced, items, pool));
+        let depth = req.input.len();
+        req.report.queue.max_depth = req.report.queue.max_depth.max(depth);
         self.produced += 1;
         guard.queued_total += 1;
+        guard.queued_per_pool[pool] += 1;
         drop(guard);
-        shared.work_ready.notify_one();
+        shared.work_ready.notify_all();
         true
     }
 
@@ -1074,6 +1197,58 @@ mod tests {
         }
         assert_eq!(released, clean.len());
         assert_eq!(request.finish().expect("no panic").reads, clean.len());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn pool_routing_preserves_outcomes_and_accounts_every_batch() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let (base, _) = MapEngine::new(&mapper, EngineConfig::with_threads(1)).map_batch(&reads);
+        // Alternate pool tags, declining every third batch so the spill
+        // path (least-loaded fallback) is exercised too.
+        let calls = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let route: RouteHook<DnaSeq> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move |_batch| {
+                let n = calls.fetch_add(1, Ordering::SeqCst);
+                if n % 3 == 2 {
+                    None
+                } else {
+                    Some(n % 2)
+                }
+            })
+        };
+        let engine = MultiEngine::with_routing(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 2,
+                queue_depth: 4,
+                max_queued: 0,
+                both_strands: false,
+            },
+            2,
+            Some(route),
+        );
+        assert_eq!(engine.pools(), 2);
+        let (outcomes, report) = run_request(&engine, &reads, 2);
+        assert_eq!(report.reads, reads.len());
+        for (a, b) in base.iter().zip(&outcomes) {
+            assert_eq!(key(a), key(b), "routing must not change outcomes");
+        }
+        let counters = engine.pool_counters();
+        let batches = reads.len().div_ceil(2) as u64;
+        assert_eq!(
+            counters.routed + counters.spilled,
+            batches,
+            "every batch is either routed or spilled: {counters:?}"
+        );
+        assert!(counters.spilled > 0, "the declining hook must spill");
+        assert!(
+            counters.stolen <= batches,
+            "steals are a subset of batches: {counters:?}"
+        );
         engine.shutdown();
     }
 

@@ -9,9 +9,14 @@
 //!    frequency (the frequency filter makes identical decisions);
 //! 2. candidate regions are computed with the same Figure 9 arithmetic
 //!    ([`segram_index::seed_region`]) against the same shared graph;
-//! 3. the merged region list goes through the exact monolithic
-//!    sort-by-`(start, end, seed)` + dedup-by-`(start, end)` ordering, so
-//!    downstream stages see the same regions in the same order.
+//! 3. the merged region list ends in the exact monolithic
+//!    sort-by-`(start, end, seed)` + dedup-by-`(start, end)` ordering —
+//!    but since the shards are coordinate-disjoint by construction of
+//!    `split_by_ranges`, the merge concatenates the per-shard sorted
+//!    lists in shard order instead of re-sorting the whole set, falling
+//!    back to the monolithic sort only when region padding crosses a
+//!    shard boundary (a debug assertion checks the result is sorted
+//!    either way).
 //!
 //! The router also feeds each shard's occupancy counters (seed hits,
 //! regions produced), the observability behind the paper's Section 8.3
@@ -56,6 +61,69 @@ impl<'a> ShardRouter<'a> {
     pub fn shards(&self) -> &'a [IndexShard] {
         self.shards
     }
+
+    /// Per-shard seed-hit counts for one read — the elastic scheduler's
+    /// cheap pre-route pass. Extracts the read's minimizers once and
+    /// applies the same global frequency filter as [`Seeder::seed`], but
+    /// records **nothing** into the shard occupancy counters (routing a
+    /// batch must not double-count the seeding load the mapping pass will
+    /// record again).
+    pub fn route_hits(&self, read: &DnaSeq) -> Vec<u64> {
+        let scheme = *self.shards[0].mapper().index().scheme();
+        let minimizers = extract_minimizers(read, &scheme);
+        let mut hits = vec![0u64; self.shards.len()];
+        let mut counts: Vec<u32> = vec![0; self.shards.len()];
+        for m in &minimizers {
+            for (count, shard) in counts.iter_mut().zip(self.shards) {
+                *count = shard.mapper().index().lookup(m).len() as u32;
+            }
+            let freq: u32 = counts.iter().sum();
+            if freq > self.frequency_threshold {
+                continue;
+            }
+            for (hit, count) in hits.iter_mut().zip(&counts) {
+                *hit += u64::from(*count);
+            }
+        }
+        hits
+    }
+}
+
+/// Merges per-shard candidate lists into the monolithic
+/// `(start, end, seed)` order: each list is sorted, then the lists are
+/// concatenated in shard (coordinate) order. `seed_region` pads windows
+/// around the seed location, so a region from shard `i+1` can start
+/// before shard `i`'s last — that boundary overlap is detected and falls
+/// back to the monolithic whole-list sort (same bytes, since ties on the
+/// full key always live in one shard and stable sorting preserves their
+/// insertion order).
+fn merge_shard_regions(mut per_shard: Vec<Vec<SeedRegion>>) -> Vec<SeedRegion> {
+    let key = |r: &SeedRegion| (r.start, r.end, r.seed);
+    for list in &mut per_shard {
+        list.sort_by_key(key);
+    }
+    let mut concat_sorted = true;
+    let mut last_key = None;
+    for list in &per_shard {
+        if let (Some(prev), Some(first)) = (last_key, list.first()) {
+            if prev > key(first) {
+                concat_sorted = false;
+                break;
+            }
+        }
+        if let Some(tail) = list.last() {
+            last_key = Some(key(tail));
+        }
+    }
+    let mut regions: Vec<SeedRegion> = per_shard.into_iter().flatten().collect();
+    if !concat_sorted {
+        regions.sort_by_key(key);
+    }
+    debug_assert!(
+        regions.windows(2).all(|w| key(&w[0]) <= key(&w[1])),
+        "merged per-shard regions must arrive sorted"
+    );
+    regions
 }
 
 impl Seeder for ShardRouter<'_> {
@@ -66,7 +134,9 @@ impl Seeder for ShardRouter<'_> {
             minimizers: minimizers.len(),
             ..SeedingStats::default()
         };
-        let mut regions: Vec<SeedRegion> = Vec::new();
+        // Regions accumulate per shard so the merge can concatenate the
+        // per-shard sorted lists instead of re-sorting everything.
+        let mut shard_regions: Vec<Vec<SeedRegion>> = vec![Vec::new(); self.shards.len()];
         // One index probe per shard per minimizer: the location slice
         // answers both the routing question (who holds this minimizer)
         // and the frequency question (its length *is* the shard-local
@@ -82,7 +152,12 @@ impl Seeder for ShardRouter<'_> {
                 stats.filtered_minimizers += 1;
                 continue;
             }
-            for (shard, locs) in self.shards.iter().zip(&per_shard) {
+            for ((shard, locs), regions) in self
+                .shards
+                .iter()
+                .zip(&per_shard)
+                .zip(shard_regions.iter_mut())
+            {
                 if locs.is_empty() {
                     continue;
                 }
@@ -98,7 +173,7 @@ impl Seeder for ShardRouter<'_> {
                 }
             }
         }
-        regions.sort_by_key(|r| (r.start, r.end, r.seed));
+        let mut regions = merge_shard_regions(shard_regions);
         regions.dedup_by_key(|r| (r.start, r.end));
         stats.regions = regions.len();
         SeedingResult { regions, stats }

@@ -18,8 +18,12 @@
 //! chromosomes over memory channels ([`balance_loads`], shared with
 //! [`Pangenome::channel_placement`](crate::Pangenome::channel_placement))
 //! also plans the engine's worker-to-shard-group ownership
-//! ([`ShardAffinity`](crate::pipeline::ShardAffinity) — an ownership
-//! model plus batch accounting; routing fans out to every shard).
+//! ([`ShardAffinity`](crate::pipeline::ShardAffinity)). The fanout
+//! schedule treats that plan as informational (routing fans out to every
+//! shard); the elastic schedule
+//! ([`ElasticScheduler`](crate::pipeline::ElasticScheduler)) materializes
+//! it as per-group worker pools and migrates ownership live as the
+//! observed seeding load drifts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -197,10 +201,30 @@ impl ShardedIndex {
     ///
     /// Panics when `shards` is zero.
     pub fn build(graph: GenomeGraph, config: SegramConfig, shards: usize) -> Self {
-        assert!(shards > 0, "at least one shard");
         let graph = Arc::new(graph);
         let index = GraphIndex::build(&graph, config.scheme, config.bucket_bits);
         let freq_threshold = frequency_threshold(&index, config.discard_frac);
+        Self::from_parts(graph, &index, config, freq_threshold, shards)
+    }
+
+    /// Shards an already-built monolithic index (e.g. one loaded from a
+    /// persisted `.sgi` file) without re-running the index pass.
+    /// `freq_threshold` must be the global threshold that accompanied
+    /// `index` — the persisted value, or
+    /// [`frequency_threshold`](segram_index::frequency_threshold) over the
+    /// monolithic index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn from_parts(
+        graph: Arc<GenomeGraph>,
+        index: &GraphIndex,
+        config: SegramConfig,
+        freq_threshold: u32,
+        shards: usize,
+    ) -> Self {
+        assert!(shards > 0, "at least one shard");
         let boundaries = shard_boundaries(graph.total_chars(), shards);
         let shard_indexes = index.split_by_ranges(&graph, &boundaries);
         let shards = shard_indexes
@@ -233,6 +257,11 @@ impl ShardedIndex {
     /// The shards, in coordinate order.
     pub fn shards(&self) -> &[IndexShard] {
         &self.shards
+    }
+
+    /// The shared reference graph all shards map against.
+    pub fn shared_graph(&self) -> Arc<GenomeGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// The shared configuration.

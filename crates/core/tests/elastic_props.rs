@@ -1,0 +1,128 @@
+//! Property tests for the elastic scheduler: on random simulated
+//! datasets, the SAM and GAF documents produced by the per-shard-group
+//! pool schedule are byte-identical to the monolithic fanout engine's,
+//! across shard counts {1, 2, 4} x thread counts {1, 4} — with an
+//! aggressive rebalancer configuration, so shard migrations happen *during*
+//! the runs being compared. Migrations move shard ownership between pools;
+//! they must never move bytes in the output.
+
+use segram_core::{
+    gaf_record_for, sam_record_for, ElasticScheduler, EngineConfig, MapEngine, ReadMapper,
+    RebalanceConfig, SegramConfig, SegramMapper, ShardAffinity, ShardedIndex,
+};
+use segram_graph::DnaSeq;
+use segram_io::{GafWriter, SamWriter};
+use segram_sim::DatasetConfig;
+use segram_testkit::prelude::*;
+
+/// Renders both output documents from the fanout engine, exactly as the
+/// CLI's streaming path does (shared renderers, shared writers).
+fn fanout_documents<M: ReadMapper>(
+    mapper: &M,
+    reads: &[(String, DnaSeq)],
+    threads: usize,
+    both_strands: bool,
+) -> (Vec<u8>, Vec<u8>) {
+    let mut config = EngineConfig::with_threads(threads).both_strands(both_strands);
+    config.batch_size = 2;
+    let engine = MapEngine::new(mapper, config);
+    let mut sam = SamWriter::new(Vec::new(), "graph", mapper.graph().total_chars())
+        .expect("vec write cannot fail");
+    let mut gaf = GafWriter::new(Vec::new());
+    engine.map_stream(
+        reads.iter(),
+        |(_, seq)| seq,
+        |(id, seq), outcome| {
+            let record = sam_record_for(id, seq, &outcome);
+            sam.write_line(&record.to_sam_line())
+                .expect("vec write cannot fail");
+            if let Some(record) =
+                gaf_record_for(id, seq, mapper.graph(), &outcome).expect("consistent graph path")
+            {
+                gaf.write_record(&record).expect("vec write cannot fail");
+            }
+        },
+    );
+    (
+        sam.finish().expect("vec flush cannot fail"),
+        gaf.finish().expect("vec flush cannot fail"),
+    )
+}
+
+/// Renders both output documents from the elastic scheduler over an
+/// already-sharded index, with a hair-trigger rebalancer (threshold just
+/// above 1.0, one-observation cooldown) so ownership migrates mid-run.
+fn elastic_documents(
+    sharded: &ShardedIndex,
+    reads: &[(String, DnaSeq)],
+    threads: usize,
+    both_strands: bool,
+) -> (Vec<u8>, Vec<u8>) {
+    let mut config = EngineConfig::with_threads(threads).both_strands(both_strands);
+    config.batch_size = 2;
+    let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
+    let scheduler =
+        ElasticScheduler::new(sharded, config, affinity).with_rebalance(RebalanceConfig {
+            threshold: 1.05,
+            cooldown: 1,
+        });
+    let mut sam = SamWriter::new(Vec::new(), "graph", sharded.graph().total_chars())
+        .expect("vec write cannot fail");
+    let mut gaf = GafWriter::new(Vec::new());
+    scheduler.map_stream(
+        reads.iter(),
+        |(_, seq)| seq,
+        |(id, seq), outcome| {
+            let record = sam_record_for(id, seq, &outcome);
+            sam.write_line(&record.to_sam_line())
+                .expect("vec write cannot fail");
+            if let Some(record) =
+                gaf_record_for(id, seq, sharded.graph(), &outcome).expect("consistent graph path")
+            {
+                gaf.write_record(&record).expect("vec write cannot fail");
+            }
+        },
+    );
+    (
+        sam.finish().expect("vec flush cannot fail"),
+        gaf.finish().expect("vec flush cannot fail"),
+    )
+}
+
+proptest! {
+    #[test]
+    fn elastic_sam_and_gaf_bytes_match_fanout(
+        seed in 0u64..5_000,
+        read_count in 3usize..8,
+        read_len in prop::sample::select(vec![80usize, 100, 130]),
+        both_strands in any::<bool>(),
+    ) {
+        let mut dataset_config = DatasetConfig::tiny(seed);
+        dataset_config.read_count = read_count;
+        let dataset = dataset_config.illumina(read_len);
+        let config = SegramConfig::short_reads();
+        let mapper = SegramMapper::new(dataset.graph().clone(), config);
+        let reads: Vec<(String, DnaSeq)> = dataset
+            .reads
+            .iter()
+            .map(|r| (format!("read{}", r.id), r.seq.clone()))
+            .collect();
+
+        let (sam_base, gaf_base) = fanout_documents(&mapper, &reads, 1, both_strands);
+
+        for shards in [1usize, 2, 4] {
+            let sharded = ShardedIndex::build(dataset.graph().clone(), config, shards);
+            for threads in [1usize, 4] {
+                let (sam, gaf) = elastic_documents(&sharded, &reads, threads, both_strands);
+                prop_assert_eq!(
+                    &sam, &sam_base,
+                    "sam bytes differ: shards={} threads={}", shards, threads
+                );
+                prop_assert_eq!(
+                    &gaf, &gaf_base,
+                    "gaf bytes differ: shards={} threads={}", shards, threads
+                );
+            }
+        }
+    }
+}
