@@ -31,6 +31,12 @@
 #                       `map --graph`, then a live `segram serve` daemon:
 #                       concurrent requests (one cancelled mid-payload)
 #                       diffed against one-shot output, clean shutdown
+#  12. serve-qos        QoS scheduling + hot reload under load: bulk
+#                       requests saturate the workers while interactive
+#                       requests overtake them (per-class queueing-delay
+#                       ordering asserted from the exit report), a RELOAD
+#                       swaps the index mid-run with zero failed requests,
+#                       and every reply byte-diffs against its one-shot
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -277,5 +283,128 @@ serve_gate() {
 }
 
 tier persistent-serve serve_gate
+
+# ---------------------------------------------------------------------------
+# Serve QoS + hot-reload gate. Two bulk clients stack many batches on the
+# daemon while interactive clients arrive late and must overtake them: the
+# exit report's per-class queueing-delay percentiles have to show
+# interactive p95 strictly below bulk p50. Mid-run a RELOAD swaps the
+# index to a second bundle: requests opened before the swap (the bulk
+# clients) must still byte-match the old index's one-shot, requests opened
+# after it must byte-match the new one, and nothing may fail.
+# ---------------------------------------------------------------------------
+serve_qos() {
+    local a="$GATE_DIR/qa" b="$GATE_DIR/qb"
+    "$SEGRAM" simulate --out-prefix "$a" \
+        --length 30000 --reads 12 --read-len 120 --seed 19 > /dev/null || return 1
+    "$SEGRAM" simulate --out-prefix "$b" \
+        --length 30000 --reads 12 --read-len 120 --seed 23 > /dev/null || return 1
+    "$SEGRAM" index build --reference "$a.fa" --vcf "$a.vcf" \
+        --output "$a.sgi" > /dev/null || return 1
+    "$SEGRAM" index build --reference "$b.fa" --vcf "$b.vcf" \
+        --output "$b.sgi" > /dev/null || return 1
+
+    # Bulk payload: the A reads concatenated 32x (384 reads = 12 engine
+    # batches per request), so bulk requests hold the queue long enough
+    # for interactive clients to demonstrably jump ahead.
+    local i
+    for i in $(seq 1 32); do cat "$a.fq"; done > "$a-bulk.fq"
+    "$SEGRAM" map --index "$a.sgi" --reads "$a-bulk.fq" --format sam \
+        --output "$a-bulk-want.sam" > /dev/null || return 1
+    "$SEGRAM" map --index "$a.sgi" --reads "$a.fq" --format sam \
+        --output "$a-want.sam" > /dev/null || return 1
+    "$SEGRAM" map --index "$b.sgi" --reads "$b.fq" --format sam \
+        --output "$b-want.sam" > /dev/null || return 1
+
+    "$SEGRAM" serve --index "$a.sgi" --addr 127.0.0.1:0 \
+        --addr-file "$a.addr" --threads 2 --max-queued 64 --quiet \
+        > "$a.serve.log" 2>&1 &
+    local daemon=$!
+    local addr=""
+    for i in $(seq 1 300); do
+        [ -s "$a.addr" ] && { addr="$(tr -d '\n' < "$a.addr")"; break; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "daemon never wrote $a.addr"
+                        kill "$daemon" 2> /dev/null || true; return 1; }
+
+    # Saturate the workers with two bulk-class clients, then send
+    # interactive clients (one with a deadline hint) that must overtake
+    # the queued bulk batches.
+    "$SEGRAM" request --addr "$addr" --reads "$a-bulk.fq" --priority bulk \
+        --output "$a-bulk1.sam" > /dev/null &
+    local bulk1=$!
+    "$SEGRAM" request --addr "$addr" --reads "$a-bulk.fq" --priority bulk \
+        --output "$a-bulk2.sam" > /dev/null &
+    local bulk2=$!
+    sleep 0.3
+    "$SEGRAM" request --addr "$addr" --reads "$a.fq" --priority interactive \
+        --retry --output "$a-int1.sam" > /dev/null \
+        || { echo "interactive request 1 failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    "$SEGRAM" request --addr "$addr" --reads "$a.fq" --priority interactive \
+        --deadline-ms 50 --output "$a-int2.sam" > /dev/null \
+        || { echo "interactive request 2 failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+
+    # Hot swap to bundle B while the bulk requests are still in flight.
+    "$SEGRAM" request --addr "$addr" --reload "$b.sgi" > /dev/null \
+        || { echo "reload request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    "$SEGRAM" request --addr "$addr" --reads "$b.fq" --format sam \
+        --output "$b-got.sam" > /dev/null \
+        || { echo "post-reload request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+
+    wait "$bulk1" || { echo "bulk request 1 failed"
+                       kill "$daemon" 2> /dev/null || true; return 1; }
+    wait "$bulk2" || { echo "bulk request 2 failed"
+                       kill "$daemon" 2> /dev/null || true; return 1; }
+    "$SEGRAM" request --addr "$addr" --shutdown > /dev/null \
+        || { echo "shutdown request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    wait "$daemon" || { echo "daemon exited non-zero"; return 1; }
+
+    # Byte identity on both sides of the swap: bulk clients opened on A
+    # and must match A's one-shot even though they finished after the
+    # reload; the post-reload client must match B's one-shot.
+    local out
+    for out in "$a-bulk1.sam" "$a-bulk2.sam"; do
+        diff "$a-bulk-want.sam" "$out" \
+            || { echo "bulk reply differs from one-shot map --index"; return 1; }
+    done
+    for out in "$a-int1.sam" "$a-int2.sam"; do
+        diff "$a-want.sam" "$out" \
+            || { echo "interactive reply differs from one-shot map --index"; return 1; }
+    done
+    diff "$b-want.sam" "$b-got.sam" \
+        || { echo "post-reload reply differs from new index's one-shot"; return 1; }
+    echo "  byte identity holds across the swap (bulk on A, post-reload on B)"
+
+    grep -q "(0 cancelled by clients, 0 refused busy, 0 failed)" "$a.serve.log" \
+        || { echo "requests failed during the QoS run:"
+             grep "served" "$a.serve.log"; return 1; }
+    grep -q "reloads: 1, active index: $b.sgi" "$a.serve.log" \
+        || { echo "reload not reflected in the daemon report:"
+             grep "reloads" "$a.serve.log" || true; return 1; }
+
+    # The QoS contract under load: interactive queueing delay p95 must sit
+    # strictly below bulk p50.
+    local int_p95 bulk_p50
+    int_p95=$(sed -n 's/.*queueing delay interactive:.* p95us=\([0-9][0-9]*\).*/\1/p' \
+        "$a.serve.log")
+    bulk_p50=$(sed -n 's/.*queueing delay bulk: [^ ]* p50us=\([0-9][0-9]*\).*/\1/p' \
+        "$a.serve.log")
+    [ -n "$int_p95" ] && [ -n "$bulk_p50" ] \
+        || { echo "per-class queueing-delay lines missing from the report:"
+             grep "queueing delay" "$a.serve.log" || true; return 1; }
+    [ "$int_p95" -lt "$bulk_p50" ] \
+        || { echo "QoS ordering violated: interactive p95=${int_p95}us >= bulk p50=${bulk_p50}us"
+             return 1; }
+    echo "  interactive p95=${int_p95}us < bulk p50=${bulk_p50}us"
+    echo "  daemon: $(grep 'served' "$a.serve.log")"
+}
+
+tier serve-qos serve_qos
 
 echo "CI OK in ${SECONDS}s"

@@ -8,7 +8,8 @@
 //! (`SEGRAM_BENCH_SAMPLES`/`SEGRAM_BENCH_JSON`).
 
 use segram_core::{
-    sam_record_for, Backend, BackendKind, EngineConfig, MapEngine, SegramConfig, SegramMapper,
+    sam_record_for, Backend, BackendKind, EngineConfig, EngineOptions, MapEngine, SegramConfig,
+    SegramMapper,
 };
 use segram_graph::DnaSeq;
 use segram_io::{write_fastq, Ambiguity, FastqFramer, FastqRecord, SamWriter};
@@ -34,7 +35,9 @@ fn bench_engine_batch(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(reads.len() as u64));
     for threads in [1usize, 2, 4] {
-        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(threads));
+        // The same shared builder the CLI's map/serve paths configure
+        // their engines with.
+        let engine = MapEngine::new(&mapper, EngineOptions::new().threads(threads));
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
             b.iter(|| {
                 let (outcomes, report) = engine.map_batch(black_box(&reads));

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use segram_core::{MultiConfig, MultiEngine, SegramConfig, SegramMapper};
+use segram_core::{EngineOptions, MultiEngine, SegramConfig, SegramMapper};
 use segram_graph::DnaSeq;
 use segram_index::{decode_index, encode_index, frequency_threshold, GraphIndex, PersistedIndex};
 use segram_sim::DatasetConfig;
@@ -103,12 +103,10 @@ fn bench_multi_engine_requests(c: &mut Criterion) {
     let engine = MultiEngine::new(
         Arc::new(mapper),
         identity,
-        MultiConfig {
-            threads: 4,
-            queue_depth: 64,
-            max_queued: 1024,
-            both_strands: false,
-        },
+        EngineOptions::new()
+            .threads(4)
+            .queue_depth(64)
+            .max_queued(1024),
     );
 
     const BATCH: usize = 4;

@@ -13,7 +13,14 @@ pub struct Options {
 }
 
 /// Switches (flags without a value) recognized anywhere.
-const SWITCHES: [&str; 5] = ["help", "both-strands", "lenient", "quiet", "shutdown"];
+const SWITCHES: [&str; 6] = [
+    "help",
+    "both-strands",
+    "lenient",
+    "quiet",
+    "retry",
+    "shutdown",
+];
 
 impl Options {
     /// Parses everything after the subcommand.

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use segram_core::{
     gaf_record_for, run_backend_eval, sam_record_for, Backend, BackendEval, BackendKind,
-    CancelToken, ElasticReport, ElasticScheduler, EngineConfig, EngineReport, EvalRead, MapEngine,
+    CancelToken, ElasticReport, ElasticScheduler, EngineOptions, EngineReport, EvalRead, MapEngine,
     ReadMapper, SegramConfig, SegramMapper, ShardAffinity, ShardedIndex,
 };
 use segram_filter::FilterSpec;
@@ -782,9 +782,10 @@ fn run_map_stream<M: ReadMapper>(
         }
     };
 
-    let engine_config = EngineConfig::with_threads(threads)
+    let engine_config = EngineOptions::new()
+        .threads(threads)
         .both_strands(both)
-        .with_cancel(cancel.clone());
+        .cancel(cancel.clone());
     let (run, batch_size, affinity_groups, elastic) = match schedule {
         MapSchedule::Fanout(affinity) => {
             let engine = match affinity {

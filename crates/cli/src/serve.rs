@@ -4,26 +4,38 @@
 //! The daemon loads a persistent `.sgi` index once (the expensive part of
 //! every `segram map` run), then multiplexes N concurrent map requests
 //! through one shared [`MultiEngine`]: per-request cancellation (a client
-//! disconnect cancels only that request), per-request ordered output, and
-//! queued-batch admission control (`BUSY` replies past the limit).
+//! disconnect cancels only that request), per-request ordered output,
+//! QoS-aware scheduling (priority classes + deadline hints), queued-batch
+//! admission control (`BUSY` replies past the limit, with a retry hint),
+//! and zero-downtime index reload (`RELOAD` swaps the mapper between
+//! requests; in-flight requests finish on the index they opened against).
 //!
 //! ## Wire protocol (one request per TCP connection, line-framed)
 //!
 //! ```text
-//! client:  MAP <sam|gaf> <payload-bytes>\n   then exactly that many
-//!          bytes of FASTQ, or
-//!          QUIT\n                            stop the daemon
-//! server:  OK\n                              request accepted + mapped,
-//!          CHUNK <len>\n + <len> bytes       output document pieces,
-//!          END reads=<n> mapped=<m>\n        request complete; or
-//!          BUSY <queued-batches>\n           admission refused, or
-//!          ERR <message>\n                   malformed request/input, or
-//!          BYE\n                             QUIT acknowledged
+//! client:  MAP/2 <payload-bytes> [key=value ...]\n
+//!              keys: fmt=sam|gaf (default sam)
+//!                    prio=interactive|normal|bulk (default normal)
+//!                    deadline-ms=<int> (optional deadline hint)
+//!              then exactly <payload-bytes> bytes of FASTQ, or
+//!          MAP <sam|gaf> <payload-bytes>\n    the v1 compatibility form
+//!              (normal priority, no deadline), or
+//!          RELOAD <index.sgi>\n               hot-swap the index, or
+//!          QUIT\n                             stop the daemon
+//! server:  OK\n                               request accepted + mapped,
+//!          CHUNK <len>\n + <len> bytes        output document pieces,
+//!          END reads=<n> mapped=<m> prio=<class>
+//!              p50us=<a> p95us=<b> p99us=<c>\n request complete
+//!              (queueing-delay percentiles of this request); or
+//!          BUSY <queued-batches> retry-ms=<n>\n admission refused, or
+//!          RELOADED <index.sgi>\n             swap complete, or
+//!          ERR <message>\n                    malformed request/input, or
+//!          BYE\n                              QUIT acknowledged
 //! ```
 //!
 //! A request's output document is byte-identical to a one-shot
 //! `segram map --index ref.sgi` over the same reads — `ci.sh`'s serve
-//! tier diffs exactly that.
+//! tiers diff exactly that, including across a mid-flight `RELOAD`.
 
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -31,12 +43,13 @@ use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use segram_core::{
-    gaf_record_for, sam_record_for, MultiConfig, MultiEngine, ReadMapper, RebalanceConfig,
-    Rebalancer, RequestHandle, RouteHook, ShardAffinity, ShardedIndex,
+    gaf_record_for, sam_record_for, EngineOptions, MultiEngine, Priority, QueueDelayStats,
+    ReadMapper, RebalanceConfig, Rebalancer, RequestHandle, RouteHook, ShardAffinity, ShardedIndex,
 };
-use segram_graph::{DnaSeq, GenomeGraph};
+use segram_graph::DnaSeq;
 use segram_io::{Ambiguity, FastqReader, FastqRecord, GafWriter, SamWriter};
 
 use crate::args::Options;
@@ -59,9 +72,13 @@ segram serve — long-lived mapping daemon over a persistent .sgi index
 Loads the index once, then answers concurrent `segram request` calls
 through one shared multi-request engine: per-request cancellation (a
 client disconnect cancels only that request), per-request ordered output
-(byte-identical to a one-shot `segram map --index`), round-robin
-fairness, and queued-batch admission control (BUSY past the limit).
-Stops when a client sends QUIT (`segram request --shutdown`).
+(byte-identical to a one-shot `segram map --index`), priority- and
+deadline-aware scheduling (interactive > normal > bulk; overdue requests
+first), queued-batch admission control (BUSY past the limit, with a
+retry-ms hint), and zero-downtime index reload (`segram request
+--reload new.sgi`: in-flight requests finish on the old index, new ones
+map against the new one). Stops when a client sends QUIT
+(`segram request --shutdown`).
 
 OPTIONS:
     --index <ref.sgi>      persistent index from `segram index build`
@@ -99,16 +116,28 @@ segram request — line-protocol client for `segram serve`
 Sends one FASTQ payload, receives the mapped SAM/GAF document. With
 --cancel-after it instead disconnects mid-payload, which makes the
 server cancel just that request (the test hook for cancellation
-isolation). With --shutdown it asks the daemon to stop.
+isolation). With --reload it asks the daemon to hot-swap its index; with
+--shutdown it asks the daemon to stop.
 
 OPTIONS:
     --addr <host:port>     server address (required; the daemon prints it)
-    --reads <reads.fq>     input FASTQ (required unless --shutdown)
+    --reads <reads.fq>     input FASTQ (required unless --shutdown or
+                           --reload)
     --format <sam|gaf>     output format (default sam)
+    --priority <class>     interactive|normal|bulk (default normal; any
+                           value other than the default sends the MAP/2
+                           header)
+    --deadline-ms <int>    deadline hint: past it, the server schedules
+                           this request ahead of every on-time one
+    --retry                on BUSY, honor the server's retry-ms hint with
+                           one bounded retry (default: fail immediately)
     --output <path>        write the returned document here (default:
                            stdout section of report)
     --cancel-after <int>   send only this many payload bytes, then
                            disconnect without reading a reply
+    --reload <index.sgi>   send RELOAD <path> instead of a mapping request
+                           (the daemon builds the new index, then swaps it
+                           in between requests — zero downtime)
     --shutdown             send QUIT instead of a mapping request
 ";
 
@@ -117,7 +146,7 @@ fn seq_of(record: &FastqRecord) -> &DnaSeq {
 }
 
 /// Validated output format of one request.
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum WireFormat {
     Sam,
     Gaf,
@@ -133,6 +162,145 @@ impl WireFormat {
     }
 }
 
+/// A parsed `MAP`/`MAP/2` request line: what to map, how much of it, and
+/// how urgently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RequestHeader {
+    format: WireFormat,
+    payload_len: u64,
+    priority: Priority,
+    deadline: Option<Duration>,
+}
+
+/// Everything that can be wrong with a request line, as named variants so
+/// tests pin the classification (the client only ever sees the rendered
+/// `ERR` message).
+#[derive(Debug, PartialEq, Eq)]
+enum HeaderError {
+    /// First token is not `MAP`, `MAP/…`, `RELOAD`, or `QUIT`.
+    UnknownCommand(String),
+    /// A `MAP/<version>` this server does not speak.
+    UnsupportedVersion(String),
+    /// Missing or unparsable payload byte count.
+    BadPayloadLen(String),
+    /// v1 format token or v2 `fmt=` value is not `sam`/`gaf`.
+    BadFormat(String),
+    /// v2 `prio=` value is not a known class.
+    BadPriority(String),
+    /// v2 `deadline-ms=` value is not a non-negative integer.
+    BadDeadline(String),
+    /// A v2 token without `=`, or a key this server does not know.
+    UnknownKey(String),
+    /// Extra tokens after a complete v1 header.
+    TrailingTokens(String),
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownCommand(header) => {
+                write!(
+                    f,
+                    "unknown command {header:?} (expected MAP, RELOAD, or QUIT)"
+                )
+            }
+            Self::UnsupportedVersion(version) => {
+                write!(
+                    f,
+                    "unsupported protocol version MAP/{version} (this server speaks MAP and MAP/2)"
+                )
+            }
+            Self::BadPayloadLen(token) => write!(f, "bad payload length {token:?}"),
+            Self::BadFormat(token) => write!(f, "bad format {token:?} (expected sam|gaf)"),
+            Self::BadPriority(token) => {
+                write!(
+                    f,
+                    "bad priority {token:?} (expected interactive|normal|bulk)"
+                )
+            }
+            Self::BadDeadline(token) => {
+                write!(
+                    f,
+                    "bad deadline-ms {token:?} (expected a non-negative integer)"
+                )
+            }
+            Self::UnknownKey(token) => write!(
+                f,
+                "unknown key {token:?} (expected key=value with key in fmt|prio|deadline-ms)"
+            ),
+            Self::TrailingTokens(header) => write!(f, "trailing tokens in {header:?}"),
+        }
+    }
+}
+
+/// Parses a request line: the versioned `MAP/2 <bytes> key=value...` form
+/// or the v1 `MAP <sam|gaf> <bytes>` compatibility form.
+fn parse_request_header(header: &str) -> Result<RequestHeader, HeaderError> {
+    let mut tokens = header.split_whitespace();
+    let command = tokens.next().unwrap_or("");
+    let v2 = match command {
+        "MAP" => false,
+        "MAP/2" => true,
+        _ => {
+            return Err(match command.strip_prefix("MAP/") {
+                Some(version) => HeaderError::UnsupportedVersion(version.to_owned()),
+                None => HeaderError::UnknownCommand(header.to_owned()),
+            })
+        }
+    };
+    if !v2 {
+        let format_token = tokens.next().unwrap_or("");
+        let format = WireFormat::parse(format_token)
+            .ok_or_else(|| HeaderError::BadFormat(format_token.to_owned()))?;
+        let len_token = tokens.next().unwrap_or("");
+        let payload_len: u64 = len_token
+            .parse()
+            .map_err(|_| HeaderError::BadPayloadLen(len_token.to_owned()))?;
+        if tokens.next().is_some() {
+            return Err(HeaderError::TrailingTokens(header.to_owned()));
+        }
+        return Ok(RequestHeader {
+            format,
+            payload_len,
+            priority: Priority::Normal,
+            deadline: None,
+        });
+    }
+    let len_token = tokens.next().unwrap_or("");
+    let payload_len: u64 = len_token
+        .parse()
+        .map_err(|_| HeaderError::BadPayloadLen(len_token.to_owned()))?;
+    let mut parsed = RequestHeader {
+        format: WireFormat::Sam,
+        payload_len,
+        priority: Priority::Normal,
+        deadline: None,
+    };
+    for token in tokens {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(HeaderError::UnknownKey(token.to_owned()));
+        };
+        match key {
+            "fmt" => {
+                parsed.format = WireFormat::parse(value)
+                    .ok_or_else(|| HeaderError::BadFormat(value.to_owned()))?;
+            }
+            "prio" => {
+                parsed.priority = Priority::parse(value)
+                    .ok_or_else(|| HeaderError::BadPriority(value.to_owned()))?;
+            }
+            "deadline-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| HeaderError::BadDeadline(value.to_owned()))?;
+                parsed.deadline = Some(Duration::from_millis(ms));
+            }
+            _ => return Err(HeaderError::UnknownKey(token.to_owned())),
+        }
+    }
+    Ok(parsed)
+}
+
 /// Lifetime counters the daemon reports when it exits.
 #[derive(Default)]
 struct ServeStats {
@@ -140,6 +308,7 @@ struct ServeStats {
     cancelled: AtomicU64,
     refused: AtomicU64,
     failed: AtomicU64,
+    reloads: AtomicU64,
 }
 
 impl ServeStats {
@@ -194,28 +363,30 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
     let schedule = schedule_kind(options)?;
     let config = preset(options.get("preset").unwrap_or("short"))?;
     let quiet = options.switch("quiet");
-    let multi = MultiConfig {
-        threads,
-        queue_depth: options.number("queue-depth", 0)?,
-        max_queued: options.number("max-queued", 0)?,
-        both_strands: options.switch("both-strands"),
-    };
+    // The shared builder `map` and the benches use too; `MultiEngine`
+    // derives its own defaults from the zero fields.
+    let engine_options = EngineOptions::new()
+        .threads(threads)
+        .queue_depth(options.number("queue-depth", 0)?)
+        .max_queued(options.number("max-queued", 0)?)
+        .both_strands(options.switch("both-strands"));
 
     if shards <= 1 && schedule == Schedule::Fanout {
         let mapper = mapper_from_index_file(index_path, config)?;
-        let graph = mapper.shared_graph();
-        let engine = MultiEngine::new(Arc::new(mapper), seq_of, multi);
-        return run_daemon(options, engine, &graph, quiet, None);
+        let engine = MultiEngine::new(Arc::new(mapper), seq_of, engine_options);
+        let reload = move |path: &str| mapper_from_index_file(path, config).map(Arc::new);
+        return run_daemon(options, engine, index_path, reload, quiet, None);
     }
 
     // Re-shard the persisted index: same graph, same frequency threshold,
-    // so replies stay byte-identical to the monolithic daemon.
+    // so replies stay byte-identical to the monolithic daemon. A RELOAD
+    // re-shards the new index the same way.
     let sharded = Arc::new(sharded_from_index_file(index_path, config, shards)?);
-    let graph = sharded.shared_graph();
+    let reload = move |path: &str| sharded_from_index_file(path, config, shards).map(Arc::new);
     match schedule {
         Schedule::Fanout => {
-            let engine = MultiEngine::new(Arc::clone(&sharded), seq_of, multi);
-            run_daemon(options, engine, &graph, quiet, None)
+            let engine = MultiEngine::new(Arc::clone(&sharded), seq_of, engine_options);
+            run_daemon(options, engine, index_path, reload, quiet, None)
         }
         Schedule::Elastic => {
             let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
@@ -225,10 +396,18 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
                 shards,
                 RebalanceConfig::default(),
             )));
+            // The route hook keeps consulting the boot-time index after a
+            // RELOAD: routing is a locality hint only, so a stale hint
+            // degrades placement, never correctness or output bytes.
             let route = pool_route(Arc::clone(&sharded), Arc::clone(&rebalancer), pools);
-            let engine =
-                MultiEngine::with_routing(Arc::clone(&sharded), seq_of, multi, pools, Some(route));
-            run_daemon(options, engine, &graph, quiet, Some(rebalancer))
+            let engine = MultiEngine::with_routing(
+                Arc::clone(&sharded),
+                seq_of,
+                engine_options,
+                pools,
+                Some(route),
+            );
+            run_daemon(options, engine, index_path, reload, quiet, Some(rebalancer))
         }
     }
 }
@@ -270,14 +449,37 @@ fn pool_route(
     })
 }
 
+/// Per-daemon context the connection handlers share: the engine, the
+/// index-reload hook, and the lifetime counters.
+struct Daemon<'a, M: ReadMapper + Send + Sync + 'static> {
+    engine: &'a MultiEngine<M, FastqRecord>,
+    reload: &'a (dyn Fn(&str) -> Result<Arc<M>, CliError> + Send + Sync),
+    /// Path of the index new requests currently map against (updated by
+    /// each successful `RELOAD`).
+    active_index: &'a Mutex<String>,
+    quiet: bool,
+    stats: &'a ServeStats,
+}
+
+// Manual impl (the derive would demand `M: Clone`): the context is shared
+// by reference across connection threads.
+impl<M: ReadMapper + Send + Sync + 'static> Clone for Daemon<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M: ReadMapper + Send + Sync + 'static> Copy for Daemon<'_, M> {}
+
 /// The daemon proper: accept loop, per-connection handlers, lifetime
 /// report. Generic over the mapper behind the engine — the monolithic
 /// [`SegramMapper`] or a routed [`ShardedIndex`] — because requests are
-/// handled identically either way.
+/// handled identically either way. `reload` builds a fresh mapper of the
+/// same shape from an `.sgi` path (the `RELOAD` hook).
 fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
     options: &Options,
     engine: MultiEngine<M, FastqRecord>,
-    graph: &GenomeGraph,
+    index_path: &str,
+    reload: impl Fn(&str) -> Result<Arc<M>, CliError> + Send + Sync,
     quiet: bool,
     rebalancer: Option<Arc<Mutex<Rebalancer>>>,
 ) -> Result<String, CliError> {
@@ -293,6 +495,7 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
     }
 
     let stats = ServeStats::default();
+    let active_index = Mutex::new(index_path.to_owned());
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for conn in listener.incoming() {
@@ -300,11 +503,16 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
                 break;
             }
             let Ok(stream) = conn else { continue };
-            let engine = &engine;
-            let stats = &stats;
+            let daemon = Daemon {
+                engine: &engine,
+                reload: &reload,
+                active_index: &active_index,
+                quiet,
+                stats: &stats,
+            };
             let stop = &stop;
             scope.spawn(move || {
-                if let Control::Quit = handle_connection(stream, engine, graph, quiet, stats) {
+                if let Control::Quit = handle_connection(stream, daemon) {
                     stop.store(true, Ordering::SeqCst);
                     // The accept loop is blocked in `incoming()`; one
                     // throwaway connection wakes it to observe `stop`.
@@ -315,6 +523,7 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
     });
     let pools = engine.pools();
     let counters = engine.pool_counters();
+    let delays = engine.queue_delays();
     engine.shutdown();
 
     let mut report = String::new();
@@ -325,6 +534,21 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
         stats.cancelled.load(Ordering::Relaxed),
         stats.refused.load(Ordering::Relaxed),
         stats.failed.load(Ordering::Relaxed)
+    );
+    for (priority, delay) in &delays {
+        let _ = writeln!(
+            report,
+            "queueing delay {}: batches={} {}",
+            priority.name(),
+            delay.batches,
+            delay_fields(delay)
+        );
+    }
+    let _ = writeln!(
+        report,
+        "reloads: {}, active index: {}",
+        stats.reloads.load(Ordering::Relaxed),
+        active_index.lock().unwrap_or_else(|e| e.into_inner())
     );
     if pools > 1 {
         let migrations = rebalancer
@@ -341,15 +565,24 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
     Ok(report)
 }
 
+/// Renders queueing-delay percentiles the way both the report and the
+/// `END` line spell them: whole microseconds, so scripts compare integers.
+fn delay_fields(stats: &QueueDelayStats) -> String {
+    format!(
+        "p50us={} p95us={} p99us={}",
+        stats.p50.as_micros(),
+        stats.p95.as_micros(),
+        stats.p99.as_micros()
+    )
+}
+
 /// Handles one client connection: parse the header line, then run the
-/// request (or acknowledge QUIT). Reply-side write failures are ignored —
-/// the client is gone, and its request has already been settled.
+/// request (or RELOAD the index, or acknowledge QUIT). Reply-side write
+/// failures are ignored — the client is gone, and its request has already
+/// been settled.
 fn handle_connection<M: ReadMapper + Send + Sync + 'static>(
     stream: TcpStream,
-    engine: &MultiEngine<M, FastqRecord>,
-    graph: &GenomeGraph,
-    quiet: bool,
-    stats: &ServeStats,
+    daemon: Daemon<'_, M>,
 ) -> Control {
     let peer = stream
         .peer_addr()
@@ -369,71 +602,88 @@ fn handle_connection<M: ReadMapper + Send + Sync + 'static>(
     if header == "QUIT" {
         let _ = writer.write_all(b"BYE\n");
         let _ = writer.flush();
-        if !quiet {
+        if !daemon.quiet {
             eprintln!("serve: shutdown requested by {peer}");
         }
         return Control::Quit;
     }
+    if let Some(path) = header.strip_prefix("RELOAD ") {
+        handle_reload(writer, path.trim(), daemon, &peer);
+        return Control::Continue;
+    }
 
-    match parse_map_header(header) {
-        Err(message) => {
-            let _ = writeln!(writer, "ERR {message}");
+    match parse_request_header(header) {
+        Err(error) => {
+            let _ = writeln!(writer, "ERR {error}");
             let _ = writer.flush();
         }
-        Ok((format, payload_len)) => {
-            handle_map(
-                reader,
-                writer,
-                format,
-                payload_len,
-                engine,
-                graph,
-                &peer,
-                quiet,
-                stats,
-            );
+        Ok(request) => {
+            handle_map(reader, writer, request, daemon, &peer);
         }
     }
     Control::Continue
 }
 
-/// Parses `MAP <sam|gaf> <payload-bytes>`.
-fn parse_map_header(header: &str) -> Result<(WireFormat, u64), String> {
-    let mut tokens = header.split_whitespace();
-    match tokens.next() {
-        Some("MAP") => {}
-        _ => return Err(format!("unknown command {header:?} (expected MAP or QUIT)")),
+/// Runs a `RELOAD <path>`: builds the replacement mapper on this
+/// connection's thread — never a worker thread, so mapping throughput is
+/// untouched — then swaps it in for future requests. In-flight requests
+/// keep the mapper they opened with, so there is no drain barrier and no
+/// downtime; a failed build leaves the active index exactly as it was.
+fn handle_reload<M: ReadMapper + Send + Sync + 'static>(
+    mut writer: BufWriter<TcpStream>,
+    path: &str,
+    daemon: Daemon<'_, M>,
+    peer: &str,
+) {
+    if !daemon.quiet {
+        eprintln!("serve: reload of {path} requested by {peer}");
     }
-    let format = tokens
-        .next()
-        .and_then(WireFormat::parse)
-        .ok_or_else(|| format!("bad MAP header {header:?} (expected MAP <sam|gaf> <bytes>)"))?;
-    let len: u64 = tokens
-        .next()
-        .and_then(|t| t.parse().ok())
-        .ok_or_else(|| format!("bad payload length in {header:?}"))?;
-    if tokens.next().is_some() {
-        return Err(format!("trailing tokens in {header:?}"));
+    match (daemon.reload)(path) {
+        Ok(mapper) => {
+            daemon.engine.swap_mapper(mapper);
+            *daemon
+                .active_index
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = path.to_owned();
+            ServeStats::bump(&daemon.stats.reloads);
+            if !daemon.quiet {
+                eprintln!("serve: index swapped to {path}");
+            }
+            let _ = writeln!(writer, "RELOADED {path}");
+        }
+        Err(error) => {
+            if !daemon.quiet {
+                eprintln!("serve: reload of {path} failed: {error}");
+            }
+            let _ = writeln!(writer, "ERR reload failed: {error}");
+        }
     }
-    Ok((format, len))
+    let _ = writer.flush();
 }
 
-/// Runs one MAP request end to end: admission, streaming FASTQ decode off
-/// the socket (pushing batches as they parse, so mapping overlaps the
-/// transfer), ordered drain, reply.
-#[allow(clippy::too_many_arguments)]
+/// Runs one MAP request end to end: admission (QoS class + deadline from
+/// the header), streaming FASTQ decode off the socket (pushing batches as
+/// they parse, so mapping overlaps the transfer), ordered drain, reply.
 fn handle_map<M: ReadMapper + Send + Sync + 'static>(
     reader: BufReader<TcpStream>,
     mut writer: BufWriter<TcpStream>,
-    format: WireFormat,
-    payload_len: u64,
-    engine: &MultiEngine<M, FastqRecord>,
-    graph: &GenomeGraph,
+    request: RequestHeader,
+    daemon: Daemon<'_, M>,
     peer: &str,
-    quiet: bool,
-    stats: &ServeStats,
 ) {
-    let mut handle = match engine.open() {
+    let Daemon {
+        engine,
+        quiet,
+        stats,
+        ..
+    } = daemon;
+    let RequestHeader {
+        format,
+        payload_len,
+        priority,
+        deadline,
+    } = request;
+    let mut handle = match engine.open_with(priority, deadline) {
         Ok(handle) => handle,
         Err(busy) => {
             ServeStats::bump(&stats.refused);
@@ -444,14 +694,22 @@ fn handle_map<M: ReadMapper + Send + Sync + 'static>(
             // socket while the client is still sending would RST the BUSY
             // line away before the client reads it.
             let _ = std::io::copy(&mut reader.take(payload_len), &mut std::io::sink());
-            let _ = writeln!(writer, "BUSY {}", busy.queued);
+            let _ = writeln!(
+                writer,
+                "BUSY {} retry-ms={}",
+                busy.queued,
+                busy.retry_hint.as_millis()
+            );
             let _ = writer.flush();
             return;
         }
     };
     let id = handle.id();
     if !quiet {
-        eprintln!("serve: request {id} from {peer}: {payload_len} payload bytes");
+        eprintln!(
+            "serve: request {id} from {peer}: {payload_len} payload bytes, {} priority",
+            priority.name()
+        );
     }
 
     // Input side: decode FASTQ straight off the socket, bounded by the
@@ -512,8 +770,8 @@ fn handle_map<M: ReadMapper + Send + Sync + 'static>(
     // Output side: drain strictly-ordered batches into the same document
     // writers `segram map` uses, so the reply bytes diff clean against a
     // one-shot run.
-    match render_document(handle, format, graph) {
-        Ok((document, reads, mapped)) => {
+    match render_document(handle, format) {
+        Ok((document, reads, mapped, delay)) => {
             ServeStats::bump(&stats.served);
             if !quiet {
                 eprintln!("serve: request {id} done: {mapped}/{reads} reads mapped");
@@ -523,7 +781,12 @@ fn handle_map<M: ReadMapper + Send + Sync + 'static>(
                 let _ = writeln!(writer, "CHUNK {}", chunk.len());
                 let _ = writer.write_all(chunk);
             }
-            let _ = writeln!(writer, "END reads={reads} mapped={mapped}");
+            let _ = writeln!(
+                writer,
+                "END reads={reads} mapped={mapped} prio={} {}",
+                priority.name(),
+                delay_fields(&delay.unwrap_or_default())
+            );
             let _ = writer.flush();
         }
         Err(message) => {
@@ -537,17 +800,20 @@ fn handle_map<M: ReadMapper + Send + Sync + 'static>(
     }
 }
 
-/// Drains a finished-input request into a rendered SAM/GAF document.
-/// Returns `(document bytes, reads, mapped)`.
+/// Drains a finished-input request into a rendered SAM/GAF document,
+/// against the graph of the mapper the request captured at open time (a
+/// concurrent `RELOAD` must not change what an in-flight request renders).
+/// Returns `(document bytes, reads, mapped, queueing delay)`.
 fn render_document<M: ReadMapper + Send + Sync + 'static>(
     mut handle: RequestHandle<M, FastqRecord>,
     format: WireFormat,
-    graph: &GenomeGraph,
-) -> Result<(Vec<u8>, usize, usize), String> {
+) -> Result<(Vec<u8>, usize, usize, Option<QueueDelayStats>), String> {
     enum Doc {
         Sam(SamWriter<Vec<u8>>),
         Gaf(GafWriter<Vec<u8>>),
     }
+    let mapper = handle.mapper();
+    let graph = mapper.graph();
     let mut doc = match format {
         WireFormat::Sam => Doc::Sam(
             SamWriter::new(Vec::new(), "graph", graph.total_chars())
@@ -574,6 +840,8 @@ fn render_document<M: ReadMapper + Send + Sync + 'static>(
             }
         }
     }
+    // Sampled before `finish` removes the request from the engine.
+    let delay = handle.queue_delay();
     let report = handle
         .finish()
         .map_err(|p| format!("mapping panicked: {}", p.message))?;
@@ -582,7 +850,23 @@ fn render_document<M: ReadMapper + Send + Sync + 'static>(
         Doc::Gaf(w) => w.finish(),
     }
     .map_err(|e| format!("render failed: {e}"))?;
-    Ok((bytes, report.reads, report.mapped))
+    Ok((bytes, report.reads, report.mapped, delay))
+}
+
+/// Sends one control line (`QUIT`, `RELOAD <path>`) and returns the
+/// server's one-line reply, trimmed.
+fn one_line_command(addr: &str, command: &str) -> Result<String, CliError> {
+    let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
+    let read_half = stream.try_clone().map_err(|e| CliError::io(addr, e))?;
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{command}")
+        .and_then(|()| writer.flush())
+        .map_err(|e| CliError::io(addr, e))?;
+    let mut line = String::new();
+    BufReader::new(read_half)
+        .read_line(&mut line)
+        .map_err(|e| CliError::io(addr, e))?;
+    Ok(line.trim_end().to_owned())
 }
 
 /// `segram request`.
@@ -594,31 +878,36 @@ pub fn request(options: &Options) -> Result<String, CliError> {
         "addr",
         "reads",
         "format",
+        "priority",
+        "deadline-ms",
+        "retry",
         "output",
         "cancel-after",
+        "reload",
         "shutdown",
     ])?;
     let addr = options.require("addr")?;
 
     if options.switch("shutdown") {
-        let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
-        let read_half = stream.try_clone().map_err(|e| CliError::io(addr, e))?;
-        let mut writer = BufWriter::new(stream);
-        writer
-            .write_all(b"QUIT\n")
-            .and_then(|()| writer.flush())
-            .map_err(|e| CliError::io(addr, e))?;
-        let mut line = String::new();
-        BufReader::new(read_half)
-            .read_line(&mut line)
-            .map_err(|e| CliError::io(addr, e))?;
-        if line.trim_end() != "BYE" {
+        let reply = one_line_command(addr, "QUIT")?;
+        if reply != "BYE" {
             return Err(CliError::server(format!(
-                "unexpected shutdown reply {:?}",
-                line.trim_end()
+                "unexpected shutdown reply {reply:?}"
             )));
         }
         return Ok("server acknowledged shutdown\n".to_owned());
+    }
+    if let Some(path) = options.get("reload") {
+        let reply = one_line_command(addr, &format!("RELOAD {path}"))?;
+        if let Some(message) = reply.strip_prefix("ERR ") {
+            return Err(CliError::server(message.to_owned()));
+        }
+        if reply.strip_prefix("RELOADED ").is_none() {
+            return Err(CliError::server(format!(
+                "unexpected reload reply {reply:?}"
+            )));
+        }
+        return Ok(format!("server swapped its index to {path}\n"));
     }
 
     let reads_path = options.require("reads")?;
@@ -628,76 +917,121 @@ pub fn request(options: &Options) -> Result<String, CliError> {
             "unknown format {format:?} (expected sam|gaf)"
         )));
     }
-    let payload = std::fs::read(reads_path).map_err(|e| CliError::io(reads_path, e))?;
-
-    let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
-    let read_half = stream.try_clone().map_err(|e| CliError::io(addr, e))?;
-    let mut writer = BufWriter::new(stream);
-    writeln!(writer, "MAP {format} {}", payload.len()).map_err(|e| CliError::io(addr, e))?;
-
-    if let Some(text) = options.get("cancel-after") {
-        let cut: usize = text
-            .parse()
-            .map_err(|_| CliError::usage(format!("--cancel-after: unparsable value {text:?}")))?;
-        let cut = cut.min(payload.len());
-        writer
-            .write_all(&payload[..cut])
-            .and_then(|()| writer.flush())
-            .map_err(|e| CliError::io(addr, e))?;
-        // Drop both halves: the server sees EOF mid-payload and cancels
-        // only this request.
-        drop(writer);
-        drop(read_half);
-        return Ok(format!(
-            "disconnected after {cut} of {} payload bytes (server cancels this request)\n",
-            payload.len()
-        ));
-    }
-
-    writer
-        .write_all(&payload)
-        .and_then(|()| writer.flush())
-        .map_err(|e| CliError::io(addr, e))?;
-
-    let mut reader = BufReader::new(read_half);
-    let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| CliError::io(addr, e))?;
-    let status = line.trim_end().to_owned();
-    if let Some(depth) = status.strip_prefix("BUSY ") {
-        return Err(CliError::server(format!(
-            "server busy (queued depth {depth}); retry later"
+    let priority = options.get("priority").unwrap_or("normal");
+    if Priority::parse(priority).is_none() {
+        return Err(CliError::usage(format!(
+            "unknown priority {priority:?} (expected interactive|normal|bulk)"
         )));
     }
-    if let Some(message) = status.strip_prefix("ERR ") {
-        return Err(CliError::server(message.to_owned()));
-    }
-    if status != "OK" {
-        return Err(CliError::server(format!("unexpected reply {status:?}")));
-    }
+    let deadline_ms: Option<u64> =
+        match options.get("deadline-ms") {
+            Some(text) => Some(text.parse().map_err(|_| {
+                CliError::usage(format!("--deadline-ms: unparsable value {text:?}"))
+            })?),
+            None => None,
+        };
+    let payload = std::fs::read(reads_path).map_err(|e| CliError::io(reads_path, e))?;
 
-    let mut document: Vec<u8> = Vec::new();
-    let summary = loop {
-        line.clear();
+    // QoS fields need the v2 header; plain requests stay on the v1 form so
+    // old daemons keep answering them.
+    let mut header = if priority != "normal" || deadline_ms.is_some() {
+        let mut line = format!("MAP/2 {} fmt={format} prio={priority}", payload.len());
+        if let Some(ms) = deadline_ms {
+            let _ = write!(line, " deadline-ms={ms}");
+        }
+        line
+    } else {
+        format!("MAP {format} {}", payload.len())
+    };
+    header.push('\n');
+
+    let mut retries = if options.switch("retry") { 1u32 } else { 0 };
+    let (document, summary) = loop {
+        let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
+        let read_half = stream.try_clone().map_err(|e| CliError::io(addr, e))?;
+        let mut writer = BufWriter::new(stream);
+        writer
+            .write_all(header.as_bytes())
+            .map_err(|e| CliError::io(addr, e))?;
+
+        if let Some(text) = options.get("cancel-after") {
+            let cut: usize = text.parse().map_err(|_| {
+                CliError::usage(format!("--cancel-after: unparsable value {text:?}"))
+            })?;
+            let cut = cut.min(payload.len());
+            writer
+                .write_all(&payload[..cut])
+                .and_then(|()| writer.flush())
+                .map_err(|e| CliError::io(addr, e))?;
+            // Drop both halves: the server sees EOF mid-payload and
+            // cancels only this request.
+            drop(writer);
+            drop(read_half);
+            return Ok(format!(
+                "disconnected after {cut} of {} payload bytes (server cancels this request)\n",
+                payload.len()
+            ));
+        }
+
+        writer
+            .write_all(&payload)
+            .and_then(|()| writer.flush())
+            .map_err(|e| CliError::io(addr, e))?;
+
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
         reader
             .read_line(&mut line)
             .map_err(|e| CliError::io(addr, e))?;
-        let trimmed = line.trim_end();
-        if let Some(len) = trimmed.strip_prefix("CHUNK ") {
-            let len: usize = len
-                .parse()
-                .map_err(|_| CliError::server(format!("bad chunk length {trimmed:?}")))?;
-            let start = document.len();
-            document.resize(start + len, 0);
-            reader
-                .read_exact(&mut document[start..])
-                .map_err(|e| CliError::io(addr, e))?;
-        } else if let Some(summary) = trimmed.strip_prefix("END ") {
-            break summary.to_owned();
-        } else {
-            return Err(CliError::server(format!("unexpected reply {trimmed:?}")));
+        let status = line.trim_end().to_owned();
+        if let Some(busy) = status.strip_prefix("BUSY ") {
+            // `BUSY <depth> retry-ms=<hint>`: one bounded retry when the
+            // caller opted in, after (a capped version of) the server's
+            // drain estimate.
+            if retries > 0 {
+                retries -= 1;
+                let hint_ms: u64 = busy
+                    .split_whitespace()
+                    .find_map(|token| token.strip_prefix("retry-ms="))
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(100);
+                std::thread::sleep(Duration::from_millis(hint_ms.min(2_000)));
+                continue;
+            }
+            return Err(CliError::server(format!(
+                "server busy ({busy}); retry later"
+            )));
         }
+        if let Some(message) = status.strip_prefix("ERR ") {
+            return Err(CliError::server(message.to_owned()));
+        }
+        if status != "OK" {
+            return Err(CliError::server(format!("unexpected reply {status:?}")));
+        }
+
+        let mut document: Vec<u8> = Vec::new();
+        let summary = loop {
+            line.clear();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| CliError::io(addr, e))?;
+            let trimmed = line.trim_end();
+            if let Some(len) = trimmed.strip_prefix("CHUNK ") {
+                let len: usize = len
+                    .parse()
+                    .map_err(|_| CliError::server(format!("bad chunk length {trimmed:?}")))?;
+                let start = document.len();
+                document.resize(start + len, 0);
+                reader
+                    .read_exact(&mut document[start..])
+                    .map_err(|e| CliError::io(addr, e))?;
+            } else if let Some(summary) = trimmed.strip_prefix("END ") {
+                break summary.to_owned();
+            } else {
+                return Err(CliError::server(format!("unexpected reply {trimmed:?}")));
+            }
+        };
+        break (document, summary);
     };
 
     let mut report = String::new();
@@ -721,4 +1055,104 @@ pub fn request(options: &Options) -> Result<String, CliError> {
         None => report.push_str(&String::from_utf8_lossy(&document)),
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(header: &str) -> Result<RequestHeader, HeaderError> {
+        parse_request_header(header)
+    }
+
+    #[test]
+    fn v1_header_parses_with_default_qos() {
+        let parsed = parse("MAP gaf 1234").expect("valid v1 header");
+        assert!(parsed.format == WireFormat::Gaf);
+        assert_eq!(parsed.payload_len, 1234);
+        assert_eq!(parsed.priority, Priority::Normal);
+        assert_eq!(parsed.deadline, None);
+    }
+
+    #[test]
+    fn v2_header_parses_with_defaults_and_full_qos() {
+        let bare = parse("MAP/2 77").expect("keys are all optional");
+        assert!(bare.format == WireFormat::Sam);
+        assert_eq!(bare.payload_len, 77);
+        assert_eq!(bare.priority, Priority::Normal);
+        assert_eq!(bare.deadline, None);
+
+        let full =
+            parse("MAP/2 512 fmt=gaf prio=interactive deadline-ms=250").expect("valid v2 header");
+        assert!(full.format == WireFormat::Gaf);
+        assert_eq!(full.payload_len, 512);
+        assert_eq!(full.priority, Priority::Interactive);
+        assert_eq!(full.deadline, Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn v2_keys_are_order_independent_and_last_wins() {
+        let parsed = parse("MAP/2 9 prio=bulk fmt=sam prio=interactive").expect("valid");
+        assert_eq!(parsed.priority, Priority::Interactive);
+        assert!(parsed.format == WireFormat::Sam);
+    }
+
+    #[test]
+    fn errors_are_classified_by_named_variant() {
+        assert_eq!(
+            parse("PING"),
+            Err(HeaderError::UnknownCommand("PING".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/3 10"),
+            Err(HeaderError::UnsupportedVersion("3".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/2 ten"),
+            Err(HeaderError::BadPayloadLen("ten".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/2"),
+            Err(HeaderError::BadPayloadLen(String::new()))
+        );
+        assert_eq!(
+            parse("MAP/2 10 fmt=bam"),
+            Err(HeaderError::BadFormat("bam".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/2 10 prio=urgent"),
+            Err(HeaderError::BadPriority("urgent".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/2 10 deadline-ms=-5"),
+            Err(HeaderError::BadDeadline("-5".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/2 10 color=red"),
+            Err(HeaderError::UnknownKey("color=red".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP/2 10 junk"),
+            Err(HeaderError::UnknownKey("junk".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP bam 10"),
+            Err(HeaderError::BadFormat("bam".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP sam ten"),
+            Err(HeaderError::BadPayloadLen("ten".to_owned()))
+        );
+        assert_eq!(
+            parse("MAP sam 10 extra"),
+            Err(HeaderError::TrailingTokens("MAP sam 10 extra".to_owned()))
+        );
+        // v1 has no QoS keys: they read as trailing junk, not as options.
+        assert_eq!(
+            parse("MAP sam 10 prio=interactive"),
+            Err(HeaderError::TrailingTokens(
+                "MAP sam 10 prio=interactive".to_owned()
+            ))
+        );
+    }
 }

@@ -40,7 +40,14 @@ fn run(args: &[&str]) -> Result<String, CliError> {
 /// Simulates a small bundle and builds its persistent index; returns
 /// `(bundle prefix, .sgi path)`.
 fn build_bundle(dir: &TempDir) -> (String, String) {
-    let prefix = dir.path("bundle");
+    build_bundle_with(dir, "bundle", "ref.sgi", 7)
+}
+
+/// [`build_bundle`] with an explicit name and simulation seed, so a test
+/// can build two genuinely different indexes side by side (RELOAD tests).
+fn build_bundle_with(dir: &TempDir, tag: &str, sgi_name: &str, seed: u64) -> (String, String) {
+    let prefix = dir.path(tag);
+    let seed = seed.to_string();
     run(&[
         "simulate",
         "--out-prefix",
@@ -52,10 +59,10 @@ fn build_bundle(dir: &TempDir) -> (String, String) {
         "--read-len",
         "120",
         "--seed",
-        "7",
+        &seed,
     ])
     .expect("simulate");
-    let sgi = dir.path("ref.sgi");
+    let sgi = dir.path(sgi_name);
     let report = run(&[
         "index",
         "build",
@@ -398,6 +405,139 @@ fn elastic_daemon_replies_match_one_shot_and_reports_pools() {
     assert!(report.contains("served 1 requests"), "{report}");
     assert!(report.contains("elastic schedule: 4 pools"), "{report}");
     assert!(report.contains("shard migrations"), "{report}");
+}
+
+/// Reads one full MAP reply (status, chunks, summary) off a raw socket.
+fn read_reply(reader: &mut std::io::BufReader<std::net::TcpStream>) -> (Vec<u8>, String) {
+    use std::io::{BufRead, Read};
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert_eq!(line.trim_end(), "OK", "request must be accepted");
+    let mut document = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("reply line");
+        let trimmed = line.trim_end();
+        if let Some(len) = trimmed.strip_prefix("CHUNK ") {
+            let len: usize = len.parse().expect("chunk length");
+            let start = document.len();
+            document.resize(start + len, 0);
+            reader.read_exact(&mut document[start..]).expect("chunk");
+        } else if let Some(summary) = trimmed.strip_prefix("END ") {
+            return (document, summary.to_owned());
+        } else {
+            panic!("unexpected reply line {trimmed:?}");
+        }
+    }
+}
+
+#[test]
+fn mid_flight_reload_is_zero_downtime_and_byte_identical() {
+    use std::io::Write;
+
+    let dir = TempDir::new("reload");
+    let (prefix_a, sgi_a) = build_bundle_with(&dir, "bundle-a", "a.sgi", 7);
+    let (prefix_b, sgi_b) = build_bundle_with(&dir, "bundle-b", "b.sgi", 8);
+    let reads_a = format!("{prefix_a}.fq");
+    let reads_b = format!("{prefix_b}.fq");
+
+    // One-shot references: the in-flight request must match index A, the
+    // post-reload request must match index B.
+    let want_a = dir.path("want-a.sam");
+    let want_b = dir.path("want-b.sam");
+    run(&[
+        "map", "--index", &sgi_a, "--reads", &reads_a, "--format", "sam", "--output", &want_a,
+    ])
+    .expect("one-shot A");
+    run(&[
+        "map", "--index", &sgi_b, "--reads", &reads_b, "--format", "sam", "--output", &want_b,
+    ])
+    .expect("one-shot B");
+
+    let addr_file = dir.path("addr");
+    let serve_args: Vec<String> = [
+        "serve",
+        "--index",
+        &sgi_a,
+        "--addr",
+        "127.0.0.1:0",
+        "--addr-file",
+        &addr_file,
+        "--threads",
+        "2",
+        "--quiet",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server = std::thread::spawn(move || dispatch(&serve_args));
+    let addr = wait_for_addr(&addr_file);
+
+    // Open a v2 request against index A and send only half its payload:
+    // the request is now in flight, pinned to the mapper it opened with.
+    let payload = fs::read(&reads_a).unwrap();
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writeln!(writer, "MAP/2 {} fmt=sam prio=interactive", payload.len()).expect("header");
+    let half = payload.len() / 2;
+    writer.write_all(&payload[..half]).expect("first half");
+    writer.flush().expect("flush");
+
+    // Swap the index to B while that request is mid-payload.
+    let report = run(&["request", "--addr", &addr, "--reload", &sgi_b]).expect("reload");
+    assert!(report.contains("swapped its index"), "{report}");
+
+    // Finish the payload: the reply must be byte-identical to the
+    // pre-reload one-shot against A — the swap never touches it.
+    writer.write_all(&payload[half..]).expect("second half");
+    writer.flush().expect("flush");
+    let (document, summary) = read_reply(&mut reader);
+    assert_eq!(
+        document,
+        fs::read(&want_a).unwrap(),
+        "in-flight request must keep mapping against the pre-reload index"
+    );
+    assert!(summary.contains("reads=12"), "{summary}");
+    assert!(summary.contains("prio=interactive"), "{summary}");
+    assert!(summary.contains("p95us="), "{summary}");
+    drop(writer);
+    drop(reader);
+
+    // A request opened after the swap maps against index B.
+    let got_b = dir.path("got-b.sam");
+    run(&[
+        "request", "--addr", &addr, "--reads", &reads_b, "--format", "sam", "--output", &got_b,
+    ])
+    .expect("post-reload request");
+    assert_eq!(
+        fs::read(&want_b).unwrap(),
+        fs::read(&got_b).unwrap(),
+        "post-reload request must map against the new index"
+    );
+
+    // A reload of a nonexistent path fails without touching the active
+    // index or failing any request.
+    let missing = dir.path("missing.sgi");
+    let err = run(&["request", "--addr", &addr, "--reload", &missing])
+        .expect_err("reload of a missing index");
+    assert!(err.to_string().contains("reload failed"), "{err}");
+
+    run(&["request", "--addr", &addr, "--shutdown"]).expect("shutdown");
+    let report = server
+        .join()
+        .expect("server thread")
+        .expect("serve exits cleanly");
+    assert!(
+        report.contains("served 2 requests (0 cancelled by clients, 0 refused busy, 0 failed)"),
+        "{report}"
+    );
+    assert!(
+        report.contains(&format!("reloads: 1, active index: {sgi_b}")),
+        "{report}"
+    );
+    assert!(report.contains("queueing delay interactive:"), "{report}");
+    assert!(report.contains("queueing delay normal:"), "{report}");
 }
 
 #[test]

@@ -61,10 +61,10 @@ pub use mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
 pub use pangenome::{Chromosome, Pangenome, PangenomeMapping};
 pub use pipeline::{
     gaf_record_for, sam_record_for, Aligner, BitAlignStage, CancelToken, ElasticReport,
-    ElasticScheduler, EngineBusy, EngineConfig, EngineReport, MapEngine, MapPipeline, MinSeedStage,
-    MultiConfig, MultiEngine, PoolCounters, PoolReport, Prefilter, QueueStats, ReadOutcome,
-    RebalanceConfig, Rebalancer, RequestHandle, RequestPanicked, RouteHook, Seeder, ShardAffinity,
-    ShardRouter, SpecPrefilter,
+    ElasticScheduler, EngineBusy, EngineConfig, EngineOptions, EngineReport, MapEngine,
+    MapPipeline, MinSeedStage, MultiConfig, MultiEngine, PoolCounters, PoolReport, Prefilter,
+    Priority, QueueDelayStats, QueueStats, ReadOutcome, RebalanceConfig, Rebalancer, RequestHandle,
+    RequestPanicked, RouteHook, Seeder, ShardAffinity, ShardRouter, SpecPrefilter,
 };
 pub use sam::{mapq_estimate, sam_document, SamRecord};
 pub use shard::{balance_loads, load_imbalance, IndexShard, ShardStats, ShardedIndex};

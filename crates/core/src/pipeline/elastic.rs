@@ -322,11 +322,17 @@ pub struct ElasticScheduler<'m> {
 
 impl<'m> ElasticScheduler<'m> {
     /// Binds the scheduler to a sharded index, consuming the affinity
-    /// plan as the pools' initial shard placement.
-    pub fn new(index: &'m ShardedIndex, config: EngineConfig, affinity: ShardAffinity) -> Self {
+    /// plan as the pools' initial shard placement. Accepts an
+    /// [`EngineConfig`] or the shared
+    /// [`EngineOptions`](super::EngineOptions) builder.
+    pub fn new(
+        index: &'m ShardedIndex,
+        config: impl Into<EngineConfig>,
+        affinity: ShardAffinity,
+    ) -> Self {
         Self {
             index,
-            config,
+            config: config.into(),
             affinity,
             rebalance: RebalanceConfig::default(),
         }

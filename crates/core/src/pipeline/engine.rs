@@ -143,6 +143,135 @@ impl Default for EngineConfig {
     }
 }
 
+/// The one builder for engine tuning knobs, shared by every engine in the
+/// workspace. [`EngineConfig`] (single-stream [`MapEngine`] /
+/// [`ElasticScheduler`](super::ElasticScheduler)) and
+/// [`MultiConfig`](super::MultiConfig) (the serve-mode
+/// [`MultiEngine`](super::MultiEngine)) historically duplicated the same
+/// fields; `EngineOptions` holds the superset once, and every engine
+/// constructor accepts it directly (`impl Into<Config>`). Knobs a target
+/// engine does not have are simply ignored by the conversion:
+/// `batch_size` by [`MultiConfig`] (the daemon batches on the wire),
+/// `max_queued` and `cancel` by [`EngineConfig`] / [`MultiConfig`]
+/// respectively (admission is a multi-engine concept, cancellation is
+/// per-request there).
+///
+/// # Examples
+///
+/// ```
+/// use segram_core::{EngineConfig, EngineOptions, MultiConfig};
+///
+/// let options = EngineOptions::new().threads(4).queue_depth(8).both_strands(true);
+/// let single: EngineConfig = options.clone().into();
+/// let multi: MultiConfig = options.into();
+/// assert_eq!(single.threads, 4);
+/// assert_eq!(multi.queue_depth, 8);
+/// assert!(single.both_strands && multi.both_strands);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EngineOptions {
+    threads: usize,
+    batch_size: usize,
+    queue_depth: usize,
+    max_queued: usize,
+    both_strands: bool,
+    cancel: CancelToken,
+}
+
+impl EngineOptions {
+    /// Default options: all available cores, default batching, derived
+    /// queue depths (each engine derives its own zero-value defaults).
+    pub fn new() -> Self {
+        Self {
+            threads: 0,
+            batch_size: 0,
+            queue_depth: 0,
+            max_queued: 0,
+            both_strands: false,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Worker thread count (0 = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Reads per work item (0 = the engine default; multi-request engines
+    /// batch on the wire and ignore this).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Bounded input-queue capacity in batches (0 = `2 × threads`;
+    /// per-request for the multi-request engine).
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Multi-request admission limit in total queued batches
+    /// (0 = `4 ×` queue depth; single-stream engines ignore this).
+    pub fn max_queued(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+
+    /// Map each read on both strands and keep the better mapping.
+    pub fn both_strands(mut self, enabled: bool) -> Self {
+        self.both_strands = enabled;
+        self
+    }
+
+    /// Shared stop flag for single-stream engines (the multi-request
+    /// engine is per-request-cancelled and ignores this).
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+}
+
+impl From<EngineOptions> for EngineConfig {
+    fn from(options: EngineOptions) -> Self {
+        let defaults = EngineConfig::default();
+        Self {
+            threads: if options.threads == 0 {
+                defaults.threads
+            } else {
+                options.threads
+            },
+            batch_size: if options.batch_size == 0 {
+                defaults.batch_size
+            } else {
+                options.batch_size
+            },
+            queue_depth: options.queue_depth,
+            both_strands: options.both_strands,
+            cancel: options.cancel,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The pieces [`MultiConfig`](super::MultiConfig)'s conversion needs,
+    /// without exposing the fields (crate-internal).
+    pub(crate) fn multi_parts(&self) -> (usize, usize, usize, bool) {
+        let threads = if self.threads == 0 {
+            EngineConfig::default().threads
+        } else {
+            self.threads
+        };
+        (
+            threads,
+            self.queue_depth,
+            self.max_queued,
+            self.both_strands,
+        )
+    }
+}
+
 /// Poison-tolerant lock: a panicking thread is already captured by the
 /// engine's first-failure slot, so other threads keep the lock usable
 /// instead of dying on the poison flag (the cascade this replaces).
@@ -497,11 +626,12 @@ pub struct MapEngine<'m, M: ReadMapper = SegramMapper> {
 }
 
 impl<'m, M: ReadMapper> MapEngine<'m, M> {
-    /// Binds the engine to a mapper.
-    pub fn new(mapper: &'m M, config: EngineConfig) -> Self {
+    /// Binds the engine to a mapper. Accepts an [`EngineConfig`] or the
+    /// shared [`EngineOptions`] builder.
+    pub fn new(mapper: &'m M, config: impl Into<EngineConfig>) -> Self {
         Self {
             mapper,
-            config,
+            config: config.into(),
             affinity: None,
         }
     }
@@ -509,10 +639,14 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
     /// Binds the engine to a mapper with a worker-to-shard-group
     /// ownership plan (see [`ShardAffinity`] for what the plan does and
     /// does not affect).
-    pub fn with_affinity(mapper: &'m M, config: EngineConfig, affinity: ShardAffinity) -> Self {
+    pub fn with_affinity(
+        mapper: &'m M,
+        config: impl Into<EngineConfig>,
+        affinity: ShardAffinity,
+    ) -> Self {
         Self {
             mapper,
-            config,
+            config: config.into(),
             affinity: Some(affinity),
         }
     }

@@ -46,10 +46,12 @@ mod stages;
 
 pub use elastic::{ElasticReport, ElasticScheduler, PoolReport, RebalanceConfig, Rebalancer};
 pub use engine::{
-    CancelToken, EngineConfig, EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity,
+    CancelToken, EngineConfig, EngineOptions, EngineReport, MapEngine, QueueStats, ReadOutcome,
+    ShardAffinity,
 };
 pub use multi::{
-    EngineBusy, MultiConfig, MultiEngine, PoolCounters, RequestHandle, RequestPanicked, RouteHook,
+    EngineBusy, MultiConfig, MultiEngine, PoolCounters, Priority, QueueDelayStats, RequestHandle,
+    RequestPanicked, RouteHook,
 };
 pub use router::ShardRouter;
 pub use stages::{Aligner, BitAlignStage, MinSeedStage, Prefilter, Seeder, SpecPrefilter};

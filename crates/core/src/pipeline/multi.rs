@@ -14,14 +14,31 @@
 //!   cancelling one (say, a disconnected client) leaves the others
 //!   untouched. A panic inside one request's mapping is captured as *that
 //!   request's* failure; the engine keeps serving.
-//! * **Round-robin fairness** — workers pick the next runnable request in
-//!   rotation, so one huge request cannot starve a small one; a request
-//!   whose reorder buffer has run `max_ahead` past its slowest in-flight
-//!   batch is deprioritized rather than parking a worker.
+//! * **QoS scheduling** — every request carries a [`Priority`] class and
+//!   an optional deadline hint ([`MultiEngine::open_with`]). Workers pick
+//!   the most urgent runnable request: a request past its deadline first
+//!   (earliest in rotation among the late), then by priority class, with
+//!   round-robin rotation *within* a class so one huge request cannot
+//!   starve its peers. A request whose reorder buffer has run `max_ahead`
+//!   past its slowest in-flight batch is deprioritized rather than
+//!   parking a worker — the queued/in-flight depth bound that also caps
+//!   how many lower-priority batches can ever be picked ahead of a
+//!   runnable higher-priority one.
+//! * **Queueing-delay accounting** — every batch records its enqueue →
+//!   worker-pickup delay; [`MultiEngine::queue_delays`] aggregates
+//!   p50/p95/p99 per priority class over the engine lifetime and
+//!   [`RequestHandle::queue_delay`] reports one request's own percentiles
+//!   (the daemon surfaces both).
 //! * **Admission control** — the live queued-batch depth (the same
 //!   backpressure signal [`QueueStats`] exposes for the single-stream
 //!   engine) gates [`MultiEngine::open`]: past `max_queued` the engine
-//!   answers [`EngineBusy`] instead of accepting work it would only queue.
+//!   answers [`EngineBusy`] instead of accepting work it would only
+//!   queue, including a retry hint derived from the observed drain rate.
+//! * **Hot mapper swap** — [`MultiEngine::swap_mapper`] replaces the
+//!   shared mapper between requests: every request captures its mapper
+//!   `Arc` at open, so in-flight requests finish (and render) against the
+//!   old index while new requests map against the new one — the
+//!   zero-downtime `RELOAD` hook of `segram serve`.
 //! * **Pool routing** (optional, [`MultiEngine::with_routing`]) — the
 //!   elastic-schedule analogue for the daemon: workers are partitioned
 //!   into pools (worker `w` → pool `w % pools`), a route hook tags each
@@ -45,14 +62,14 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use segram_graph::DnaSeq;
 use segram_sim::Strand;
 
 use crate::mapper::ReadMapper;
 
-use super::engine::{relock, CancelToken, EngineReport, ReadOutcome};
+use super::engine::{relock, CancelToken, EngineOptions, EngineReport, ReadOutcome};
 
 /// Tuning knobs of a [`MultiEngine`].
 #[derive(Clone, Debug)]
@@ -73,11 +90,139 @@ pub struct MultiConfig {
 
 impl MultiConfig {
     /// A configuration with `threads` workers and default batching.
+    #[deprecated(
+        note = "build a shared `EngineOptions` (`EngineOptions::new().threads(n)`) and pass it \
+                to the engine constructor instead"
+    )]
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads,
             ..Self::default()
         }
+    }
+}
+
+impl From<EngineOptions> for MultiConfig {
+    fn from(options: EngineOptions) -> Self {
+        let (threads, queue_depth, max_queued, both_strands) = options.multi_parts();
+        Self {
+            threads,
+            queue_depth,
+            max_queued,
+            both_strands,
+        }
+    }
+}
+
+/// A request's priority class, ordered by urgency: workers always pick a
+/// runnable request of a higher class before any lower one, and
+/// round-robin within a class. An overdue deadline outranks even class
+/// (see [`MultiEngine::open_with`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Throughput traffic (batch re-mapping jobs): yields to everything.
+    Bulk,
+    /// The default class for unmarked requests.
+    #[default]
+    Normal,
+    /// Latency-sensitive traffic (a user waiting on the reply): picked
+    /// before every lower class whenever one of its batches is runnable.
+    Interactive,
+}
+
+impl Priority {
+    /// Every class, most urgent first (the daemon's report order).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Normal, Priority::Bulk];
+
+    /// Parses the wire/CLI name of a class (`interactive|normal|bulk`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "interactive" => Some(Self::Interactive),
+            "normal" => Some(Self::Normal),
+            "bulk" => Some(Self::Bulk),
+            _ => None,
+        }
+    }
+
+    /// The wire/CLI name of this class.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Interactive => "interactive",
+            Self::Normal => "normal",
+            Self::Bulk => "bulk",
+        }
+    }
+
+    /// Scheduling rank (higher = more urgent) and the per-class slot in
+    /// the delay aggregation.
+    fn index(self) -> usize {
+        match self {
+            Self::Bulk => 0,
+            Self::Normal => 1,
+            Self::Interactive => 2,
+        }
+    }
+}
+
+/// Queueing-delay percentiles over a set of batches, measured from
+/// [`RequestHandle::push`] enqueue to worker pickup — the time a batch
+/// spent waiting for a worker, the QoS signal the scheduler exists to
+/// shape. `batches` counts every recorded batch; the percentiles are
+/// computed over a bounded sliding window of the most recent samples so a
+/// long-lived daemon's memory stays flat.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueDelayStats {
+    /// Batches recorded (engine lifetime, not just the window).
+    pub batches: u64,
+    /// Median queueing delay.
+    pub p50: Duration,
+    /// 95th-percentile queueing delay.
+    pub p95: Duration,
+    /// 99th-percentile queueing delay.
+    pub p99: Duration,
+}
+
+/// Samples kept per delay window (per class, and per request).
+const DELAY_WINDOW: usize = 4096;
+
+/// A bounded sliding window of queueing-delay samples.
+#[derive(Debug, Default)]
+struct DelayWindow {
+    total: u64,
+    samples: Vec<Duration>,
+    /// Overwrite cursor once the window is full.
+    next: usize,
+}
+
+impl DelayWindow {
+    fn record(&mut self, delay: Duration) {
+        if self.samples.len() < DELAY_WINDOW {
+            self.samples.push(delay);
+        } else {
+            self.samples[self.next] = delay;
+            self.next = (self.next + 1) % DELAY_WINDOW;
+        }
+        self.total += 1;
+    }
+
+    /// Nearest-rank percentiles over the window; `None` before the first
+    /// sample.
+    fn stats(&self) -> Option<QueueDelayStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| {
+            let rank = ((sorted.len() as f64) * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(QueueDelayStats {
+            batches: self.total,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        })
     }
 }
 
@@ -103,14 +248,20 @@ pub struct EngineBusy {
     pub queued: usize,
     /// The configured admission limit.
     pub capacity: usize,
+    /// Suggested client back-off before retrying: the time the current
+    /// queue needs to drain at the engine's recently observed pick rate
+    /// (clamped to 10 ms … 5 s; a flat 100 ms before any rate is known).
+    pub retry_hint: Duration,
 }
 
 impl fmt::Display for EngineBusy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "engine busy: {} of {} queued batches",
-            self.queued, self.capacity
+            "engine busy: {} of {} queued batches (retry in ~{} ms)",
+            self.queued,
+            self.capacity,
+            self.retry_hint.as_millis()
         )
     }
 }
@@ -159,14 +310,35 @@ pub struct PoolCounters {
     pub stolen: u64,
 }
 
+/// One queued input batch of a request, in push order.
+struct QueuedBatch<T> {
+    /// Position in the request's push order (the reorder key).
+    index: usize,
+    items: Vec<T>,
+    /// The pool this batch is tagged for.
+    pool: usize,
+    /// When [`RequestHandle::push`] enqueued it — the queueing-delay
+    /// measurement starts here and ends at worker pickup.
+    enqueued: Instant,
+}
+
 /// Per-request scheduler state. Everything lives under the one scheduler
 /// lock; mapping itself always runs outside it.
-struct ReqState<T> {
-    /// Queued input batches, in push order
-    /// (`(batch index, items, tagged pool)`).
-    input: VecDeque<(usize, Vec<T>, usize)>,
+struct ReqState<M, T> {
+    /// Queued input batches, in push order.
+    input: VecDeque<QueuedBatch<T>>,
     input_closed: bool,
     cancel: CancelToken,
+    /// Scheduling class: workers pick the most urgent runnable request.
+    priority: Priority,
+    /// Absolute deadline (open time + the client's hint); once passed,
+    /// this request outranks every on-time one.
+    deadline: Option<Instant>,
+    /// The mapper captured at open: stable across
+    /// [`MultiEngine::swap_mapper`], so one request never mixes indexes.
+    mapper: Arc<M>,
+    /// This request's own queueing-delay samples.
+    delays: DelayWindow,
     /// Batches popped by workers and not yet released or discarded.
     inflight: usize,
     /// Next batch index to release to `out` (per-request reorder buffer).
@@ -185,12 +357,21 @@ struct ReqState<T> {
     report: EngineReport,
 }
 
-impl<T> ReqState<T> {
-    fn new(cancel: CancelToken) -> Self {
+impl<M, T> ReqState<M, T> {
+    fn new(
+        cancel: CancelToken,
+        priority: Priority,
+        deadline: Option<Instant>,
+        mapper: Arc<M>,
+    ) -> Self {
         Self {
             input: VecDeque::new(),
             input_closed: false,
             cancel,
+            priority,
+            deadline,
+            mapper,
+            delays: DelayWindow::default(),
             inflight: 0,
             next_release: 0,
             pending: BTreeMap::new(),
@@ -203,10 +384,12 @@ impl<T> ReqState<T> {
     }
 }
 
-struct Sched<T> {
-    requests: BTreeMap<u64, ReqState<T>>,
-    /// Round-robin rotation: the order workers consider requests in. A
-    /// worker that pops from a request moves it to the back.
+struct Sched<M, T> {
+    requests: BTreeMap<u64, ReqState<M, T>>,
+    /// Rotation order *within* an urgency class: workers pick the most
+    /// urgent runnable request (overdue deadline, then priority class)
+    /// and break ties by this order; a worker that pops from a request
+    /// moves it to the back.
     rr: VecDeque<u64>,
     next_id: u64,
     /// Total queued input batches across requests — the live admission /
@@ -215,10 +398,33 @@ struct Sched<T> {
     /// Queued batches per pool tag — the least-loaded spill signal.
     queued_per_pool: Vec<usize>,
     counters: PoolCounters,
+    /// Lifetime queueing-delay windows, indexed by [`Priority::index`].
+    class_delays: [DelayWindow; 3],
+    /// Timestamps of the most recent worker picks — the live drain-rate
+    /// estimate behind [`EngineBusy::retry_hint`].
+    recent_picks: VecDeque<Instant>,
     shutdown: bool,
 }
 
-impl<T> Sched<T> {
+/// Picks kept for the drain-rate estimate.
+const RECENT_PICKS: usize = 64;
+
+impl<M, T> Sched<M, T> {
+    /// Suggested back-off for a refused request: the time the current
+    /// queue needs to drain at the recently observed pick rate.
+    fn retry_hint(&self) -> Duration {
+        let (Some(first), Some(last)) = (self.recent_picks.front(), self.recent_picks.back())
+        else {
+            return Duration::from_millis(100);
+        };
+        let span = last.saturating_duration_since(*first);
+        if self.recent_picks.len() < 2 || span.is_zero() {
+            return Duration::from_millis(100);
+        }
+        let per_batch = span.as_secs_f64() / (self.recent_picks.len() - 1) as f64;
+        Duration::from_secs_f64((per_batch * self.queued_total as f64).clamp(0.010, 5.0))
+    }
+
     /// Re-derives a request's lifecycle after any state change:
     /// cancellation drops queued and pending work immediately, completion
     /// flips `done`, and a detached request is removed once idle.
@@ -228,8 +434,8 @@ impl<T> Sched<T> {
         };
         if req.cancel.is_cancelled() {
             self.queued_total -= req.input.len();
-            for &(_, _, pool) in &req.input {
-                self.queued_per_pool[pool] -= 1;
+            for batch in &req.input {
+                self.queued_per_pool[batch.pool] -= 1;
             }
             req.input.clear();
             req.pending.clear();
@@ -256,7 +462,9 @@ impl<T> Sched<T> {
 pub type RouteHook<T> = Arc<dyn Fn(&[T]) -> Option<usize> + Send + Sync>;
 
 struct Shared<M, T> {
-    mapper: Arc<M>,
+    /// The mapper *new* requests capture at open. [`MultiEngine::swap_mapper`]
+    /// replaces it; requests already open keep the `Arc` they captured.
+    mapper: Mutex<Arc<M>>,
     read_of: fn(&T) -> &DnaSeq,
     threads: usize,
     /// Worker pools (1 = unrouted). Worker `w` serves pool `w % pools`.
@@ -270,7 +478,7 @@ struct Shared<M, T> {
     max_ahead: usize,
     max_queued: usize,
     both_strands: bool,
-    sched: Mutex<Sched<T>>,
+    sched: Mutex<Sched<M, T>>,
     /// Workers wait here for a runnable request.
     work_ready: Condvar,
     /// Producers wait here for per-request input space.
@@ -280,9 +488,10 @@ struct Shared<M, T> {
 }
 
 impl<M: ReadMapper, T> Shared<M, T> {
-    fn map_one(&self, read: &DnaSeq) -> ReadOutcome {
+    /// Maps one read with the given request's captured mapper.
+    fn map_one(&self, mapper: &M, read: &DnaSeq) -> ReadOutcome {
         if self.both_strands {
-            let (best, stats) = self.mapper.map_read_both(read);
+            let (best, stats) = mapper.map_read_both(read);
             let (mapping, strand) = match best {
                 Some((mapping, strand)) => (Some(mapping), strand),
                 None => (None, Strand::Forward),
@@ -293,7 +502,7 @@ impl<M: ReadMapper, T> Shared<M, T> {
                 stats,
             }
         } else {
-            let (mapping, stats) = self.mapper.map_read(read);
+            let (mapping, stats) = mapper.map_read(read);
             ReadOutcome {
                 mapping,
                 strand: Strand::Forward,
@@ -303,22 +512,25 @@ impl<M: ReadMapper, T> Shared<M, T> {
     }
 }
 
-/// The worker loop: pick the next runnable request round-robin —
-/// preferring requests whose front batch is tagged for this worker's
-/// `pool`, stealing any runnable batch when none is — then map one batch
-/// outside the lock, release in order, repeat.
+/// The worker loop: pick the most urgent runnable request — past-deadline
+/// first, then by [`Priority`] class, preferring a front batch tagged for
+/// this worker's `pool` and breaking remaining ties in rotation order
+/// (the steal that keeps every worker busy whatever the routing skew) —
+/// then map one batch outside the lock, release in order, repeat. Note
+/// the steal ordering: lateness and class outrank pool affinity, so a
+/// worker abandons locality to serve a late or higher-class request.
 fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
     let mut guard = relock(&shared.sched);
     loop {
         if guard.shutdown {
             return;
         }
-        // Two-priority scan in one pass: `picked` is the first runnable
-        // request whose next batch belongs to this pool, `fallback` the
-        // first runnable request of any pool (the steal that keeps every
-        // worker busy whatever the routing skew).
-        let mut picked = None;
-        let mut fallback = None;
+        // One pass over the rotation, keeping the most urgent runnable
+        // candidate: the key orders by (overdue, class, own-pool), and a
+        // strictly-greater comparison keeps the earliest rotation slot on
+        // ties — round-robin within each urgency level.
+        let now = Instant::now();
+        let mut best: Option<(usize, u64, (bool, usize, bool))> = None;
         for slot in 0..guard.rr.len() {
             let id = guard.rr[slot];
             let Some(req) = guard.requests.get(&id) else {
@@ -329,20 +541,22 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
             };
             // A cancelled request's batches are always poppable (cheap
             // discard); a live one is skipped while its reorder buffer is
-            // full — round-robin then favors the requests that can make
-            // release progress.
+            // full — the pick then favors the requests that can make
+            // release progress, and bounds how many lower-priority
+            // batches can ever overtake a higher-priority request.
             if !req.cancel.is_cancelled() && req.inflight + req.pending.len() >= shared.max_ahead {
                 continue;
             }
-            if front.2 == pool {
-                picked = Some((slot, id));
-                break;
-            }
-            if fallback.is_none() {
-                fallback = Some((slot, id));
+            let key = (
+                req.deadline.is_some_and(|deadline| now >= deadline),
+                req.priority.index(),
+                front.pool == pool,
+            );
+            if best.as_ref().is_none_or(|&(_, _, best_key)| key > best_key) {
+                best = Some((slot, id, key));
             }
         }
-        let Some((slot, id)) = picked.or(fallback) else {
+        let Some((slot, id, _)) = best else {
             guard = shared
                 .work_ready
                 .wait(guard)
@@ -352,11 +566,32 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
         guard.rr.remove(slot);
         guard.rr.push_back(id);
         let req = guard.requests.get_mut(&id).expect("picked request exists");
-        let (index, items, batch_pool) = req.input.pop_front().expect("picked request has input");
+        let QueuedBatch {
+            index,
+            items,
+            pool: batch_pool,
+            enqueued,
+        } = req.input.pop_front().expect("picked request has input");
         req.inflight += 1;
         let cancel = req.cancel.clone();
+        let mapper = Arc::clone(&req.mapper);
+        // Queueing delay = enqueue → this pickup. Cancelled requests'
+        // batches are discards, not service, and are left out.
+        let live = !cancel.is_cancelled();
+        let waited = now.saturating_duration_since(enqueued);
+        let class = req.priority.index();
+        if live {
+            req.delays.record(waited);
+        }
         guard.queued_total -= 1;
         guard.queued_per_pool[batch_pool] -= 1;
+        if live {
+            guard.class_delays[class].record(waited);
+        }
+        guard.recent_picks.push_back(now);
+        if guard.recent_picks.len() > RECENT_PICKS {
+            guard.recent_picks.pop_front();
+        }
         if batch_pool != pool {
             guard.counters.stolen += 1;
         }
@@ -371,7 +606,7 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
                 if cancel.is_cancelled() {
                     return false;
                 }
-                let outcome = shared.map_one((shared.read_of)(&item));
+                let outcome = shared.map_one(mapper.as_ref(), (shared.read_of)(&item));
                 outcomes.push((item, outcome));
             }
             true
@@ -427,7 +662,7 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use segram_core::{MultiConfig, MultiEngine, SegramConfig, SegramMapper};
+/// use segram_core::{EngineOptions, MultiEngine, SegramConfig, SegramMapper};
 /// use segram_graph::DnaSeq;
 /// use segram_sim::DatasetConfig;
 ///
@@ -437,7 +672,7 @@ fn worker_loop<M: ReadMapper, T>(shared: &Shared<M, T>, pool: usize) {
 ///
 /// let dataset = DatasetConfig::tiny(3).illumina(100);
 /// let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
-/// let engine = MultiEngine::new(Arc::new(mapper), seq_of, MultiConfig::with_threads(2));
+/// let engine = MultiEngine::new(Arc::new(mapper), seq_of, EngineOptions::new().threads(2));
 ///
 /// let mut request = engine.open().expect("engine accepts");
 /// let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
@@ -480,8 +715,10 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> fmt::Debug for Sh
 
 impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T> {
     /// Spawns the worker pool over a shared mapper. `read_of` projects the
-    /// sequence out of a work item (e.g. `|record| &record.seq`).
-    pub fn new(mapper: Arc<M>, read_of: fn(&T) -> &DnaSeq, config: MultiConfig) -> Self {
+    /// sequence out of a work item (e.g. `|record| &record.seq`). `config`
+    /// accepts either a [`MultiConfig`] or a shared
+    /// [`EngineOptions`](super::engine::EngineOptions).
+    pub fn new(mapper: Arc<M>, read_of: fn(&T) -> &DnaSeq, config: impl Into<MultiConfig>) -> Self {
         Self::with_routing(mapper, read_of, config, 1, None)
     }
 
@@ -495,10 +732,11 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
     pub fn with_routing(
         mapper: Arc<M>,
         read_of: fn(&T) -> &DnaSeq,
-        config: MultiConfig,
+        config: impl Into<MultiConfig>,
         pools: usize,
         route: Option<RouteHook<T>>,
     ) -> Self {
+        let config = config.into();
         let threads = config.threads.max(1);
         let pools = pools.clamp(1, threads);
         let queue_depth = if config.queue_depth == 0 {
@@ -512,7 +750,7 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
             config.max_queued
         };
         let shared = Arc::new(Shared {
-            mapper,
+            mapper: Mutex::new(mapper),
             read_of,
             threads,
             pools,
@@ -528,6 +766,8 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
                 queued_total: 0,
                 queued_per_pool: vec![0; pools],
                 counters: PoolCounters::default(),
+                class_delays: Default::default(),
+                recent_picks: VecDeque::new(),
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
@@ -546,32 +786,84 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> MultiEngine<M, T>
         Self { shared, workers }
     }
 
-    /// Opens a new request, subject to admission control.
+    /// Opens a new request at [`Priority::Normal`] with no deadline,
+    /// subject to admission control.
     ///
     /// # Errors
     ///
     /// [`EngineBusy`] when the queued-batch depth has reached the limit
     /// (or the engine is shutting down).
     pub fn open(&self) -> Result<RequestHandle<M, T>, EngineBusy> {
+        self.open_with(Priority::Normal, None)
+    }
+
+    /// [`Self::open`] with an explicit QoS class and optional deadline
+    /// hint. Workers always pick the most urgent queued batch: a request
+    /// past its deadline outranks every on-time one, then higher
+    /// [`Priority`] classes outrank lower ones, then pool affinity breaks
+    /// ties (round-robin within a level). The request maps against the
+    /// mapper active at open time, even across a
+    /// [`swap_mapper`](Self::swap_mapper).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineBusy`] when the queued-batch depth has reached the limit
+    /// (or the engine is shutting down); its `retry_hint` estimates the
+    /// queue drain time.
+    pub fn open_with(
+        &self,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<RequestHandle<M, T>, EngineBusy> {
+        let mapper = Arc::clone(&relock(&self.shared.mapper));
         let mut guard = relock(&self.shared.sched);
         if guard.shutdown || guard.queued_total >= self.shared.max_queued {
             return Err(EngineBusy {
                 queued: guard.queued_total,
                 capacity: self.shared.max_queued,
+                retry_hint: guard.retry_hint(),
             });
         }
         let id = guard.next_id;
         guard.next_id += 1;
         let cancel = CancelToken::new();
-        guard.requests.insert(id, ReqState::new(cancel.clone()));
+        let deadline = deadline.map(|d| Instant::now() + d);
+        guard.requests.insert(
+            id,
+            ReqState::new(cancel.clone(), priority, deadline, Arc::clone(&mapper)),
+        );
         guard.rr.push_back(id);
         Ok(RequestHandle {
             shared: Arc::clone(&self.shared),
+            mapper,
             id,
             cancel,
             produced: 0,
             finished: false,
         })
+    }
+
+    /// Replaces the mapper for **future** requests; requests already open
+    /// keep mapping against the mapper they captured at open time. This is
+    /// the zero-downtime half of `RELOAD`: build the new index off-thread,
+    /// then swap between requests.
+    pub fn swap_mapper(&self, mapper: Arc<M>) {
+        *relock(&self.shared.mapper) = mapper;
+    }
+
+    /// The mapper new requests would currently capture.
+    pub fn active_mapper(&self) -> Arc<M> {
+        Arc::clone(&relock(&self.shared.mapper))
+    }
+
+    /// Lifetime queueing-delay percentiles per priority class (classes
+    /// that never queued a batch are omitted), most urgent first.
+    pub fn queue_delays(&self) -> Vec<(Priority, QueueDelayStats)> {
+        let guard = relock(&self.shared.sched);
+        Priority::ALL
+            .iter()
+            .filter_map(|&p| guard.class_delays[p.index()].stats().map(|s| (p, s)))
+            .collect()
     }
 
     /// The live queued-batch depth across all open requests — the
@@ -641,6 +933,7 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> Drop for MultiEng
 /// its outputs.
 pub struct RequestHandle<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> {
     shared: Arc<Shared<M, T>>,
+    mapper: Arc<M>,
     id: u64,
     cancel: CancelToken,
     produced: usize,
@@ -661,6 +954,22 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, 
     /// This request's engine-assigned id (the batch tag in logs).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The mapper this request captured at open time — stable across
+    /// [`MultiEngine::swap_mapper`], so rendering (e.g. SAM headers against
+    /// the mapped graph) stays consistent with the outcomes.
+    pub fn mapper(&self) -> Arc<M> {
+        Arc::clone(&self.mapper)
+    }
+
+    /// Queueing-delay percentiles over this request's picked batches so
+    /// far (`None` before the first pick).
+    pub fn queue_delay(&self) -> Option<QueueDelayStats> {
+        relock(&self.shared.sched)
+            .requests
+            .get(&self.id)
+            .and_then(|req| req.delays.stats())
     }
 
     /// A clone of this request's cancellation token — hand it to whatever
@@ -743,7 +1052,12 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, 
             .requests
             .get_mut(&self.id)
             .expect("request checked above");
-        req.input.push_back((self.produced, items, pool));
+        req.input.push_back(QueuedBatch {
+            index: self.produced,
+            items,
+            pool,
+            enqueued: Instant::now(),
+        });
         let depth = req.input.len();
         req.report.queue.max_depth = req.report.queue.max_depth.max(depth);
         self.produced += 1;
@@ -823,7 +1137,7 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> RequestHandle<M, 
         drop(guard);
         self.finished = true;
         let mut report = state.report;
-        report.backend = shared.mapper.backend_name();
+        report.backend = state.mapper.backend_name();
         report.threads = shared.threads;
         match state.failure {
             Some(message) => Err(RequestPanicked { message }),
@@ -854,7 +1168,7 @@ impl<M: ReadMapper + Send + Sync + 'static, T: Send + 'static> Drop for RequestH
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::engine::{EngineConfig, MapEngine};
+    use crate::pipeline::engine::{EngineConfig, EngineOptions, MapEngine};
     use crate::{MapStats, Mapping, SegramConfig, SegramMapper};
     use segram_graph::GenomeGraph;
     use segram_sim::DatasetConfig;
@@ -1078,6 +1392,14 @@ mod tests {
         let busy = engine.open().expect_err("over the admission limit");
         assert_eq!(busy.capacity, 1);
         assert!(busy.queued >= 1, "refusal reports the live depth");
+        assert!(
+            busy.retry_hint > Duration::ZERO,
+            "refusals always carry a usable retry hint"
+        );
+        assert!(
+            busy.to_string().contains("retry in ~"),
+            "the hint is part of the message: {busy}"
+        );
 
         gate.store(true, Ordering::SeqCst);
         request.finish_input();
@@ -1172,7 +1494,7 @@ mod tests {
                 poison: poison.clone(),
             }),
             seq_of,
-            MultiConfig::with_threads(2),
+            EngineOptions::new().threads(2),
         );
 
         let mut doomed = engine.open().expect("admission");
@@ -1256,7 +1578,7 @@ mod tests {
     fn dropping_a_handle_detaches_and_cleans_up() {
         let (dataset, mapper) = setup();
         let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
-        let engine = MultiEngine::new(Arc::new(mapper), seq_of, MultiConfig::with_threads(2));
+        let engine = MultiEngine::new(Arc::new(mapper), seq_of, EngineOptions::new().threads(2));
         {
             let mut request = engine.open().expect("admission");
             assert!(request.push(reads.clone()));
@@ -1269,6 +1591,294 @@ mod tests {
         }
         assert_eq!(engine.open_requests(), 0);
         assert_eq!(engine.queued_batches(), 0);
+        engine.shutdown();
+    }
+
+    /// A gated mapper that also logs every read it maps, so tests can
+    /// assert the exact pick order of a single worker.
+    struct RecordingMapper {
+        graph: GenomeGraph,
+        gate: Arc<AtomicBool>,
+        log: Arc<std::sync::Mutex<Vec<DnaSeq>>>,
+    }
+
+    impl ReadMapper for RecordingMapper {
+        fn graph(&self) -> &GenomeGraph {
+            &self.graph
+        }
+        fn map_read(&self, read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            relock(&self.log).push(read.clone());
+            let start = Instant::now();
+            while !self.gate.load(Ordering::SeqCst) && start.elapsed() < Duration::from_secs(10) {
+                std::thread::yield_now();
+            }
+            (None, MapStats::default())
+        }
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            let (_, stats) = self.map_read(read);
+            (None, stats)
+        }
+    }
+
+    /// The pick-order test rig: a single-worker engine over a
+    /// [`RecordingMapper`], its gate and log, and distinguishable reads.
+    type RecordingRig = (
+        MultiEngine<RecordingMapper, DnaSeq>,
+        Arc<AtomicBool>,
+        Arc<std::sync::Mutex<Vec<DnaSeq>>>,
+        Vec<DnaSeq>,
+    );
+
+    fn recording_engine(queue_depth: usize) -> RecordingRig {
+        let (dataset, _) = setup();
+        let gate = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mapper = RecordingMapper {
+            graph: dataset.graph().clone(),
+            gate: Arc::clone(&gate),
+            log: Arc::clone(&log),
+        };
+        let engine = MultiEngine::new(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 1,
+                queue_depth,
+                max_queued: 64,
+                both_strands: false,
+            },
+        );
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        (engine, gate, log, reads)
+    }
+
+    /// Waits (bounded) until the single worker has picked `n` reads.
+    fn await_log(log: &std::sync::Mutex<Vec<DnaSeq>>, n: usize) {
+        let start = Instant::now();
+        while relock(log).len() < n && start.elapsed() < Duration::from_secs(10) {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn interactive_request_overtakes_queued_bulk_batches() {
+        let (engine, gate, log, reads) = recording_engine(8);
+        let bulk_read = reads[0].clone();
+        let fast_read = reads[1].clone();
+        assert_ne!(bulk_read, fast_read, "reads must be distinguishable");
+
+        let mut bulk = engine.open_with(Priority::Bulk, None).expect("admission");
+        for _ in 0..4 {
+            assert!(bulk.push(vec![bulk_read.clone()]));
+        }
+        // The single worker is now inside (at most) one bulk batch; the
+        // rest sit queued.
+        await_log(&log, 1);
+        let mut fast = engine
+            .open_with(Priority::Interactive, None)
+            .expect("admission");
+        assert!(fast.push(vec![fast_read.clone()]));
+        gate.store(true, Ordering::SeqCst);
+
+        bulk.finish_input();
+        fast.finish_input();
+        while fast.next_output().is_some() {}
+        while bulk.next_output().is_some() {}
+        fast.finish().expect("no panic");
+        bulk.finish().expect("no panic");
+
+        let order = relock(&log).clone();
+        let fast_at = order
+            .iter()
+            .position(|r| *r == fast_read)
+            .expect("interactive read was mapped");
+        assert!(
+            fast_at <= 1,
+            "the interactive batch must be picked right after the one \
+             in-flight bulk batch, not at position {fast_at} of {order:?}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn late_deadline_outranks_class() {
+        let (engine, gate, log, reads) = recording_engine(8);
+        let filler_read = reads[0].clone();
+        let fast_read = reads[1].clone();
+        let late_read = reads[2].clone();
+
+        // Park the single worker inside a filler batch.
+        let mut filler = engine.open().expect("admission");
+        assert!(filler.push(vec![filler_read.clone()]));
+        await_log(&log, 1);
+
+        // Queue an on-time interactive batch first, then a bulk batch
+        // whose deadline has already passed: lateness must win.
+        let mut fast = engine
+            .open_with(Priority::Interactive, None)
+            .expect("admission");
+        assert!(fast.push(vec![fast_read.clone()]));
+        let mut late = engine
+            .open_with(Priority::Bulk, Some(Duration::ZERO))
+            .expect("admission");
+        assert!(late.push(vec![late_read.clone()]));
+        gate.store(true, Ordering::SeqCst);
+
+        for request in [&mut filler, &mut fast, &mut late] {
+            request.finish_input();
+        }
+        while filler.next_output().is_some() {}
+        while fast.next_output().is_some() {}
+        while late.next_output().is_some() {}
+        filler.finish().expect("no panic");
+        fast.finish().expect("no panic");
+        late.finish().expect("no panic");
+
+        let order = relock(&log).clone();
+        let late_at = order
+            .iter()
+            .position(|r| *r == late_read)
+            .expect("late read was mapped");
+        let fast_at = order
+            .iter()
+            .position(|r| *r == fast_read)
+            .expect("interactive read was mapped");
+        assert!(
+            late_at < fast_at,
+            "a past-deadline bulk batch outranks an on-time interactive \
+             one, got pick order {order:?}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn queueing_delays_are_recorded_per_class_and_per_request() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let engine = MultiEngine::new(
+            Arc::new(mapper),
+            seq_of,
+            MultiConfig {
+                threads: 2,
+                queue_depth: 4,
+                max_queued: 0,
+                both_strands: false,
+            },
+        );
+        assert!(
+            engine.queue_delays().is_empty(),
+            "no class has samples before the first pick"
+        );
+
+        let mut request = engine
+            .open_with(Priority::Interactive, None)
+            .expect("admission");
+        let mut batches = 0u64;
+        for batch in reads.chunks(4) {
+            assert!(request.push(batch.to_vec()));
+            batches += 1;
+        }
+        request.finish_input();
+        while request.next_output().is_some() {}
+        let delay = request
+            .queue_delay()
+            .expect("per-request delays after draining");
+        assert_eq!(delay.batches, batches);
+        assert!(delay.p50 <= delay.p95 && delay.p95 <= delay.p99);
+        request.finish().expect("no panic");
+
+        let per_class = engine.queue_delays();
+        assert_eq!(
+            per_class.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![Priority::Interactive],
+            "only the class that queued batches reports"
+        );
+        assert_eq!(per_class[0].1.batches, batches);
+        engine.shutdown();
+    }
+
+    /// A mapper whose outcomes carry a marker, so a test can tell which
+    /// mapper generation produced each outcome across a hot swap.
+    struct MarkedMapper {
+        graph: GenomeGraph,
+        mark: usize,
+    }
+
+    impl ReadMapper for MarkedMapper {
+        fn graph(&self) -> &GenomeGraph {
+            &self.graph
+        }
+        fn map_read(&self, _read: &DnaSeq) -> (Option<Mapping>, MapStats) {
+            (
+                None,
+                MapStats {
+                    minimizers: self.mark,
+                    ..MapStats::default()
+                },
+            )
+        }
+        fn map_read_both(&self, read: &DnaSeq) -> (Option<(Mapping, Strand)>, MapStats) {
+            let (_, stats) = self.map_read(read);
+            let _ = read;
+            (None, stats)
+        }
+    }
+
+    #[test]
+    fn swap_mapper_leaves_in_flight_requests_on_the_old_index() {
+        let (dataset, _) = setup();
+        let read: DnaSeq = dataset.reads[0].seq.clone();
+        let old = Arc::new(MarkedMapper {
+            graph: dataset.graph().clone(),
+            mark: 1,
+        });
+        let new = Arc::new(MarkedMapper {
+            graph: dataset.graph().clone(),
+            mark: 2,
+        });
+        let engine = MultiEngine::new(
+            Arc::clone(&old),
+            seq_of,
+            MultiConfig {
+                threads: 1,
+                queue_depth: 8,
+                max_queued: 64,
+                both_strands: false,
+            },
+        );
+
+        // Open before the swap, but push (and map) everything after it:
+        // the capture at open time is what pins the index.
+        let mut before = engine.open().expect("admission");
+        engine.swap_mapper(Arc::clone(&new));
+        assert!(Arc::ptr_eq(&engine.active_mapper(), &new));
+        let mut after = engine.open().expect("admission");
+        assert!(Arc::ptr_eq(&after.mapper(), &new));
+        assert!(Arc::ptr_eq(&before.mapper(), &old));
+
+        for request in [&mut before, &mut after] {
+            assert!(request.push(vec![read.clone(), read.clone()]));
+            request.finish_input();
+        }
+        let marks_of = |request: &mut RequestHandle<MarkedMapper, DnaSeq>| {
+            let mut marks = Vec::new();
+            while let Some(batch) = request.next_output() {
+                marks.extend(batch.iter().map(|(_, o)| o.stats.minimizers));
+            }
+            marks
+        };
+        assert_eq!(
+            marks_of(&mut before),
+            vec![1, 1],
+            "the in-flight request keeps mapping on the pre-swap index"
+        );
+        assert_eq!(
+            marks_of(&mut after),
+            vec![2, 2],
+            "requests opened after the swap map on the new index"
+        );
+        before.finish().expect("no panic");
+        after.finish().expect("no panic");
         engine.shutdown();
     }
 }
