@@ -27,11 +27,16 @@
 #                       all four backends diffed across --threads 1 vs 8
 #                       (SAM and GAF), the high-thread-count stress of the
 #                       overlapped pipeline's ordering guarantee
-#  11. persistent-serve `segram index build` -> `map --index` diffed against
+#  11. compressed-io   BGZF input end to end: the FASTQ is re-compressed
+#                      with `segram bgzip` (the in-tree DEFLATE encoder,
+#                      both fixed and stored modes) and mapped through all
+#                      four backends x sam/gaf x --threads 1/8, each run
+#                      diffed byte-for-byte against its plain-input twin
+#  12. persistent-serve `segram index build` -> `map --index` diffed against
 #                       `map --graph`, then a live `segram serve` daemon:
 #                       concurrent requests (one cancelled mid-payload)
 #                       diffed against one-shot output, clean shutdown
-#  12. serve-qos        QoS scheduling + hot reload under load: bulk
+#  13. serve-qos        QoS scheduling + hot reload under load: bulk
 #                       requests saturate the workers while interactive
 #                       requests overtake them (per-class queueing-delay
 #                       ordering asserted from the exit report), a RELOAD
@@ -212,6 +217,59 @@ overlapped_io() {
 }
 
 tier overlapped-io overlapped_io
+
+# ---------------------------------------------------------------------------
+# Compressed-IO gate: production-shaped input. The simulated FASTQ is
+# BGZF-compressed with `segram bgzip` — the in-tree DEFLATE encoder, in
+# both fixed-Huffman and stored modes, with small blocks so records
+# straddle member boundaries — and `segram map` auto-detects the magic
+# bytes and inflates in the worker stage. Every backend x format x
+# thread-count run must produce bytes identical to its plain-input twin;
+# a corrupted stream must fail with a named error and remove its output.
+# ---------------------------------------------------------------------------
+compressed_io() {
+    local d="$GATE_DIR/cz"
+    "$SEGRAM" simulate --out-prefix "$d" \
+        --length 20000 --reads 12 --read-len 100 --seed 37 > /dev/null || return 1
+    local mode backend fmt threads
+    for mode in fixed stored; do
+        "$SEGRAM" bgzip --input "$d.fq" --output "$d-$mode.fq.gz" \
+            --block-bytes 512 --mode "$mode" > /dev/null || return 1
+    done
+    for backend in segram graphaligner vg hga; do
+        for fmt in sam gaf; do
+            for threads in 1 8; do
+                "$SEGRAM" map --graph "$d.gfa" --reads "$d.fq" \
+                    --backend "$backend" --format "$fmt" --threads "$threads" \
+                    --output "$d-plain.$fmt" > /dev/null || return 1
+                for mode in fixed stored; do
+                    "$SEGRAM" map --graph "$d.gfa" --reads "$d-$mode.fq.gz" \
+                        --backend "$backend" --format "$fmt" --threads "$threads" \
+                        --output "$d-$mode.$fmt" > /dev/null || return 1
+                    diff "$d-plain.$fmt" "$d-$mode.$fmt" \
+                        || { echo "backend $backend $fmt differs: BGZF($mode) vs plain at --threads $threads"
+                             return 1; }
+                done
+            done
+        done
+        echo "  $backend: BGZF(fixed+stored) identical to plain, sam+gaf x --threads 1/8"
+    done
+
+    # Corruption must fail mid-stream with the named class, exit 1, and
+    # no partial output left behind.
+    head -c 600 "$d-stored.fq.gz" > "$d-trunc.fq.gz"
+    if "$SEGRAM" map --graph "$d.gfa" --reads "$d-trunc.fq.gz" \
+        --output "$d-trunc.sam" > /dev/null 2> "$d-trunc.err"; then
+        echo "truncated BGZF input mapped successfully"; return 1
+    fi
+    grep -q "truncated inside a BGZF block" "$d-trunc.err" \
+        || { echo "truncation error not named:"; cat "$d-trunc.err"; return 1; }
+    [ ! -e "$d-trunc.sam" ] \
+        || { echo "partial output left behind after BGZF failure"; return 1; }
+    echo "  corruption: named error, exit 1, no orphaned output"
+}
+
+tier compressed-io compressed_io
 
 # ---------------------------------------------------------------------------
 # Persistent-index + serve gate: `segram index build` writes the graph and

@@ -8,11 +8,14 @@
 //! (`SEGRAM_BENCH_SAMPLES`/`SEGRAM_BENCH_JSON`).
 
 use segram_core::{
-    sam_record_for, Backend, BackendKind, EngineConfig, EngineOptions, MapEngine, SegramConfig,
-    SegramMapper,
+    sam_record_for, Backend, BackendKind, DecodedBlock, EngineConfig, EngineOptions, MapEngine,
+    SegramConfig, SegramMapper,
 };
 use segram_graph::DnaSeq;
-use segram_io::{write_fastq, Ambiguity, FastqFramer, FastqRecord, SamWriter};
+use segram_io::{
+    bgzf_compress, write_fastq, Ambiguity, BgzfMode, FastqFramer, FastqRecord, FastqSplice,
+    SamWriter,
+};
 use segram_sim::DatasetConfig;
 use segram_testkit::bench::{
     black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
@@ -143,10 +146,86 @@ fn bench_engine_stream_io(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_stream_bgzf(c: &mut Criterion) {
+    // The compressed twin of engine_stream_io: the same FASTQ bytes, but
+    // BGZF-compressed with the in-tree codec, streamed as the CLI's
+    // compressed path runs them — the producer slices members
+    // (`BgzfBlocks`), workers inflate + splice + decode ahead of seeding.
+    // CI judges this leg on the queue/stall/inflate counters it lands in
+    // BENCH_smoke.json, not wall-clock (the smoke host is single-core):
+    // the visible claim is that decompression rides the worker stage
+    // instead of serializing on the producer.
+    let dataset = DatasetConfig {
+        reference_len: 100_000,
+        read_count: 64,
+        long_read_len: 2_000,
+        seed: 177,
+    }
+    .illumina(150);
+    let mut config = SegramConfig::short_reads();
+    config.max_regions = 8;
+    let mapper = SegramMapper::new(dataset.graph().clone(), config);
+    let total_chars = dataset.graph().total_chars();
+    let fastq: Vec<FastqRecord> = dataset
+        .reads
+        .iter()
+        .map(|r| FastqRecord::with_uniform_quality(format!("read{}", r.id), r.seq.clone(), 30))
+        .collect();
+    let bytes = write_fastq(&fastq).into_bytes();
+    // 4 KiB members: several blocks per batch, records straddling
+    // boundaries, and enough DEFLATE work per block to measure.
+    let compressed = bgzf_compress(&bytes, 4096, BgzfMode::Fixed);
+
+    let mut group = c.benchmark_group("engine_stream_bgzf_150bp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fastq.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let mut engine_config = EngineConfig::with_threads(threads);
+                engine_config.batch_size = 4;
+                let engine = MapEngine::new(&mapper, engine_config);
+                let splice = FastqSplice::new();
+                let mut blocks = segram_io::BgzfBlocks::new(black_box(compressed.as_slice()));
+                let raws = std::iter::from_fn(|| match blocks.next() {
+                    Some(Ok(block)) => Some(block),
+                    _ => None,
+                });
+                let mut sam = SamWriter::new(Vec::with_capacity(bytes.len()), "graph", total_chars)
+                    .expect("vec write cannot fail");
+                let report = engine.map_block_stream(
+                    raws,
+                    |block| {
+                        let started = std::time::Instant::now();
+                        let plain = block.inflate().ok()?;
+                        let raws =
+                            splice.splice(block.index(), &plain, block.is_last(), || false)?;
+                        let inflate = started.elapsed();
+                        let mut items = Vec::with_capacity(raws.len());
+                        for raw in raws {
+                            items.push(raw.decode(Ambiguity::Reject).ok()?);
+                        }
+                        Some(DecodedBlock { items, inflate })
+                    },
+                    |record| &record.seq,
+                    |record, outcome| {
+                        let rec = sam_record_for(&record.id, &record.seq, &outcome);
+                        sam.write_line(&rec.to_sam_line())
+                            .expect("vec write cannot fail");
+                    },
+                );
+                black_box((report.reads, report.stats.inflate, sam.records_written()))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_batch,
     bench_engine_stream_io,
+    bench_engine_stream_bgzf,
     bench_backend_matrix
 );
 criterion_main!(benches);

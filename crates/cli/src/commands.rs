@@ -8,15 +8,16 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Cursor, Read, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use segram_core::{
     gaf_record_for, run_backend_eval, sam_record_for, Backend, BackendEval, BackendKind,
-    CancelToken, ElasticReport, ElasticScheduler, EngineOptions, EngineReport, EvalRead, MapEngine,
-    ReadMapper, SegramConfig, SegramMapper, ShardAffinity, ShardedIndex,
+    CancelToken, DecodedBlock, ElasticReport, ElasticScheduler, EngineOptions, EngineReport,
+    EvalRead, MapEngine, QueueStats, ReadMapper, ReadOutcome, SegramConfig, SegramMapper,
+    ShardAffinity, ShardedIndex, WorkQueue,
 };
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, ConstructedGraph, DnaSeq, GenomeGraph, VariantSet};
@@ -25,9 +26,10 @@ use segram_index::{
     PersistedIndex, INDEX_FORMAT_VERSION,
 };
 use segram_io::{
-    phred_from_error_rate, read_fasta, read_vcf, write_fasta, write_fastq, write_vcf, Ambiguity,
-    FastaRecord, FastqFramer, FastqReader, FastqRecord, GafWriter, RawFastqRecord, SamWriter,
-    StreamError, VcfOptions,
+    bgzf_compress, looks_like_gzip, phred_from_error_rate, read_fasta, read_vcf, write_fasta,
+    write_fastq, write_vcf, Ambiguity, BgzfBlock, BgzfBlocks, BgzfError, BgzfMode, FastaRecord,
+    FastqFramer, FastqReader, FastqRecord, FastqSplice, GafWriter, RawFastqRecord, SamWriter,
+    StreamError, VcfOptions, BGZF_MAX_PLAIN,
 };
 use segram_sim::{
     generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
@@ -55,6 +57,8 @@ COMMANDS:
                 multiplexing concurrent requests through one shared engine
     request     Line-protocol client for `segram serve`
     simulate    Generate a synthetic reference/VCF/graph/reads bundle
+    bgzip       BGZF-compress a file with the in-tree DEFLATE compressor
+                (`segram map` auto-detects BGZF-compressed FASTQ)
     eval        Evaluation harnesses (`eval compare`: same reads through
                 several mapping backends, one comparison table)
 
@@ -415,9 +419,23 @@ OPTIONS:
                            skips construction + indexing entirely (the
                            file records the scheme, buckets, and discard
                            fraction; --backend segram, --shards 1 only)
-    --reads <reads.fq>     input FASTQ (required)
+    --reads <reads.fq>     input FASTQ, plain or BGZF-compressed (required;
+                           the container is auto-detected by its gzip
+                           magic — blocks are sliced by the producer and
+                           inflated on the worker threads)
     --output <path>        output file (default: stdout section of report)
     --format <sam|gaf>     output format (default sam)
+    --output-sam <path>    split emission: write SAM here and (with
+                           --output-gaf) GAF in the same pass, each on its
+                           own writer thread; exclusive with
+                           --output/--format
+    --output-gaf <path>    split emission: the GAF half (see --output-sam)
+    --batch-size <n|auto|auto:MIN:MAX>
+                           reads per engine batch: a fixed count, or
+                           `auto` to let the producer grow/shrink the
+                           batch from queue depth/stall imbalance
+                           (default auto bounds 4:256; --schedule fanout
+                           only)
     --backend <segram|graphaligner|vg|hga>
                            mapping backend (default segram); the software
                            baselines run through the same engine for
@@ -566,11 +584,110 @@ pub(crate) fn schedule_kind(options: &Options) -> Result<Schedule, CliError> {
     }
 }
 
+/// How `segram map` sizes engine batches: a fixed read count or the
+/// producer-side adaptive controller within `[min, max]` bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BatchSpec {
+    Fixed(usize),
+    Auto { min: usize, max: usize },
+}
+
+/// Default `--batch-size auto` bounds: wide enough to matter, small
+/// enough that one batch never dominates the reorder window.
+const AUTO_BATCH_MIN: usize = 4;
+const AUTO_BATCH_MAX: usize = 256;
+
+/// Parses `--batch-size N`, `--batch-size auto`, or
+/// `--batch-size auto:MIN:MAX` (absent = the engine's fixed default).
+fn batch_spec(options: &Options) -> Result<Option<BatchSpec>, CliError> {
+    let Some(text) = options.get("batch-size") else {
+        return Ok(None);
+    };
+    if text == "auto" {
+        return Ok(Some(BatchSpec::Auto {
+            min: AUTO_BATCH_MIN,
+            max: AUTO_BATCH_MAX,
+        }));
+    }
+    if let Some(bounds) = text.strip_prefix("auto:") {
+        let parts: Vec<&str> = bounds.split(':').collect();
+        let parsed = match parts.as_slice() {
+            [min, max] => min
+                .parse::<usize>()
+                .ok()
+                .zip(max.parse::<usize>().ok())
+                .filter(|(min, max)| *min >= 1 && max >= min),
+            _ => None,
+        };
+        return match parsed {
+            Some((min, max)) => Ok(Some(BatchSpec::Auto { min, max })),
+            None => Err(CliError::usage(format!(
+                "--batch-size: expected auto:MIN:MAX with 1 <= MIN <= MAX, got {text:?}"
+            ))),
+        };
+    }
+    match text.parse::<usize>() {
+        Ok(0) => Err(CliError::usage("--batch-size must be at least 1")),
+        Ok(n) => Ok(Some(BatchSpec::Fixed(n))),
+        Err(_) => Err(CliError::usage(format!(
+            "--batch-size: expected a count, auto, or auto:MIN:MAX, got {text:?}"
+        ))),
+    }
+}
+
+/// The opened reads file with its sniffed head re-attached, so both the
+/// plain framer and the BGZF slicer see the stream from byte zero.
+type ReadsSource = std::io::Chain<Cursor<Vec<u8>>, fs::File>;
+
+/// An opened `--reads` file, classified by its leading magic bytes.
+struct MapReads {
+    source: ReadsSource,
+    /// The file starts with the gzip magic: BGZF path.
+    compressed: bool,
+}
+
+/// Opens the reads file and sniffs the first two bytes for the gzip
+/// magic (BGZF members are gzip members). The consumed head is chained
+/// back in front of the file handle.
+fn open_reads(reads_path: &str) -> Result<MapReads, CliError> {
+    let mut file = fs::File::open(reads_path).map_err(|e| CliError::io(reads_path, e))?;
+    let mut head = Vec::with_capacity(2);
+    let mut byte = [0u8; 1];
+    while head.len() < 2 {
+        match file.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(CliError::io(reads_path, err)),
+        }
+    }
+    let compressed = looks_like_gzip(&head);
+    Ok(MapReads {
+        source: Cursor::new(head).chain(file),
+        compressed,
+    })
+}
+
 /// Where `segram map` gets its graph + index from: a GFA file (construct
 /// the index now) or a persistent `.sgi` file (load both).
 enum MapSource<'a> {
     Graph(&'a str),
     Index(&'a str),
+}
+
+/// What `segram map` emits: one document in one format (to a file or the
+/// report), or the split dual-format pass (SAM and GAF in one mapping
+/// run, each document on its own writer thread).
+#[derive(Clone, Copy, Debug)]
+enum OutputPlan<'a> {
+    Single {
+        format: &'a str,
+        path: Option<&'a str>,
+    },
+    Split {
+        sam: &'a str,
+        gaf: &'a str,
+    },
 }
 
 /// Where the streamed output records go: a buffered file or an in-memory
@@ -612,7 +729,24 @@ struct EngineRun {
     /// The full elastic report (elastic runs only): per-pool
     /// depth/stall/batch counters plus route/spill/migration totals.
     elastic: Option<ElasticReport>,
-    target: MapTarget,
+    /// The run consumed a BGZF-compressed stream (the report then shows
+    /// the inflate stage time).
+    compressed: bool,
+    output: RunOutput,
+}
+
+/// The output half of an [`EngineRun`], matching the [`OutputPlan`].
+enum RunOutput {
+    /// The single-document target (holds the rendered bytes when no
+    /// `--output` path was given).
+    Single(MapTarget),
+    /// Split emission ran: the per-channel queue counters of the two
+    /// writer threads (push side = the engine's sink, pop side = the
+    /// file writer). Boxed to keep the enum near the `Single` size.
+    Split {
+        sam_stats: Box<QueueStats>,
+        gaf_stats: Box<QueueStats>,
+    },
 }
 
 /// How `run_map_stream` drives the engine: the fanout [`MapEngine`] (with
@@ -623,26 +757,36 @@ enum MapSchedule<'a> {
     Elastic(&'a ShardedIndex, ShardAffinity),
 }
 
-/// Removes a partially written output file on drop unless disarmed — the
+/// Removes partially written output files on drop unless disarmed — the
 /// one cleanup path for the header-failure case, the post-run failure
 /// case, and every early `?` in between, so no truncated document ever
-/// survives an error. Declare it *before* the writer: drop order then
-/// guarantees the `BufWriter` handle is flushed and closed before the
-/// file is unlinked.
+/// survives an error. Declare it *before* the writers: drop order then
+/// guarantees the `BufWriter` handles are flushed and closed before the
+/// files are unlinked. Holds up to two paths (the split SAM+GAF pass).
 struct OutputCleanup<'a> {
-    path: Option<&'a str>,
+    paths: Vec<&'a str>,
 }
 
-impl OutputCleanup<'_> {
-    /// Keeps the file: the run completed and flushed successfully.
+impl<'a> OutputCleanup<'a> {
+    /// A guard armed for nothing yet.
+    fn new() -> Self {
+        Self { paths: Vec::new() }
+    }
+
+    /// Arms the guard for one more created file.
+    fn arm(&mut self, path: &'a str) {
+        self.paths.push(path);
+    }
+
+    /// Keeps the files: the run completed and flushed successfully.
     fn disarm(&mut self) {
-        self.path = None;
+        self.paths.clear();
     }
 }
 
 impl Drop for OutputCleanup<'_> {
     fn drop(&mut self) {
-        if let Some(path) = self.path {
+        for path in &self.paths {
             let _ = fs::remove_file(path);
         }
     }
@@ -653,15 +797,273 @@ fn take_error<E>(slot: Mutex<Option<E>>) -> Option<E> {
     slot.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Streams the FASTQ at `reads_path` through a [`MapEngine`] over any
-/// [`ReadMapper`] (monolithic or sharded) with fully overlapped IO: the
-/// producer thread only frames raw record boundaries
-/// ([`FastqFramer`], double-buffered block reads), FASTQ decode runs in
-/// the worker stage ahead of seeding, and rendering + file writes happen
-/// on the engine's dedicated writer thread as each batch is released in
-/// input order. A failure at either end (framing, decode, write) cancels
-/// the shared [`CancelToken`] so the whole pipeline stops promptly
-/// instead of mapping the rest of the stream first.
+/// Input-side error slots shared between the producer and the workers:
+/// each family records the earliest failure it can observe.
+#[derive(Default)]
+struct InputErrors {
+    /// Plain path: the producer's framing/transport error.
+    frame: Mutex<Option<StreamError>>,
+    /// Compressed path: the producer's block-slicing error (bad framing,
+    /// truncation, a missing EOF marker).
+    bgzf_frame: Mutex<Option<BgzfError>>,
+    /// Compressed path: the earliest worker-side block error (corrupt
+    /// DEFLATE data, checksum mismatches), keyed by block index.
+    bgzf_block: Mutex<Option<(usize, BgzfError)>>,
+    /// The earliest FASTQ decode error, keyed by line number.
+    decode: Mutex<Option<(usize, StreamError)>>,
+}
+
+/// Resolves the input-side slots into the one error the user sees.
+///
+/// Priority: the slicer's own error first — a producer failure cancels
+/// the run before every queued block is inflated, so whether a worker
+/// slot also filled is a race; the producer slot is not. Then the
+/// earliest worker block error and the earliest FASTQ decode error —
+/// both deterministic the other way round: the failing worker puts the
+/// engine in settle mode, which drains every block and record before the
+/// failure whatever the thread count.
+fn input_failure(errors: InputErrors, reads_path: &str) -> Option<CliError> {
+    if let Some(err) = take_error(errors.bgzf_frame) {
+        return Some(CliError::bgzf(reads_path, err));
+    }
+    if let Some((_, err)) = take_error(errors.bgzf_block) {
+        return Some(CliError::bgzf(reads_path, err));
+    }
+    match take_error(errors.frame).or_else(|| take_error(errors.decode).map(|(_, err)| err)) {
+        Some(StreamError::Io(err)) => Some(CliError::io(reads_path, err)),
+        Some(StreamError::Format(err)) => Some(CliError::format(reads_path, err)),
+        None => None,
+    }
+}
+
+/// The plain producer: slices raw FASTQ record frames off block reads
+/// ([`FastqFramer`]); it never parses FASTQ. A transport error stops the
+/// stream, records itself, and cancels the run.
+fn plain_frames<'a>(
+    source: ReadsSource,
+    cancel: &CancelToken,
+    errors: &'a InputErrors,
+) -> impl Iterator<Item = RawFastqRecord> + 'a {
+    let cancel = cancel.clone();
+    let mut framer = FastqFramer::new(source);
+    std::iter::from_fn(move || {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        match framer.next() {
+            Some(Ok(raw)) => Some(raw),
+            Some(Err(err)) => {
+                *errors.frame.lock().unwrap_or_else(PoisonError::into_inner) = Some(err);
+                cancel.cancel();
+                None
+            }
+            None => None,
+        }
+    })
+}
+
+/// The compressed producer: slices still-compressed BGZF blocks
+/// ([`BgzfBlocks`]) — inflation happens on the worker threads. A framing
+/// error stops the stream, records itself, and cancels the run.
+fn bgzf_frames<'a>(
+    source: ReadsSource,
+    cancel: &CancelToken,
+    errors: &'a InputErrors,
+) -> impl Iterator<Item = BgzfBlock> + 'a {
+    let cancel = cancel.clone();
+    let mut blocks = BgzfBlocks::new(source);
+    std::iter::from_fn(move || {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        match blocks.next() {
+            Some(Ok(block)) => Some(block),
+            Some(Err(err)) => {
+                *errors
+                    .bgzf_frame
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(err);
+                cancel.cancel();
+                None
+            }
+            None => None,
+        }
+    })
+}
+
+/// Runs the engine pass for one schedule × input-encoding combination
+/// with the given writer-thread sink, returning the engine report, the
+/// configured batch size, the fanout affinity plan, and the elastic
+/// report. Producer-side framing errors and worker-side inflate/decode
+/// errors land in `errors`; the first of any of them cancels the run.
+///
+/// Worker-stage decode: FASTQ parsing happens on the mapping threads,
+/// timed into `MapStats::decode` (and, on the compressed path, block
+/// inflation timed into `MapStats::inflate`). The earliest failing
+/// record wins its slot, and the engine settles in-flight batches
+/// decode-only when a decode failure cancels the run, so every record
+/// before the observed failure is guaranteed to reach the decode
+/// closure: the reported error is deterministically the file's *first*
+/// malformed record, whatever the thread count or worker interleaving.
+#[allow(clippy::too_many_arguments)]
+fn drive_engine<M, F>(
+    mapper: &M,
+    schedule: MapSchedule<'_>,
+    engine_config: EngineOptions,
+    reads: MapReads,
+    decode_ambiguity: Ambiguity,
+    cancel: &CancelToken,
+    errors: &InputErrors,
+    sink: F,
+) -> (
+    EngineReport,
+    usize,
+    Option<Vec<Vec<usize>>>,
+    Option<ElasticReport>,
+)
+where
+    M: ReadMapper,
+    F: FnMut(FastqRecord, ReadOutcome) + Send,
+{
+    let decode = |raw: RawFastqRecord| match raw.decode(decode_ambiguity) {
+        Ok(record) => Some(record),
+        Err(err) => {
+            let mut slot = errors.decode.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.as_ref().is_none_or(|(line, _)| raw.line() < *line) {
+                *slot = Some((raw.line(), err));
+            }
+            None
+        }
+    };
+    match (schedule, reads.compressed) {
+        (MapSchedule::Fanout(affinity), false) => {
+            let engine = match affinity {
+                Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
+                None => MapEngine::new(mapper, engine_config),
+            };
+            let raws = plain_frames(reads.source, cancel, errors);
+            let run = engine.map_raw_stream(raws, decode, |record| &record.seq, sink);
+            let batch_size = engine.config().batch_size;
+            let groups = engine.affinity().map(|a| a.groups().to_vec());
+            (run, batch_size, groups, None)
+        }
+        (MapSchedule::Fanout(affinity), true) => {
+            let engine = match affinity {
+                Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
+                None => MapEngine::new(mapper, engine_config),
+            };
+            let blocks = bgzf_frames(reads.source, cancel, errors);
+            // Workers inflate their blocks in parallel, then enter the
+            // turnstile in block order to re-join records straddling
+            // block boundaries against one shared scanner — the decoded
+            // record stream is exactly what the plain framer would have
+            // produced from the uncompressed bytes.
+            let splice = FastqSplice::new();
+            let decode_block = |block: BgzfBlock| {
+                let started = Instant::now();
+                let plain = match block.inflate() {
+                    Ok(plain) => plain,
+                    Err(err) => {
+                        let mut slot = errors
+                            .bgzf_block
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if slot.as_ref().is_none_or(|(at, _)| block.index() < *at) {
+                            *slot = Some((block.index(), err));
+                        }
+                        return None;
+                    }
+                };
+                let raws = splice.splice(block.index(), &plain, block.is_last(), || {
+                    cancel.is_cancelled()
+                })?;
+                // Inflation + the turnstile wait are transport work; what
+                // remains of the closure is FASTQ decoding proper.
+                let inflate = started.elapsed();
+                let mut items = Vec::with_capacity(raws.len());
+                for raw in raws {
+                    items.push(decode(raw)?);
+                }
+                Some(DecodedBlock { items, inflate })
+            };
+            let run = engine.map_block_stream(blocks, decode_block, |record| &record.seq, sink);
+            let batch_size = engine.config().batch_size;
+            let groups = engine.affinity().map(|a| a.groups().to_vec());
+            (run, batch_size, groups, None)
+        }
+        (MapSchedule::Elastic(sharded, affinity), false) => {
+            let scheduler = ElasticScheduler::new(sharded, engine_config, affinity);
+            let batch_size = scheduler.config().batch_size;
+            let raws = plain_frames(reads.source, cancel, errors);
+            let report = scheduler.map_raw_stream(raws, decode, |record| &record.seq, sink);
+            (report.engine, batch_size, None, Some(report))
+        }
+        (MapSchedule::Elastic(..), true) => {
+            // The multi-pool elastic schedule cannot feed the in-order
+            // splice turnstile without deadlock; `map` rejects the
+            // combination before opening the engine.
+            unreachable!("BGZF + elastic is rejected at option validation")
+        }
+    }
+}
+
+/// Rendered lines buffered between the engine's sink and one split
+/// writer thread.
+const SPLIT_QUEUE_LINES: usize = 4096;
+
+/// The body of one split-output writer thread: drains rendered lines
+/// from its channel onto the document writer. A write failure records
+/// the first error, cancels the run, and closes the channel so the
+/// sink's subsequent pushes drop instead of blocking on a reader that
+/// is gone.
+fn drain_split_channel(
+    queue: &WorkQueue<String>,
+    mut write_line: impl FnMut(&str) -> std::io::Result<()>,
+    cancel: &CancelToken,
+    error: &Mutex<Option<std::io::Error>>,
+) {
+    while let Some(line) = queue.pop() {
+        if let Err(err) = write_line(&line) {
+            let mut slot = error.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+            cancel.cancel();
+            queue.close();
+            return;
+        }
+    }
+}
+
+/// Creates an output file (with parent directories), arming the cleanup
+/// guard only after the create succeeds — a failed create (say, an
+/// unwritable pre-existing file) must never unlink a file this run did
+/// not produce.
+fn create_output<'a>(
+    path: &'a str,
+    cleanup: &mut OutputCleanup<'a>,
+) -> Result<BufWriter<fs::File>, CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
+        }
+    }
+    let file = fs::File::create(path).map_err(|e| CliError::io(path, e))?;
+    cleanup.arm(path);
+    Ok(BufWriter::new(file))
+}
+
+/// Streams the FASTQ in `reads` — plain or BGZF-compressed — through a
+/// [`MapEngine`] over any [`ReadMapper`] (monolithic or sharded) with
+/// fully overlapped IO: the producer thread only frames raw record
+/// boundaries (plain) or slices compressed blocks (BGZF); decompression
+/// and FASTQ decode run in the worker stage ahead of seeding; and
+/// rendering + file writes happen off the mapping threads as each batch
+/// is released in input order (on the engine's writer thread, plus one
+/// dedicated byte-writer thread per document in the split SAM+GAF
+/// pass). A failure at any point (framing, inflation, decode, write)
+/// cancels the shared [`CancelToken`] so the whole pipeline stops
+/// promptly instead of mapping the rest of the stream first.
 #[allow(clippy::too_many_arguments)]
 fn run_map_stream<M: ReadMapper>(
     mapper: &M,
@@ -669,169 +1071,227 @@ fn run_map_stream<M: ReadMapper>(
     threads: usize,
     both: bool,
     options: &Options,
-    format: &str,
+    output: OutputPlan<'_>,
+    reads: MapReads,
     reads_path: &str,
-    out_path: Option<&str>,
+    batch: Option<BatchSpec>,
 ) -> Result<EngineRun, CliError> {
-    let out_name = out_path.unwrap_or("<report>");
     let cancel = CancelToken::new();
-
-    // Input side: the producer slices raw record frames off
-    // double-buffered block reads; it never parses FASTQ. A transport
-    // error stops the stream and cancels the run; the cause is reported
-    // after the engine winds down.
-    let reads_file = fs::File::open(reads_path).map_err(|e| CliError::io(reads_path, e))?;
-    let mut framer = FastqFramer::new(reads_file);
-    let mut frame_error: Option<StreamError> = None;
-    let raws = {
-        let cancel = cancel.clone();
-        let frame_error = &mut frame_error;
-        std::iter::from_fn(move || {
-            if cancel.is_cancelled() {
-                return None;
-            }
-            match framer.next() {
-                Some(Ok(raw)) => Some(raw),
-                Some(Err(err)) => {
-                    *frame_error = Some(err);
-                    cancel.cancel();
-                    None
-                }
-                None => None,
-            }
-        })
-    };
-
-    // One RAII guard owns partial-file removal for every failure path
-    // below. It starts disarmed: arming only after `File::create`
-    // succeeds means a failed create (say, an unwritable pre-existing
-    // file) can never unlink a file this run did not produce. It is also
-    // declared before the writer, so on failure the handle closes first.
-    let mut cleanup = OutputCleanup { path: None };
-
-    // Output side: records are rendered and written on the engine's
-    // writer thread as their batch is released, so the document is never
-    // held in memory when writing to a file.
-    let target = match out_path {
-        Some(path) => {
-            if let Some(parent) = Path::new(path).parent() {
-                if !parent.as_os_str().is_empty() {
-                    fs::create_dir_all(parent).map_err(|e| CliError::io(path, e))?;
-                }
-            }
-            let file = fs::File::create(path).map_err(|e| CliError::io(path, e))?;
-            cleanup.path = out_path;
-            MapTarget::File(BufWriter::new(file))
-        }
-        None => MapTarget::Memory(Vec::new()),
-    };
-    let mut writer = match format {
-        "sam" => match SamWriter::new(target, "graph", mapper.graph().total_chars()) {
-            Ok(writer) => MapWriter::Sam(writer),
-            // The header failed after the file was created; the cleanup
-            // guard removes the header-less stub.
-            Err(err) => return Err(CliError::io(out_name, err)),
-        },
-        _ => MapWriter::Gaf(GafWriter::new(target)),
-    };
-
-    // Worker-stage decode: FASTQ parsing happens on the mapping threads,
-    // timed into `MapStats::decode`. The earliest failing record wins the
-    // slot, and the engine settles in-flight batches decode-only when a
-    // decode failure cancels the run, so every record before the observed
-    // failure is guaranteed to reach this closure: the reported error is
-    // deterministically the file's *first* malformed record, whatever the
-    // thread count or worker interleaving.
+    let errors = InputErrors::default();
+    let compressed = reads.compressed;
     let decode_ambiguity = ambiguity(options);
-    let decode_error: Mutex<Option<(usize, StreamError)>> = Mutex::new(None);
-    let decode = |raw: RawFastqRecord| match raw.decode(decode_ambiguity) {
-        Ok(record) => Some(record),
-        Err(err) => {
-            let mut slot = decode_error.lock().unwrap_or_else(PoisonError::into_inner);
-            if slot.as_ref().is_none_or(|(line, _)| raw.line() < *line) {
-                *slot = Some((raw.line(), err));
-            }
-            None
-        }
-    };
-
-    // Writer-thread sink: render + write only; a failure cancels the run.
-    let write_error: Mutex<Option<CliError>> = Mutex::new(None);
-    let sink = |record: FastqRecord, outcome| {
-        let mut slot = write_error.lock().unwrap_or_else(PoisonError::into_inner);
-        if slot.is_some() {
-            return;
-        }
-        let result = match &mut writer {
-            MapWriter::Sam(w) => {
-                let rec = sam_record_for(&record.id, &record.seq, &outcome);
-                w.write_line(&rec.to_sam_line())
-                    .map_err(|e| CliError::io(out_name, e))
-            }
-            MapWriter::Gaf(w) => {
-                match gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome) {
-                    Err(e) => Err(CliError::format(reads_path, e)),
-                    Ok(None) => Ok(()),
-                    Ok(Some(rec)) => w.write_record(&rec).map_err(|e| CliError::io(out_name, e)),
-                }
-            }
-        };
-        if let Err(err) = result {
-            *slot = Some(err);
-            cancel.cancel();
-        }
-    };
-
-    let engine_config = EngineOptions::new()
+    let mut engine_config = EngineOptions::new()
         .threads(threads)
         .both_strands(both)
         .cancel(cancel.clone());
-    let (run, batch_size, affinity_groups, elastic) = match schedule {
-        MapSchedule::Fanout(affinity) => {
-            let engine = match affinity {
-                Some(affinity) => MapEngine::with_affinity(mapper, engine_config, affinity),
-                None => MapEngine::new(mapper, engine_config),
+    match batch {
+        Some(BatchSpec::Fixed(n)) => engine_config = engine_config.batch_size(n),
+        Some(BatchSpec::Auto { min, max }) => {
+            engine_config = engine_config.adaptive_batch(min, max)
+        }
+        None => {}
+    }
+
+    // One RAII guard owns partial-file removal for every failure path
+    // below (see `create_output` for the arming rule). It is declared
+    // before the writers, so on failure the buffered handles close and
+    // flush first, then the files are unlinked.
+    let mut cleanup = OutputCleanup::new();
+
+    match output {
+        OutputPlan::Single {
+            format,
+            path: out_path,
+        } => {
+            let out_name = out_path.unwrap_or("<report>");
+            // Output side: records are rendered and written on the
+            // engine's writer thread as their batch is released, so the
+            // document is never held in memory when writing to a file.
+            let target = match out_path {
+                Some(path) => MapTarget::File(create_output(path, &mut cleanup)?),
+                None => MapTarget::Memory(Vec::new()),
             };
-            let run = engine.map_raw_stream(raws, decode, |record| &record.seq, sink);
-            let batch_size = engine.config().batch_size;
-            let groups = engine.affinity().map(|a| a.groups().to_vec());
-            (run, batch_size, groups, None)
-        }
-        MapSchedule::Elastic(sharded, affinity) => {
-            let scheduler = ElasticScheduler::new(sharded, engine_config, affinity);
-            let batch_size = scheduler.config().batch_size;
-            let report = scheduler.map_raw_stream(raws, decode, |record| &record.seq, sink);
-            (report.engine, batch_size, None, Some(report))
-        }
-    };
+            let mut writer = match format {
+                "sam" => match SamWriter::new(target, "graph", mapper.graph().total_chars()) {
+                    Ok(writer) => MapWriter::Sam(writer),
+                    // The header failed after the file was created; the
+                    // cleanup guard removes the header-less stub.
+                    Err(err) => return Err(CliError::io(out_name, err)),
+                },
+                _ => MapWriter::Gaf(GafWriter::new(target)),
+            };
 
-    // Input-side failures outrank output-side ones, mirroring the
-    // pre-overlap behaviour (decode errors *are* the old read errors,
-    // they just surface from the worker stage now).
-    let failure = match frame_error.or_else(|| take_error(decode_error).map(|(_, err)| err)) {
-        Some(StreamError::Io(err)) => Some(CliError::io(reads_path, err)),
-        Some(StreamError::Format(err)) => Some(CliError::format(reads_path, err)),
-        None => take_error(write_error),
-    };
-    if let Some(err) = failure {
-        // The cleanup guard removes the partial file (after `writer`
-        // drops and flushes, per declaration order).
-        return Err(err);
-    }
-    let target = match writer {
-        MapWriter::Sam(w) => w.finish(),
-        MapWriter::Gaf(w) => w.finish(),
-    }
-    .map_err(|e| CliError::io(out_name, e))?;
-    cleanup.disarm();
+            // Writer-thread sink: render + write only; a failure cancels
+            // the run.
+            let write_error: Mutex<Option<CliError>> = Mutex::new(None);
+            let sink = |record: FastqRecord, outcome: ReadOutcome| {
+                let mut slot = write_error.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_some() {
+                    return;
+                }
+                let result = match &mut writer {
+                    MapWriter::Sam(w) => {
+                        let rec = sam_record_for(&record.id, &record.seq, &outcome);
+                        w.write_line(&rec.to_sam_line())
+                            .map_err(|e| CliError::io(out_name, e))
+                    }
+                    MapWriter::Gaf(w) => {
+                        match gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome) {
+                            Err(e) => Err(CliError::format(reads_path, e)),
+                            Ok(None) => Ok(()),
+                            Ok(Some(rec)) => {
+                                w.write_record(&rec).map_err(|e| CliError::io(out_name, e))
+                            }
+                        }
+                    }
+                };
+                if let Err(err) = result {
+                    *slot = Some(err);
+                    cancel.cancel();
+                }
+            };
 
-    Ok(EngineRun {
-        report: run,
-        batch_size,
-        affinity: affinity_groups,
-        elastic,
-        target,
-    })
+            let (run, batch_size, affinity_groups, elastic) = drive_engine(
+                mapper,
+                schedule,
+                engine_config,
+                reads,
+                decode_ambiguity,
+                &cancel,
+                &errors,
+                sink,
+            );
+
+            // Input-side failures outrank output-side ones, mirroring the
+            // pre-overlap behaviour (decode errors *are* the old read
+            // errors, they just surface from the worker stage now).
+            if let Some(err) = input_failure(errors, reads_path).or_else(|| take_error(write_error))
+            {
+                // The cleanup guard removes the partial file (after
+                // `writer` drops and flushes, per declaration order).
+                return Err(err);
+            }
+            let target = match writer {
+                MapWriter::Sam(w) => w.finish(),
+                MapWriter::Gaf(w) => w.finish(),
+            }
+            .map_err(|e| CliError::io(out_name, e))?;
+            cleanup.disarm();
+
+            Ok(EngineRun {
+                report: run,
+                batch_size,
+                affinity: affinity_groups,
+                elastic,
+                compressed,
+                output: RunOutput::Single(target),
+            })
+        }
+        OutputPlan::Split {
+            sam: sam_path,
+            gaf: gaf_path,
+        } => {
+            let sam_file = create_output(sam_path, &mut cleanup)?;
+            let mut gaf_file = create_output(gaf_path, &mut cleanup)?;
+            let mut sam_writer = SamWriter::new(sam_file, "graph", mapper.graph().total_chars())
+                .map_err(|e| CliError::io(sam_path, e))?;
+
+            // The engine's writer thread renders both documents per
+            // record; byte IO happens on one dedicated thread per
+            // document, fed by a bounded channel each.
+            let sam_queue: WorkQueue<String> = WorkQueue::new(SPLIT_QUEUE_LINES);
+            let gaf_queue: WorkQueue<String> = WorkQueue::new(SPLIT_QUEUE_LINES);
+            let sam_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+            let gaf_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+            let write_error: Mutex<Option<CliError>> = Mutex::new(None);
+
+            let (run, batch_size, affinity_groups, elastic) = std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    drain_split_channel(
+                        &sam_queue,
+                        |line| sam_writer.write_line(line),
+                        &cancel,
+                        &sam_error,
+                    )
+                });
+                scope.spawn(|| {
+                    drain_split_channel(
+                        &gaf_queue,
+                        |line| {
+                            gaf_file.write_all(line.as_bytes())?;
+                            gaf_file.write_all(b"\n")
+                        },
+                        &cancel,
+                        &gaf_error,
+                    )
+                });
+
+                let sink = |record: FastqRecord, outcome: ReadOutcome| {
+                    {
+                        let slot = write_error.lock().unwrap_or_else(PoisonError::into_inner);
+                        if slot.is_some() {
+                            return;
+                        }
+                    }
+                    let rec = sam_record_for(&record.id, &record.seq, &outcome);
+                    sam_queue.push(rec.to_sam_line());
+                    match gaf_record_for(&record.id, &record.seq, mapper.graph(), &outcome) {
+                        Err(e) => {
+                            *write_error.lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(CliError::format(reads_path, e));
+                            cancel.cancel();
+                        }
+                        // GAF carries no unmapped records.
+                        Ok(None) => {}
+                        Ok(Some(rec)) => gaf_queue.push(rec.to_gaf_line()),
+                    }
+                };
+
+                let result = drive_engine(
+                    mapper,
+                    schedule,
+                    engine_config,
+                    reads,
+                    decode_ambiguity,
+                    &cancel,
+                    &errors,
+                    sink,
+                );
+                // End of stream: close both channels and let the writer
+                // threads drain what remains (the scope joins them).
+                sam_queue.close();
+                gaf_queue.close();
+                result
+            });
+
+            let sam_stats = sam_queue.stats();
+            let gaf_stats = gaf_queue.stats();
+            let failure = input_failure(errors, reads_path)
+                .or_else(|| take_error(write_error))
+                .or_else(|| take_error(sam_error).map(|e| CliError::io(sam_path, e)))
+                .or_else(|| take_error(gaf_error).map(|e| CliError::io(gaf_path, e)));
+            if let Some(err) = failure {
+                // The cleanup guard removes both partial files (after the
+                // writers drop and flush, per declaration order).
+                return Err(err);
+            }
+            sam_writer.finish().map_err(|e| CliError::io(sam_path, e))?;
+            gaf_file.flush().map_err(|e| CliError::io(gaf_path, e))?;
+            cleanup.disarm();
+
+            Ok(EngineRun {
+                report: run,
+                batch_size,
+                affinity: affinity_groups,
+                elastic,
+                compressed,
+                output: RunOutput::Split {
+                    sam_stats: Box::new(sam_stats),
+                    gaf_stats: Box::new(gaf_stats),
+                },
+            })
+        }
+    }
 }
 
 /// The per-shard section of a sharded run's report: occupancy counters,
@@ -908,10 +1368,13 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "reads",
         "output",
         "format",
+        "output-sam",
+        "output-gaf",
         "backend",
         "threads",
         "shards",
         "schedule",
+        "batch-size",
         "preset",
         "filter",
         "both-strands",
@@ -951,35 +1414,88 @@ pub fn map(options: &Options) -> Result<String, CliError> {
             backend.name()
         )));
     }
+    let batch = batch_spec(options)?;
+    if matches!(batch, Some(BatchSpec::Auto { .. })) && schedule == Schedule::Elastic {
+        return Err(CliError::usage(
+            "--batch-size auto only applies to --schedule fanout (the elastic \
+             pools route fixed-size batches); use a fixed --batch-size or drop \
+             --schedule elastic",
+        ));
+    }
     let mut config = preset(options.get("preset").unwrap_or("short"))?;
     config.prefilter = filter_spec(options.get("filter").unwrap_or("none"))?;
     let both = options.switch("both-strands");
-    let out_path = options.get("output");
+
+    // Output plan: the split SAM+GAF pass is exclusive with the
+    // single-document options (it names both documents itself).
+    let out_sam = options.get("output-sam");
+    let out_gaf = options.get("output-gaf");
+    if (out_sam.is_some() || out_gaf.is_some())
+        && (options.get("output").is_some() || options.get("format").is_some())
+    {
+        return Err(CliError::usage(
+            "--output-sam/--output-gaf are mutually exclusive with \
+             --output/--format (the split pass names both documents itself)",
+        ));
+    }
+    let output = match (out_sam, out_gaf) {
+        (Some(sam), Some(gaf)) => OutputPlan::Split { sam, gaf },
+        // One split option alone is just a single-format run with an
+        // explicit format baked into the option name.
+        (Some(sam), None) => OutputPlan::Single {
+            format: "sam",
+            path: Some(sam),
+        },
+        (None, Some(gaf)) => OutputPlan::Single {
+            format: "gaf",
+            path: Some(gaf),
+        },
+        (None, None) => OutputPlan::Single {
+            format,
+            path: options.get("output"),
+        },
+    };
+
+    // A persistent index is monolithic and native-only: reject the flag
+    // combinations that would need a rebuild from the GFA (still before
+    // any file is opened, so these stay usage errors).
+    if let MapSource::Index(_) = source {
+        if options.get("shards").is_some() {
+            return Err(CliError::usage(
+                "--shards requires --graph (the persistent index is \
+                 monolithic; shard from the GFA, or use `segram serve \
+                 --shards` which re-shards the loaded index)",
+            ));
+        }
+        if schedule == Schedule::Elastic {
+            return Err(CliError::usage(
+                "--schedule elastic requires --graph (the pool schedule \
+                 runs over a sharded index built from the GFA)",
+            ));
+        }
+        if backend != BackendKind::Segram {
+            return Err(CliError::usage(format!(
+                "--index only applies to --backend segram (the .sgi file \
+                 holds the SeGraM index); use --graph for --backend {}",
+                backend.name()
+            )));
+        }
+    }
+
+    // Sniff the reads file last, after every cheap option check: the
+    // compressed path feeds an in-order splice turnstile that only the
+    // single-queue fanout schedule can drain deadlock-free.
+    let reads = open_reads(reads_path)?;
+    if reads.compressed && schedule == Schedule::Elastic {
+        return Err(CliError::usage(
+            "--schedule elastic cannot read BGZF-compressed input (the \
+             multi-pool schedule cannot feed the in-order block splice); \
+             decompress the reads or drop --schedule elastic",
+        ));
+    }
 
     let (run, shard_section, source_note) = match source {
         MapSource::Index(index_path) => {
-            // A persistent index is monolithic and native-only: reject the
-            // flag combinations that would need a rebuild from the GFA.
-            if options.get("shards").is_some() {
-                return Err(CliError::usage(
-                    "--shards requires --graph (the persistent index is \
-                     monolithic; shard from the GFA, or use `segram serve \
-                     --shards` which re-shards the loaded index)",
-                ));
-            }
-            if schedule == Schedule::Elastic {
-                return Err(CliError::usage(
-                    "--schedule elastic requires --graph (the pool schedule \
-                     runs over a sharded index built from the GFA)",
-                ));
-            }
-            if backend != BackendKind::Segram {
-                return Err(CliError::usage(format!(
-                    "--index only applies to --backend segram (the .sgi file \
-                     holds the SeGraM index); use --graph for --backend {}",
-                    backend.name()
-                )));
-            }
             let mapper = mapper_from_index_file(index_path, config)?;
             let run = run_map_stream(
                 &mapper,
@@ -987,9 +1503,10 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                 threads,
                 both,
                 options,
-                format,
+                output,
+                reads,
                 reads_path,
-                out_path,
+                batch,
             )?;
             (
                 run,
@@ -1010,9 +1527,10 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                     threads,
                     both,
                     options,
-                    format,
+                    output,
+                    reads,
                     reads_path,
-                    out_path,
+                    batch,
                 )?;
                 (run, String::new(), String::new())
             } else if shards <= 1 && schedule == Schedule::Fanout {
@@ -1023,9 +1541,10 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                     threads,
                     both,
                     options,
-                    format,
+                    output,
+                    reads,
                     reads_path,
-                    out_path,
+                    batch,
                 )?;
                 (run, String::new(), String::new())
             } else {
@@ -1051,9 +1570,10 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                     threads,
                     both,
                     options,
-                    format,
+                    output,
+                    reads,
                     reads_path,
-                    out_path,
+                    batch,
                 )?;
                 let section = shard_report(&sharded, run.affinity.as_ref(), run.elastic.as_ref());
                 (run, section, String::new())
@@ -1085,6 +1605,21 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         ms(stats.stats.decode),
         stats.stats.alignment_fraction() * 100.0
     );
+    if run.compressed {
+        let _ = writeln!(
+            report,
+            "inflate: {:.2} ms (BGZF decompression + block splice, worker stage)",
+            ms(stats.stats.inflate)
+        );
+    }
+    if stats.batching.adaptive {
+        let b = stats.batching;
+        let _ = writeln!(
+            report,
+            "batching: adaptive, batch {} -> {} (used [{}, {}], {} grows, {} shrinks)",
+            b.initial, b.last, b.min_used, b.max_used, b.grows, b.shrinks
+        );
+    }
     let _ = writeln!(
         report,
         "queue: max depth {}, producer waited {}x ({:.2} ms), workers waited {}x ({:.2} ms)",
@@ -1104,15 +1639,103 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         ms(stats.queue.writer_wait)
     );
     report.push_str(&shard_section);
-    match (out_path, run.target) {
-        (Some(path), _) => {
-            let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
+    match (output, run.output) {
+        (OutputPlan::Single { format, path }, RunOutput::Single(target)) => match (path, target) {
+            (Some(path), _) => {
+                let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
+            }
+            (None, MapTarget::Memory(buffer)) => {
+                report.push_str(&String::from_utf8_lossy(&buffer));
+            }
+            (None, MapTarget::File(_)) => unreachable!("no --output implies the memory target"),
+        },
+        (
+            OutputPlan::Split { sam, gaf },
+            RunOutput::Split {
+                sam_stats,
+                gaf_stats,
+            },
+        ) => {
+            for (label, stats) in [("sam", &*sam_stats), ("gaf", &*gaf_stats)] {
+                let _ = writeln!(
+                    report,
+                    "writer {label}: max depth {}, sink stalled {}x ({:.2} ms), \
+                     writer waited {}x ({:.2} ms)",
+                    stats.max_depth,
+                    stats.producer_waits,
+                    ms(stats.producer_wait),
+                    stats.worker_waits,
+                    ms(stats.worker_wait)
+                );
+            }
+            let _ = writeln!(report, "wrote SAM to {sam}");
+            let _ = writeln!(report, "wrote GAF to {gaf}");
         }
-        (None, MapTarget::Memory(buffer)) => {
-            report.push_str(&String::from_utf8_lossy(&buffer));
-        }
-        (None, MapTarget::File(_)) => unreachable!("no --output implies the memory target"),
+        _ => unreachable!("the run output matches the output plan"),
     }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// bgzip
+// ---------------------------------------------------------------------------
+
+const BGZIP_HELP: &str = "\
+segram bgzip — BGZF-compress a file with the in-tree DEFLATE compressor
+
+The output is a standard BGZF stream (gzip members with the BC/BSIZE
+extra subfield, CRC32 + ISIZE trailers, and the canonical EOF marker)
+that `segram map` auto-detects by its magic bytes. This is also the
+fixture factory for the compressed-IO tests and CI tier.
+
+OPTIONS:
+    --input <file>         file to compress (required)
+    --output <file.gz>     output BGZF path (required)
+    --block-bytes <int>    uncompressed payload bytes per BGZF block
+                           (default 16384, clamped to 1..=57000)
+    --mode <fixed|stored>  DEFLATE encoding per block (default fixed:
+                           fixed-Huffman codes over a greedy LZ77 parse;
+                           stored emits uncompressed blocks)
+";
+
+/// `segram bgzip`.
+pub fn bgzip(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(BGZIP_HELP.to_owned());
+    }
+    options.reject_unknown(&["input", "output", "block-bytes", "mode"])?;
+    let mode = match options.get("mode") {
+        None | Some("fixed") => BgzfMode::Fixed,
+        Some("stored") => BgzfMode::Stored,
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown mode {other:?} (expected fixed|stored)"
+            )))
+        }
+    };
+    let block_bytes: usize = options.number("block-bytes", 16 * 1024)?;
+    if block_bytes == 0 {
+        return Err(CliError::usage("--block-bytes must be at least 1"));
+    }
+    let input = options.require("input")?;
+    let output = options.require("output")?;
+    let data = fs::read(input).map_err(|e| CliError::io(input, e))?;
+    let compressed = bgzf_compress(&data, block_bytes, mode);
+    if let Some(parent) = Path::new(output).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| CliError::io(output, e))?;
+        }
+    }
+    fs::write(output, &compressed).map_err(|e| CliError::io(output, e))?;
+
+    let blocks = data.len().div_ceil(block_bytes.min(BGZF_MAX_PLAIN));
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "wrote {blocks} BGZF blocks + EOF marker to {output} ({} -> {} bytes)",
+        data.len(),
+        compressed.len()
+    );
     Ok(report)
 }
 
@@ -1510,6 +2133,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "serve" => crate::serve::serve(&options),
         "request" => crate::serve::request(&options),
         "simulate" => simulate(&options),
+        "bgzip" => bgzip(&options),
         "--help" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}; run `segram help`"
@@ -1519,3 +2143,77 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
 
 /// The DNA alphabet type, re-exported for test helpers.
 pub type Seq = DnaSeq;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A failing split-writer sink records the first error only, cancels
+    /// the run, and closes its channel so the engine-side pushes drop
+    /// instead of blocking on a writer that is gone.
+    #[test]
+    fn split_channel_write_failure_cancels_and_closes_the_queue() {
+        let queue = WorkQueue::<String>::new(8);
+        let cancel = CancelToken::new();
+        let error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+        queue.push("first".to_owned());
+        queue.push("second".to_owned());
+        queue.push("third".to_owned());
+
+        let mut written = Vec::new();
+        drain_split_channel(
+            &queue,
+            |line: &str| {
+                if line == "second" {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                written.push(line.to_owned());
+                Ok(())
+            },
+            &cancel,
+            &error,
+        );
+
+        assert_eq!(written, ["first"], "drain stops at the failing line");
+        assert!(cancel.is_cancelled(), "a write failure cancels the engine");
+        let slot = error.lock().unwrap();
+        let recorded = slot.as_ref().expect("first error recorded");
+        assert_eq!(recorded.to_string(), "disk full");
+        // The channel is closed: lines buffered before the failure still
+        // drain, but later sink pushes drop silently (no deadlock).
+        assert_eq!(queue.pop().as_deref(), Some("third"));
+        queue.push("after-close".to_owned());
+        assert!(queue.pop().is_none(), "pushes after close are dropped");
+    }
+
+    /// The happy path drains every line in order and leaves the run
+    /// uncancelled.
+    #[test]
+    fn split_channel_drains_in_order_until_closed() {
+        let queue = WorkQueue::<String>::new(8);
+        let cancel = CancelToken::new();
+        let error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        for i in 0..5 {
+            queue.push(format!("line-{i}"));
+        }
+        queue.close();
+
+        let mut written = Vec::new();
+        drain_split_channel(
+            &queue,
+            |line: &str| {
+                written.push(line.to_owned());
+                Ok(())
+            },
+            &cancel,
+            &error,
+        );
+        assert_eq!(
+            written,
+            (0..5).map(|i| format!("line-{i}")).collect::<Vec<_>>()
+        );
+        assert!(!cancel.is_cancelled());
+        assert!(error.lock().unwrap().is_none());
+    }
+}

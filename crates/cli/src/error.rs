@@ -5,7 +5,7 @@ use std::fmt;
 
 use segram_graph::GraphError;
 use segram_index::PersistError;
-use segram_io::FormatError;
+use segram_io::{BgzfError, FormatError};
 
 /// Errors surfaced to the terminal by the `segram` binary.
 #[derive(Debug)]
@@ -35,6 +35,14 @@ pub enum CliError {
         path: String,
         /// The named persistence error.
         source: PersistError,
+    },
+    /// A BGZF-compressed input was malformed (bad framing, a failed
+    /// checksum, corrupt DEFLATE data, or a truncation — never a panic).
+    Bgzf {
+        /// The compressed file involved.
+        path: String,
+        /// The named corruption class.
+        source: BgzfError,
     },
     /// A `segram serve` / `segram request` protocol failure: the server
     /// refused (`BUSY`), reported an error (`ERR`), or answered something
@@ -76,6 +84,14 @@ impl CliError {
         }
     }
 
+    /// Wraps a BGZF corruption error with its path.
+    pub fn bgzf(path: impl Into<String>, source: BgzfError) -> Self {
+        Self::Bgzf {
+            path: path.into(),
+            source,
+        }
+    }
+
     /// Convenience constructor for serve-protocol errors.
     pub fn server(message: impl Into<String>) -> Self {
         Self::Server(message.into())
@@ -98,6 +114,7 @@ impl fmt::Display for CliError {
             Self::Format { path, source } => write!(f, "{path}: {source}"),
             Self::Graph(err) => write!(f, "graph error: {err}"),
             Self::Index { path, source } => write!(f, "{path}: {source}"),
+            Self::Bgzf { path, source } => write!(f, "{path}: {source}"),
             Self::Server(message) => write!(f, "server error: {message}"),
         }
     }
@@ -111,6 +128,7 @@ impl Error for CliError {
             Self::Format { source, .. } => Some(source),
             Self::Graph(err) => Some(err),
             Self::Index { source, .. } => Some(source),
+            Self::Bgzf { source, .. } => Some(source),
             Self::Server(_) => None,
         }
     }

@@ -60,11 +60,12 @@ pub use eval::{evaluate, seeding_sensitivity, Evaluation};
 pub use mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
 pub use pangenome::{Chromosome, Pangenome, PangenomeMapping};
 pub use pipeline::{
-    gaf_record_for, sam_record_for, Aligner, BitAlignStage, CancelToken, ElasticReport,
-    ElasticScheduler, EngineBusy, EngineConfig, EngineOptions, EngineReport, MapEngine,
-    MapPipeline, MinSeedStage, MultiConfig, MultiEngine, PoolCounters, PoolReport, Prefilter,
-    Priority, QueueDelayStats, QueueStats, ReadOutcome, RebalanceConfig, Rebalancer, RequestHandle,
-    RequestPanicked, RouteHook, Seeder, ShardAffinity, ShardRouter, SpecPrefilter,
+    gaf_record_for, sam_record_for, Aligner, BatchBounds, BatchTrajectory, BitAlignStage,
+    CancelToken, DecodedBlock, ElasticReport, ElasticScheduler, EngineBusy, EngineConfig,
+    EngineOptions, EngineReport, MapEngine, MapPipeline, MinSeedStage, MultiConfig, MultiEngine,
+    PoolCounters, PoolReport, Prefilter, Priority, QueueDelayStats, QueueStats, ReadOutcome,
+    RebalanceConfig, Rebalancer, RequestHandle, RequestPanicked, RouteHook, Seeder, ShardAffinity,
+    ShardRouter, SpecPrefilter, WorkQueue,
 };
 pub use sam::{mapq_estimate, sam_document, SamRecord};
 pub use shard::{balance_loads, load_imbalance, IndexShard, ShardStats, ShardedIndex};

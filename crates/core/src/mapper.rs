@@ -97,6 +97,12 @@ pub struct MapStats {
     /// [`total_time`](Self::total_time) /
     /// [`alignment_fraction`](Self::alignment_fraction).
     pub decode: Duration,
+    /// Time spent inflating compressed input blocks (zero on plain
+    /// input; on BGZF input the engine's workers inflate ahead of FASTQ
+    /// decode). Transport work like [`decode`](Self::decode): reported
+    /// separately and excluded from [`total_time`](Self::total_time) /
+    /// [`alignment_fraction`](Self::alignment_fraction).
+    pub inflate: Duration,
     /// Time spent in the seeding step.
     pub seeding: Duration,
     /// Time spent in the optional pre-alignment filter step (zero when
@@ -125,6 +131,7 @@ impl MapStats {
     /// Merges another read's stats into an aggregate.
     pub fn merge(&mut self, other: &MapStats) {
         self.decode += other.decode;
+        self.inflate += other.inflate;
         self.seeding += other.seeding;
         self.filtering += other.filtering;
         self.alignment += other.alignment;

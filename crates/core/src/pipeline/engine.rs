@@ -105,6 +105,31 @@ pub struct EngineConfig {
     /// Shared stop flag: cancel it (from the sink, the input stream, or
     /// anywhere else holding a clone) and the run winds down promptly.
     pub cancel: CancelToken,
+    /// Adaptive batch sizing: when set, the producer observes the live
+    /// queue imbalance at each refill and grows/shrinks the batch size
+    /// within these bounds (see [`BatchBounds`]); `batch_size` is then
+    /// only the starting point. `None` keeps batches fixed. The elastic
+    /// scheduler ignores this knob (its pre-route pass wants stable
+    /// batch shapes).
+    pub adaptive_batch: Option<BatchBounds>,
+}
+
+/// Bounds for adaptive batch sizing ([`EngineConfig::adaptive_batch`]).
+///
+/// The producer doubles the batch when the workers look starved (empty
+/// queue, or worker waits grew since the last refill) and halves it when
+/// it is itself the backlog (full queue, or producer waits grew) — a
+/// small batch keeps latency and reorder memory low, a large batch
+/// amortizes queue synchronization when the producer is the bottleneck.
+/// Output bytes are invariant to the trajectory: batch size only changes
+/// where batch boundaries fall, and the reorder buffer restores input
+/// order regardless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchBounds {
+    /// Smallest batch the controller will shrink to (clamped to >= 1).
+    pub min: usize,
+    /// Largest batch the controller will grow to.
+    pub max: usize,
 }
 
 impl EngineConfig {
@@ -139,6 +164,7 @@ impl Default for EngineConfig {
             queue_depth: 0,
             both_strands: false,
             cancel: CancelToken::new(),
+            adaptive_batch: None,
         }
     }
 }
@@ -176,6 +202,7 @@ pub struct EngineOptions {
     max_queued: usize,
     both_strands: bool,
     cancel: CancelToken,
+    adaptive_batch: Option<BatchBounds>,
 }
 
 impl EngineOptions {
@@ -189,6 +216,7 @@ impl EngineOptions {
             max_queued: 0,
             both_strands: false,
             cancel: CancelToken::new(),
+            adaptive_batch: None,
         }
     }
 
@@ -231,6 +259,14 @@ impl EngineOptions {
         self.cancel = cancel;
         self
     }
+
+    /// Enables adaptive batch sizing within `[min, max]` (fanout
+    /// [`MapEngine`] only; other engines ignore it — see
+    /// [`EngineConfig::adaptive_batch`]).
+    pub fn adaptive_batch(mut self, min: usize, max: usize) -> Self {
+        self.adaptive_batch = Some(BatchBounds { min, max });
+        self
+    }
 }
 
 impl From<EngineOptions> for EngineConfig {
@@ -250,6 +286,7 @@ impl From<EngineOptions> for EngineConfig {
             queue_depth: options.queue_depth,
             both_strands: options.both_strands,
             cancel: options.cancel,
+            adaptive_batch: options.adaptive_batch,
         }
     }
 }
@@ -337,6 +374,9 @@ pub struct EngineReport {
     pub stats: MapStats,
     /// Work-queue depth and wait counters for this run.
     pub queue: QueueStats,
+    /// The batch-size trajectory the producer actually used (fixed runs
+    /// record their one size; adaptive runs record the bounds explored).
+    pub batching: BatchTrajectory,
 }
 
 impl Default for EngineReport {
@@ -349,8 +389,31 @@ impl Default for EngineReport {
             threads: 0,
             stats: MapStats::default(),
             queue: QueueStats::default(),
+            batching: BatchTrajectory::default(),
         }
     }
+}
+
+/// The batch sizes an engine run actually used
+/// ([`EngineReport::batching`]): with adaptive sizing enabled the
+/// producer's grow/shrink decisions are surfaced here, so reports can
+/// show where within `[min, max]` the controller settled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchTrajectory {
+    /// Whether adaptive sizing was enabled for the run.
+    pub adaptive: bool,
+    /// Batch size of the first batch.
+    pub initial: usize,
+    /// Batch size in effect when the stream ended.
+    pub last: usize,
+    /// Smallest batch size used.
+    pub min_used: usize,
+    /// Largest batch size used.
+    pub max_used: usize,
+    /// Times the controller doubled the batch (worker starvation).
+    pub grows: u64,
+    /// Times the controller halved the batch (producer backlog).
+    pub shrinks: u64,
 }
 
 /// Depth/wait counters of the engine's two bounded queues — the
@@ -451,9 +514,12 @@ impl ShardAffinity {
 /// A bounded single-producer / multi-consumer batch queue (Mutex +
 /// Condvar; no external dependencies). `push` blocks while the queue is
 /// full, `pop` blocks while it is empty, and `close` wakes everyone so
-/// drained workers observe end-of-stream. Crate-visible: the elastic
-/// scheduler runs one of these per worker pool.
-pub(crate) struct WorkQueue<T> {
+/// drained workers observe end-of-stream. The elastic scheduler runs one
+/// of these per worker pool, and the CLI's split SAM+GAF emission runs
+/// one per output file as a bounded writer channel (hence public).
+pub struct WorkQueue<T> {
+    // Missing-Debug note: Debug is implemented manually below (the
+    // items themselves need no Debug bound).
     inner: Mutex<WorkQueueInner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -465,6 +531,14 @@ pub(crate) struct WorkQueue<T> {
     worker_wait_ns: AtomicU64,
 }
 
+impl<T> std::fmt::Debug for WorkQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueue")
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
 struct WorkQueueInner<T> {
     items: VecDeque<T>,
     capacity: usize,
@@ -474,7 +548,8 @@ struct WorkQueueInner<T> {
 }
 
 impl<T> WorkQueue<T> {
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A queue holding at most `capacity` items (clamped to >= 1).
+    pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(WorkQueueInner {
                 items: VecDeque::new(),
@@ -491,7 +566,10 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    pub(crate) fn push(&self, item: T) {
+    /// Enqueues `item`, blocking while the queue is full. Pushing onto a
+    /// closed queue silently drops the item — the consumer has already
+    /// decided the stream is over.
+    pub fn push(&self, item: T) {
         let mut inner = relock(&self.inner);
         if inner.items.len() >= inner.capacity && !inner.closed {
             let blocked = Instant::now();
@@ -514,7 +592,9 @@ impl<T> WorkQueue<T> {
         self.not_empty.notify_one();
     }
 
-    pub(crate) fn pop(&self) -> Option<T> {
+    /// Dequeues the next item, blocking while the queue is empty;
+    /// `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
         let mut inner = relock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
@@ -547,14 +627,19 @@ impl<T> WorkQueue<T> {
 
     /// Current queued-item count — the live load signal behind the
     /// elastic scheduler's least-loaded spill decision.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         relock(&self.inner).items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Snapshot of the queue's depth/wait counters (push side reported as
     /// `producer_*`, pop side as `worker_*`; callers remap for the output
     /// channel).
-    pub(crate) fn stats(&self) -> QueueStats {
+    pub fn stats(&self) -> QueueStats {
         QueueStats {
             max_depth: relock(&self.inner).max_depth,
             producer_waits: self.producer_waits.load(Ordering::Relaxed),
@@ -565,7 +650,9 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    pub(crate) fn close(&self) {
+    /// Closes the queue: wakes every blocked producer and consumer so
+    /// they observe end-of-stream. Idempotent.
+    pub fn close(&self) {
         // Closing must succeed even after a worker panicked while holding
         // the lock — liveness beats the poison flag here (relock).
         relock(&self.inner).closed = true;
@@ -597,6 +684,31 @@ pub(crate) struct Reorder<T> {
     pub(crate) next: usize,
     pub(crate) pending: BTreeMap<usize, Vec<(T, ReadOutcome)>>,
     pub(crate) report: EngineReport,
+}
+
+/// The result of decoding one raw input unit in the worker stage, for
+/// [`MapEngine::map_block_stream`]: a raw unit may decode to *several*
+/// reads (a BGZF block inflates to a span of FASTQ records) or to none
+/// (a block whose bytes all belong to records completed by neighbouring
+/// blocks). `inflate` is the decompression share of the decode time,
+/// reported separately in [`MapStats::inflate`].
+#[derive(Clone, Debug)]
+pub struct DecodedBlock<T> {
+    /// The decoded items, in input order.
+    pub items: Vec<T>,
+    /// Time spent decompressing (zero for uncompressed paths).
+    pub inflate: Duration,
+}
+
+impl<T> DecodedBlock<T> {
+    /// A single-item block with no decompression share — what a plain
+    /// one-record decode returns.
+    pub fn one(item: T) -> Self {
+        Self {
+            items: vec![item],
+            inflate: Duration::ZERO,
+        }
+    }
 }
 
 /// The batched, multi-threaded, order-preserving mapping engine, generic
@@ -732,7 +844,7 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
     /// every thread has wound down.
     pub fn map_raw_stream<Q, T, D, R, F>(
         &self,
-        mut raw: impl Iterator<Item = Q>,
+        raw: impl Iterator<Item = Q>,
         decode: D,
         read_of: R,
         sink: F,
@@ -741,6 +853,45 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
         Q: Send,
         T: Send,
         D: Fn(Q) -> Option<T> + Sync,
+        R: Fn(&T) -> &DnaSeq + Sync,
+        F: FnMut(T, ReadOutcome) + Send,
+    {
+        self.map_block_stream(
+            raw,
+            move |q| decode(q).map(DecodedBlock::one),
+            read_of,
+            sink,
+        )
+    }
+
+    /// The many-reads-per-raw-unit generalization of
+    /// [`map_raw_stream`](Self::map_raw_stream): `decode` turns one raw
+    /// unit into a [`DecodedBlock`] of zero or more reads. This is the
+    /// compressed input path — the producer slices still-compressed BGZF
+    /// blocks, and workers inflate + splice + FASTQ-decode them here (the
+    /// decompression share is timed into [`MapStats::inflate`], the rest
+    /// into [`MapStats::decode`]). A block completing no record is legal;
+    /// its decode time is carried onto the next decoded read of the same
+    /// batch.
+    ///
+    /// Ordering, cancellation, settle-on-decode-failure and panic
+    /// semantics are exactly those of `map_raw_stream` (this is the one
+    /// implementation; `map_raw_stream` wraps every item in a singleton
+    /// block). With [`EngineConfig::adaptive_batch`] set, the producer
+    /// additionally retunes its batch size at each refill from the live
+    /// queue imbalance; the trajectory lands in
+    /// [`EngineReport::batching`].
+    pub fn map_block_stream<Q, T, D, R, F>(
+        &self,
+        mut raw: impl Iterator<Item = Q>,
+        decode: D,
+        read_of: R,
+        sink: F,
+    ) -> EngineReport
+    where
+        Q: Send,
+        T: Send,
+        D: Fn(Q) -> Option<DecodedBlock<T>> + Sync,
         R: Fn(&T) -> &DnaSeq + Sync,
         F: FnMut(T, ReadOutcome) + Send,
     {
@@ -784,6 +935,7 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
         let decode = &decode;
         let read_of = &read_of;
         let mut produced = 0usize;
+        let mut trajectory = BatchTrajectory::default();
 
         std::thread::scope(|scope| {
             // The writer: drains ordered batches and runs the sink. A sink
@@ -868,6 +1020,12 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                 let mut outcomes: Vec<(T, ReadOutcome)> =
                                     Vec::with_capacity(raws.len());
                                 let mut settling = false;
+                                // Transport time of raw units that
+                                // completed no record, carried onto the
+                                // batch's next decoded read so the sums
+                                // stay truthful.
+                                let mut carry_decode = Duration::ZERO;
+                                let mut carry_inflate = Duration::ZERO;
                                 for raw in raws {
                                     if !settling && cancel.is_cancelled() {
                                         if decode_failed.load(Ordering::SeqCst) {
@@ -887,7 +1045,7 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                         continue;
                                     }
                                     let started = Instant::now();
-                                    let Some(item) = decode(raw) else {
+                                    let Some(decoded) = decode(raw) else {
                                         // The decoder records its own
                                         // error; stopping the run is the
                                         // engine's job. Everything after
@@ -898,10 +1056,36 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
                                         cancel.cancel();
                                         return false;
                                     };
-                                    let decode_time = started.elapsed();
-                                    let mut outcome = self.map_one(read_of(&item));
-                                    outcome.stats.decode = decode_time;
-                                    outcomes.push((item, outcome));
+                                    let inflate_time = decoded.inflate;
+                                    let decode_time =
+                                        started.elapsed().saturating_sub(inflate_time);
+                                    if decoded.items.is_empty() {
+                                        carry_decode += decode_time;
+                                        carry_inflate += inflate_time;
+                                        continue;
+                                    }
+                                    let mut first = true;
+                                    for item in decoded.items {
+                                        // A raw unit may hold many reads;
+                                        // keep cancellation latency at
+                                        // read, not block, granularity
+                                        // (decode-failure settling is
+                                        // handled at the next raw).
+                                        if cancel.is_cancelled()
+                                            && !decode_failed.load(Ordering::SeqCst)
+                                        {
+                                            return false;
+                                        }
+                                        let mut outcome = self.map_one(read_of(&item));
+                                        if first {
+                                            outcome.stats.decode = decode_time + carry_decode;
+                                            outcome.stats.inflate = inflate_time + carry_inflate;
+                                            carry_decode = Duration::ZERO;
+                                            carry_inflate = Duration::ZERO;
+                                            first = false;
+                                        }
+                                        outcomes.push((item, outcome));
+                                    }
                                 }
                                 if settling {
                                     return false;
@@ -1004,16 +1188,60 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
             // so no thread is ever left blocked.
             let _close_guard = CloseOnDrop(&queue);
             let _out_close_guard = CloseOnDrop(&out_queue);
+            // Adaptive batch sizing: observe the queue imbalance at each
+            // refill and steer the batch size within the configured
+            // bounds — grow when the workers starve (the producer's
+            // per-batch overhead is the bottleneck), shrink when the
+            // producer is blocked pushing (mapping is the bottleneck and
+            // smaller batches cut latency and reorder memory). Output is
+            // invariant to the trajectory; only batch boundaries move.
+            let bounds = self.config.adaptive_batch.map(|b| BatchBounds {
+                min: b.min.max(1),
+                max: b.max.max(b.min.max(1)),
+            });
+            let mut current = match bounds {
+                Some(b) => batch_size.clamp(b.min, b.max),
+                None => batch_size,
+            };
+            trajectory = BatchTrajectory {
+                adaptive: bounds.is_some(),
+                initial: current,
+                last: current,
+                min_used: current,
+                max_used: current,
+                grows: 0,
+                shrinks: 0,
+            };
+            let mut seen_waits = (0u64, 0u64);
             loop {
                 if cancel.is_cancelled() {
                     break;
                 }
-                let batch: Vec<Q> = raw.by_ref().take(batch_size).collect();
+                let batch: Vec<Q> = raw.by_ref().take(current).collect();
                 if batch.is_empty() {
                     break;
                 }
                 queue.push((produced, batch));
                 produced += 1;
+                if let Some(b) = bounds {
+                    let stats = queue.stats();
+                    let depth = queue.len();
+                    let starved = depth == 0 || stats.worker_waits > seen_waits.1;
+                    let backlogged = depth >= queue_depth || stats.producer_waits > seen_waits.0;
+                    seen_waits = (stats.producer_waits, stats.worker_waits);
+                    // Both signals firing means the pipeline is
+                    // oscillating — hold rather than thrash.
+                    if starved && !backlogged && current < b.max {
+                        current = (current * 2).min(b.max);
+                        trajectory.grows += 1;
+                    } else if backlogged && !starved && current > b.min {
+                        current = (current / 2).max(b.min);
+                        trajectory.shrinks += 1;
+                    }
+                    trajectory.last = current;
+                    trajectory.min_used = trajectory.min_used.min(current);
+                    trajectory.max_used = trajectory.max_used.max(current);
+                }
             }
             queue.close();
             // Workers first, then the channel, then the writer: the writer
@@ -1042,6 +1270,7 @@ impl<'m, M: ReadMapper> MapEngine<'m, M> {
         report.backend = self.mapper.backend_name();
         report.batches = mapped_batches.load(Ordering::Relaxed);
         report.threads = threads;
+        report.batching = trajectory;
         let input = queue.stats();
         let output = out_queue.stats();
         report.queue = QueueStats {
@@ -1793,5 +2022,124 @@ mod tests {
             .iter()
             .filter_map(|o| o.mapping.as_ref().map(|_| o.strand))
             .any(|s| s == Strand::Reverse));
+    }
+
+    #[test]
+    fn block_stream_fans_multiple_reads_per_raw_unit_in_order() {
+        // One raw unit = a "block" of several reads (the BGZF shape).
+        // The outcome stream must equal the per-read reference, and the
+        // block's inflate share must land in the aggregated stats.
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let (base, _) = MapEngine::new(&mapper, EngineConfig::with_threads(1)).map_batch(&reads);
+        let blocks: Vec<Vec<DnaSeq>> = reads.chunks(3).map(<[DnaSeq]>::to_vec).collect();
+        let mut config = EngineConfig::with_threads(4);
+        config.batch_size = 2; // batches of blocks, interleaved across workers
+        let engine = MapEngine::new(&mapper, config);
+        let mut outcomes = Vec::new();
+        let report = engine.map_block_stream(
+            blocks.into_iter(),
+            |block| {
+                Some(DecodedBlock {
+                    items: block,
+                    inflate: Duration::from_micros(40),
+                })
+            },
+            |read| read,
+            |_, outcome| outcomes.push(outcome),
+        );
+        assert_eq!(report.reads, reads.len());
+        assert!(
+            report.stats.inflate >= Duration::from_micros(40),
+            "inflate share must aggregate: {:?}",
+            report.stats.inflate
+        );
+        for (a, b) in base.iter().zip(&outcomes) {
+            assert_eq!(
+                a.mapping.as_ref().map(|m| m.linear_start),
+                b.mapping.as_ref().map(|m| m.linear_start),
+            );
+        }
+    }
+
+    #[test]
+    fn empty_blocks_carry_their_time_without_emitting_reads() {
+        // Blocks that complete no record (all bytes belong to straddling
+        // neighbours) are legal: read count unaffected, inflate time
+        // still accounted via the carry.
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let raws: Vec<Option<DnaSeq>> = reads
+            .iter()
+            .flat_map(|read| [None, Some(read.clone())])
+            .collect();
+        let engine = MapEngine::new(&mapper, EngineConfig::with_threads(2));
+        let mut seen = 0usize;
+        let report = engine.map_block_stream(
+            raws.into_iter(),
+            |raw| {
+                Some(DecodedBlock {
+                    items: raw.into_iter().collect(),
+                    inflate: Duration::from_micros(10),
+                })
+            },
+            |read| read,
+            |_, _| seen += 1,
+        );
+        assert_eq!(report.reads, reads.len());
+        assert_eq!(seen, reads.len());
+        // Every raw unit contributed 10 µs of inflate, including the
+        // empty ones whose time was carried onto a later read.
+        assert!(
+            report.stats.inflate >= Duration::from_micros(10) * (reads.len() as u32 * 2 - 1),
+            "carried inflate time lost: {:?}",
+            report.stats.inflate
+        );
+    }
+
+    #[test]
+    fn adaptive_batching_stays_in_bounds_and_preserves_output() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let (base, _) = MapEngine::new(&mapper, EngineConfig::with_threads(1)).map_batch(&reads);
+        for threads in [1usize, 4] {
+            let mut config = EngineConfig::with_threads(threads);
+            config.batch_size = 2;
+            config.queue_depth = 2;
+            config.adaptive_batch = Some(BatchBounds { min: 1, max: 8 });
+            let engine = MapEngine::new(&mapper, config);
+            let (outcomes, report) = engine.map_batch(&reads);
+            assert_eq!(report.reads, reads.len());
+            assert!(report.batching.adaptive);
+            assert_eq!(report.batching.initial, 2);
+            assert!(report.batching.min_used >= 1 && report.batching.max_used <= 8);
+            assert!(
+                report.batching.last >= report.batching.min_used
+                    && report.batching.last <= report.batching.max_used
+            );
+            for (a, b) in base.iter().zip(&outcomes) {
+                assert_eq!(
+                    a.mapping.as_ref().map(|m| m.linear_start),
+                    b.mapping.as_ref().map(|m| m.linear_start),
+                    "threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_runs_report_their_batch_size_as_the_trajectory() {
+        let (dataset, mapper) = setup();
+        let reads: Vec<DnaSeq> = dataset.reads.iter().map(|r| r.seq.clone()).collect();
+        let mut config = EngineConfig::with_threads(2);
+        config.batch_size = 5;
+        let engine = MapEngine::new(&mapper, config);
+        let (_, report) = engine.map_batch(&reads);
+        assert!(!report.batching.adaptive);
+        assert_eq!(report.batching.initial, 5);
+        assert_eq!(report.batching.last, 5);
+        assert_eq!(report.batching.min_used, 5);
+        assert_eq!(report.batching.max_used, 5);
+        assert_eq!(report.batching.grows + report.batching.shrinks, 0);
     }
 }

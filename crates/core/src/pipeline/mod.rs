@@ -46,8 +46,8 @@ mod stages;
 
 pub use elastic::{ElasticReport, ElasticScheduler, PoolReport, RebalanceConfig, Rebalancer};
 pub use engine::{
-    CancelToken, EngineConfig, EngineOptions, EngineReport, MapEngine, QueueStats, ReadOutcome,
-    ShardAffinity,
+    BatchBounds, BatchTrajectory, CancelToken, DecodedBlock, EngineConfig, EngineOptions,
+    EngineReport, MapEngine, QueueStats, ReadOutcome, ShardAffinity, WorkQueue,
 };
 pub use multi::{
     EngineBusy, MultiConfig, MultiEngine, PoolCounters, Priority, QueueDelayStats, RequestHandle,

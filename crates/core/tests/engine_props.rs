@@ -7,8 +7,8 @@
 //! through the built binary).
 
 use segram_core::{
-    gaf_record_for, sam_record_for, EngineConfig, MapEngine, ReadMapper, SegramConfig,
-    SegramMapper, ShardedIndex,
+    gaf_record_for, sam_record_for, BatchBounds, EngineConfig, EngineReport, MapEngine, ReadMapper,
+    SegramConfig, SegramMapper, ShardedIndex,
 };
 use segram_filter::FilterSpec;
 use segram_graph::DnaSeq;
@@ -29,11 +29,23 @@ fn render_documents<M: ReadMapper>(
     // Tiny batches force batch interleaving across workers even on the
     // small datasets the strategy generates.
     config.batch_size = 2;
+    let (sam, gaf, _) = render_with_config(mapper, reads, config);
+    (sam, gaf)
+}
+
+/// [`render_documents`] with a caller-supplied engine config, also
+/// returning the run report (the adaptive-batching property inspects
+/// the trajectory it carries).
+fn render_with_config<M: ReadMapper>(
+    mapper: &M,
+    reads: &[(String, DnaSeq)],
+    config: EngineConfig,
+) -> (Vec<u8>, Vec<u8>, EngineReport) {
     let engine = MapEngine::new(mapper, config);
     let mut sam = SamWriter::new(Vec::new(), "graph", mapper.graph().total_chars())
         .expect("vec write cannot fail");
     let mut gaf = GafWriter::new(Vec::new());
-    engine.map_stream(
+    let report = engine.map_stream(
         reads.iter(),
         |(_, seq)| seq,
         |(id, seq), outcome| {
@@ -50,6 +62,7 @@ fn render_documents<M: ReadMapper>(
     (
         sam.finish().expect("vec flush cannot fail"),
         gaf.finish().expect("vec flush cannot fail"),
+        report,
     )
 }
 
@@ -97,5 +110,53 @@ proptest! {
             prop_assert_eq!(&sam, &sam_serial);
             prop_assert_eq!(&gaf, &gaf_serial);
         }
+    }
+
+    /// Adaptive batch sizing is an internal throughput knob: whatever
+    /// bounds the producer explores and wherever the controller settles,
+    /// the output bytes match a fixed-batch run, and the reported
+    /// trajectory never leaves `[min, max]`.
+    #[test]
+    fn adaptive_batching_is_output_invariant_and_stays_in_bounds(
+        seed in 0u64..5_000,
+        read_count in 4usize..10,
+        min in prop::sample::select(vec![1usize, 2, 4]),
+        span in 0usize..8,
+        threads in prop::sample::select(vec![1usize, 2, 4]),
+        both_strands in any::<bool>(),
+    ) {
+        let max = min + span;
+        let mut dataset_config = DatasetConfig::tiny(seed);
+        dataset_config.read_count = read_count;
+        let dataset = dataset_config.illumina(100);
+        let mapper = SegramMapper::new(dataset.graph().clone(), SegramConfig::short_reads());
+        let reads: Vec<(String, DnaSeq)> = dataset
+            .reads
+            .iter()
+            .map(|r| (format!("read{}", r.id), r.seq.clone()))
+            .collect();
+
+        let (sam_fixed, gaf_fixed) = render_documents(&mapper, &reads, 1, both_strands);
+
+        let mut config = EngineConfig::with_threads(threads).both_strands(both_strands);
+        config.adaptive_batch = Some(BatchBounds { min, max });
+        let (sam, gaf, report) = render_with_config(&mapper, &reads, config);
+        prop_assert_eq!(&sam, &sam_fixed, "adaptive batching changed the SAM bytes");
+        prop_assert_eq!(&gaf, &gaf_fixed, "adaptive batching changed the GAF bytes");
+
+        let batching = report.batching;
+        prop_assert!(batching.adaptive);
+        for (what, size) in [
+            ("initial", batching.initial),
+            ("last", batching.last),
+            ("min_used", batching.min_used),
+            ("max_used", batching.max_used),
+        ] {
+            prop_assert!(
+                (min..=max).contains(&size),
+                "{what} batch {size} escaped [{min}, {max}]"
+            );
+        }
+        prop_assert!(batching.min_used <= batching.max_used);
     }
 }

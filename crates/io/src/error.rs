@@ -94,3 +94,95 @@ impl fmt::Display for FormatError {
 }
 
 impl Error for FormatError {}
+
+/// Error produced by the BGZF container layer ([`crate::bgzf`]).
+///
+/// Every way a compressed stream can be corrupt maps to exactly one named
+/// variant — the corruption-class test matrix in `bgzf.rs` fabricates a
+/// fixture per variant — and decoding never panics on hostile input.
+/// Variants carry the byte offset of the offending block (or the 0-based
+/// block index, for failures only detectable after the block is sliced)
+/// so a broken file can be located without a debugger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BgzfError {
+    /// The bytes at a block boundary are not a gzip member header
+    /// (`1f 8b 08`). Usually a truncated or overwritten file, or a lied
+    /// `BSIZE` that landed the parser mid-payload.
+    BadMagic {
+        /// Byte offset of the expected block start.
+        offset: u64,
+    },
+    /// The gzip member is missing the BGZF `BC` extra subfield (or its
+    /// extra area is structurally invalid) — e.g. plain `gzip` output,
+    /// which is a valid gzip stream but not seekable BGZF.
+    BadExtra {
+        /// Byte offset of the offending member header.
+        offset: u64,
+        /// What exactly was wrong with the extra field.
+        reason: &'static str,
+    },
+    /// The input ended before the block promised by `BSIZE` (or before a
+    /// complete member header) was fully present.
+    Truncated {
+        /// Byte offset of the block whose bytes ran out.
+        offset: u64,
+    },
+    /// The inflated payload failed CRC32 or ISIZE verification — the
+    /// container framing was intact but the data inside is corrupt.
+    CrcMismatch {
+        /// 0-based index of the failing block.
+        block: usize,
+        /// Which integrity check failed (`"CRC32"` or `"ISIZE"`).
+        check: &'static str,
+        /// The value stored in the block trailer.
+        stored: u32,
+        /// The value computed from the inflated payload.
+        computed: u32,
+    },
+    /// The DEFLATE payload itself is malformed (invalid Huffman code,
+    /// over-subscribed code lengths, out-of-window back-reference,
+    /// payload cut short by a lied `BSIZE`, ...).
+    BadDeflate {
+        /// 0-based index of the failing block.
+        block: usize,
+        /// What the inflater tripped over.
+        reason: &'static str,
+    },
+    /// The stream ended without the canonical 28-byte BGZF EOF marker
+    /// block — the defined signature of an incomplete upload or a
+    /// writer that died mid-flush.
+    MissingEof,
+}
+
+impl fmt::Display for BgzfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic { offset } => {
+                write!(f, "offset {offset}: not a gzip member header (bad magic)")
+            }
+            Self::BadExtra { offset, reason } => {
+                write!(f, "offset {offset}: not a BGZF member: {reason}")
+            }
+            Self::Truncated { offset } => {
+                write!(f, "offset {offset}: input truncated inside a BGZF block")
+            }
+            Self::CrcMismatch {
+                block,
+                check,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "block {block}: {check} mismatch (stored 0x{stored:08x}, computed 0x{computed:08x})"
+            ),
+            Self::BadDeflate { block, reason } => {
+                write!(f, "block {block}: invalid DEFLATE payload: {reason}")
+            }
+            Self::MissingEof => {
+                write!(f, "stream ended without the BGZF EOF marker block")
+            }
+        }
+    }
+}
+
+impl Error for BgzfError {}

@@ -7,12 +7,19 @@
 //! the reader feeds `segram_core`'s `MapEngine`, every worker serializes
 //! behind the single thread doing the parsing. [`FastqFramer`] splits the
 //! job: the producer only scans bytes for record boundaries (newline
-//! counting over double-buffered block reads) and hands out
-//! [`RawFastqRecord`] frames; [`RawFastqRecord::decode`] — the expensive
-//! half — runs wherever the consumer wants, typically inside the worker
-//! pool, and is guaranteed to behave byte-for-byte like `FastqReader`
-//! (same records, same errors, same line numbers) because it *is* the
-//! same parser, pointed at the frame.
+//! counting over block reads) and hands out [`RawFastqRecord`] frames;
+//! [`RawFastqRecord::decode`] — the expensive half — runs wherever the
+//! consumer wants, typically inside the worker pool, and is guaranteed to
+//! behave byte-for-byte like `FastqReader` (same records, same errors,
+//! same line numbers) because it *is* the same parser, pointed at the
+//! frame.
+//!
+//! Both front-ends share one boundary scanner ([`FrameScanner`], a push
+//! parser fed arbitrary byte chunks): `FastqFramer` feeds it block reads
+//! on the producer thread, and [`FastqSplice`] feeds it inflated BGZF
+//! payloads *in block order from worker threads* — a record straddling a
+//! BGZF block boundary is carried over inside the scanner, so the
+//! compressed path frames exactly the records the plain path would.
 //!
 //! ```
 //! use segram_io::{Ambiguity, FastqFramer};
@@ -26,13 +33,16 @@
 //! assert!(framer.next().is_none());
 //! ```
 
+use std::collections::VecDeque;
 use std::io::{self, Read};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 use crate::fasta::Ambiguity;
 use crate::fastq::{decode_framed, FastqRecord};
 use crate::stream::StreamError;
 
-/// Default block size of [`FastqFramer`]'s double-buffered reads.
+/// Default block size of [`FastqFramer`]'s block reads.
 pub const FRAMER_BLOCK: usize = 64 * 1024;
 
 /// One framed FASTQ record: the raw bytes of its lines (endings
@@ -75,37 +85,119 @@ impl RawFastqRecord {
     }
 }
 
-/// A byte-scanning FASTQ record framer over double-buffered block reads:
-/// the producer-side half of the split reader (see the module docs).
+/// The shared record-boundary scanner: a push parser fed arbitrary byte
+/// chunks that emits complete four-line [`RawFastqRecord`] frames and
+/// carries partial lines/records across chunk boundaries. It never
+/// inspects record *contents* — it only counts lines (skipping the blank
+/// lines between records that [`FastqReader`](crate::FastqReader)
+/// tolerates) and slices frames; judging the lines is `decode`'s job.
 ///
-/// The framer never inspects record *contents* — it only counts lines
-/// (skipping the blank lines between records that
-/// [`FastqReader`](crate::FastqReader) tolerates) and slices four-line
-/// frames, so iterating it costs a newline scan plus one memcpy per
-/// record. Transport errors surface here; format errors surface from
-/// [`RawFastqRecord::decode`].
+/// [`FastqFramer`] drives it with block reads; [`FastqSplice`] drives it
+/// with inflated BGZF payloads. One implementation means the two paths
+/// cannot drift.
+#[derive(Debug, Default)]
+pub struct FrameScanner {
+    /// Bytes of an incomplete final line, carried to the next chunk.
+    tail: Vec<u8>,
+    /// 1-based count of lines fed so far.
+    line: usize,
+    /// Accumulated lines of the in-progress record.
+    current: Vec<u8>,
+    /// Header line number of the in-progress record.
+    record_line: usize,
+    /// Complete lines in the in-progress record (0..=3).
+    lines_in_record: usize,
+}
+
+impl FrameScanner {
+    /// A scanner with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 1-based number of lines consumed so far (a carried partial line
+    /// does not count until it completes or the stream ends).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Feeds one chunk, appending every record it completes to `out`.
+    pub fn push(&mut self, chunk: &[u8], out: &mut Vec<RawFastqRecord>) {
+        let mut rest = chunk;
+        while let Some(newline) = rest.iter().position(|&b| b == b'\n') {
+            let (line, remainder) = rest.split_at(newline + 1);
+            rest = remainder;
+            if self.tail.is_empty() {
+                self.feed_line(line, out);
+            } else {
+                let mut whole = std::mem::take(&mut self.tail);
+                whole.extend_from_slice(line);
+                self.feed_line(&whole, out);
+            }
+        }
+        self.tail.extend_from_slice(rest);
+    }
+
+    /// Ends the stream: a final unterminated line still counts (mirroring
+    /// `BufRead::read_until`), and a partial record is emitted for decode
+    /// to report as truncation with the right line numbers.
+    pub fn finish(&mut self, out: &mut Vec<RawFastqRecord>) {
+        if !self.tail.is_empty() {
+            let tail = std::mem::take(&mut self.tail);
+            self.feed_line(&tail, out);
+        }
+        if self.lines_in_record > 0 {
+            out.push(RawFastqRecord {
+                bytes: std::mem::take(&mut self.current),
+                line: self.record_line,
+            });
+            self.lines_in_record = 0;
+        }
+    }
+
+    /// Consumes one complete raw line (terminator included, except for an
+    /// unterminated final line).
+    fn feed_line(&mut self, line: &[u8], out: &mut Vec<RawFastqRecord>) {
+        self.line += 1;
+        if self.lines_in_record == 0 {
+            // Skip blank lines between records, exactly as FastqReader
+            // does (its line counter advances over them too).
+            if is_blank(line) {
+                return;
+            }
+            self.record_line = self.line;
+        }
+        self.current.extend_from_slice(line);
+        self.lines_in_record += 1;
+        if self.lines_in_record == 4 {
+            out.push(RawFastqRecord {
+                bytes: std::mem::take(&mut self.current),
+                line: self.record_line,
+            });
+            self.lines_in_record = 0;
+        }
+    }
+}
+
+/// A byte-scanning FASTQ record framer over block reads: the
+/// producer-side half of the split reader (see the module docs).
 ///
-/// Reads alternate between two reusable block buffers: the refill for
-/// the next block is issued eagerly when a block is swapped in, not
-/// lazily when the scanner runs dry. The reads themselves are still
-/// synchronous on the calling thread — the pipeline-level IO/compute
+/// Iterating costs a newline scan plus one memcpy per record; the reads
+/// are synchronous on the calling thread — the pipeline-level IO/compute
 /// overlap comes from this framer living on the *producer* thread while
-/// decoding and mapping run in the worker pool.
+/// decoding and mapping run in the worker pool. Transport errors surface
+/// here (after any records already sliced from earlier blocks); format
+/// errors surface from [`RawFastqRecord::decode`].
 #[derive(Debug)]
 pub struct FastqFramer<R: Read> {
     source: R,
-    /// The block currently being sliced.
-    front: Vec<u8>,
-    /// Scan position within `front`.
-    pos: usize,
-    /// The read-ahead block, swapped in when `front` is exhausted.
-    back: Vec<u8>,
+    scanner: FrameScanner,
+    /// Records sliced but not yet yielded.
+    ready: VecDeque<RawFastqRecord>,
+    /// Reusable block read buffer.
+    block: Vec<u8>,
     /// Block size of each read.
-    block: usize,
-    /// 1-based number of the last line consumed.
-    line: usize,
-    /// The source reported end of input.
-    eof: bool,
+    block_size: usize,
     /// Set after end-of-input or a transport error; the iterator fuses.
     done: bool,
 }
@@ -119,117 +211,20 @@ impl<R: Read> FastqFramer<R> {
     /// Wraps a byte source with an explicit block size (clamped to at
     /// least 1). Small blocks are useful in tests to exercise records
     /// straddling block boundaries.
-    pub fn with_block_size(source: R, block: usize) -> Self {
+    pub fn with_block_size(source: R, block_size: usize) -> Self {
         Self {
             source,
-            front: Vec::new(),
-            pos: 0,
-            back: Vec::new(),
-            block: block.max(1),
-            line: 0,
-            eof: false,
+            scanner: FrameScanner::new(),
+            ready: VecDeque::new(),
+            block: Vec::new(),
+            block_size: block_size.max(1),
             done: false,
         }
     }
 
     /// 1-based number of the last line consumed from the source.
     pub fn line(&self) -> usize {
-        self.line
-    }
-
-    /// Ensures `front[pos..]` is non-empty, swapping in the pre-filled
-    /// block and issuing the next (synchronous) refill. Returns `false`
-    /// at end of input.
-    fn ensure_bytes(&mut self) -> io::Result<bool> {
-        while self.pos >= self.front.len() {
-            if self.back.is_empty() && self.eof {
-                return Ok(false);
-            }
-            std::mem::swap(&mut self.front, &mut self.back);
-            self.pos = 0;
-            // Refill the swapped-out buffer immediately, so the next swap
-            // finds its bytes already resident (one blocking read per
-            // block either way — just issued at the start of a block's
-            // scan instead of its end).
-            if self.eof {
-                self.back.clear();
-            } else {
-                self.back.resize(self.block, 0);
-                let n = loop {
-                    match self.source.read(&mut self.back) {
-                        Ok(n) => break n,
-                        Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
-                        Err(err) => {
-                            self.back.clear();
-                            return Err(err);
-                        }
-                    }
-                };
-                self.back.truncate(n);
-                if n == 0 {
-                    self.eof = true;
-                }
-            }
-        }
-        Ok(true)
-    }
-
-    /// Appends the next raw line (terminator included) to `out`; returns
-    /// `false` at end of input. A final unterminated line still counts,
-    /// mirroring `BufRead::read_until`.
-    fn read_line(&mut self, out: &mut Vec<u8>) -> io::Result<bool> {
-        let start = out.len();
-        loop {
-            if !self.ensure_bytes()? {
-                if out.len() > start {
-                    self.line += 1;
-                    return Ok(true);
-                }
-                return Ok(false);
-            }
-            let chunk = &self.front[self.pos..];
-            match chunk.iter().position(|&b| b == b'\n') {
-                Some(i) => {
-                    out.extend_from_slice(&chunk[..=i]);
-                    self.pos += i + 1;
-                    self.line += 1;
-                    return Ok(true);
-                }
-                None => {
-                    out.extend_from_slice(chunk);
-                    self.pos = self.front.len();
-                }
-            }
-        }
-    }
-
-    /// Slices the next frame: skips blank lines, then takes the header
-    /// line plus up to three more, verbatim.
-    fn next_frame(&mut self) -> io::Result<Option<RawFastqRecord>> {
-        let mut bytes = Vec::new();
-        // Skip blank lines between records, exactly as FastqReader does
-        // (its line counter advances over them too).
-        loop {
-            if !self.read_line(&mut bytes)? {
-                return Ok(None);
-            }
-            if is_blank(&bytes) {
-                bytes.clear();
-            } else {
-                break;
-            }
-        }
-        let line = self.line;
-        // The three remaining record lines, blank or not — judging their
-        // contents is decode's job, the framer only counts them. Fewer
-        // lines only at a truncated end of input, which decode reports
-        // with the same line numbers FastqReader would.
-        for _ in 0..3 {
-            if !self.read_line(&mut bytes)? {
-                break;
-            }
-        }
-        Ok(Some(RawFastqRecord { bytes, line }))
+        self.scanner.line()
     }
 }
 
@@ -245,20 +240,130 @@ impl<R: Read> Iterator for FastqFramer<R> {
     type Item = Result<RawFastqRecord, StreamError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.done {
-            return None;
-        }
-        match self.next_frame() {
-            Ok(Some(raw)) => Some(Ok(raw)),
-            Ok(None) => {
-                self.done = true;
-                None
+        loop {
+            if let Some(raw) = self.ready.pop_front() {
+                return Some(Ok(raw));
             }
-            Err(err) => {
+            if self.done {
+                return None;
+            }
+            self.block.resize(self.block_size, 0);
+            let n = loop {
+                match self.source.read(&mut self.block) {
+                    Ok(n) => break n,
+                    Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(err) => {
+                        self.done = true;
+                        return Some(Err(StreamError::Io(err)));
+                    }
+                }
+            };
+            let mut out = Vec::new();
+            if n == 0 {
                 self.done = true;
-                Some(Err(StreamError::Io(err)))
+                self.scanner.finish(&mut out);
+            } else {
+                self.scanner.push(&self.block[..n], &mut out);
+            }
+            self.ready.extend(out);
+        }
+    }
+}
+
+/// The carry-over splice for worker-stage inflation: re-joins records
+/// that straddle BGZF block boundaries while inflation itself runs in
+/// parallel.
+///
+/// Workers inflate their blocks concurrently, then enter this turnstile
+/// *in block-index order* to feed the shared [`FrameScanner`]: the call
+/// for block `i` blocks until blocks `0..i` have been spliced, appends
+/// its bytes, and collects whatever records completed. Because the
+/// scanner is the same one `FastqFramer` uses, the record stream (ids,
+/// line numbers, truncation errors) is identical to framing the plain
+/// uncompressed bytes.
+///
+/// Deadlock safety: this turnstile is only sound when block indices are
+/// assigned in the order workers pick them up — true for the fanout
+/// engine's single shared FIFO queue, where the worker holding the
+/// minimum unspliced index is never the one waiting. Multi-queue
+/// schedules (elastic) could park every worker of one pool behind an
+/// index queued on another, so compressed input is restricted to the
+/// fanout schedule at the CLI layer. The wait also polls `cancelled`
+/// every 50 ms, so a cancelled run (sink failure, upstream error) can
+/// never strand a worker whose predecessor block was abandoned.
+#[derive(Debug, Default)]
+pub struct FastqSplice {
+    state: Mutex<SpliceState>,
+    turn: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SpliceState {
+    /// The next block index allowed through the turnstile.
+    next: usize,
+    scanner: FrameScanner,
+    /// Set once the final block has been spliced and flushed.
+    finished: bool,
+}
+
+impl FastqSplice {
+    /// A splice expecting block 0 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Splices block `index`'s inflated bytes into the shared scanner,
+    /// returning the records that completed. `last` flushes the carry
+    /// (the stream's final, possibly partial, record). Returns `None` —
+    /// without splicing — when `cancelled` reports the run is over while
+    /// an earlier block still has not arrived (it never will).
+    ///
+    /// Blocks until every earlier index has been spliced; see the type
+    /// docs for why that wait is deadlock-free under the fanout engine.
+    pub fn splice(
+        &self,
+        index: usize,
+        bytes: &[u8],
+        last: bool,
+        cancelled: impl Fn() -> bool,
+    ) -> Option<Vec<RawFastqRecord>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.next != index {
+            // Our turn will never come if the run was cancelled after a
+            // predecessor block was dropped unspliced. When it *is* our
+            // turn we proceed even under cancellation: the engine's
+            // settle path relies on in-order splicing to pin down the
+            // first error deterministically.
+            if cancelled() {
+                return None;
+            }
+            state = self
+                .turn
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        let mut out = Vec::new();
+        if !state.finished {
+            state.scanner.push(bytes, &mut out);
+            if last {
+                state.scanner.finish(&mut out);
+                state.finished = true;
             }
         }
+        state.next = index + 1;
+        drop(state);
+        self.turn.notify_all();
+        Some(out)
+    }
+
+    /// 1-based number of lines spliced so far.
+    pub fn line(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .scanner
+            .line()
     }
 }
 
@@ -326,5 +431,66 @@ mod tests {
     fn empty_and_blank_only_sources_frame_nothing() {
         assert!(frames("", 8).is_empty());
         assert!(frames("\n\r\n\n", 2).is_empty());
+    }
+
+    #[test]
+    fn scanner_chunking_is_invisible() {
+        // Feeding the same bytes in any chunking yields the same frames
+        // as the framer over the whole text — including a chunk boundary
+        // inside a CRLF ending.
+        let text = b"@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\nTTAA\n+\nJJJJ";
+        let whole = frames(std::str::from_utf8(text).unwrap(), FRAMER_BLOCK);
+        for chunk_size in 1..=text.len() {
+            let mut scanner = FrameScanner::new();
+            let mut out = Vec::new();
+            for chunk in text.chunks(chunk_size) {
+                scanner.push(chunk, &mut out);
+            }
+            scanner.finish(&mut out);
+            assert_eq!(out, whole, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn splice_reorders_out_of_order_blocks() {
+        // Three "blocks" spliced from three threads in reverse arrival
+        // order must still produce the in-order record stream.
+        let parts: [&[u8]; 3] = [b"@r1\nAC", b"GT\n+\nII", b"II\n@r2\nTT\n+\nJJ\n"];
+        let splice = FastqSplice::new();
+        let collected: Mutex<Vec<(usize, Vec<RawFastqRecord>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (index, part) in parts.iter().enumerate().rev() {
+                let splice = &splice;
+                let collected = &collected;
+                scope.spawn(move || {
+                    let records = splice
+                        .splice(index, part, index == parts.len() - 1, || false)
+                        .expect("not cancelled");
+                    collected.lock().unwrap().push((index, records));
+                });
+                // Give the out-of-order thread a head start so the wait
+                // path is actually exercised.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let mut by_index = collected.into_inner().unwrap();
+        by_index.sort_by_key(|(index, _)| *index);
+        let records: Vec<RawFastqRecord> = by_index
+            .into_iter()
+            .flat_map(|(_, records)| records)
+            .collect();
+        let plain: Vec<u8> = parts.concat();
+        let expected = frames(std::str::from_utf8(&plain).unwrap(), FRAMER_BLOCK);
+        assert_eq!(records, expected);
+    }
+
+    #[test]
+    fn cancelled_splice_waiting_on_a_lost_block_gives_up() {
+        let splice = FastqSplice::new();
+        // Block 1 arrives but block 0 never will; a cancelled run must
+        // not hang.
+        assert_eq!(splice.splice(1, b"@r\n", true, || true), None);
+        // The turnstile still admits block 0 afterwards.
+        assert!(splice.splice(0, b"", false, || false).is_some());
     }
 }

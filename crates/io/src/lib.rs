@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bgzf;
 mod binary;
 mod error;
 mod fasta;
@@ -58,14 +59,18 @@ mod gaf;
 mod stream;
 mod vcf;
 
+pub use bgzf::{
+    bgzf_compress, bgzf_member, crc32, inflate, looks_like_gzip, BgzfBlock, BgzfBlocks, BgzfMode,
+    BGZF_EOF, BGZF_MAX_PLAIN, GZIP_MAGIC,
+};
 pub use binary::{fnv1a64, BinError, ByteReader, ByteWriter};
-pub use error::FormatError;
+pub use error::{BgzfError, FormatError};
 pub use fasta::{read_fasta, write_fasta, Ambiguity, FastaRecord};
 pub use fastq::{
     phred_from_error_rate, read_fastq, write_fastq, FastqReader, FastqRecord, MAX_PHRED,
     PHRED_OFFSET,
 };
-pub use framer::{FastqFramer, RawFastqRecord, FRAMER_BLOCK};
+pub use framer::{FastqFramer, FastqSplice, FrameScanner, RawFastqRecord, FRAMER_BLOCK};
 pub use gaf::{read_gaf, write_gaf, GafRecord};
 pub use stream::{GafWriter, SamWriter, StreamError};
 pub use vcf::{read_vcf, write_vcf, VcfDocument, VcfOptions};

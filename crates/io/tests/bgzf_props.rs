@@ -1,0 +1,201 @@
+//! Differential property tests for the BGZF compressed-input path: on
+//! random FASTQ-shaped inputs — including CRLF line endings, malformed
+//! records, and records straddling BGZF block boundaries — the full
+//! compressed pipeline ([`bgzf_compress`] → [`BgzfBlocks`] →
+//! [`BgzfBlock::inflate`] → [`FastqSplice`] → [`RawFastqRecord::decode`])
+//! produces exactly the records *and* exactly the first error that the
+//! inline [`FastqReader`] produces on the plain bytes, at every block
+//! size and in both compressor modes. Truncating the *compressed* stream
+//! at an arbitrary byte yields a prefix of those records plus a named
+//! [`BgzfError`] — never a panic.
+
+use segram_io::{
+    bgzf_compress, Ambiguity, BgzfBlocks, BgzfMode, FastqReader, FastqRecord, FastqSplice,
+};
+use segram_testkit::prelude::*;
+
+/// Everything observable from reading a stream to its first failure:
+/// the records before it and a debug rendering of the error (the error
+/// types carry no `PartialEq` across families).
+type Outcome = (Vec<FastqRecord>, Option<String>);
+
+fn reader_outcome(bytes: &[u8], ambiguity: Ambiguity) -> Outcome {
+    let mut records = Vec::new();
+    let mut error = None;
+    for item in FastqReader::new(bytes, ambiguity) {
+        match item {
+            Ok(record) => records.push(record),
+            Err(err) => error = Some(format!("{err:?}")), // reader fuses
+        }
+    }
+    (records, error)
+}
+
+/// The worker path, run single-threaded: slice blocks, inflate each,
+/// splice in order through the shared scanner, decode. Fuses on the
+/// first error of any family, exactly as the engine cancels the run.
+fn bgzf_outcome(compressed: &[u8], ambiguity: Ambiguity) -> Outcome {
+    let mut records = Vec::new();
+    let mut error = None;
+    let splice = FastqSplice::new();
+    'stream: for item in BgzfBlocks::new(compressed) {
+        let block = match item {
+            Ok(block) => block,
+            Err(err) => {
+                error = Some(format!("{err:?}"));
+                break;
+            }
+        };
+        let plain = match block.inflate() {
+            Ok(plain) => plain,
+            Err(err) => {
+                error = Some(format!("{err:?}"));
+                break;
+            }
+        };
+        let raws = splice
+            .splice(block.index(), &plain, block.is_last(), || false)
+            .expect("an uncancelled in-order splice always yields");
+        for raw in raws {
+            match raw.decode(ambiguity) {
+                Ok(record) => records.push(record),
+                Err(err) => {
+                    error = Some(format!("{err:?}"));
+                    break 'stream;
+                }
+            }
+        }
+    }
+    (records, error)
+}
+
+/// One synthesized record's text, with injected quirks.
+fn render_record(
+    id: &str,
+    seq: &str,
+    qual_len: usize,
+    crlf: bool,
+    plus_tail: bool,
+    blanks_before: usize,
+) -> String {
+    let eol = if crlf { "\r\n" } else { "\n" };
+    let mut out = String::new();
+    for _ in 0..blanks_before {
+        out.push_str(eol);
+    }
+    out.push('@');
+    out.push_str(id);
+    out.push_str(eol);
+    out.push_str(seq);
+    out.push_str(eol);
+    out.push('+');
+    if plus_tail {
+        out.push_str(id);
+    }
+    out.push_str(eol);
+    out.push_str(&"I".repeat(qual_len));
+    out.push_str(eol);
+    out
+}
+
+fn mode_of(fixed: bool) -> BgzfMode {
+    if fixed {
+        BgzfMode::Fixed
+    } else {
+        BgzfMode::Stored
+    }
+}
+
+proptest! {
+    #[test]
+    fn compressed_path_is_identical_to_the_inline_reader(
+        entries in prop::collection::vec(
+            (
+                "[A-Za-z0-9_.-]{1,8}",        // id
+                "[ACGTN]{1,40}",              // sequence (N exercises ambiguity)
+                0usize..3,                    // quality-length skew
+                any::<bool>(),                // CRLF
+                any::<bool>(),                // '+' separator tail
+                0usize..3,                    // blank lines before the record
+            ),
+            1..5,
+        ),
+        truncate_tail in 0usize..20,
+        block in prop::sample::select(vec![1usize, 2, 3, 7, 61, 509, 4096]),
+        fixed in any::<bool>(),
+        reject in any::<bool>(),
+    ) {
+        let mut text = String::new();
+        for (id, seq, skew, crlf, plus_tail, blanks) in &entries {
+            // Skewed quality lengths produce invalid records on purpose.
+            let qual_len = seq.len().saturating_sub(*skew).max(1);
+            text.push_str(&render_record(id, seq, qual_len, *crlf, *plus_tail, *blanks));
+        }
+        // Truncate the *plain* tail to exercise a mid-record end of input
+        // surviving compression intact.
+        let cut = text.len().saturating_sub(truncate_tail);
+        let bytes = &text.as_bytes()[..cut];
+        let ambiguity = if reject {
+            Ambiguity::Reject
+        } else {
+            Ambiguity::Substitute(segram_graph::Base::A)
+        };
+
+        // Tiny blocks force records to straddle many block boundaries.
+        let compressed = bgzf_compress(bytes, block, mode_of(fixed));
+        let expected = reader_outcome(bytes, ambiguity);
+        let actual = bgzf_outcome(&compressed, ambiguity);
+        prop_assert_eq!(
+            &actual.0, &expected.0,
+            "records diverge at block {} ({:?})", block, mode_of(fixed)
+        );
+        prop_assert_eq!(
+            &actual.1, &expected.1,
+            "errors diverge at block {} ({:?})", block, mode_of(fixed)
+        );
+    }
+
+    #[test]
+    fn truncated_compressed_streams_yield_a_record_prefix_and_a_named_error(
+        entries in prop::collection::vec(
+            ("[A-Za-z0-9_.-]{1,8}", "[ACGT]{1,40}", any::<bool>()),
+            1..6,
+        ),
+        block in prop::sample::select(vec![1usize, 5, 47, 512]),
+        fixed in any::<bool>(),
+        cut_seed in any::<u32>(),
+    ) {
+        let mut text = String::new();
+        for (id, seq, crlf) in &entries {
+            text.push_str(&render_record(id, seq, seq.len(), *crlf, false, 0));
+        }
+        let compressed = bgzf_compress(text.as_bytes(), block, mode_of(fixed));
+        let (full_records, full_error) = bgzf_outcome(&compressed, Ambiguity::Reject);
+        prop_assert_eq!(full_error, None, "intact stream of valid records");
+
+        // Cut the *compressed* stream at an arbitrary byte (strictly
+        // short of the EOF marker's last byte, so an error is certain).
+        let cut = cut_seed as usize % compressed.len();
+        let (records, error) = bgzf_outcome(&compressed[..cut], Ambiguity::Reject);
+
+        prop_assert!(
+            records.len() <= full_records.len()
+                && records == full_records[..records.len()],
+            "decoded records must be a prefix of the intact stream's at cut {cut}"
+        );
+        let error = error.expect("a truncated stream always names its failure");
+        prop_assert!(
+            error.starts_with("Truncated") || error.starts_with("MissingEof"),
+            "cut {cut}: expected Truncated or MissingEof, got {error}"
+        );
+    }
+
+    #[test]
+    fn byte_soup_never_panics(
+        data in prop::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        // Arbitrary bytes through the whole compressed path: every
+        // outcome is acceptable except a panic.
+        let _ = bgzf_outcome(&data, Ambiguity::Reject);
+    }
+}

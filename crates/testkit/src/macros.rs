@@ -167,14 +167,31 @@ macro_rules! prop_oneof {
     };
 }
 
-/// Composes named sub-strategies into a derived-value strategy:
+/// Composes named sub-strategies into a derived-value strategy: the
+/// outer parameter list becomes the generated function's arguments, the
+/// inner one draws from strategies, and the body builds the value.
 ///
-/// ```ignore
+/// ```
+/// use segram_testkit::prelude::*;
+///
+/// #[derive(Clone, Debug)]
+/// struct Record {
+///     id: String,
+///     len: usize,
+/// }
+///
 /// prop_compose! {
-///     fn record()(id in id_strategy(), len in 1usize..10) -> Record {
-///         Record { id, len }
+///     /// A record with a lowercase id and a length capped by `max_len`.
+///     fn record(max_len: usize)(id in "[a-z]{1,4}", len in 1usize..100) -> Record {
+///         Record { id, len: len.min(max_len) }
 ///     }
 /// }
+///
+/// // The composed function returns an ordinary `Strategy`.
+/// let mut rng = ChaCha8Rng::seed_from_u64(7);
+/// let sample = record(10).generate(&mut rng);
+/// assert!(!sample.id.is_empty());
+/// assert!(sample.len <= 10);
 /// ```
 #[macro_export]
 macro_rules! prop_compose {
