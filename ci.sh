@@ -42,6 +42,14 @@
 #                       ordering asserted from the exit report), a RELOAD
 #                       swaps the index mid-run with zero failed requests,
 #                       and every reply byte-diffs against its one-shot
+#  14. incremental-index the versioned store lifecycle: `index build` v1 ->
+#                       `index update` with a delta VCF -> payload identity
+#                       against a scratch build over the combined VCF
+#                       (inspect checksums + map byte-diff, flat and
+#                       sharded), then a live sharded daemon RELOADed onto
+#                       the delta store: the swap must take the dirty-shard
+#                       route (mode=delta, dirty < total), serve the new
+#                       epoch byte-identically, and fail nothing
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -77,6 +85,7 @@ bench_smoke() {
     SEGRAM_BENCH_SAMPLES=3 SEGRAM_BENCH_JSON="$jsonl" \
         cargo bench -q -p segram-bench --locked \
         --bench engine --bench sharding --bench persist_serve \
+        --bench index_update \
         || return 1
     [ -s "$jsonl" ] || { echo "bench run emitted no JSON lines"; return 1; }
     {
@@ -464,5 +473,120 @@ serve_qos() {
 }
 
 tier serve-qos serve_qos
+
+# ---------------------------------------------------------------------------
+# Incremental index gate. The simulated VCF is split in half by position:
+# the first half seeds the epoch-0 store, the second half arrives later
+# as `index update`'s delta. The updated store must carry the same
+# payload identity as a from-scratch build over the full VCF (changelog
+# checksums via `index inspect`, plus a map byte-diff both flat and
+# sharded), and a live sharded daemon RELOADed onto it must take the
+# dirty-shard delta route — swapping strictly fewer shards than it has —
+# while every reply stays byte-identical to its one-shot twin.
+# ---------------------------------------------------------------------------
+incremental_index() {
+    local d="$GATE_DIR/ii"
+    "$SEGRAM" simulate --out-prefix "$d" \
+        --length 30000 --reads 12 --read-len 120 --seed 29 > /dev/null || return 1
+    awk -v base="$d-base.vcf" -v delta="$d-delta.vcf" \
+        '/^#/ { print > base; print > delta; next }
+         { data[++n] = $0 }
+         END { mid = int(n / 2)
+               for (i = 1; i <= mid; i++) print data[i] > base
+               for (i = mid + 1; i <= n; i++) print data[i] > delta }' \
+        "$d.vcf" || return 1
+    [ -s "$d-base.vcf" ] && [ -s "$d-delta.vcf" ] \
+        || { echo "VCF split produced an empty half"; return 1; }
+
+    "$SEGRAM" index build --reference "$d.fa" --vcf "$d-base.vcf" \
+        --output "$d-v1.sgi" > /dev/null || return 1
+    "$SEGRAM" index update --index "$d-v1.sgi" --vcf "$d-delta.vcf" \
+        --output "$d-v2.sgi" > "$d.update.log" || return 1
+    grep -q "epoch 1" "$d.update.log" \
+        || { echo "update did not advance the epoch:"; cat "$d.update.log"; return 1; }
+    grep -q "locations carried" "$d.update.log" \
+        || { echo "update report lost its delta counters:"; cat "$d.update.log"; return 1; }
+    echo "  $(grep 'touched' "$d.update.log")"
+
+    # Payload identity against the scratch build over the combined VCF:
+    # the changelog identity is the fnv1a64 of the encoded GRAPH + INDEX
+    # payloads, so equal identities mean byte-equal mapping state.
+    "$SEGRAM" index build --reference "$d.fa" --vcf "$d.vcf" \
+        --output "$d-scratch.sgi" > /dev/null || return 1
+    local id_v2 id_scratch
+    id_v2=$("$SEGRAM" index inspect --index "$d-v2.sgi" \
+        | sed -n 's/.*changelog: epoch [0-9]*, identity \(0x[0-9a-f]*\),.*/\1/p')
+    id_scratch=$("$SEGRAM" index inspect --index "$d-scratch.sgi" \
+        | sed -n 's/.*changelog: epoch [0-9]*, identity \(0x[0-9a-f]*\),.*/\1/p')
+    [ -n "$id_v2" ] && [ "$id_v2" = "$id_scratch" ] \
+        || { echo "updated store identity $id_v2 != scratch $id_scratch"; return 1; }
+    echo "  payload identity $id_v2 matches the scratch build"
+
+    # Mapping byte-identity, monolithic and re-sharded.
+    local shards
+    for shards in 1 4; do
+        "$SEGRAM" map --index "$d-v2.sgi" --reads "$d.fq" --format sam \
+            --shards "$shards" --output "$d-upd$shards.sam" > /dev/null || return 1
+        "$SEGRAM" map --index "$d-scratch.sgi" --reads "$d.fq" --format sam \
+            --shards "$shards" --output "$d-scr$shards.sam" > /dev/null || return 1
+        diff "$d-upd$shards.sam" "$d-scr$shards.sam" \
+            || { echo "updated store maps differently at --shards $shards"; return 1; }
+    done
+
+    # Live daemon on v1, sharded; RELOAD onto v2 must take the delta
+    # route (v2's parent checksum names the active store) and swap only
+    # the dirty shards.
+    "$SEGRAM" map --index "$d-v1.sgi" --reads "$d.fq" --format sam \
+        --output "$d-v1-want.sam" > /dev/null || return 1
+    "$SEGRAM" serve --index "$d-v1.sgi" --addr 127.0.0.1:0 \
+        --addr-file "$d.addr" --threads 2 --shards 4 --quiet \
+        > "$d.serve.log" 2>&1 &
+    local daemon=$! addr="" i
+    for i in $(seq 1 300); do
+        [ -s "$d.addr" ] && { addr="$(tr -d '\n' < "$d.addr")"; break; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "daemon never wrote $d.addr"
+                        kill "$daemon" 2> /dev/null || true; return 1; }
+
+    "$SEGRAM" request --addr "$addr" --reads "$d.fq" --format sam \
+        --output "$d-pre.sam" > /dev/null \
+        || { echo "pre-reload request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    "$SEGRAM" request --addr "$addr" --reload "$d-v2.sgi" > "$d.reload.log" \
+        || { echo "reload request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    grep -q "mode=delta" "$d.reload.log" \
+        || { echo "reload did not take the delta route:"; cat "$d.reload.log"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    "$SEGRAM" request --addr "$addr" --reads "$d.fq" --format sam \
+        --output "$d-post.sam" > /dev/null \
+        || { echo "post-reload request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    "$SEGRAM" request --addr "$addr" --shutdown > /dev/null \
+        || { echo "shutdown request failed"
+             kill "$daemon" 2> /dev/null || true; return 1; }
+    wait "$daemon" || { echo "daemon exited non-zero"; return 1; }
+
+    diff "$d-v1-want.sam" "$d-pre.sam" \
+        || { echo "pre-reload reply differs from v1's one-shot"; return 1; }
+    diff "$d-upd1.sam" "$d-post.sam" \
+        || { echo "post-reload reply differs from v2's one-shot"; return 1; }
+    grep -q "0 failed)" "$d.serve.log" \
+        || { echo "requests failed across the delta reload:"
+             grep "served" "$d.serve.log"; return 1; }
+    grep -q "reloads: 1, active index: $d-v2.sgi" "$d.serve.log" \
+        || { echo "reload not reflected in the daemon report:"
+             grep "reloads" "$d.serve.log" || true; return 1; }
+    local dirty
+    dirty=$(sed -n 's/.*dirty shards swapped: \([0-9][0-9]*\).*/\1/p' "$d.serve.log")
+    [ -n "$dirty" ] && [ "$dirty" -ge 1 ] && [ "$dirty" -lt 4 ] \
+        || { echo "delta swap did not stay partial (dirty=$dirty of 4):"
+             grep "reloads" "$d.serve.log" || true; return 1; }
+    echo "  $(grep 'mode=delta' "$d.reload.log")"
+    echo "  daemon: $(grep 'reloads:' "$d.serve.log")"
+}
+
+tier incremental-index incremental_index
 
 echo "CI OK in ${SECONDS}s"

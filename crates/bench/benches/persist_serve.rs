@@ -37,6 +37,8 @@ fn persisted(config: SegramConfig, dataset: &segram_sim::Dataset) -> PersistedIn
         index,
         discard_frac: config.discard_frac,
         freq_threshold,
+        changelog: None,
+        provenance: None,
     }
 }
 

@@ -13,9 +13,10 @@ pub struct Options {
 }
 
 /// Switches (flags without a value) recognized anywhere.
-const SWITCHES: [&str; 6] = [
+const SWITCHES: [&str; 7] = [
     "help",
     "both-strands",
+    "compress-output",
     "lenient",
     "quiet",
     "retry",

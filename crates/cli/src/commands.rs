@@ -22,14 +22,14 @@ use segram_core::{
 use segram_filter::FilterSpec;
 use segram_graph::{build_graph, gfa, ConstructedGraph, DnaSeq, GenomeGraph, VariantSet};
 use segram_index::{
-    frequency_threshold, read_index_file, write_index_file, GraphIndex, MinimizerScheme,
-    PersistedIndex, INDEX_FORMAT_VERSION,
+    frequency_threshold, initial_changelog, read_index_file, update_store, write_index_file,
+    GraphIndex, IndexProvenance, MinimizerScheme, PersistedIndex, INDEX_FORMAT_VERSION,
 };
 use segram_io::{
     bgzf_compress, looks_like_gzip, phred_from_error_rate, read_fasta, read_vcf, write_fasta,
-    write_fastq, write_vcf, Ambiguity, BgzfBlock, BgzfBlocks, BgzfError, BgzfMode, FastaRecord,
-    FastqFramer, FastqReader, FastqRecord, FastqSplice, GafWriter, RawFastqRecord, SamWriter,
-    StreamError, VcfOptions, BGZF_MAX_PLAIN,
+    write_fastq, write_vcf, Ambiguity, BgzfBlock, BgzfBlocks, BgzfError, BgzfMode, BgzfWriter,
+    FastaRecord, FastqFramer, FastqReader, FastqRecord, FastqSplice, GafWriter, RawFastqRecord,
+    SamWriter, StreamError, VcfOptions, BGZF_MAX_PLAIN,
 };
 use segram_sim::{
     generate_reference, simulate_reads, simulate_variants, ErrorProfile, GenomeConfig, ReadConfig,
@@ -111,10 +111,11 @@ OPTIONS:
 /// Shared FASTA(+VCF) → graph front half of `construct` and
 /// `index build`: picks the reference record (`--chrom` or first),
 /// collects its variants, and builds the graph. Returns the record id,
-/// the constructed graph, the variant count, and the VCF-skipped count.
+/// the reference sequence, the constructed graph, the variant count, and
+/// the VCF-skipped count.
 fn build_reference_graph(
     options: &Options,
-) -> Result<(String, ConstructedGraph, usize, usize), CliError> {
+) -> Result<(String, DnaSeq, ConstructedGraph, usize, usize), CliError> {
     let ref_path = options.require("reference")?;
     let records = read_fasta(&read_file(ref_path)?, ambiguity(options))
         .map_err(|e| CliError::format(ref_path, e))?;
@@ -150,7 +151,13 @@ fn build_reference_graph(
 
     let variant_count = variants.len();
     let built = build_graph(&record.seq, variants.into_sorted())?;
-    Ok((record.id.clone(), built, variant_count, skipped))
+    Ok((
+        record.id.clone(),
+        record.seq.clone(),
+        built,
+        variant_count,
+        skipped,
+    ))
 }
 
 /// `segram construct`.
@@ -160,7 +167,7 @@ pub fn construct(options: &Options) -> Result<String, CliError> {
     }
     options.reject_unknown(&["reference", "vcf", "output", "chrom", "lenient"])?;
     let out_path = options.require("output")?;
-    let (record_id, built, variant_count, skipped) = build_reference_graph(options)?;
+    let (record_id, _, built, variant_count, skipped) = build_reference_graph(options)?;
     write_file(out_path, &gfa::to_gfa(&built.graph))?;
 
     let stats = built.graph.stats();
@@ -193,6 +200,11 @@ USAGE:
     segram index [OPTIONS]          footprint report (below)
     segram index build [OPTIONS]    persist graph + index to a .sgi file
                                     (`segram index build --help`)
+    segram index update [OPTIONS]   apply a VCF delta to a .sgi store
+                                    (`segram index update --help`)
+    segram index inspect [OPTIONS]  dump a store's sections, provenance,
+                                    and epoch history
+                                    (`segram index inspect --help`)
 
 OPTIONS:
     --graph <graph.gfa>   input graph (required)
@@ -319,16 +331,26 @@ pub fn index_build(options: &Options) -> Result<String, CliError> {
         return Err(CliError::usage("--discard must be within 0.0..=1.0"));
     }
 
-    let (record_id, built, variant_count, _) = build_reference_graph(options)?;
+    let (record_id, reference, built, variant_count, _) = build_reference_graph(options)?;
     let index = GraphIndex::build(&built.graph, MinimizerScheme::new(w, k), bucket_bits);
     let freq_threshold = frequency_threshold(&index, discard_frac);
     let footprint = index.footprint();
     let distinct = index.distinct_minimizers();
+    let source = options.get("vcf").unwrap_or("build").to_owned();
+    let changelog = initial_changelog(reference, &built, source);
+    let provenance = IndexProvenance {
+        reference_path: options.require("reference")?.to_owned(),
+        vcf_paths: options.get("vcf").map(str::to_owned).into_iter().collect(),
+        preset: options.get("preset").unwrap_or("short").to_owned(),
+        epoch: 0,
+    };
     let persisted = PersistedIndex {
         graph: built.graph,
         index,
         discard_frac,
         freq_threshold,
+        changelog: Some(changelog),
+        provenance: Some(provenance),
     };
     let bytes = write_index_file(&persisted, out_path).map_err(|e| CliError::index(out_path, e))?;
 
@@ -357,49 +379,291 @@ pub fn index_build(options: &Options) -> Result<String, CliError> {
         report,
         "  frequency threshold {freq_threshold} (discard fraction {discard_frac})"
     );
+    let _ = writeln!(
+        report,
+        "  changelog: epoch 0, identity {:#018x}",
+        persisted.identity()
+    );
     Ok(report)
 }
 
-/// Loads a persistent `.sgi` index into a ready [`SegramMapper`]. The
-/// scheme, bucket count, and discard fraction recorded in the file
-/// override the preset's (seeding reads the scheme from the index itself;
-/// overriding keeps reports and derived knobs coherent with it).
-pub(crate) fn mapper_from_index_file(
-    path: &str,
-    mut config: SegramConfig,
-) -> Result<SegramMapper, CliError> {
+// ---------------------------------------------------------------------------
+// index update / index inspect
+// ---------------------------------------------------------------------------
+
+const INDEX_UPDATE_HELP: &str = "\
+segram index update — apply a VCF delta to a persisted .sgi store
+
+The store carries its own linear reference and embedded variant set (the
+CHANGELOG section), so no FASTA is needed: the delta is applied against
+the persisted state alone, minimizers are re-extracted only for the
+coordinate ranges the delta touched, and the output is byte-identical to
+a from-scratch `index build` over the combined VCFs. The store's epoch
+advances by one and the history chain records what changed.
+
+Stores written before the changelog existed fail with a named error and
+must be rebuilt once with `index build`.
+
+OPTIONS:
+    --index <ref.sgi>     parent store (required)
+    --vcf <delta.vcf>     VCF with the delta variants (required)
+    --output <out.sgi>    output store path (required; the write is
+                          atomic, so it may equal --index)
+    --chrom <name>        VCF CHROM to use (default: first)
+    --lenient             skip unsupported VCF records instead of failing
+";
+
+/// `segram index update`.
+pub fn index_update(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(INDEX_UPDATE_HELP.to_owned());
+    }
+    options.reject_unknown(&["index", "vcf", "output", "chrom", "lenient"])?;
+    let index_path = options.require("index")?;
+    let vcf_path = options.require("vcf")?;
+    let out_path = options.require("output")?;
+
+    let parent = read_index_file(index_path).map_err(|e| CliError::index(index_path, e))?;
+    let vcf_options = if options.switch("lenient") {
+        VcfOptions::lenient()
+    } else {
+        VcfOptions::default()
+    };
+    let doc =
+        read_vcf(&read_file(vcf_path)?, vcf_options).map_err(|e| CliError::format(vcf_path, e))?;
+    let skipped = doc.skipped;
+    let delta = match options.get("chrom") {
+        Some(name) => doc
+            .chrom(name)
+            .cloned()
+            .ok_or_else(|| CliError::usage(format!("{vcf_path}: no CHROM named {name:?}")))?,
+        None => doc.per_chrom.values().next().cloned().unwrap_or_default(),
+    };
+    let delta_count = delta.len();
+
+    let outcome =
+        update_store(&parent, &delta, vcf_path).map_err(|e| CliError::index(index_path, e))?;
+    let bytes =
+        write_index_file(&outcome.persisted, out_path).map_err(|e| CliError::index(out_path, e))?;
+
+    let log = outcome
+        .persisted
+        .changelog
+        .as_ref()
+        .expect("update always writes a changelog");
+    let total_chars = outcome.persisted.graph.total_chars();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "updated {index_path} -> {out_path}: epoch {}, {bytes} bytes",
+        log.epoch
+    );
+    let _ = writeln!(
+        report,
+        "  delta: {} of {delta_count} variants embedded ({} dropped as conflicting, \
+         {skipped} skipped in VCF)",
+        outcome.log.added_variants, outcome.log.dropped_variants
+    );
+    let _ = writeln!(
+        report,
+        "  touched {} coordinate ranges: re-extracted {} of {total_chars} chars \
+         across {} fresh nodes",
+        outcome.log.touched.len(),
+        outcome.stats.extracted_chars,
+        outcome.stats.fresh_nodes
+    );
+    let _ = writeln!(
+        report,
+        "  index: {} locations carried, {} extracted, {} dropped",
+        outcome.stats.carried_locations,
+        outcome.stats.extracted_locations,
+        outcome.stats.dropped_locations
+    );
+    let _ = writeln!(
+        report,
+        "  identity {:#018x} (parent {:#018x})",
+        log.identity, log.parent
+    );
+    Ok(report)
+}
+
+const INDEX_INSPECT_HELP: &str = "\
+segram index inspect — dump a persisted store's layout and lineage
+
+Prints the section table (id, size, checksum), the graph and index
+summaries, the build provenance recorded in the META section, and the
+full epoch history chain from the CHANGELOG section.
+
+OPTIONS:
+    --index <ref.sgi>     store to inspect (required)
+";
+
+/// `segram index inspect`.
+pub fn index_inspect(options: &Options) -> Result<String, CliError> {
+    if options.switch("help") {
+        return Ok(INDEX_INSPECT_HELP.to_owned());
+    }
+    options.reject_unknown(&["index"])?;
+    let path = options.require("index")?;
+    let bytes = fs::read(path).map_err(|e| CliError::io(path, e))?;
     let loaded = read_index_file(path).map_err(|e| CliError::index(path, e))?;
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{path}: format v{INDEX_FORMAT_VERSION}, {} bytes",
+        bytes.len()
+    );
+    // Section dump straight from the table (decode already verified it).
+    let mut r = segram_io::ByteReader::new(&bytes);
+    let corrupted = |_| CliError::usage(format!("{path}: header truncated"));
+    r.take_bytes(8).map_err(corrupted)?;
+    r.take_u32().map_err(corrupted)?;
+    let section_count = r.take_u32().map_err(corrupted)?;
+    for _ in 0..section_count {
+        let id = r.take_u32().map_err(corrupted)?;
+        let offset = r.take_u64().map_err(corrupted)?;
+        let len = r.take_u64().map_err(corrupted)?;
+        let checksum = r.take_u64().map_err(corrupted)?;
+        let name = match id {
+            1 => "graph",
+            2 => "index",
+            3 => "meta",
+            4 => "changelog",
+            _ => "unknown",
+        };
+        let _ = writeln!(
+            report,
+            "  section {id} ({name}): {len} bytes at {offset}, fnv1a64 {checksum:#018x}"
+        );
+    }
+
+    let stats = loaded.graph.stats();
+    let _ = writeln!(
+        report,
+        "  graph: {} nodes, {} edges, {} characters",
+        stats.node_count, stats.edge_count, stats.total_chars
+    );
+    let scheme = loaded.index.scheme();
+    let _ = writeln!(
+        report,
+        "  index: <w,k> = <{},{}>, 2^{} buckets, {} distinct minimizers, \
+         {} locations",
+        scheme.w,
+        scheme.k,
+        loaded.index.bucket_bits(),
+        loaded.index.distinct_minimizers(),
+        loaded.index.total_locations()
+    );
+    let _ = writeln!(
+        report,
+        "  meta: frequency threshold {} (discard fraction {})",
+        loaded.freq_threshold, loaded.discard_frac
+    );
+    match &loaded.provenance {
+        Some(p) => {
+            let _ = writeln!(
+                report,
+                "  provenance: reference {}, preset {}, epoch {}",
+                p.reference_path, p.preset, p.epoch
+            );
+            if p.vcf_paths.is_empty() {
+                let _ = writeln!(report, "    no VCFs applied (linear graph)");
+            }
+            for (i, vcf) in p.vcf_paths.iter().enumerate() {
+                let _ = writeln!(report, "    vcf[{i}]: {vcf}");
+            }
+        }
+        None => {
+            let _ = writeln!(report, "  provenance: none recorded");
+        }
+    }
+    match &loaded.changelog {
+        Some(log) => {
+            let _ = writeln!(
+                report,
+                "  changelog: epoch {}, identity {:#018x}, parent {:#018x}, \
+                 {} variants embedded",
+                log.epoch,
+                log.identity,
+                log.parent,
+                log.applied.len()
+            );
+            for entry in &log.history {
+                let _ = writeln!(
+                    report,
+                    "    epoch {}: {} — {} variants added, {} dropped, \
+                     {} ranges touched (identity {:#018x})",
+                    entry.epoch,
+                    entry.source,
+                    entry.added_variants,
+                    entry.dropped_variants,
+                    entry.touched.len(),
+                    entry.identity
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(
+                report,
+                "  changelog: none (pre-versioning store; `index update` unavailable)"
+            );
+        }
+    }
+    Ok(report)
+}
+
+/// Loads a persistent `.sgi` store, mapping persistence errors into the
+/// CLI error shape.
+pub(crate) fn persisted_from_index_file(path: &str) -> Result<PersistedIndex, CliError> {
+    read_index_file(path).map_err(|e| CliError::index(path, e))
+}
+
+/// One-line provenance summary of a loaded store, for reports (`serve`'s
+/// `active index:` line, reload logs): epoch plus build preset when the
+/// store records them.
+pub(crate) fn provenance_label(loaded: &PersistedIndex) -> String {
+    match (&loaded.provenance, &loaded.changelog) {
+        (Some(p), _) => format!("epoch {}, preset {}", p.epoch, p.preset),
+        (None, Some(log)) => format!("epoch {}", log.epoch),
+        (None, None) => "unversioned".to_owned(),
+    }
+}
+
+/// Turns a loaded store into a ready [`SegramMapper`]. The scheme, bucket
+/// count, and discard fraction recorded in the file override the preset's
+/// (seeding reads the scheme from the index itself; overriding keeps
+/// reports and derived knobs coherent with it).
+pub(crate) fn mapper_from_persisted(
+    loaded: PersistedIndex,
+    mut config: SegramConfig,
+) -> SegramMapper {
     config.scheme = *loaded.index.scheme();
     config.bucket_bits = loaded.index.bucket_bits();
     config.discard_frac = loaded.discard_frac;
-    Ok(SegramMapper::from_parts(
+    SegramMapper::from_parts(
         Arc::new(loaded.graph),
         loaded.index,
         config,
         loaded.freq_threshold,
-    ))
+    )
 }
 
-/// Loads a persistent `.sgi` index and re-shards it into `shards`
-/// coordinate-range shards (`segram serve --shards`). Applies the same
-/// config overrides as [`mapper_from_index_file`], so shard mapping stays
-/// byte-identical to the monolithic loaded index.
-pub(crate) fn sharded_from_index_file(
-    path: &str,
+/// Re-shards a loaded store into `shards` coordinate-range shards
+/// (`segram serve --shards`). Applies the same config overrides as
+/// [`mapper_from_persisted`], so shard mapping stays byte-identical to the
+/// monolithic loaded index.
+pub(crate) fn sharded_from_persisted(
+    loaded: PersistedIndex,
     mut config: SegramConfig,
     shards: usize,
-) -> Result<ShardedIndex, CliError> {
-    let loaded = read_index_file(path).map_err(|e| CliError::index(path, e))?;
+) -> ShardedIndex {
     config.scheme = *loaded.index.scheme();
     config.bucket_bits = loaded.index.bucket_bits();
     config.discard_frac = loaded.discard_frac;
-    Ok(ShardedIndex::from_parts(
-        Arc::new(loaded.graph),
-        &loaded.index,
-        config,
-        loaded.freq_threshold,
-        shards,
-    ))
+    // `from_persisted` keeps the store's changelog lineage, which is what
+    // lets a later RELOAD take the dirty-shard delta route.
+    ShardedIndex::from_persisted(loaded, config, shards)
 }
 
 // ---------------------------------------------------------------------------
@@ -418,7 +682,8 @@ OPTIONS:
     --index <ref.sgi>      persistent index from `segram index build`:
                            skips construction + indexing entirely (the
                            file records the scheme, buckets, and discard
-                           fraction; --backend segram, --shards 1 only)
+                           fraction; --backend segram only — --shards
+                           re-shards the loaded store)
     --reads <reads.fq>     input FASTQ, plain or BGZF-compressed (required;
                            the container is auto-detected by its gzip
                            magic — blocks are sliced by the producer and
@@ -452,14 +717,16 @@ OPTIONS:
                            a dedicated worker pool with its own queue,
                            routes batches by their dominant shard group, and
                            rebalances shard ownership live; output bytes are
-                           identical either way (--graph + --backend segram
-                           only)
+                           identical either way (--backend segram only)
     --preset <short|long5|long10>
                            mapper preset (default short)
     --filter <none|base-count|qgram|shd|snake|cascade>
                            pre-alignment filter (default none, as in the
                            paper; --backend segram only)
     --both-strands         also try each read's reverse complement
+    --compress-output      BGZF-compress the output document(s) on the
+                           writer threads (requires a file output; a clean
+                           close appends the canonical 28-byte EOF marker)
     --lenient              substitute ambiguous read bases instead of failing
 ";
 
@@ -690,17 +957,46 @@ enum OutputPlan<'a> {
     },
 }
 
-/// Where the streamed output records go: a buffered file or an in-memory
-/// buffer that is appended to the report (the no-`--output` case).
+/// Where the streamed output records go: a buffered file, a
+/// BGZF-compressing file (`--compress-output`), or an in-memory buffer
+/// that is appended to the report (the no-`--output` case).
 enum MapTarget {
     File(BufWriter<fs::File>),
+    /// `--compress-output`: members are cut on the thread that writes the
+    /// document (the engine's writer thread, or a split-pass byte-writer
+    /// thread), and the 28-byte EOF marker lands in the clean-close path.
+    Bgzf(BgzfWriter<BufWriter<fs::File>>),
     Memory(Vec<u8>),
+}
+
+impl MapTarget {
+    /// Wraps a created output file, compressing when asked to.
+    fn file(file: BufWriter<fs::File>, compress: bool) -> Self {
+        if compress {
+            Self::Bgzf(BgzfWriter::new(file, BgzfMode::Fixed))
+        } else {
+            Self::File(file)
+        }
+    }
+
+    /// Clean close: flushes a plain file, or cuts the tail member and
+    /// appends the canonical BGZF EOF marker. (An error path never gets
+    /// here, so an aborted compressed document stays EOF-less — readers
+    /// classify it as truncated.)
+    fn finish(self, path: &str) -> Result<(), CliError> {
+        match self {
+            Self::Bgzf(w) => w.finish().map(drop).map_err(|e| CliError::io(path, e)),
+            Self::File(mut w) => w.flush().map_err(|e| CliError::io(path, e)),
+            Self::Memory(_) => Ok(()),
+        }
+    }
 }
 
 impl Write for MapTarget {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         match self {
             Self::File(w) => w.write(buf),
+            Self::Bgzf(w) => w.write(buf),
             Self::Memory(w) => w.write(buf),
         }
     }
@@ -708,6 +1004,7 @@ impl Write for MapTarget {
     fn flush(&mut self) -> std::io::Result<()> {
         match self {
             Self::File(w) => w.flush(),
+            Self::Bgzf(w) => w.flush(),
             Self::Memory(w) => w.flush(),
         }
     }
@@ -1097,6 +1394,7 @@ fn run_map_stream<M: ReadMapper>(
     // before the writers, so on failure the buffered handles close and
     // flush first, then the files are unlinked.
     let mut cleanup = OutputCleanup::new();
+    let compress = options.switch("compress-output");
 
     match output {
         OutputPlan::Single {
@@ -1108,7 +1406,7 @@ fn run_map_stream<M: ReadMapper>(
             // engine's writer thread as their batch is released, so the
             // document is never held in memory when writing to a file.
             let target = match out_path {
-                Some(path) => MapTarget::File(create_output(path, &mut cleanup)?),
+                Some(path) => MapTarget::file(create_output(path, &mut cleanup)?, compress),
                 None => MapTarget::Memory(Vec::new()),
             };
             let mut writer = match format {
@@ -1176,6 +1474,14 @@ fn run_map_stream<M: ReadMapper>(
                 MapWriter::Gaf(w) => w.finish(),
             }
             .map_err(|e| CliError::io(out_name, e))?;
+            let target = match target {
+                // Clean close of a compressed document: cut the tail
+                // member and append the BGZF EOF marker.
+                MapTarget::Bgzf(w) => {
+                    MapTarget::File(w.finish().map_err(|e| CliError::io(out_name, e))?)
+                }
+                other => other,
+            };
             cleanup.disarm();
 
             Ok(EngineRun {
@@ -1191,8 +1497,8 @@ fn run_map_stream<M: ReadMapper>(
             sam: sam_path,
             gaf: gaf_path,
         } => {
-            let sam_file = create_output(sam_path, &mut cleanup)?;
-            let mut gaf_file = create_output(gaf_path, &mut cleanup)?;
+            let sam_file = MapTarget::file(create_output(sam_path, &mut cleanup)?, compress);
+            let mut gaf_file = MapTarget::file(create_output(gaf_path, &mut cleanup)?, compress);
             let mut sam_writer = SamWriter::new(sam_file, "graph", mapper.graph().total_chars())
                 .map_err(|e| CliError::io(sam_path, e))?;
 
@@ -1275,8 +1581,11 @@ fn run_map_stream<M: ReadMapper>(
                 // writers drop and flush, per declaration order).
                 return Err(err);
             }
-            sam_writer.finish().map_err(|e| CliError::io(sam_path, e))?;
-            gaf_file.flush().map_err(|e| CliError::io(gaf_path, e))?;
+            sam_writer
+                .finish()
+                .map_err(|e| CliError::io(sam_path, e))?
+                .finish(sam_path)?;
+            gaf_file.finish(gaf_path)?;
             cleanup.disarm();
 
             Ok(EngineRun {
@@ -1378,6 +1687,7 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         "preset",
         "filter",
         "both-strands",
+        "compress-output",
         "lenient",
     ])?;
     let source = match (options.get("graph"), options.get("index")) {
@@ -1455,24 +1765,21 @@ pub fn map(options: &Options) -> Result<String, CliError> {
             path: options.get("output"),
         },
     };
+    if options.switch("compress-output") {
+        if let OutputPlan::Single { path: None, .. } = output {
+            return Err(CliError::usage(
+                "--compress-output requires a file output (--output, \
+                 --output-sam, or --output-gaf); the report cannot hold \
+                 BGZF bytes",
+            ));
+        }
+    }
 
-    // A persistent index is monolithic and native-only: reject the flag
-    // combinations that would need a rebuild from the GFA (still before
-    // any file is opened, so these stay usage errors).
+    // A persistent index is native-only: the baseline backends rebuild
+    // their own structures from the GFA. (--shards and --schedule elastic
+    // are fine: the loaded store is re-sharded the same way `segram serve
+    // --shards` does it.)
     if let MapSource::Index(_) = source {
-        if options.get("shards").is_some() {
-            return Err(CliError::usage(
-                "--shards requires --graph (the persistent index is \
-                 monolithic; shard from the GFA, or use `segram serve \
-                 --shards` which re-shards the loaded index)",
-            ));
-        }
-        if schedule == Schedule::Elastic {
-            return Err(CliError::usage(
-                "--schedule elastic requires --graph (the pool schedule \
-                 runs over a sharded index built from the GFA)",
-            ));
-        }
         if backend != BackendKind::Segram {
             return Err(CliError::usage(format!(
                 "--index only applies to --backend segram (the .sgi file \
@@ -1496,23 +1803,56 @@ pub fn map(options: &Options) -> Result<String, CliError> {
 
     let (run, shard_section, source_note) = match source {
         MapSource::Index(index_path) => {
-            let mapper = mapper_from_index_file(index_path, config)?;
-            let run = run_map_stream(
-                &mapper,
-                MapSchedule::Fanout(None),
-                threads,
-                both,
-                options,
-                output,
-                reads,
-                reads_path,
-                batch,
-            )?;
-            (
-                run,
-                String::new(),
-                format!("loaded persistent index {index_path}\n"),
-            )
+            let loaded = persisted_from_index_file(index_path)?;
+            let note = format!(
+                "loaded persistent index {index_path} ({})\n",
+                provenance_label(&loaded)
+            );
+            if shards <= 1 && schedule == Schedule::Fanout {
+                let mapper = mapper_from_persisted(loaded, config);
+                let run = run_map_stream(
+                    &mapper,
+                    MapSchedule::Fanout(None),
+                    threads,
+                    both,
+                    options,
+                    output,
+                    reads,
+                    reads_path,
+                    batch,
+                )?;
+                (run, String::new(), note)
+            } else {
+                // Re-shard the loaded store, exactly as `segram serve
+                // --shards` does — mapping stays byte-identical to the
+                // GFA-built sharded run.
+                let sharded = sharded_from_persisted(loaded, config, shards);
+                if sharded.shards().len() < shards {
+                    eprintln!(
+                        "warning: --shards {shards} exceeds the reference length; \
+                         clamped to {} non-empty coordinate ranges",
+                        sharded.shards().len()
+                    );
+                }
+                let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
+                let map_schedule = match schedule {
+                    Schedule::Fanout => MapSchedule::Fanout(Some(affinity)),
+                    Schedule::Elastic => MapSchedule::Elastic(&sharded, affinity),
+                };
+                let run = run_map_stream(
+                    &sharded,
+                    map_schedule,
+                    threads,
+                    both,
+                    options,
+                    output,
+                    reads,
+                    reads_path,
+                    batch,
+                )?;
+                let section = shard_report(&sharded, run.affinity.as_ref(), run.elastic.as_ref());
+                (run, section, note)
+            }
         }
         MapSource::Graph(graph_path) => {
             let graph = load_graph(graph_path)?;
@@ -1639,15 +1979,20 @@ pub fn map(options: &Options) -> Result<String, CliError> {
         ms(stats.queue.writer_wait)
     );
     report.push_str(&shard_section);
+    let note = if options.switch("compress-output") {
+        " (BGZF-compressed)"
+    } else {
+        ""
+    };
     match (output, run.output) {
         (OutputPlan::Single { format, path }, RunOutput::Single(target)) => match (path, target) {
             (Some(path), _) => {
-                let _ = writeln!(report, "wrote {} to {path}", format.to_uppercase());
+                let _ = writeln!(report, "wrote {} to {path}{note}", format.to_uppercase());
             }
             (None, MapTarget::Memory(buffer)) => {
                 report.push_str(&String::from_utf8_lossy(&buffer));
             }
-            (None, MapTarget::File(_)) => unreachable!("no --output implies the memory target"),
+            (None, _) => unreachable!("no --output implies the memory target"),
         },
         (
             OutputPlan::Split { sam, gaf },
@@ -1668,8 +2013,8 @@ pub fn map(options: &Options) -> Result<String, CliError> {
                     ms(stats.worker_wait)
                 );
             }
-            let _ = writeln!(report, "wrote SAM to {sam}");
-            let _ = writeln!(report, "wrote GAF to {gaf}");
+            let _ = writeln!(report, "wrote SAM to {sam}{note}");
+            let _ = writeln!(report, "wrote GAF to {gaf}{note}");
         }
         _ => unreachable!("the run output matches the output plan"),
     }
@@ -2116,12 +2461,15 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     if command == "eval" {
         return eval(rest);
     }
-    // Likewise `index build`; a bare `index` stays the footprint report.
+    // Likewise `index build`/`update`/`inspect`; a bare `index` stays the
+    // footprint report.
     if command == "index" {
         if let Some((sub, tail)) = rest.split_first() {
-            if sub == "build" {
-                let options = Options::parse(tail)?;
-                return index_build(&options);
+            match sub.as_str() {
+                "build" => return index_build(&Options::parse(tail)?),
+                "update" => return index_update(&Options::parse(tail)?),
+                "inspect" => return index_inspect(&Options::parse(tail)?),
+                _ => {}
             }
         }
     }

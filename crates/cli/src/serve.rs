@@ -46,16 +46,17 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use segram_core::{
-    gaf_record_for, sam_record_for, EngineOptions, MultiEngine, Priority, QueueDelayStats,
-    ReadMapper, RebalanceConfig, Rebalancer, RequestHandle, RouteHook, ShardAffinity, ShardedIndex,
+    gaf_record_for, sam_record_for, DeltaSwapReport, EngineOptions, MultiEngine, Priority,
+    QueueDelayStats, ReadMapper, RebalanceConfig, Rebalancer, RequestHandle, RouteHook,
+    SegramMapper, ShardAffinity, ShardedIndex,
 };
 use segram_graph::DnaSeq;
 use segram_io::{Ambiguity, FastqReader, FastqRecord, GafWriter, SamWriter};
 
 use crate::args::Options;
 use crate::commands::{
-    mapper_from_index_file, preset, schedule_kind, shard_count, sharded_from_index_file,
-    thread_count, write_file, Schedule,
+    mapper_from_persisted, persisted_from_index_file, preset, provenance_label, schedule_kind,
+    shard_count, sharded_from_persisted, thread_count, write_file, Schedule,
 };
 use crate::error::CliError;
 
@@ -309,12 +310,39 @@ struct ServeStats {
     refused: AtomicU64,
     failed: AtomicU64,
     reloads: AtomicU64,
+    /// Reloads that took the dirty-shard delta route (parent-checksum
+    /// match) instead of a full rebuild.
+    delta_reloads: AtomicU64,
+    /// Shards rebuilt across every delta reload.
+    dirty_shards: AtomicU64,
+    /// Shards carried over (Arc-shared or id-remapped) across every delta
+    /// reload.
+    clean_shards: AtomicU64,
 }
 
 impl ServeStats {
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// How a `RELOAD` produced its replacement mapper.
+enum ReloadKind {
+    /// Built from scratch off the `.sgi` file. `fallback` carries the
+    /// reason the delta route was declined when one was attempted (parent
+    /// mismatch, epoch skew, legacy store without a changelog).
+    Full { fallback: Option<String> },
+    /// Derived from the active sharded index by rebuilding only the
+    /// shards whose coordinate ranges the delta touched.
+    Delta(DeltaSwapReport),
+}
+
+/// What the reload hook hands back: the replacement mapper, how it was
+/// built, and the store's provenance label for the daemon report.
+struct ReloadOutcome<M> {
+    mapper: Arc<M>,
+    kind: ReloadKind,
+    label: String,
 }
 
 /// What the accept loop should do after a connection is handled.
@@ -371,22 +399,55 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
         .max_queued(options.number("max-queued", 0)?)
         .both_strands(options.switch("both-strands"));
 
+    let loaded = persisted_from_index_file(index_path)?;
+    let boot_label = provenance_label(&loaded);
+
     if shards <= 1 && schedule == Schedule::Fanout {
-        let mapper = mapper_from_index_file(index_path, config)?;
+        let mapper = mapper_from_persisted(loaded, config);
         let engine = MultiEngine::new(Arc::new(mapper), seq_of, engine_options);
-        let reload = move |path: &str| mapper_from_index_file(path, config).map(Arc::new);
-        return run_daemon(options, engine, index_path, reload, quiet, None);
+        // The monolithic mapper has no shards to swap piecemeal: every
+        // reload is a full rebuild.
+        let reload = move |path: &str, _current: &SegramMapper| {
+            let loaded = persisted_from_index_file(path)?;
+            let label = provenance_label(&loaded);
+            Ok(ReloadOutcome {
+                mapper: Arc::new(mapper_from_persisted(loaded, config)),
+                kind: ReloadKind::Full { fallback: None },
+                label,
+            })
+        };
+        return run_daemon(options, engine, index_path, boot_label, reload, quiet, None);
     }
 
     // Re-shard the persisted index: same graph, same frequency threshold,
     // so replies stay byte-identical to the monolithic daemon. A RELOAD
-    // re-shards the new index the same way.
-    let sharded = Arc::new(sharded_from_index_file(index_path, config, shards)?);
-    let reload = move |path: &str| sharded_from_index_file(path, config, shards).map(Arc::new);
+    // whose store is the direct child of the active one (parent checksum
+    // matches) takes the delta route — only dirty shards are rebuilt,
+    // clean shards keep sharing the active Arcs; anything else falls back
+    // to a full re-shard of the new file.
+    let sharded = Arc::new(sharded_from_persisted(loaded, config, shards));
+    let reload = move |path: &str, current: &ShardedIndex| {
+        let loaded = persisted_from_index_file(path)?;
+        let label = provenance_label(&loaded);
+        match current.apply_delta(&loaded) {
+            Ok((next, report)) => Ok(ReloadOutcome {
+                mapper: Arc::new(next),
+                kind: ReloadKind::Delta(report),
+                label,
+            }),
+            Err(why) => Ok(ReloadOutcome {
+                mapper: Arc::new(sharded_from_persisted(loaded, config, shards)),
+                kind: ReloadKind::Full {
+                    fallback: Some(why.to_string()),
+                },
+                label,
+            }),
+        }
+    };
     match schedule {
         Schedule::Fanout => {
             let engine = MultiEngine::new(Arc::clone(&sharded), seq_of, engine_options);
-            run_daemon(options, engine, index_path, reload, quiet, None)
+            run_daemon(options, engine, index_path, boot_label, reload, quiet, None)
         }
         Schedule::Elastic => {
             let affinity = ShardAffinity::pin_workers(&sharded.shard_loads(), threads);
@@ -407,7 +468,15 @@ pub fn serve(options: &Options) -> Result<String, CliError> {
                 pools,
                 Some(route),
             );
-            run_daemon(options, engine, index_path, reload, quiet, Some(rebalancer))
+            run_daemon(
+                options,
+                engine,
+                index_path,
+                boot_label,
+                reload,
+                quiet,
+                Some(rebalancer),
+            )
         }
     }
 }
@@ -449,14 +518,20 @@ fn pool_route(
     })
 }
 
+/// The index-reload hook a daemon runs on `RELOAD <path>`: given the
+/// path and the active mapper, produce the replacement (delta or full).
+type ReloadFn<'a, M> = dyn Fn(&str, &M) -> Result<ReloadOutcome<M>, CliError> + Send + Sync + 'a;
+
 /// Per-daemon context the connection handlers share: the engine, the
 /// index-reload hook, and the lifetime counters.
 struct Daemon<'a, M: ReadMapper + Send + Sync + 'static> {
     engine: &'a MultiEngine<M, FastqRecord>,
-    reload: &'a (dyn Fn(&str) -> Result<Arc<M>, CliError> + Send + Sync),
+    reload: &'a ReloadFn<'a, M>,
     /// Path of the index new requests currently map against (updated by
     /// each successful `RELOAD`).
     active_index: &'a Mutex<String>,
+    /// Provenance label of the active index (epoch, build preset).
+    active_label: &'a Mutex<String>,
     quiet: bool,
     stats: &'a ServeStats,
 }
@@ -479,7 +554,8 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
     options: &Options,
     engine: MultiEngine<M, FastqRecord>,
     index_path: &str,
-    reload: impl Fn(&str) -> Result<Arc<M>, CliError> + Send + Sync,
+    boot_label: String,
+    reload: impl Fn(&str, &M) -> Result<ReloadOutcome<M>, CliError> + Send + Sync,
     quiet: bool,
     rebalancer: Option<Arc<Mutex<Rebalancer>>>,
 ) -> Result<String, CliError> {
@@ -496,6 +572,7 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
 
     let stats = ServeStats::default();
     let active_index = Mutex::new(index_path.to_owned());
+    let active_label = Mutex::new(boot_label);
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         for conn in listener.incoming() {
@@ -507,6 +584,7 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
                 engine: &engine,
                 reload: &reload,
                 active_index: &active_index,
+                active_label: &active_label,
                 quiet,
                 stats: &stats,
             };
@@ -544,11 +622,19 @@ fn run_daemon<M: ReadMapper + Send + Sync + 'static>(
             delay_fields(delay)
         );
     }
+    let reloads = stats.reloads.load(Ordering::Relaxed);
+    let delta = stats.delta_reloads.load(Ordering::Relaxed);
     let _ = writeln!(
         report,
-        "reloads: {}, active index: {}",
-        stats.reloads.load(Ordering::Relaxed),
-        active_index.lock().unwrap_or_else(|e| e.into_inner())
+        "reloads: {}, active index: {} ({}; {} delta, {} full; dirty shards swapped: {}, \
+         clean shards kept: {})",
+        reloads,
+        active_index.lock().unwrap_or_else(|e| e.into_inner()),
+        active_label.lock().unwrap_or_else(|e| e.into_inner()),
+        delta,
+        reloads - delta,
+        stats.dirty_shards.load(Ordering::Relaxed),
+        stats.clean_shards.load(Ordering::Relaxed)
     );
     if pools > 1 {
         let migrations = rebalancer
@@ -629,6 +715,11 @@ fn handle_connection<M: ReadMapper + Send + Sync + 'static>(
 /// untouched — then swaps it in for future requests. In-flight requests
 /// keep the mapper they opened with, so there is no drain barrier and no
 /// downtime; a failed build leaves the active index exactly as it was.
+///
+/// The reload hook sees the currently active mapper, so a sharded daemon
+/// can take the dirty-shard delta route when the new store's parent
+/// checksum matches the active one; the `RELOADED` reply reports which
+/// route it took (`mode=delta dirty=… clean=…` or `mode=full`).
 fn handle_reload<M: ReadMapper + Send + Sync + 'static>(
     mut writer: BufWriter<TcpStream>,
     path: &str,
@@ -638,18 +729,53 @@ fn handle_reload<M: ReadMapper + Send + Sync + 'static>(
     if !daemon.quiet {
         eprintln!("serve: reload of {path} requested by {peer}");
     }
-    match (daemon.reload)(path) {
-        Ok(mapper) => {
-            daemon.engine.swap_mapper(mapper);
+    let current = daemon.engine.active_mapper();
+    match (daemon.reload)(path, &current) {
+        Ok(outcome) => {
+            daemon.engine.swap_mapper(outcome.mapper);
             *daemon
                 .active_index
                 .lock()
                 .unwrap_or_else(|e| e.into_inner()) = path.to_owned();
+            *daemon
+                .active_label
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = outcome.label;
             ServeStats::bump(&daemon.stats.reloads);
+            let detail = match &outcome.kind {
+                ReloadKind::Delta(report) => {
+                    ServeStats::bump(&daemon.stats.delta_reloads);
+                    daemon
+                        .stats
+                        .dirty_shards
+                        .fetch_add(report.dirty as u64, Ordering::Relaxed);
+                    daemon
+                        .stats
+                        .clean_shards
+                        .fetch_add(report.clean() as u64, Ordering::Relaxed);
+                    format!(
+                        "mode=delta epoch={} dirty={} clean={}",
+                        report.epoch,
+                        report.dirty,
+                        report.clean()
+                    )
+                }
+                ReloadKind::Full { fallback } => {
+                    if let Some(reason) = fallback {
+                        if !daemon.quiet {
+                            eprintln!(
+                                "serve: delta route unavailable for {path} ({reason}); \
+                                 rebuilt from scratch"
+                            );
+                        }
+                    }
+                    "mode=full".to_owned()
+                }
+            };
             if !daemon.quiet {
-                eprintln!("serve: index swapped to {path}");
+                eprintln!("serve: index swapped to {path} ({detail})");
             }
-            let _ = writeln!(writer, "RELOADED {path}");
+            let _ = writeln!(writer, "RELOADED {path} {detail}");
         }
         Err(error) => {
             if !daemon.quiet {
@@ -902,12 +1028,15 @@ pub fn request(options: &Options) -> Result<String, CliError> {
         if let Some(message) = reply.strip_prefix("ERR ") {
             return Err(CliError::server(message.to_owned()));
         }
-        if reply.strip_prefix("RELOADED ").is_none() {
+        let Some(detail) = reply.strip_prefix("RELOADED ") else {
             return Err(CliError::server(format!(
                 "unexpected reload reply {reply:?}"
             )));
-        }
-        return Ok(format!("server swapped its index to {path}\n"));
+        };
+        // `detail` is `<path> mode=delta dirty=… clean=…` or
+        // `<path> mode=full` — surfaced so scripts can assert which route
+        // the daemon took.
+        return Ok(format!("server swapped its index to {detail}\n"));
     }
 
     let reads_path = options.require("reads")?;

@@ -151,8 +151,15 @@ fn map_index_flag_conflicts_are_usage_errors() {
         ),
         (&["map", "--reads", &reads], "one of --graph or --index"),
         (
-            &["map", "--index", &sgi, "--reads", &reads, "--shards", "2"],
-            "--shards requires --graph",
+            &[
+                "map",
+                "--index",
+                &sgi,
+                "--reads",
+                &reads,
+                "--compress-output",
+            ],
+            "--compress-output requires a file output",
         ),
         (
             &["map", "--index", &sgi, "--reads", &reads, "--backend", "vg"],

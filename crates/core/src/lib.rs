@@ -68,5 +68,8 @@ pub use pipeline::{
     ShardRouter, SpecPrefilter, WorkQueue,
 };
 pub use sam::{mapq_estimate, sam_document, SamRecord};
-pub use shard::{balance_loads, load_imbalance, IndexShard, ShardStats, ShardedIndex};
+pub use shard::{
+    balance_loads, load_imbalance, DeltaSwapReport, IndexShard, ShardStats, ShardedIndex,
+    StoreLineage,
+};
 pub use workload::{map_with_threads, measure_sequences, measure_workload, WorkloadMeasurement};

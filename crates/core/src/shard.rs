@@ -28,8 +28,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use segram_graph::{DnaSeq, GenomeGraph};
-use segram_index::{frequency_threshold, shard_boundaries, GraphIndex};
+use segram_graph::{
+    build_graph, diff_graphs, graphs_identical, merge_ranges, ranges_intersect, ChangeLog, DnaSeq,
+    GenomeGraph, VariantSet,
+};
+use segram_index::{
+    frequency_threshold, shard_boundaries, GraphIndex, PersistError, PersistedIndex,
+};
 
 use crate::config::SegramConfig;
 use crate::mapper::{MapStats, Mapping, ReadMapper, SegramMapper};
@@ -84,7 +89,11 @@ pub struct IndexShard {
     id: usize,
     start: u64,
     end: u64,
-    mapper: SegramMapper,
+    // Arc so a delta reload can *share* a clean shard with its successor
+    // instead of rebuilding it: in-flight requests keep the old
+    // `ShardedIndex` alive, new admissions see the new one, and the
+    // untouched shards are literally the same allocation in both.
+    mapper: Arc<SegramMapper>,
     seed_hits: AtomicU64,
     regions: AtomicU64,
     wins: AtomicU64,
@@ -104,7 +113,13 @@ impl IndexShard {
     /// The shard-local mapper (shared graph, range-restricted index,
     /// global frequency threshold).
     pub fn mapper(&self) -> &SegramMapper {
-        &self.mapper
+        self.mapper.as_ref()
+    }
+
+    /// Whether this shard shares its mapper allocation with `other` — the
+    /// observable fact a delta reload's `clean` counter reports.
+    pub fn shares_mapper_with(&self, other: &IndexShard) -> bool {
+        Arc::ptr_eq(&self.mapper, &other.mapper)
     }
 
     /// Bytes of reference data this shard owns in the paper's memory
@@ -185,6 +200,48 @@ pub struct ShardedIndex {
     freq_threshold: u32,
     boundaries: Vec<u64>,
     shards: Vec<IndexShard>,
+    lineage: Option<StoreLineage>,
+}
+
+/// The versioned-store lineage a [`ShardedIndex`] carries when it was
+/// loaded from a `.sgi` file with a changelog: enough to verify that a
+/// proposed replacement store is this store's direct child and to replay
+/// the graph delta between them ([`ShardedIndex::apply_delta`]).
+#[derive(Clone, Debug)]
+pub struct StoreLineage {
+    /// The store's epoch.
+    pub epoch: u64,
+    /// The store's identity checksum (what a child's `parent` must name).
+    pub identity: u64,
+    /// The linear reference the graph was constructed from.
+    pub reference: DnaSeq,
+    /// The embedded (sorted, non-overlapping) variant set.
+    pub applied: VariantSet,
+}
+
+/// What a delta swap did, per reload: how many shards were rebuilt
+/// because the delta touched their coordinate range, and how many were
+/// carried into the new [`ShardedIndex`] untouched (shared allocation)
+/// or with only a node-id translation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSwapReport {
+    /// The epoch the swap moved to.
+    pub epoch: u64,
+    /// Shards rebuilt from the new index (their range intersects the
+    /// delta's touched coordinates).
+    pub dirty: usize,
+    /// Clean shards sharing the predecessor's mapper allocation.
+    pub shared: usize,
+    /// Clean shards cloned with only a node-id translation (no minimizer
+    /// re-extraction) because fresh nodes upstream shifted their ids.
+    pub remapped: usize,
+}
+
+impl DeltaSwapReport {
+    /// Shards that did **not** need a rebuild.
+    pub fn clean(&self) -> usize {
+        self.shared + self.remapped
+    }
 }
 
 impl ShardedIndex {
@@ -234,12 +291,12 @@ impl ShardedIndex {
                 id,
                 start: boundaries[id],
                 end: boundaries[id + 1],
-                mapper: SegramMapper::from_parts(
+                mapper: Arc::new(SegramMapper::from_parts(
                     Arc::clone(&graph),
                     shard_index,
                     config,
                     freq_threshold,
-                ),
+                )),
                 seed_hits: AtomicU64::new(0),
                 regions: AtomicU64::new(0),
                 wins: AtomicU64::new(0),
@@ -251,7 +308,260 @@ impl ShardedIndex {
             freq_threshold,
             boundaries,
             shards,
+            lineage: None,
         }
+    }
+
+    /// Shards a persisted store, keeping its changelog lineage so later
+    /// [`Self::apply_delta`] calls can verify parentage and swap only the
+    /// dirty shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn from_persisted(persisted: PersistedIndex, config: SegramConfig, shards: usize) -> Self {
+        let identity = persisted.identity();
+        let mut sharded = Self::from_parts(
+            Arc::new(persisted.graph),
+            &persisted.index,
+            config,
+            persisted.freq_threshold,
+            shards,
+        );
+        sharded.lineage = persisted.changelog.map(|log| StoreLineage {
+            epoch: log.epoch,
+            identity,
+            reference: log.reference,
+            applied: log.applied,
+        });
+        sharded
+    }
+
+    /// The lineage carried from the persisted store, when there is one.
+    pub fn lineage(&self) -> Option<&StoreLineage> {
+        self.lineage.as_ref()
+    }
+
+    /// Builds the successor [`ShardedIndex`] for a store delta, rebuilding
+    /// **only** the shards whose coordinate range the delta touched.
+    ///
+    /// `new` must be the direct child of the store this index was loaded
+    /// from: its changelog's `parent` must name this lineage's identity
+    /// (else [`PersistError::ParentMismatch`]) and its epoch must be
+    /// exactly one ahead (else [`PersistError::EpochSkew`]). The caller
+    /// (the serve RELOAD path) falls back to a full re-shard on any error.
+    ///
+    /// The old shard boundaries are translated into the new coordinate
+    /// space *through the carried nodes*, so a clean shard's location set
+    /// is exactly its old one (node ids translated where fresh nodes
+    /// shifted them) and no location is ever duplicated into — or lost
+    /// between — a clean and a rebuilt shard. Untouched shards with an
+    /// identity translation share the predecessor's mapper allocation
+    /// outright; the router's merged output is byte-identical to a full
+    /// re-shard either way.
+    pub fn apply_delta(
+        &self,
+        new: &PersistedIndex,
+    ) -> Result<(Self, DeltaSwapReport), PersistError> {
+        let lineage = self.lineage.as_ref().ok_or(PersistError::NoChangelog)?;
+        let new_log = new.changelog.as_ref().ok_or(PersistError::NoChangelog)?;
+        if new_log.parent != lineage.identity {
+            return Err(PersistError::ParentMismatch {
+                expected: lineage.identity,
+                found: new_log.parent,
+            });
+        }
+        if new_log.epoch != lineage.epoch + 1 {
+            return Err(PersistError::EpochSkew {
+                expected: lineage.epoch + 1,
+                found: new_log.epoch,
+            });
+        }
+        let corrupt = |detail: String| PersistError::Corrupt {
+            section: "changelog",
+            detail,
+        };
+        if lineage.reference != new_log.reference {
+            return Err(corrupt("reference changed between epochs".into()));
+        }
+        if *new.index.scheme() != self.config.scheme
+            || new.index.bucket_bits() != self.config.bucket_bits
+        {
+            return Err(corrupt("minimizer scheme changed between epochs".into()));
+        }
+        // Replay both constructions to recover the coordinate metadata the
+        // diff needs, verifying each replay against the graph actually
+        // loaded — a delta is only trusted against proven lineage.
+        let built_old = build_graph(&lineage.reference, lineage.applied.clone())
+            .map_err(|e| corrupt(format!("lineage does not rebuild: {e}")))?;
+        if !graphs_identical(&built_old.graph, &self.graph) {
+            return Err(corrupt(
+                "lineage does not reconstruct the active graph".into(),
+            ));
+        }
+        let built_new = build_graph(&new_log.reference, new_log.applied.clone())
+            .map_err(|e| corrupt(format!("child changelog does not rebuild: {e}")))?;
+        if !graphs_identical(&built_new.graph, &new.graph) {
+            return Err(corrupt(
+                "child changelog does not reconstruct its graph".into(),
+            ));
+        }
+        let log = diff_graphs(&built_old, &built_new);
+        let new_graph = Arc::new(new.graph.clone());
+
+        let new_boundaries = self.translate_boundaries(&log, &new_graph);
+        let fresh_new = log.fresh_linear(&new_graph);
+        let dropped_old = merge_ranges(
+            log.dropped
+                .iter()
+                .map(|&n| {
+                    let start = self.graph.char_start(n);
+                    (start, start + self.graph.node_len(n) as u64)
+                })
+                .collect(),
+        );
+        let carried_map = log.carried_map(self.graph.node_count());
+
+        enum Plan {
+            Dirty,
+            Shared,
+            Remapped(GraphIndex),
+        }
+        let plans: Vec<Plan> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let old_range = (self.boundaries[i], self.boundaries[i + 1]);
+                let new_range = (new_boundaries[i], new_boundaries[i + 1]);
+                let touched = fresh_new.iter().any(|&r| ranges_intersect(r, new_range))
+                    || dropped_old.iter().any(|&r| ranges_intersect(r, old_range));
+                if touched {
+                    return Plan::Dirty;
+                }
+                if shard.mapper.index().remap_is_identity(&carried_map) {
+                    return Plan::Shared;
+                }
+                match shard.mapper.index().remap_nodes(&carried_map) {
+                    Some(idx) => Plan::Remapped(idx),
+                    None => Plan::Dirty,
+                }
+            })
+            .collect();
+        // Only dirty shards pay for a partition of the new index: each is
+        // extracted alone, so the clean shards' locations are never
+        // re-bucketed at all.
+        let mut rebuilt: Vec<Option<GraphIndex>> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| match plan {
+                Plan::Dirty => Some(new.index.extract_shard(&new_graph, &new_boundaries, i)),
+                _ => None,
+            })
+            .collect();
+
+        let mut report = DeltaSwapReport {
+            epoch: new_log.epoch,
+            ..DeltaSwapReport::default()
+        };
+        let shards: Vec<IndexShard> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let mapper = match plan {
+                    Plan::Shared => {
+                        report.shared += 1;
+                        Arc::clone(&self.shards[i].mapper)
+                    }
+                    Plan::Remapped(idx) => {
+                        report.remapped += 1;
+                        Arc::new(SegramMapper::from_parts(
+                            Arc::clone(&new_graph),
+                            idx,
+                            self.config,
+                            new.freq_threshold,
+                        ))
+                    }
+                    Plan::Dirty => {
+                        report.dirty += 1;
+                        let idx = rebuilt[i].take().expect("split computed for dirty shards");
+                        Arc::new(SegramMapper::from_parts(
+                            Arc::clone(&new_graph),
+                            idx,
+                            self.config,
+                            new.freq_threshold,
+                        ))
+                    }
+                };
+                IndexShard {
+                    id: i,
+                    start: new_boundaries[i],
+                    end: new_boundaries[i + 1],
+                    mapper,
+                    seed_hits: AtomicU64::new(0),
+                    regions: AtomicU64::new(0),
+                    wins: AtomicU64::new(0),
+                }
+            })
+            .collect();
+
+        Ok((
+            Self {
+                graph: new_graph,
+                config: self.config,
+                freq_threshold: new.freq_threshold,
+                boundaries: new_boundaries,
+                shards,
+                lineage: Some(StoreLineage {
+                    epoch: new_log.epoch,
+                    identity: new.identity(),
+                    reference: new_log.reference.clone(),
+                    applied: new_log.applied.clone(),
+                }),
+            },
+            report,
+        ))
+    }
+
+    /// Maps the old shard boundaries into the new graph's coordinate
+    /// space: each boundary lands at the new position of the first carried
+    /// character at or after it (cutting carried nodes at the same
+    /// offset), so for every carried seed location *old shard membership
+    /// and new shard membership agree* — the invariant that lets clean and
+    /// rebuilt shards partition the new index without overlap or gaps.
+    fn translate_boundaries(&self, log: &ChangeLog, new_graph: &GenomeGraph) -> Vec<u64> {
+        let old_graph = self.graph.as_ref();
+        let new_total = new_graph.total_chars();
+        let old_ends: Vec<u64> = log
+            .carried
+            .iter()
+            .map(|&(o, _)| old_graph.char_start(o) + old_graph.node_len(o) as u64)
+            .collect();
+        let translate = |b: u64| -> u64 {
+            // First carried node whose footprint ends past `b`: the node
+            // containing `b`, or the first one after the gap `b` sits in.
+            let i = old_ends.partition_point(|&e| e <= b);
+            match log.carried.get(i) {
+                Some(&(old, new)) => {
+                    let old_start = old_graph.char_start(old);
+                    let new_start = new_graph.char_start(new);
+                    if old_start <= b {
+                        new_start + (b - old_start)
+                    } else {
+                        new_start
+                    }
+                }
+                None => new_total,
+            }
+        };
+        let mut boundaries = Vec::with_capacity(self.boundaries.len());
+        boundaries.push(0);
+        for &b in &self.boundaries[1..self.boundaries.len() - 1] {
+            let prev = *boundaries.last().expect("non-empty");
+            boundaries.push(translate(b).clamp(prev, new_total));
+        }
+        boundaries.push(new_total);
+        boundaries
     }
 
     /// The shards, in coordinate order.

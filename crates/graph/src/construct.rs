@@ -24,6 +24,10 @@ pub struct ConstructedGraph {
     pub dropped_variants: usize,
     /// Number of variants embedded in the graph.
     pub embedded_variants: usize,
+    /// The embedded variant set (sorted, overlap-dropped) — the exact
+    /// input a later [`apply_variants`](crate::apply_variants) call needs
+    /// to evolve this graph incrementally.
+    pub applied: VariantSet,
 }
 
 impl ConstructedGraph {
@@ -254,6 +258,7 @@ pub fn build_graph(
         is_backbone,
         dropped_variants,
         embedded_variants,
+        applied: variants,
     })
 }
 

@@ -47,6 +47,7 @@ mod construct;
 mod error;
 pub mod gfa;
 mod graph;
+mod ops;
 mod region;
 mod seq;
 mod tables;
@@ -56,6 +57,10 @@ pub use base::{Base, ALPHABET_SIZE, BASES};
 pub use construct::{build_graph, ConstructedGraph};
 pub use error::GraphError;
 pub use graph::{linear_graph, GenomeGraph, GraphBuilder, GraphPos, GraphStats, NodeId};
+pub use ops::{
+    apply_variants, diff_graphs, graphs_identical, merge_ranges, ranges_intersect, ChangeLog,
+    DeltaBuild, GraphOp,
+};
 pub use region::{hop_coverage, LinearizedGraph};
 pub use seq::{DnaSeq, PackedSeq};
 pub use tables::{GraphFootprint, GraphTables, NodeEntry, EDGE_ENTRY_BYTES, NODE_ENTRY_BYTES};

@@ -5,7 +5,7 @@
 
 use std::collections::HashMap;
 
-use segram_graph::{GenomeGraph, GraphPos};
+use segram_graph::{ChangeLog, GenomeGraph, GraphPos, NodeId};
 
 use crate::minimizer::{extract_minimizers_from, Minimizer, MinimizerScheme};
 
@@ -88,6 +88,20 @@ impl GraphIndex {
         let bucket_count = 1usize << bucket_bits;
         let bucket_of = |hash: u64| -> usize { (hash % bucket_count as u64) as usize };
         raw.sort_by_key(|&(hash, pos)| (bucket_of(hash), hash, pos));
+        Self::from_sorted(scheme, bucket_bits, raw)
+    }
+
+    /// Assembles the three levels from a `(hash, location)` stream already
+    /// in `(bucket, hash, location)` order — the no-re-sort fast path
+    /// [`Self::apply_delta`] uses to merge carried and fresh entries.
+    fn from_sorted(scheme: MinimizerScheme, bucket_bits: u32, raw: Vec<(u64, GraphPos)>) -> Self {
+        let bucket_count = 1usize << bucket_bits;
+        let bucket_of = |hash: u64| -> usize { (hash % bucket_count as u64) as usize };
+        debug_assert!(
+            raw.windows(2)
+                .all(|w| (bucket_of(w[0].0), w[0].0, w[0].1) <= (bucket_of(w[1].0), w[1].0, w[1].1)),
+            "from_sorted input must arrive in (bucket, hash, location) order"
+        );
         let mut bucket_starts = vec![0u32; bucket_count + 1];
         let mut minimizers: Vec<MinimizerEntry> = Vec::new();
         let mut locations: Vec<GraphPos> = Vec::with_capacity(raw.len());
@@ -214,10 +228,162 @@ impl GraphIndex {
             .collect()
     }
 
+    /// Extracts the single shard `shard` of the [`Self::split_by_ranges`]
+    /// partition without materializing the other shards — the dirty-shard
+    /// delta swap rebuilds only the touched shards, so partitioning the
+    /// clean ones would be wasted work. Ownership is identical to
+    /// `split_by_ranges(graph, boundaries)[shard]`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Self::split_by_ranges`], plus `shard` must be a
+    /// valid shard number for `boundaries`.
+    pub fn extract_shard(
+        &self,
+        graph: &GenomeGraph,
+        boundaries: &[u64],
+        shard: usize,
+    ) -> GraphIndex {
+        assert!(boundaries.len() >= 2, "need at least one shard range");
+        let shards = boundaries.len() - 1;
+        assert!(shard < shards, "shard {shard} out of {shards}");
+        let mut raw: Vec<(u64, GraphPos)> = Vec::new();
+        for entry in &self.minimizers {
+            let locs = &self.locations[entry.loc_start as usize..][..entry.loc_count as usize];
+            for &loc in locs {
+                let linear = graph
+                    .linear_pos(loc)
+                    .expect("index location must resolve against its own graph");
+                let owner = boundaries[1..boundaries.len() - 1]
+                    .partition_point(|&b| b <= linear)
+                    .min(shards - 1);
+                if owner == shard {
+                    raw.push((entry.hash, loc));
+                }
+            }
+        }
+        Self::from_raw(self.scheme, self.bucket_bits, raw)
+    }
+
+    /// Incrementally maintains the index across a graph delta: carried
+    /// nodes keep their already-extracted minimizers (only the node id is
+    /// translated), fresh nodes are re-extracted, dropped nodes' entries
+    /// die — **no minimizer outside the touched ranges is re-hashed**.
+    ///
+    /// `self` must be the index of `old_graph`, and `log` the
+    /// [`ChangeLog`] mapping `old_graph` to `new_graph`. The result is
+    /// byte-identical to `GraphIndex::build(new_graph, ...)` because
+    /// minimizers never cross node boundaries (a content-identical node
+    /// yields the identical minimizer set) and the carried-node mapping is
+    /// monotone (the carried entry stream stays sorted, so the merge with
+    /// the freshly extracted stream needs no global re-sort).
+    pub fn apply_delta(
+        &self,
+        old_graph: &GenomeGraph,
+        new_graph: &GenomeGraph,
+        log: &ChangeLog,
+    ) -> (GraphIndex, DeltaStats) {
+        let bucket_count = 1u64 << self.bucket_bits;
+        let key = |hash: u64, pos: GraphPos| (hash % bucket_count, hash, pos);
+        let carried_map = log.carried_map(old_graph.node_count());
+
+        // Carried stream: walk the old index in its own (bucket, hash,
+        // location) order, translating node ids. Monotone carried maps
+        // preserve the order; the debug assert in `from_sorted` guards it.
+        let mut stats = DeltaStats::default();
+        let mut carried: Vec<(u64, GraphPos)> = Vec::with_capacity(self.locations.len());
+        for entry in &self.minimizers {
+            let locs = &self.locations[entry.loc_start as usize..][..entry.loc_count as usize];
+            for &loc in locs {
+                match carried_map[loc.node.index()] {
+                    Some(new_node) => {
+                        carried.push((entry.hash, GraphPos::new(new_node, loc.offset)));
+                        stats.carried_locations += 1;
+                    }
+                    None => stats.dropped_locations += 1,
+                }
+            }
+        }
+
+        // Fresh stream: extract only the nodes the delta created.
+        let mut fresh: Vec<(u64, GraphPos)> = Vec::new();
+        for &node in &log.fresh {
+            let seq = new_graph.seq(node);
+            stats.extracted_chars += seq.len() as u64;
+            for m in extract_minimizers_from(seq.as_slice(), &self.scheme) {
+                fresh.push((m.rank, GraphPos::new(node, m.pos)));
+            }
+        }
+        stats.extracted_locations = fresh.len();
+        stats.carried_nodes = log.carried.len();
+        stats.fresh_nodes = log.fresh.len();
+        fresh.sort_by_key(|&(hash, pos)| key(hash, pos));
+
+        // Two-pointer merge of the two sorted streams.
+        let mut merged: Vec<(u64, GraphPos)> = Vec::with_capacity(carried.len() + fresh.len());
+        let (mut i, mut j) = (0, 0);
+        while i < carried.len() && j < fresh.len() {
+            if key(carried[i].0, carried[i].1) <= key(fresh[j].0, fresh[j].1) {
+                merged.push(carried[i]);
+                i += 1;
+            } else {
+                merged.push(fresh[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&carried[i..]);
+        merged.extend_from_slice(&fresh[j..]);
+
+        (
+            Self::from_sorted(self.scheme, self.bucket_bits, merged),
+            stats,
+        )
+    }
+
     /// The per-minimizer occurrence counts (used to derive the frequency
     /// filter threshold).
     pub fn frequencies(&self) -> impl Iterator<Item = u32> + '_ {
         self.minimizers.iter().map(|e| e.loc_count)
+    }
+
+    /// Translates every location's node id through `map`, preserving the
+    /// index structure byte-for-byte otherwise. Returns `None` when a
+    /// location's node is unmapped or the translation would perturb the
+    /// in-entry location order — callers treat that as "rebuild instead".
+    ///
+    /// This is the clean-shard path of the sharded delta swap: a shard
+    /// whose coordinate range the delta never touched holds only carried
+    /// nodes, so its slice survives with nothing but an id translation
+    /// (no re-extraction, no re-sort, no re-partition).
+    pub fn remap_nodes(&self, map: &[Option<NodeId>]) -> Option<GraphIndex> {
+        let mut locations = Vec::with_capacity(self.locations.len());
+        for entry in &self.minimizers {
+            let slice = &self.locations[entry.loc_start as usize..][..entry.loc_count as usize];
+            let start = locations.len();
+            for loc in slice {
+                let new_node = *map.get(loc.node.index())?;
+                locations.push(GraphPos::new(new_node?, loc.offset));
+            }
+            if locations[start..].windows(2).any(|w| w[0] > w[1]) {
+                return None;
+            }
+        }
+        Some(GraphIndex {
+            scheme: self.scheme,
+            bucket_bits: self.bucket_bits,
+            bucket_starts: self.bucket_starts.clone(),
+            minimizers: self.minimizers.clone(),
+            locations,
+        })
+    }
+
+    /// Whether `map` is the identity over every node this index touches —
+    /// when true, [`Self::remap_nodes`] would return a clone and the
+    /// caller can share the existing structure instead.
+    pub fn remap_is_identity(&self, map: &[Option<NodeId>]) -> bool {
+        self.locations
+            .iter()
+            .all(|loc| map.get(loc.node.index()).copied().flatten() == Some(loc.node))
     }
 
     /// Byte footprint at this index's own bucket count.
@@ -274,6 +440,25 @@ pub fn shard_boundaries(total_chars: u64, shards: usize) -> Vec<u64> {
     let base = total_chars / shards;
     let rem = total_chars % shards;
     (0..=shards).map(|s| base * s + s.min(rem)).collect()
+}
+
+/// Work accounting for one [`GraphIndex::apply_delta`] call — the proof
+/// that the update re-extracted only the touched ranges (surfaced by
+/// `segram index update`'s report and asserted in CI).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Old-index locations carried over with only a node-id translation.
+    pub carried_locations: usize,
+    /// Old-index locations discarded with their dropped nodes.
+    pub dropped_locations: usize,
+    /// Locations extracted fresh from the delta's new nodes.
+    pub extracted_locations: usize,
+    /// Characters the minimizer extractor actually re-scanned.
+    pub extracted_chars: u64,
+    /// Nodes whose index entries carried over.
+    pub carried_nodes: usize,
+    /// Nodes extracted from scratch.
+    pub fresh_nodes: usize,
 }
 
 /// Byte footprint of the index (Figure 7's left axis) plus the bucket-load

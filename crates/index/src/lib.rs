@@ -34,11 +34,12 @@ mod index;
 mod minimizer;
 mod minseed;
 mod persist;
+mod update;
 
 pub use chain::{chain_anchors, Anchor, Chain, ChainConfig};
 pub use index::{
-    shard_boundaries, GraphIndex, IndexFootprint, BUCKET_ENTRY_BYTES, DEFAULT_BUCKET_BITS,
-    LOCATION_ENTRY_BYTES, MINIMIZER_ENTRY_BYTES,
+    shard_boundaries, DeltaStats, GraphIndex, IndexFootprint, BUCKET_ENTRY_BYTES,
+    DEFAULT_BUCKET_BITS, LOCATION_ENTRY_BYTES, MINIMIZER_ENTRY_BYTES,
 };
 pub use minimizer::{
     density, extract_minimizers, extract_minimizers_from, hash64, kmer_mask, pack_kmer,
@@ -49,6 +50,8 @@ pub use minseed::{
     SeedingStats,
 };
 pub use persist::{
-    decode_index, encode_index, read_index_file, write_index_file, PersistError, PersistedIndex,
-    INDEX_FORMAT_VERSION, INDEX_MAGIC,
+    decode_index, encode_index, read_index_file, write_index_file, EpochEntry, IndexProvenance,
+    PersistError, PersistedIndex, StoreChangelog, CHANGELOG_VERSION, INDEX_FORMAT_VERSION,
+    INDEX_MAGIC, PROVENANCE_VERSION,
 };
+pub use update::{initial_changelog, update_store, UpdateOutcome};

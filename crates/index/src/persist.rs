@@ -21,10 +21,12 @@
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::Path;
 
-use segram_graph::{Base, DnaSeq, GenomeGraph, GraphBuilder, GraphPos, NodeId};
+use segram_graph::{
+    Base, DnaSeq, GenomeGraph, GraphBuilder, GraphPos, NodeId, Variant, VariantKind, VariantSet,
+};
 use segram_io::{fnv1a64, BinError, ByteReader, ByteWriter};
 
 use crate::index::{GraphIndex, MinimizerEntry};
@@ -34,10 +36,17 @@ use crate::minimizer::{KmerOrdering, MinimizerScheme};
 pub const INDEX_MAGIC: [u8; 8] = *b"SGRMIDX\0";
 /// Current format version; bumped on any incompatible layout change.
 pub const INDEX_FORMAT_VERSION: u32 = 1;
+/// Version of the CHANGELOG section payload (independent of the file
+/// format version: unknown *sections* are skipped by old readers, the
+/// changelog's own layout is versioned here).
+pub const CHANGELOG_VERSION: u32 = 1;
+/// Version of the provenance tail appended to the META section.
+pub const PROVENANCE_VERSION: u32 = 1;
 
 const SECTION_GRAPH: u32 = 1;
 const SECTION_INDEX: u32 = 2;
 const SECTION_META: u32 = 3;
+const SECTION_CHANGELOG: u32 = 4;
 /// Bytes per section-table entry: id + offset + length + checksum.
 const TABLE_ENTRY_BYTES: usize = 4 + 8 + 8 + 8;
 /// Upper bound on the section count — far above the three we write, low
@@ -59,6 +68,103 @@ pub struct PersistedIndex {
     /// The frequency-filter threshold (derived from *global* minimizer
     /// counts at build time, exactly as the in-memory path does).
     pub freq_threshold: u32,
+    /// The versioned changelog: epoch, parent identity, the linear
+    /// reference and embedded variant set (everything `segram index
+    /// update` needs to evolve the store), and the per-epoch history
+    /// chain. `None` for stores written before the changelog existed —
+    /// those load fine but cannot be updated or delta-reloaded.
+    pub changelog: Option<StoreChangelog>,
+    /// Human-facing build provenance (input paths, preset, epoch),
+    /// surfaced by `segram index inspect` and the serve exit report.
+    pub provenance: Option<IndexProvenance>,
+}
+
+impl PersistedIndex {
+    /// The store identity: a checksum over the graph and index payloads
+    /// that names this exact store in the epoch chain. Taken from the
+    /// verified changelog when it has been stamped, recomputed otherwise
+    /// (legacy stores and freshly built ones that have not been encoded).
+    pub fn identity(&self) -> u64 {
+        match &self.changelog {
+            Some(log) if log.identity != 0 => log.identity,
+            _ => computed_identity(&self.graph, &self.index),
+        }
+    }
+}
+
+/// The identity a store with these payloads would be stamped with.
+pub(crate) fn computed_identity(graph: &GenomeGraph, index: &GraphIndex) -> u64 {
+    store_identity(&encode_graph(graph), &encode_hash_index(index))
+}
+
+/// Provenance recorded at build/update time (the META section extension).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexProvenance {
+    /// Path of the FASTA reference the graph was built from.
+    pub reference_path: String,
+    /// Paths of every VCF applied so far, in application order.
+    pub vcf_paths: Vec<String>,
+    /// The parameter preset the build used (`short`/`long`/custom).
+    pub preset: String,
+    /// The store's epoch (0 = fresh build, +1 per applied delta).
+    pub epoch: u64,
+}
+
+/// The versioned changelog section: the store's position in its epoch
+/// chain plus the inputs needed to extend the chain.
+///
+/// The chain is verifiable like a commit history: every [`EpochEntry`]
+/// records the identity of the store it produced and the identity of its
+/// parent, and [`decode_index`] checks that the entries link up and that
+/// the final identity matches the graph/index payloads the changelog
+/// travels with. A spliced or edited chain fails with
+/// [`PersistError::ParentMismatch`]; out-of-sequence epochs fail with
+/// [`PersistError::EpochSkew`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreChangelog {
+    /// The store's epoch (equals the last history entry's).
+    pub epoch: u64,
+    /// Identity of the parent store (0 for an epoch-0 build).
+    pub parent: u64,
+    /// Identity of **this** store (filled in by [`encode_index`] from the
+    /// actual graph/index payloads; verified by [`decode_index`]).
+    pub identity: u64,
+    /// The linear reference the graph was constructed from.
+    pub reference: DnaSeq,
+    /// The embedded variant set (sorted, overlap-dropped) — the parent
+    /// set a future `apply_variants` call needs.
+    pub applied: VariantSet,
+    /// One entry per epoch, oldest first (entry `i` has epoch `i`).
+    pub history: Vec<EpochEntry>,
+}
+
+/// One epoch in the store's history chain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochEntry {
+    /// The epoch this entry produced.
+    pub epoch: u64,
+    /// Identity of the store this epoch was derived from (0 at epoch 0).
+    pub parent: u64,
+    /// Identity of the store this epoch produced (the last entry's value
+    /// is maintained by [`encode_index`]).
+    pub identity: u64,
+    /// What was applied: a VCF path, or `"build"` for epoch 0.
+    pub source: String,
+    /// Variants embedded by this epoch.
+    pub added_variants: u64,
+    /// Variants dropped by this epoch (overlaps).
+    pub dropped_variants: u64,
+    /// Merged reference-coordinate ranges this epoch touched.
+    pub touched: Vec<(u64, u64)>,
+}
+
+/// The identity checksum binding a changelog to the graph/index payloads
+/// it describes.
+fn store_identity(graph_payload: &[u8], index_payload: &[u8]) -> u64 {
+    let mut w = ByteWriter::new();
+    w.put_u64(fnv1a64(graph_payload));
+    w.put_u64(fnv1a64(index_payload));
+    fnv1a64(&w.into_bytes())
 }
 
 /// A named reason an index file could not be loaded. Loading never
@@ -89,6 +195,27 @@ pub enum PersistError {
         /// What was wrong.
         detail: String,
     },
+    /// The changelog's epoch chain is out of sequence (a history entry or
+    /// the store epoch does not follow its predecessor).
+    EpochSkew {
+        /// The epoch the chain position requires.
+        expected: u64,
+        /// The epoch actually recorded.
+        found: u64,
+    },
+    /// A parent/identity link in the changelog chain is broken: the
+    /// changelog does not describe the graph/index it travels with, or an
+    /// update was attempted against a store that is not the delta's
+    /// recorded parent.
+    ParentMismatch {
+        /// The identity the chain requires.
+        expected: u64,
+        /// The identity actually recorded.
+        found: u64,
+    },
+    /// The store predates the versioned changelog and cannot be updated
+    /// incrementally (rebuild with `index build`).
+    NoChangelog,
     /// The underlying file could not be read or written.
     Io(io::Error),
 }
@@ -111,6 +238,20 @@ impl fmt::Display for PersistError {
             Self::Corrupt { section, detail } => {
                 write!(f, "corrupt section {section:?}: {detail}")
             }
+            Self::EpochSkew { expected, found } => write!(
+                f,
+                "epoch skew in the changelog chain: expected epoch {expected}, found {found}"
+            ),
+            Self::ParentMismatch { expected, found } => write!(
+                f,
+                "parent mismatch in the changelog chain: expected store identity \
+                 {expected:#018x}, found {found:#018x}"
+            ),
+            Self::NoChangelog => write!(
+                f,
+                "store has no changelog section (built before versioning); \
+                 rebuild with `segram index build` to enable incremental updates"
+            ),
             Self::Io(err) => write!(f, "I/O error: {err}"),
         }
     }
@@ -168,6 +309,8 @@ fn corrupt(section: &'static str, detail: impl Into<String>) -> PersistError {
 ///     index,
 ///     discard_frac: 0.0002,
 ///     freq_threshold: u32::MAX,
+///     changelog: None,
+///     provenance: None,
 /// };
 /// let bytes = encode_index(&persisted);
 /// let loaded = decode_index(&bytes).expect("round trip");
@@ -179,11 +322,25 @@ fn corrupt(section: &'static str, detail: impl Into<String>) -> PersistError {
 /// # Ok::<(), segram_graph::GraphError>(())
 /// ```
 pub fn encode_index(persisted: &PersistedIndex) -> Vec<u8> {
-    let sections = [
-        (SECTION_GRAPH, encode_graph(&persisted.graph)),
-        (SECTION_INDEX, encode_hash_index(&persisted.index)),
+    let graph_payload = encode_graph(&persisted.graph);
+    let index_payload = encode_hash_index(&persisted.index);
+    let identity = store_identity(&graph_payload, &index_payload);
+    let mut sections = vec![
+        (SECTION_GRAPH, graph_payload),
+        (SECTION_INDEX, index_payload),
         (SECTION_META, encode_meta(persisted)),
     ];
+    if let Some(log) = &persisted.changelog {
+        // The identity names the payloads the changelog travels with, so
+        // it is stamped here from the actual encoded bytes — callers
+        // leave `identity` fields 0 on the entry they append.
+        let mut log = log.clone();
+        log.identity = identity;
+        if let Some(last) = log.history.last_mut() {
+            last.identity = identity;
+        }
+        sections.push((SECTION_CHANGELOG, encode_changelog(&log)));
+    }
     let mut header = ByteWriter::new();
     header.put_bytes(&INDEX_MAGIC);
     header.put_u32(INDEX_FORMAT_VERSION);
@@ -231,6 +388,7 @@ pub fn decode_index(bytes: &[u8]) -> Result<PersistedIndex, PersistError> {
     let mut graph_payload: Option<&[u8]> = None;
     let mut index_payload: Option<&[u8]> = None;
     let mut meta_payload: Option<&[u8]> = None;
+    let mut changelog_payload: Option<&[u8]> = None;
     for _ in 0..section_count {
         let id = reader.take_u32().map_err(|e| from_bin("header", e))?;
         let offset = reader.take_u64().map_err(|e| from_bin("header", e))? as usize;
@@ -240,6 +398,7 @@ pub fn decode_index(bytes: &[u8]) -> Result<PersistedIndex, PersistError> {
             SECTION_GRAPH => (&mut graph_payload, "graph"),
             SECTION_INDEX => (&mut index_payload, "index"),
             SECTION_META => (&mut meta_payload, "meta"),
+            SECTION_CHANGELOG => (&mut changelog_payload, "changelog"),
             // Unknown sections are skipped (bounds still verified), so a
             // future minor revision can append data old readers ignore.
             _ => {
@@ -261,16 +420,31 @@ pub fn decode_index(bytes: &[u8]) -> Result<PersistedIndex, PersistError> {
 
     let graph = decode_graph(graph_payload)?;
     let index = decode_hash_index(index_payload, &graph)?;
-    let (discard_frac, freq_threshold) = decode_meta(meta_payload)?;
+    let (discard_frac, freq_threshold, provenance) = decode_meta(meta_payload)?;
+    let changelog = match changelog_payload {
+        Some(payload) => {
+            let identity = store_identity(graph_payload, index_payload);
+            Some(decode_changelog(payload, identity)?)
+        }
+        None => None,
+    };
     Ok(PersistedIndex {
         graph,
         index,
         discard_frac,
         freq_threshold,
+        changelog,
+        provenance,
     })
 }
 
 /// Writes a persisted index to `path`, returning the file size in bytes.
+///
+/// The write is atomic with respect to concurrent readers: the bytes go
+/// to a same-directory temporary file that is fsynced and then renamed
+/// over `path`, so a serve daemon re-reading the file mid-write sees
+/// either the old store or the new one, never a torn prefix. On failure
+/// the temporary file is removed and `path` is left untouched.
 ///
 /// # Errors
 ///
@@ -279,8 +453,24 @@ pub fn write_index_file(
     persisted: &PersistedIndex,
     path: impl AsRef<Path>,
 ) -> Result<u64, PersistError> {
+    let path = path.as_ref();
     let bytes = encode_index(persisted);
-    fs::write(path, &bytes)?;
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "index.sgi".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let staged = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if let Err(err) = staged {
+        let _ = fs::remove_file(&tmp);
+        return Err(err.into());
+    }
     Ok(bytes.len() as u64)
 }
 
@@ -533,10 +723,23 @@ fn encode_meta(persisted: &PersistedIndex) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(persisted.discard_frac.to_bits());
     w.put_u32(persisted.freq_threshold);
+    // Provenance rides as an optional tail: pre-provenance readers saw
+    // exactly the two fields above, and presence is signalled purely by
+    // there being more bytes.
+    if let Some(p) = &persisted.provenance {
+        w.put_u32(PROVENANCE_VERSION);
+        put_string(&mut w, &p.reference_path);
+        w.put_u64(p.vcf_paths.len() as u64);
+        for path in &p.vcf_paths {
+            put_string(&mut w, path);
+        }
+        put_string(&mut w, &p.preset);
+        w.put_u64(p.epoch);
+    }
     w.into_bytes()
 }
 
-fn decode_meta(payload: &[u8]) -> Result<(f64, u32), PersistError> {
+fn decode_meta(payload: &[u8]) -> Result<(f64, u32, Option<IndexProvenance>), PersistError> {
     const SECTION: &str = "meta";
     let bin = |e| from_bin(SECTION, e);
     let mut r = ByteReader::new(payload);
@@ -548,11 +751,288 @@ fn decode_meta(payload: &[u8]) -> Result<(f64, u32), PersistError> {
         ));
     }
     let freq_threshold = r.take_u32().map_err(bin)?;
+    let provenance = if r.is_empty() {
+        None
+    } else {
+        let version = r.take_u32().map_err(bin)?;
+        if version != PROVENANCE_VERSION {
+            return Err(corrupt(
+                SECTION,
+                format!("unknown provenance version {version}"),
+            ));
+        }
+        let reference_path = take_string(SECTION, &mut r)?;
+        let vcf_count = r.take_count(8).map_err(bin)?;
+        let mut vcf_paths = Vec::with_capacity(vcf_count);
+        for _ in 0..vcf_count {
+            vcf_paths.push(take_string(SECTION, &mut r)?);
+        }
+        let preset = take_string(SECTION, &mut r)?;
+        let epoch = r.take_u64().map_err(bin)?;
+        Some(IndexProvenance {
+            reference_path,
+            vcf_paths,
+            preset,
+            epoch,
+        })
+    };
     if !r.is_empty() {
         return Err(corrupt(
             SECTION,
             format!("{} trailing bytes", r.remaining()),
         ));
     }
-    Ok((discard_frac, freq_threshold))
+    Ok((discard_frac, freq_threshold, provenance))
+}
+
+fn put_string(w: &mut ByteWriter, s: &str) {
+    w.put_u64(s.len() as u64);
+    w.put_bytes(s.as_bytes());
+}
+
+fn take_string(section: &'static str, r: &mut ByteReader<'_>) -> Result<String, PersistError> {
+    let len = r.take_count(1).map_err(|e| from_bin(section, e))?;
+    let bytes = r.take_bytes(len).map_err(|e| from_bin(section, e))?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt(section, "string is not UTF-8"))
+}
+
+/// 2-bit packed sequence, same layout as the graph section's node
+/// payloads: length prefix, then low-bits-first packed bases.
+fn put_seq(w: &mut ByteWriter, seq: &DnaSeq) {
+    let bases = seq.as_slice();
+    w.put_u64(bases.len() as u64);
+    for chunk in bases.chunks(4) {
+        let mut byte = 0u8;
+        for (i, base) in chunk.iter().enumerate() {
+            byte |= base.code() << (2 * i);
+        }
+        w.put_u8(byte);
+    }
+}
+
+fn take_seq(section: &'static str, r: &mut ByteReader<'_>) -> Result<DnaSeq, PersistError> {
+    let len = usize::try_from(r.take_u64().map_err(|e| from_bin(section, e))?)
+        .map_err(|_| corrupt(section, "sequence length overflows usize"))?;
+    let packed = r
+        .take_bytes(len.div_ceil(4))
+        .map_err(|e| from_bin(section, e))?;
+    Ok((0..len)
+        .map(|i| Base::from_code_masked(packed[i / 4] >> (2 * (i % 4))))
+        .collect())
+}
+
+fn put_variant(w: &mut ByteWriter, v: &Variant) {
+    match &v.kind {
+        VariantKind::Snp { alt } => {
+            w.put_u8(0);
+            w.put_u64(v.pos);
+            w.put_u8(alt.code());
+        }
+        VariantKind::Insertion { seq } => {
+            w.put_u8(1);
+            w.put_u64(v.pos);
+            put_seq(w, seq);
+        }
+        VariantKind::Deletion { len } => {
+            w.put_u8(2);
+            w.put_u64(v.pos);
+            w.put_u64(*len);
+        }
+        VariantKind::Replacement { ref_len, alt } => {
+            w.put_u8(3);
+            w.put_u64(v.pos);
+            w.put_u64(*ref_len);
+            put_seq(w, alt);
+        }
+    }
+}
+
+fn take_variant(section: &'static str, r: &mut ByteReader<'_>) -> Result<Variant, PersistError> {
+    let bin = |e| from_bin(section, e);
+    let tag = r.take_u8().map_err(bin)?;
+    let pos = r.take_u64().map_err(bin)?;
+    let kind = match tag {
+        0 => VariantKind::Snp {
+            alt: Base::from_code_masked(r.take_u8().map_err(bin)?),
+        },
+        1 => {
+            let seq = take_seq(section, r)?;
+            if seq.is_empty() {
+                return Err(corrupt(section, "empty insertion sequence"));
+            }
+            VariantKind::Insertion { seq }
+        }
+        2 => {
+            let len = r.take_u64().map_err(bin)?;
+            if len == 0 {
+                return Err(corrupt(section, "zero-length deletion"));
+            }
+            VariantKind::Deletion { len }
+        }
+        3 => {
+            let ref_len = r.take_u64().map_err(bin)?;
+            let alt = take_seq(section, r)?;
+            if ref_len == 0 || alt.is_empty() {
+                return Err(corrupt(section, "degenerate replacement"));
+            }
+            VariantKind::Replacement { ref_len, alt }
+        }
+        other => return Err(corrupt(section, format!("unknown variant tag {other}"))),
+    };
+    Ok(Variant { pos, kind })
+}
+
+fn encode_changelog(log: &StoreChangelog) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(CHANGELOG_VERSION);
+    w.put_u64(log.epoch);
+    w.put_u64(log.parent);
+    w.put_u64(log.identity);
+    put_seq(&mut w, &log.reference);
+    w.put_u64(log.applied.len() as u64);
+    for variant in log.applied.iter() {
+        put_variant(&mut w, variant);
+    }
+    w.put_u64(log.history.len() as u64);
+    for entry in &log.history {
+        w.put_u64(entry.epoch);
+        w.put_u64(entry.parent);
+        w.put_u64(entry.identity);
+        put_string(&mut w, &entry.source);
+        w.put_u64(entry.added_variants);
+        w.put_u64(entry.dropped_variants);
+        w.put_u64(entry.touched.len() as u64);
+        for &(start, end) in &entry.touched {
+            w.put_u64(start);
+            w.put_u64(end);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes and *verifies* the changelog chain: the recorded identity must
+/// match `computed_identity` (the checksum of the graph/index payloads
+/// the changelog arrived with), history entries must carry consecutive
+/// epochs, and each entry's parent must be its predecessor's identity —
+/// the same linkage a git history gives commits. A changelog that was
+/// spliced onto the wrong store, re-ordered, or hand-edited fails with
+/// [`PersistError::ParentMismatch`] / [`PersistError::EpochSkew`] instead
+/// of silently seeding a bad delta chain.
+fn decode_changelog(
+    payload: &[u8],
+    computed_identity: u64,
+) -> Result<StoreChangelog, PersistError> {
+    const SECTION: &str = "changelog";
+    let bin = |e| from_bin(SECTION, e);
+    let mut r = ByteReader::new(payload);
+    let version = r.take_u32().map_err(bin)?;
+    if version != CHANGELOG_VERSION {
+        return Err(corrupt(
+            SECTION,
+            format!("unknown changelog version {version}"),
+        ));
+    }
+    let epoch = r.take_u64().map_err(bin)?;
+    let parent = r.take_u64().map_err(bin)?;
+    let identity = r.take_u64().map_err(bin)?;
+    let reference = take_seq(SECTION, &mut r)?;
+    let applied_count = r.take_count(9).map_err(bin)?;
+    let mut applied = VariantSet::new();
+    for _ in 0..applied_count {
+        let variant = take_variant(SECTION, &mut r)?;
+        let (_, end) = variant.ref_interval();
+        if end > reference.len() as u64 {
+            return Err(corrupt(
+                SECTION,
+                format!("variant at {} runs past the reference", variant.pos),
+            ));
+        }
+        applied.push(variant);
+    }
+    let history_count = r.take_count(8 * 6).map_err(bin)?;
+    let mut history = Vec::with_capacity(history_count);
+    for _ in 0..history_count {
+        let entry_epoch = r.take_u64().map_err(bin)?;
+        let entry_parent = r.take_u64().map_err(bin)?;
+        let entry_identity = r.take_u64().map_err(bin)?;
+        let source = take_string(SECTION, &mut r)?;
+        let added_variants = r.take_u64().map_err(bin)?;
+        let dropped_variants = r.take_u64().map_err(bin)?;
+        let touched_count = r.take_count(16).map_err(bin)?;
+        let mut touched = Vec::with_capacity(touched_count);
+        for _ in 0..touched_count {
+            let start = r.take_u64().map_err(bin)?;
+            let end = r.take_u64().map_err(bin)?;
+            touched.push((start, end));
+        }
+        history.push(EpochEntry {
+            epoch: entry_epoch,
+            parent: entry_parent,
+            identity: entry_identity,
+            source,
+            added_variants,
+            dropped_variants,
+            touched,
+        });
+    }
+    if !r.is_empty() {
+        return Err(corrupt(
+            SECTION,
+            format!("{} trailing bytes", r.remaining()),
+        ));
+    }
+
+    if history.is_empty() {
+        return Err(corrupt(SECTION, "empty epoch history"));
+    }
+    for (i, entry) in history.iter().enumerate() {
+        if entry.epoch != i as u64 {
+            return Err(PersistError::EpochSkew {
+                expected: i as u64,
+                found: entry.epoch,
+            });
+        }
+        let expected_parent = if i == 0 { 0 } else { history[i - 1].identity };
+        if entry.parent != expected_parent {
+            return Err(PersistError::ParentMismatch {
+                expected: expected_parent,
+                found: entry.parent,
+            });
+        }
+    }
+    let last = history.last().expect("non-empty");
+    if epoch != last.epoch {
+        return Err(PersistError::EpochSkew {
+            expected: last.epoch,
+            found: epoch,
+        });
+    }
+    if parent != last.parent {
+        return Err(PersistError::ParentMismatch {
+            expected: last.parent,
+            found: parent,
+        });
+    }
+    if identity != last.identity {
+        return Err(PersistError::ParentMismatch {
+            expected: last.identity,
+            found: identity,
+        });
+    }
+    // The chain must name the store it travels with: a changelog spliced
+    // from another file fails here even though its internal links hold.
+    if identity != computed_identity {
+        return Err(PersistError::ParentMismatch {
+            expected: computed_identity,
+            found: identity,
+        });
+    }
+    Ok(StoreChangelog {
+        epoch,
+        parent,
+        identity,
+        reference,
+        applied,
+        history,
+    })
 }

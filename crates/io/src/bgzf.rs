@@ -36,7 +36,7 @@
 //! # Ok::<(), segram_io::BgzfError>(())
 //! ```
 
-use std::io::Read;
+use std::io::{self, Read, Write};
 
 use crate::error::BgzfError;
 
@@ -861,6 +861,86 @@ pub fn bgzf_compress(data: &[u8], block_size: usize, mode: BgzfMode) -> Vec<u8> 
     out
 }
 
+/// A streaming BGZF compressor: a [`Write`] adapter that buffers plain
+/// bytes into members of at most `block_size` bytes (`segram map
+/// --compress-output` wraps its SAM/GAF sinks in one per writer thread).
+///
+/// [`finish`](Self::finish) emits the buffered tail and the canonical
+/// 28-byte EOF marker — the htslib completeness signal — so a stream is
+/// only well-terminated on a clean close. Dropping the writer without
+/// `finish` leaves the output EOF-less, exactly how a truncated file
+/// should look to downstream readers.
+#[derive(Debug)]
+pub struct BgzfWriter<W: Write> {
+    sink: W,
+    mode: BgzfMode,
+    block_size: usize,
+    buffer: Vec<u8>,
+}
+
+impl<W: Write> BgzfWriter<W> {
+    /// Wraps `sink`, compressing with full-sized members.
+    pub fn new(sink: W, mode: BgzfMode) -> Self {
+        Self::with_block_size(sink, mode, BGZF_MAX_PLAIN)
+    }
+
+    /// Wraps `sink` with an explicit member payload size (clamped to
+    /// `1..=`[`BGZF_MAX_PLAIN`]).
+    pub fn with_block_size(sink: W, mode: BgzfMode, block_size: usize) -> Self {
+        Self {
+            sink,
+            mode,
+            block_size: block_size.clamp(1, BGZF_MAX_PLAIN),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Emits the buffered plain bytes as one member, if any.
+    fn emit_buffer(&mut self) -> io::Result<()> {
+        if !self.buffer.is_empty() {
+            let member = bgzf_member(&self.buffer, self.mode);
+            self.buffer.clear();
+            self.sink.write_all(&member)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the tail member, writes the EOF marker, flushes the sink,
+    /// and returns it.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.emit_buffer()?;
+        self.sink.write_all(&BGZF_EOF)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+impl<W: Write> Write for BgzfWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // Fill the current member to exactly `block_size` before emitting,
+        // so the stream's member boundaries depend only on the byte
+        // offsets, never on how the caller chunked its writes.
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let room = self.block_size - self.buffer.len();
+            let take = room.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() == self.block_size {
+                self.emit_buffer()?;
+            }
+        }
+        Ok(buf.len())
+    }
+
+    /// Flushes the *sink* only: buffered plain bytes stay put so member
+    /// boundaries remain deterministic (use [`finish`](Self::finish) to
+    /// terminate the stream).
+    fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1150,6 +1230,38 @@ mod tests {
         let block = blocks[0].as_ref().expect("marker is well-formed");
         assert!(block.is_last());
         assert_eq!(block.inflate().expect("inflates"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn writer_stream_matches_one_shot_compression_regardless_of_chunking() {
+        let plain: Vec<u8> = (0u16..4000).map(|i| (i % 251) as u8).collect();
+        let expected = bgzf_compress(&plain, 512, BgzfMode::Fixed);
+        // Write in awkward chunk sizes: member boundaries must depend only
+        // on byte offsets, so the stream is byte-identical.
+        for step in [1usize, 7, 511, 512, 513, 4000] {
+            let mut writer = BgzfWriter::with_block_size(Vec::new(), BgzfMode::Fixed, 512);
+            for chunk in plain.chunks(step) {
+                writer.write_all(chunk).expect("vec write");
+            }
+            let stream = writer.finish().expect("finish");
+            assert_eq!(stream, expected, "chunk step {step}");
+        }
+    }
+
+    #[test]
+    fn writer_finish_terminates_with_the_eof_marker_but_drop_does_not() {
+        let mut writer = BgzfWriter::new(Vec::new(), BgzfMode::Stored);
+        writer.write_all(b"tail bytes").expect("vec write");
+        let stream = writer.finish().expect("finish");
+        assert_eq!(&stream[stream.len() - BGZF_EOF.len()..], &BGZF_EOF);
+        let inflated = roundtrip(b"tail bytes", BGZF_MAX_PLAIN, BgzfMode::Stored);
+        assert_eq!(inflated, b"tail bytes");
+
+        // Without `finish`, the stream is EOF-less: readers classify it as
+        // truncated rather than silently complete.
+        let mut writer = BgzfWriter::new(Vec::new(), BgzfMode::Stored);
+        writer.write_all(b"lost tail").expect("vec write");
+        drop(writer);
     }
 
     #[test]

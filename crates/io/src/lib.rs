@@ -61,7 +61,7 @@ mod vcf;
 
 pub use bgzf::{
     bgzf_compress, bgzf_member, crc32, inflate, looks_like_gzip, BgzfBlock, BgzfBlocks, BgzfMode,
-    BGZF_EOF, BGZF_MAX_PLAIN, GZIP_MAGIC,
+    BgzfWriter, BGZF_EOF, BGZF_MAX_PLAIN, GZIP_MAGIC,
 };
 pub use binary::{fnv1a64, BinError, ByteReader, ByteWriter};
 pub use error::{BgzfError, FormatError};

@@ -58,6 +58,8 @@ fn fixture() -> PersistedIndex {
         index,
         discard_frac: 0.01,
         freq_threshold,
+        changelog: None,
+        provenance: None,
     }
 }
 
@@ -87,6 +89,8 @@ proptest! {
             graph,
             index,
             discard_frac,
+            changelog: None,
+            provenance: None,
         };
         let bytes = encode_index(&persisted);
         let loaded = decode_index(&bytes).expect("own encoding must load");
@@ -201,6 +205,8 @@ fn built_and_loaded_mappers_agree_on_every_read() {
         index: built.index().clone(),
         discard_frac: config.discard_frac,
         freq_threshold: built.freq_threshold(),
+        changelog: None,
+        provenance: None,
     };
     let loaded = decode_index(&encode_index(&persisted)).expect("round trip");
     let reloaded = segram_core::SegramMapper::from_parts(
